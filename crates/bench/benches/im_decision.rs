@@ -1,0 +1,93 @@
+//! Measured per-decision cost of the three IM policies — the "computation
+//! time" series of Fig. 7.2 / Ch. 7.2, in wall-clock nanoseconds.
+
+use criterion::{Criterion, criterion_group, criterion_main};
+use crossroads_core::policy::{
+    AimPolicy, CrossroadsPolicy, IntersectionPolicy, VtPolicy,
+};
+use crossroads_core::{BufferModel, CrossingRequest};
+use crossroads_intersection::{
+    Approach, ConflictTable, IntersectionGeometry, Movement, ReservationTable, Turn,
+};
+use crossroads_units::{Meters, MetersPerSecond, Seconds, TimePoint};
+use crossroads_vehicle::{VehicleId, VehicleSpec};
+use std::hint::black_box;
+
+fn request(v: u32, approach: Approach, t: f64, aim: bool) -> CrossingRequest {
+    CrossingRequest {
+        vehicle: VehicleId(v),
+        movement: Movement::new(approach, Turn::Straight),
+        spec: VehicleSpec::full_scale(),
+        transmitted_at: TimePoint::new(t),
+        distance_to_intersection: Meters::new(100.0),
+        speed: MetersPerSecond::new(10.0),
+        stopped: false,
+        attempt: 1,
+        proposed_arrival: aim.then(|| TimePoint::new(t + 10.0)),
+    }
+}
+
+fn geometry() -> IntersectionGeometry {
+    IntersectionGeometry::full_scale()
+}
+
+fn table() -> ReservationTable {
+    ReservationTable::new(ConflictTable::compute(&geometry(), Meters::new(1.8)))
+}
+
+fn bench_policies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("im_decision");
+
+    group.bench_function("vt_im", |b| {
+        let mut v = 0u32;
+        let mut t = 0.0f64;
+        let mut policy = VtPolicy::new(geometry(), table(), BufferModel::full_scale(), 0.15);
+        b.iter(|| {
+            let req = request(v, Approach::ALL[(v % 4) as usize], t, false);
+            let cmd = policy.decide(black_box(&req), TimePoint::new(t + 0.05));
+            policy.on_exit(VehicleId(v), TimePoint::new(t + 0.06));
+            v = v.wrapping_add(1);
+            t += 0.01;
+            black_box(cmd)
+        });
+    });
+
+    group.bench_function("crossroads", |b| {
+        let mut v = 0u32;
+        let mut t = 0.0f64;
+        let mut policy =
+            CrossroadsPolicy::new(geometry(), table(), BufferModel::full_scale(), 0.15);
+        b.iter(|| {
+            let req = request(v, Approach::ALL[(v % 4) as usize], t, false);
+            let cmd = policy.decide(black_box(&req), TimePoint::new(t + 0.05));
+            policy.on_exit(VehicleId(v), TimePoint::new(t + 0.06));
+            v = v.wrapping_add(1);
+            t += 0.01;
+            black_box(cmd)
+        });
+    });
+
+    group.bench_function("aim", |b| {
+        let mut v = 0u32;
+        let mut t = 0.0f64;
+        let mut policy = AimPolicy::new(
+            geometry(),
+            BufferModel::full_scale(),
+            3,
+            Seconds::from_millis(50.0),
+        );
+        b.iter(|| {
+            let req = request(v, Approach::ALL[(v % 4) as usize], t, true);
+            let cmd = policy.decide(black_box(&req), TimePoint::new(t + 0.05));
+            policy.on_exit(VehicleId(v), TimePoint::new(t + 0.06));
+            v = v.wrapping_add(1);
+            t += 0.01;
+            black_box(cmd)
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_policies);
+criterion_main!(benches);

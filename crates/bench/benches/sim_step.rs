@@ -1,0 +1,41 @@
+//! Whole-simulation throughput: how fast the closed loop runs one
+//! scale-model scenario and one full-scale sweep point, per policy.
+
+use criterion::{BenchmarkId, Criterion, criterion_group, criterion_main};
+use crossroads_bench::sweep_workload;
+use crossroads_core::policy::PolicyKind;
+use crossroads_core::sim::{SimConfig, run_simulation};
+use crossroads_traffic::{ScenarioId, scale_model_scenario};
+use std::hint::black_box;
+
+fn bench_sim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim");
+    group.sample_size(20);
+
+    for policy in PolicyKind::ALL {
+        group.bench_with_input(
+            BenchmarkId::new("scale_scenario1", policy),
+            &policy,
+            |b, &policy| {
+                let workload = scale_model_scenario(ScenarioId(1), 0);
+                let config = SimConfig::scale_model(policy).with_seed(42);
+                b.iter(|| black_box(run_simulation(&config, black_box(&workload))));
+            },
+        );
+
+        group.bench_with_input(
+            BenchmarkId::new("full_scale_rate0.4", policy),
+            &policy,
+            |b, &policy| {
+                let config = SimConfig::full_scale(policy).with_seed(42);
+                let workload = sweep_workload(&config, 0.4, 1042);
+                b.iter(|| black_box(run_simulation(&config, black_box(&workload))));
+            },
+        );
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_sim);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! Ablations of the design decisions DESIGN.md calls out:
+//!
+//! 1. AIM tile-grid granularity — the lever behind the paper's
+//!    AIM-vs-Crossroads gap (coarse grids reserve whole swaths; fine
+//!    grids let AIM platoon past Crossroads).
+//! 2. VT-IM RTD buffer size — what the intersection pays per millisecond
+//!    of unhandled worst-case delay.
+//! 3. Crossroads crawl floor — scheduling a stop instead of a crawl.
+
+use crossroads_bench::{carried_per_lane, sweep_workload};
+use crossroads_core::policy::PolicyKind;
+use crossroads_core::sim::{SimConfig, run_simulation};
+use crossroads_net::RtdBudget;
+use crossroads_units::Seconds;
+
+fn main() {
+    println!("# Ablations\n");
+
+    // 1. AIM grid granularity at a saturating rate.
+    println!("## AIM tile granularity (rate 0.9 car/s/lane)\n");
+    crossroads_bench::table_header(&["tiles/side", "carried (car/s/lane)", "avg wait (s)"]);
+    let xr_ref = {
+        let config = SimConfig::full_scale(PolicyKind::Crossroads).with_seed(42);
+        let w = sweep_workload(&config, 0.9, 1042);
+        carried_per_lane(&run_simulation(&config, &w))
+    };
+    for grid in [1usize, 2, 3, 4, 6, 8, 12] {
+        let mut config = SimConfig::full_scale(PolicyKind::Aim).with_seed(42);
+        config.aim_grid_side = grid;
+        let w = sweep_workload(&config, 0.9, 1042);
+        let out = run_simulation(&config, &w);
+        assert!(out.all_completed() && out.safety.is_safe(), "grid {grid}");
+        println!(
+            "| {grid} | {:.4} | {:.1} |",
+            carried_per_lane(&out),
+            out.metrics.average_wait().value()
+        );
+    }
+    println!("| Crossroads (ref) | {xr_ref:.4} | — |");
+
+    // 2. VT-IM with a sweep of assumed WC-RTD budgets.
+    println!("\n## VT-IM throughput vs assumed WC-RTD (rate 0.9)\n");
+    crossroads_bench::table_header(&["WC-RTD (ms)", "carried (car/s/lane)"]);
+    for rtd_ms in [50.0, 100.0, 150.0, 300.0, 600.0] {
+        let mut config = SimConfig::full_scale(PolicyKind::VtIm).with_seed(42);
+        config.buffers.rtd = RtdBudget {
+            wc_network: Seconds::from_millis(15.0),
+            wc_computation: Seconds::from_millis(rtd_ms - 15.0),
+        };
+        let w = sweep_workload(&config, 0.9, 1042);
+        let out = run_simulation(&config, &w);
+        assert!(out.all_completed(), "rtd {rtd_ms}");
+        println!("| {rtd_ms:.0} | {:.4} |", carried_per_lane(&out));
+    }
+
+    // 3. Crossroads crawl floor.
+    println!("\n## Crossroads crawl floor (rate 0.9)\n");
+    crossroads_bench::table_header(&["crawl fraction of v_max", "carried", "avg wait (s)"]);
+    for crawl in [0.05, 0.15, 0.30, 0.50] {
+        let mut config = SimConfig::full_scale(PolicyKind::Crossroads).with_seed(42);
+        config.crawl_fraction = crawl;
+        let w = sweep_workload(&config, 0.9, 1042);
+        let out = run_simulation(&config, &w);
+        assert!(out.all_completed(), "crawl {crawl}");
+        println!(
+            "| {crawl} | {:.4} | {:.1} |",
+            carried_per_lane(&out),
+            out.metrics.average_wait().value()
+        );
+    }
+}

@@ -1,0 +1,67 @@
+//! E5 — Fig. 7.2: throughput vs input flow rate (0.05–1.25
+//! car/second/lane, 160 cars) for AIM, Crossroads and VT-IM on the
+//! full-scale intersection.
+//!
+//! Paper reference: all three coincide at low flow; VT-IM saturates
+//! first, AIM next, Crossroads highest. Crossroads is 1.62x over VT-IM
+//! in the worst case (1.36x average) and 1.28x over AIM (1.15x average).
+
+use crossroads_bench::{SWEEP_RATES, carried_per_lane, run_ideal_point, run_sweep_point};
+use crossroads_core::policy::PolicyKind;
+
+const SEEDS: [u64; 3] = [11, 42, 91];
+
+fn main() {
+    println!("# E5 — Fig. 7.2: carried throughput (cars/second/lane), mean of {} seeds\n", SEEDS.len());
+    crossroads_bench::table_header(&[
+        "input rate",
+        "VT-IM",
+        "Crossroads",
+        "AIM",
+        "Ideal",
+        "XR/VT",
+        "XR/AIM",
+    ]);
+
+    let mut ratios_vt = Vec::new();
+    let mut ratios_aim = Vec::new();
+    for rate in SWEEP_RATES {
+        let mut carried = std::collections::HashMap::new();
+        for policy in PolicyKind::ALL {
+            let mean = SEEDS
+                .iter()
+                .map(|&s| carried_per_lane(&run_sweep_point(policy, rate, s)))
+                .sum::<f64>()
+                / SEEDS.len() as f64;
+            carried.insert(policy, mean);
+        }
+        let ideal = SEEDS
+            .iter()
+            .map(|&s| carried_per_lane(&run_ideal_point(rate, s)))
+            .sum::<f64>()
+            / SEEDS.len() as f64;
+        let (vt, xr, aim) = (
+            carried[&PolicyKind::VtIm],
+            carried[&PolicyKind::Crossroads],
+            carried[&PolicyKind::Aim],
+        );
+        ratios_vt.push(xr / vt);
+        ratios_aim.push(xr / aim);
+        println!(
+            "| {rate} | {vt:.4} | {xr:.4} | {aim:.4} | {ideal:.4} | {:.2}x | {:.2}x |",
+            xr / vt,
+            xr / aim
+        );
+    }
+
+    let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    let max = |v: &[f64]| v.iter().copied().fold(f64::MIN, f64::max);
+    println!("\n## Paper vs measured (throughput ratios)\n");
+    crossroads_bench::table_header(&["claim", "paper", "measured"]);
+    println!("| Crossroads/VT-IM worst case | 1.62x | {:.2}x |", max(&ratios_vt));
+    println!("| Crossroads/VT-IM average | 1.36x | {:.2}x |", avg(&ratios_vt));
+    println!("| Crossroads/AIM worst case | 1.28x | {:.2}x |", max(&ratios_aim));
+    println!("| Crossroads/AIM average | 1.15x | {:.2}x |", avg(&ratios_aim));
+    println!("\nShape check: near-identical at 0.05; VT-IM saturates lowest;");
+    println!("Crossroads >= coarse-granularity AIM at saturating flows.");
+}

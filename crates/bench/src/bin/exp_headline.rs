@@ -1,0 +1,59 @@
+//! E7 — the abstract's headline numbers, reproduced in one run:
+//!
+//! 1. scale model: Crossroads reduces average wait by 24% vs VT-IM;
+//! 2. simulation: 1.62x higher throughput than VT-IM (worst case),
+//!    1.36x better than AIM (the thesis text mixes "average/worst"
+//!    phrasing; we report both aggregations for both baselines).
+
+use crossroads_bench::{SWEEP_RATES, carried_per_lane, run_sweep_point};
+use crossroads_core::policy::PolicyKind;
+use crossroads_core::sim::{SimConfig, run_simulation};
+use crossroads_traffic::{ScenarioId, scale_model_scenario};
+
+fn scale_model_reduction() -> f64 {
+    let mut vt = 0.0;
+    let mut xr = 0.0;
+    for id in ScenarioId::all() {
+        for repeat in 0..10 {
+            let w = scale_model_scenario(id, repeat);
+            let seed = repeat * 1313 + 7;
+            let a = run_simulation(&SimConfig::scale_model(PolicyKind::VtIm).with_seed(seed), &w);
+            let b = run_simulation(
+                &SimConfig::scale_model(PolicyKind::Crossroads).with_seed(seed),
+                &w,
+            );
+            assert!(a.all_completed() && b.all_completed());
+            vt += a.metrics.average_wait().value();
+            xr += b.metrics.average_wait().value();
+        }
+    }
+    (1.0 - xr / vt) * 100.0
+}
+
+fn sweep_ratios() -> (f64, f64, f64, f64) {
+    let mut vs_vt = Vec::new();
+    let mut vs_aim = Vec::new();
+    for rate in SWEEP_RATES {
+        let vt = carried_per_lane(&run_sweep_point(PolicyKind::VtIm, rate, 42));
+        let xr = carried_per_lane(&run_sweep_point(PolicyKind::Crossroads, rate, 42));
+        let aim = carried_per_lane(&run_sweep_point(PolicyKind::Aim, rate, 42));
+        vs_vt.push(xr / vt);
+        vs_aim.push(xr / aim);
+    }
+    let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    let max = |v: &[f64]| v.iter().copied().fold(f64::MIN, f64::max);
+    (max(&vs_vt), avg(&vs_vt), max(&vs_aim), avg(&vs_aim))
+}
+
+fn main() {
+    println!("# E7 — headline claims\n");
+    let reduction = scale_model_reduction();
+    let (vt_worst, vt_avg, aim_worst, aim_avg) = sweep_ratios();
+
+    crossroads_bench::table_header(&["claim", "paper", "measured"]);
+    println!("| scale-model wait reduction vs VT-IM | 24% | {reduction:.0}% |");
+    println!("| throughput vs VT-IM (worst case) | 1.62x | {vt_worst:.2}x |");
+    println!("| throughput vs VT-IM (average) | 1.36x | {vt_avg:.2}x |");
+    println!("| throughput vs AIM (worst case) | 1.28x | {aim_worst:.2}x |");
+    println!("| throughput vs AIM (average) | 1.15x | {aim_avg:.2}x |");
+}

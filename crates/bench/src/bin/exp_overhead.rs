@@ -1,0 +1,49 @@
+//! E6 — Ch. 7.2: IM computation and network overhead.
+//!
+//! Paper reference: AIM has up to 16x higher computation per admitted
+//! vehicle than Crossroads; Crossroads/VT-IM network traffic is up to
+//! 20x lower than AIM's.
+
+use crossroads_bench::run_sweep_point;
+use crossroads_core::policy::PolicyKind;
+
+fn main() {
+    println!("# E6 — Ch. 7.2: computation and network overhead per policy\n");
+    crossroads_bench::table_header(&[
+        "rate",
+        "policy",
+        "IM ops/request",
+        "IM busy (s)",
+        "messages",
+        "requests/vehicle",
+    ]);
+
+    let mut worst_ops_ratio: f64 = 0.0;
+    let mut worst_msg_ratio: f64 = 0.0;
+    for rate in [0.2, 0.6, 1.25] {
+        let mut ops_per_req = std::collections::HashMap::new();
+        let mut msgs = std::collections::HashMap::new();
+        for policy in PolicyKind::ALL {
+            let out = run_sweep_point(policy, rate, 42);
+            let c = out.metrics.counters();
+            let opr = c.im_ops as f64 / c.im_requests.max(1) as f64;
+            ops_per_req.insert(policy, opr);
+            msgs.insert(policy, c.messages as f64);
+            println!(
+                "| {rate} | {policy} | {opr:.1} | {:.2} | {} | {:.2} |",
+                c.im_busy.value(),
+                c.messages,
+                out.metrics.total_requests() as f64 / out.metrics.completed().max(1) as f64,
+            );
+        }
+        worst_ops_ratio = worst_ops_ratio
+            .max(ops_per_req[&PolicyKind::Aim] / ops_per_req[&PolicyKind::Crossroads]);
+        worst_msg_ratio =
+            worst_msg_ratio.max(msgs[&PolicyKind::Aim] / msgs[&PolicyKind::Crossroads]);
+    }
+
+    println!("\n## Paper vs measured\n");
+    crossroads_bench::table_header(&["claim", "paper", "measured"]);
+    println!("| AIM/Crossroads compute per request | up to 16x | {worst_ops_ratio:.1}x |");
+    println!("| AIM/Crossroads network traffic | up to 20x | {worst_msg_ratio:.1}x |");
+}

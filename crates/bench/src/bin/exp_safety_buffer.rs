@@ -1,0 +1,55 @@
+//! E1 — Ch. 3 / Fig. 3.1: the safety-buffer calibration experiment.
+//!
+//! Reproduces the step-velocity trials (hold v0, accelerate/decelerate,
+//! hold v1) with the calibrated noise model, 20 repetitions of the two
+//! worst-case tests, and derives `E_long` plus the sync term.
+//!
+//! Paper reference: worst-case `E_long = ±75 mm` before sync; sync error
+//! 1 ms → 3 mm at 3 m/s; total ±78 mm.
+
+use crossroads_units::{MetersPerSecond, Seconds};
+use crossroads_vehicle::controller::{
+    ControllerConfig, calibrate_longitudinal_error, step_velocity_profile, track_profile,
+};
+use crossroads_vehicle::{ErrorModel, VehicleSpec};
+use rand::SeedableRng;
+use rand::rngs::StdRng;
+
+fn main() {
+    let spec = VehicleSpec::scale_model();
+    let errors = ErrorModel::scale_model();
+    let config = ControllerConfig::default();
+
+    println!("# E1 — safety-buffer calibration (Ch. 3, Fig. 3.1)\n");
+
+    // Per-trial detail for the worst-case positive test (0.1 -> 3.0 m/s).
+    println!("## 20 trials, 0.1 -> 3.0 m/s step (worst-case positive)\n");
+    crossroads_bench::table_header(&["trial", "final error (mm)", "max |error| (mm)"]);
+    let up = step_velocity_profile(
+        MetersPerSecond::new(0.1),
+        spec.v_max,
+        Seconds::new(1.0),
+        &spec,
+    );
+    let mut rng = StdRng::seed_from_u64(2017);
+    for trial in 1..=20 {
+        let out = track_profile(&up, &spec, &errors, &config, &mut rng);
+        println!(
+            "| {trial} | {:+.1} | {:.1} |",
+            out.final_error.as_millis(),
+            out.max_abs_error.as_millis()
+        );
+    }
+
+    // The full calibration: worst of 20x both directions.
+    let mut rng = StdRng::seed_from_u64(2017);
+    let e_long = calibrate_longitudinal_error(&spec, &errors, &config, 20, &mut rng);
+    let sync = errors.sync_position_error(spec.v_max);
+    let total = e_long + sync;
+
+    println!("\n## Derived buffer\n");
+    crossroads_bench::table_header(&["quantity", "paper", "measured"]);
+    println!("| worst-case E_long (mm) | 75 | {:.1} |", e_long.as_millis());
+    println!("| sync error at v_max (mm) | 3 | {:.1} |", sync.as_millis());
+    println!("| total buffer (mm) | 78 | {:.1} |", total.as_millis());
+}

@@ -1,0 +1,61 @@
+//! E4 — Fig. 7.1: average wait time on the 1/10-scale model, ten
+//! scenarios x ten repeats, VT-IM vs Crossroads.
+//!
+//! Paper reference: Crossroads is 1.24x better in the worst case
+//! (scenario 1), 1.08x in the best case (scenario 10), ~24% lower wait
+//! overall.
+
+use crossroads_core::policy::PolicyKind;
+use crossroads_core::sim::{SimConfig, run_simulation};
+use crossroads_traffic::{ScenarioId, scale_model_scenario};
+
+const REPEATS: u64 = 10;
+
+fn average_wait(policy: PolicyKind, scenario: ScenarioId) -> f64 {
+    let mut total = 0.0;
+    for repeat in 0..REPEATS {
+        let workload = scale_model_scenario(scenario, repeat);
+        let config = SimConfig::scale_model(policy).with_seed(repeat * 1313 + 7);
+        let outcome = run_simulation(&config, &workload);
+        assert!(outcome.all_completed(), "{policy} {scenario} repeat {repeat}: incomplete");
+        assert!(outcome.safety.is_safe(), "{policy} {scenario} repeat {repeat}: unsafe");
+        total += outcome.metrics.average_wait().value();
+    }
+    total / REPEATS as f64
+}
+
+fn main() {
+    println!("# E4 — Fig. 7.1: scale-model average wait, 10 scenarios x {REPEATS} repeats\n");
+    crossroads_bench::table_header(&[
+        "scenario",
+        "VT-IM wait (s)",
+        "Crossroads wait (s)",
+        "VT/XR ratio",
+    ]);
+
+    let mut vt_sum = 0.0;
+    let mut xr_sum = 0.0;
+    let mut worst_ratio: f64 = 0.0;
+    let mut best_ratio = f64::INFINITY;
+    for id in ScenarioId::all() {
+        let vt = average_wait(PolicyKind::VtIm, id);
+        let xr = average_wait(PolicyKind::Crossroads, id);
+        vt_sum += vt;
+        xr_sum += xr;
+        let ratio = vt / xr.max(1e-9);
+        worst_ratio = worst_ratio.max(ratio);
+        best_ratio = best_ratio.min(ratio);
+        println!("| {} | {vt:.3} | {xr:.3} | {ratio:.2}x |", id.0);
+    }
+    let (vt_avg, xr_avg) = (vt_sum / 10.0, xr_sum / 10.0);
+    println!("| **AVG** | {vt_avg:.3} | {xr_avg:.3} | {:.2}x |", vt_avg / xr_avg);
+
+    println!("\n## Paper vs measured\n");
+    crossroads_bench::table_header(&["claim", "paper", "measured"]);
+    println!("| largest scenario ratio | 1.24x | {worst_ratio:.2}x |");
+    println!("| smallest scenario ratio | 1.08x | {best_ratio:.2}x |");
+    println!(
+        "| average wait reduction | 24% | {:.0}% |",
+        (1.0 - xr_avg / vt_avg) * 100.0
+    );
+}

@@ -1,0 +1,70 @@
+//! E3 — Fig. 6.2: the max-acceleration trajectory construction.
+//!
+//! Validates the closed-form `T_Acc`, `ΔX`, `D_E`, `EToA` quantities
+//! against the bicycle-model integrator, across initial speeds.
+
+use crossroads_units::kinematics;
+use crossroads_units::{Meters, MetersPerSecond, MetersPerSecondSquared, Point2, Radians, Seconds};
+use crossroads_vehicle::dynamics::{BicycleState, integrate_bicycle_over};
+use crossroads_vehicle::{SpeedProfile, VehicleSpec};
+
+fn main() {
+    let spec = VehicleSpec::scale_model();
+    let d_e = Meters::new(3.0);
+
+    println!("# E3 — Fig. 6.2 trajectory construction (V_max = {}, a_max = {})\n", spec.v_max, spec.a_max);
+    crossroads_bench::table_header(&[
+        "V_init (m/s)",
+        "T_Acc (s)",
+        "dX (m)",
+        "EToA analytic (s)",
+        "EToA integrated (s)",
+        "error (ms)",
+    ]);
+
+    for v0 in [0.0, 0.5, 1.0, 1.5, 2.0, 2.5, 3.0] {
+        let v_init = MetersPerSecond::new(v0);
+        let profile = SpeedProfile::earliest_arrival(v_init, &spec, d_e)
+            .expect("3 m leaves room to reach v_max from any v0 <= v_max");
+
+        // Integrate the same maneuver with the bicycle model: accelerate
+        // then cruise, straight line.
+        let wheelbase = spec.wheelbase;
+        let accel_state = integrate_bicycle_over(
+            BicycleState::new(Point2::ORIGIN, Radians::new(0.0), v_init),
+            wheelbase,
+            Radians::new(0.0),
+            spec.a_max,
+            profile.accel_time,
+            Seconds::new(0.0005),
+        );
+        let covered = accel_state.position.x;
+        let remaining = d_e - covered;
+        let integrated_total = profile.accel_time + remaining / accel_state.speed;
+
+        println!(
+            "| {v0:.1} | {:.4} | {:.4} | {:.4} | {:.4} | {:.3} |",
+            profile.accel_time.value(),
+            profile.accel_distance.value(),
+            profile.total_time.value(),
+            integrated_total.value(),
+            (integrated_total - profile.total_time).abs().as_millis(),
+        );
+    }
+
+    // The worked example in the module docs: V_init = 1, a = 2, D_E = 3.
+    let p = kinematics::accel_cruise(
+        MetersPerSecond::new(1.0),
+        MetersPerSecond::new(3.0),
+        MetersPerSecondSquared::new(2.0),
+        d_e,
+    )
+    .expect("reference profile");
+    println!("\nReference point: V_init=1 m/s gives T_Acc=1 s, dX=2 m, EToA=1.3333 s");
+    println!(
+        "Computed:        T_Acc={:.4} s, dX={:.4} m, EToA={:.4} s",
+        p.accel_time.value(),
+        p.accel_distance.value(),
+        p.total_time.value()
+    );
+}

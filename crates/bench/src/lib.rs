@@ -1,0 +1,114 @@
+//! Shared plumbing for the experiment binaries (`src/bin/exp_*.rs`) that
+//! regenerate the paper's tables and figures, and for the Criterion
+//! micro-benchmarks backing the computation-time series.
+//!
+//! Every binary prints a self-contained markdown table with the paper's
+//! reference values alongside the measured ones; `EXPERIMENTS.md` records
+//! a captured run.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use crossroads_core::policy::PolicyKind;
+use crossroads_core::sim::{SimConfig, SimOutcome, run_simulation};
+use crossroads_traffic::{Arrival, PoissonConfig, generate_poisson};
+use crossroads_units::MetersPerSecond;
+use rand::SeedableRng;
+use rand::rngs::StdRng;
+
+/// The input flow rates of Fig. 7.2 (cars/second/lane).
+pub const SWEEP_RATES: [f64; 9] = [0.05, 0.1, 0.2, 0.3, 0.4, 0.6, 0.8, 1.0, 1.25];
+
+/// The approach-speed fraction of `v_max` used by the sweep workloads
+/// (vehicles cross the transmission line at 2/3 of the road limit).
+pub const LINE_SPEED_FRACTION: f64 = 2.0 / 3.0;
+
+/// Builds the Fig. 7.2 workload for one sweep point.
+#[must_use]
+pub fn sweep_workload(config: &SimConfig, rate: f64, seed: u64) -> Vec<Arrival> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let line_speed: MetersPerSecond = config.typical_line_speed();
+    generate_poisson(&PoissonConfig::sweep_point(rate, line_speed), &mut rng)
+}
+
+/// Runs one full-scale sweep point and asserts the run is sound.
+///
+/// # Panics
+///
+/// Panics if any vehicle fails to complete or the safety audit fails —
+/// figure data from a broken run would be meaningless.
+#[must_use]
+pub fn run_sweep_point(policy: PolicyKind, rate: f64, seed: u64) -> SimOutcome {
+    let config = SimConfig::full_scale(policy).with_seed(seed);
+    let workload = sweep_workload(&config, rate, seed.wrapping_add(1000));
+    let outcome = run_simulation(&config, &workload);
+    assert!(
+        outcome.all_completed(),
+        "{policy} at rate {rate}: {}/{} vehicles completed",
+        outcome.metrics.completed(),
+        outcome.spawned
+    );
+    assert!(outcome.safety.is_safe(), "{policy} at rate {rate}: unsafe run");
+    outcome
+}
+
+/// The "Ideal" series of Fig. 7.2: a Crossroads scheduler with a perfect
+/// substrate — instantaneous radio and computation, zero buffers, no
+/// residual uncertainty. It upper-bounds what any IM could carry on this
+/// geometry.
+#[must_use]
+pub fn ideal_config() -> SimConfig {
+    let mut config = SimConfig::full_scale(PolicyKind::Crossroads);
+    config.channel = crossroads_net::ChannelConfig::ideal();
+    config.computation = crossroads_net::ComputationDelayModel::instant();
+    config.buffers.e_long = crossroads_units::Meters::ZERO;
+    config.buffers.rtd = crossroads_net::RtdBudget {
+        wc_network: crossroads_units::Seconds::ZERO,
+        wc_computation: crossroads_units::Seconds::ZERO,
+    };
+    config
+}
+
+/// Runs the Ideal series at one sweep point.
+///
+/// # Panics
+///
+/// Panics on an unsound run, as [`run_sweep_point`] does.
+#[must_use]
+pub fn run_ideal_point(rate: f64, seed: u64) -> SimOutcome {
+    let config = ideal_config().with_seed(seed);
+    let workload = sweep_workload(&config, rate, seed.wrapping_add(1000));
+    let outcome = run_simulation(&config, &workload);
+    assert!(outcome.all_completed(), "ideal at rate {rate}: incomplete");
+    assert!(outcome.safety.is_safe(), "ideal at rate {rate}: unsafe");
+    outcome
+}
+
+/// Carried throughput in cars/second/lane — Fig. 7.2's y-axis.
+#[must_use]
+pub fn carried_per_lane(outcome: &SimOutcome) -> f64 {
+    outcome.metrics.flow_rate() / 4.0
+}
+
+/// Prints a markdown table header.
+pub fn table_header(columns: &[&str]) {
+    println!("| {} |", columns.join(" | "));
+    println!("|{}|", columns.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_workload_is_deterministic() {
+        let config = SimConfig::full_scale(PolicyKind::Crossroads);
+        assert_eq!(sweep_workload(&config, 0.3, 1), sweep_workload(&config, 0.3, 1));
+    }
+
+    #[test]
+    fn run_sweep_point_is_sound_at_low_rate() {
+        let out = run_sweep_point(PolicyKind::Crossroads, 0.05, 9);
+        assert!(carried_per_lane(&out) > 0.0);
+    }
+}

@@ -1,0 +1,121 @@
+//! Safety-buffer arithmetic (Ch. 3–4).
+//!
+//! Every IM surrounds vehicles with a longitudinal buffer covering
+//! position uncertainty. All three policies carry the measured sensing +
+//! control envelope `E_long` and the sync term; only VT-IM must *also*
+//! absorb the worst-case RTD as `v_max · WC-RTD` of extra length:
+//!
+//! | policy     | buffer per end        | extra length        |
+//! |------------|-----------------------|---------------------|
+//! | VT-IM      | `E_long`              | `v_max · WC-RTD`    |
+//! | Crossroads | `E_long`              | —                   |
+//! | AIM        | `E_long`              | —                   |
+
+use crossroads_net::RtdBudget;
+use crossroads_units::{Meters, MetersPerSecond};
+use crossroads_vehicle::VehicleSpec;
+
+use crate::policy::PolicyKind;
+
+/// The buffer model an IM instance applies to vehicle footprints.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct BufferModel {
+    /// Measured sensing + control + sync envelope `E_long` (±78 mm on the
+    /// testbed), applied at the front and the rear.
+    pub e_long: Meters,
+    /// The RTD budget (used by VT-IM only).
+    pub rtd: RtdBudget,
+    /// Set `false` to deliberately drop the RTD term from VT-IM — the
+    /// failure-injection configuration showing why the buffer is needed.
+    pub vt_rtd_buffer_enabled: bool,
+}
+
+impl BufferModel {
+    /// The testbed's calibrated model: `E_long` = 78 mm, WC-RTD = 150 ms.
+    #[must_use]
+    pub fn scale_model() -> Self {
+        BufferModel {
+            e_long: Meters::from_millis(78.0),
+            rtd: RtdBudget::scale_model(),
+            vt_rtd_buffer_enabled: true,
+        }
+    }
+
+    /// A full-scale model: 0.5 m `E_long`, the same 150 ms WC-RTD.
+    #[must_use]
+    pub fn full_scale() -> Self {
+        BufferModel {
+            e_long: Meters::new(0.5),
+            rtd: RtdBudget::scale_model(),
+            vt_rtd_buffer_enabled: true,
+        }
+    }
+
+    /// The effective longitudinal footprint of a vehicle under `policy`:
+    /// body length + `2·E_long` + (VT-IM only) `v_max · WC-RTD`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use crossroads_core::{BufferModel, PolicyKind};
+    /// use crossroads_vehicle::VehicleSpec;
+    ///
+    /// let b = BufferModel::scale_model();
+    /// let spec = VehicleSpec::scale_model();
+    /// let vt = b.effective_length(PolicyKind::VtIm, &spec);
+    /// let xr = b.effective_length(PolicyKind::Crossroads, &spec);
+    /// // 0.568 + 2×0.078 = 0.724; VT adds 3 m/s × 0.150 s = 0.45.
+    /// assert!((xr.value() - 0.724).abs() < 1e-9);
+    /// assert!((vt.value() - 1.174).abs() < 1e-9);
+    /// ```
+    #[must_use]
+    pub fn effective_length(&self, policy: PolicyKind, spec: &VehicleSpec) -> Meters {
+        spec.length + self.e_long * 2.0 + self.rtd_extra(policy, spec.v_max)
+    }
+
+    /// The VT-IM RTD term alone (zero for the other policies, or when
+    /// injection disabled it).
+    #[must_use]
+    pub fn rtd_extra(&self, policy: PolicyKind, v_max: MetersPerSecond) -> Meters {
+        match policy {
+            PolicyKind::VtIm if self.vt_rtd_buffer_enabled => self.rtd.position_buffer(v_max),
+            _ => Meters::ZERO,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vt_pays_the_rtd_tax() {
+        let b = BufferModel::scale_model();
+        let spec = VehicleSpec::scale_model();
+        let vt = b.effective_length(PolicyKind::VtIm, &spec);
+        let xr = b.effective_length(PolicyKind::Crossroads, &spec);
+        let aim = b.effective_length(PolicyKind::Aim, &spec);
+        assert_eq!(xr, aim);
+        assert!((vt - xr).value() > 0.0);
+        assert!(((vt - xr).value() - 0.45).abs() < 1e-9);
+    }
+
+    #[test]
+    fn disabling_the_rtd_buffer_shrinks_vt() {
+        let mut b = BufferModel::scale_model();
+        b.vt_rtd_buffer_enabled = false;
+        let spec = VehicleSpec::scale_model();
+        assert_eq!(
+            b.effective_length(PolicyKind::VtIm, &spec),
+            b.effective_length(PolicyKind::Crossroads, &spec)
+        );
+    }
+
+    #[test]
+    fn e_long_is_applied_twice() {
+        let b = BufferModel::scale_model();
+        let spec = VehicleSpec::scale_model();
+        let l = b.effective_length(PolicyKind::Aim, &spec);
+        assert!((l.value() - (0.568 + 0.156)).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,347 @@
+//! AIM — the query-based FCFS baseline (Dresner & Stone, Ch. 5.2).
+//!
+//! The vehicle proposes a time of arrival at its current speed; the IM
+//! *simulates the trajectory* across a space-time tile grid and answers
+//! yes or no. A rejected vehicle slows down and asks again — "in many
+//! cases [it] comes to a complete stop". The repeated trajectory
+//! simulation is AIM's computational burden (up to 16× Crossroads) and
+//! the re-requests its network burden (up to 20×).
+
+use std::collections::{HashMap, HashSet};
+
+use crossroads_intersection::tiles::TileInterval;
+use crossroads_intersection::{
+    IntersectionGeometry, Movement, MovementPath, TileGrid, TileSchedule,
+};
+use crossroads_units::{Meters, Seconds, TimePoint};
+use crossroads_vehicle::{VehicleId, VehicleSpec};
+
+use crate::buffer::BufferModel;
+use crate::policy::{IntersectionPolicy, PolicyKind};
+use crate::request::{CrossingCommand, CrossingRequest};
+
+/// How a proposed crossing enters the box.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum EntryMode {
+    /// Hold this speed through the box (the classic AIM query).
+    Constant(crossroads_units::MetersPerSecond),
+    /// Enter at `entry_speed` while accelerating toward `v_max` (a
+    /// standstill launch with a queue run-up).
+    Launch {
+        /// Speed at the box entry plane.
+        entry_speed: crossroads_units::MetersPerSecond,
+    },
+}
+
+/// The AIM baseline.
+pub struct AimPolicy {
+    geometry: IntersectionGeometry,
+    buffers: BufferModel,
+    tiles: TileSchedule,
+    paths: HashMap<Movement, MovementPath>,
+    reserved: HashSet<VehicleId>,
+    /// Trajectory-simulation time step.
+    sim_step: Seconds,
+    /// Minimum lead the acceptance needs to reach the vehicle.
+    response_margin: Seconds,
+    ops: u64,
+}
+
+impl AimPolicy {
+    /// Builds an AIM over an `n × n` tile grid.
+    #[must_use]
+    pub fn new(
+        geometry: IntersectionGeometry,
+        buffers: BufferModel,
+        grid_side: usize,
+        sim_step: Seconds,
+    ) -> Self {
+        assert!(sim_step.value() > 0.0, "simulation step must be positive");
+        let grid = TileGrid::new(geometry.box_size, grid_side);
+        let paths = Movement::all()
+            .into_iter()
+            .map(|m| (m, MovementPath::new(&geometry, m)))
+            .collect();
+        AimPolicy {
+            geometry,
+            buffers,
+            tiles: TileSchedule::new(grid),
+            paths,
+            reserved: HashSet::new(),
+            sim_step,
+            response_margin: Seconds::from_millis(20.0),
+            ops: 0,
+        }
+    }
+
+    /// Read access to the tile ledger (audits).
+    #[must_use]
+    pub fn tiles(&self) -> &TileSchedule {
+        &self.tiles
+    }
+
+    /// Simulates the proposed crossing and returns the space-time tiles it
+    /// would occupy. `entry` describes how the vehicle arrives: holding a
+    /// constant speed (the classic AIM query), or launching — entering at
+    /// `entry_speed` (momentum from its queue run-up) while still
+    /// accelerating toward `v_max`.
+    fn simulate_trajectory(
+        &mut self,
+        movement: Movement,
+        spec: &VehicleSpec,
+        toa: TimePoint,
+        entry: EntryMode,
+    ) -> Option<Vec<TileInterval>> {
+        let eff = self.buffers.effective_length(PolicyKind::Aim, spec);
+        let path = self.paths.get(&movement).expect("all movements have paths");
+        let total = self.geometry.path_length(movement) + eff;
+
+        // Front-bumper progress as a function of time since entry.
+        let progress: Box<dyn Fn(f64) -> f64> = match entry {
+            EntryMode::Constant(v) if v.value() > 1e-6 => {
+                let v = v.value();
+                Box::new(move |t: f64| v * t)
+            }
+            EntryMode::Constant(_) => return None, // crawling proposal: not schedulable
+            EntryMode::Launch { entry_speed } => {
+                let (a, vm) = (spec.a_max.value(), spec.v_max.value());
+                let v0 = entry_speed.value().clamp(0.0, vm);
+                let t_acc = (vm - v0) / a;
+                let d_acc = v0 * t_acc + 0.5 * a * t_acc * t_acc;
+                Box::new(move |t: f64| {
+                    if t < t_acc {
+                        v0 * t + 0.5 * a * t * t
+                    } else {
+                        d_acc + vm * (t - t_acc)
+                    }
+                })
+            }
+        };
+
+        let dt = self.sim_step.value();
+        let mut out = Vec::new();
+        let mut t = 0.0;
+        // March until the rear (plus buffers) clears the box.
+        loop {
+            let f = progress(t);
+            let center_s = Meters::new(f - eff.value() / 2.0);
+            let (pose, heading) = path.pose_at(center_s);
+            let covered = self.tiles.grid().tiles_for_footprint(pose, heading, eff, spec.width);
+            self.ops += covered.len() as u64 + 1;
+            for tile in covered {
+                out.push(TileInterval {
+                    tile,
+                    from: toa + Seconds::new(t - dt),
+                    until: toa + Seconds::new(t + 2.0 * dt),
+                });
+            }
+            if f >= total.value() {
+                break;
+            }
+            t += dt;
+            if t > 120.0 {
+                return None; // defensive: proposal never clears the box
+            }
+        }
+        Some(out)
+    }
+
+}
+
+impl IntersectionPolicy for AimPolicy {
+    fn kind(&self) -> PolicyKind {
+        PolicyKind::Aim
+    }
+
+    fn decide(&mut self, request: &CrossingRequest, now: TimePoint) -> CrossingCommand {
+        let Some(toa) = request.proposed_arrival else {
+            return CrossingCommand::AimReject; // malformed AIM request
+        };
+        if self.reserved.remove(&request.vehicle) {
+            // A re-request from a vehicle we already admitted: its state
+            // changed (or a duplicate crossed its response). Release the
+            // stale reservation and evaluate the new proposal from scratch.
+            self.tiles.release(request.vehicle);
+        }
+        if toa < now + self.response_margin {
+            return CrossingCommand::AimReject; // acceptance could not land in time
+        }
+        let entry = if request.stopped {
+            // The vehicle launches from its reported queue setback and
+            // enters with whatever momentum the run-up provides.
+            let entry_speed = crate::policy::common::reachable_speed(
+                crossroads_units::MetersPerSecond::ZERO,
+                &request.spec,
+                request.distance_to_intersection,
+            );
+            EntryMode::Launch { entry_speed }
+        } else {
+            EntryMode::Constant(request.speed)
+        };
+        let Some(intervals) =
+            self.simulate_trajectory(request.movement, &request.spec, toa, entry)
+        else {
+            return CrossingCommand::AimReject;
+        };
+        if self.tiles.try_reserve(request.vehicle, &intervals) {
+            self.reserved.insert(request.vehicle);
+            CrossingCommand::AimAccept { arrival: toa }
+        } else {
+            CrossingCommand::AimReject
+        }
+    }
+
+    fn on_exit(&mut self, vehicle: VehicleId, now: TimePoint) {
+        self.tiles.release(vehicle);
+        self.reserved.remove(&vehicle);
+        self.tiles.prune_before(now);
+    }
+
+    fn ops(&self) -> u64 {
+        self.ops
+    }
+
+    fn prune(&mut self, now: TimePoint) {
+        self.tiles.prune_before(now);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crossroads_intersection::{Approach, Turn};
+    use crossroads_units::MetersPerSecond;
+
+    fn policy() -> AimPolicy {
+        AimPolicy::new(
+            IntersectionGeometry::scale_model(),
+            BufferModel::scale_model(),
+            8,
+            Seconds::from_millis(20.0),
+        )
+    }
+
+    fn request(v: u32, approach: Approach, toa: f64) -> CrossingRequest {
+        CrossingRequest {
+            vehicle: VehicleId(v),
+            movement: Movement::new(approach, Turn::Straight),
+            spec: crossroads_vehicle::VehicleSpec::scale_model(),
+            transmitted_at: TimePoint::ZERO,
+            distance_to_intersection: Meters::new(3.0),
+            speed: MetersPerSecond::new(1.5),
+            stopped: false,
+            attempt: 1,
+            proposed_arrival: Some(TimePoint::new(toa)),
+        }
+    }
+
+    #[test]
+    fn free_box_accepts_first_proposal() {
+        let mut p = policy();
+        let cmd = p.decide(&request(1, Approach::South, 2.0), TimePoint::ZERO);
+        assert_eq!(cmd, CrossingCommand::AimAccept { arrival: TimePoint::new(2.0) });
+    }
+
+    #[test]
+    fn conflicting_simultaneous_proposal_rejected() {
+        let mut p = policy();
+        assert!(p.decide(&request(1, Approach::South, 2.0), TimePoint::ZERO).is_acceptance());
+        let cmd = p.decide(&request(2, Approach::East, 2.0), TimePoint::ZERO);
+        assert_eq!(cmd, CrossingCommand::AimReject);
+    }
+
+    #[test]
+    fn opposing_straights_cross_together() {
+        let mut p = policy();
+        assert!(p.decide(&request(1, Approach::South, 2.0), TimePoint::ZERO).is_acceptance());
+        // North straight uses disjoint tiles.
+        assert!(p.decide(&request(2, Approach::North, 2.0), TimePoint::ZERO).is_acceptance());
+    }
+
+    #[test]
+    fn rejected_vehicle_accepted_later() {
+        let mut p = policy();
+        assert!(p.decide(&request(1, Approach::South, 2.0), TimePoint::ZERO).is_acceptance());
+        assert!(!p.decide(&request(2, Approach::East, 2.0), TimePoint::ZERO).is_acceptance());
+        // Re-request proposing a later arrival: the box has cleared.
+        assert!(p.decide(&request(2, Approach::East, 4.0), TimePoint::new(0.5)).is_acceptance());
+    }
+
+    #[test]
+    fn proposal_too_close_to_now_rejected() {
+        let mut p = policy();
+        let cmd = p.decide(&request(1, Approach::South, 0.005), TimePoint::ZERO);
+        assert_eq!(cmd, CrossingCommand::AimReject);
+    }
+
+    #[test]
+    fn same_lane_proposals_serialize_via_entry_tiles() {
+        // Lane ordering is enforced physically by the simulator (a
+        // follower cannot transmit past an unscheduled leader); the policy
+        // itself still prevents *overlapping* same-lane crossings because
+        // both sweep the entry tiles.
+        let mut p = policy();
+        assert!(p.decide(&request(1, Approach::South, 2.0), TimePoint::ZERO).is_acceptance());
+        let tailgate = p.decide(&request(2, Approach::South, 2.1), TimePoint::ZERO);
+        assert_eq!(tailgate, CrossingCommand::AimReject);
+        // With a body-clearing headway the follower is admitted.
+        assert!(p.decide(&request(2, Approach::South, 3.5), TimePoint::new(0.2)).is_acceptance());
+    }
+
+    #[test]
+    fn duplicate_request_is_idempotent() {
+        let mut p = policy();
+        assert!(p.decide(&request(1, Approach::South, 2.0), TimePoint::ZERO).is_acceptance());
+        let again = p.decide(&request(1, Approach::South, 2.0), TimePoint::new(0.1));
+        assert!(again.is_acceptance());
+    }
+
+    #[test]
+    fn standstill_launch_simulates_acceleration() {
+        let mut p = policy();
+        let mut req = request(1, Approach::South, 2.0);
+        req.stopped = true;
+        req.speed = MetersPerSecond::ZERO;
+        req.distance_to_intersection = Meters::ZERO;
+        assert!(p.decide(&req, TimePoint::ZERO).is_acceptance());
+        // Its tiles span the slow launch: total reserved intervals exceed
+        // a fast cruise's.
+        let launch_tiles = p.tiles().reserved_intervals();
+        p.on_exit(VehicleId(1), TimePoint::new(10.0));
+        // Compare against a top-speed cruise, which clears the box much
+        // faster and therefore sweeps fewer space-time tiles.
+        let mut p2 = policy();
+        let mut fast = request(2, Approach::South, 2.0);
+        fast.speed = MetersPerSecond::new(3.0);
+        assert!(p2.decide(&fast, TimePoint::ZERO).is_acceptance());
+        assert!(launch_tiles > p2.tiles().reserved_intervals());
+    }
+
+    #[test]
+    fn exit_releases_tiles_and_order() {
+        let mut p = policy();
+        assert!(p.decide(&request(1, Approach::South, 2.0), TimePoint::ZERO).is_acceptance());
+        assert!(p.tiles().reserved_intervals() > 0);
+        p.on_exit(VehicleId(1), TimePoint::new(5.0));
+        assert_eq!(p.tiles().reserved_intervals(), 0);
+        assert!(!p.reserved.contains(&VehicleId(1)));
+    }
+
+    #[test]
+    fn ops_grow_with_each_simulation() {
+        let mut p = policy();
+        let _ = p.decide(&request(1, Approach::South, 2.0), TimePoint::ZERO);
+        let after_one = p.ops();
+        assert!(after_one > 10, "trajectory simulation is tile-heavy");
+        let _ = p.decide(&request(2, Approach::East, 2.0), TimePoint::ZERO);
+        assert!(p.ops() > after_one);
+    }
+
+    #[test]
+    fn missing_proposal_rejected() {
+        let mut p = policy();
+        let mut req = request(1, Approach::South, 2.0);
+        req.proposed_arrival = None;
+        assert_eq!(p.decide(&req, TimePoint::ZERO), CrossingCommand::AimReject);
+    }
+}

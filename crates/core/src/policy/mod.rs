@@ -1,0 +1,85 @@
+//! The three intersection-management policies.
+
+mod aim;
+pub mod common;
+mod crossroads;
+mod vt;
+
+pub use aim::AimPolicy;
+pub use common::{IntervalScheduler, SlotDecision, reachable_speed};
+pub use crossroads::CrossroadsPolicy;
+pub use vt::VtPolicy;
+
+use crossroads_units::TimePoint;
+use crossroads_vehicle::VehicleId;
+
+use crate::request::{CrossingCommand, CrossingRequest};
+
+/// Which IM protocol an instance speaks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum PolicyKind {
+    /// Naive velocity-transaction IM with the RTD safety buffer.
+    VtIm,
+    /// The paper's time-sensitive technique.
+    Crossroads,
+    /// Query-based AIM (Dresner & Stone).
+    Aim,
+}
+
+impl PolicyKind {
+    /// All three, in the paper's comparison order.
+    pub const ALL: [PolicyKind; 3] = [PolicyKind::VtIm, PolicyKind::Crossroads, PolicyKind::Aim];
+}
+
+impl std::fmt::Display for PolicyKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            PolicyKind::VtIm => "VT-IM",
+            PolicyKind::Crossroads => "Crossroads",
+            PolicyKind::Aim => "AIM",
+        };
+        f.write_str(s)
+    }
+}
+
+/// An intersection manager's decision logic, independent of the network
+/// and execution environment (the simulator drives any implementor
+/// identically — DESIGN.md §5.5).
+pub trait IntersectionPolicy {
+    /// Protocol identifier.
+    fn kind(&self) -> PolicyKind;
+
+    /// Decides on a crossing request. `now` is the instant the IM's
+    /// computation *finishes* (the modeled computation delay has already
+    /// elapsed).
+    fn decide(&mut self, request: &CrossingRequest, now: TimePoint) -> CrossingCommand;
+
+    /// The vehicle reported clearing the intersection; release its
+    /// reservation.
+    fn on_exit(&mut self, vehicle: VehicleId, now: TimePoint);
+
+    /// Cumulative scheduling operations performed (conflict-window scans
+    /// or tile checks) — the platform-independent computation metric of
+    /// Ch. 7.2.
+    fn ops(&self) -> u64;
+
+    /// Drops bookkeeping that ended before `now`.
+    fn prune(&mut self, now: TimePoint);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_display() {
+        assert_eq!(PolicyKind::VtIm.to_string(), "VT-IM");
+        assert_eq!(PolicyKind::Crossroads.to_string(), "Crossroads");
+        assert_eq!(PolicyKind::Aim.to_string(), "AIM");
+    }
+
+    #[test]
+    fn all_lists_three() {
+        assert_eq!(PolicyKind::ALL.len(), 3);
+    }
+}

@@ -1,0 +1,122 @@
+//! The V2I message payloads exchanged between vehicles and the IM.
+
+use crossroads_intersection::Movement;
+use crossroads_units::{Meters, MetersPerSecond, TimePoint};
+use crossroads_vehicle::{VehicleId, VehicleSpec};
+
+/// A crossing request — the union of the three protocols' uplink payloads.
+///
+/// - VT-IM sends `(V_C, D_T, VehicleInfo)` (Algorithm 2).
+/// - Crossroads adds the transmit timestamp `T_T` (Algorithm 8).
+/// - AIM instead proposes a time of arrival `TOA` at the current speed
+///   (Algorithm 6), and re-proposes from standstill once stopped.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct CrossingRequest {
+    /// Requester.
+    pub vehicle: VehicleId,
+    /// Requested movement (entry lane / exit lane of `VehicleInfo`).
+    pub movement: Movement,
+    /// Static vehicle parameters.
+    pub spec: VehicleSpec,
+    /// `T_T`: the vehicle-clock timestamp at transmission (carries the
+    /// residual sync error).
+    pub transmitted_at: TimePoint,
+    /// `D_T`: distance from the vehicle's front to the box entry at
+    /// transmission.
+    pub distance_to_intersection: Meters,
+    /// `V_C`: speed at transmission.
+    pub speed: MetersPerSecond,
+    /// Whether the vehicle is waiting at the line (standstill
+    /// re-request).
+    pub stopped: bool,
+    /// Monotone per-vehicle request counter (retransmissions and
+    /// re-requests increment it). The IM ignores out-of-date requests and
+    /// the vehicle ignores responses to superseded attempts, keeping the
+    /// IM's ledger and the vehicle's executed plan consistent.
+    pub attempt: u32,
+    /// AIM only: the proposed time of arrival.
+    pub proposed_arrival: Option<TimePoint>,
+}
+
+/// The IM's downlink decision — the union of the three protocols'
+/// response payloads.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum CrossingCommand {
+    /// VT-IM (Algorithm 1): "accelerate to `V_T` and maintain until exit",
+    /// executed the moment the response is received. `V_T = 0` commands a
+    /// stop (the vehicle re-requests from standstill).
+    VtTarget {
+        /// Commanded cruise speed.
+        target_speed: MetersPerSecond,
+        /// The entry time the IM scheduled (bookkeeping/diagnostics; the
+        /// vehicle cannot use it — that is VT-IM's flaw).
+        scheduled_entry: TimePoint,
+    },
+    /// Crossroads (Algorithm 7): execute at exactly `execute_at`
+    /// (`T_E`), arrive at `arrival` (`ToA`) at `target_speed` (`V_T`).
+    Crossroads {
+        /// `T_E`: fixed actuation instant.
+        execute_at: TimePoint,
+        /// `ToA`: scheduled box-entry instant.
+        arrival: TimePoint,
+        /// `V_T`: cruise speed to enter with (`v_max` for stop-and-go).
+        target_speed: MetersPerSecond,
+        /// When set, the vehicle brakes to a stop at the line after `T_E`
+        /// and launches at `arrival` from standstill.
+        stop_first: bool,
+    },
+    /// AIM accepted the proposed arrival; proceed exactly as proposed.
+    AimAccept {
+        /// The accepted entry time (echo of the proposal).
+        arrival: TimePoint,
+    },
+    /// AIM rejected; slow down and re-request (Algorithm 6).
+    AimReject,
+}
+
+impl CrossingCommand {
+    /// Whether this response lets the vehicle cross (an acceptance with a
+    /// concrete plan) as opposed to demanding further requests.
+    #[must_use]
+    pub fn is_acceptance(&self) -> bool {
+        match self {
+            CrossingCommand::VtTarget { target_speed, .. } => target_speed.value() > 0.0,
+            CrossingCommand::Crossroads { .. } | CrossingCommand::AimAccept { .. } => true,
+            CrossingCommand::AimReject => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn acceptance_classification() {
+        assert!(
+            CrossingCommand::VtTarget {
+                target_speed: MetersPerSecond::new(2.0),
+                scheduled_entry: TimePoint::new(1.0),
+            }
+            .is_acceptance()
+        );
+        assert!(
+            !CrossingCommand::VtTarget {
+                target_speed: MetersPerSecond::ZERO,
+                scheduled_entry: TimePoint::new(1.0),
+            }
+            .is_acceptance()
+        );
+        assert!(
+            CrossingCommand::Crossroads {
+                execute_at: TimePoint::new(0.15),
+                arrival: TimePoint::new(2.0),
+                target_speed: MetersPerSecond::new(3.0),
+                stop_first: false,
+            }
+            .is_acceptance()
+        );
+        assert!(CrossingCommand::AimAccept { arrival: TimePoint::new(2.0) }.is_acceptance());
+        assert!(!CrossingCommand::AimReject.is_acceptance());
+    }
+}

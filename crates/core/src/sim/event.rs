@@ -1,0 +1,39 @@
+//! The event alphabet of the closed-loop simulation.
+
+use crossroads_vehicle::VehicleId;
+
+use crate::request::{CrossingCommand, CrossingRequest};
+
+/// Everything that can happen in the world. Events carrying a
+/// `plan_version` are ignored when the vehicle has re-planned since they
+/// were scheduled (cheap logical cancellation).
+#[derive(Debug, Clone)]
+pub(crate) enum Event {
+    /// A workload vehicle crosses the transmission line (index into the
+    /// workload slice).
+    LineCrossing(usize),
+    /// Clock synchronization with the IM finished.
+    SyncComplete(VehicleId),
+    /// The vehicle should (re)transmit its crossing request; `attempt`
+    /// guards against stale firings.
+    SendRequest(VehicleId, u32),
+    /// An uplink frame reached the IM radio.
+    UplinkArrival(VehicleId, CrossingRequest),
+    /// The IM finished computing this response (for the tagged request
+    /// attempt); transmit it.
+    ImFinish(VehicleId, u32, CrossingCommand),
+    /// A downlink frame reached the vehicle, answering the tagged attempt.
+    DownlinkArrival(VehicleId, u32, CrossingCommand),
+    /// The vehicle's response timeout elapsed for `attempt`.
+    ResponseTimeout(VehicleId, u32),
+    /// Last moment to start braking without a plan (`plan_version` guard).
+    StopGuard(VehicleId, u32),
+    /// The braking profile completed; the vehicle now waits at the line.
+    MarkStopped(VehicleId, u32),
+    /// Front bumper crosses into the box (`plan_version` guard).
+    BoxEntry(VehicleId, u32),
+    /// Rear bumper clears the box (`plan_version` guard).
+    BoxExit(VehicleId, u32),
+    /// The vehicle's exit notification reached the IM.
+    ImExitNotice(VehicleId),
+}

@@ -1,0 +1,228 @@
+//! The closed-loop simulation: configuration, runner and outcome.
+//!
+//! One [`run_simulation`] call replaces one testbed experiment: the
+//! workload's vehicles cross the transmission line, sync clocks, request
+//! crossings over the lossy radio, follow the plans the configured IM
+//! hands out, and report their exits. The outcome carries the Fig. 7.1 /
+//! 7.2 metrics, the load counters of Ch. 7.2, and a ground-truth safety
+//! audit.
+
+mod event;
+pub mod safety;
+mod world;
+
+pub use safety::{BoxOccupancy, SafetyReport, SafetyViolation};
+
+use crossroads_des::Simulation;
+use crossroads_intersection::{ConflictTable, IntersectionGeometry, ReservationTable};
+use crossroads_metrics::RunMetrics;
+use crossroads_net::{ChannelConfig, ComputationDelayModel};
+use crossroads_traffic::Arrival;
+use crossroads_units::{MetersPerSecond, Seconds, TimePoint};
+use crossroads_vehicle::VehicleSpec;
+
+use crate::buffer::BufferModel;
+use crate::policy::{AimPolicy, CrossroadsPolicy, IntersectionPolicy, PolicyKind, VtPolicy};
+
+use self::event::Event;
+use self::world::World;
+
+/// Everything one experiment needs.
+#[derive(Debug, Clone, Copy)]
+pub struct SimConfig {
+    /// Which IM runs the intersection.
+    pub policy: PolicyKind,
+    /// Physical intersection dimensions.
+    pub geometry: IntersectionGeometry,
+    /// The (uniform) vehicle platform.
+    pub spec: VehicleSpec,
+    /// Buffer arithmetic (sensing envelope, RTD budget).
+    pub buffers: BufferModel,
+    /// Radio model.
+    pub channel: ChannelConfig,
+    /// IM computation-time model.
+    pub computation: ComputationDelayModel,
+    /// RNG seed: same seed + same workload ⇒ identical trace.
+    pub seed: u64,
+    /// AIM tile grid resolution (tiles per side).
+    pub aim_grid_side: usize,
+    /// AIM trajectory-simulation step.
+    pub aim_sim_step: Seconds,
+    /// Delay before a rejected AIM vehicle re-requests.
+    pub aim_retry_interval: Seconds,
+    /// Speed multiplier a rejected AIM vehicle applies (< 1).
+    pub aim_slowdown_factor: f64,
+    /// Cruise-speed floor (fraction of `v_max`) below which the interval
+    /// policies schedule a stop instead of a crawl.
+    pub crawl_fraction: f64,
+    /// Wall-clock cap on the simulation after the last arrival.
+    pub horizon_slack: Seconds,
+}
+
+impl SimConfig {
+    /// The 1/10-scale testbed configuration of Ch. 2.
+    #[must_use]
+    pub fn scale_model(policy: PolicyKind) -> Self {
+        SimConfig {
+            policy,
+            geometry: IntersectionGeometry::scale_model(),
+            spec: VehicleSpec::scale_model(),
+            buffers: BufferModel::scale_model(),
+            channel: ChannelConfig::scale_model(),
+            computation: ComputationDelayModel::scale_model(),
+            seed: 0,
+            aim_grid_side: 8,
+            aim_sim_step: Seconds::from_millis(20.0),
+            aim_retry_interval: Seconds::from_millis(300.0),
+            aim_slowdown_factor: 0.7,
+            crawl_fraction: 0.30,
+            horizon_slack: Seconds::new(1200.0),
+        }
+    }
+
+    /// A full-scale urban intersection for the Fig. 7.2 sweeps.
+    ///
+    /// The IM here is a modern machine (the paper's i7-6700 desktop), so a
+    /// single decision costs ~2 ms rather than the 34 ms the Matlab-on-
+    /// laptop testbed measured; the *protocol* WC-RTD budget stays at the
+    /// thesis' 150 ms bound regardless (it is a contract, not a
+    /// measurement).
+    #[must_use]
+    pub fn full_scale(policy: PolicyKind) -> Self {
+        SimConfig {
+            geometry: IntersectionGeometry::full_scale(),
+            spec: VehicleSpec::full_scale(),
+            buffers: BufferModel::full_scale(),
+            computation: ComputationDelayModel {
+                base: Seconds::from_millis(1.0),
+                per_queued: Seconds::from_millis(2.0),
+                per_op: Seconds::from_millis(0.05),
+            },
+            // Coarse reservation granularity, as in Dresner & Stone's
+            // original evaluation era. The tiles.rs ablation bench shows
+            // AIM's throughput overtaking Crossroads at fine granularity
+            // (>= 4 tiles/side) — the paper's AIM-vs-Crossroads gap holds
+            // for coarse-granularity AIM.
+            aim_grid_side: 3,
+            aim_sim_step: Seconds::from_millis(50.0),
+            ..SimConfig::scale_model(policy)
+        }
+    }
+
+    /// Replaces the RNG seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Replaces the buffer model (failure injection, ablations).
+    #[must_use]
+    pub fn with_buffers(mut self, buffers: BufferModel) -> Self {
+        self.buffers = buffers;
+        self
+    }
+
+    /// The speed vehicles carry across the transmission line in the
+    /// standard workloads — two thirds of the road limit, leaving the
+    /// velocity-transaction IMs headroom to command an acceleration
+    /// (used by workload builders; not enforced here).
+    #[must_use]
+    pub fn typical_line_speed(&self) -> MetersPerSecond {
+        self.spec.v_max * (2.0 / 3.0)
+    }
+
+    pub(crate) fn build_policy(&self, conflicts: &ConflictTable) -> Box<dyn IntersectionPolicy> {
+        match self.policy {
+            PolicyKind::VtIm => Box::new(VtPolicy::new(
+                self.geometry,
+                ReservationTable::new(conflicts.clone()),
+                self.buffers,
+                self.crawl_fraction,
+            )),
+            PolicyKind::Crossroads => Box::new(CrossroadsPolicy::new(
+                self.geometry,
+                ReservationTable::new(conflicts.clone()),
+                self.buffers,
+                self.crawl_fraction,
+            )),
+            PolicyKind::Aim => Box::new(AimPolicy::new(
+                self.geometry,
+                self.buffers,
+                self.aim_grid_side,
+                self.aim_sim_step,
+            )),
+        }
+    }
+}
+
+/// Result of one run.
+#[derive(Debug)]
+pub struct SimOutcome {
+    /// Per-vehicle delays and aggregate load counters.
+    pub metrics: RunMetrics,
+    /// Ground-truth conflict audit of the physical box occupancies.
+    pub safety: SafetyReport,
+    /// Vehicles in the workload (compare with `metrics.completed()`).
+    pub spawned: usize,
+    /// Simulated instant the run ended.
+    pub ended_at: TimePoint,
+}
+
+impl SimOutcome {
+    /// Whether every spawned vehicle cleared the intersection.
+    #[must_use]
+    pub fn all_completed(&self) -> bool {
+        self.metrics.completed() == self.spawned
+    }
+
+    /// Number of vehicles that never cleared the box (stranded at the
+    /// horizon — e.g. under a dead radio).
+    #[must_use]
+    pub fn stranded(&self) -> usize {
+        self.spawned - self.metrics.completed()
+    }
+}
+
+/// Runs one experiment: `workload` through the configured IM.
+///
+/// Deterministic: the same `(config, workload)` pair always produces the
+/// identical outcome.
+///
+/// # Panics
+///
+/// Panics if the workload is not sorted by arrival time (validate with
+/// [`crossroads_traffic::validate_workload`] first).
+#[must_use]
+pub fn run_simulation(config: &SimConfig, workload: &[Arrival]) -> SimOutcome {
+    let mut sim: Simulation<Event> = Simulation::new();
+    let mut world = World::new(config, workload);
+    for (i, arr) in workload.iter().enumerate() {
+        sim.schedule(arr.at_line, Event::LineCrossing(i));
+    }
+    let horizon = workload
+        .last()
+        .map_or(TimePoint::ZERO, |a| a.at_line + config.horizon_slack);
+    sim.run_until(horizon, |sim, ev| {
+        world.handle(sim, ev);
+        true
+    });
+
+    let mut metrics = std::mem::take(&mut world.metrics);
+    let mut counters = world.counters;
+    counters.im_ops = world.policy_ops();
+    let stats = world.channel_stats();
+    counters.messages = stats.total_sent();
+    counters.messages_lost = stats.lost;
+    metrics.add_counters(&counters);
+
+    let occupancies = std::mem::take(&mut world.occupancies);
+    let safety = SafetyReport::audit(occupancies, &config.geometry, &config.spec);
+
+    SimOutcome {
+        metrics,
+        safety,
+        spawned: workload.len(),
+        ended_at: sim.now(),
+    }
+}

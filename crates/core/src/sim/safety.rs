@@ -1,0 +1,289 @@
+//! Post-hoc safety auditing.
+//!
+//! The simulator records each vehicle's *executed* motion plan through
+//! the box. The audit then replays every pair of temporally overlapping
+//! crossings and sweeps their physical footprints (oriented rectangles,
+//! no buffers) along their paths, flagging any instant of geometric
+//! overlap — the ground-truth safety property all three IMs must uphold,
+//! and the property VT-IM loses when its RTD buffer is disabled (the
+//! paper's Ch. 4 argument, reproduced as failure injection).
+//!
+//! Box-interval overlap alone is *not* a violation: AIM legitimately
+//! platoons same-lane vehicles and interleaves spatially disjoint
+//! crossings inside the box — that is precisely its tile-level advantage.
+
+use crossroads_intersection::{IntersectionGeometry, Movement, MovementPath};
+use crossroads_units::{Meters, OrientedRect, Seconds, TimePoint};
+use crossroads_vehicle::{SpeedProfile, VehicleId, VehicleSpec};
+
+/// One vehicle's physical presence in the box: the time window plus the
+/// executed longitudinal plan, so positions can be replayed exactly.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct BoxOccupancy {
+    /// Who.
+    pub vehicle: VehicleId,
+    /// Which movement it executed.
+    pub movement: Movement,
+    /// Front bumper entered the box.
+    pub entered: TimePoint,
+    /// Rear bumper cleared the box.
+    pub exited: TimePoint,
+    /// The executed longitudinal profile (path position measured from the
+    /// transmission line).
+    pub profile: SpeedProfile,
+    /// Path position of the box entry in the profile's coordinate (the
+    /// transmission-line distance).
+    pub line_offset: Meters,
+}
+
+impl BoxOccupancy {
+    /// Front-bumper path position relative to box entry at time `t`.
+    #[must_use]
+    pub fn front_at(&self, t: TimePoint) -> Meters {
+        self.profile.position_at(t) - self.line_offset
+    }
+}
+
+/// A pair of vehicles whose physical footprints overlapped.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct SafetyViolation {
+    /// First vehicle (earlier entry).
+    pub first: VehicleId,
+    /// Second vehicle.
+    pub second: VehicleId,
+    /// First instant of contact observed.
+    pub at: TimePoint,
+}
+
+/// The audit result.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct SafetyReport {
+    occupancies: Vec<BoxOccupancy>,
+    violations: Vec<SafetyViolation>,
+}
+
+/// Audit sampling step: 5 ms resolves any contact lasting longer than the
+/// blink of a bumper at scale speeds.
+const AUDIT_STEP: Seconds = Seconds::new(0.005);
+
+impl SafetyReport {
+    /// Audits a completed run by geometric replay of the bare vehicle
+    /// bodies (no margin): flags actual bumper contact.
+    #[must_use]
+    pub fn audit(
+        occupancies: Vec<BoxOccupancy>,
+        geometry: &IntersectionGeometry,
+        spec: &VehicleSpec,
+    ) -> Self {
+        Self::audit_with_margin(occupancies, geometry, spec, Meters::ZERO)
+    }
+
+    /// Audits with every footprint inflated by `margin` on all sides.
+    ///
+    /// This is the *guarantee-level* check: an IM that claims safety under
+    /// a position uncertainty of `margin` must keep the inflated envelopes
+    /// exclusive. With the correct buffers the reproduction passes at
+    /// `margin = E_long`; strip VT-IM's RTD buffer and it fails (Ch. 4).
+    #[must_use]
+    pub fn audit_with_margin(
+        occupancies: Vec<BoxOccupancy>,
+        geometry: &IntersectionGeometry,
+        spec: &VehicleSpec,
+        margin: Meters,
+    ) -> Self {
+        let mut violations = Vec::new();
+        let paths: std::collections::HashMap<Movement, MovementPath> = Movement::all()
+            .into_iter()
+            .map(|m| (m, MovementPath::new(geometry, m)))
+            .collect();
+        for (i, a) in occupancies.iter().enumerate() {
+            for b in &occupancies[i + 1..] {
+                let start = a.entered.max(b.entered);
+                let end = a.exited.min(b.exited);
+                if end <= start {
+                    continue; // never inside together
+                }
+                if let Some(at) = first_contact(a, b, &paths, spec, margin, start, end) {
+                    let (first, second) = if a.entered <= b.entered {
+                        (a.vehicle, b.vehicle)
+                    } else {
+                        (b.vehicle, a.vehicle)
+                    };
+                    violations.push(SafetyViolation { first, second, at });
+                }
+            }
+        }
+        SafetyReport { occupancies, violations }
+    }
+
+    /// No physical contact was observed.
+    #[must_use]
+    pub fn is_safe(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// The violating pairs.
+    #[must_use]
+    pub fn violations(&self) -> &[SafetyViolation] {
+        &self.violations
+    }
+
+    /// The raw occupancy log.
+    #[must_use]
+    pub fn occupancies(&self) -> &[BoxOccupancy] {
+        &self.occupancies
+    }
+}
+
+fn footprint(
+    occ: &BoxOccupancy,
+    path: &MovementPath,
+    spec: &VehicleSpec,
+    margin: Meters,
+    t: TimePoint,
+) -> OrientedRect {
+    let front = occ.front_at(t);
+    let center_s = front - spec.length / 2.0;
+    let (center, heading) = path.pose_at(center_s);
+    OrientedRect {
+        center,
+        heading,
+        length: spec.length + margin * 2.0,
+        width: spec.width + margin * 2.0,
+    }
+}
+
+fn first_contact(
+    a: &BoxOccupancy,
+    b: &BoxOccupancy,
+    paths: &std::collections::HashMap<Movement, MovementPath>,
+    spec: &VehicleSpec,
+    margin: Meters,
+    start: TimePoint,
+    end: TimePoint,
+) -> Option<TimePoint> {
+    let pa = paths.get(&a.movement).expect("all movements have paths");
+    let pb = paths.get(&b.movement).expect("all movements have paths");
+    let mut t = start;
+    while t <= end {
+        let ra = footprint(a, pa, spec, margin, t);
+        let rb = footprint(b, pb, spec, margin, t);
+        if ra.intersects(&rb) {
+            return Some(t);
+        }
+        t += AUDIT_STEP;
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crossroads_intersection::{Approach, Turn};
+    use crossroads_units::MetersPerSecond;
+
+    fn geometry() -> IntersectionGeometry {
+        IntersectionGeometry::scale_model()
+    }
+
+    fn spec() -> VehicleSpec {
+        VehicleSpec::scale_model()
+    }
+
+    /// An occupancy crossing at constant speed, entering the box at
+    /// `enter` (profile coordinates start at the box entry: offset 0).
+    fn occ(v: u32, a: Approach, turn: Turn, enter: f64, speed: f64) -> BoxOccupancy {
+        let g = geometry();
+        let s = spec();
+        let total = g.path_length(Movement::new(a, turn)) + s.length;
+        let profile = SpeedProfile::starting_at(
+            TimePoint::new(enter),
+            Meters::ZERO,
+            MetersPerSecond::new(speed),
+        );
+        BoxOccupancy {
+            vehicle: VehicleId(v),
+            movement: Movement::new(a, turn),
+            entered: TimePoint::new(enter),
+            exited: TimePoint::new(enter + total.value() / speed),
+            profile,
+            line_offset: Meters::ZERO,
+        }
+    }
+
+    fn audit(occs: Vec<BoxOccupancy>) -> SafetyReport {
+        SafetyReport::audit(occs, &geometry(), &spec())
+    }
+
+    #[test]
+    fn disjoint_crossings_are_safe() {
+        let r = audit(vec![
+            occ(1, Approach::South, Turn::Straight, 0.0, 1.5),
+            occ(2, Approach::East, Turn::Straight, 3.0, 1.5),
+        ]);
+        assert!(r.is_safe());
+    }
+
+    #[test]
+    fn simultaneous_perpendicular_straights_collide() {
+        // Both fronts hit the common crossing point together.
+        let r = audit(vec![
+            occ(1, Approach::South, Turn::Straight, 0.0, 1.5),
+            occ(2, Approach::East, Turn::Straight, 0.0, 1.5),
+        ]);
+        assert!(!r.is_safe(), "perpendicular simultaneous crossings must touch");
+        assert_eq!(r.violations().len(), 1);
+    }
+
+    #[test]
+    fn opposing_straights_pass_cleanly() {
+        let r = audit(vec![
+            occ(1, Approach::South, Turn::Straight, 0.0, 1.5),
+            occ(2, Approach::North, Turn::Straight, 0.0, 1.5),
+        ]);
+        assert!(r.is_safe(), "opposing lanes are laterally separated");
+    }
+
+    #[test]
+    fn same_lane_following_with_gap_is_safe() {
+        // 1.2 s headway at 1.5 m/s = 1.8 m gap >> 0.568 m body.
+        let r = audit(vec![
+            occ(1, Approach::South, Turn::Straight, 0.0, 1.5),
+            occ(2, Approach::South, Turn::Straight, 1.2, 1.5),
+        ]);
+        assert!(r.is_safe(), "platooning with a body-length gap is legal");
+    }
+
+    #[test]
+    fn same_lane_tailgating_collides() {
+        // 0.2 s headway at 1.5 m/s = 0.3 m gap < 0.568 m body: contact.
+        let r = audit(vec![
+            occ(1, Approach::South, Turn::Straight, 0.0, 1.5),
+            occ(2, Approach::South, Turn::Straight, 0.2, 1.5),
+        ]);
+        assert!(!r.is_safe());
+        assert_eq!(r.violations()[0].first, VehicleId(1));
+    }
+
+    #[test]
+    fn staggered_perpendicular_crossings_are_safe() {
+        // The east-bound vehicle crosses the shared point well after the
+        // south one has passed it, though both are briefly in the box.
+        let r = audit(vec![
+            occ(1, Approach::South, Turn::Straight, 0.0, 3.0),
+            occ(2, Approach::East, Turn::Straight, 0.55, 3.0),
+        ]);
+        assert!(
+            r.is_safe(),
+            "temporally staggered crossings through disjoint space are safe: {:?}",
+            r.violations()
+        );
+    }
+
+    #[test]
+    fn front_at_tracks_profile() {
+        let o = occ(1, Approach::South, Turn::Straight, 2.0, 1.5);
+        assert!((o.front_at(TimePoint::new(2.0)).value()).abs() < 1e-12);
+        assert!((o.front_at(TimePoint::new(3.0)).value() - 1.5).abs() < 1e-12);
+    }
+}

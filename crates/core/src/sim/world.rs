@@ -1,0 +1,883 @@
+//! The closed-loop world: vehicle agents, the IM server, and the radio,
+//! coupled on the DES.
+
+use std::collections::{HashMap, VecDeque};
+
+use crossroads_des::Simulation;
+use crossroads_intersection::ConflictTable;
+use crossroads_metrics::{Counters, RunMetrics, VehicleRecord};
+use crossroads_net::{Channel, LocalClock, SendOutcome, clock::testbed_sync};
+use crossroads_traffic::Arrival;
+use crossroads_units::kinematics;
+use crossroads_units::{Meters, MetersPerSecond, Seconds, TimePoint};
+use crossroads_vehicle::{
+    ProtocolEvent, ProtocolState, SpeedProfile, VehicleId, VehicleProtocol,
+};
+use rand::Rng;
+use rand::SeedableRng;
+use rand::rngs::StdRng;
+
+use crate::policy::IntersectionPolicy;
+use crate::request::{CrossingCommand, CrossingRequest};
+use crate::sim::SimConfig;
+use crate::sim::event::Event;
+use crate::sim::safety::BoxOccupancy;
+
+/// Margin before the hard braking point at which the stop guard fires.
+const GUARD_MARGIN: Meters = Meters::new(0.02);
+
+pub(crate) struct Agent {
+    movement: crossroads_intersection::Movement,
+    line_at: TimePoint,
+    profile: SpeedProfile,
+    protocol: VehicleProtocol,
+    clock_err: Seconds,
+    plan_version: u32,
+    stopped: bool,
+    accepted: bool,
+    entered_at: Option<TimePoint>,
+    done: bool,
+    free_flow: Seconds,
+    /// The AIM proposal backing the in-flight request: (arrival, speed at
+    /// proposal, stopped flag). Acceptances are validated against it so a
+    /// grant computed for a superseded state is discarded.
+    last_proposal: Option<(TimePoint, MetersPerSecond, bool)>,
+    /// Assigned stop position (queue slot) once the vehicle plans a stop.
+    stop_target: Option<Meters>,
+}
+
+pub(crate) struct World<'a> {
+    cfg: &'a SimConfig,
+    workload: &'a [Arrival],
+    rng: StdRng,
+    channel: Channel,
+    policy: Box<dyn IntersectionPolicy>,
+    vehicles: HashMap<VehicleId, Agent>,
+    im_queue: VecDeque<(VehicleId, CrossingRequest)>,
+    im_busy: bool,
+    /// Highest request attempt processed per vehicle: the IM drops
+    /// reordered/stale uplinks so its ledger always reflects the newest
+    /// vehicle state it has seen.
+    im_seen_attempt: HashMap<VehicleId, u32>,
+    pub(crate) occupancies: Vec<BoxOccupancy>,
+    pub(crate) metrics: RunMetrics,
+    pub(crate) counters: Counters,
+    s_entry: Meters,
+    /// Per-approach vehicles in line-crossing order — the physical lane
+    /// order. Stop positions, queue discharge and follower suppression
+    /// all derive from it.
+    lane_arrivals: HashMap<crossroads_intersection::Approach, Vec<VehicleId>>,
+}
+
+impl<'a> World<'a> {
+    pub(crate) fn new(cfg: &'a SimConfig, workload: &'a [Arrival]) -> Self {
+        let conflicts = ConflictTable::compute(&cfg.geometry, cfg.spec.width);
+        let policy = cfg.build_policy(&conflicts);
+        World {
+            cfg,
+            workload,
+            rng: StdRng::seed_from_u64(cfg.seed),
+            channel: Channel::new(cfg.channel),
+            policy,
+            vehicles: HashMap::new(),
+            im_queue: VecDeque::new(),
+            im_busy: false,
+            im_seen_attempt: HashMap::new(),
+            occupancies: Vec::new(),
+            metrics: RunMetrics::new(),
+            counters: Counters::default(),
+            s_entry: cfg.geometry.transmission_line_distance,
+            lane_arrivals: HashMap::new(),
+        }
+    }
+
+    /// Same-lane vehicles that crossed the line before `v` and have not
+    /// yet entered the box.
+    fn unentered_predecessors(&self, v: VehicleId) -> Vec<VehicleId> {
+        let Some(agent) = self.vehicles.get(&v) else { return Vec::new() };
+        let Some(order) = self.lane_arrivals.get(&agent.movement.approach) else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        for &u in order {
+            if u == v {
+                break;
+            }
+            if self
+                .vehicles
+                .get(&u)
+                .is_some_and(|a| !a.done && a.entered_at.is_none())
+            {
+                out.push(u);
+            }
+        }
+        out
+    }
+
+    /// Assigns (or returns the already-assigned) stop position: the box
+    /// entry line. Queued vehicles are *virtually* co-located at the line
+    /// — the standard traffic abstraction in which a queue creeps forward
+    /// as it discharges, so by the time a vehicle is granted a launch its
+    /// front is at the stop line. Discharge order and spacing are
+    /// enforced separately: launch order by [`queue_blocked`]
+    /// (Self::queue_blocked) and per-lane scheduling gates, and entry
+    /// spacing by the IM's own occupancy windows/tiles.
+    fn assign_stop_target(&mut self, v: VehicleId) -> Meters {
+        if let Some(t) = self.vehicles.get(&v).and_then(|a| a.stop_target) {
+            return t;
+        }
+        let target = self.s_entry;
+        let agent = self.vehicles.get_mut(&v).expect("agent exists");
+        agent.stop_target = Some(target);
+        target
+    }
+
+    /// Time for a standstill launch to cover `d` (zero for `d <= 0`).
+    fn cover_time(&self, d: Meters) -> Seconds {
+        if d.value() <= 0.0 {
+            return Seconds::ZERO;
+        }
+        let spec = &self.cfg.spec;
+        let v = crate::policy::common::reachable_speed(MetersPerSecond::ZERO, spec, d);
+        kinematics::accel_cruise(MetersPerSecond::ZERO, v, spec.a_max, d)
+            .expect("launch run-up is feasible")
+            .total_time
+    }
+
+    pub(crate) fn policy_ops(&self) -> u64 {
+        self.policy.ops()
+    }
+
+    pub(crate) fn channel_stats(&self) -> crossroads_net::ChannelStats {
+        self.channel.stats()
+    }
+
+    /// Physical distance from the line to the rear clearing the box.
+    fn s_exit(&self, movement: crossroads_intersection::Movement) -> Meters {
+        self.s_entry + self.cfg.geometry.path_length(movement) + self.cfg.spec.length
+    }
+
+    pub(crate) fn handle(&mut self, sim: &mut Simulation<Event>, event: Event) {
+        match event {
+            Event::LineCrossing(i) => self.on_line_crossing(sim, i),
+            Event::SyncComplete(v) => self.on_sync_complete(sim, v),
+            Event::SendRequest(v, attempt) => self.on_send_request(sim, v, attempt),
+            Event::UplinkArrival(v, req) => self.on_uplink(sim, v, req),
+            Event::ImFinish(v, attempt, cmd) => self.on_im_finish(sim, v, attempt, cmd),
+            Event::DownlinkArrival(v, attempt, cmd) => self.on_downlink(sim, v, attempt, cmd),
+            Event::ResponseTimeout(v, attempt) => self.on_timeout(sim, v, attempt),
+            Event::StopGuard(v, version) => self.on_stop_guard(sim, v, version),
+            Event::MarkStopped(v, version) => self.on_mark_stopped(v, version),
+            Event::BoxEntry(v, version) => self.on_box_entry(sim.now(), v, version),
+            Event::BoxExit(v, version) => self.on_box_exit(sim, v, version),
+            Event::ImExitNotice(v) => self.policy.on_exit(v, sim.now()),
+        }
+    }
+
+    // --- Vehicle lifecycle --------------------------------------------------
+
+    fn on_line_crossing(&mut self, sim: &mut Simulation<Event>, index: usize) {
+        let arr = self.workload[index];
+        let now = sim.now();
+        let mut protocol = VehicleProtocol::new(arr.vehicle);
+        protocol
+            .apply(ProtocolEvent::ReachedTransmissionLine, now)
+            .expect("fresh machine accepts line crossing");
+
+        // Clock sync: one two-way exchange on the testbed link.
+        let clock = LocalClock::new(
+            Seconds::from_millis(self.rng.gen_range(-200.0..200.0)),
+            self.rng.gen_range(-100.0..100.0),
+        );
+        let sync = testbed_sync(&clock, now, &mut self.rng);
+        // Two frames on the air for the exchange.
+        let _ = self.channel.send_uplink(&mut self.rng);
+        let _ = self.channel.send_downlink(&mut self.rng);
+        sim.schedule_in(
+            sync.round_trip + Seconds::from_millis(2.0),
+            Event::SyncComplete(arr.vehicle),
+        );
+
+        let profile = SpeedProfile::starting_at(now, Meters::ZERO, arr.speed);
+        let free_flow = self.free_flow_time(arr);
+        self.lane_arrivals
+            .entry(arr.movement.approach)
+            .or_default()
+            .push(arr.vehicle);
+        self.vehicles.insert(
+            arr.vehicle,
+            Agent {
+                movement: arr.movement,
+                line_at: now,
+                profile,
+                protocol,
+                clock_err: sync.residual(),
+                plan_version: 0,
+                stopped: false,
+                accepted: false,
+                entered_at: None,
+                done: false,
+                free_flow,
+                last_proposal: None,
+                stop_target: None,
+            },
+        );
+        self.schedule_guard(sim, arr.vehicle);
+    }
+
+    fn free_flow_time(&self, arr: Arrival) -> Seconds {
+        let total = self.s_exit(arr.movement);
+        let v_reach = crate::policy::common::reachable_speed(arr.speed, &self.cfg.spec, total);
+        kinematics::accel_cruise(arr.speed, v_reach, self.cfg.spec.a_max, total)
+            .expect("free-flow profile is feasible")
+            .total_time
+    }
+
+    fn on_sync_complete(&mut self, sim: &mut Simulation<Event>, v: VehicleId) {
+        let now = sim.now();
+        let Some(agent) = self.vehicles.get_mut(&v) else { return };
+        agent
+            .protocol
+            .apply(ProtocolEvent::SyncCompleted, now)
+            .expect("sync completes in Sync state");
+        sim.schedule_in(Seconds::ZERO, Event::SendRequest(v, 1));
+    }
+
+    /// Whether this vehicle must hold its request. Queues discharge
+    /// front-first, and whether a follower may even *ask* depends on the
+    /// protocol:
+    ///
+    /// - **VT-IM**: a bare velocity command executes on receipt, so only
+    ///   the queue front may request — a follower granted "go now" would
+    ///   launch through the cars ahead.
+    /// - **AIM**: grants echo the requester's proposal and cannot be
+    ///   reordered by the IM, so a follower defers until every
+    ///   predecessor holds a reservation.
+    /// - **Crossroads**: commands carry explicit future launch times and
+    ///   the IM's lane gate serializes entries, so queued followers may
+    ///   request immediately and the whole queue discharge is scheduled
+    ///   in advance — the protocol's signature advantage.
+    fn queue_blocked(&self, v: VehicleId) -> bool {
+        match self.cfg.policy {
+            crate::policy::PolicyKind::Crossroads => false,
+            crate::policy::PolicyKind::VtIm => {
+                self.unentered_predecessors(v).iter().any(|u| {
+                    self.vehicles.get(u).is_some_and(|a| a.stop_target.is_some())
+                })
+            }
+            crate::policy::PolicyKind::Aim => {
+                // Stop-sign-style discharge (Dresner & Stone; Fok et al.):
+                // once a vehicle has come to rest it engages the IM only
+                // after every leader has entered the box — queues drain
+                // one launch at a time. Cruising vehicles merely defer to
+                // leaders that are queued or still unscheduled, so moving
+                // platoons at low flow are unaffected.
+                let preds = self.unentered_predecessors(v);
+                if preds.is_empty() {
+                    false
+                } else if self.vehicles.get(&v).is_some_and(|a| a.stopped) {
+                    true
+                } else {
+                    preds.iter().any(|u| {
+                        self.vehicles
+                            .get(u)
+                            .is_some_and(|a| a.stop_target.is_some() || !a.accepted)
+                    })
+                }
+            }
+        }
+    }
+
+    fn on_send_request(&mut self, sim: &mut Simulation<Event>, v: VehicleId, attempt: u32) {
+        let now = sim.now();
+        if self.queue_blocked(v) {
+            // Hold the request until the lane ahead clears; poll at a
+            // human-scale cadence rather than spamming the radio.
+            let still_relevant = self.vehicles.get(&v).is_some_and(|a| {
+                !a.done
+                    && !a.accepted
+                    && a.protocol.state() == (ProtocolState::Request { attempts: attempt })
+            });
+            if still_relevant {
+                sim.schedule_in(Seconds::from_millis(200.0), Event::SendRequest(v, attempt));
+            }
+            return;
+        }
+        let (req, timeout) = {
+            let Some(agent) = self.vehicles.get(&v) else { return };
+            if agent.done || agent.accepted {
+                return;
+            }
+            if agent.protocol.state() != (ProtocolState::Request { attempts: attempt }) {
+                return; // stale send for a superseded attempt
+            }
+            let s_now = agent.profile.position_at(now);
+            let v_now = agent.profile.speed_at(now);
+            let t_vehicle = now + agent.clock_err;
+            let d_t = (self.s_entry - s_now).max(Meters::ZERO);
+            let proposed = self.aim_proposal(agent, t_vehicle, d_t, v_now);
+            // Exponential backoff on retransmissions: a response can
+            // legitimately take several service times under queueing, and
+            // re-requesting faster than the IM can answer only grows the
+            // queue (the classic retransmission livelock).
+            let backoff = 1u32 << attempt.saturating_sub(1).min(3);
+            (
+                CrossingRequest {
+                    vehicle: v,
+                    movement: agent.movement,
+                    spec: self.cfg.spec,
+                    transmitted_at: t_vehicle,
+                    distance_to_intersection: d_t,
+                    speed: v_now,
+                    stopped: agent.stopped,
+                    attempt,
+                    proposed_arrival: proposed,
+                },
+                self.cfg.buffers.rtd.retransmit_timeout() * f64::from(backoff),
+            )
+        };
+        if let Some(toa) = req.proposed_arrival {
+            let agent = self.vehicles.get_mut(&v).expect("agent exists");
+            agent.last_proposal = Some((toa, req.speed, req.stopped));
+        }
+        if let SendOutcome::Delivered { latency } = self.channel.send_uplink(&mut self.rng) {
+            sim.schedule_in(latency, Event::UplinkArrival(v, req));
+        }
+        sim.schedule_in(timeout, Event::ResponseTimeout(v, attempt));
+    }
+
+    fn aim_proposal(
+        &self,
+        agent: &Agent,
+        t_vehicle: TimePoint,
+        d_t: Meters,
+        v_now: MetersPerSecond,
+    ) -> Option<TimePoint> {
+        if self.cfg.policy != crate::policy::PolicyKind::Aim {
+            return None;
+        }
+        if agent.stopped || v_now.value() < 1e-6 {
+            // Launch proposal: far enough out that the acceptance can land
+            // before the launch even after AIM's own trajectory-simulation
+            // latency, plus the queue run-up to the box.
+            Some(
+                t_vehicle
+                    + self.cfg.buffers.rtd.wc_rtd()
+                    + self.cfg.aim_retry_interval
+                    + self.cover_time(d_t),
+            )
+        } else {
+            Some(t_vehicle + d_t / v_now)
+        }
+    }
+
+    fn on_timeout(&mut self, sim: &mut Simulation<Event>, v: VehicleId, attempt: u32) {
+        let now = sim.now();
+        let Some(agent) = self.vehicles.get_mut(&v) else { return };
+        if agent.done || agent.accepted {
+            return;
+        }
+        if agent.protocol.state() != (ProtocolState::Request { attempts: attempt }) {
+            return;
+        }
+        agent
+            .protocol
+            .apply(ProtocolEvent::TimedOut, now)
+            .expect("timeout applies in Request state");
+        sim.schedule_in(Seconds::ZERO, Event::SendRequest(v, attempt + 1));
+    }
+
+    // --- IM server ----------------------------------------------------------
+
+    fn on_uplink(&mut self, sim: &mut Simulation<Event>, v: VehicleId, req: CrossingRequest) {
+        self.im_queue.push_back((v, req));
+        if !self.im_busy {
+            self.im_start_next(sim);
+        }
+    }
+
+    fn im_start_next(&mut self, sim: &mut Simulation<Event>) {
+        if let Some((v, req)) = self.im_queue.pop_front() {
+            // Drop stale/reordered requests: the ledger must only ever
+            // move forward with the vehicle's newest reported state.
+            let seen = self.im_seen_attempt.entry(v).or_insert(0);
+            if req.attempt <= *seen && *seen != 0 {
+                return self.im_start_next(sim);
+            }
+            *seen = req.attempt;
+            self.im_busy = true;
+            // The decision is computed now; the response leaves the IM
+            // once the computation time — proportional to the scheduling
+            // work it actually performed — has elapsed. This is how AIM's
+            // trajectory re-simulation turns into response latency.
+            let now = sim.now();
+            let ops_before = self.policy.ops();
+            let cmd = self.policy.decide(&req, now);
+            let svc = self.cfg.computation.decision_time(self.policy.ops() - ops_before);
+            self.counters.im_requests += 1;
+            self.counters.im_busy += svc;
+            self.policy.prune(now);
+            sim.schedule_in(svc, Event::ImFinish(v, req.attempt, cmd));
+        } else {
+            self.im_busy = false;
+        }
+    }
+
+    fn on_im_finish(
+        &mut self,
+        sim: &mut Simulation<Event>,
+        v: VehicleId,
+        attempt: u32,
+        cmd: CrossingCommand,
+    ) {
+        if let SendOutcome::Delivered { latency } = self.channel.send_downlink(&mut self.rng) {
+            sim.schedule_in(latency, Event::DownlinkArrival(v, attempt, cmd));
+        }
+        self.im_start_next(sim);
+    }
+
+    // --- Response handling ---------------------------------------------------
+
+    fn on_downlink(
+        &mut self,
+        sim: &mut Simulation<Event>,
+        v: VehicleId,
+        attempt: u32,
+        cmd: CrossingCommand,
+    ) {
+        let now = sim.now();
+        {
+            let Some(agent) = self.vehicles.get(&v) else { return };
+            if agent.done || agent.accepted {
+                return;
+            }
+            // Only the response to the *current* attempt may be acted on:
+            // a slower response to a superseded request would desynchronize
+            // the executed plan from the IM's ledger (which has since been
+            // re-simulated from the newer request).
+            if agent.protocol.state() != (ProtocolState::Request { attempts: attempt }) {
+                return;
+            }
+        }
+        match cmd {
+            CrossingCommand::VtTarget { target_speed, .. } => {
+                if target_speed.value() > 0.0 {
+                    self.accept_vt(sim, v, target_speed, now);
+                } else {
+                    // Escalate the re-request interval with consecutive
+                    // denials: a vehicle parked behind a busy box gains
+                    // nothing from polling the IM at round-trip rate.
+                    let denials = self
+                        .vehicles
+                        .get(&v)
+                        .map_or(0, |a| a.protocol.total_rejections());
+                    let factor = f64::from((1 + denials).min(6));
+                    self.reject_and_stop(
+                        sim,
+                        v,
+                        now,
+                        self.cfg.buffers.rtd.retransmit_timeout() * factor,
+                    );
+                }
+            }
+            CrossingCommand::Crossroads { execute_at, arrival, target_speed, stop_first } => {
+                self.accept_crossroads(sim, v, execute_at, arrival, target_speed, stop_first, now);
+            }
+            CrossingCommand::AimAccept { arrival } => self.accept_aim(sim, v, arrival, now),
+            CrossingCommand::AimReject => self.reject_aim(sim, v, now),
+        }
+    }
+
+    fn accept_vt(
+        &mut self,
+        sim: &mut Simulation<Event>,
+        v: VehicleId,
+        target: MetersPerSecond,
+        now: TimePoint,
+    ) {
+        let spec = self.cfg.spec;
+        let agent = self.vehicles.get_mut(&v).expect("agent exists");
+        let s_now = agent.profile.position_at(now);
+        let v_now = agent.profile.speed_at(now);
+        agent
+            .protocol
+            .apply(ProtocolEvent::ResponseAccepted, now)
+            .expect("accept applies in Request state");
+        agent.profile = SpeedProfile::vt_response(now, s_now, v_now, target, &spec);
+        agent.accepted = true;
+        agent.stopped = false;
+        self.schedule_crossing_events(sim, v);
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn accept_crossroads(
+        &mut self,
+        sim: &mut Simulation<Event>,
+        v: VehicleId,
+        t_e: TimePoint,
+        arrival: TimePoint,
+        target: MetersPerSecond,
+        stop_first: bool,
+        now: TimePoint,
+    ) {
+        let spec = self.cfg.spec;
+        let s_entry = self.s_entry;
+        let agent = self.vehicles.get_mut(&v).expect("agent exists");
+        let s_now = agent.profile.position_at(now);
+        let v_now = agent.profile.speed_at(now);
+
+        let profile = if agent.stopped {
+            // Waiting in the queue: a pure launch command. The launch
+            // instant is `execute_at`; the run-up covers the setback so
+            // the box entry lands at `arrival`.
+            let cover = self.cover_time(s_entry - s_now);
+            if t_e < now || (t_e + cover - arrival).abs() > Seconds::from_millis(50.0) {
+                return self.stale_response(sim, v, now);
+            }
+            let mut p = SpeedProfile::starting_at(now, s_now, MetersPerSecond::ZERO);
+            p.push_hold(t_e - now);
+            p.push_speed_change(spec.v_max, spec.a_max);
+            p
+        } else if stop_first {
+            if now > t_e {
+                return self.stale_response(sim, v, now);
+            }
+            // Brake into the physical queue, wait, and launch so the box
+            // entry lands at `arrival`.
+            let target = self.assign_stop_target(v);
+            let mut p = SpeedProfile::starting_at(now, s_now, v_now);
+            p.push_hold(t_e - now);
+            let d_avail = target - p.final_position();
+            let d_brake = kinematics::stopping_distance(v_now, spec.d_max);
+            if d_avail > d_brake {
+                p.push_hold((d_avail - d_brake) / v_now);
+            }
+            p.push_speed_change(MetersPerSecond::ZERO, spec.d_max);
+            if p.final_position() > s_entry + Meters::new(1e-6) {
+                return self.stale_response(sim, v, now);
+            }
+            let cover = {
+                let d = s_entry - p.final_position();
+                if d.value() <= 0.0 {
+                    Seconds::ZERO
+                } else {
+                    let ve = crate::policy::common::reachable_speed(
+                        MetersPerSecond::ZERO,
+                        &spec,
+                        d,
+                    );
+                    kinematics::accel_cruise(MetersPerSecond::ZERO, ve, spec.a_max, d)
+                        .expect("launch run-up is feasible")
+                        .total_time
+                }
+            };
+            let launch = arrival - cover;
+            if p.end_time() > launch {
+                return self.stale_response(sim, v, now);
+            }
+            p.push_hold(launch - p.end_time());
+            p.push_speed_change(spec.v_max, spec.a_max);
+            p
+        } else {
+            if now > t_e {
+                return self.stale_response(sim, v, now);
+            }
+            match SpeedProfile::crossroads_response(
+                now, s_now, v_now, t_e, arrival, s_entry, target, &spec,
+            ) {
+                Ok(p) => p,
+                Err(_) => return self.stale_response(sim, v, now),
+            }
+        };
+
+        let agent = self.vehicles.get_mut(&v).expect("agent exists");
+        agent
+            .protocol
+            .apply(ProtocolEvent::ResponseAccepted, now)
+            .expect("accept applies in Request state");
+        agent.profile = profile;
+        agent.accepted = true;
+        agent.stopped = false;
+        self.schedule_crossing_events(sim, v);
+    }
+
+    fn accept_aim(
+        &mut self,
+        sim: &mut Simulation<Event>,
+        v: VehicleId,
+        arrival: TimePoint,
+        now: TimePoint,
+    ) {
+        let spec = self.cfg.spec;
+        let s_entry = self.s_entry;
+        let (s_now, v_now, last_proposal, stopped) = {
+            let agent = self.vehicles.get(&v).expect("agent exists");
+            (
+                agent.profile.position_at(now),
+                agent.profile.speed_at(now),
+                agent.last_proposal,
+                agent.stopped,
+            )
+        };
+        // Validate against the proposal this grant answers: if the vehicle
+        // has braked, stopped or re-proposed since, the IM simulated the
+        // wrong trajectory — discard and re-request.
+        let Some((toa_prop, v_prop, was_stopped)) = last_proposal else {
+            return self.stale_response(sim, v, now);
+        };
+        if (arrival - toa_prop).abs() > Seconds::from_millis(1.0) || was_stopped != stopped {
+            return self.stale_response(sim, v, now);
+        }
+        let profile = if stopped {
+            let cover = self.cover_time(s_entry - s_now);
+            let launch = arrival - cover;
+            if launch < now {
+                return self.stale_response(sim, v, now);
+            }
+            let mut p = SpeedProfile::starting_at(now, s_now, MetersPerSecond::ZERO);
+            p.push_hold(launch - now);
+            p.push_speed_change(spec.v_max, spec.a_max);
+            p
+        } else {
+            // The grant assumed a constant-speed approach; verify we still
+            // are where the proposal said we would be.
+            if (v_now - v_prop).abs() > MetersPerSecond::new(0.02) || v_now.value() <= 1e-6 {
+                return self.stale_response(sim, v, now);
+            }
+            let predicted_entry = now + (s_entry - s_now) / v_now;
+            if (predicted_entry - arrival).abs() > Seconds::from_millis(30.0) {
+                return self.stale_response(sim, v, now);
+            }
+            // Hold the proposed speed through the box.
+            SpeedProfile::starting_at(now, s_now, v_now)
+        };
+        let agent = self.vehicles.get_mut(&v).expect("agent exists");
+        agent
+            .protocol
+            .apply(ProtocolEvent::ResponseAccepted, now)
+            .expect("accept applies in Request state");
+        agent.profile = profile;
+        agent.accepted = true;
+        agent.stopped = false;
+        self.schedule_crossing_events(sim, v);
+    }
+
+    fn reject_aim(&mut self, sim: &mut Simulation<Event>, v: VehicleId, now: TimePoint) {
+        let retry = self.cfg.aim_retry_interval;
+        let slowdown = self.cfg.aim_slowdown_factor;
+        let spec = self.cfg.spec;
+        let s_entry = self.s_entry;
+        let agent = self.vehicles.get_mut(&v).expect("agent exists");
+        agent
+            .protocol
+            .apply(ProtocolEvent::ResponseRejected, now)
+            .expect("reject applies in Request state");
+        let attempts = match agent.protocol.state() {
+            ProtocolState::Request { attempts } => attempts,
+            _ => unreachable!("rejection keeps the machine in Request"),
+        };
+        if !agent.stopped {
+            let s_now = agent.profile.position_at(now);
+            let v_now = agent.profile.speed_at(now);
+            let v_new = v_now * slowdown;
+            let room = s_entry - s_now;
+            let needs_stop = v_new < spec.v_max * 0.15
+                || room <= kinematics::stopping_distance(v_now, spec.d_max) + GUARD_MARGIN;
+            if needs_stop {
+                let target = self.assign_stop_target(v);
+                let agent = self.vehicles.get_mut(&v).expect("agent exists");
+                agent.profile = SpeedProfile::stop_at(now, s_now, v_now, target, &spec);
+                self.bump_unaccepted_plan(sim, v);
+            } else {
+                let agent = self.vehicles.get_mut(&v).expect("agent exists");
+                agent.profile = SpeedProfile::vt_response(now, s_now, v_now, v_new, &spec);
+                self.bump_unaccepted_plan(sim, v);
+            }
+        }
+        sim.schedule_in(retry, Event::SendRequest(v, attempts));
+    }
+
+    /// A VT "stop" command, or any stale/invalid acceptance: brake toward
+    /// the line and re-request after `retry`.
+    fn reject_and_stop(
+        &mut self,
+        sim: &mut Simulation<Event>,
+        v: VehicleId,
+        now: TimePoint,
+        retry: Seconds,
+    ) {
+        let spec = self.cfg.spec;
+        let agent = self.vehicles.get_mut(&v).expect("agent exists");
+        agent
+            .protocol
+            .apply(ProtocolEvent::ResponseRejected, now)
+            .expect("reject applies in Request state");
+        let attempts = match agent.protocol.state() {
+            ProtocolState::Request { attempts } => attempts,
+            _ => unreachable!("rejection keeps the machine in Request"),
+        };
+        if !agent.stopped {
+            let s_now = agent.profile.position_at(now);
+            let v_now = agent.profile.speed_at(now);
+            if v_now.value() > 0.0 {
+                let target = self.assign_stop_target(v);
+                let agent = self.vehicles.get_mut(&v).expect("agent exists");
+                agent.profile = SpeedProfile::stop_at(now, s_now, v_now, target, &spec);
+                self.bump_unaccepted_plan(sim, v);
+            }
+        }
+        sim.schedule_in(retry, Event::SendRequest(v, attempts));
+    }
+
+    fn stale_response(&mut self, sim: &mut Simulation<Event>, v: VehicleId, now: TimePoint) {
+        self.reject_and_stop(sim, v, now, Seconds::from_millis(50.0));
+    }
+
+    // --- Plan bookkeeping ----------------------------------------------------
+
+    /// Installs the (already stored) unaccepted profile: bumps the version,
+    /// arms the stop guard or the stopped marker.
+    fn bump_unaccepted_plan(&mut self, sim: &mut Simulation<Event>, v: VehicleId) {
+        let (version, final_speed, end_time) = {
+            let agent = self.vehicles.get_mut(&v).expect("agent exists");
+            agent.plan_version += 1;
+            (agent.plan_version, agent.profile.final_speed(), agent.profile.end_time())
+        };
+        if final_speed.value() <= 0.0 {
+            sim.schedule(end_time.max(sim.now()), Event::MarkStopped(v, version));
+        } else {
+            self.schedule_guard(sim, v);
+        }
+    }
+
+    /// Arms the safe-stop guard for the current (unaccepted) profile.
+    fn schedule_guard(&mut self, sim: &mut Simulation<Event>, v: VehicleId) {
+        let now = sim.now();
+        let spec = self.cfg.spec;
+        let s_entry = self.s_entry;
+        let Some(agent) = self.vehicles.get(&v) else { return };
+        if agent.accepted || agent.done {
+            return;
+        }
+        let v_f = agent.profile.final_speed();
+        if v_f.value() <= 0.0 {
+            return; // already braking to a stop
+        }
+        let s_brake = s_entry - kinematics::stopping_distance(v_f, spec.d_max) - GUARD_MARGIN;
+        let version = agent.plan_version;
+        match agent.profile.time_at_position(s_brake) {
+            Some(t) => {
+                sim.schedule(t.max(now), Event::StopGuard(v, version));
+            }
+            None => {
+                // The profile never reaches the brake point (it stops
+                // earlier); nothing to guard.
+            }
+        }
+    }
+
+    fn on_stop_guard(&mut self, sim: &mut Simulation<Event>, v: VehicleId, version: u32) {
+        let now = sim.now();
+        let spec = self.cfg.spec;
+        let Some(agent) = self.vehicles.get_mut(&v) else { return };
+        if agent.done || agent.accepted || agent.plan_version != version {
+            return;
+        }
+        let s_now = agent.profile.position_at(now);
+        let v_now = agent.profile.speed_at(now);
+        if v_now.value() <= 0.0 {
+            return;
+        }
+        let target = self.assign_stop_target(v);
+        let agent = self.vehicles.get_mut(&v).expect("agent exists");
+        agent.profile = SpeedProfile::stop_at(now, s_now, v_now, target, &spec);
+        self.bump_unaccepted_plan(sim, v);
+    }
+
+    fn on_mark_stopped(&mut self, v: VehicleId, version: u32) {
+        let Some(agent) = self.vehicles.get_mut(&v) else { return };
+        if agent.done || agent.accepted || agent.plan_version != version {
+            return;
+        }
+        agent.stopped = true;
+    }
+
+    /// Schedules box entry/exit from the accepted profile.
+    ///
+    /// "Entry" is the first *moving* crossing of the entry plane: a
+    /// stop-and-go vehicle parks with its bumper exactly on the plane, so
+    /// we probe a millimeter past it — the parked wait does not count as
+    /// being inside the box.
+    fn schedule_crossing_events(&mut self, sim: &mut Simulation<Event>, v: VehicleId) {
+        let now = sim.now();
+        let s_entry = self.s_entry;
+        let (version, entry_t, exit_t) = {
+            let agent = self.vehicles.get_mut(&v).expect("agent exists");
+            agent.plan_version += 1;
+            let s_exit = s_entry
+                + self.cfg.geometry.path_length(agent.movement)
+                + self.cfg.spec.length;
+            // A grant can land after a slight overshoot of the line (a
+            // stop command arriving inside braking distance): the vehicle
+            // is then effectively entering as it launches — clamp to now.
+            let entry = agent
+                .profile
+                .time_at_position(s_entry + Meters::new(1e-3))
+                .unwrap_or(now);
+            let exit = agent.profile.time_at_position(s_exit).unwrap_or(now);
+            (agent.plan_version, entry, exit)
+        };
+        sim.schedule(entry_t.max(now), Event::BoxEntry(v, version));
+        sim.schedule(exit_t.max(now), Event::BoxExit(v, version));
+    }
+
+    fn on_box_entry(&mut self, now: TimePoint, v: VehicleId, version: u32) {
+        let Some(agent) = self.vehicles.get_mut(&v) else { return };
+        if agent.done || agent.plan_version != version {
+            return;
+        }
+        if agent.entered_at.is_none() {
+            agent.entered_at = Some(now);
+        }
+        // Entering the box vacates the approach: clear the queue slot so
+        // followers' blocked checks release.
+        agent.stop_target = None;
+    }
+
+    fn on_box_exit(&mut self, sim: &mut Simulation<Event>, v: VehicleId, version: u32) {
+        let now = sim.now();
+        let record = {
+            let Some(agent) = self.vehicles.get_mut(&v) else { return };
+            if agent.done || agent.plan_version != version {
+                return;
+            }
+            agent
+                .protocol
+                .apply(ProtocolEvent::CrossedIntersection, now)
+                .expect("exit applies in Follow state");
+            agent.done = true;
+            let entered = agent.entered_at.unwrap_or(now);
+            self.occupancies.push(BoxOccupancy {
+                vehicle: v,
+                movement: agent.movement,
+                entered,
+                exited: now,
+                profile: agent.profile.clone(),
+                line_offset: self.s_entry,
+            });
+            VehicleRecord {
+                vehicle: v,
+                line_at: agent.line_at,
+                cleared_at: now,
+                free_flow: agent.free_flow,
+                requests_sent: agent.protocol.total_requests(),
+                rejections: agent.protocol.total_rejections(),
+            }
+        };
+        self.metrics.push(record);
+        // Exit notification to the IM.
+        if let SendOutcome::Delivered { latency } = self.channel.send_uplink(&mut self.rng) {
+            sim.schedule_in(latency, Event::ImExitNotice(v));
+        }
+    }
+}

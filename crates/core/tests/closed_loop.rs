@@ -1,0 +1,201 @@
+//! End-to-end closed-loop tests: every policy must route every workload
+//! safely to completion, and the paper's qualitative orderings must hold.
+
+use crossroads_core::policy::PolicyKind;
+use crossroads_core::sim::{SimConfig, run_simulation};
+use crossroads_traffic::{ScenarioId, scale_model_scenario};
+
+fn run(policy: PolicyKind, scenario: u8, repeat: u64) -> crossroads_core::sim::SimOutcome {
+    let workload = scale_model_scenario(ScenarioId(scenario), repeat);
+    let config = SimConfig::scale_model(policy).with_seed(repeat.wrapping_mul(31) + 7);
+    run_simulation(&config, &workload)
+}
+
+#[test]
+fn all_policies_complete_the_worst_case_scenario() {
+    for policy in PolicyKind::ALL {
+        let out = run(policy, 1, 0);
+        assert!(
+            out.all_completed(),
+            "{policy}: only {}/{} vehicles completed",
+            out.metrics.completed(),
+            out.spawned
+        );
+        assert!(out.safety.is_safe(), "{policy}: violations {:?}", out.safety.violations());
+    }
+}
+
+#[test]
+fn all_policies_complete_every_scenario() {
+    for policy in PolicyKind::ALL {
+        for scenario in 1..=10 {
+            for repeat in 0..3 {
+                let out = run(policy, scenario, repeat);
+                assert!(
+                    out.all_completed(),
+                    "{policy} scenario {scenario} repeat {repeat}: {}/{} completed",
+                    out.metrics.completed(),
+                    out.spawned
+                );
+                assert!(
+                    out.safety.is_safe(),
+                    "{policy} scenario {scenario} repeat {repeat}: {:?}",
+                    out.safety.violations()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn sparse_traffic_is_nearly_free_flowing() {
+    // The velocity-transaction IMs command an acceleration to v_max, so
+    // sparse traffic flows nearly freely. AIM's query semantics keep the
+    // vehicle at its approach speed (the query is "enter at the arrival
+    // time dictated by current velocity"), so its trips are longer but
+    // must still be conflict-free first-try.
+    for policy in [PolicyKind::VtIm, PolicyKind::Crossroads] {
+        let out = run(policy, 10, 0);
+        let wait = out.metrics.average_wait();
+        assert!(
+            wait.value() < 1.0,
+            "{policy}: sparse scenario should have sub-second waits, got {wait}"
+        );
+    }
+    let aim = run(PolicyKind::Aim, 10, 0);
+    assert!(aim.metrics.average_wait().value() < 2.0);
+    let max_requests = aim
+        .metrics
+        .records()
+        .iter()
+        .map(|r| r.requests_sent)
+        .max()
+        .unwrap_or(0);
+    assert!(
+        max_requests <= 2,
+        "sparse AIM should accept first try (retransmissions aside), saw {max_requests}"
+    );
+}
+
+#[test]
+fn crossroads_beats_vt_on_the_worst_case() {
+    // Fig. 7.1's headline: Crossroads has lower average wait, most
+    // pronounced in the bunched worst case (paper: 1.24×).
+    let mut vt_total = 0.0;
+    let mut xr_total = 0.0;
+    for repeat in 0..10 {
+        vt_total += run(PolicyKind::VtIm, 1, repeat).metrics.average_wait().value();
+        xr_total += run(PolicyKind::Crossroads, 1, repeat).metrics.average_wait().value();
+    }
+    assert!(
+        xr_total < vt_total,
+        "Crossroads wait {xr_total:.3} should undercut VT-IM {vt_total:.3}"
+    );
+}
+
+#[test]
+fn runs_are_deterministic() {
+    let a = run(PolicyKind::Crossroads, 3, 1);
+    let b = run(PolicyKind::Crossroads, 3, 1);
+    assert_eq!(a.metrics.records(), b.metrics.records());
+    assert_eq!(a.metrics.counters(), b.metrics.counters());
+}
+
+#[test]
+fn aim_generates_more_traffic_than_crossroads() {
+    // Ch. 7.2: AIM's trial-and-error loop costs messages and compute.
+    let mut aim_msgs = 0;
+    let mut xr_msgs = 0;
+    let mut aim_ops = 0;
+    let mut xr_ops = 0;
+    for repeat in 0..5 {
+        let aim = run(PolicyKind::Aim, 1, repeat);
+        let xr = run(PolicyKind::Crossroads, 1, repeat);
+        aim_msgs += aim.metrics.counters().messages;
+        xr_msgs += xr.metrics.counters().messages;
+        aim_ops += aim.metrics.counters().im_ops;
+        xr_ops += xr.metrics.counters().im_ops;
+    }
+    assert!(
+        aim_msgs > xr_msgs,
+        "AIM messages {aim_msgs} should exceed Crossroads {xr_msgs}"
+    );
+    assert!(aim_ops > xr_ops, "AIM ops {aim_ops} should exceed Crossroads {xr_ops}");
+}
+
+/// Two waves of four simultaneous arrivals — the adversarial burst that
+/// maximizes request-queue delay (the paper's worst-case RTD setup).
+fn burst_workload() -> Vec<crossroads_traffic::Arrival> {
+    use crossroads_intersection::{Approach, Movement, Turn};
+    use crossroads_units::{MetersPerSecond, TimePoint};
+    use crossroads_vehicle::VehicleId;
+    let mut out = Vec::new();
+    let mut id = 0u32;
+    for wave in 0..2 {
+        for a in Approach::ALL {
+            out.push(crossroads_traffic::Arrival {
+                vehicle: VehicleId(id),
+                movement: Movement::new(a, Turn::Straight),
+                at_line: TimePoint::new(f64::from(wave) * 1.3 + f64::from(id % 4) * 0.01),
+                speed: MetersPerSecond::new(1.5),
+            });
+            id += 1;
+        }
+    }
+    out.sort_by(|a, b| a.at_line.partial_cmp(&b.at_line).expect("finite"));
+    out
+}
+
+#[test]
+fn disabling_vt_rtd_buffer_breaks_the_safety_guarantee() {
+    // Ch. 4's argument as failure injection. Safety under uncertainty
+    // means the *inflated* envelopes (body + guaranteed margin) stay
+    // exclusive. With the RTD buffer the schedule preserves the measured
+    // E_long = 78 mm envelope; without it, the same envelope is violated
+    // under the simultaneous-arrival burst — exactly the guarantee the
+    // paper says a delay-naive VT-IM cannot make.
+    use crossroads_core::sim::SafetyReport;
+    use crossroads_units::Meters;
+
+    let margin = Meters::from_millis(78.0);
+    let workload = burst_workload();
+
+    // Healthy configuration: the guarantee holds for every seed.
+    for seed in 0..10 {
+        let config = SimConfig::scale_model(PolicyKind::VtIm).with_seed(seed);
+        let out = run_simulation(&config, &workload);
+        let audit = SafetyReport::audit_with_margin(
+            out.safety.occupancies().to_vec(),
+            &config.geometry,
+            &config.spec,
+            margin,
+        );
+        assert!(audit.is_safe(), "seed {seed}: buffered VT-IM broke its envelope");
+    }
+
+    // Buffers stripped: at least one seed violates the same envelope.
+    let mut buffers = crossroads_core::BufferModel::scale_model();
+    buffers.vt_rtd_buffer_enabled = false;
+    buffers.e_long = Meters::ZERO;
+    let mut violated = false;
+    for seed in 0..30 {
+        let config = SimConfig::scale_model(PolicyKind::VtIm)
+            .with_seed(seed)
+            .with_buffers(buffers);
+        let out = run_simulation(&config, &workload);
+        let audit = SafetyReport::audit_with_margin(
+            out.safety.occupancies().to_vec(),
+            &config.geometry,
+            &config.spec,
+            margin,
+        );
+        if !audit.is_safe() {
+            violated = true;
+            break;
+        }
+    }
+    assert!(
+        violated,
+        "stripping VT-IM's buffers should break the 78 mm guarantee envelope"
+    );
+}

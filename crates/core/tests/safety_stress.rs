@@ -1,0 +1,100 @@
+//! Broad safety stress: every policy, every scenario, many repeats — the
+//! audit must stay clean and every vehicle must complete. This is the
+//! regression net for protocol races (e.g. a retransmission crossing its
+//! predecessor's acceptance, which once desynchronized the AIM ledger
+//! from the executed plan).
+
+use crossroads_core::policy::PolicyKind;
+use crossroads_core::sim::{SimConfig, run_simulation};
+use crossroads_traffic::{PoissonConfig, ScenarioId, generate_poisson, scale_model_scenario};
+use crossroads_units::MetersPerSecond;
+use rand::SeedableRng;
+use rand::rngs::StdRng;
+
+#[test]
+fn scale_scenarios_stress() {
+    for policy in PolicyKind::ALL {
+        for scenario in 1..=10 {
+            for repeat in 0..8 {
+                let w = scale_model_scenario(ScenarioId(scenario), repeat);
+                let config = SimConfig::scale_model(policy).with_seed(repeat * 31 + 7);
+                let out = run_simulation(&config, &w);
+                assert!(
+                    out.all_completed(),
+                    "{policy} scenario {scenario} repeat {repeat}: {}/{}",
+                    out.metrics.completed(),
+                    out.spawned
+                );
+                assert!(
+                    out.safety.is_safe(),
+                    "{policy} scenario {scenario} repeat {repeat}: {:?}",
+                    out.safety.violations()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn lossy_channel_stress() {
+    // Crank frame loss to 10%: retransmissions and stale-response races
+    // multiply, but liveness and safety must hold.
+    for policy in PolicyKind::ALL {
+        for seed in 0..6 {
+            let mut config = SimConfig::scale_model(policy).with_seed(seed);
+            config.channel.loss_probability = 0.10;
+            let w = scale_model_scenario(ScenarioId(1), seed);
+            let out = run_simulation(&config, &w);
+            assert!(
+                out.all_completed(),
+                "{policy} seed {seed} under loss: {}/{}",
+                out.metrics.completed(),
+                out.spawned
+            );
+            assert!(out.safety.is_safe(), "{policy} seed {seed}: {:?}", out.safety.violations());
+        }
+    }
+}
+
+#[test]
+fn full_scale_moderate_flow_stress() {
+    for policy in PolicyKind::ALL {
+        let config = SimConfig::full_scale(policy).with_seed(3);
+        let mut rng = StdRng::seed_from_u64(33);
+        let mut pc = PoissonConfig::sweep_point(0.5, MetersPerSecond::new(10.0));
+        pc.total_vehicles = 80;
+        let w = generate_poisson(&pc, &mut rng);
+        let out = run_simulation(&config, &w);
+        assert!(out.all_completed(), "{policy}");
+        assert!(out.safety.is_safe(), "{policy}: {:?}", out.safety.violations());
+    }
+}
+
+#[test]
+fn rush_hour_saturation_recovers() {
+    // Time-varying demand: the peak oversaturates the box, the shoulders
+    // drain it. Every policy must clear the whole wave safely.
+    use crossroads_traffic::{RateProfile, generate_rush_hour};
+    use crossroads_units::Seconds;
+
+    let profile = RateProfile::morning_peak(Seconds::new(120.0), 0.05, 0.6);
+    for policy in PolicyKind::ALL {
+        let config = SimConfig::full_scale(policy).with_seed(17);
+        let mut rng = StdRng::seed_from_u64(170);
+        let base = PoissonConfig::sweep_point(0.1, MetersPerSecond::new(10.0));
+        let w = generate_rush_hour(&profile, &base, &mut rng);
+        assert!(w.len() > 60, "wave too small: {}", w.len());
+        let out = run_simulation(&config, &w);
+        assert!(out.all_completed(), "{policy}: {} stranded", out.stranded());
+        assert!(out.safety.is_safe(), "{policy}: {:?}", out.safety.violations());
+        // The queue drains: the last clearance lands within a bounded
+        // horizon after the wave ends.
+        let last = out
+            .metrics
+            .records()
+            .iter()
+            .map(|r| r.cleared_at.value())
+            .fold(0.0f64, f64::max);
+        assert!(last < 120.0 + 400.0, "{policy}: backlog never drained ({last:.0}s)");
+    }
+}

@@ -1,0 +1,256 @@
+//! The time-ordered event queue.
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashSet};
+
+use crossroads_units::TimePoint;
+
+/// Handle to a scheduled event, usable to cancel it before it fires.
+///
+/// Ids are unique within one [`EventQueue`] for its whole lifetime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EventId(u64);
+
+struct Entry<E> {
+    at: TimePoint,
+    seq: u64,
+    payload: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops
+        // first. Timestamps are asserted finite on insert, so total order
+        // via partial_cmp cannot fail.
+        other
+            .at
+            .partial_cmp(&self.at)
+            .expect("event timestamps are finite")
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A deterministic, cancellable priority queue of timestamped events.
+///
+/// Events pop in nondecreasing time order; ties pop in insertion order.
+/// Cancellation is lazy: a cancelled id is remembered and the entry is
+/// dropped when it surfaces, keeping cancellation O(1).
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    /// Seqs scheduled but not yet fired or cancelled. Membership makes
+    /// `cancel` exact: cancelling an already-fired event reports `false`.
+    live: HashSet<u64>,
+    next_seq: u64,
+    scheduled_total: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    #[must_use]
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            live: HashSet::new(),
+            next_seq: 0,
+            scheduled_total: 0,
+        }
+    }
+
+    /// Schedules `payload` to fire at absolute time `at`, returning a handle
+    /// that can cancel it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is NaN or infinite: a non-finite timestamp would
+    /// corrupt the queue's total order.
+    pub fn schedule(&mut self, at: TimePoint, payload: E) -> EventId {
+        assert!(at.is_finite(), "event timestamp must be finite, got {at}");
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.scheduled_total += 1;
+        self.live.insert(seq);
+        self.heap.push(Entry { at, seq, payload });
+        EventId(seq)
+    }
+
+    /// Cancels a previously scheduled event. Returns `true` if the event had
+    /// not yet fired or been cancelled. Cancelling an already-fired id is a
+    /// harmless no-op returning `false`.
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        self.live.remove(&id.0)
+    }
+
+    /// Removes and returns the earliest live event, or `None` if the queue
+    /// is empty.
+    pub fn pop(&mut self) -> Option<(TimePoint, E)> {
+        while let Some(entry) = self.heap.pop() {
+            if self.live.remove(&entry.seq) {
+                return Some((entry.at, entry.payload));
+            }
+            // Cancelled: drop and keep reaping.
+        }
+        None
+    }
+
+    /// Timestamp of the next live event without removing it.
+    pub fn peek_time(&mut self) -> Option<TimePoint> {
+        while let Some(entry) = self.heap.peek() {
+            if self.live.contains(&entry.seq) {
+                return Some(entry.at);
+            }
+            self.heap.pop();
+        }
+        None
+    }
+
+    /// Whether no live events remain.
+    pub fn is_empty(&mut self) -> bool {
+        self.peek_time().is_none()
+    }
+
+    /// Number of entries currently in the heap, *including* not-yet-reaped
+    /// cancelled entries. Intended for capacity diagnostics, not logic.
+    #[must_use]
+    pub fn raw_len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Total number of events ever scheduled on this queue.
+    #[must_use]
+    pub fn scheduled_total(&self) -> u64 {
+        self.scheduled_total
+    }
+}
+
+impl<E: std::fmt::Debug> std::fmt::Debug for EventQueue<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventQueue")
+            .field("len", &self.heap.len())
+            .field("live", &self.live.len())
+            .field("scheduled_total", &self.scheduled_total)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: f64) -> TimePoint {
+        TimePoint::new(s)
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(t(3.0), 'c');
+        q.schedule(t(1.0), 'a');
+        q.schedule(t(2.0), 'b');
+        let order: Vec<char> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec!['a', 'b', 'c']);
+    }
+
+    #[test]
+    fn ties_pop_in_insertion_order() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.schedule(t(1.0), i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn cancellation_removes_event() {
+        let mut q = EventQueue::new();
+        let keep = q.schedule(t(1.0), "keep");
+        let drop_ = q.schedule(t(0.5), "drop");
+        assert!(q.cancel(drop_));
+        assert_eq!(q.pop(), Some((t(1.0), "keep")));
+        assert_eq!(q.pop(), None);
+        // Cancelling after the fact is a no-op.
+        assert!(!q.cancel(keep));
+    }
+
+    #[test]
+    fn cancel_unknown_id_is_false() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        assert!(!q.cancel(EventId(42)));
+    }
+
+    #[test]
+    fn double_cancel_is_false() {
+        let mut q = EventQueue::new();
+        let id = q.schedule(t(1.0), ());
+        assert!(q.cancel(id));
+        assert!(!q.cancel(id));
+    }
+
+    #[test]
+    fn peek_skips_cancelled() {
+        let mut q = EventQueue::new();
+        let id = q.schedule(t(0.5), "x");
+        q.schedule(t(1.0), "y");
+        q.cancel(id);
+        assert_eq!(q.peek_time(), Some(t(1.0)));
+        assert!(!q.is_empty());
+        q.pop();
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn non_finite_timestamp_panics() {
+        let mut q = EventQueue::new();
+        q.schedule(TimePoint::new(f64::NAN), ());
+    }
+
+    #[test]
+    fn counters_track_activity() {
+        let mut q = EventQueue::new();
+        q.schedule(t(1.0), ());
+        q.schedule(t(2.0), ());
+        assert_eq!(q.scheduled_total(), 2);
+        assert_eq!(q.raw_len(), 2);
+        q.pop();
+        assert_eq!(q.raw_len(), 1);
+        assert_eq!(q.scheduled_total(), 2);
+    }
+
+    #[test]
+    fn interleaved_schedule_pop_stays_ordered() {
+        let mut q = EventQueue::new();
+        q.schedule(t(5.0), 5);
+        q.schedule(t(1.0), 1);
+        assert_eq!(q.pop(), Some((t(1.0), 1)));
+        q.schedule(t(3.0), 3);
+        q.schedule(t(2.0), 2);
+        assert_eq!(q.pop(), Some((t(2.0), 2)));
+        assert_eq!(q.pop(), Some((t(3.0), 3)));
+        assert_eq!(q.pop(), Some((t(5.0), 5)));
+    }
+
+    #[test]
+    fn debug_output_nonempty() {
+        let q: EventQueue<u8> = EventQueue::new();
+        assert!(format!("{q:?}").contains("EventQueue"));
+    }
+}

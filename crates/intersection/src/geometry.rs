@@ -1,0 +1,366 @@
+//! Approaches, turns, movements, and the intersection's dimensions.
+
+use crossroads_units::{Meters, Radians};
+
+/// The arm of the intersection a vehicle arrives on (compass-named).
+///
+/// A vehicle on the [`Approach::South`] arm travels *northbound* toward
+/// the center, and so on. Traffic is right-hand.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord,
+    serde::Serialize, serde::Deserialize,
+)]
+pub enum Approach {
+    /// Arriving from the north, heading south.
+    North,
+    /// Arriving from the east, heading west.
+    East,
+    /// Arriving from the south, heading north.
+    South,
+    /// Arriving from the west, heading east.
+    West,
+}
+
+impl Approach {
+    /// All four approaches, in a fixed order.
+    pub const ALL: [Approach; 4] = [Approach::North, Approach::East, Approach::South, Approach::West];
+
+    /// Travel heading while approaching (counterclockwise from east).
+    #[must_use]
+    pub fn heading(self) -> Radians {
+        use std::f64::consts::{FRAC_PI_2, PI};
+        match self {
+            Approach::North => Radians::new(-FRAC_PI_2), // southbound
+            Approach::East => Radians::new(PI),          // westbound
+            Approach::South => Radians::new(FRAC_PI_2),  // northbound
+            Approach::West => Radians::new(0.0),         // eastbound
+        }
+    }
+
+    /// The opposite arm (where a straight movement exits).
+    #[must_use]
+    pub fn opposite(self) -> Approach {
+        match self {
+            Approach::North => Approach::South,
+            Approach::East => Approach::West,
+            Approach::South => Approach::North,
+            Approach::West => Approach::East,
+        }
+    }
+
+    /// The arm to this approach's right (where a right turn exits).
+    /// For a northbound (South-approach) vehicle, right is East.
+    #[must_use]
+    pub fn right(self) -> Approach {
+        match self {
+            Approach::South => Approach::East,
+            Approach::East => Approach::North,
+            Approach::North => Approach::West,
+            Approach::West => Approach::South,
+        }
+    }
+
+    /// The arm to this approach's left (where a left turn exits).
+    #[must_use]
+    pub fn left(self) -> Approach {
+        self.right().opposite()
+    }
+
+    /// Stable index 0..4 for table lookups.
+    #[must_use]
+    pub fn index(self) -> usize {
+        match self {
+            Approach::North => 0,
+            Approach::East => 1,
+            Approach::South => 2,
+            Approach::West => 3,
+        }
+    }
+}
+
+impl std::fmt::Display for Approach {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Approach::North => "N",
+            Approach::East => "E",
+            Approach::South => "S",
+            Approach::West => "W",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A turning movement relative to the approach direction.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord,
+    serde::Serialize, serde::Deserialize,
+)]
+pub enum Turn {
+    /// Cross straight through.
+    Straight,
+    /// Turn left (the long arc).
+    Left,
+    /// Turn right (the short arc).
+    Right,
+}
+
+impl Turn {
+    /// All turns, in a fixed order.
+    pub const ALL: [Turn; 3] = [Turn::Straight, Turn::Left, Turn::Right];
+
+    /// Stable index 0..3 for table lookups.
+    #[must_use]
+    pub fn index(self) -> usize {
+        match self {
+            Turn::Straight => 0,
+            Turn::Left => 1,
+            Turn::Right => 2,
+        }
+    }
+}
+
+impl std::fmt::Display for Turn {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Turn::Straight => "straight",
+            Turn::Left => "left",
+            Turn::Right => "right",
+        };
+        f.write_str(s)
+    }
+}
+
+/// An (approach, turn) pair — the paper's "lane of entry / lane of exit /
+/// direction of entry / direction of exit" collapsed for a single-lane
+/// four-way intersection.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord,
+    serde::Serialize, serde::Deserialize,
+)]
+pub struct Movement {
+    /// Entry arm.
+    pub approach: Approach,
+    /// Turning movement.
+    pub turn: Turn,
+}
+
+impl Movement {
+    /// Creates a movement.
+    #[must_use]
+    pub fn new(approach: Approach, turn: Turn) -> Self {
+        Movement { approach, turn }
+    }
+
+    /// The arm this movement exits on.
+    #[must_use]
+    pub fn exit(self) -> Approach {
+        match self.turn {
+            Turn::Straight => self.approach.opposite(),
+            Turn::Left => self.approach.left(),
+            Turn::Right => self.approach.right(),
+        }
+    }
+
+    /// All twelve movements of a four-way single-lane intersection.
+    #[must_use]
+    pub fn all() -> Vec<Movement> {
+        let mut v = Vec::with_capacity(12);
+        for a in Approach::ALL {
+            for t in Turn::ALL {
+                v.push(Movement::new(a, t));
+            }
+        }
+        v
+    }
+
+    /// Stable index 0..12.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.approach.index() * 3 + self.turn.index()
+    }
+}
+
+impl std::fmt::Display for Movement {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}-{}", self.approach, self.turn)
+    }
+}
+
+/// Physical dimensions of the intersection.
+///
+/// ```text
+///                 │  N  │
+///        ─────────┘     └─────────
+///                   box
+///        ─────────┐     ┌─────────
+///                 │  S  │
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct IntersectionGeometry {
+    /// Side length of the (square) conflict box.
+    pub box_size: Meters,
+    /// Width of each lane; lane centers sit `lane_width/2` right of each
+    /// road's centerline.
+    pub lane_width: Meters,
+    /// Distance from the box edge to the designated transmission line
+    /// (where vehicles register, sync and request — 3 m on the testbed).
+    pub transmission_line_distance: Meters,
+}
+
+impl IntersectionGeometry {
+    /// The testbed: 1.2 m × 1.2 m box, 0.6 m lanes, 3 m transmission line.
+    #[must_use]
+    pub fn scale_model() -> Self {
+        IntersectionGeometry {
+            box_size: Meters::new(1.2),
+            lane_width: Meters::new(0.6),
+            transmission_line_distance: Meters::new(3.0),
+        }
+    }
+
+    /// A full-scale urban intersection for the throughput sweeps:
+    /// 12 m box, 3.6 m lanes, 100 m transmission line.
+    #[must_use]
+    pub fn full_scale() -> Self {
+        IntersectionGeometry {
+            box_size: Meters::new(12.0),
+            lane_width: Meters::new(3.6),
+            transmission_line_distance: Meters::new(100.0),
+        }
+    }
+
+    /// Lateral offset of a lane center from the road centerline.
+    #[must_use]
+    pub fn lane_offset(&self) -> Meters {
+        self.lane_width / 2.0
+    }
+
+    /// Radius of the right-turn quarter arc.
+    #[must_use]
+    pub fn right_turn_radius(&self) -> Meters {
+        (self.box_size - self.lane_width) / 2.0
+    }
+
+    /// Radius of the left-turn quarter arc.
+    #[must_use]
+    pub fn left_turn_radius(&self) -> Meters {
+        (self.box_size + self.lane_width) / 2.0
+    }
+
+    /// Length of the in-box path for `movement`.
+    #[must_use]
+    pub fn path_length(&self, movement: Movement) -> Meters {
+        match movement.turn {
+            Turn::Straight => self.box_size,
+            Turn::Right => self.right_turn_radius() * std::f64::consts::FRAC_PI_2,
+            Turn::Left => self.left_turn_radius() * std::f64::consts::FRAC_PI_2,
+        }
+    }
+
+    /// Validates physical consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if any dimension is non-positive, or the lane is
+    /// wider than the box can carry (two opposing lanes must fit).
+    pub fn validate(&self) -> Result<(), String> {
+        for (name, v) in [
+            ("box_size", self.box_size.value()),
+            ("lane_width", self.lane_width.value()),
+            ("transmission_line_distance", self.transmission_line_distance.value()),
+        ] {
+            if !(v.is_finite() && v > 0.0) {
+                return Err(format!("{name} must be positive and finite, got {v}"));
+            }
+        }
+        if self.lane_width * 2.0 > self.box_size {
+            return Err(format!(
+                "two lanes ({}) must fit in the box ({})",
+                self.lane_width * 2.0,
+                self.box_size
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn headings_are_toward_center() {
+        assert!((Approach::South.heading().sin() - 1.0).abs() < 1e-12); // north
+        assert!((Approach::West.heading().cos() - 1.0).abs() < 1e-12); // east
+        assert!((Approach::North.heading().sin() + 1.0).abs() < 1e-12); // south
+        assert!((Approach::East.heading().cos() + 1.0).abs() < 1e-12); // west
+    }
+
+    #[test]
+    fn opposite_right_left_relationships() {
+        for a in Approach::ALL {
+            assert_eq!(a.opposite().opposite(), a);
+            assert_eq!(a.right().right(), a.opposite());
+            assert_eq!(a.left(), a.right().opposite());
+            assert_ne!(a.right(), a);
+            assert_ne!(a.left(), a.right());
+        }
+    }
+
+    #[test]
+    fn movement_exits() {
+        let m = Movement::new(Approach::South, Turn::Straight);
+        assert_eq!(m.exit(), Approach::North);
+        assert_eq!(Movement::new(Approach::South, Turn::Right).exit(), Approach::East);
+        assert_eq!(Movement::new(Approach::South, Turn::Left).exit(), Approach::West);
+        assert_eq!(Movement::new(Approach::East, Turn::Right).exit(), Approach::North);
+    }
+
+    #[test]
+    fn twelve_unique_movements_with_unique_indices() {
+        let all = Movement::all();
+        assert_eq!(all.len(), 12);
+        let mut idx: Vec<usize> = all.iter().map(|m| m.index()).collect();
+        idx.sort_unstable();
+        assert_eq!(idx, (0..12).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn scale_model_dimensions_match_paper() {
+        let g = IntersectionGeometry::scale_model();
+        assert_eq!(g.box_size, Meters::new(1.2));
+        assert_eq!(g.transmission_line_distance, Meters::new(3.0));
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn turn_radii_and_path_lengths() {
+        let g = IntersectionGeometry::scale_model();
+        assert!((g.right_turn_radius().value() - 0.3).abs() < 1e-12);
+        assert!((g.left_turn_radius().value() - 0.9).abs() < 1e-12);
+        let s = g.path_length(Movement::new(Approach::South, Turn::Straight));
+        assert_eq!(s, Meters::new(1.2));
+        let r = g.path_length(Movement::new(Approach::South, Turn::Right));
+        assert!((r.value() - 0.3 * std::f64::consts::FRAC_PI_2).abs() < 1e-12);
+        let l = g.path_length(Movement::new(Approach::South, Turn::Left));
+        assert!((l.value() - 0.9 * std::f64::consts::FRAC_PI_2).abs() < 1e-12);
+        // Left arcs are longer than straight-through? No: 0.9·π/2 ≈ 1.41 > 1.2.
+        assert!(l > s && s > r);
+    }
+
+    #[test]
+    fn validation_rejects_oversized_lanes() {
+        let g = IntersectionGeometry {
+            lane_width: Meters::new(0.7),
+            ..IntersectionGeometry::scale_model()
+        };
+        assert!(g.validate().is_err());
+    }
+
+    #[test]
+    fn displays_are_compact() {
+        assert_eq!(Movement::new(Approach::South, Turn::Left).to_string(), "S-left");
+        assert_eq!(Approach::North.to_string(), "N");
+        assert_eq!(Turn::Straight.to_string(), "straight");
+    }
+}

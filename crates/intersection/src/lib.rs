@@ -1,0 +1,33 @@
+//! The four-way, single-lane-per-road intersection of the paper.
+//!
+//! The testbed intersection is a 1.2 m × 1.2 m box with one lane per road,
+//! a designated transmission line 3 m out on every approach, and
+//! right-hand traffic. This crate models:
+//!
+//! - [`geometry`] — approaches, turns, movements and the physical
+//!   dimensions (scale-model and full-scale variants).
+//! - [`path`] — the geometric path a movement traces through the box
+//!   (straight segment or quarter-circle arc), parameterized by distance.
+//! - [`conflict`] — which movements can share the box concurrently,
+//!   derived *geometrically* by sweeping vehicle footprints along both
+//!   paths and testing separation.
+//! - [`schedule`] — the interval [`schedule::ReservationTable`] used by
+//!   VT-IM and Crossroads: per-movement occupancy windows with FIFO
+//!   earliest-fit queries.
+//! - [`tiles`] — the space-time tile grid used by AIM: the box divided
+//!   into `n × n` tiles, each reservable over time intervals.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod conflict;
+pub mod geometry;
+pub mod path;
+pub mod schedule;
+pub mod tiles;
+
+pub use conflict::ConflictTable;
+pub use geometry::{Approach, IntersectionGeometry, Movement, Turn};
+pub use path::MovementPath;
+pub use schedule::{Reservation, ReservationTable};
+pub use tiles::{TileGrid, TileSchedule};

@@ -1,0 +1,357 @@
+//! The interval reservation table used by VT-IM and Crossroads.
+//!
+//! Each admitted vehicle holds one *occupancy window* `[enter, exit]` for
+//! its movement; windows of conflicting movements must not overlap. The IM
+//! processes requests FIFO (the paper's queue) and, for each, finds the
+//! earliest window at or after the vehicle's earliest achievable arrival —
+//! "a safe ToA is calculated based on \[the\] kinematic equation of vehicles
+//! and the earliest arrival time assigned to the last entered vehicle".
+
+use crossroads_units::{Seconds, TimePoint};
+use crossroads_vehicle::VehicleId;
+
+use crate::conflict::ConflictTable;
+use crate::geometry::Movement;
+
+/// One vehicle's occupancy window.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Reservation {
+    /// Holder.
+    pub vehicle: VehicleId,
+    /// Movement the window covers.
+    pub movement: Movement,
+    /// Instant the (buffered) vehicle front enters the box.
+    pub enter: TimePoint,
+    /// Instant the (buffered) vehicle rear clears the box.
+    pub exit: TimePoint,
+}
+
+impl Reservation {
+    /// Whether two windows overlap in time. Windows are half-open
+    /// `[enter, exit)`: a vehicle exiting at `t` and another entering at
+    /// `t` do not overlap (the safety margin already lives *inside* the
+    /// window via the buffered occupancy duration).
+    #[must_use]
+    pub fn overlaps(&self, other: &Reservation) -> bool {
+        self.enter < other.exit && other.enter < self.exit
+    }
+}
+
+/// Errors from [`ReservationTable`] operations.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ScheduleError {
+    /// Insertion would overlap a conflicting reservation.
+    Conflicts {
+        /// The blocking holder.
+        with: VehicleId,
+    },
+    /// The window is malformed (`exit < enter` or non-finite).
+    InvalidWindow,
+    /// The vehicle already holds a reservation.
+    AlreadyReserved,
+}
+
+impl std::fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScheduleError::Conflicts { with } => write!(f, "window conflicts with {with}"),
+            ScheduleError::InvalidWindow => write!(f, "invalid reservation window"),
+            ScheduleError::AlreadyReserved => write!(f, "vehicle already holds a reservation"),
+        }
+    }
+}
+
+impl std::error::Error for ScheduleError {}
+
+/// The IM-side occupancy ledger.
+///
+/// # Examples
+///
+/// ```
+/// use crossroads_intersection::{
+///     Approach, ConflictTable, IntersectionGeometry, Movement, Reservation,
+///     ReservationTable, Turn,
+/// };
+/// use crossroads_units::{Meters, Seconds, TimePoint};
+/// use crossroads_vehicle::VehicleId;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let g = IntersectionGeometry::scale_model();
+/// let table = ConflictTable::compute(&g, Meters::new(0.296));
+/// let mut sched = ReservationTable::new(table);
+///
+/// let south = Movement::new(Approach::South, Turn::Straight);
+/// let east = Movement::new(Approach::East, Turn::Straight);
+/// sched.insert(Reservation {
+///     vehicle: VehicleId(1),
+///     movement: south,
+///     enter: TimePoint::new(1.0),
+///     exit: TimePoint::new(2.0),
+/// })?;
+/// // A conflicting movement must wait for the window to clear.
+/// let slot = sched.earliest_slot(east, TimePoint::new(1.5), Seconds::new(1.0));
+/// assert_eq!(slot, TimePoint::new(2.0));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct ReservationTable {
+    conflicts: ConflictTable,
+    // Sorted by `enter`; linear scans are fine at intersection scale
+    // (tens of concurrent reservations).
+    reservations: Vec<Reservation>,
+}
+
+impl ReservationTable {
+    /// An empty table over the given conflict relation.
+    #[must_use]
+    pub fn new(conflicts: ConflictTable) -> Self {
+        ReservationTable { conflicts, reservations: Vec::new() }
+    }
+
+    /// Active reservations, ordered by entry time.
+    #[must_use]
+    pub fn reservations(&self) -> &[Reservation] {
+        &self.reservations
+    }
+
+    /// The conflict relation in use.
+    #[must_use]
+    pub fn conflict_table(&self) -> &ConflictTable {
+        &self.conflicts
+    }
+
+    /// Earliest `enter ≥ earliest` such that `[enter, enter + duration]`
+    /// overlaps no conflicting reservation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `duration` is negative or non-finite.
+    #[must_use]
+    pub fn earliest_slot(
+        &self,
+        movement: Movement,
+        earliest: TimePoint,
+        duration: Seconds,
+    ) -> TimePoint {
+        assert!(
+            duration.is_finite() && duration.value() >= 0.0,
+            "occupancy duration must be non-negative"
+        );
+        let mut enter = earliest;
+        // Push the window past each conflicting overlap; the list is sorted
+        // by entry, so one forward pass converges (windows only move later).
+        loop {
+            let mut moved = false;
+            for r in &self.reservations {
+                if !self.conflicts.conflicts(movement, r.movement) {
+                    continue;
+                }
+                let candidate = Reservation { vehicle: VehicleId(u32::MAX), movement, enter, exit: enter + duration };
+                if candidate.overlaps(r) {
+                    enter = r.exit;
+                    moved = true;
+                }
+            }
+            if !moved {
+                return enter;
+            }
+        }
+    }
+
+    /// Inserts a reservation after re-validating it against the table.
+    ///
+    /// # Errors
+    ///
+    /// - [`ScheduleError::InvalidWindow`] on a malformed window.
+    /// - [`ScheduleError::AlreadyReserved`] if the vehicle holds one.
+    /// - [`ScheduleError::Conflicts`] if it overlaps a conflicting window
+    ///   (the IM must re-query [`earliest_slot`](Self::earliest_slot)).
+    pub fn insert(&mut self, r: Reservation) -> Result<(), ScheduleError> {
+        if !(r.enter.is_finite() && r.exit.is_finite()) || r.exit < r.enter {
+            return Err(ScheduleError::InvalidWindow);
+        }
+        if self.reservations.iter().any(|x| x.vehicle == r.vehicle) {
+            return Err(ScheduleError::AlreadyReserved);
+        }
+        if let Some(block) = self
+            .reservations
+            .iter()
+            .find(|x| self.conflicts.conflicts(r.movement, x.movement) && x.overlaps(&r))
+        {
+            return Err(ScheduleError::Conflicts { with: block.vehicle });
+        }
+        let pos = self
+            .reservations
+            .partition_point(|x| x.enter <= r.enter);
+        self.reservations.insert(pos, r);
+        Ok(())
+    }
+
+    /// Removes `vehicle`'s reservation (when it exits or aborts),
+    /// returning it if present.
+    pub fn release(&mut self, vehicle: VehicleId) -> Option<Reservation> {
+        let pos = self.reservations.iter().position(|r| r.vehicle == vehicle)?;
+        Some(self.reservations.remove(pos))
+    }
+
+    /// Drops reservations whose windows ended before `now` (housekeeping).
+    pub fn prune_before(&mut self, now: TimePoint) {
+        self.reservations.retain(|r| r.exit >= now);
+    }
+
+    /// Verifies the core safety invariant: no two conflicting reservations
+    /// overlap. Intended for tests and debug assertions.
+    #[must_use]
+    pub fn is_conflict_free(&self) -> bool {
+        for (i, a) in self.reservations.iter().enumerate() {
+            for b in &self.reservations[i + 1..] {
+                if self.conflicts.conflicts(a.movement, b.movement) && a.overlaps(b) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::{Approach, IntersectionGeometry, Turn};
+    use crossroads_units::Meters;
+
+    fn sched() -> ReservationTable {
+        ReservationTable::new(ConflictTable::compute(
+            &IntersectionGeometry::scale_model(),
+            Meters::new(0.296),
+        ))
+    }
+
+    fn res(v: u32, m: Movement, enter: f64, exit: f64) -> Reservation {
+        Reservation {
+            vehicle: VehicleId(v),
+            movement: m,
+            enter: TimePoint::new(enter),
+            exit: TimePoint::new(exit),
+        }
+    }
+
+    const S: Movement = Movement { approach: Approach::South, turn: Turn::Straight };
+    const N: Movement = Movement { approach: Approach::North, turn: Turn::Straight };
+    const E: Movement = Movement { approach: Approach::East, turn: Turn::Straight };
+
+    #[test]
+    fn empty_table_grants_immediately() {
+        let t = sched();
+        assert_eq!(t.earliest_slot(S, TimePoint::new(3.0), Seconds::new(1.0)), TimePoint::new(3.0));
+    }
+
+    #[test]
+    fn conflicting_window_is_pushed_after_exit() {
+        let mut t = sched();
+        t.insert(res(1, S, 1.0, 2.0)).unwrap();
+        assert_eq!(t.earliest_slot(E, TimePoint::new(0.5), Seconds::new(1.0)), TimePoint::new(2.0));
+        // A short window that clears before the reservation starts fits
+        // immediately (windows are half-open, so touching at 1.0 is fine).
+        assert_eq!(t.earliest_slot(E, TimePoint::ZERO, Seconds::new(1.0)), TimePoint::ZERO);
+    }
+
+    #[test]
+    fn non_conflicting_movements_share_time() {
+        let mut t = sched();
+        t.insert(res(1, S, 1.0, 2.0)).unwrap();
+        // Opposing straight: same instant is fine.
+        assert_eq!(t.earliest_slot(N, TimePoint::new(1.0), Seconds::new(1.0)), TimePoint::new(1.0));
+        t.insert(res(2, N, 1.0, 2.0)).unwrap();
+        assert!(t.is_conflict_free());
+    }
+
+    #[test]
+    fn chained_conflicts_cascade() {
+        let mut t = sched();
+        t.insert(res(1, S, 1.0, 2.0)).unwrap();
+        t.insert(res(2, E, 2.0, 3.0)).unwrap();
+        // S conflicts with E, E conflicts with S; a new E-movement vehicle
+        // must clear both S (until 2.0) and its own lane (E until 3.0).
+        assert_eq!(t.earliest_slot(E, TimePoint::new(1.5), Seconds::new(1.0)), TimePoint::new(3.0));
+    }
+
+    #[test]
+    fn insert_rejects_conflicting_window() {
+        let mut t = sched();
+        t.insert(res(1, S, 1.0, 2.0)).unwrap();
+        let err = t.insert(res(2, E, 1.5, 2.5)).unwrap_err();
+        assert_eq!(err, ScheduleError::Conflicts { with: VehicleId(1) });
+    }
+
+    #[test]
+    fn insert_rejects_double_booking() {
+        let mut t = sched();
+        t.insert(res(1, S, 1.0, 2.0)).unwrap();
+        let err = t.insert(res(1, N, 5.0, 6.0)).unwrap_err();
+        assert_eq!(err, ScheduleError::AlreadyReserved);
+    }
+
+    #[test]
+    fn insert_rejects_invalid_window() {
+        let mut t = sched();
+        assert_eq!(t.insert(res(1, S, 2.0, 1.0)), Err(ScheduleError::InvalidWindow));
+        assert_eq!(
+            t.insert(res(1, S, f64::NAN, 1.0)),
+            Err(ScheduleError::InvalidWindow)
+        );
+    }
+
+    #[test]
+    fn release_frees_the_window() {
+        let mut t = sched();
+        t.insert(res(1, S, 1.0, 2.0)).unwrap();
+        assert!(t.release(VehicleId(1)).is_some());
+        assert!(t.release(VehicleId(1)).is_none());
+        assert_eq!(t.earliest_slot(E, TimePoint::new(1.0), Seconds::new(1.0)), TimePoint::new(1.0));
+    }
+
+    #[test]
+    fn prune_drops_expired_windows() {
+        let mut t = sched();
+        t.insert(res(1, S, 1.0, 2.0)).unwrap();
+        t.insert(res(2, N, 5.0, 6.0)).unwrap();
+        t.prune_before(TimePoint::new(3.0));
+        assert_eq!(t.reservations().len(), 1);
+        assert_eq!(t.reservations()[0].vehicle, VehicleId(2));
+    }
+
+    #[test]
+    fn earliest_slot_result_always_inserts_cleanly() {
+        let mut t = sched();
+        t.insert(res(1, S, 1.0, 2.5)).unwrap();
+        t.insert(res(2, E, 2.5, 4.0)).unwrap();
+        // N runs concurrently with S (opposing straights don't conflict)
+        // and clears before E's window begins.
+        t.insert(res(3, N, 0.5, 2.4)).unwrap();
+        let dur = Seconds::new(1.2);
+        let slot = t.earliest_slot(E, TimePoint::new(0.2), dur);
+        t.insert(Reservation {
+            vehicle: VehicleId(9),
+            movement: E,
+            enter: slot,
+            exit: slot + dur,
+        })
+        .unwrap();
+        assert!(t.is_conflict_free());
+    }
+
+    #[test]
+    fn fifo_ordering_emerges_from_sequential_queries() {
+        // Two vehicles on the same lane, queried in arrival order, cross in
+        // arrival order — the paper's FIFO behavior.
+        let mut t = sched();
+        let dur = Seconds::new(1.0);
+        let first = t.earliest_slot(S, TimePoint::new(1.0), dur);
+        t.insert(Reservation { vehicle: VehicleId(1), movement: S, enter: first, exit: first + dur })
+            .unwrap();
+        let second = t.earliest_slot(S, TimePoint::new(1.2), dur);
+        assert!(second >= first + dur);
+    }
+}

@@ -1,0 +1,395 @@
+//! The space-time tile grid used by AIM (Dresner & Stone).
+//!
+//! AIM divides the intersection box into an `n × n` grid of tiles. To
+//! admit a vehicle, the IM *simulates its trajectory* through the box at
+//! the requested arrival time and speed, computes which tiles the
+//! (buffered) footprint covers at each simulation step, and accepts only
+//! if every (tile, time-interval) pair is free. This crate supplies the
+//! grid ([`TileGrid`]) and the per-tile interval ledger ([`TileSchedule`]);
+//! the trajectory simulation itself lives with the AIM policy in
+//! `crossroads-core`.
+
+use crossroads_units::geom::Aabb;
+use crossroads_units::{Meters, Point2, Radians, TimePoint};
+use crossroads_vehicle::VehicleId;
+
+/// A square grid of reservation tiles over the intersection box.
+///
+/// # Examples
+///
+/// ```
+/// use crossroads_intersection::TileGrid;
+/// use crossroads_units::{Meters, Point2};
+///
+/// let grid = TileGrid::new(Meters::new(1.2), 8);
+/// assert_eq!(grid.tile_count(), 64);
+/// // The box center falls on a tile.
+/// assert!(grid.tile_at(Point2::ORIGIN).is_some());
+/// // Points outside the box do not.
+/// assert!(grid.tile_at(Point2::new(0.7, 0.0)).is_none());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct TileGrid {
+    box_size: Meters,
+    n: usize,
+}
+
+impl TileGrid {
+    /// A grid of `n × n` tiles covering a centered square box.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or the box size is non-positive.
+    #[must_use]
+    pub fn new(box_size: Meters, n: usize) -> Self {
+        assert!(n > 0, "grid must have at least one tile per side");
+        assert!(
+            box_size.is_finite() && box_size.value() > 0.0,
+            "box size must be positive"
+        );
+        TileGrid { box_size, n }
+    }
+
+    /// Tiles per side.
+    #[must_use]
+    pub fn side(&self) -> usize {
+        self.n
+    }
+
+    /// Total tile count.
+    #[must_use]
+    pub fn tile_count(&self) -> usize {
+        self.n * self.n
+    }
+
+    /// Side length of one tile.
+    #[must_use]
+    pub fn tile_size(&self) -> Meters {
+        #[allow(clippy::cast_precision_loss)]
+        let n = self.n as f64;
+        self.box_size / n
+    }
+
+    /// Index of the tile containing `p`, or `None` outside the box.
+    #[must_use]
+    pub fn tile_at(&self, p: Point2) -> Option<usize> {
+        let half = self.box_size.value() / 2.0;
+        let (x, y) = (p.x.value() + half, p.y.value() + half);
+        if !(0.0..=self.box_size.value()).contains(&x)
+            || !(0.0..=self.box_size.value()).contains(&y)
+        {
+            return None;
+        }
+        let ts = self.tile_size().value();
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        let (col, row) = (
+            ((x / ts) as usize).min(self.n - 1),
+            ((y / ts) as usize).min(self.n - 1),
+        );
+        Some(row * self.n + col)
+    }
+
+    /// All tiles intersecting an axis-aligned footprint (clipped to the
+    /// box; an entirely external box yields no tiles).
+    #[must_use]
+    pub fn tiles_for_aabb(&self, footprint: &Aabb) -> Vec<usize> {
+        let half = self.box_size.value() / 2.0;
+        let ts = self.tile_size().value();
+        let clip = |v: f64| v.clamp(0.0, self.box_size.value());
+        let x0 = clip(footprint.min.x.value() + half);
+        let x1 = clip(footprint.max.x.value() + half);
+        let y0 = clip(footprint.min.y.value() + half);
+        let y1 = clip(footprint.max.y.value() + half);
+        if x0 >= x1 && (footprint.max.x.value() + half < 0.0 || footprint.min.x.value() + half > self.box_size.value()) {
+            return Vec::new();
+        }
+        if y0 >= y1 && (footprint.max.y.value() + half < 0.0 || footprint.min.y.value() + half > self.box_size.value()) {
+            return Vec::new();
+        }
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        let (c0, c1) = (
+            ((x0 / ts).floor() as usize).min(self.n - 1),
+            (((x1 / ts).ceil() as usize).max(1) - 1).min(self.n - 1),
+        );
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        let (r0, r1) = (
+            ((y0 / ts).floor() as usize).min(self.n - 1),
+            (((y1 / ts).ceil() as usize).max(1) - 1).min(self.n - 1),
+        );
+        let mut out = Vec::with_capacity((c1 - c0 + 1) * (r1 - r0 + 1));
+        for r in r0..=r1 {
+            for c in c0..=c1 {
+                out.push(r * self.n + c);
+            }
+        }
+        out
+    }
+
+    /// Tiles covered by an *oriented* vehicle footprint: a rectangle of
+    /// `length × width` centered at `center` with its long axis along
+    /// `heading`. Conservatively computed by sampling the rectangle's
+    /// corner/edge points and padding with the enclosing AABB of those
+    /// samples.
+    #[must_use]
+    pub fn tiles_for_footprint(
+        &self,
+        center: Point2,
+        heading: Radians,
+        length: Meters,
+        width: Meters,
+    ) -> Vec<usize> {
+        let (hl, hw) = (length.value() / 2.0, width.value() / 2.0);
+        let (sin, cos) = (heading.sin(), heading.cos());
+        let corner = |dl: f64, dw: f64| {
+            Point2::new(
+                center.x.value() + dl * cos - dw * sin,
+                center.y.value() + dl * sin + dw * cos,
+            )
+        };
+        let corners = [
+            corner(hl, hw),
+            corner(hl, -hw),
+            corner(-hl, hw),
+            corner(-hl, -hw),
+        ];
+        let mut min = corners[0];
+        let mut max = corners[0];
+        for c in &corners[1..] {
+            min = Point2 { x: min.x.min(c.x), y: min.y.min(c.y) };
+            max = Point2 { x: max.x.max(c.x), y: max.y.max(c.y) };
+        }
+        self.tiles_for_aabb(&Aabb::from_corners(min, max))
+    }
+}
+
+/// A time interval reserved on one tile.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct TileInterval {
+    /// Tile index within the grid.
+    pub tile: usize,
+    /// Interval start.
+    pub from: TimePoint,
+    /// Interval end (half-open).
+    pub until: TimePoint,
+}
+
+/// Per-tile reservation ledger.
+#[derive(Debug, Clone)]
+pub struct TileSchedule {
+    grid: TileGrid,
+    // For each tile: (from, until, holder), kept sorted by `from`.
+    slots: Vec<Vec<(TimePoint, TimePoint, VehicleId)>>,
+}
+
+impl TileSchedule {
+    /// An empty schedule over `grid`.
+    #[must_use]
+    pub fn new(grid: TileGrid) -> Self {
+        TileSchedule { grid, slots: vec![Vec::new(); grid.tile_count()] }
+    }
+
+    /// The underlying grid.
+    #[must_use]
+    pub fn grid(&self) -> &TileGrid {
+        &self.grid
+    }
+
+    /// Whether every requested (tile, interval) is free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a tile index is out of range.
+    #[must_use]
+    pub fn is_free(&self, request: &[TileInterval]) -> bool {
+        request.iter().all(|iv| {
+            self.slots[iv.tile]
+                .iter()
+                .all(|&(from, until, _)| !(iv.from < until && from < iv.until))
+        })
+    }
+
+    /// Atomically reserves all intervals for `vehicle`, or reserves
+    /// nothing and returns `false` if any is taken.
+    pub fn try_reserve(&mut self, vehicle: VehicleId, request: &[TileInterval]) -> bool {
+        if !self.is_free(request) {
+            return false;
+        }
+        for iv in request {
+            let v = &mut self.slots[iv.tile];
+            let pos = v.partition_point(|&(from, _, _)| from <= iv.from);
+            v.insert(pos, (iv.from, iv.until, vehicle));
+        }
+        true
+    }
+
+    /// Releases every interval held by `vehicle`, returning how many were
+    /// dropped.
+    pub fn release(&mut self, vehicle: VehicleId) -> usize {
+        let mut dropped = 0;
+        for v in &mut self.slots {
+            let before = v.len();
+            v.retain(|&(_, _, holder)| holder != vehicle);
+            dropped += before - v.len();
+        }
+        dropped
+    }
+
+    /// Drops intervals that ended before `now`.
+    pub fn prune_before(&mut self, now: TimePoint) {
+        for v in &mut self.slots {
+            v.retain(|&(_, until, _)| until >= now);
+        }
+    }
+
+    /// Total live reserved intervals (diagnostics).
+    #[must_use]
+    pub fn reserved_intervals(&self) -> usize {
+        self.slots.iter().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid() -> TileGrid {
+        TileGrid::new(Meters::new(1.2), 8)
+    }
+
+    fn t(s: f64) -> TimePoint {
+        TimePoint::new(s)
+    }
+
+    #[test]
+    fn tile_indexing_corners_and_center() {
+        let g = grid();
+        // South-west corner tile is index 0.
+        assert_eq!(g.tile_at(Point2::new(-0.59, -0.59)), Some(0));
+        // North-east corner tile is the last index.
+        assert_eq!(g.tile_at(Point2::new(0.59, 0.59)), Some(63));
+        assert!(g.tile_at(Point2::ORIGIN).is_some());
+        assert_eq!(g.tile_at(Point2::new(2.0, 0.0)), None);
+    }
+
+    #[test]
+    fn tile_size() {
+        assert!((grid().tile_size().value() - 0.15).abs() < 1e-12);
+    }
+
+    #[test]
+    fn aabb_covers_expected_tiles() {
+        let g = grid();
+        // A footprint exactly covering the SW quarter: 4x4 tiles.
+        let fp = Aabb::from_corners(Point2::new(-0.6, -0.6), Point2::new(0.0, 0.0));
+        let tiles = g.tiles_for_aabb(&fp);
+        assert_eq!(tiles.len(), 16);
+        assert!(tiles.contains(&0));
+    }
+
+    #[test]
+    fn external_aabb_yields_no_tiles() {
+        let g = grid();
+        let fp = Aabb::from_corners(Point2::new(2.0, 2.0), Point2::new(3.0, 3.0));
+        assert!(g.tiles_for_aabb(&fp).is_empty());
+        let fp2 = Aabb::from_corners(Point2::new(-3.0, -0.1), Point2::new(-2.0, 0.1));
+        assert!(g.tiles_for_aabb(&fp2).is_empty());
+    }
+
+    #[test]
+    fn partially_external_aabb_clips() {
+        let g = grid();
+        let fp = Aabb::from_corners(Point2::new(0.5, -0.1), Point2::new(1.5, 0.1));
+        let tiles = g.tiles_for_aabb(&fp);
+        assert!(!tiles.is_empty());
+        // All returned tiles are valid indices.
+        assert!(tiles.iter().all(|&i| i < g.tile_count()));
+    }
+
+    #[test]
+    fn oriented_footprint_covers_more_when_diagonal() {
+        let g = grid();
+        let axis_aligned = g.tiles_for_footprint(
+            Point2::ORIGIN,
+            Radians::new(0.0),
+            Meters::new(0.568),
+            Meters::new(0.296),
+        );
+        let diagonal = g.tiles_for_footprint(
+            Point2::ORIGIN,
+            Radians::new(std::f64::consts::FRAC_PI_4),
+            Meters::new(0.568),
+            Meters::new(0.296),
+        );
+        assert!(!axis_aligned.is_empty());
+        assert!(diagonal.len() >= axis_aligned.len());
+    }
+
+    #[test]
+    fn reserve_then_conflict_then_release() {
+        let mut s = TileSchedule::new(grid());
+        let req = [
+            TileInterval { tile: 0, from: t(1.0), until: t(2.0) },
+            TileInterval { tile: 1, from: t(1.0), until: t(2.0) },
+        ];
+        assert!(s.try_reserve(VehicleId(1), &req));
+        assert_eq!(s.reserved_intervals(), 2);
+        // Overlapping request on tile 1 fails atomically.
+        let req2 = [
+            TileInterval { tile: 2, from: t(1.0), until: t(2.0) },
+            TileInterval { tile: 1, from: t(1.5), until: t(2.5) },
+        ];
+        assert!(!s.try_reserve(VehicleId(2), &req2));
+        assert_eq!(s.reserved_intervals(), 2, "failed reserve must not leak");
+        // After release it succeeds.
+        assert_eq!(s.release(VehicleId(1)), 2);
+        assert!(s.try_reserve(VehicleId(2), &req2));
+    }
+
+    #[test]
+    fn touching_intervals_do_not_conflict() {
+        let mut s = TileSchedule::new(grid());
+        assert!(s.try_reserve(
+            VehicleId(1),
+            &[TileInterval { tile: 5, from: t(1.0), until: t(2.0) }]
+        ));
+        assert!(s.try_reserve(
+            VehicleId(2),
+            &[TileInterval { tile: 5, from: t(2.0), until: t(3.0) }]
+        ));
+    }
+
+    #[test]
+    fn prune_drops_expired() {
+        let mut s = TileSchedule::new(grid());
+        s.try_reserve(VehicleId(1), &[TileInterval { tile: 0, from: t(0.0), until: t(1.0) }]);
+        s.try_reserve(VehicleId(2), &[TileInterval { tile: 0, from: t(5.0), until: t(6.0) }]);
+        s.prune_before(t(3.0));
+        assert_eq!(s.reserved_intervals(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one tile")]
+    fn zero_grid_panics() {
+        let _ = TileGrid::new(Meters::new(1.2), 0);
+    }
+
+    #[test]
+    fn finer_grids_reserve_fewer_square_meters() {
+        // Ablation hook: the same footprint on a finer grid covers less
+        // area (tile_count grows, covered tiles × tile area shrinks).
+        let coarse = TileGrid::new(Meters::new(1.2), 4);
+        let fine = TileGrid::new(Meters::new(1.2), 24);
+        let fp = |g: &TileGrid| {
+            g.tiles_for_footprint(
+                Point2::new(0.3, -0.3),
+                Radians::new(std::f64::consts::FRAC_PI_2),
+                Meters::new(0.568),
+                Meters::new(0.296),
+            )
+            .len() as f64
+                * g.tile_size().value()
+                * g.tile_size().value()
+        };
+        assert!(fp(&fine) < fp(&coarse));
+    }
+}

@@ -1,0 +1,182 @@
+//! Cross-substrate consistency.
+//!
+//! 1. **Soundness of the interval table**: any schedule it admits is
+//!    *geometrically* contact-free — conflicting movements never share
+//!    the box, and the movements it allows to overlap in time really are
+//!    spatially disjoint (swept with oriented footprints).
+//! 2. **Tiles are deliberately finer**: the tile grid admits same-lane
+//!    platoons the interval table refuses — the structural reason AIM
+//!    can out-carry interval IMs at fine granularity.
+//!
+//! (Note the tile grid is *not* uniformly more permissive: its AABB
+//! over-approximation of rotated footprints plus grid quantization can
+//! reject concurrent compatible turns that the centerline-based conflict
+//! table accepts — both over-approximate the geometry differently.)
+
+use crossroads_intersection::tiles::TileInterval;
+use crossroads_intersection::{
+    ConflictTable, IntersectionGeometry, Movement, MovementPath, Reservation, ReservationTable,
+    TileGrid, TileSchedule,
+};
+use crossroads_units::{Meters, Seconds, TimePoint};
+use crossroads_vehicle::VehicleId;
+use proptest::prelude::*;
+
+/// Tile intervals for a constant-speed crossing of `movement` entering at
+/// `enter` and clearing at `exit` (the same sweep the AIM policy does).
+fn tiles_for_crossing(
+    geometry: &IntersectionGeometry,
+    grid: &TileGrid,
+    movement: Movement,
+    enter: TimePoint,
+    exit: TimePoint,
+    length: Meters,
+    width: Meters,
+) -> Vec<TileInterval> {
+    let path = MovementPath::new(geometry, movement);
+    let total = geometry.path_length(movement) + length;
+    let duration = exit - enter;
+    let steps = 60usize;
+    let mut out = Vec::new();
+    for i in 0..=steps {
+        #[allow(clippy::cast_precision_loss)]
+        let f = total * (i as f64 / steps as f64);
+        let center_s = f - length / 2.0;
+        let (pose, heading) = path.pose_at(center_s);
+        #[allow(clippy::cast_precision_loss)]
+        let t = enter + duration * (i as f64 / steps as f64);
+        let dt = duration / steps as f64;
+        for tile in grid.tiles_for_footprint(pose, heading, length, width) {
+            out.push(TileInterval { tile, from: t - dt, until: t + dt + dt });
+        }
+    }
+    out
+}
+
+fn movement_strategy() -> impl Strategy<Value = Movement> {
+    (0usize..12).prop_map(|i| Movement::all()[i])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every interval-admitted schedule is geometrically contact-free:
+    /// replay all temporally overlapping pairs with swept oriented
+    /// footprints (bare bodies, constant speed) and assert separation.
+    #[test]
+    fn interval_schedules_are_geometrically_sound(
+        arrivals in prop::collection::vec(
+            (movement_strategy(), 0.0f64..20.0),
+            1..14,
+        )
+    ) {
+        use crossroads_units::OrientedRect;
+
+        let geometry = IntersectionGeometry::scale_model();
+        let eff = Meters::new(0.568 + 0.156); // body + 2 x E_long buffers
+        let body = Meters::new(0.568);
+        let width = Meters::new(0.296);
+        let speed = 1.5; // m/s through the box
+
+        let conflicts = ConflictTable::compute(&geometry, Meters::new(0.296));
+        let mut table = ReservationTable::new(conflicts);
+        let mut admitted: Vec<(Movement, TimePoint, TimePoint)> = Vec::new();
+
+        for (i, (movement, earliest)) in arrivals.iter().enumerate() {
+            let dur = Seconds::new(
+                (geometry.path_length(*movement) + eff).value() / speed,
+            );
+            let enter = table.earliest_slot(*movement, TimePoint::new(*earliest), dur);
+            #[allow(clippy::cast_possible_truncation)]
+            let vehicle = VehicleId(i as u32);
+            table
+                .insert(Reservation { vehicle, movement: *movement, enter, exit: enter + dur })
+                .expect("earliest_slot result inserts cleanly");
+            admitted.push((*movement, enter, enter + dur));
+        }
+
+        let footprint = |movement: Movement, enter: TimePoint, exit: TimePoint, t: TimePoint| {
+            let path = MovementPath::new(&geometry, movement);
+            let total = geometry.path_length(movement) + eff;
+            let frac = (t - enter).value() / (exit - enter).value();
+            let front = total * frac;
+            let (center, heading) = path.pose_at(front - body / 2.0);
+            OrientedRect { center, heading, length: body, width }
+        };
+
+        for (i, a) in admitted.iter().enumerate() {
+            for b in &admitted[i + 1..] {
+                let start = a.1.max(b.1);
+                let end = a.2.min(b.2);
+                if end <= start {
+                    continue;
+                }
+                let mut t = start;
+                while t <= end {
+                    let ra = footprint(a.0, a.1, a.2, t);
+                    let rb = footprint(b.0, b.1, b.2, t);
+                    prop_assert!(
+                        !ra.intersects(&rb),
+                        "contact between {} and {} at {t}",
+                        a.0,
+                        b.0
+                    );
+                    t += Seconds::new(0.02);
+                }
+            }
+        }
+    }
+}
+
+/// And the converse is false: tiles admit what intervals refuse.
+#[test]
+fn tiles_admit_what_intervals_refuse() {
+    let geometry = IntersectionGeometry::scale_model();
+    let conflicts = ConflictTable::compute(&geometry, Meters::new(0.296));
+    let mut table = ReservationTable::new(conflicts);
+    let grid = TileGrid::new(geometry.box_size, 8);
+    let mut tiles = TileSchedule::new(grid);
+    let length = Meters::new(0.724);
+    let width = Meters::new(0.296);
+
+    use crossroads_intersection::{Approach, Turn};
+    let a = Movement::new(Approach::South, Turn::Straight);
+    let b = Movement::new(Approach::South, Turn::Straight); // same lane
+    let dur = Seconds::new((geometry.path_length(a) + length).value() / 1.5);
+
+    // Two same-lane crossings 1.2 s apart: the interval table refuses the
+    // overlap outright…
+    table
+        .insert(Reservation {
+            vehicle: VehicleId(1),
+            movement: a,
+            enter: TimePoint::new(0.0),
+            exit: TimePoint::ZERO + dur,
+        })
+        .expect("first crossing inserts");
+    let refused = table.insert(Reservation {
+        vehicle: VehicleId(2),
+        movement: b,
+        enter: TimePoint::new(1.0),
+        exit: TimePoint::new(1.0) + dur,
+    });
+    assert!(refused.is_err(), "interval table should refuse the overlap");
+
+    // …while the tile grid admits the platoon (the leader has cleared the
+    // entry tiles by the time the follower needs them).
+    let lead = tiles_for_crossing(&geometry, &grid, a, TimePoint::ZERO, TimePoint::ZERO + dur, length, width);
+    assert!(tiles.try_reserve(VehicleId(1), &lead));
+    let follow = tiles_for_crossing(
+        &geometry,
+        &grid,
+        b,
+        TimePoint::new(1.0),
+        TimePoint::new(1.0) + dur,
+        length,
+        width,
+    );
+    assert!(
+        tiles.try_reserve(VehicleId(2), &follow),
+        "tile grid should admit a 1.2 s platoon"
+    );
+}

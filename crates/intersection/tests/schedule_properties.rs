@@ -1,0 +1,117 @@
+//! Property tests: the reservation table's safety invariant holds under
+//! arbitrary FIFO admission sequences, and earliest-fit answers always
+//! insert cleanly.
+
+use crossroads_intersection::{
+    ConflictTable, IntersectionGeometry, Movement, Reservation, ReservationTable, TileGrid,
+    TileSchedule,
+};
+use crossroads_intersection::tiles::TileInterval;
+use crossroads_units::{Meters, Seconds, TimePoint};
+use crossroads_vehicle::VehicleId;
+use proptest::prelude::*;
+
+fn movement_strategy() -> impl Strategy<Value = Movement> {
+    (0usize..12).prop_map(|i| Movement::all()[i])
+}
+
+proptest! {
+    /// Whatever the arrival pattern, admitting every vehicle at its
+    /// earliest slot keeps the table conflict-free, and slots are at or
+    /// after the requested earliest time.
+    #[test]
+    fn fifo_admission_is_always_safe(
+        arrivals in prop::collection::vec(
+            (movement_strategy(), 0.0f64..30.0, 0.2f64..3.0),
+            1..60,
+        )
+    ) {
+        let table = ConflictTable::compute(
+            &IntersectionGeometry::scale_model(),
+            Meters::new(0.296),
+        );
+        let mut sched = ReservationTable::new(table);
+        for (i, (movement, earliest, dur)) in arrivals.iter().enumerate() {
+            let earliest = TimePoint::new(*earliest);
+            let dur = Seconds::new(*dur);
+            let slot = sched.earliest_slot(*movement, earliest, dur);
+            prop_assert!(slot >= earliest);
+            #[allow(clippy::cast_possible_truncation)]
+            sched
+                .insert(Reservation {
+                    vehicle: VehicleId(i as u32),
+                    movement: *movement,
+                    enter: slot,
+                    exit: slot + dur,
+                })
+                .expect("earliest_slot answers must insert cleanly");
+            prop_assert!(sched.is_conflict_free());
+        }
+    }
+
+    /// Same-movement windows strictly serialize (FIFO on one lane).
+    #[test]
+    fn same_lane_windows_never_overlap(
+        times in prop::collection::vec((0.0f64..20.0, 0.5f64..2.0), 2..30)
+    ) {
+        let table = ConflictTable::compute(
+            &IntersectionGeometry::scale_model(),
+            Meters::new(0.296),
+        );
+        let mut sched = ReservationTable::new(table);
+        let m = Movement::all()[0];
+        let mut windows: Vec<(f64, f64)> = Vec::new();
+        for (i, (earliest, dur)) in times.iter().enumerate() {
+            let slot = sched.earliest_slot(m, TimePoint::new(*earliest), Seconds::new(*dur));
+            #[allow(clippy::cast_possible_truncation)]
+            sched
+                .insert(Reservation {
+                    vehicle: VehicleId(i as u32),
+                    movement: m,
+                    enter: slot,
+                    exit: slot + Seconds::new(*dur),
+                })
+                .unwrap();
+            windows.push((slot.value(), slot.value() + dur));
+        }
+        windows.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        for w in windows.windows(2) {
+            prop_assert!(w[0].1 <= w[1].0 + 1e-12, "windows {w:?} overlap");
+        }
+    }
+
+    /// Tile reservations are atomic: a failed multi-tile request leaves no
+    /// residue, a successful one is fully queryable.
+    #[test]
+    fn tile_reservation_atomicity(
+        reqs in prop::collection::vec(
+            (0usize..16, 0.0f64..10.0, 0.1f64..2.0),
+            1..40,
+        )
+    ) {
+        let mut sched = TileSchedule::new(TileGrid::new(Meters::new(1.2), 4));
+        for (i, (tile, from, len)) in reqs.iter().enumerate() {
+            let iv = [
+                TileInterval {
+                    tile: *tile,
+                    from: TimePoint::new(*from),
+                    until: TimePoint::new(from + len),
+                },
+                TileInterval {
+                    tile: (*tile + 1) % 16,
+                    from: TimePoint::new(*from),
+                    until: TimePoint::new(from + len),
+                },
+            ];
+            let before = sched.reserved_intervals();
+            #[allow(clippy::cast_possible_truncation)]
+            let ok = sched.try_reserve(VehicleId(i as u32), &iv);
+            let after = sched.reserved_intervals();
+            if ok {
+                prop_assert_eq!(after, before + 2);
+            } else {
+                prop_assert_eq!(after, before);
+            }
+        }
+    }
+}

@@ -1,0 +1,284 @@
+//! Per-vehicle records and per-run aggregates.
+
+use crossroads_units::{Seconds, TimePoint};
+use crossroads_vehicle::VehicleId;
+
+use crate::stats::Summary;
+
+/// One vehicle's measured life through the intersection.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct VehicleRecord {
+    /// The vehicle.
+    pub vehicle: VehicleId,
+    /// When it crossed the transmission line (its "arrival").
+    pub line_at: TimePoint,
+    /// When its rear cleared the intersection box.
+    pub cleared_at: TimePoint,
+    /// How long the same trip would have taken unimpeded (free flow at the
+    /// vehicle's limits).
+    pub free_flow: Seconds,
+    /// Requests this vehicle transmitted (retransmissions and AIM
+    /// re-requests included).
+    pub requests_sent: u32,
+    /// Rejections it received (AIM's "no" replies).
+    pub rejections: u32,
+}
+
+impl VehicleRecord {
+    /// The wait (delay): trip time minus free-flow time, floored at zero.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use crossroads_metrics::VehicleRecord;
+    /// use crossroads_units::{Seconds, TimePoint};
+    /// use crossroads_vehicle::VehicleId;
+    ///
+    /// let r = VehicleRecord {
+    ///     vehicle: VehicleId(1),
+    ///     line_at: TimePoint::new(10.0),
+    ///     cleared_at: TimePoint::new(13.5),
+    ///     free_flow: Seconds::new(2.0),
+    ///     requests_sent: 1,
+    ///     rejections: 0,
+    /// };
+    /// assert_eq!(r.wait(), Seconds::new(1.5));
+    /// ```
+    #[must_use]
+    pub fn wait(&self) -> Seconds {
+        ((self.cleared_at - self.line_at) - self.free_flow).max(Seconds::ZERO)
+    }
+
+    /// Total trip time from the line to clearing the box.
+    #[must_use]
+    pub fn trip(&self) -> Seconds {
+        self.cleared_at - self.line_at
+    }
+}
+
+/// Compute- and network-load counters for one run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Counters {
+    /// Scheduling operations the IM performed (conflict scans, trajectory
+    /// simulation steps) — the platform-independent computation metric.
+    pub im_ops: u64,
+    /// Requests the IM processed (accepted + rejected).
+    pub im_requests: u64,
+    /// Frames offered to the radio, both directions.
+    pub messages: u64,
+    /// Frames lost in the medium.
+    pub messages_lost: u64,
+    /// Simulated seconds the IM spent computing.
+    pub im_busy: Seconds,
+}
+
+impl Counters {
+    /// Merges another counter set into this one.
+    pub fn absorb(&mut self, other: &Counters) {
+        self.im_ops += other.im_ops;
+        self.im_requests += other.im_requests;
+        self.messages += other.messages;
+        self.messages_lost += other.messages_lost;
+        self.im_busy += other.im_busy;
+    }
+}
+
+/// Aggregated results of one simulation run.
+#[derive(Debug, Clone, PartialEq, Default, serde::Serialize, serde::Deserialize)]
+pub struct RunMetrics {
+    records: Vec<VehicleRecord>,
+    counters: Counters,
+}
+
+impl RunMetrics {
+    /// An empty aggregate.
+    #[must_use]
+    pub fn new() -> Self {
+        RunMetrics::default()
+    }
+
+    /// Adds a completed vehicle.
+    pub fn push(&mut self, r: VehicleRecord) {
+        self.records.push(r);
+    }
+
+    /// Accumulates load counters.
+    pub fn add_counters(&mut self, c: &Counters) {
+        self.counters.absorb(c);
+    }
+
+    /// All per-vehicle records.
+    #[must_use]
+    pub fn records(&self) -> &[VehicleRecord] {
+        &self.records
+    }
+
+    /// Load counters.
+    #[must_use]
+    pub fn counters(&self) -> &Counters {
+        &self.counters
+    }
+
+    /// Number of vehicles that completed.
+    #[must_use]
+    pub fn completed(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Wait-time distribution.
+    #[must_use]
+    pub fn wait_summary(&self) -> Summary {
+        Summary::of(self.records.iter().map(|r| r.wait().value()))
+    }
+
+    /// Wait-time percentiles (tail behaviour under saturation).
+    #[must_use]
+    pub fn wait_percentiles(&self) -> crate::stats::Percentiles {
+        crate::stats::Percentiles::of(self.records.iter().map(|r| r.wait().value()))
+    }
+
+    /// Average wait per vehicle (Fig. 7.1's y-axis). Zero when no vehicle
+    /// completed.
+    #[must_use]
+    pub fn average_wait(&self) -> Seconds {
+        if self.records.is_empty() {
+            return Seconds::ZERO;
+        }
+        #[allow(clippy::cast_precision_loss)]
+        let n = self.records.len() as f64;
+        Seconds::new(self.records.iter().map(|r| r.wait().value()).sum::<f64>() / n)
+    }
+
+    /// The paper's throughput: completed vehicles divided by total wait
+    /// time (cars per wait-second, Fig. 7.2's y-axis). When the total wait
+    /// is zero (free-flowing), returns `f64::INFINITY` — callers plotting
+    /// the sweep clamp it.
+    #[must_use]
+    pub fn throughput(&self) -> f64 {
+        let total_wait: f64 = self.records.iter().map(|r| r.wait().value()).sum();
+        #[allow(clippy::cast_precision_loss)]
+        let n = self.records.len() as f64;
+        if total_wait <= 0.0 {
+            if n == 0.0 { 0.0 } else { f64::INFINITY }
+        } else {
+            n / total_wait
+        }
+    }
+
+    /// Vehicles that cleared per simulated second over the span between the
+    /// first line-crossing and the last clearance — a conventional flow
+    /// metric reported alongside the paper's wait-based throughput.
+    #[must_use]
+    pub fn flow_rate(&self) -> f64 {
+        if self.records.len() < 2 {
+            return 0.0;
+        }
+        let first = self
+            .records
+            .iter()
+            .map(|r| r.line_at.value())
+            .fold(f64::INFINITY, f64::min);
+        let last = self
+            .records
+            .iter()
+            .map(|r| r.cleared_at.value())
+            .fold(f64::NEG_INFINITY, f64::max);
+        if last <= first {
+            return 0.0;
+        }
+        #[allow(clippy::cast_precision_loss)]
+        let n = self.records.len() as f64;
+        n / (last - first)
+    }
+
+    /// Total requests transmitted by vehicles (network-load numerator).
+    #[must_use]
+    pub fn total_requests(&self) -> u64 {
+        self.records.iter().map(|r| u64::from(r.requests_sent)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(v: u32, line: f64, cleared: f64, free: f64) -> VehicleRecord {
+        VehicleRecord {
+            vehicle: VehicleId(v),
+            line_at: TimePoint::new(line),
+            cleared_at: TimePoint::new(cleared),
+            free_flow: Seconds::new(free),
+            requests_sent: 1,
+            rejections: 0,
+        }
+    }
+
+    #[test]
+    fn wait_floors_at_zero() {
+        // Finished faster than "free flow" (possible with generous
+        // rounding): wait clamps rather than going negative.
+        let r = rec(1, 0.0, 1.0, 2.0);
+        assert_eq!(r.wait(), Seconds::ZERO);
+    }
+
+    #[test]
+    fn average_wait_and_throughput() {
+        let mut m = RunMetrics::new();
+        m.push(rec(1, 0.0, 3.0, 2.0)); // wait 1
+        m.push(rec(2, 1.0, 6.0, 2.0)); // wait 3
+        assert_eq!(m.average_wait(), Seconds::new(2.0));
+        assert!((m.throughput() - 2.0 / 4.0).abs() < 1e-12);
+        assert_eq!(m.completed(), 2);
+    }
+
+    #[test]
+    fn zero_wait_throughput_is_infinite() {
+        let mut m = RunMetrics::new();
+        m.push(rec(1, 0.0, 2.0, 2.0));
+        assert!(m.throughput().is_infinite());
+        let empty = RunMetrics::new();
+        assert_eq!(empty.throughput(), 0.0);
+    }
+
+    #[test]
+    fn flow_rate_spans_first_to_last() {
+        let mut m = RunMetrics::new();
+        m.push(rec(1, 0.0, 2.0, 2.0));
+        m.push(rec(2, 4.0, 10.0, 2.0));
+        assert!((m.flow_rate() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn counters_absorb() {
+        let mut a = Counters { im_ops: 1, im_requests: 2, messages: 3, messages_lost: 0, im_busy: Seconds::new(0.5) };
+        let b = Counters { im_ops: 10, im_requests: 1, messages: 7, messages_lost: 2, im_busy: Seconds::new(1.0) };
+        a.absorb(&b);
+        assert_eq!(a.im_ops, 11);
+        assert_eq!(a.messages, 10);
+        assert_eq!(a.messages_lost, 2);
+        assert_eq!(a.im_busy, Seconds::new(1.5));
+    }
+
+    #[test]
+    fn requests_aggregate() {
+        let mut m = RunMetrics::new();
+        let mut r = rec(1, 0.0, 3.0, 2.0);
+        r.requests_sent = 5;
+        m.push(r);
+        m.push(rec(2, 0.0, 3.0, 2.0));
+        assert_eq!(m.total_requests(), 6);
+    }
+
+    #[test]
+    fn wait_summary_reports_distribution() {
+        let mut m = RunMetrics::new();
+        for (i, w) in [1.0, 2.0, 3.0].iter().enumerate() {
+            #[allow(clippy::cast_possible_truncation)]
+            m.push(rec(i as u32, 0.0, 2.0 + w, 2.0));
+        }
+        let s = m.wait_summary();
+        assert!((s.mean - 2.0).abs() < 1e-12);
+        assert!((s.max - 3.0).abs() < 1e-12);
+        assert!((s.min - 1.0).abs() < 1e-12);
+    }
+}

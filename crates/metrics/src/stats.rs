@@ -1,0 +1,158 @@
+//! Small descriptive-statistics helper.
+
+/// Five-number-ish summary of a sample (mean/min/max/std/count).
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Summary {
+    /// Sample size.
+    pub count: usize,
+    /// Arithmetic mean (0 for an empty sample).
+    pub mean: f64,
+    /// Minimum (0 for an empty sample).
+    pub min: f64,
+    /// Maximum (0 for an empty sample).
+    pub max: f64,
+    /// Population standard deviation (0 for fewer than two points).
+    pub std_dev: f64,
+}
+
+impl Summary {
+    /// Summarizes an iterator of observations.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use crossroads_metrics::Summary;
+    ///
+    /// let s = Summary::of([1.0, 2.0, 3.0]);
+    /// assert_eq!(s.mean, 2.0);
+    /// assert_eq!(s.count, 3);
+    /// ```
+    #[must_use]
+    pub fn of<I: IntoIterator<Item = f64>>(values: I) -> Self {
+        let v: Vec<f64> = values.into_iter().collect();
+        if v.is_empty() {
+            return Summary { count: 0, mean: 0.0, min: 0.0, max: 0.0, std_dev: 0.0 };
+        }
+        #[allow(clippy::cast_precision_loss)]
+        let n = v.len() as f64;
+        let mean = v.iter().sum::<f64>() / n;
+        let min = v.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = v.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let var = v.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
+        Summary { count: v.len(), mean, min, max, std_dev: var.sqrt() }
+    }
+}
+
+/// Percentile report over a sample.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Percentiles {
+    /// Median.
+    pub p50: f64,
+    /// 90th percentile.
+    pub p90: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// 99th percentile.
+    pub p99: f64,
+}
+
+impl Percentiles {
+    /// Computes percentiles by nearest-rank over the sample (0 for an
+    /// empty sample).
+    #[must_use]
+    pub fn of<I: IntoIterator<Item = f64>>(values: I) -> Self {
+        let mut v: Vec<f64> = values.into_iter().collect();
+        if v.is_empty() {
+            return Percentiles { p50: 0.0, p90: 0.0, p95: 0.0, p99: 0.0 };
+        }
+        v.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+        let pick = |q: f64| {
+            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss, clippy::cast_precision_loss)]
+            let idx = ((q * v.len() as f64).ceil() as usize).clamp(1, v.len()) - 1;
+            v[idx]
+        };
+        Percentiles { p50: pick(0.50), p90: pick(0.90), p95: pick(0.95), p99: pick(0.99) }
+    }
+}
+
+impl std::fmt::Display for Percentiles {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "p50={:.4} p90={:.4} p95={:.4} p99={:.4}",
+            self.p50, self.p90, self.p95, self.p99
+        )
+    }
+}
+
+impl std::fmt::Display for Summary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.4} min={:.4} max={:.4} std={:.4}",
+            self.count, self.mean, self.min, self.max, self.std_dev
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_sample() {
+        let s = Summary::of(std::iter::empty());
+        assert_eq!(s.count, 0);
+        assert_eq!(s.mean, 0.0);
+    }
+
+    #[test]
+    fn single_point() {
+        let s = Summary::of([5.0]);
+        assert_eq!(s.count, 1);
+        assert_eq!(s.mean, 5.0);
+        assert_eq!(s.min, 5.0);
+        assert_eq!(s.max, 5.0);
+        assert_eq!(s.std_dev, 0.0);
+    }
+
+    #[test]
+    fn known_distribution() {
+        let s = Summary::of([2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert_eq!(s.mean, 5.0);
+        assert_eq!(s.std_dev, 2.0);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 9.0);
+    }
+
+    #[test]
+    fn percentiles_nearest_rank() {
+        let p = Percentiles::of((1..=100).map(f64::from));
+        assert_eq!(p.p50, 50.0);
+        assert_eq!(p.p90, 90.0);
+        assert_eq!(p.p95, 95.0);
+        assert_eq!(p.p99, 99.0);
+    }
+
+    #[test]
+    fn percentiles_empty_and_single() {
+        let e = Percentiles::of(std::iter::empty());
+        assert_eq!(e.p50, 0.0);
+        let s = Percentiles::of([7.0]);
+        assert_eq!(s.p50, 7.0);
+        assert_eq!(s.p99, 7.0);
+    }
+
+    #[test]
+    fn percentiles_display() {
+        assert!(Percentiles::of([1.0, 2.0]).to_string().contains("p95"));
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let s = Summary::of([1.0, 2.0]);
+        let txt = s.to_string();
+        assert!(txt.contains("n=2"));
+        assert!(txt.contains("mean=1.5"));
+    }
+}

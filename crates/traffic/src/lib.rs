@@ -1,0 +1,132 @@
+//! Traffic workload generation.
+//!
+//! Two generators reproduce the paper's two experimental settings:
+//!
+//! - [`poisson`] — randomly generated vehicle input sets at a configurable
+//!   flow rate per lane (the Matlab sweeps of Fig. 7.2: 0.05–1.25
+//!   car/s/lane routing 160 cars).
+//! - [`scenario`] — the ten 5-vehicle scale-model scenarios of Fig. 7.1
+//!   (scenario 1 = simultaneous worst case, scenario 10 = sparse best
+//!   case, 2–9 randomized).
+//! - [`rush_hour`] — non-homogeneous (time-varying) demand via thinning,
+//!   for saturation-recovery studies beyond the paper's stationary
+//!   sweeps.
+//!
+//! Both produce a sorted list of [`Arrival`]s: when each vehicle crosses
+//! the transmission line, on which movement, at what speed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod poisson;
+pub mod rush_hour;
+pub mod scenario;
+
+use crossroads_intersection::Movement;
+use crossroads_units::{MetersPerSecond, TimePoint};
+use crossroads_vehicle::VehicleId;
+
+pub use poisson::{PoissonConfig, generate_poisson};
+pub use rush_hour::{RateProfile, generate_rush_hour};
+pub use scenario::{ScenarioId, scale_model_scenario};
+
+/// One vehicle's appearance at the transmission line.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Arrival {
+    /// Identifier (unique within a workload).
+    pub vehicle: VehicleId,
+    /// The movement it will request.
+    pub movement: Movement,
+    /// When it crosses the transmission line.
+    pub at_line: TimePoint,
+    /// Speed at the line.
+    pub speed: MetersPerSecond,
+}
+
+/// Validates a workload: ids unique, times sorted and finite, speeds
+/// non-negative, same-lane arrivals separated by at least `min_headway`
+/// seconds.
+///
+/// # Errors
+///
+/// Returns a description of the first violation.
+pub fn validate_workload(
+    arrivals: &[Arrival],
+    min_headway: crossroads_units::Seconds,
+) -> Result<(), String> {
+    use std::collections::HashMap;
+    let mut seen = std::collections::HashSet::new();
+    let mut last_by_lane: HashMap<crossroads_intersection::Approach, TimePoint> = HashMap::new();
+    let mut last_time = TimePoint::ZERO;
+    for a in arrivals {
+        if !seen.insert(a.vehicle) {
+            return Err(format!("duplicate vehicle id {}", a.vehicle));
+        }
+        if !a.at_line.is_finite() {
+            return Err(format!("{}: non-finite arrival time", a.vehicle));
+        }
+        if a.at_line < last_time {
+            return Err(format!("{}: arrivals not sorted by time", a.vehicle));
+        }
+        last_time = a.at_line;
+        if !(a.speed.is_finite() && a.speed.value() >= 0.0) {
+            return Err(format!("{}: invalid speed {}", a.vehicle, a.speed));
+        }
+        if let Some(&prev) = last_by_lane.get(&a.movement.approach) {
+            if a.at_line - prev < min_headway {
+                return Err(format!(
+                    "{}: headway {} below minimum {min_headway} on {}",
+                    a.vehicle,
+                    a.at_line - prev,
+                    a.movement.approach
+                ));
+            }
+        }
+        last_by_lane.insert(a.movement.approach, a.at_line);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crossroads_intersection::{Approach, Turn};
+    use crossroads_units::Seconds;
+
+    fn arr(v: u32, t: f64, a: Approach) -> Arrival {
+        Arrival {
+            vehicle: VehicleId(v),
+            movement: Movement::new(a, Turn::Straight),
+            at_line: TimePoint::new(t),
+            speed: MetersPerSecond::new(1.0),
+        }
+    }
+
+    #[test]
+    fn valid_workload_passes() {
+        let w = [
+            arr(1, 0.0, Approach::North),
+            arr(2, 0.0, Approach::South),
+            arr(3, 2.0, Approach::North),
+        ];
+        validate_workload(&w, Seconds::new(1.0)).unwrap();
+    }
+
+    #[test]
+    fn duplicate_ids_rejected() {
+        let w = [arr(1, 0.0, Approach::North), arr(1, 1.0, Approach::South)];
+        assert!(validate_workload(&w, Seconds::ZERO).unwrap_err().contains("duplicate"));
+    }
+
+    #[test]
+    fn unsorted_rejected() {
+        let w = [arr(1, 2.0, Approach::North), arr(2, 1.0, Approach::South)];
+        assert!(validate_workload(&w, Seconds::ZERO).unwrap_err().contains("sorted"));
+    }
+
+    #[test]
+    fn headway_violation_rejected() {
+        let w = [arr(1, 0.0, Approach::North), arr(2, 0.3, Approach::North)];
+        assert!(validate_workload(&w, Seconds::new(1.0)).unwrap_err().contains("headway"));
+    }
+}

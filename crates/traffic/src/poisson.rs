@@ -1,0 +1,216 @@
+//! Poisson arrival generation for the Fig. 7.2 throughput sweeps.
+
+use crossroads_intersection::{Approach, Movement, Turn};
+use crossroads_units::{MetersPerSecond, Seconds, TimePoint};
+use crossroads_vehicle::VehicleId;
+use rand::Rng;
+use rand::distributions::{Distribution, Uniform};
+
+use crate::Arrival;
+
+/// Configuration of a random input flow.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct PoissonConfig {
+    /// Mean arrival rate per lane, cars/second (the paper sweeps
+    /// 0.05–1.25).
+    pub rate_per_lane: f64,
+    /// Total vehicles to route across all four lanes (the paper uses 160).
+    pub total_vehicles: u32,
+    /// Speed at the transmission line.
+    pub line_speed: MetersPerSecond,
+    /// Minimum same-lane headway; closer exponential samples are pushed
+    /// apart (a physical car cannot cross the line inside its leader).
+    pub min_headway: Seconds,
+    /// Probability mass for (straight, left, right) — defaults to the
+    /// common 70/15/15 urban split.
+    pub turn_mix: [f64; 3],
+}
+
+impl PoissonConfig {
+    /// The Fig. 7.2 sweep point at `rate` cars/s/lane with the paper's
+    /// 160-vehicle total.
+    #[must_use]
+    pub fn sweep_point(rate: f64, line_speed: MetersPerSecond) -> Self {
+        PoissonConfig {
+            rate_per_lane: rate,
+            total_vehicles: 160,
+            line_speed,
+            min_headway: Seconds::new(1.0),
+            turn_mix: [0.70, 0.15, 0.15],
+        }
+    }
+
+    fn validate(&self) {
+        assert!(
+            self.rate_per_lane.is_finite() && self.rate_per_lane > 0.0,
+            "rate must be positive"
+        );
+        assert!(self.total_vehicles > 0, "need at least one vehicle");
+        let mass: f64 = self.turn_mix.iter().sum();
+        assert!(
+            (mass - 1.0).abs() < 1e-9 && self.turn_mix.iter().all(|&p| p >= 0.0),
+            "turn mix must be a probability distribution, got {:?}",
+            self.turn_mix
+        );
+    }
+}
+
+/// Draws an exponential inter-arrival time with rate `lambda` via inverse
+/// CDF (keeps us inside the allowed `rand` feature set).
+fn sample_exponential<R: Rng + ?Sized>(rng: &mut R, lambda: f64) -> f64 {
+    let u: f64 = Uniform::new(f64::EPSILON, 1.0).sample(rng);
+    -u.ln() / lambda
+}
+
+fn sample_turn<R: Rng + ?Sized>(rng: &mut R, mix: &[f64; 3]) -> Turn {
+    let u: f64 = rng.gen_range(0.0..1.0);
+    if u < mix[0] {
+        Turn::Straight
+    } else if u < mix[0] + mix[1] {
+        Turn::Left
+    } else {
+        Turn::Right
+    }
+}
+
+/// Generates a sorted workload of `config.total_vehicles` arrivals, one
+/// independent Poisson process per approach lane.
+///
+/// # Panics
+///
+/// Panics if the configuration is invalid (see fields).
+pub fn generate_poisson<R: Rng + ?Sized>(config: &PoissonConfig, rng: &mut R) -> Vec<Arrival> {
+    config.validate();
+    // Draw per-lane arrival streams until the total is met, interleaved by
+    // time so lane loads stay balanced in expectation.
+    let mut next_time: Vec<f64> = Approach::ALL
+        .iter()
+        .map(|_| sample_exponential(rng, config.rate_per_lane))
+        .collect();
+    let mut arrivals = Vec::with_capacity(config.total_vehicles as usize);
+    let mut id = 0u32;
+    while arrivals.len() < config.total_vehicles as usize {
+        // Lane with the earliest pending arrival emits next.
+        let lane = (0..4)
+            .min_by(|&a, &b| next_time[a].partial_cmp(&next_time[b]).expect("finite times"))
+            .expect("four lanes");
+        let at = next_time[lane];
+        arrivals.push(Arrival {
+            vehicle: VehicleId(id),
+            movement: Movement::new(Approach::ALL[lane], sample_turn(rng, &config.turn_mix)),
+            at_line: TimePoint::new(at),
+            speed: config.line_speed,
+        });
+        id += 1;
+        let gap = sample_exponential(rng, config.rate_per_lane)
+            .max(config.min_headway.value());
+        next_time[lane] = at + gap;
+    }
+    arrivals.sort_by(|a, b| {
+        a.at_line
+            .partial_cmp(&b.at_line)
+            .expect("finite times")
+            .then(a.vehicle.cmp(&b.vehicle))
+    });
+    arrivals
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validate_workload;
+    use rand::SeedableRng;
+    use rand::rngs::StdRng;
+
+    fn cfg(rate: f64) -> PoissonConfig {
+        PoissonConfig::sweep_point(rate, MetersPerSecond::new(3.0))
+    }
+
+    #[test]
+    fn generates_exact_count_valid_and_sorted() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let w = generate_poisson(&cfg(0.5), &mut rng);
+        assert_eq!(w.len(), 160);
+        validate_workload(&w, Seconds::new(1.0)).unwrap();
+    }
+
+    #[test]
+    fn rate_controls_density() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let slow = generate_poisson(&cfg(0.05), &mut rng);
+        let fast = generate_poisson(&cfg(1.25), &mut rng);
+        let span = |w: &[Arrival]| w.last().unwrap().at_line.value() - w[0].at_line.value();
+        assert!(
+            span(&slow) > 3.0 * span(&fast),
+            "low-rate workload should span much longer: {} vs {}",
+            span(&slow),
+            span(&fast)
+        );
+    }
+
+    #[test]
+    fn empirical_rate_tracks_configured_rate() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let rate = 0.3;
+        let w = generate_poisson(&cfg(rate), &mut rng);
+        let span = w.last().unwrap().at_line.value() - w[0].at_line.value();
+        let empirical = 160.0 / span / 4.0; // per lane
+        assert!(
+            (empirical - rate).abs() / rate < 0.25,
+            "empirical per-lane rate {empirical} too far from {rate}"
+        );
+    }
+
+    #[test]
+    fn all_lanes_are_used() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let w = generate_poisson(&cfg(0.5), &mut rng);
+        for a in Approach::ALL {
+            assert!(
+                w.iter().any(|x| x.movement.approach == a),
+                "lane {a} unused in 160 arrivals"
+            );
+        }
+    }
+
+    #[test]
+    fn turn_mix_is_respected() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut c = cfg(1.0);
+        c.total_vehicles = 4000;
+        let w = generate_poisson(&c, &mut rng);
+        #[allow(clippy::cast_precision_loss)]
+        let frac = |t: Turn| {
+            w.iter().filter(|a| a.movement.turn == t).count() as f64 / w.len() as f64
+        };
+        assert!((frac(Turn::Straight) - 0.70).abs() < 0.03);
+        assert!((frac(Turn::Left) - 0.15).abs() < 0.03);
+        assert!((frac(Turn::Right) - 0.15).abs() < 0.03);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let run = |seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            generate_poisson(&cfg(0.5), &mut rng)
+        };
+        assert_eq!(run(6), run(6));
+        assert_ne!(run(6), run(7));
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be positive")]
+    fn zero_rate_panics() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = generate_poisson(&cfg(0.0), &mut rng);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability distribution")]
+    fn bad_turn_mix_panics() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut c = cfg(0.5);
+        c.turn_mix = [0.5, 0.5, 0.5];
+        let _ = generate_poisson(&c, &mut rng);
+    }
+}

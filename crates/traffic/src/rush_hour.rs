@@ -1,0 +1,248 @@
+//! Time-varying demand: a rush-hour profile over the Poisson generator.
+//!
+//! The paper sweeps *stationary* input rates; real intersections see
+//! demand ramps. This generator drives the same per-lane Poisson process
+//! with a piecewise-linear rate profile, which the ablation studies use
+//! to watch the IMs enter and recover from saturation.
+
+use crossroads_intersection::{Approach, Movement};
+use crossroads_units::{Seconds, TimePoint};
+use crossroads_vehicle::VehicleId;
+use rand::Rng;
+use rand::distributions::{Distribution, Uniform};
+
+use crate::Arrival;
+use crate::poisson::PoissonConfig;
+
+/// A piecewise-linear per-lane arrival-rate profile.
+///
+/// # Examples
+///
+/// ```
+/// use crossroads_traffic::rush_hour::RateProfile;
+///
+/// // Ramp 0.1 → 0.8 → 0.1 cars/s/lane over two minutes.
+/// let p = RateProfile::new(vec![(0.0, 0.1), (60.0, 0.8), (120.0, 0.1)])?;
+/// assert!((p.rate_at(30.0) - 0.45).abs() < 1e-12);
+/// # Ok::<(), String>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct RateProfile {
+    /// `(time_s, rate)` knots, strictly increasing in time.
+    knots: Vec<(f64, f64)>,
+}
+
+impl RateProfile {
+    /// Builds a profile from `(time, rate)` knots.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if fewer than two knots are given, times are not
+    /// strictly increasing, or any rate is negative/non-finite.
+    pub fn new(knots: Vec<(f64, f64)>) -> Result<Self, String> {
+        if knots.len() < 2 {
+            return Err("a rate profile needs at least two knots".into());
+        }
+        for w in knots.windows(2) {
+            if w[1].0 <= w[0].0 {
+                return Err(format!("knot times must increase: {} then {}", w[0].0, w[1].0));
+            }
+        }
+        if let Some(&(t, r)) = knots.iter().find(|(t, r)| !t.is_finite() || !r.is_finite() || *r < 0.0)
+        {
+            return Err(format!("invalid knot ({t}, {r})"));
+        }
+        Ok(RateProfile { knots })
+    }
+
+    /// The classic morning-peak shape: low → peak → low over `span`
+    /// seconds, peaking at `peak` cars/s/lane.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `span` or `peak` is non-positive.
+    #[must_use]
+    pub fn morning_peak(span: Seconds, base: f64, peak: f64) -> Self {
+        assert!(span.value() > 0.0 && peak > 0.0, "span and peak must be positive");
+        RateProfile::new(vec![
+            (0.0, base),
+            (span.value() * 0.4, peak),
+            (span.value() * 0.6, peak),
+            (span.value(), base),
+        ])
+        .expect("constructed knots are valid")
+    }
+
+    /// Linear interpolation of the rate at time `t` (clamped to the ends).
+    #[must_use]
+    pub fn rate_at(&self, t: f64) -> f64 {
+        let first = self.knots[0];
+        let last = *self.knots.last().expect("at least two knots");
+        if t <= first.0 {
+            return first.1;
+        }
+        if t >= last.0 {
+            return last.1;
+        }
+        for w in self.knots.windows(2) {
+            let ((t0, r0), (t1, r1)) = (w[0], w[1]);
+            if t >= t0 && t <= t1 {
+                let f = (t - t0) / (t1 - t0);
+                return r0 + f * (r1 - r0);
+            }
+        }
+        last.1
+    }
+
+    /// End of the profile's support.
+    #[must_use]
+    pub fn span(&self) -> Seconds {
+        Seconds::new(self.knots.last().expect("at least two knots").0)
+    }
+
+    /// Peak rate over the knots.
+    #[must_use]
+    pub fn peak(&self) -> f64 {
+        self.knots.iter().map(|&(_, r)| r).fold(0.0, f64::max)
+    }
+}
+
+/// Generates a non-homogeneous Poisson workload over `profile` via
+/// thinning: candidate arrivals are drawn at the peak rate and accepted
+/// with probability `rate(t)/peak`. Stops at the profile's end.
+///
+/// The `base` config supplies speed, headway and turn-mix parameters;
+/// its `rate_per_lane` and `total_vehicles` fields are ignored.
+pub fn generate_rush_hour<R: Rng + ?Sized>(
+    profile: &RateProfile,
+    base: &PoissonConfig,
+    rng: &mut R,
+) -> Vec<Arrival> {
+    let peak = profile.peak().max(1e-9);
+    let u01 = Uniform::new(f64::EPSILON, 1.0);
+    let mut arrivals = Vec::new();
+    let mut id = 0u32;
+    for (lane, approach) in Approach::ALL.iter().enumerate() {
+        let _ = lane;
+        let mut t = 0.0;
+        let mut last: Option<f64> = None;
+        loop {
+            // Exponential gap at the peak rate, then thin.
+            t += -u01.sample(rng).ln() / peak;
+            if t > profile.span().value() {
+                break;
+            }
+            if rng.gen_range(0.0..1.0) > profile.rate_at(t) / peak {
+                continue;
+            }
+            // Enforce the physical same-lane headway.
+            let at = match last {
+                Some(prev) if t - prev < base.min_headway.value() => {
+                    // A hair over the headway so float rounding can never
+                    // land the pair inside the validator's bound.
+                    prev + base.min_headway.value() + 1e-9
+                }
+                _ => t,
+            };
+            if at > profile.span().value() {
+                break;
+            }
+            last = Some(at);
+            arrivals.push(Arrival {
+                vehicle: VehicleId(id),
+                movement: Movement::new(*approach, sample_turn(rng, &base.turn_mix)),
+                at_line: TimePoint::new(at),
+                speed: base.line_speed,
+            });
+            id += 1;
+        }
+    }
+    arrivals.sort_by(|a, b| {
+        a.at_line
+            .partial_cmp(&b.at_line)
+            .expect("finite times")
+            .then(a.vehicle.cmp(&b.vehicle))
+    });
+    arrivals
+}
+
+fn sample_turn<R: Rng + ?Sized>(
+    rng: &mut R,
+    mix: &[f64; 3],
+) -> crossroads_intersection::Turn {
+    use crossroads_intersection::Turn;
+    let u: f64 = rng.gen_range(0.0..1.0);
+    if u < mix[0] {
+        Turn::Straight
+    } else if u < mix[0] + mix[1] {
+        Turn::Left
+    } else {
+        Turn::Right
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validate_workload;
+    use crossroads_units::MetersPerSecond;
+    use rand::SeedableRng;
+    use rand::rngs::StdRng;
+
+    fn base() -> PoissonConfig {
+        PoissonConfig::sweep_point(0.0_f64.max(0.1), MetersPerSecond::new(10.0))
+    }
+
+    #[test]
+    fn profile_interpolates_and_clamps() {
+        let p = RateProfile::new(vec![(0.0, 0.2), (10.0, 1.0)]).unwrap();
+        assert!((p.rate_at(5.0) - 0.6).abs() < 1e-12);
+        assert_eq!(p.rate_at(-5.0), 0.2);
+        assert_eq!(p.rate_at(50.0), 1.0);
+        assert_eq!(p.peak(), 1.0);
+        assert_eq!(p.span(), Seconds::new(10.0));
+    }
+
+    #[test]
+    fn profile_validation() {
+        assert!(RateProfile::new(vec![(0.0, 0.1)]).is_err());
+        assert!(RateProfile::new(vec![(0.0, 0.1), (0.0, 0.2)]).is_err());
+        assert!(RateProfile::new(vec![(0.0, -0.1), (1.0, 0.2)]).is_err());
+    }
+
+    #[test]
+    fn rush_hour_workload_is_valid_and_peaks_in_the_middle() {
+        let profile = RateProfile::morning_peak(Seconds::new(300.0), 0.05, 0.8);
+        let mut rng = StdRng::seed_from_u64(9);
+        let w = generate_rush_hour(&profile, &base(), &mut rng);
+        assert!(w.len() > 50, "expected a substantial workload, got {}", w.len());
+        validate_workload(&w, base().min_headway).unwrap();
+        // Arrival density in the middle fifth dwarfs the first fifth.
+        let count_in = |lo: f64, hi: f64| {
+            w.iter().filter(|a| a.at_line.value() >= lo && a.at_line.value() < hi).count()
+        };
+        let early = count_in(0.0, 60.0);
+        let mid = count_in(120.0, 180.0);
+        assert!(
+            mid > early * 3,
+            "peak should dominate: early {early}, mid {mid}"
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let profile = RateProfile::morning_peak(Seconds::new(100.0), 0.1, 0.5);
+        let run = |seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            generate_rush_hour(&profile, &base(), &mut rng)
+        };
+        assert_eq!(run(4), run(4));
+        assert_ne!(run(4), run(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "span and peak must be positive")]
+    fn bad_morning_peak_panics() {
+        let _ = RateProfile::morning_peak(Seconds::ZERO, 0.1, 0.5);
+    }
+}

@@ -1,0 +1,174 @@
+//! Typed physical quantities and kinematics helpers.
+//!
+//! Every quantity that crosses a module boundary in the Crossroads
+//! reproduction is a newtype over `f64` ([`Meters`], [`MetersPerSecond`],
+//! [`Seconds`], …) so the compiler distinguishes, say, a distance from a
+//! duration. The [`kinematics`] module provides the closed-form
+//! uniform-acceleration solutions used by the trajectory planner (Fig. 6.2
+//! of the paper), and [`geom`] the small amount of planar geometry the
+//! intersection model needs.
+//!
+//! # Examples
+//!
+//! ```
+//! use crossroads_units::{Meters, MetersPerSecond, MetersPerSecondSquared, kinematics};
+//!
+//! // How long does a vehicle doing 3 m/s need to stop at 3 m/s^2?
+//! let t = kinematics::time_to_reach_speed(
+//!     MetersPerSecond::new(3.0),
+//!     MetersPerSecond::ZERO,
+//!     MetersPerSecondSquared::new(3.0),
+//! );
+//! assert!((t.value() - 1.0).abs() < 1e-12);
+//!
+//! let d: Meters = kinematics::distance_covered(
+//!     MetersPerSecond::new(3.0),
+//!     MetersPerSecondSquared::new(-3.0),
+//!     t,
+//! );
+//! assert!((d.value() - 1.5).abs() < 1e-12);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod geom;
+pub mod kinematics;
+mod quantity;
+
+pub use geom::{Aabb, OrientedRect, Point2, Vec2};
+pub use quantity::{
+    Meters, MetersPerSecond, MetersPerSecondSquared, Radians, RadiansPerSecond, Seconds,
+};
+
+/// A monotonically increasing simulation time stamp, in seconds since the
+/// start of the simulation.
+///
+/// `TimePoint` is an *instant*; [`Seconds`] is a *duration*. Subtracting two
+/// instants yields a duration, and durations can be added to instants:
+///
+/// ```
+/// use crossroads_units::{Seconds, TimePoint};
+///
+/// let t0 = TimePoint::new(1.0);
+/// let t1 = t0 + Seconds::new(0.5);
+/// assert_eq!(t1 - t0, Seconds::new(0.5));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, serde::Serialize, serde::Deserialize)]
+pub struct TimePoint(f64);
+
+impl TimePoint {
+    /// The simulation epoch (t = 0).
+    pub const ZERO: TimePoint = TimePoint(0.0);
+
+    /// Creates a time point `secs` seconds after the simulation epoch.
+    #[must_use]
+    pub fn new(secs: f64) -> Self {
+        TimePoint(secs)
+    }
+
+    /// Seconds since the simulation epoch.
+    #[must_use]
+    pub fn value(self) -> f64 {
+        self.0
+    }
+
+    /// Returns the later of two time points.
+    #[must_use]
+    pub fn max(self, other: TimePoint) -> TimePoint {
+        if other.0 > self.0 {
+            other
+        } else {
+            self
+        }
+    }
+
+    /// Returns the earlier of two time points.
+    #[must_use]
+    pub fn min(self, other: TimePoint) -> TimePoint {
+        if other.0 < self.0 {
+            other
+        } else {
+            self
+        }
+    }
+
+    /// Whether this instant is finite (not NaN/inf). Useful for validating
+    /// externally supplied schedules.
+    #[must_use]
+    pub fn is_finite(self) -> bool {
+        self.0.is_finite()
+    }
+}
+
+impl std::fmt::Display for TimePoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "t={:.6}s", self.0)
+    }
+}
+
+impl std::ops::Add<Seconds> for TimePoint {
+    type Output = TimePoint;
+    fn add(self, rhs: Seconds) -> TimePoint {
+        TimePoint(self.0 + rhs.value())
+    }
+}
+
+impl std::ops::Sub<Seconds> for TimePoint {
+    type Output = TimePoint;
+    fn sub(self, rhs: Seconds) -> TimePoint {
+        TimePoint(self.0 - rhs.value())
+    }
+}
+
+impl std::ops::Sub for TimePoint {
+    type Output = Seconds;
+    fn sub(self, rhs: TimePoint) -> Seconds {
+        Seconds::new(self.0 - rhs.0)
+    }
+}
+
+impl std::ops::AddAssign<Seconds> for TimePoint {
+    fn add_assign(&mut self, rhs: Seconds) {
+        self.0 += rhs.value();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_point_arithmetic_round_trips() {
+        let t0 = TimePoint::new(2.0);
+        let dt = Seconds::new(0.25);
+        assert_eq!((t0 + dt) - t0, dt);
+        assert_eq!((t0 + dt) - dt, t0);
+    }
+
+    #[test]
+    fn time_point_ordering() {
+        assert!(TimePoint::new(1.0) < TimePoint::new(2.0));
+        assert_eq!(TimePoint::new(1.0).max(TimePoint::new(2.0)), TimePoint::new(2.0));
+        assert_eq!(TimePoint::new(1.0).min(TimePoint::new(2.0)), TimePoint::new(1.0));
+    }
+
+    #[test]
+    fn time_point_display_is_nonempty() {
+        assert!(!TimePoint::new(1.5).to_string().is_empty());
+    }
+
+    #[test]
+    fn time_point_add_assign() {
+        let mut t = TimePoint::ZERO;
+        t += Seconds::new(1.5);
+        assert_eq!(t, TimePoint::new(1.5));
+    }
+
+    #[test]
+    fn time_point_finite_check() {
+        assert!(TimePoint::new(1.0).is_finite());
+        assert!(!TimePoint::new(f64::NAN).is_finite());
+        assert!(!TimePoint::new(f64::INFINITY).is_finite());
+    }
+}

@@ -1,0 +1,138 @@
+//! Property tests over the closed-form kinematics and planar geometry.
+
+use crossroads_units::kinematics::{
+    accel_cruise, distance_covered, solve_cruise_speed, stopping_distance, time_to_reach_speed,
+};
+use crossroads_units::{
+    Meters, MetersPerSecond, MetersPerSecondSquared, OrientedRect, Point2, Radians, Seconds,
+};
+use proptest::prelude::*;
+
+proptest! {
+    /// The accel-cruise profile's pieces always recompose to the given
+    /// distance and its total time to the sum of its phases.
+    #[test]
+    fn accel_cruise_pieces_recompose(
+        v0 in 0.0f64..15.0,
+        dv in 0.0f64..10.0,
+        d in 0.1f64..200.0,
+        a in 0.2f64..5.0,
+    ) {
+        let v1 = v0 + dv;
+        let Ok(p) = accel_cruise(
+            MetersPerSecond::new(v0),
+            MetersPerSecond::new(v1),
+            MetersPerSecondSquared::new(a),
+            Meters::new(d),
+        ) else {
+            return Ok(()); // distance too short for the speed change
+        };
+        prop_assert_eq!(p.total_time, p.accel_time + p.cruise_time);
+        let cruise_d = MetersPerSecond::new(v1) * p.cruise_time;
+        prop_assert!(((p.accel_distance + cruise_d).value() - d).abs() < 1e-6);
+        // Phase distances agree with the v0t + at²/2 integral.
+        let integral = distance_covered(
+            MetersPerSecond::new(v0),
+            MetersPerSecondSquared::new(a),
+            p.accel_time,
+        );
+        prop_assert!((integral - p.accel_distance).abs().value() < 1e-9);
+    }
+
+    /// The cruise-speed solver, where it returns a speed, actually meets
+    /// the deadline (round trip through accel_cruise).
+    #[test]
+    fn solver_round_trips(
+        v0 in 0.0f64..14.0,
+        d in 1.0f64..200.0,
+        slack in 0.0f64..10.0,
+    ) {
+        let v_max = MetersPerSecond::new(15.0);
+        let a_max = MetersPerSecondSquared::new(3.0);
+        let d_max = MetersPerSecondSquared::new(4.5);
+        let v_init = MetersPerSecond::new(v0);
+        let Ok(fastest) = accel_cruise(v_init, v_max, a_max, Meters::new(d)) else {
+            return Ok(());
+        };
+        let deadline = fastest.total_time + Seconds::new(slack);
+        let Some(v) = solve_cruise_speed(v_init, v_max, a_max, d_max, Meters::new(d), deadline)
+        else {
+            return Ok(()); // deadline requires a stop
+        };
+        let accel = if v >= v_init { a_max } else { -d_max };
+        let arrive = accel_cruise(v_init, v, accel, Meters::new(d))
+            .expect("solver output is feasible")
+            .total_time;
+        prop_assert!((arrive - deadline).abs().value() < 1e-5,
+            "arrive {arrive} vs deadline {deadline}");
+    }
+
+    /// Stopping distance is monotone in speed and consistent with the
+    /// time-to-stop integral.
+    #[test]
+    fn stopping_distance_consistency(v in 0.01f64..30.0, d in 0.5f64..8.0) {
+        let dist = stopping_distance(MetersPerSecond::new(v), MetersPerSecondSquared::new(d));
+        let t = time_to_reach_speed(
+            MetersPerSecond::new(v),
+            MetersPerSecond::ZERO,
+            MetersPerSecondSquared::new(d),
+        );
+        let integral = distance_covered(
+            MetersPerSecond::new(v),
+            MetersPerSecondSquared::new(-d),
+            t,
+        );
+        prop_assert!((dist - integral).abs().value() < 1e-9);
+        let further = stopping_distance(
+            MetersPerSecond::new(v * 1.1),
+            MetersPerSecondSquared::new(d),
+        );
+        prop_assert!(further > dist);
+    }
+
+    /// SAT rectangle intersection agrees with a dense point-sampling
+    /// oracle (no false negatives against contained sample points).
+    #[test]
+    fn oriented_rect_sat_agrees_with_sampling(
+        cx in -2.0f64..2.0,
+        cy in -2.0f64..2.0,
+        heading in 0.0f64..std::f64::consts::TAU,
+    ) {
+        let a = OrientedRect {
+            center: Point2::ORIGIN,
+            heading: Radians::new(0.3),
+            length: Meters::new(1.0),
+            width: Meters::new(0.5),
+        };
+        let b = OrientedRect {
+            center: Point2::new(cx, cy),
+            heading: Radians::new(heading),
+            length: Meters::new(0.8),
+            width: Meters::new(0.4),
+        };
+        // Oracle: sample b's area; if any sample lies inside a (checked
+        // via a's frame), they definitely intersect.
+        let mut oracle_hit = false;
+        let (sin, cos) = (heading.sin(), heading.cos());
+        for i in 0..20 {
+            for j in 0..20 {
+                let dl = (f64::from(i) / 19.0 - 0.5) * 0.8;
+                let dw = (f64::from(j) / 19.0 - 0.5) * 0.4;
+                let px = cx + dl * cos - dw * sin;
+                let py = cy + dl * sin + dw * cos;
+                // Transform into a's frame.
+                let (asin, acos) = (0.3f64.sin(), 0.3f64.cos());
+                let lx = px * acos + py * asin;
+                let ly = -px * asin + py * acos;
+                if lx.abs() <= 0.5 && ly.abs() <= 0.25 {
+                    oracle_hit = true;
+                }
+            }
+        }
+        if oracle_hit {
+            prop_assert!(a.intersects(&b), "SAT missed an overlap the oracle found");
+        }
+        // And symmetry always holds.
+        prop_assert_eq!(a.intersects(&b), b.intersects(&a));
+    }
+}

@@ -1,0 +1,281 @@
+//! Discrete-time speed-profile tracking with injected error — the Ch. 3
+//! calibration experiment.
+//!
+//! The thesis estimates the safety buffer empirically (Fig. 3.1): command a
+//! step-velocity profile (hold `v0`, accelerate, hold `v1`), and compare
+//! where the vehicle *should* be with where it actually ends up. The
+//! worst-case longitudinal discrepancy over repeated trials becomes the
+//! buffer `E_long`.
+//!
+//! [`track_profile`] reproduces one such trial: a proportional speed
+//! controller with feed-forward runs at a fixed control rate; sensor,
+//! control and actuation noise from an [`ErrorModel`] perturb every step.
+
+use crossroads_units::{Meters, MetersPerSecond, Seconds, TimePoint};
+use rand::Rng;
+
+use crate::error::ErrorModel;
+use crate::spec::VehicleSpec;
+use crate::trajectory::SpeedProfile;
+
+/// Parameters of the discrete tracking controller.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ControllerConfig {
+    /// Control period (the testbed's Arduino loop ran at ~100 Hz).
+    pub dt: Seconds,
+    /// Proportional gain on the speed error, in 1/s.
+    pub kp: f64,
+}
+
+impl Default for ControllerConfig {
+    fn default() -> Self {
+        ControllerConfig { dt: Seconds::from_millis(10.0), kp: 4.0 }
+    }
+}
+
+/// Result of one tracking trial.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrackingOutcome {
+    /// `E_long = P_ideal − P_actual` at the end of the profile (signed;
+    /// positive means the vehicle fell short).
+    pub final_error: Meters,
+    /// Largest `|P_ideal − P_actual|` observed at any control step.
+    pub max_abs_error: Meters,
+    /// Where the vehicle actually ended up.
+    pub actual_final_position: Meters,
+    /// Where the profile says it should be.
+    pub ideal_final_position: Meters,
+}
+
+/// Simulates a vehicle tracking `profile` from the profile's start to its
+/// end under the given noise model, and reports the position error.
+///
+/// The plant is a pure integrator with speed saturation at
+/// `[0, spec.v_max × 1.05]` (motors overshoot a little) and acceleration
+/// saturation at the spec limits.
+///
+/// # Panics
+///
+/// Panics if the controller period is non-positive.
+pub fn track_profile<R: Rng + ?Sized>(
+    profile: &SpeedProfile,
+    spec: &VehicleSpec,
+    errors: &ErrorModel,
+    config: &ControllerConfig,
+    rng: &mut R,
+) -> TrackingOutcome {
+    assert!(config.dt.value() > 0.0, "control period must be positive");
+    let dt = config.dt;
+    let start = profile.start_time();
+    let end = profile.end_time();
+
+    let mut t = start;
+    let mut actual_v = profile.speed_at(start);
+    let mut actual_s = profile.position_at(start);
+    let mut max_abs = Meters::ZERO;
+
+    while t < end {
+        let step = dt.min(end - t);
+        // Sense.
+        let measured_v = actual_v + errors.sample_speed_noise(rng);
+        // Feed-forward the profile acceleration + P-correct the speed error.
+        let v_des = profile.speed_at(t);
+        let v_des_next = profile.speed_at(t + step);
+        let a_ff = (v_des_next - v_des) / step;
+        // kp has units 1/s, so the correction is (m/s · 1/s) = m/s².
+        let a_corr = (v_des - measured_v) * config.kp / Seconds::new(1.0);
+        let a_cmd = (a_ff + a_corr).clamp(-spec.d_max, spec.a_max);
+        // Actuate with multiplicative control error plus additive slip.
+        let a_real = a_cmd * errors.sample_control_factor(rng);
+        let v_next = (actual_v + a_real * step + errors.sample_actuation_noise(rng))
+            .clamp(MetersPerSecond::ZERO, spec.v_max * 1.05);
+        // Trapezoidal position update.
+        actual_s += (actual_v + v_next) * 0.5 * step;
+        actual_v = v_next;
+        t += step;
+
+        let ideal_s = profile.position_at(t);
+        max_abs = max_abs.max((ideal_s - actual_s).abs());
+    }
+
+    let ideal_final = profile.position_at(end);
+    TrackingOutcome {
+        final_error: ideal_final - actual_s,
+        max_abs_error: max_abs,
+        actual_final_position: actual_s,
+        ideal_final_position: ideal_final,
+    }
+}
+
+/// Builds the Fig. 3.1 step-velocity calibration profile: hold `v0` for
+/// `hold`, change to `v1` at the spec's limit rate, hold `v1` for `hold`.
+#[must_use]
+pub fn step_velocity_profile(
+    v0: MetersPerSecond,
+    v1: MetersPerSecond,
+    hold: Seconds,
+    spec: &VehicleSpec,
+) -> SpeedProfile {
+    let mut p = SpeedProfile::starting_at(TimePoint::ZERO, Meters::ZERO, v0);
+    p.push_hold(hold);
+    let rate = if v1 >= v0 { spec.a_max } else { spec.d_max };
+    p.push_speed_change(v1, rate);
+    p.push_hold(hold);
+    p
+}
+
+/// Runs the full Ch. 3 calibration: `trials` repetitions of the worst-case
+/// positive (0.1 → v_max) and negative (v_max → 0.1) step tests, returning
+/// the largest `|E_long|` observed — the empirical safety buffer before the
+/// sync-error term.
+pub fn calibrate_longitudinal_error<R: Rng + ?Sized>(
+    spec: &VehicleSpec,
+    errors: &ErrorModel,
+    config: &ControllerConfig,
+    trials: u32,
+    rng: &mut R,
+) -> Meters {
+    let slow = MetersPerSecond::new(0.1);
+    let hold = Seconds::new(1.0);
+    let up = step_velocity_profile(slow, spec.v_max, hold, spec);
+    let down = step_velocity_profile(spec.v_max, slow, hold, spec);
+    let mut worst = Meters::ZERO;
+    for _ in 0..trials {
+        for profile in [&up, &down] {
+            let out = track_profile(profile, spec, errors, config, rng);
+            worst = worst.max(out.final_error.abs()).max(out.max_abs_error);
+        }
+    }
+    worst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand::rngs::StdRng;
+
+    fn spec() -> VehicleSpec {
+        VehicleSpec::scale_model()
+    }
+
+    #[test]
+    fn noiseless_tracking_is_nearly_exact() {
+        let s = spec();
+        let p = step_velocity_profile(
+            MetersPerSecond::new(0.1),
+            MetersPerSecond::new(3.0),
+            Seconds::new(1.0),
+            &s,
+        );
+        let mut rng = StdRng::seed_from_u64(0);
+        let out = track_profile(&p, &s, &ErrorModel::ideal(), &ControllerConfig::default(), &mut rng);
+        assert!(
+            out.final_error.abs() < Meters::from_millis(2.0),
+            "ideal tracking error {} should be millimetric",
+            out.final_error
+        );
+    }
+
+    #[test]
+    fn noisy_tracking_error_is_bounded_and_nonzero() {
+        let s = spec();
+        let p = step_velocity_profile(
+            MetersPerSecond::new(0.1),
+            MetersPerSecond::new(3.0),
+            Seconds::new(1.0),
+            &s,
+        );
+        let mut rng = StdRng::seed_from_u64(99);
+        let mut worst = Meters::ZERO;
+        let mut any_nonzero = false;
+        for _ in 0..20 {
+            let out = track_profile(
+                &p,
+                &s,
+                &ErrorModel::scale_model(),
+                &ControllerConfig::default(),
+                &mut rng,
+            );
+            any_nonzero |= out.final_error.abs().value() > 0.0;
+            worst = worst.max(out.max_abs_error);
+        }
+        assert!(any_nonzero);
+        // The calibrated envelope: comfortably under 120 mm, over 1 mm.
+        assert!(worst < Meters::from_millis(120.0), "worst error {worst}");
+        assert!(worst > Meters::from_millis(1.0), "worst error {worst}");
+    }
+
+    #[test]
+    fn calibration_reproduces_ch3_envelope() {
+        // The thesis reports ±75 mm worst-case before the sync term. Our
+        // calibrated noise model must land in the same range.
+        let s = spec();
+        let mut rng = StdRng::seed_from_u64(2017);
+        let e_long = calibrate_longitudinal_error(
+            &s,
+            &ErrorModel::scale_model(),
+            &ControllerConfig::default(),
+            20,
+            &mut rng,
+        );
+        assert!(
+            e_long > Meters::from_millis(20.0) && e_long < Meters::from_millis(120.0),
+            "calibrated E_long = {e_long}, expected the paper's ~75 mm regime"
+        );
+    }
+
+    #[test]
+    fn step_profile_shape() {
+        let s = spec();
+        let p = step_velocity_profile(
+            MetersPerSecond::new(1.0),
+            MetersPerSecond::new(3.0),
+            Seconds::new(2.0),
+            &s,
+        );
+        assert_eq!(p.speed_at(TimePoint::new(1.0)), MetersPerSecond::new(1.0));
+        assert_eq!(p.final_speed(), MetersPerSecond::new(3.0));
+        // hold 2 s + accel 1 s + hold 2 s.
+        assert!((p.end_time().value() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tracking_is_deterministic_per_seed() {
+        let s = spec();
+        let p = step_velocity_profile(
+            MetersPerSecond::new(0.1),
+            MetersPerSecond::new(3.0),
+            Seconds::new(1.0),
+            &s,
+        );
+        let run = |seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            track_profile(
+                &p,
+                &s,
+                &ErrorModel::scale_model(),
+                &ControllerConfig::default(),
+                &mut rng,
+            )
+            .final_error
+        };
+        assert_eq!(run(5), run(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_period_panics() {
+        let s = spec();
+        let p = step_velocity_profile(
+            MetersPerSecond::new(1.0),
+            MetersPerSecond::new(2.0),
+            Seconds::new(1.0),
+            &s,
+        );
+        let mut rng = StdRng::seed_from_u64(0);
+        let cfg = ControllerConfig { dt: Seconds::ZERO, kp: 1.0 };
+        let _ = track_profile(&p, &s, &ErrorModel::ideal(), &cfg, &mut rng);
+    }
+}
+

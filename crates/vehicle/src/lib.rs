@@ -1,0 +1,44 @@
+//! Vehicle modelling for the Crossroads reproduction.
+//!
+//! This crate provides every vehicle-side ingredient of the paper:
+//!
+//! - [`spec`] — static vehicle parameters (`VehicleInfo` in the paper's
+//!   request packets): dimensions, acceleration limits, top speed, and the
+//!   two testbeds' constants (the 1/10-scale TRAXXAS platform and a
+//!   full-scale sedan for the Matlab-style simulations).
+//! - [`trajectory`] — piecewise-constant-acceleration longitudinal speed
+//!   profiles and the planning constructions of Fig. 6.2 (`T_Acc`, `ΔX`,
+//!   `D_E`, `EToA`) used by all three intersection managers.
+//! - [`dynamics`] — the bicycle model of eq. 7.1 with an RK4 integrator,
+//!   used by the AIM trajectory simulator and to validate that planned
+//!   profiles are dynamically feasible.
+//! - [`controller`] — a discrete-time speed controller with injected
+//!   sensor/actuator error, reproducing the Ch. 3 safety-buffer calibration
+//!   experiment (Fig. 3.1).
+//! - [`error`] — the uncertainty model (encoder/GPS noise, control error,
+//!   clock-sync residual) feeding both the controller and the IM-side
+//!   buffer computation.
+//! - [`state`] — the four-state protocol machine each vehicle runs
+//!   (Arriving → Sync → Request → Follow, Ch. 2).
+//! - [`steering`] — pure-pursuit lateral control, backing the thesis'
+//!   assumption that vehicles "maintain proper lateral position"
+//!   (Ch. 3.2) on every intersection path.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod controller;
+pub mod dynamics;
+pub mod error;
+pub mod spec;
+pub mod state;
+pub mod steering;
+pub mod trajectory;
+
+pub use controller::{ControllerConfig, TrackingOutcome, track_profile};
+pub use dynamics::{BicycleState, integrate_bicycle};
+pub use error::ErrorModel;
+pub use spec::{VehicleId, VehicleSpec};
+pub use steering::{PurePursuit, TrackingError, track_path};
+pub use state::{ProtocolEvent, ProtocolState, VehicleProtocol};
+pub use trajectory::{Phase, PlanError, SpeedProfile};

@@ -1,0 +1,302 @@
+//! The vehicle-side protocol state machine of Ch. 2.
+//!
+//! Every vehicle interacting with an IM moves through four states:
+//!
+//! 1. **Arriving** — driving toward the transmission line.
+//! 2. **Sync** — registered with the IM, exchanging clock-sync messages.
+//! 3. **Request** — requesting an intersection crossing (with timeout and
+//!    retransmission).
+//! 4. **Follow** — executing the received plan through the intersection;
+//!    on exit the vehicle reports its exit timestamp and returns to
+//!    Arriving (for the next intersection).
+//!
+//! The machine is policy-agnostic: VT-IM, AIM and Crossroads differ only in
+//! the payloads exchanged while in `Request`, which the orchestrator in
+//! `crossroads-core` handles.
+
+use crossroads_units::TimePoint;
+
+use crate::spec::VehicleId;
+
+/// The four protocol states (plus the terminal bookkeeping state after the
+/// exit report).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum ProtocolState {
+    /// Approaching; has not yet reached the transmission line.
+    Arriving,
+    /// Performing clock synchronization with the IM.
+    Sync,
+    /// Awaiting a crossing response; `attempts` counts transmissions so
+    /// far (≥ 1 once the first request is sent).
+    Request {
+        /// Number of request transmissions, including the in-flight one.
+        attempts: u32,
+    },
+    /// Executing a received plan through the intersection.
+    Follow,
+    /// Crossed and reported the exit timestamp.
+    Done,
+}
+
+/// Events that drive the protocol machine.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum ProtocolEvent {
+    /// The vehicle crossed the designated transmission line.
+    ReachedTransmissionLine,
+    /// Clock synchronization completed.
+    SyncCompleted,
+    /// A crossing response was received and accepted.
+    ResponseAccepted,
+    /// A response was received but rejected (AIM's "no"); the vehicle will
+    /// re-request.
+    ResponseRejected,
+    /// The response timeout elapsed; retransmit.
+    TimedOut,
+    /// The vehicle fully exited the intersection.
+    CrossedIntersection,
+}
+
+/// An invalid event for the current state.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InvalidTransition {
+    /// State the machine was in.
+    pub state: ProtocolState,
+    /// Event that does not apply there.
+    pub event: ProtocolEvent,
+}
+
+impl std::fmt::Display for InvalidTransition {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "event {:?} is invalid in state {:?}", self.event, self.state)
+    }
+}
+
+impl std::error::Error for InvalidTransition {}
+
+/// A vehicle's protocol bookkeeping: state, timestamps, attempt counts.
+///
+/// # Examples
+///
+/// ```
+/// use crossroads_units::TimePoint;
+/// use crossroads_vehicle::{ProtocolEvent, ProtocolState, VehicleProtocol};
+/// use crossroads_vehicle::spec::VehicleId;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut p = VehicleProtocol::new(VehicleId(1));
+/// p.apply(ProtocolEvent::ReachedTransmissionLine, TimePoint::new(1.0))?;
+/// p.apply(ProtocolEvent::SyncCompleted, TimePoint::new(1.01))?;
+/// assert_eq!(p.state(), ProtocolState::Request { attempts: 1 });
+/// p.apply(ProtocolEvent::ResponseAccepted, TimePoint::new(1.15))?;
+/// assert_eq!(p.state(), ProtocolState::Follow);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct VehicleProtocol {
+    id: VehicleId,
+    state: ProtocolState,
+    line_crossed_at: Option<TimePoint>,
+    plan_received_at: Option<TimePoint>,
+    exited_at: Option<TimePoint>,
+    total_requests: u32,
+    total_rejections: u32,
+}
+
+impl VehicleProtocol {
+    /// A fresh machine in `Arriving`.
+    #[must_use]
+    pub fn new(id: VehicleId) -> Self {
+        VehicleProtocol {
+            id,
+            state: ProtocolState::Arriving,
+            line_crossed_at: None,
+            plan_received_at: None,
+            exited_at: None,
+            total_requests: 0,
+            total_rejections: 0,
+        }
+    }
+
+    /// The vehicle this machine belongs to.
+    #[must_use]
+    pub fn id(&self) -> VehicleId {
+        self.id
+    }
+
+    /// Current state.
+    #[must_use]
+    pub fn state(&self) -> ProtocolState {
+        self.state
+    }
+
+    /// When the transmission line was crossed, once known.
+    #[must_use]
+    pub fn line_crossed_at(&self) -> Option<TimePoint> {
+        self.line_crossed_at
+    }
+
+    /// When the accepted plan arrived, once known.
+    #[must_use]
+    pub fn plan_received_at(&self) -> Option<TimePoint> {
+        self.plan_received_at
+    }
+
+    /// When the vehicle exited the intersection, once known.
+    #[must_use]
+    pub fn exited_at(&self) -> Option<TimePoint> {
+        self.exited_at
+    }
+
+    /// Requests transmitted so far (including retransmissions and AIM
+    /// re-requests) — the network-load metric of Ch. 7.2.
+    #[must_use]
+    pub fn total_requests(&self) -> u32 {
+        self.total_requests
+    }
+
+    /// Rejections received (AIM's "no" replies).
+    #[must_use]
+    pub fn total_rejections(&self) -> u32 {
+        self.total_rejections
+    }
+
+    /// Applies `event` at time `now`, transitioning the machine.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidTransition`] if the event does not apply to the
+    /// current state (protocol bug in the caller).
+    pub fn apply(
+        &mut self,
+        event: ProtocolEvent,
+        now: TimePoint,
+    ) -> Result<ProtocolState, InvalidTransition> {
+        use ProtocolEvent as E;
+        use ProtocolState as S;
+        let next = match (self.state, event) {
+            (S::Arriving, E::ReachedTransmissionLine) => {
+                self.line_crossed_at = Some(now);
+                S::Sync
+            }
+            (S::Sync, E::SyncCompleted) => {
+                self.total_requests += 1;
+                S::Request { attempts: 1 }
+            }
+            (S::Request { .. }, E::ResponseAccepted) => {
+                self.plan_received_at = Some(now);
+                S::Follow
+            }
+            (S::Request { attempts }, E::ResponseRejected) => {
+                self.total_rejections += 1;
+                self.total_requests += 1;
+                S::Request { attempts: attempts + 1 }
+            }
+            (S::Request { attempts }, E::TimedOut) => {
+                self.total_requests += 1;
+                S::Request { attempts: attempts + 1 }
+            }
+            (S::Follow, E::CrossedIntersection) => {
+                self.exited_at = Some(now);
+                S::Done
+            }
+            (state, event) => return Err(InvalidTransition { state, event }),
+        };
+        self.state = next;
+        Ok(next)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: f64) -> TimePoint {
+        TimePoint::new(s)
+    }
+
+    fn machine() -> VehicleProtocol {
+        VehicleProtocol::new(VehicleId(1))
+    }
+
+    #[test]
+    fn happy_path_vt_like() {
+        let mut p = machine();
+        p.apply(ProtocolEvent::ReachedTransmissionLine, t(1.0)).unwrap();
+        assert_eq!(p.state(), ProtocolState::Sync);
+        p.apply(ProtocolEvent::SyncCompleted, t(1.02)).unwrap();
+        assert_eq!(p.state(), ProtocolState::Request { attempts: 1 });
+        p.apply(ProtocolEvent::ResponseAccepted, t(1.15)).unwrap();
+        assert_eq!(p.state(), ProtocolState::Follow);
+        p.apply(ProtocolEvent::CrossedIntersection, t(4.0)).unwrap();
+        assert_eq!(p.state(), ProtocolState::Done);
+        assert_eq!(p.line_crossed_at(), Some(t(1.0)));
+        assert_eq!(p.plan_received_at(), Some(t(1.15)));
+        assert_eq!(p.exited_at(), Some(t(4.0)));
+        assert_eq!(p.total_requests(), 1);
+        assert_eq!(p.total_rejections(), 0);
+    }
+
+    #[test]
+    fn aim_like_rejection_loop_counts_requests() {
+        let mut p = machine();
+        p.apply(ProtocolEvent::ReachedTransmissionLine, t(0.0)).unwrap();
+        p.apply(ProtocolEvent::SyncCompleted, t(0.01)).unwrap();
+        for i in 0..5 {
+            let s = p.apply(ProtocolEvent::ResponseRejected, t(0.1 * f64::from(i + 1))).unwrap();
+            assert_eq!(s, ProtocolState::Request { attempts: i + 2 });
+        }
+        p.apply(ProtocolEvent::ResponseAccepted, t(1.0)).unwrap();
+        assert_eq!(p.total_requests(), 6);
+        assert_eq!(p.total_rejections(), 5);
+    }
+
+    #[test]
+    fn timeout_retransmission_counts_requests() {
+        let mut p = machine();
+        p.apply(ProtocolEvent::ReachedTransmissionLine, t(0.0)).unwrap();
+        p.apply(ProtocolEvent::SyncCompleted, t(0.01)).unwrap();
+        p.apply(ProtocolEvent::TimedOut, t(0.2)).unwrap();
+        assert_eq!(p.state(), ProtocolState::Request { attempts: 2 });
+        assert_eq!(p.total_requests(), 2);
+        assert_eq!(p.total_rejections(), 0);
+    }
+
+    #[test]
+    fn invalid_transitions_are_rejected() {
+        let mut p = machine();
+        let err = p.apply(ProtocolEvent::ResponseAccepted, t(0.0)).unwrap_err();
+        assert_eq!(err.state, ProtocolState::Arriving);
+        assert!(!err.to_string().is_empty());
+
+        // Double line-crossing is invalid.
+        p.apply(ProtocolEvent::ReachedTransmissionLine, t(0.0)).unwrap();
+        assert!(p.apply(ProtocolEvent::ReachedTransmissionLine, t(0.1)).is_err());
+    }
+
+    #[test]
+    fn done_is_terminal() {
+        let mut p = machine();
+        p.apply(ProtocolEvent::ReachedTransmissionLine, t(0.0)).unwrap();
+        p.apply(ProtocolEvent::SyncCompleted, t(0.1)).unwrap();
+        p.apply(ProtocolEvent::ResponseAccepted, t(0.2)).unwrap();
+        p.apply(ProtocolEvent::CrossedIntersection, t(1.0)).unwrap();
+        for ev in [
+            ProtocolEvent::ReachedTransmissionLine,
+            ProtocolEvent::SyncCompleted,
+            ProtocolEvent::ResponseAccepted,
+            ProtocolEvent::ResponseRejected,
+            ProtocolEvent::TimedOut,
+            ProtocolEvent::CrossedIntersection,
+        ] {
+            assert!(p.apply(ev, t(2.0)).is_err(), "{ev:?} must not apply to Done");
+        }
+    }
+
+    #[test]
+    fn cannot_cross_before_following() {
+        let mut p = machine();
+        p.apply(ProtocolEvent::ReachedTransmissionLine, t(0.0)).unwrap();
+        assert!(p.apply(ProtocolEvent::CrossedIntersection, t(0.5)).is_err());
+    }
+}

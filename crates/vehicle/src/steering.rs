@@ -1,0 +1,273 @@
+//! Lateral control: a pure-pursuit steering controller over the bicycle
+//! model.
+//!
+//! The testbed used a BNO055 IMU for steering feedback (Ch. 2) and the
+//! thesis assumes "all vehicles entering our intersection can maintain
+//! proper lateral position" (Ch. 3.2). This module backs that assumption:
+//! it closes the lateral loop so a bicycle-model vehicle actually *tracks*
+//! an intersection path (straight or turning) within a small bound, which
+//! the tests verify against every movement's geometry.
+//!
+//! Pure pursuit steers toward a goal point a fixed *lookahead* distance
+//! down the reference path: `ψ = atan(2·L·sin(α) / l_d)` with wheelbase
+//! `L`, lookahead `l_d`, and `α` the heading error to the goal point.
+
+use crossroads_units::{Meters, Point2, Radians, Seconds};
+
+use crate::dynamics::{BicycleState, integrate_bicycle};
+use crate::spec::VehicleSpec;
+
+/// Pure-pursuit parameters.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct PurePursuit {
+    /// Lookahead distance to the goal point on the reference path.
+    pub lookahead: Meters,
+    /// Steering-angle saturation (mechanical limit).
+    pub max_steer: Radians,
+}
+
+impl PurePursuit {
+    /// Defaults tuned for the 1/10-scale platform: lookahead of one
+    /// vehicle length, ±35° steering lock.
+    #[must_use]
+    pub fn scale_model() -> Self {
+        PurePursuit {
+            lookahead: Meters::new(0.55),
+            max_steer: Radians::new(35f64.to_radians()),
+        }
+    }
+
+    /// Defaults for the full-scale sedan.
+    #[must_use]
+    pub fn full_scale() -> Self {
+        PurePursuit {
+            lookahead: Meters::new(5.0),
+            max_steer: Radians::new(30f64.to_radians()),
+        }
+    }
+
+    /// The steering angle toward `goal` from `state` for a vehicle with
+    /// `wheelbase`, saturated at the lock.
+    #[must_use]
+    pub fn steer_toward(&self, state: &BicycleState, goal: Point2, wheelbase: Meters) -> Radians {
+        let to_goal = goal - state.position;
+        let dist = to_goal.length();
+        if dist.value() < 1e-9 {
+            return Radians::new(0.0);
+        }
+        let alpha = (to_goal.heading() - state.heading).normalized();
+        let curvature = 2.0 * alpha.sin() / dist.value();
+        let steer = (wheelbase.value() * curvature).atan();
+        Radians::new(steer.clamp(-self.max_steer.value(), self.max_steer.value()))
+    }
+}
+
+/// Result of tracking a path with pure pursuit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrackingError {
+    /// Largest lateral deviation from the reference path observed.
+    pub max_cross_track: Meters,
+    /// Final state after the run.
+    pub final_state: BicycleState,
+}
+
+/// Drives the bicycle model along a reference path (given as a sampled
+/// polyline with the lookahead goal selected by arc position) at constant
+/// speed, returning the worst cross-track error.
+///
+/// `reference` maps a path position `s` to the reference pose; `total`
+/// is the path length to cover.
+///
+/// # Panics
+///
+/// Panics if `dt` is non-positive.
+pub fn track_path<F>(
+    spec: &VehicleSpec,
+    controller: &PurePursuit,
+    reference: F,
+    total: Meters,
+    dt: Seconds,
+) -> TrackingError
+where
+    F: Fn(Meters) -> (Point2, Radians),
+{
+    assert!(dt.value() > 0.0, "time step must be positive");
+    let (start_pos, start_heading) = reference(Meters::ZERO);
+    let mut state = BicycleState::new(start_pos, start_heading, spec.v_max * 0.5);
+    let mut s = Meters::ZERO;
+    let mut max_ct = Meters::ZERO;
+
+    while s < total {
+        let goal_s = (s + controller.lookahead).min(total);
+        let (goal, _) = reference(goal_s);
+        let steer = controller.steer_toward(&state, goal, spec.wheelbase);
+        state = integrate_bicycle(
+            &state,
+            spec.wheelbase,
+            steer,
+            crossroads_units::MetersPerSecondSquared::ZERO,
+            dt,
+        );
+        s += state.speed * dt;
+        // Cross-track error against the nearest reference point (sampled
+        // finely around the current arc position).
+        let mut best = f64::INFINITY;
+        let mut probe = s - controller.lookahead;
+        while probe <= s + controller.lookahead {
+            let (p, _) = reference(probe.max(Meters::ZERO).min(total));
+            best = best.min(state.position.distance_to(p).value());
+            probe += Meters::new(0.01).max(controller.lookahead / 50.0);
+        }
+        max_ct = max_ct.max(Meters::new(best));
+    }
+    TrackingError { max_cross_track: max_ct, final_state: state }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crossroads_units::MetersPerSecond;
+
+    fn spec() -> VehicleSpec {
+        VehicleSpec::scale_model()
+    }
+
+    #[test]
+    fn straight_line_is_tracked_exactly() {
+        let s = spec();
+        let pp = PurePursuit::scale_model();
+        let out = track_path(
+            &s,
+            &pp,
+            |d| (Point2::new(d.value(), 0.0), Radians::new(0.0)),
+            Meters::new(5.0),
+            Seconds::new(0.005),
+        );
+        // The cross-track measurement is sampled along the reference, so
+        // its floor is ~half the probe spacing.
+        assert!(
+            out.max_cross_track < Meters::from_millis(5.0),
+            "straight-line cross-track {}",
+            out.max_cross_track
+        );
+    }
+
+    #[test]
+    fn lateral_offset_is_regulated_away() {
+        // Start half a lane off the reference; pure pursuit must converge.
+        let s = spec();
+        let pp = PurePursuit::scale_model();
+        let reference = |d: Meters| (Point2::new(d.value(), 0.0), Radians::new(0.0));
+        let mut state = BicycleState::new(
+            Point2::new(0.0, 0.25),
+            Radians::new(0.0),
+            MetersPerSecond::new(1.5),
+        );
+        let mut sdist = Meters::ZERO;
+        for _ in 0..4000 {
+            let goal_s = sdist + pp.lookahead;
+            let (goal, _) = reference(goal_s);
+            let steer = pp.steer_toward(&state, goal, s.wheelbase);
+            state = integrate_bicycle(
+                &state,
+                s.wheelbase,
+                steer,
+                crossroads_units::MetersPerSecondSquared::ZERO,
+                Seconds::new(0.005),
+            );
+            sdist = Meters::new(state.position.x.value().max(0.0));
+        }
+        assert!(
+            state.position.y.abs() < Meters::from_millis(20.0),
+            "offset not regulated: y = {}",
+            state.position.y
+        );
+    }
+
+    #[test]
+    fn every_intersection_path_is_trackable() {
+        use crossroads_intersection_geometry_shim::*;
+        // The shim below avoids a circular dev-dependency: the reference
+        // curves are re-derived here exactly as `MovementPath` builds them
+        // (straight, right arc r=0.3, left arc r=0.9 at scale).
+        let s = spec();
+        let pp = PurePursuit::scale_model();
+        for (name, total, curve) in reference_paths() {
+            let out = track_path(&s, &pp, curve, total, Seconds::new(0.002));
+            // Within half a vehicle width on every movement class.
+            assert!(
+                out.max_cross_track < Meters::new(0.15),
+                "{name}: cross-track {}",
+                out.max_cross_track
+            );
+        }
+    }
+
+    /// Minimal re-derivation of the three path shapes (straight, right
+    /// arc, left arc) used by the intersection crate.
+    mod crossroads_intersection_geometry_shim {
+        use super::*;
+
+        type Curve = Box<dyn Fn(Meters) -> (Point2, Radians)>;
+
+        pub fn reference_paths() -> Vec<(&'static str, Meters, Curve)> {
+            use std::f64::consts::FRAC_PI_2;
+            let straight: Curve = Box::new(|d: Meters| {
+                (Point2::new(0.3, -0.6 + d.value()), Radians::new(FRAC_PI_2))
+            });
+            let right: Curve = Box::new(|d: Meters| {
+                let r = 0.3;
+                let ang = std::f64::consts::PI - d.value() / r;
+                (
+                    Point2::new(0.6 + r * ang.cos(), -0.6 + r * ang.sin()),
+                    Radians::new(ang - FRAC_PI_2).normalized(),
+                )
+            });
+            let left: Curve = Box::new(|d: Meters| {
+                let r = 0.9;
+                let ang = d.value() / r;
+                (
+                    Point2::new(-0.6 + r * ang.cos(), -0.6 + r * ang.sin()),
+                    Radians::new(ang + FRAC_PI_2).normalized(),
+                )
+            });
+            vec![
+                ("straight", Meters::new(1.2), straight),
+                ("right-turn", Meters::new(0.3 * FRAC_PI_2), right),
+                ("left-turn", Meters::new(0.9 * FRAC_PI_2), left),
+            ]
+        }
+    }
+
+    #[test]
+    fn steering_saturates_at_the_lock() {
+        let s = spec();
+        let pp = PurePursuit::scale_model();
+        // Goal directly to the side demands more steering than the lock.
+        let state = BicycleState::new(Point2::ORIGIN, Radians::new(0.0), MetersPerSecond::new(1.0));
+        let steer = pp.steer_toward(&state, Point2::new(0.0, 0.2), s.wheelbase);
+        assert!((steer.value().abs() - pp.max_steer.value()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn coincident_goal_steers_straight() {
+        let s = spec();
+        let pp = PurePursuit::scale_model();
+        let state = BicycleState::new(Point2::ORIGIN, Radians::new(0.4), MetersPerSecond::new(1.0));
+        assert_eq!(pp.steer_toward(&state, Point2::ORIGIN, s.wheelbase), Radians::new(0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "time step must be positive")]
+    fn zero_dt_panics() {
+        let s = spec();
+        let pp = PurePursuit::scale_model();
+        let _ = track_path(
+            &s,
+            &pp,
+            |d| (Point2::new(d.value(), 0.0), Radians::new(0.0)),
+            Meters::new(1.0),
+            Seconds::ZERO,
+        );
+    }
+}

@@ -1,0 +1,38 @@
+//! A compact Fig. 7.2-style sweep: throughput of the three IMs across
+//! input flow rates on the full-scale intersection.
+//!
+//! (The complete figure reproduction with more rates and repeats lives in
+//! `crates/bench/src/bin/exp_flow_sweep.rs`.)
+//!
+//! ```sh
+//! cargo run --release --example flow_sweep
+//! ```
+
+use crossroads::prelude::*;
+use rand::SeedableRng;
+use rand::rngs::StdRng;
+
+fn main() {
+    let rates = [0.05, 0.2, 0.6, 1.25];
+    println!("Fig. 7.2 (compact) — carried throughput, cars/second/lane\n");
+    println!(
+        "{:<8} {:>10} {:>12} {:>10}",
+        "rate", "VT-IM", "Crossroads", "AIM"
+    );
+
+    for rate in rates {
+        let mut row = format!("{rate:<8}");
+        for policy in PolicyKind::ALL {
+            let config = SimConfig::full_scale(policy).with_seed(42);
+            let mut rng = StdRng::seed_from_u64(1000);
+            let line_speed = config.typical_line_speed();
+            let workload = generate_poisson(&PoissonConfig::sweep_point(rate, line_speed), &mut rng);
+            let outcome = run_simulation(&config, &workload);
+            assert!(outcome.all_completed(), "{policy} did not finish at rate {rate}");
+            assert!(outcome.safety.is_safe(), "{policy} unsafe at rate {rate}");
+            row += &format!("{:>11.4} ", outcome.metrics.flow_rate() / 4.0);
+        }
+        println!("{row}");
+    }
+    println!("\n(carried = completed vehicles / makespan / 4 lanes; saturates per policy)");
+}

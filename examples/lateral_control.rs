@@ -1,0 +1,51 @@
+//! Lateral-control demo: drive the bicycle model through each turning
+//! movement with the pure-pursuit controller and report the worst
+//! cross-track error — backing the thesis' Ch. 3.2 assumption that
+//! vehicles "maintain proper lateral position".
+//!
+//! ```sh
+//! cargo run --example lateral_control
+//! ```
+
+use crossroads::intersection::{Approach, IntersectionGeometry, Movement, MovementPath, Turn};
+use crossroads::prelude::*;
+use crossroads::vehicle::steering::{PurePursuit, track_path};
+use crossroads::vehicle::VehicleSpec;
+
+fn main() {
+    let geometry = IntersectionGeometry::scale_model();
+    let spec = VehicleSpec::scale_model();
+    let controller = PurePursuit::scale_model();
+
+    println!("Pure-pursuit tracking of every intersection movement (scale model)\n");
+    println!("{:<14} {:>12} {:>18}", "movement", "path len (m)", "max cross-track (mm)");
+
+    for approach in Approach::ALL {
+        for turn in [Turn::Straight, Turn::Left, Turn::Right] {
+            let movement = Movement::new(approach, turn);
+            let path = MovementPath::new(&geometry, movement);
+            // Track from one vehicle-length before the box to one after.
+            let lead = spec.length;
+            let total = path.length() + lead * 2.0;
+            let out = track_path(
+                &spec,
+                &controller,
+                |s| path.pose_at(s - lead),
+                total,
+                Seconds::new(0.002),
+            );
+            println!(
+                "{:<14} {:>12.3} {:>18.1}",
+                movement.to_string(),
+                path.length().value(),
+                out.max_cross_track.as_millis()
+            );
+            assert!(
+                out.max_cross_track.value() < geometry.lane_width.value() / 2.0,
+                "{movement}: vehicle left its lane"
+            );
+        }
+    }
+    println!("\nAll movements tracked within half a lane width — the lateral");
+    println!("assumption of the longitudinal scheduling model holds.");
+}

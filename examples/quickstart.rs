@@ -1,0 +1,43 @@
+//! Quickstart: run one scale-model scenario under each intersection
+//! manager and compare average waits.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use crossroads::prelude::*;
+
+fn main() {
+    println!("Crossroads quickstart — scenario 1 (worst case), 5 vehicles\n");
+    println!("{:<12} {:>10} {:>12} {:>10} {:>8}", "policy", "avg wait", "max wait", "messages", "safe");
+
+    let workload = scale_model_scenario(ScenarioId(1), 0);
+    for policy in PolicyKind::ALL {
+        let config = SimConfig::scale_model(policy).with_seed(42);
+        let outcome = run_simulation(&config, &workload);
+        assert!(outcome.all_completed(), "{policy}: not all vehicles completed");
+        let waits = outcome.metrics.wait_summary();
+        println!(
+            "{:<12} {:>9.3}s {:>11.3}s {:>10} {:>8}",
+            policy.to_string(),
+            waits.mean,
+            waits.max,
+            outcome.metrics.counters().messages,
+            outcome.safety.is_safe(),
+        );
+    }
+
+    println!("\nPer-vehicle detail under Crossroads:");
+    let config = SimConfig::scale_model(PolicyKind::Crossroads).with_seed(42);
+    let outcome = run_simulation(&config, &workload);
+    for r in outcome.metrics.records() {
+        println!(
+            "  {}: line at {:.3}s, cleared {:.3}s, wait {:.3}s ({} request(s))",
+            r.vehicle,
+            r.line_at.value(),
+            r.cleared_at.value(),
+            r.wait().value(),
+            r.requests_sent,
+        );
+    }
+}

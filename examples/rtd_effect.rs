@@ -1,0 +1,67 @@
+//! The paper's core phenomenon (Figs. 3.2 / 4.1 / 6.1): round-trip delay
+//! displaces a VT-IM vehicle from where the IM assumed it would actuate,
+//! while a Crossroads vehicle's trajectory is bit-for-bit RTD-invariant.
+//!
+//! ```sh
+//! cargo run --example rtd_effect
+//! ```
+
+use crossroads::prelude::*;
+
+fn main() {
+    let spec = VehicleSpec::scale_model();
+    let v0 = MetersPerSecond::new(1.5);
+    let v_t = spec.v_max;
+    let d_t = Meters::new(3.0);
+
+    println!("A vehicle 3 m out at 1.5 m/s is told: cruise at 3 m/s.\n");
+    println!(
+        "{:>9} {:>16} {:>18} {:>16}",
+        "RTD (ms)", "VT-IM arrival", "VT-IM displacement", "Crossroads arrival"
+    );
+
+    // The IM assumed actuation at t=0 (VT) / pinned T_E = 150 ms (Crossroads).
+    let assumed =
+        SpeedProfile::vt_response(TimePoint::ZERO, Meters::ZERO, v0, v_t, &spec);
+    let assumed_arrival = assumed
+        .time_at_position(d_t)
+        .expect("cruise reaches the line");
+
+    for rtd_ms in [0.0, 30.0, 75.0, 150.0] {
+        let received = TimePoint::new(rtd_ms / 1e3);
+        // VT-IM: execute on receipt, from wherever the vehicle now is.
+        let s_now = v0 * (received - TimePoint::ZERO);
+        let vt = SpeedProfile::vt_response(received, s_now, v0, v_t, &spec);
+        let vt_arrival = vt.time_at_position(d_t).expect("cruise reaches the line");
+        let displacement = (vt_arrival - assumed_arrival).value() * spec.v_max.value();
+
+        // Crossroads: hold v0 until T_E = 150 ms, then execute. The
+        // reception time never appears in the trajectory.
+        let t_e = TimePoint::new(0.150);
+        let mut probe = SpeedProfile::starting_at(TimePoint::ZERO, Meters::ZERO, v0);
+        probe.push_hold(t_e - TimePoint::ZERO);
+        probe.push_speed_change(v_t, spec.a_max);
+        let toa = probe.time_at_position(d_t).expect("reaches the line");
+        let xr = SpeedProfile::crossroads_response(
+            TimePoint::ZERO,
+            Meters::ZERO,
+            v0,
+            t_e,
+            toa,
+            d_t,
+            v_t,
+            &spec,
+        )
+        .expect("consistent command");
+        let xr_arrival = xr.time_at_position(d_t).expect("reaches the line");
+
+        println!(
+            "{:>9} {:>15.4}s {:>17.3}m {:>15.4}s",
+            rtd_ms, vt_arrival.value(), displacement, xr_arrival.value()
+        );
+    }
+
+    println!("\nVT-IM's arrival drifts with the RTD — the IM must absorb that as");
+    println!("buffer (0.45 m at 3 m/s for a 150 ms worst case). Crossroads' arrival");
+    println!("column never moves: the actuation instant is part of the command.");
+}

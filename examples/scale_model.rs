@@ -1,0 +1,46 @@
+//! The Fig. 7.1 experiment end-to-end: all ten scale-model scenarios,
+//! ten repeats each, VT-IM vs Crossroads average wait.
+//!
+//! ```sh
+//! cargo run --release --example scale_model
+//! ```
+
+use crossroads::prelude::*;
+
+const REPEATS: u64 = 10;
+
+fn average_wait(policy: PolicyKind, scenario: ScenarioId) -> f64 {
+    let mut total = 0.0;
+    for repeat in 0..REPEATS {
+        let workload = scale_model_scenario(scenario, repeat);
+        let config = SimConfig::scale_model(policy).with_seed(repeat * 1313 + 7);
+        let outcome = run_simulation(&config, &workload);
+        assert!(
+            outcome.all_completed() && outcome.safety.is_safe(),
+            "{policy} {scenario} repeat {repeat} failed"
+        );
+        total += outcome.metrics.average_wait().value();
+    }
+    total / REPEATS as f64
+}
+
+fn main() {
+    println!("Fig. 7.1 — average wait time on the 1/10-scale model (s)\n");
+    println!("{:<10} {:>10} {:>12} {:>8}", "scenario", "VT-IM", "Crossroads", "ratio");
+
+    let mut vt_sum = 0.0;
+    let mut xr_sum = 0.0;
+    for id in ScenarioId::all() {
+        let vt = average_wait(PolicyKind::VtIm, id);
+        let xr = average_wait(PolicyKind::Crossroads, id);
+        vt_sum += vt;
+        xr_sum += xr;
+        println!("{:<10} {:>10.3} {:>12.3} {:>7.2}x", id.0, vt, xr, vt / xr.max(1e-9));
+    }
+    let (vt_avg, xr_avg) = (vt_sum / 10.0, xr_sum / 10.0);
+    println!("{:<10} {:>10.3} {:>12.3} {:>7.2}x", "AVG", vt_avg, xr_avg, vt_avg / xr_avg);
+    println!(
+        "\nCrossroads reduces average wait by {:.0}% (paper: 24%)",
+        (1.0 - xr_avg / vt_avg) * 100.0
+    );
+}

@@ -1,0 +1,81 @@
+//! # Crossroads — time-sensitive autonomous intersection management
+//!
+//! A from-scratch Rust reproduction of *Crossroads: Time-Sensitive
+//! Autonomous Intersection Management Technique* (DAC 2017; Andert's ASU
+//! thesis), including the paper's contribution, both baselines, and every
+//! substrate it needs:
+//!
+//! | crate | contents |
+//! |---|---|
+//! | [`units`] | typed quantities, planar geometry, closed-form kinematics |
+//! | [`des`] | deterministic discrete-event simulation kernel |
+//! | [`vehicle`] | specs, bicycle-model dynamics, speed profiles, noisy control, protocol state machine |
+//! | [`net`] | radio channel, delay models, WC-RTD budget, clock sync |
+//! | [`intersection`] | 4-way geometry, movement paths, conflict analysis, interval & tile reservations |
+//! | [`core`] | the **Crossroads**, **VT-IM** and **AIM** policies + the closed-loop simulator |
+//! | [`traffic`] | Poisson workloads and the ten scale-model scenarios |
+//! | [`metrics`] | wait time, throughput, compute/network load |
+//!
+//! This facade crate re-exports the full public API so downstream users
+//! depend on one crate; the workspace members remain usable individually.
+//!
+//! # Quickstart
+//!
+//! Run the paper's worst-case scenario under the Crossroads IM:
+//!
+//! ```
+//! use crossroads::core::policy::PolicyKind;
+//! use crossroads::core::sim::{SimConfig, run_simulation};
+//! use crossroads::traffic::{ScenarioId, scale_model_scenario};
+//!
+//! let workload = scale_model_scenario(ScenarioId(1), 0);
+//! let config = SimConfig::scale_model(PolicyKind::Crossroads).with_seed(1);
+//! let outcome = run_simulation(&config, &workload);
+//!
+//! assert!(outcome.all_completed());
+//! assert!(outcome.safety.is_safe());
+//! println!("average wait: {}", outcome.metrics.average_wait());
+//! ```
+//!
+//! See `examples/` for runnable end-to-end programs and `crates/bench`
+//! for the binaries regenerating every figure of the paper.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use crossroads_core as core;
+pub use crossroads_des as des;
+pub use crossroads_intersection as intersection;
+pub use crossroads_metrics as metrics;
+pub use crossroads_net as net;
+pub use crossroads_traffic as traffic;
+pub use crossroads_units as units;
+pub use crossroads_vehicle as vehicle;
+
+/// The most common imports, for `use crossroads::prelude::*`.
+pub mod prelude {
+    pub use crossroads_core::policy::PolicyKind;
+    pub use crossroads_core::sim::{SimConfig, SimOutcome, run_simulation};
+    pub use crossroads_core::{BufferModel, CrossingCommand, CrossingRequest};
+    pub use crossroads_intersection::{Approach, IntersectionGeometry, Movement, Turn};
+    pub use crossroads_metrics::{RunMetrics, Summary, VehicleRecord};
+    pub use crossroads_traffic::{
+        Arrival, PoissonConfig, ScenarioId, generate_poisson, scale_model_scenario,
+    };
+    pub use crossroads_units::{
+        Meters, MetersPerSecond, MetersPerSecondSquared, Seconds, TimePoint,
+    };
+    pub use crossroads_vehicle::{SpeedProfile, VehicleId, VehicleSpec};
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn prelude_compiles_and_names_resolve() {
+        use crate::prelude::*;
+        let _ = PolicyKind::Crossroads;
+        let _ = VehicleSpec::scale_model();
+        let _ = IntersectionGeometry::scale_model();
+        let _ = Seconds::new(1.0);
+    }
+}

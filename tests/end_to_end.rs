@@ -1,0 +1,153 @@
+//! Workspace-level integration tests: the full public API exercised the
+//! way a downstream user would, across all crates at once.
+
+use crossroads::prelude::*;
+use rand::SeedableRng;
+use rand::rngs::StdRng;
+
+#[test]
+fn headline_scale_model_ratio_holds() {
+    // Fig. 7.1 / abstract: Crossroads reduces scale-model average wait
+    // versus VT-IM; the paper reports 24% over ten scenarios. We assert
+    // the direction and a sane band (10%..50%).
+    let mut vt = 0.0;
+    let mut xr = 0.0;
+    for id in ScenarioId::all() {
+        for repeat in 0..5 {
+            let w = scale_model_scenario(id, repeat);
+            let seed = repeat * 977 + u64::from(id.0);
+            let vt_out =
+                run_simulation(&SimConfig::scale_model(PolicyKind::VtIm).with_seed(seed), &w);
+            let xr_out = run_simulation(
+                &SimConfig::scale_model(PolicyKind::Crossroads).with_seed(seed),
+                &w,
+            );
+            assert!(vt_out.all_completed() && vt_out.safety.is_safe());
+            assert!(xr_out.all_completed() && xr_out.safety.is_safe());
+            vt += vt_out.metrics.average_wait().value();
+            xr += xr_out.metrics.average_wait().value();
+        }
+    }
+    let reduction = 1.0 - xr / vt;
+    assert!(
+        (0.10..=0.50).contains(&reduction),
+        "wait reduction {:.1}% outside the paper's regime (24%)",
+        reduction * 100.0
+    );
+}
+
+#[test]
+fn saturation_throughput_ordering_matches_paper() {
+    // Fig. 7.2: at saturating input flows Crossroads carries the most
+    // traffic and VT-IM the least.
+    let mut carried = std::collections::HashMap::new();
+    for policy in PolicyKind::ALL {
+        let mut total = 0.0;
+        for rate in [0.6, 0.9, 1.25] {
+            let config = SimConfig::full_scale(policy).with_seed(42);
+            let mut rng = StdRng::seed_from_u64(1000);
+            let line_speed = config.spec.v_max * (2.0 / 3.0);
+            let w = generate_poisson(&PoissonConfig::sweep_point(rate, line_speed), &mut rng);
+            let out = run_simulation(&config, &w);
+            assert!(out.all_completed(), "{policy} rate {rate}");
+            assert!(out.safety.is_safe(), "{policy} rate {rate}");
+            total += out.metrics.flow_rate() / 4.0;
+        }
+        carried.insert(policy, total / 3.0);
+    }
+    let vt = carried[&PolicyKind::VtIm];
+    let xr = carried[&PolicyKind::Crossroads];
+    let aim = carried[&PolicyKind::Aim];
+    assert!(xr > vt, "Crossroads {xr:.4} must beat VT-IM {vt:.4}");
+    assert!(aim > vt, "AIM {aim:.4} must beat VT-IM {vt:.4} at saturation");
+    assert!(
+        xr >= aim * 0.97,
+        "Crossroads {xr:.4} should at least match coarse-grid AIM {aim:.4}"
+    );
+    // The paper's worst-case factor over VT-IM is 1.62x; ours should be
+    // at least 1.1x on the average.
+    assert!(xr / vt > 1.1, "Crossroads/VT ratio {:.2} too small", xr / vt);
+}
+
+#[test]
+fn low_flow_all_policies_are_equivalent() {
+    // Fig. 7.2's left edge: "at low input rates, all the techniques
+    // perform almost the same."
+    let mut flows = Vec::new();
+    for policy in PolicyKind::ALL {
+        let config = SimConfig::full_scale(policy).with_seed(7);
+        let mut rng = StdRng::seed_from_u64(77);
+        let line_speed = config.spec.v_max * (2.0 / 3.0);
+        let w = generate_poisson(&PoissonConfig::sweep_point(0.05, line_speed), &mut rng);
+        let out = run_simulation(&config, &w);
+        assert!(out.all_completed());
+        flows.push(out.metrics.flow_rate() / 4.0);
+    }
+    let max = flows.iter().copied().fold(f64::MIN, f64::max);
+    let min = flows.iter().copied().fold(f64::MAX, f64::min);
+    assert!(
+        (max - min) / max < 0.05,
+        "low-flow carried rates should coincide, got {flows:?}"
+    );
+}
+
+#[test]
+fn overhead_ratios_favor_crossroads() {
+    // Ch. 7.2: AIM pays up to 16x compute and far more network traffic.
+    let mut ops = std::collections::HashMap::new();
+    let mut msgs = std::collections::HashMap::new();
+    for policy in PolicyKind::ALL {
+        let config = SimConfig::full_scale(policy).with_seed(5);
+        let mut rng = StdRng::seed_from_u64(55);
+        let line_speed = config.spec.v_max * (2.0 / 3.0);
+        let w = generate_poisson(&PoissonConfig::sweep_point(0.6, line_speed), &mut rng);
+        let out = run_simulation(&config, &w);
+        let c = out.metrics.counters();
+        ops.insert(policy, c.im_ops as f64 / c.im_requests.max(1) as f64);
+        msgs.insert(policy, c.messages as f64);
+    }
+    let ops_ratio = ops[&PolicyKind::Aim] / ops[&PolicyKind::Crossroads];
+    // The exact factor scales with the tile granularity (the paper reports
+    // up to 16x at their configuration; exp_overhead prints the measured
+    // value); the invariant is a clear separation.
+    assert!(
+        ops_ratio > 2.5,
+        "AIM ops/request should dwarf Crossroads, got {ops_ratio:.1}x"
+    );
+    assert!(
+        msgs[&PolicyKind::Aim] > msgs[&PolicyKind::Crossroads] * 1.5,
+        "AIM messages {} vs Crossroads {}",
+        msgs[&PolicyKind::Aim],
+        msgs[&PolicyKind::Crossroads]
+    );
+}
+
+#[test]
+fn outcomes_are_reproducible_across_calls() {
+    let w = scale_model_scenario(ScenarioId(4), 2);
+    let config = SimConfig::scale_model(PolicyKind::Aim).with_seed(99);
+    let a = run_simulation(&config, &w);
+    let b = run_simulation(&config, &w);
+    assert_eq!(a.metrics.records(), b.metrics.records());
+    assert_eq!(a.safety.violations(), b.safety.violations());
+    // A different seed perturbs the delays and hence the trace.
+    let c = run_simulation(&config.with_seed(100), &w);
+    assert_ne!(a.metrics.records(), c.metrics.records());
+}
+
+#[test]
+fn exit_reports_allow_next_vehicles_in() {
+    // Functional check across net + core: a second wave on the same lane
+    // is admitted after the first clears, using the exit notifications.
+    let mut w = scale_model_scenario(ScenarioId(10), 0);
+    // Compress: make it one lane, two vehicles, 4 s apart.
+    w.truncate(2);
+    w[1].movement = w[0].movement;
+    w[1].at_line = w[0].at_line + Seconds::new(4.0);
+    let config = SimConfig::scale_model(PolicyKind::Crossroads).with_seed(3);
+    let out = run_simulation(&config, &w);
+    assert!(out.all_completed());
+    assert!(out.safety.is_safe());
+    let r: Vec<_> = out.metrics.records().to_vec();
+    assert!(r[1].wait() < Seconds::new(0.5), "second vehicle found a clear box");
+}
