@@ -1,0 +1,32 @@
+#!/usr/bin/env sh
+# Hermetic CI gate: the workspace must build and test fully offline with
+# zero registry dependencies. Run from the repo root.
+set -eu
+
+cd "$(dirname "$0")"
+
+echo "==> manifest audit: no registry dependencies allowed"
+if grep -rn "^rand\|^proptest\|^criterion\|^serde" crates/*/Cargo.toml Cargo.toml; then
+    echo "FAIL: registry dependency found in a manifest" >&2
+    exit 1
+fi
+# Any dependency line must be a path dependency on a sibling crate.
+if grep -rn '^[a-z0-9_-]* *= *"' crates/*/Cargo.toml | grep -v '^\([^:]*\):[0-9]*:\(name\|version\|edition\|description\|license\|rust-version\|harness\|test\|bench\|path\|doctest\) *='; then
+    echo "FAIL: version-only dependency found (use path = ...)" >&2
+    exit 1
+fi
+
+echo "==> offline release build"
+cargo build --release --offline --workspace
+
+echo "==> offline test suite"
+cargo test -q --offline --workspace
+
+if cargo fmt --version >/dev/null 2>&1; then
+    echo "==> rustfmt check"
+    cargo fmt --check
+else
+    echo "==> rustfmt not installed; skipping format check"
+fi
+
+echo "CI OK"

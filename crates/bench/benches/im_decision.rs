@@ -1,10 +1,11 @@
 //! Measured per-decision cost of the three IM policies — the "computation
 //! time" series of Fig. 7.2 / Ch. 7.2, in wall-clock nanoseconds.
+//!
+//! Self-timed (`harness = false`); run with
+//! `cargo bench --bench im_decision`.
 
-use criterion::{Criterion, criterion_group, criterion_main};
-use crossroads_core::policy::{
-    AimPolicy, CrossroadsPolicy, IntersectionPolicy, VtPolicy,
-};
+use crossroads_bench::timing::{bench, bench_table_header};
+use crossroads_core::policy::{AimPolicy, CrossroadsPolicy, IntersectionPolicy, VtPolicy};
 use crossroads_core::{BufferModel, CrossingRequest};
 use crossroads_intersection::{
     Approach, ConflictTable, IntersectionGeometry, Movement, ReservationTable, Turn,
@@ -35,59 +36,39 @@ fn table() -> ReservationTable {
     ReservationTable::new(ConflictTable::compute(&geometry(), Meters::new(1.8)))
 }
 
-fn bench_policies(c: &mut Criterion) {
-    let mut group = c.benchmark_group("im_decision");
-
-    group.bench_function("vt_im", |b| {
-        let mut v = 0u32;
-        let mut t = 0.0f64;
-        let mut policy = VtPolicy::new(geometry(), table(), BufferModel::full_scale(), 0.15);
-        b.iter(|| {
-            let req = request(v, Approach::ALL[(v % 4) as usize], t, false);
-            let cmd = policy.decide(black_box(&req), TimePoint::new(t + 0.05));
-            policy.on_exit(VehicleId(v), TimePoint::new(t + 0.06));
-            v = v.wrapping_add(1);
-            t += 0.01;
-            black_box(cmd)
-        });
+/// Runs one decide/on_exit cycle per iteration against a fresh stream of
+/// requests, mirroring the steady-state load the IM sees.
+fn bench_policy(name: &str, mut policy: impl IntersectionPolicy) {
+    let mut v = 0u32;
+    let mut t = 0.0f64;
+    let aim = name == "aim";
+    bench(name, move || {
+        let req = request(v, Approach::ALL[(v % 4) as usize], t, aim);
+        let cmd = policy.decide(black_box(&req), TimePoint::new(t + 0.05));
+        policy.on_exit(VehicleId(v), TimePoint::new(t + 0.06));
+        v = v.wrapping_add(1);
+        t += 0.01;
+        black_box(cmd)
     });
+}
 
-    group.bench_function("crossroads", |b| {
-        let mut v = 0u32;
-        let mut t = 0.0f64;
-        let mut policy =
-            CrossroadsPolicy::new(geometry(), table(), BufferModel::full_scale(), 0.15);
-        b.iter(|| {
-            let req = request(v, Approach::ALL[(v % 4) as usize], t, false);
-            let cmd = policy.decide(black_box(&req), TimePoint::new(t + 0.05));
-            policy.on_exit(VehicleId(v), TimePoint::new(t + 0.06));
-            v = v.wrapping_add(1);
-            t += 0.01;
-            black_box(cmd)
-        });
-    });
-
-    group.bench_function("aim", |b| {
-        let mut v = 0u32;
-        let mut t = 0.0f64;
-        let mut policy = AimPolicy::new(
+fn main() {
+    bench_table_header("im_decision");
+    bench_policy(
+        "vt_im",
+        VtPolicy::new(geometry(), table(), BufferModel::full_scale(), 0.15),
+    );
+    bench_policy(
+        "crossroads",
+        CrossroadsPolicy::new(geometry(), table(), BufferModel::full_scale(), 0.15),
+    );
+    bench_policy(
+        "aim",
+        AimPolicy::new(
             geometry(),
             BufferModel::full_scale(),
             3,
             Seconds::from_millis(50.0),
-        );
-        b.iter(|| {
-            let req = request(v, Approach::ALL[(v % 4) as usize], t, true);
-            let cmd = policy.decide(black_box(&req), TimePoint::new(t + 0.05));
-            policy.on_exit(VehicleId(v), TimePoint::new(t + 0.06));
-            v = v.wrapping_add(1);
-            t += 0.01;
-            black_box(cmd)
-        });
-    });
-
-    group.finish();
+        ),
+    );
 }
-
-criterion_group!(benches, bench_policies);
-criterion_main!(benches);

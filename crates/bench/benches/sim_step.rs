@@ -1,41 +1,29 @@
 //! Whole-simulation throughput: how fast the closed loop runs one
 //! scale-model scenario and one full-scale sweep point, per policy.
+//!
+//! Self-timed (`harness = false`); run with `cargo bench --bench sim_step`.
 
-use criterion::{BenchmarkId, Criterion, criterion_group, criterion_main};
 use crossroads_bench::sweep_workload;
+use crossroads_bench::timing::{bench, bench_table_header};
 use crossroads_core::policy::PolicyKind;
-use crossroads_core::sim::{SimConfig, run_simulation};
-use crossroads_traffic::{ScenarioId, scale_model_scenario};
+use crossroads_core::sim::{run_simulation, SimConfig};
+use crossroads_traffic::{scale_model_scenario, ScenarioId};
 use std::hint::black_box;
 
-fn bench_sim(c: &mut Criterion) {
-    let mut group = c.benchmark_group("sim");
-    group.sample_size(20);
+fn main() {
+    bench_table_header("sim");
 
     for policy in PolicyKind::ALL {
-        group.bench_with_input(
-            BenchmarkId::new("scale_scenario1", policy),
-            &policy,
-            |b, &policy| {
-                let workload = scale_model_scenario(ScenarioId(1), 0);
-                let config = SimConfig::scale_model(policy).with_seed(42);
-                b.iter(|| black_box(run_simulation(&config, black_box(&workload))));
-            },
-        );
+        let workload = scale_model_scenario(ScenarioId(1), 0);
+        let config = SimConfig::scale_model(policy).with_seed(42);
+        bench(&format!("scale_scenario1/{policy}"), || {
+            black_box(run_simulation(&config, black_box(&workload)))
+        });
 
-        group.bench_with_input(
-            BenchmarkId::new("full_scale_rate0.4", policy),
-            &policy,
-            |b, &policy| {
-                let config = SimConfig::full_scale(policy).with_seed(42);
-                let workload = sweep_workload(&config, 0.4, 1042);
-                b.iter(|| black_box(run_simulation(&config, black_box(&workload))));
-            },
-        );
+        let config = SimConfig::full_scale(policy).with_seed(42);
+        let workload = sweep_workload(&config, 0.4, 1042);
+        bench(&format!("full_scale_rate0.4/{policy}"), || {
+            black_box(run_simulation(&config, black_box(&workload)))
+        });
     }
-
-    group.finish();
 }
-
-criterion_group!(benches, bench_sim);
-criterion_main!(benches);

@@ -1,57 +1,42 @@
 //! Tile-grid costs across granularities — the compute side of the AIM
 //! granularity ablation.
+//!
+//! Self-timed (`harness = false`); run with `cargo bench --bench tiles`.
 
-use criterion::{BenchmarkId, Criterion, criterion_group, criterion_main};
+use crossroads_bench::timing::{bench, bench_table_header};
 use crossroads_intersection::tiles::TileInterval;
 use crossroads_intersection::{TileGrid, TileSchedule};
 use crossroads_units::{Meters, Point2, Radians, TimePoint};
 use crossroads_vehicle::VehicleId;
 use std::hint::black_box;
 
-fn bench_tiles(c: &mut Criterion) {
-    let mut group = c.benchmark_group("tiles");
+fn main() {
+    bench_table_header("tiles");
 
     for side in [3usize, 8, 16, 32] {
-        group.bench_with_input(
-            BenchmarkId::new("footprint_cover", side),
-            &side,
-            |b, &side| {
-                let grid = TileGrid::new(Meters::new(12.0), side);
-                b.iter(|| {
-                    black_box(grid.tiles_for_footprint(
-                        black_box(Point2::new(1.8, -1.8)),
-                        Radians::new(std::f64::consts::FRAC_PI_4),
-                        Meters::new(5.5),
-                        Meters::new(1.8),
-                    ))
-                });
-            },
-        );
+        let grid = TileGrid::new(Meters::new(12.0), side);
+        bench(&format!("footprint_cover/{side}"), || {
+            black_box(grid.tiles_for_footprint(
+                black_box(Point2::new(1.8, -1.8)),
+                Radians::new(std::f64::consts::FRAC_PI_4),
+                Meters::new(5.5),
+                Meters::new(1.8),
+            ))
+        });
 
-        group.bench_with_input(
-            BenchmarkId::new("reserve_release", side),
-            &side,
-            |b, &side| {
-                let grid = TileGrid::new(Meters::new(12.0), side);
-                let mut sched = TileSchedule::new(grid);
-                let request: Vec<TileInterval> = (0..grid.tile_count().min(24))
-                    .map(|tile| TileInterval {
-                        tile,
-                        from: TimePoint::new(1.0),
-                        until: TimePoint::new(2.0),
-                    })
-                    .collect();
-                b.iter(|| {
-                    let ok = sched.try_reserve(VehicleId(1), black_box(&request));
-                    sched.release(VehicleId(1));
-                    black_box(ok)
-                });
-            },
-        );
+        let grid = TileGrid::new(Meters::new(12.0), side);
+        let mut sched = TileSchedule::new(grid);
+        let request: Vec<TileInterval> = (0..grid.tile_count().min(24))
+            .map(|tile| TileInterval {
+                tile,
+                from: TimePoint::new(1.0),
+                until: TimePoint::new(2.0),
+            })
+            .collect();
+        bench(&format!("reserve_release/{side}"), move || {
+            let ok = sched.try_reserve(VehicleId(1), black_box(&request));
+            sched.release(VehicleId(1));
+            black_box(ok)
+        });
     }
-
-    group.finish();
 }
-
-criterion_group!(benches, bench_tiles);
-criterion_main!(benches);

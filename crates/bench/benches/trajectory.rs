@@ -1,65 +1,57 @@
 //! Trajectory-planning micro-costs: profile construction, inversion, and
 //! the cruise-speed solver behind every IM decision.
+//!
+//! Self-timed (`harness = false`); run with
+//! `cargo bench --bench trajectory`.
 
-use criterion::{Criterion, criterion_group, criterion_main};
+use crossroads_bench::timing::{bench, bench_table_header};
 use crossroads_units::kinematics;
 use crossroads_units::{Meters, MetersPerSecond, Seconds, TimePoint};
 use crossroads_vehicle::{SpeedProfile, VehicleSpec};
 use std::hint::black_box;
 
-fn bench_trajectory(c: &mut Criterion) {
+fn main() {
     let spec = VehicleSpec::scale_model();
-    let mut group = c.benchmark_group("trajectory");
+    bench_table_header("trajectory");
 
-    group.bench_function("crossroads_response", |b| {
-        b.iter(|| {
-            let p = SpeedProfile::crossroads_response(
-                TimePoint::ZERO,
-                Meters::ZERO,
-                MetersPerSecond::new(1.5),
-                TimePoint::new(0.150),
-                TimePoint::new(1.2625),
-                Meters::new(3.0),
-                MetersPerSecond::new(3.0),
-                black_box(&spec),
-            );
-            black_box(p)
-        });
+    bench("crossroads_response", || {
+        let p = SpeedProfile::crossroads_response(
+            TimePoint::ZERO,
+            Meters::ZERO,
+            MetersPerSecond::new(1.5),
+            TimePoint::new(0.150),
+            TimePoint::new(1.2625),
+            Meters::new(3.0),
+            MetersPerSecond::new(3.0),
+            black_box(&spec),
+        );
+        black_box(p)
     });
 
-    group.bench_function("time_at_position", |b| {
-        let mut p = SpeedProfile::starting_at(TimePoint::ZERO, Meters::ZERO, MetersPerSecond::new(1.0));
-        p.push_hold(Seconds::new(1.0));
-        p.push_speed_change(MetersPerSecond::new(3.0), spec.a_max);
-        p.push_hold(Seconds::new(2.0));
-        b.iter(|| black_box(p.time_at_position(black_box(Meters::new(5.0)))));
+    let mut p = SpeedProfile::starting_at(TimePoint::ZERO, Meters::ZERO, MetersPerSecond::new(1.0));
+    p.push_hold(Seconds::new(1.0));
+    p.push_speed_change(MetersPerSecond::new(3.0), spec.a_max);
+    p.push_hold(Seconds::new(2.0));
+    bench("time_at_position", || {
+        black_box(p.time_at_position(black_box(Meters::new(5.0))))
     });
 
-    group.bench_function("solve_cruise_speed", |b| {
-        b.iter(|| {
-            black_box(kinematics::solve_cruise_speed(
-                black_box(MetersPerSecond::new(1.5)),
-                spec.v_max,
-                spec.a_max,
-                spec.d_max,
-                Meters::new(3.0),
-                Seconds::new(1.8),
-            ))
-        });
+    bench("solve_cruise_speed", || {
+        black_box(kinematics::solve_cruise_speed(
+            black_box(MetersPerSecond::new(1.5)),
+            spec.v_max,
+            spec.a_max,
+            spec.d_max,
+            Meters::new(3.0),
+            Seconds::new(1.8),
+        ))
     });
 
-    group.bench_function("earliest_arrival", |b| {
-        b.iter(|| {
-            black_box(SpeedProfile::earliest_arrival(
-                black_box(MetersPerSecond::new(1.5)),
-                &spec,
-                Meters::new(3.0),
-            ))
-        });
+    bench("earliest_arrival", || {
+        black_box(SpeedProfile::earliest_arrival(
+            black_box(MetersPerSecond::new(1.5)),
+            &spec,
+            Meters::new(3.0),
+        ))
     });
-
-    group.finish();
 }
-
-criterion_group!(benches, bench_trajectory);
-criterion_main!(benches);

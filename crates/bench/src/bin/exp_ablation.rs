@@ -9,7 +9,7 @@
 
 use crossroads_bench::{carried_per_lane, sweep_workload};
 use crossroads_core::policy::PolicyKind;
-use crossroads_core::sim::{SimConfig, run_simulation};
+use crossroads_core::sim::{run_simulation, SimConfig};
 use crossroads_net::RtdBudget;
 use crossroads_units::Seconds;
 

@@ -7,12 +7,11 @@
 //! quantifies the scheduling-side gain alone.
 
 use crossroads_core::batch::BatchPlanner;
-use crossroads_traffic::PoissonConfig;
+use crossroads_prng::{SeedableRng, StdRng};
 use crossroads_traffic::generate_poisson;
+use crossroads_traffic::PoissonConfig;
 use crossroads_units::{Meters, MetersPerSecond, Seconds};
 use crossroads_vehicle::VehicleSpec;
-use rand::SeedableRng;
-use rand::rngs::StdRng;
 
 fn main() {
     let geometry = crossroads_intersection::IntersectionGeometry::full_scale();

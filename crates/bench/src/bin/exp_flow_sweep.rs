@@ -6,13 +6,16 @@
 //! first, AIM next, Crossroads highest. Crossroads is 1.62x over VT-IM
 //! in the worst case (1.36x average) and 1.28x over AIM (1.15x average).
 
-use crossroads_bench::{SWEEP_RATES, carried_per_lane, run_ideal_point, run_sweep_point};
+use crossroads_bench::{carried_per_lane, run_ideal_point, run_sweep_point, SWEEP_RATES};
 use crossroads_core::policy::PolicyKind;
 
 const SEEDS: [u64; 3] = [11, 42, 91];
 
 fn main() {
-    println!("# E5 — Fig. 7.2: carried throughput (cars/second/lane), mean of {} seeds\n", SEEDS.len());
+    println!(
+        "# E5 — Fig. 7.2: carried throughput (cars/second/lane), mean of {} seeds\n",
+        SEEDS.len()
+    );
     crossroads_bench::table_header(&[
         "input rate",
         "VT-IM",
@@ -58,10 +61,22 @@ fn main() {
     let max = |v: &[f64]| v.iter().copied().fold(f64::MIN, f64::max);
     println!("\n## Paper vs measured (throughput ratios)\n");
     crossroads_bench::table_header(&["claim", "paper", "measured"]);
-    println!("| Crossroads/VT-IM worst case | 1.62x | {:.2}x |", max(&ratios_vt));
-    println!("| Crossroads/VT-IM average | 1.36x | {:.2}x |", avg(&ratios_vt));
-    println!("| Crossroads/AIM worst case | 1.28x | {:.2}x |", max(&ratios_aim));
-    println!("| Crossroads/AIM average | 1.15x | {:.2}x |", avg(&ratios_aim));
+    println!(
+        "| Crossroads/VT-IM worst case | 1.62x | {:.2}x |",
+        max(&ratios_vt)
+    );
+    println!(
+        "| Crossroads/VT-IM average | 1.36x | {:.2}x |",
+        avg(&ratios_vt)
+    );
+    println!(
+        "| Crossroads/AIM worst case | 1.28x | {:.2}x |",
+        max(&ratios_aim)
+    );
+    println!(
+        "| Crossroads/AIM average | 1.15x | {:.2}x |",
+        avg(&ratios_aim)
+    );
     println!("\nShape check: near-identical at 0.05; VT-IM saturates lowest;");
     println!("Crossroads >= coarse-granularity AIM at saturating flows.");
 }

@@ -5,10 +5,10 @@
 //!    1.36x better than AIM (the thesis text mixes "average/worst"
 //!    phrasing; we report both aggregations for both baselines).
 
-use crossroads_bench::{SWEEP_RATES, carried_per_lane, run_sweep_point};
+use crossroads_bench::{carried_per_lane, run_sweep_point, SWEEP_RATES};
 use crossroads_core::policy::PolicyKind;
-use crossroads_core::sim::{SimConfig, run_simulation};
-use crossroads_traffic::{ScenarioId, scale_model_scenario};
+use crossroads_core::sim::{run_simulation, SimConfig};
+use crossroads_traffic::{scale_model_scenario, ScenarioId};
 
 fn scale_model_reduction() -> f64 {
     let mut vt = 0.0;
@@ -17,7 +17,10 @@ fn scale_model_reduction() -> f64 {
         for repeat in 0..10 {
             let w = scale_model_scenario(id, repeat);
             let seed = repeat * 1313 + 7;
-            let a = run_simulation(&SimConfig::scale_model(PolicyKind::VtIm).with_seed(seed), &w);
+            let a = run_simulation(
+                &SimConfig::scale_model(PolicyKind::VtIm).with_seed(seed),
+                &w,
+            );
             let b = run_simulation(
                 &SimConfig::scale_model(PolicyKind::Crossroads).with_seed(seed),
                 &w,

@@ -5,8 +5,8 @@
 //! IM-scheduled entry and the actual entry across a simulated run.
 
 use crossroads_core::policy::PolicyKind;
-use crossroads_core::sim::{SimConfig, run_simulation};
-use crossroads_traffic::{ScenarioId, scale_model_scenario};
+use crossroads_core::sim::{run_simulation, SimConfig};
+use crossroads_traffic::{scale_model_scenario, ScenarioId};
 use crossroads_units::{Meters, MetersPerSecond, TimePoint};
 use crossroads_vehicle::{SpeedProfile, VehicleSpec};
 
@@ -40,7 +40,14 @@ fn open_loop_table() {
             .time_at_position(d_t)
             .expect("cruise reaches the line");
         let xr = SpeedProfile::crossroads_response(
-            TimePoint::ZERO, Meters::ZERO, v0, t_e, toa, d_t, spec.v_max, &spec,
+            TimePoint::ZERO,
+            Meters::ZERO,
+            v0,
+            t_e,
+            toa,
+            d_t,
+            spec.v_max,
+            &spec,
         )
         .expect("consistent command");
         let xr_arrival = xr.time_at_position(d_t).expect("reaches the line");

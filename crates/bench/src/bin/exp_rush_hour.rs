@@ -6,11 +6,10 @@
 //! to drain after the peak passes.
 
 use crossroads_core::policy::PolicyKind;
-use crossroads_core::sim::{SimConfig, run_simulation};
-use crossroads_traffic::{PoissonConfig, RateProfile, generate_rush_hour};
+use crossroads_core::sim::{run_simulation, SimConfig};
+use crossroads_prng::{SeedableRng, StdRng};
+use crossroads_traffic::{generate_rush_hour, PoissonConfig, RateProfile};
 use crossroads_units::Seconds;
-use rand::SeedableRng;
-use rand::rngs::StdRng;
 
 fn main() {
     let span = Seconds::new(240.0);

@@ -7,13 +7,12 @@
 //! Paper reference: worst-case `E_long = ±75 mm` before sync; sync error
 //! 1 ms → 3 mm at 3 m/s; total ±78 mm.
 
+use crossroads_prng::{SeedableRng, StdRng};
 use crossroads_units::{MetersPerSecond, Seconds};
 use crossroads_vehicle::controller::{
-    ControllerConfig, calibrate_longitudinal_error, step_velocity_profile, track_profile,
+    calibrate_longitudinal_error, step_velocity_profile, track_profile, ControllerConfig,
 };
 use crossroads_vehicle::{ErrorModel, VehicleSpec};
-use rand::SeedableRng;
-use rand::rngs::StdRng;
 
 fn main() {
     let spec = VehicleSpec::scale_model();
@@ -49,7 +48,10 @@ fn main() {
 
     println!("\n## Derived buffer\n");
     crossroads_bench::table_header(&["quantity", "paper", "measured"]);
-    println!("| worst-case E_long (mm) | 75 | {:.1} |", e_long.as_millis());
+    println!(
+        "| worst-case E_long (mm) | 75 | {:.1} |",
+        e_long.as_millis()
+    );
     println!("| sync error at v_max (mm) | 3 | {:.1} |", sync.as_millis());
     println!("| total buffer (mm) | 78 | {:.1} |", total.as_millis());
 }

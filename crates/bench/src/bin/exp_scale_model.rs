@@ -6,8 +6,8 @@
 //! overall.
 
 use crossroads_core::policy::PolicyKind;
-use crossroads_core::sim::{SimConfig, run_simulation};
-use crossroads_traffic::{ScenarioId, scale_model_scenario};
+use crossroads_core::sim::{run_simulation, SimConfig};
+use crossroads_traffic::{scale_model_scenario, ScenarioId};
 
 const REPEATS: u64 = 10;
 
@@ -17,8 +17,14 @@ fn average_wait(policy: PolicyKind, scenario: ScenarioId) -> f64 {
         let workload = scale_model_scenario(scenario, repeat);
         let config = SimConfig::scale_model(policy).with_seed(repeat * 1313 + 7);
         let outcome = run_simulation(&config, &workload);
-        assert!(outcome.all_completed(), "{policy} {scenario} repeat {repeat}: incomplete");
-        assert!(outcome.safety.is_safe(), "{policy} {scenario} repeat {repeat}: unsafe");
+        assert!(
+            outcome.all_completed(),
+            "{policy} {scenario} repeat {repeat}: incomplete"
+        );
+        assert!(
+            outcome.safety.is_safe(),
+            "{policy} {scenario} repeat {repeat}: unsafe"
+        );
         total += outcome.metrics.average_wait().value();
     }
     total / REPEATS as f64
@@ -48,7 +54,10 @@ fn main() {
         println!("| {} | {vt:.3} | {xr:.3} | {ratio:.2}x |", id.0);
     }
     let (vt_avg, xr_avg) = (vt_sum / 10.0, xr_sum / 10.0);
-    println!("| **AVG** | {vt_avg:.3} | {xr_avg:.3} | {:.2}x |", vt_avg / xr_avg);
+    println!(
+        "| **AVG** | {vt_avg:.3} | {xr_avg:.3} | {:.2}x |",
+        vt_avg / xr_avg
+    );
 
     println!("\n## Paper vs measured\n");
     crossroads_bench::table_header(&["claim", "paper", "measured"]);

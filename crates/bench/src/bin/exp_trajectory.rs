@@ -5,14 +5,17 @@
 
 use crossroads_units::kinematics;
 use crossroads_units::{Meters, MetersPerSecond, MetersPerSecondSquared, Point2, Radians, Seconds};
-use crossroads_vehicle::dynamics::{BicycleState, integrate_bicycle_over};
+use crossroads_vehicle::dynamics::{integrate_bicycle_over, BicycleState};
 use crossroads_vehicle::{SpeedProfile, VehicleSpec};
 
 fn main() {
     let spec = VehicleSpec::scale_model();
     let d_e = Meters::new(3.0);
 
-    println!("# E3 — Fig. 6.2 trajectory construction (V_max = {}, a_max = {})\n", spec.v_max, spec.a_max);
+    println!(
+        "# E3 — Fig. 6.2 trajectory construction (V_max = {}, a_max = {})\n",
+        spec.v_max, spec.a_max
+    );
     crossroads_bench::table_header(&[
         "V_init (m/s)",
         "T_Acc (s)",

@@ -1,6 +1,6 @@
 //! Shared plumbing for the experiment binaries (`src/bin/exp_*.rs`) that
-//! regenerate the paper's tables and figures, and for the Criterion
-//! micro-benchmarks backing the computation-time series.
+//! regenerate the paper's tables and figures, and for the self-timed
+//! micro-benchmarks (`benches/*.rs`) backing the computation-time series.
 //!
 //! Every binary prints a self-contained markdown table with the paper's
 //! reference values alongside the measured ones; `EXPERIMENTS.md` records
@@ -9,12 +9,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod timing;
+
 use crossroads_core::policy::PolicyKind;
-use crossroads_core::sim::{SimConfig, SimOutcome, run_simulation};
-use crossroads_traffic::{Arrival, PoissonConfig, generate_poisson};
+use crossroads_core::sim::{run_simulation, SimConfig, SimOutcome};
+use crossroads_prng::{SeedableRng, StdRng};
+use crossroads_traffic::{generate_poisson, Arrival, PoissonConfig};
 use crossroads_units::MetersPerSecond;
-use rand::SeedableRng;
-use rand::rngs::StdRng;
 
 /// The input flow rates of Fig. 7.2 (cars/second/lane).
 pub const SWEEP_RATES: [f64; 9] = [0.05, 0.1, 0.2, 0.3, 0.4, 0.6, 0.8, 1.0, 1.25];
@@ -48,7 +49,10 @@ pub fn run_sweep_point(policy: PolicyKind, rate: f64, seed: u64) -> SimOutcome {
         outcome.metrics.completed(),
         outcome.spawned
     );
-    assert!(outcome.safety.is_safe(), "{policy} at rate {rate}: unsafe run");
+    assert!(
+        outcome.safety.is_safe(),
+        "{policy} at rate {rate}: unsafe run"
+    );
     outcome
 }
 
@@ -93,7 +97,10 @@ pub fn carried_per_lane(outcome: &SimOutcome) -> f64 {
 /// Prints a markdown table header.
 pub fn table_header(columns: &[&str]) {
     println!("| {} |", columns.join(" | "));
-    println!("|{}|", columns.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+    println!(
+        "|{}|",
+        columns.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+    );
 }
 
 #[cfg(test)]
@@ -103,7 +110,10 @@ mod tests {
     #[test]
     fn sweep_workload_is_deterministic() {
         let config = SimConfig::full_scale(PolicyKind::Crossroads);
-        assert_eq!(sweep_workload(&config, 0.3, 1), sweep_workload(&config, 0.3, 1));
+        assert_eq!(
+            sweep_workload(&config, 0.3, 1),
+            sweep_workload(&config, 0.3, 1)
+        );
     }
 
     #[test]

@@ -1,0 +1,475 @@
+//! The case runner: seeded generation, failure detection (`Err` or
+//! panic), shrinking, and regression-seed persistence.
+
+use std::cell::Cell;
+use std::panic::{self, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+use std::sync::Once;
+
+use crossroads_prng::{SeedableRng, SplitMix64, StdRng};
+
+use crate::strategy::Strategy;
+
+/// Outcome of one property body: `Ok` passes, `Err` fails with a message.
+pub type CheckResult = Result<(), CaseError>;
+
+/// A property failure message.
+#[derive(Debug, Clone)]
+pub struct CaseError {
+    message: String,
+}
+
+impl CaseError {
+    /// Wraps any displayable error.
+    pub fn fail(message: impl std::fmt::Display) -> Self {
+        CaseError {
+            message: message.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for CaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+/// How many cases to run and from which root seed.
+#[derive(Debug, Clone, Copy)]
+pub struct Config {
+    /// Generated cases per property (regression replays run in addition).
+    pub cases: u32,
+    /// Root seed; case `i` derives its own seed from it.
+    pub seed: u64,
+    /// Cap on property evaluations spent shrinking one failure.
+    pub max_shrink_steps: u32,
+}
+
+impl Config {
+    /// Overrides the case count.
+    #[must_use]
+    pub fn with_cases(mut self, cases: u32) -> Self {
+        self.cases = cases;
+        self
+    }
+
+    /// Overrides the root seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        // CROSSROADS_CHECK_CASES scales coverage for soak runs without a
+        // recompile; the default stays small enough for tier-1 CI.
+        let cases = std::env::var("CROSSROADS_CHECK_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(64);
+        Config {
+            cases,
+            seed: 0x00C0_55F0_AD50_0001,
+            max_shrink_steps: 2048,
+        }
+    }
+}
+
+/// Identifies a property for reporting and regression persistence.
+#[derive(Debug, Clone, Copy)]
+pub struct TestId {
+    /// Fully qualified property name.
+    pub name: &'static str,
+    /// `file!()` of the invoking test file; the sibling
+    /// `<stem>.check-regressions` file persists failing seeds.
+    pub file: &'static str,
+}
+
+/// A falsified property, with the shrunk counterexample.
+#[derive(Debug, Clone)]
+pub struct Failure<V> {
+    /// Seed that regenerates the original failing value.
+    pub case_seed: u64,
+    /// The value as first generated.
+    pub original: V,
+    /// The shrunk, locally minimal failing value.
+    pub minimal: V,
+    /// Property evaluations spent shrinking.
+    pub shrink_steps: u32,
+    /// Failure message of the minimal case.
+    pub message: String,
+}
+
+/// Runs the property and returns the first (shrunk) failure, if any.
+/// Does not persist seeds or panic — the inspectable entry point.
+pub fn run<S, F>(id: &TestId, config: &Config, strategy: &S, prop: F) -> Option<Failure<S::Value>>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> CheckResult,
+{
+    // Replay persisted regressions before novel cases, like proptest did.
+    for seed in load_regression_seeds(id.file) {
+        if let Some(f) = run_case(seed, config, strategy, &prop) {
+            return Some(f);
+        }
+    }
+    for case in 0..config.cases {
+        let case_seed = derive_case_seed(config.seed, case);
+        if let Some(f) = run_case(case_seed, config, strategy, &prop) {
+            return Some(f);
+        }
+    }
+    None
+}
+
+/// Runs the property; on failure persists the seed to the test file's
+/// `.check-regressions` sibling and panics with a shrunk counterexample
+/// report. This is what [`forall!`](crate::forall) expands to.
+///
+/// # Panics
+///
+/// Panics iff the property is falsified.
+pub fn check<S, F>(id: &TestId, config: &Config, strategy: &S, prop: F)
+where
+    S: Strategy,
+    F: Fn(S::Value) -> CheckResult,
+{
+    let Some(failure) = run(id, config, strategy, prop) else {
+        return;
+    };
+    let persisted = persist_regression_seed(id, &failure);
+    let location = persisted.as_deref().map_or_else(
+        || "not persisted (regressions file unwritable)".to_string(),
+        |p| format!("persisted to {}", p.display()),
+    );
+    panic!(
+        "[{name}] property falsified\n  \
+         case seed: {seed:#018x} ({location})\n  \
+         minimal counterexample ({steps} shrink evals):\n  {minimal:#?}\n  \
+         error: {message}\n  \
+         originally generated:\n  {original:#?}",
+        name = id.name,
+        seed = failure.case_seed,
+        steps = failure.shrink_steps,
+        minimal = failure.minimal,
+        message = failure.message,
+        original = failure.original,
+    );
+}
+
+fn derive_case_seed(root: u64, case: u32) -> u64 {
+    let mut mix = SplitMix64::new(root ^ (u64::from(case).wrapping_mul(0x9E37_79B9_7F4A_7C15)));
+    mix.next_u64()
+}
+
+fn run_case<S, F>(
+    case_seed: u64,
+    config: &Config,
+    strategy: &S,
+    prop: &F,
+) -> Option<Failure<S::Value>>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> CheckResult,
+{
+    let mut rng = StdRng::seed_from_u64(case_seed);
+    let original = strategy.generate(&mut rng);
+    let message = eval(prop, original.clone()).err()?;
+    let (minimal, message, shrink_steps) =
+        shrink_failure(config, strategy, prop, original.clone(), message);
+    Some(Failure {
+        case_seed,
+        original,
+        minimal,
+        shrink_steps,
+        message,
+    })
+}
+
+/// Greedy descent: keep any strictly simpler candidate that still fails.
+fn shrink_failure<S, F>(
+    config: &Config,
+    strategy: &S,
+    prop: &F,
+    mut current: S::Value,
+    mut message: String,
+) -> (S::Value, String, u32)
+where
+    S: Strategy,
+    F: Fn(S::Value) -> CheckResult,
+{
+    let mut steps = 0u32;
+    'descend: while steps < config.max_shrink_steps {
+        for candidate in strategy.shrink(&current) {
+            steps += 1;
+            if let Err(msg) = eval(prop, candidate.clone()) {
+                current = candidate;
+                message = msg;
+                continue 'descend;
+            }
+            if steps >= config.max_shrink_steps {
+                break 'descend;
+            }
+        }
+        break; // no candidate fails: local minimum
+    }
+    (current, message, steps)
+}
+
+/// Evaluates the property on one value; both `Err` returns and panics
+/// count as failures. Panics raised here are silenced so shrinking does
+/// not spray hundreds of backtraces.
+fn eval<V, F: Fn(V) -> CheckResult>(prop: &F, value: V) -> Result<(), String> {
+    install_quiet_panic_hook();
+    let outcome = QUIET.with(|q| {
+        q.set(true);
+        let r = panic::catch_unwind(AssertUnwindSafe(|| prop(value)));
+        q.set(false);
+        r
+    });
+    match outcome {
+        Ok(Ok(())) => Ok(()),
+        Ok(Err(e)) => Err(e.to_string()),
+        // `&*` reborrows the Box's contents: a plain `&payload` would
+        // coerce the Box itself to `dyn Any` and every downcast would miss.
+        Err(payload) => Err(panic_payload_message(&*payload)),
+    }
+}
+
+thread_local! {
+    static QUIET: Cell<bool> = const { Cell::new(false) };
+}
+
+fn install_quiet_panic_hook() {
+    static INSTALL: Once = Once::new();
+    INSTALL.call_once(|| {
+        let previous = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            if !QUIET.with(Cell::get) {
+                previous(info);
+            }
+        }));
+    });
+}
+
+fn panic_payload_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        format!("panicked: {s}")
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        format!("panicked: {s}")
+    } else {
+        "panicked (non-string payload)".to_string()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Regression-seed persistence.
+//
+// Format, one failure per line:
+//     0x<16 hex digits>  # <one-line summary of the minimal value>
+// Lines starting with '#' are comments. The file sits next to the test
+// source (`foo.rs` → `foo.check-regressions`) and should be committed,
+// replacing proptest's `*.proptest-regressions`.
+// ---------------------------------------------------------------------
+
+/// Resolves `file!()` (workspace-root-relative) against the current or an
+/// ancestor directory, since `cargo test` sets cwd to the package root.
+fn regressions_path(source_file: &str) -> Option<PathBuf> {
+    let rel = Path::new(source_file).with_extension("check-regressions");
+    let mut dir = std::env::current_dir().ok()?;
+    for _ in 0..8 {
+        let candidate = dir.join(&rel);
+        if candidate.parent().is_some_and(Path::is_dir) {
+            return Some(candidate);
+        }
+        dir = dir.parent()?.to_path_buf();
+    }
+    None
+}
+
+fn load_regression_seeds(source_file: &str) -> Vec<u64> {
+    let Some(path) = regressions_path(source_file) else {
+        return Vec::new();
+    };
+    let Ok(text) = std::fs::read_to_string(&path) else {
+        return Vec::new();
+    };
+    text.lines()
+        .filter_map(|line| {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                return None;
+            }
+            let token = line.split_whitespace().next()?;
+            u64::from_str_radix(token.trim_start_matches("0x"), 16).ok()
+        })
+        .collect()
+}
+
+fn persist_regression_seed<V: std::fmt::Debug>(
+    id: &TestId,
+    failure: &Failure<V>,
+) -> Option<PathBuf> {
+    let path = regressions_path(id.file)?;
+    if load_regression_seeds(id.file).contains(&failure.case_seed) {
+        return Some(path); // replayed from the file; already recorded
+    }
+    let mut summary = format!("{:?}", failure.minimal).replace('\n', " ");
+    if summary.len() > 160 {
+        summary.truncate(157);
+        summary.push_str("...");
+    }
+    let header = if path.exists() {
+        String::new()
+    } else {
+        "# Seeds of past property failures, replayed before novel cases.\n\
+         # One `0x<seed>  # <minimal counterexample>` line per failure; commit this file.\n"
+            .to_string()
+    };
+    let line = format!(
+        "{header}{:#018x}  # {}: {summary}\n",
+        failure.case_seed, id.name
+    );
+    use std::io::Write as _;
+    let mut f = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .ok()?;
+    f.write_all(line.as_bytes()).ok()?;
+    Some(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::vec;
+
+    const ID: TestId = TestId {
+        name: "unit",
+        file: "crates/check/src/runner.rs",
+    };
+
+    fn quiet_config() -> Config {
+        Config {
+            cases: 64,
+            seed: 0xDEAD_BEEF,
+            max_shrink_steps: 4096,
+        }
+    }
+
+    #[test]
+    fn passing_property_returns_none() {
+        let got = run(&ID, &quiet_config(), &(0u64..100), |v| {
+            if v < 100 {
+                Ok(())
+            } else {
+                Err(CaseError::fail("impossible"))
+            }
+        });
+        assert!(got.is_none());
+    }
+
+    #[test]
+    fn shrinking_finds_the_minimal_counterexample() {
+        // Property: the sum of the vector is under 100. False, and the
+        // *minimal* failing input is exactly the single vector [100]:
+        // fewer elements can't fail faster, and 99 passes. The greedy
+        // shrinker must land on it, demonstrating both length and
+        // element shrinking.
+        let strategy = vec(0u64..1000, 0..20);
+        let failure = run(&ID, &quiet_config(), &strategy, |v| {
+            if v.iter().sum::<u64>() < 100 {
+                Ok(())
+            } else {
+                Err(CaseError::fail(format!(
+                    "sum {} >= 100",
+                    v.iter().sum::<u64>()
+                )))
+            }
+        })
+        .expect("property is falsifiable");
+        assert_eq!(
+            failure.minimal,
+            std::vec![100],
+            "not fully shrunk: {failure:#?}"
+        );
+        assert!(failure.shrink_steps > 0);
+        assert!(failure.original.iter().sum::<u64>() >= 100);
+    }
+
+    #[test]
+    fn scalar_failures_shrink_to_the_boundary() {
+        // Minimal failing f64 for "v < 128" over 0..1000 is 128 once
+        // integral candidates are offered.
+        let failure = run(&ID, &quiet_config(), &(0.0f64..1000.0,), |(v,)| {
+            if v < 128.0 {
+                Ok(())
+            } else {
+                Err(CaseError::fail("too big"))
+            }
+        })
+        .expect("falsifiable");
+        assert!(
+            (128.0..130.0).contains(&failure.minimal.0),
+            "minimal {} far from boundary 128",
+            failure.minimal.0
+        );
+    }
+
+    #[test]
+    fn panics_count_as_failures_and_still_shrink() {
+        let failure = run(&ID, &quiet_config(), &(0u64..1000,), |(v,)| {
+            assert!(v < 100, "boom at {v}");
+            Ok(())
+        })
+        .expect("falsifiable");
+        assert_eq!(failure.minimal.0, 100);
+        assert!(
+            failure.message.contains("boom"),
+            "message: {}",
+            failure.message
+        );
+    }
+
+    #[test]
+    fn failures_are_reproducible_from_the_case_seed() {
+        let strategy = (0u64..1000, 0u64..1000);
+        let prop = |(a, b): (u64, u64)| {
+            if a + b < 900 {
+                Ok(())
+            } else {
+                Err(CaseError::fail("sum"))
+            }
+        };
+        let f1 = run(&ID, &quiet_config(), &strategy, prop).expect("falsifiable");
+        // Re-generate from the recorded seed: identical original value.
+        let mut rng = StdRng::seed_from_u64(f1.case_seed);
+        assert_eq!(strategy.generate(&mut rng), f1.original);
+    }
+
+    #[test]
+    fn derive_case_seed_spreads() {
+        let seeds: std::collections::HashSet<u64> =
+            (0..1000).map(|c| derive_case_seed(1, c)).collect();
+        assert_eq!(seeds.len(), 1000);
+    }
+
+    #[test]
+    fn regression_file_lines_parse() {
+        let dir = std::env::temp_dir().join("crossroads-check-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let file = dir.join("sample.check-regressions");
+        std::fs::write(
+            &file,
+            "# header\n0x00000000000000ff  # unit: [1]\nbadline\n",
+        )
+        .unwrap();
+        // Point resolution at the temp dir by using an absolute path.
+        let seeds = load_regression_seeds(file.with_extension("rs").to_str().unwrap());
+        assert_eq!(seeds, std::vec![0xFF]);
+        std::fs::remove_file(&file).ok();
+    }
+}

@@ -32,7 +32,7 @@ use crossroads_vehicle::{VehicleId, VehicleSpec};
 use crate::policy::common::reachable_speed;
 
 /// One vehicle's planned crossing.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PlannedCrossing {
     /// The vehicle.
     pub vehicle: VehicleId,
@@ -53,7 +53,7 @@ impl PlannedCrossing {
 }
 
 /// A complete schedule.
-#[derive(Debug, Clone, PartialEq, Default, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct BatchSchedule {
     crossings: Vec<PlannedCrossing>,
 }
@@ -111,13 +111,9 @@ impl BatchPlanner {
     fn earliest_and_duration(&self, arrival: &Arrival) -> (TimePoint, Seconds) {
         let d = self.geometry.transmission_line_distance;
         let v_reach = reachable_speed(arrival.speed, &self.spec, d);
-        let fastest = crossroads_units::kinematics::accel_cruise(
-            arrival.speed,
-            v_reach,
-            self.spec.a_max,
-            d,
-        )
-        .expect("approach profile is feasible");
+        let fastest =
+            crossroads_units::kinematics::accel_cruise(arrival.speed, v_reach, self.spec.a_max, d)
+                .expect("approach profile is feasible");
         let occupancy =
             (self.geometry.path_length(arrival.movement) + self.effective_length) / v_reach;
         (arrival.at_line + fastest.total_time, occupancy)
@@ -169,7 +165,10 @@ impl BatchPlanner {
         window: Seconds,
         improvement_rounds: u32,
     ) -> BatchSchedule {
-        assert!(window.value() > 0.0, "reorganization window must be positive");
+        assert!(
+            window.value() > 0.0,
+            "reorganization window must be positive"
+        );
         if arrivals.is_empty() {
             return BatchSchedule::default();
         }
@@ -279,8 +278,7 @@ impl BatchPlanner {
         let n = order.len();
         for i in 0..n.saturating_sub(1) {
             for j in (i + 1)..n {
-                let mut candidate: Vec<VehicleId> =
-                    order.iter().map(|c| c.vehicle).collect();
+                let mut candidate: Vec<VehicleId> = order.iter().map(|c| c.vehicle).collect();
                 candidate.swap(i, j);
                 let current_delay: Seconds = order.iter().map(PlannedCrossing::delay).sum();
 
@@ -425,7 +423,10 @@ mod tests {
     fn single_vehicle_gets_earliest_entry() {
         let p = planner();
         let w = vec![arr(0, Approach::South, Turn::Straight, 0.0)];
-        for s in [p.schedule_fifo(&w), p.schedule_batched(&w, Seconds::new(1.0), 1)] {
+        for s in [
+            p.schedule_fifo(&w),
+            p.schedule_batched(&w, Seconds::new(1.0), 1),
+        ] {
             assert_eq!(s.crossings().len(), 1);
             assert_eq!(s.crossings()[0].delay(), Seconds::ZERO);
         }
@@ -434,7 +435,10 @@ mod tests {
     #[test]
     fn empty_input_yields_empty_schedule() {
         let p = planner();
-        assert_eq!(p.schedule_batched(&[], Seconds::new(1.0), 1), BatchSchedule::default());
+        assert_eq!(
+            p.schedule_batched(&[], Seconds::new(1.0), 1),
+            BatchSchedule::default()
+        );
         assert_eq!(p.schedule_fifo(&[]).crossings().len(), 0);
     }
 

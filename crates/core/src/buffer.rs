@@ -18,7 +18,7 @@ use crossroads_vehicle::VehicleSpec;
 use crate::policy::PolicyKind;
 
 /// The buffer model an IM instance applies to vehicle footprints.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BufferModel {
     /// Measured sensing + control + sync envelope `E_long` (±78 mm on the
     /// testbed), applied at the front and the rear.

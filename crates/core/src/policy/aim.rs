@@ -126,7 +126,10 @@ impl AimPolicy {
             let f = progress(t);
             let center_s = Meters::new(f - eff.value() / 2.0);
             let (pose, heading) = path.pose_at(center_s);
-            let covered = self.tiles.grid().tiles_for_footprint(pose, heading, eff, spec.width);
+            let covered = self
+                .tiles
+                .grid()
+                .tiles_for_footprint(pose, heading, eff, spec.width);
             self.ops += covered.len() as u64 + 1;
             for tile in covered {
                 out.push(TileInterval {
@@ -145,7 +148,6 @@ impl AimPolicy {
         }
         Some(out)
     }
-
 }
 
 impl IntersectionPolicy for AimPolicy {
@@ -178,8 +180,7 @@ impl IntersectionPolicy for AimPolicy {
         } else {
             EntryMode::Constant(request.speed)
         };
-        let Some(intervals) =
-            self.simulate_trajectory(request.movement, &request.spec, toa, entry)
+        let Some(intervals) = self.simulate_trajectory(request.movement, &request.spec, toa, entry)
         else {
             return CrossingCommand::AimReject;
         };
@@ -239,13 +240,20 @@ mod tests {
     fn free_box_accepts_first_proposal() {
         let mut p = policy();
         let cmd = p.decide(&request(1, Approach::South, 2.0), TimePoint::ZERO);
-        assert_eq!(cmd, CrossingCommand::AimAccept { arrival: TimePoint::new(2.0) });
+        assert_eq!(
+            cmd,
+            CrossingCommand::AimAccept {
+                arrival: TimePoint::new(2.0)
+            }
+        );
     }
 
     #[test]
     fn conflicting_simultaneous_proposal_rejected() {
         let mut p = policy();
-        assert!(p.decide(&request(1, Approach::South, 2.0), TimePoint::ZERO).is_acceptance());
+        assert!(p
+            .decide(&request(1, Approach::South, 2.0), TimePoint::ZERO)
+            .is_acceptance());
         let cmd = p.decide(&request(2, Approach::East, 2.0), TimePoint::ZERO);
         assert_eq!(cmd, CrossingCommand::AimReject);
     }
@@ -253,18 +261,28 @@ mod tests {
     #[test]
     fn opposing_straights_cross_together() {
         let mut p = policy();
-        assert!(p.decide(&request(1, Approach::South, 2.0), TimePoint::ZERO).is_acceptance());
+        assert!(p
+            .decide(&request(1, Approach::South, 2.0), TimePoint::ZERO)
+            .is_acceptance());
         // North straight uses disjoint tiles.
-        assert!(p.decide(&request(2, Approach::North, 2.0), TimePoint::ZERO).is_acceptance());
+        assert!(p
+            .decide(&request(2, Approach::North, 2.0), TimePoint::ZERO)
+            .is_acceptance());
     }
 
     #[test]
     fn rejected_vehicle_accepted_later() {
         let mut p = policy();
-        assert!(p.decide(&request(1, Approach::South, 2.0), TimePoint::ZERO).is_acceptance());
-        assert!(!p.decide(&request(2, Approach::East, 2.0), TimePoint::ZERO).is_acceptance());
+        assert!(p
+            .decide(&request(1, Approach::South, 2.0), TimePoint::ZERO)
+            .is_acceptance());
+        assert!(!p
+            .decide(&request(2, Approach::East, 2.0), TimePoint::ZERO)
+            .is_acceptance());
         // Re-request proposing a later arrival: the box has cleared.
-        assert!(p.decide(&request(2, Approach::East, 4.0), TimePoint::new(0.5)).is_acceptance());
+        assert!(p
+            .decide(&request(2, Approach::East, 4.0), TimePoint::new(0.5))
+            .is_acceptance());
     }
 
     #[test]
@@ -281,17 +299,23 @@ mod tests {
         // itself still prevents *overlapping* same-lane crossings because
         // both sweep the entry tiles.
         let mut p = policy();
-        assert!(p.decide(&request(1, Approach::South, 2.0), TimePoint::ZERO).is_acceptance());
+        assert!(p
+            .decide(&request(1, Approach::South, 2.0), TimePoint::ZERO)
+            .is_acceptance());
         let tailgate = p.decide(&request(2, Approach::South, 2.1), TimePoint::ZERO);
         assert_eq!(tailgate, CrossingCommand::AimReject);
         // With a body-clearing headway the follower is admitted.
-        assert!(p.decide(&request(2, Approach::South, 3.5), TimePoint::new(0.2)).is_acceptance());
+        assert!(p
+            .decide(&request(2, Approach::South, 3.5), TimePoint::new(0.2))
+            .is_acceptance());
     }
 
     #[test]
     fn duplicate_request_is_idempotent() {
         let mut p = policy();
-        assert!(p.decide(&request(1, Approach::South, 2.0), TimePoint::ZERO).is_acceptance());
+        assert!(p
+            .decide(&request(1, Approach::South, 2.0), TimePoint::ZERO)
+            .is_acceptance());
         let again = p.decide(&request(1, Approach::South, 2.0), TimePoint::new(0.1));
         assert!(again.is_acceptance());
     }
@@ -320,7 +344,9 @@ mod tests {
     #[test]
     fn exit_releases_tiles_and_order() {
         let mut p = policy();
-        assert!(p.decide(&request(1, Approach::South, 2.0), TimePoint::ZERO).is_acceptance());
+        assert!(p
+            .decide(&request(1, Approach::South, 2.0), TimePoint::ZERO)
+            .is_acceptance());
         assert!(p.tiles().reserved_intervals() > 0);
         p.on_exit(VehicleId(1), TimePoint::new(5.0));
         assert_eq!(p.tiles().reserved_intervals(), 0);

@@ -56,12 +56,22 @@ pub struct IntervalScheduler {
 impl IntervalScheduler {
     /// A scheduler over `geometry` using `table`'s conflict relation.
     #[must_use]
-    pub fn new(geometry: IntersectionGeometry, table: ReservationTable, crawl_fraction: f64) -> Self {
+    pub fn new(
+        geometry: IntersectionGeometry,
+        table: ReservationTable,
+        crawl_fraction: f64,
+    ) -> Self {
         assert!(
             (0.0..1.0).contains(&crawl_fraction),
             "crawl fraction must be in [0, 1)"
         );
-        IntervalScheduler { geometry, table, lane_gate: HashMap::new(), crawl_fraction, ops: 0 }
+        IntervalScheduler {
+            geometry,
+            table,
+            lane_gate: HashMap::new(),
+            crawl_fraction,
+            ops: 0,
+        }
     }
 
     /// Cumulative window-scan operations.
@@ -90,7 +100,12 @@ impl IntervalScheduler {
     /// Time to traverse the box (path + effective length) entering at
     /// cruise speed `v` and maintaining it.
     #[must_use]
-    pub fn cruise_occupancy(&self, movement: Movement, effective_length: Meters, v: MetersPerSecond) -> Seconds {
+    pub fn cruise_occupancy(
+        &self,
+        movement: Movement,
+        effective_length: Meters,
+        v: MetersPerSecond,
+    ) -> Seconds {
         (self.geometry.path_length(movement) + effective_length) / v
     }
 
@@ -159,7 +174,14 @@ impl IntervalScheduler {
         let v_reach = reachable_speed(v0, spec, d);
         let Ok(fastest) = kinematics::accel_cruise(v0, v_reach, spec.a_max, d) else {
             return self.fall_back_to_stop(
-                vehicle, movement, spec, t_base, d, v0, effective_length, allow_stop_and_go,
+                vehicle,
+                movement,
+                spec,
+                t_base,
+                d,
+                v0,
+                effective_length,
+                allow_stop_and_go,
             );
         };
         let etoa = t_base + fastest.total_time;
@@ -172,7 +194,14 @@ impl IntervalScheduler {
             let speed = if (toa - etoa).abs() <= eps {
                 v_reach
             } else {
-                match kinematics::solve_cruise_speed(v0, spec.v_max, spec.a_max, spec.d_max, d, toa - t_base) {
+                match kinematics::solve_cruise_speed(
+                    v0,
+                    spec.v_max,
+                    spec.a_max,
+                    spec.d_max,
+                    d,
+                    toa - t_base,
+                ) {
                     Some(v) if v >= v_crawl => v,
                     _ => {
                         return self.fall_back_to_stop(
@@ -204,7 +233,16 @@ impl IntervalScheduler {
             }
             toa = slot + lead;
         }
-        self.fall_back_to_stop(vehicle, movement, spec, t_base, d, v0, effective_length, allow_stop_and_go)
+        self.fall_back_to_stop(
+            vehicle,
+            movement,
+            spec,
+            t_base,
+            d,
+            v0,
+            effective_length,
+            allow_stop_and_go,
+        )
     }
 
     /// Schedules a vehicle launching from standstill `setback` meters
@@ -227,7 +265,9 @@ impl IntervalScheduler {
         let dur = occupancy + pad;
         let gate = self.gate(movement.approach);
         self.ops += self.table.reservations().len() as u64 + 1;
-        let toa = self.table.earliest_slot(movement, (earliest_launch + cover).max(gate), dur);
+        let toa = self
+            .table
+            .earliest_slot(movement, (earliest_launch + cover).max(gate), dur);
         self.admit(vehicle, movement, toa, dur);
         (toa, cover)
     }
@@ -274,7 +314,12 @@ impl IntervalScheduler {
 
     fn admit(&mut self, vehicle: VehicleId, movement: Movement, toa: TimePoint, dur: Seconds) {
         self.table
-            .insert(Reservation { vehicle, movement, enter: toa, exit: toa + dur })
+            .insert(Reservation {
+                vehicle,
+                movement,
+                enter: toa,
+                exit: toa + dur,
+            })
             .expect("earliest_slot result must insert cleanly");
         self.lane_gate.insert(movement.approach, toa);
         debug_assert!(self.table.is_conflict_free());
@@ -304,13 +349,22 @@ mod tests {
         VehicleSpec::scale_model()
     }
 
-    const S: Movement = Movement { approach: Approach::South, turn: Turn::Straight };
-    const E: Movement = Movement { approach: Approach::East, turn: Turn::Straight };
+    const S: Movement = Movement {
+        approach: Approach::South,
+        turn: Turn::Straight,
+    };
+    const E: Movement = Movement {
+        approach: Approach::East,
+        turn: Turn::Straight,
+    };
 
     #[test]
     fn reachable_speed_caps_at_vmax() {
         let s = spec();
-        assert_eq!(reachable_speed(MetersPerSecond::new(1.0), &s, Meters::new(100.0)), s.v_max);
+        assert_eq!(
+            reachable_speed(MetersPerSecond::new(1.0), &s, Meters::new(100.0)),
+            s.v_max
+        );
         let short = reachable_speed(MetersPerSecond::ZERO, &s, Meters::new(1.0));
         assert!((short.value() - 2.0).abs() < 1e-12); // sqrt(2·2·1)
     }
@@ -322,16 +376,23 @@ mod tests {
         // 3 m out at 1.5 m/s: EToA = accel to 3 then cruise.
         let d = Meters::new(3.0);
         let out = sched.schedule_moving(
-            VehicleId(1), S, &s, TimePoint::ZERO, d, MetersPerSecond::new(1.5),
-            Meters::new(0.724), Meters::ZERO, true,
+            VehicleId(1),
+            S,
+            &s,
+            TimePoint::ZERO,
+            d,
+            MetersPerSecond::new(1.5),
+            Meters::new(0.724),
+            Meters::ZERO,
+            true,
         );
         let SlotDecision::Cruise { toa, speed } = out else {
             panic!("expected cruise, got {out:?}");
         };
         assert!((speed.value() - 3.0).abs() < 1e-9);
-        let expect = kinematics::accel_cruise(
-            MetersPerSecond::new(1.5), s.v_max, s.a_max, d,
-        ).unwrap().total_time;
+        let expect = kinematics::accel_cruise(MetersPerSecond::new(1.5), s.v_max, s.a_max, d)
+            .unwrap()
+            .total_time;
         assert!((toa.value() - expect.value()).abs() < 1e-9);
     }
 
@@ -341,13 +402,29 @@ mod tests {
         let s = spec();
         let d = Meters::new(3.0);
         let first = sched.schedule_moving(
-            VehicleId(1), S, &s, TimePoint::ZERO, d, MetersPerSecond::new(1.5),
-            Meters::new(0.724), Meters::ZERO, true,
+            VehicleId(1),
+            S,
+            &s,
+            TimePoint::ZERO,
+            d,
+            MetersPerSecond::new(1.5),
+            Meters::new(0.724),
+            Meters::ZERO,
+            true,
         );
-        let SlotDecision::Cruise { toa: toa1, .. } = first else { panic!() };
+        let SlotDecision::Cruise { toa: toa1, .. } = first else {
+            panic!()
+        };
         let second = sched.schedule_moving(
-            VehicleId(2), E, &s, TimePoint::ZERO, d, MetersPerSecond::new(1.5),
-            Meters::new(0.724), Meters::ZERO, true,
+            VehicleId(2),
+            E,
+            &s,
+            TimePoint::ZERO,
+            d,
+            MetersPerSecond::new(1.5),
+            Meters::new(0.724),
+            Meters::ZERO,
+            true,
         );
         match second {
             SlotDecision::Cruise { toa: toa2, speed } => {
@@ -378,8 +455,15 @@ mod tests {
             );
         }
         let out = sched.schedule_moving(
-            VehicleId(1), E, &s, TimePoint::ZERO, d, MetersPerSecond::new(3.0),
-            Meters::new(0.724), Meters::ZERO, true,
+            VehicleId(1),
+            E,
+            &s,
+            TimePoint::ZERO,
+            d,
+            MetersPerSecond::new(3.0),
+            Meters::new(0.724),
+            Meters::ZERO,
+            true,
         );
         assert!(
             matches!(out, SlotDecision::StopAndGo { .. }),
@@ -393,7 +477,9 @@ mod tests {
         let s = spec();
         for i in 0..6 {
             let _ = sched.schedule_stopped(
-                VehicleId(100 + i), S, &s,
+                VehicleId(100 + i),
+                S,
+                &s,
                 TimePoint::new(f64::from(i) * 3.0),
                 Meters::ZERO,
                 Meters::new(3.0),
@@ -401,8 +487,15 @@ mod tests {
             );
         }
         let out = sched.schedule_moving(
-            VehicleId(1), S, &s, TimePoint::ZERO, Meters::new(3.0), MetersPerSecond::new(3.0),
-            Meters::new(0.724), Meters::ZERO, false,
+            VehicleId(1),
+            S,
+            &s,
+            TimePoint::ZERO,
+            Meters::new(3.0),
+            MetersPerSecond::new(3.0),
+            Meters::new(0.724),
+            Meters::ZERO,
+            false,
         );
         assert_eq!(out, SlotDecision::Deny);
     }
@@ -413,15 +506,33 @@ mod tests {
         let s = spec();
         let d = Meters::new(3.0);
         let _ = sched.schedule_moving(
-            VehicleId(1), S, &s, TimePoint::ZERO, d, MetersPerSecond::new(1.5),
-            Meters::new(0.724), Meters::ZERO, true,
+            VehicleId(1),
+            S,
+            &s,
+            TimePoint::ZERO,
+            d,
+            MetersPerSecond::new(1.5),
+            Meters::new(0.724),
+            Meters::ZERO,
+            true,
         );
         assert_eq!(sched.table().reservations().len(), 1);
         let _ = sched.schedule_moving(
-            VehicleId(1), S, &s, TimePoint::new(0.5), d, MetersPerSecond::new(1.5),
-            Meters::new(0.724), Meters::ZERO, true,
+            VehicleId(1),
+            S,
+            &s,
+            TimePoint::new(0.5),
+            d,
+            MetersPerSecond::new(1.5),
+            Meters::new(0.724),
+            Meters::ZERO,
+            true,
         );
-        assert_eq!(sched.table().reservations().len(), 1, "stale grant must be replaced");
+        assert_eq!(
+            sched.table().reservations().len(),
+            1,
+            "stale grant must be replaced"
+        );
     }
 
     #[test]
@@ -430,18 +541,34 @@ mod tests {
         let s = spec();
         // Leader scheduled far out (slow crawl).
         let (lead, _) = sched.schedule_stopped(
-            VehicleId(1), S, &s, TimePoint::new(10.0), Meters::ZERO, Meters::new(0.724), Seconds::ZERO,
+            VehicleId(1),
+            S,
+            &s,
+            TimePoint::new(10.0),
+            Meters::ZERO,
+            Meters::new(0.724),
+            Seconds::ZERO,
         );
         // Follower with an earlier physical EToA must still enter after.
         let out = sched.schedule_moving(
-            VehicleId(2), S, &s, TimePoint::ZERO, Meters::new(3.0), MetersPerSecond::new(3.0),
-            Meters::new(0.724), Meters::ZERO, true,
+            VehicleId(2),
+            S,
+            &s,
+            TimePoint::ZERO,
+            Meters::new(3.0),
+            MetersPerSecond::new(3.0),
+            Meters::new(0.724),
+            Meters::ZERO,
+            true,
         );
         let entry = match out {
             SlotDecision::Cruise { toa, .. } | SlotDecision::StopAndGo { toa } => toa,
             SlotDecision::Deny => panic!(),
         };
-        assert!(entry > lead, "follower {entry} must enter after leader {lead}");
+        assert!(
+            entry > lead,
+            "follower {entry} must enter after leader {lead}"
+        );
     }
 
     #[test]
@@ -473,7 +600,10 @@ mod tests {
         assert_eq!(cover0, Seconds::ZERO);
         assert!(cover1 > Seconds::ZERO);
         // Entering with momentum shortens the in-box occupancy.
-        assert!(occ1 < occ0, "occupancy with run-up {occ1} vs standstill {occ0}");
+        assert!(
+            occ1 < occ0,
+            "occupancy with run-up {occ1} vs standstill {occ0}"
+        );
     }
 
     #[test]
@@ -482,7 +612,13 @@ mod tests {
         let s = spec();
         assert_eq!(sched.ops(), 0);
         let _ = sched.schedule_stopped(
-            VehicleId(1), S, &s, TimePoint::ZERO, Meters::ZERO, Meters::new(0.724), Seconds::ZERO,
+            VehicleId(1),
+            S,
+            &s,
+            TimePoint::ZERO,
+            Meters::ZERO,
+            Meters::new(0.724),
+            Seconds::ZERO,
         );
         assert!(sched.ops() > 0);
     }

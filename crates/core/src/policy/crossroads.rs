@@ -69,7 +69,9 @@ impl IntersectionPolicy for CrossroadsPolicy {
     }
 
     fn decide(&mut self, request: &CrossingRequest, now: TimePoint) -> CrossingCommand {
-        let eff = self.buffers.effective_length(PolicyKind::Crossroads, &request.spec);
+        let eff = self
+            .buffers
+            .effective_length(PolicyKind::Crossroads, &request.spec);
         if request.stopped {
             // A time-pinned launch: any future window works, as long as
             // the response arrives before the launch instant. The vehicle
@@ -187,7 +189,12 @@ mod tests {
     fn empty_intersection_cruises_from_te() {
         let mut p = policy();
         let cmd = p.decide(&request(1, Approach::South, 0.0), TimePoint::new(0.05));
-        let CrossingCommand::Crossroads { execute_at, arrival, target_speed, stop_first } = cmd
+        let CrossingCommand::Crossroads {
+            execute_at,
+            arrival,
+            target_speed,
+            stop_first,
+        } = cmd
         else {
             panic!()
         };
@@ -196,7 +203,10 @@ mod tests {
         assert!((target_speed.value() - 3.0).abs() < 1e-9);
         // D_E = 3 − 1.5·0.15 = 2.775; accel 1.5→3 at 2 (0.75 s, 1.6875 m),
         // cruise 1.0875 m at 3 (0.3625 s): ToA = 0.15 + 1.1125.
-        assert!((arrival.value() - (0.15 + 1.1125)).abs() < 1e-6, "arrival {arrival}");
+        assert!(
+            (arrival.value() - (0.15 + 1.1125)).abs() < 1e-6,
+            "arrival {arrival}"
+        );
     }
 
     #[test]
@@ -204,14 +214,22 @@ mod tests {
         let mut p = policy();
         let now = TimePoint::new(0.1);
         let first = p.decide(&request(1, Approach::South, 0.0), now);
-        let CrossingCommand::Crossroads { arrival: a1, .. } = first else { panic!() };
+        let CrossingCommand::Crossroads { arrival: a1, .. } = first else {
+            panic!()
+        };
         let second = p.decide(&request(2, Approach::East, 0.0), now);
-        let CrossingCommand::Crossroads { arrival: a2, .. } = second else { panic!() };
+        let CrossingCommand::Crossroads { arrival: a2, .. } = second else {
+            panic!()
+        };
         assert!(a2 > a1);
         // Crossroads windows are tighter than VT's: the second arrival is
         // within one *unbuffered* occupancy of the first.
         let occupancy = (1.2 + 0.724) / 3.0;
-        assert!((a2 - a1).value() <= occupancy + 0.75 + 1e-6, "gap {}", (a2 - a1));
+        assert!(
+            (a2 - a1).value() <= occupancy + 0.75 + 1e-6,
+            "gap {}",
+            (a2 - a1)
+        );
     }
 
     #[test]
@@ -225,7 +243,14 @@ mod tests {
         stopped.speed = MetersPerSecond::ZERO;
         stopped.distance_to_intersection = Meters::ZERO;
         let cmd = p.decide(&stopped, now);
-        let CrossingCommand::Crossroads { arrival, stop_first, .. } = cmd else { panic!() };
+        let CrossingCommand::Crossroads {
+            arrival,
+            stop_first,
+            ..
+        } = cmd
+        else {
+            panic!()
+        };
         assert!(stop_first);
         assert!(arrival > now, "launch must be in the future");
         assert!(cmd.is_acceptance(), "Crossroads never forces re-requests");
@@ -236,7 +261,12 @@ mod tests {
         let mut p = policy();
         let now = TimePoint::new(0.1);
         for i in 0..4 {
-            let approaches = [Approach::South, Approach::East, Approach::North, Approach::West];
+            let approaches = [
+                Approach::South,
+                Approach::East,
+                Approach::North,
+                Approach::West,
+            ];
             let _ = p.decide(&request(i, approaches[i as usize], 0.0), now);
         }
         // A fifth vehicle close behind: whatever it gets, it's a concrete

@@ -6,7 +6,7 @@ mod crossroads;
 mod vt;
 
 pub use aim::AimPolicy;
-pub use common::{IntervalScheduler, SlotDecision, reachable_speed};
+pub use common::{reachable_speed, IntervalScheduler, SlotDecision};
 pub use crossroads::CrossroadsPolicy;
 pub use vt::VtPolicy;
 
@@ -16,7 +16,7 @@ use crossroads_vehicle::VehicleId;
 use crate::request::{CrossingCommand, CrossingRequest};
 
 /// Which IM protocol an instance speaks.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PolicyKind {
     /// Naive velocity-transaction IM with the RTD safety buffer.
     VtIm,

@@ -36,7 +36,10 @@ impl VtPolicy {
         buffers: BufferModel,
         crawl_fraction: f64,
     ) -> Self {
-        VtPolicy { scheduler: IntervalScheduler::new(geometry, table, crawl_fraction), buffers }
+        VtPolicy {
+            scheduler: IntervalScheduler::new(geometry, table, crawl_fraction),
+            buffers,
+        }
     }
 
     /// Read access to the reservation ledger (audits).
@@ -52,7 +55,9 @@ impl IntersectionPolicy for VtPolicy {
     }
 
     fn decide(&mut self, request: &CrossingRequest, now: TimePoint) -> CrossingCommand {
-        let eff = self.buffers.effective_length(PolicyKind::VtIm, &request.spec);
+        let eff = self
+            .buffers
+            .effective_length(PolicyKind::VtIm, &request.spec);
         if request.stopped {
             // A stopped vehicle launches the moment the response lands —
             // somewhere inside the next WC-RTD. Grant only an immediate
@@ -85,7 +90,9 @@ impl IntersectionPolicy for VtPolicy {
         // Moving vehicle: the IM plans as if actuation happens now. The
         // reported D_T is stale by up to WC-RTD of travel, so the
         // occupancy window opens early by the RTD length buffer.
-        let base = self.buffers.effective_length(PolicyKind::Crossroads, &request.spec);
+        let base = self
+            .buffers
+            .effective_length(PolicyKind::Crossroads, &request.spec);
         let lead = self.buffers.rtd_extra(PolicyKind::VtIm, request.spec.v_max);
         match self.scheduler.schedule_moving(
             request.vehicle,
@@ -144,8 +151,16 @@ mod tests {
             movement: Movement::new(approach, Turn::Straight),
             spec,
             transmitted_at: TimePoint::ZERO,
-            distance_to_intersection: if stopped { Meters::ZERO } else { Meters::new(3.0) },
-            speed: if stopped { MetersPerSecond::ZERO } else { MetersPerSecond::new(1.5) },
+            distance_to_intersection: if stopped {
+                Meters::ZERO
+            } else {
+                Meters::new(3.0)
+            },
+            speed: if stopped {
+                MetersPerSecond::ZERO
+            } else {
+                MetersPerSecond::new(1.5)
+            },
             stopped,
             attempt: 1,
             proposed_arrival: None,
@@ -156,7 +171,9 @@ mod tests {
     fn empty_intersection_grants_top_speed() {
         let mut p = policy();
         let cmd = p.decide(&request(1, Approach::South, false), TimePoint::new(0.1));
-        let CrossingCommand::VtTarget { target_speed, .. } = cmd else { panic!() };
+        let CrossingCommand::VtTarget { target_speed, .. } = cmd else {
+            panic!()
+        };
         assert!((target_speed.value() - 3.0).abs() < 1e-9);
     }
 
@@ -167,7 +184,9 @@ mod tests {
         let first = p.decide(&request(1, Approach::South, false), now);
         assert!(first.is_acceptance());
         let second = p.decide(&request(2, Approach::East, false), now);
-        let CrossingCommand::VtTarget { target_speed, .. } = second else { panic!() };
+        let CrossingCommand::VtTarget { target_speed, .. } = second else {
+            panic!()
+        };
         assert!(target_speed < VehicleSpec::scale_model().v_max);
     }
 
@@ -175,7 +194,13 @@ mod tests {
     fn stopped_vehicle_granted_when_box_free() {
         let mut p = policy();
         let cmd = p.decide(&request(1, Approach::South, true), TimePoint::new(5.0));
-        let CrossingCommand::VtTarget { target_speed, scheduled_entry } = cmd else { panic!() };
+        let CrossingCommand::VtTarget {
+            target_speed,
+            scheduled_entry,
+        } = cmd
+        else {
+            panic!()
+        };
         assert_eq!(target_speed, VehicleSpec::scale_model().v_max);
         assert_eq!(scheduled_entry, TimePoint::new(5.0));
     }
@@ -189,11 +214,17 @@ mod tests {
         assert!(first.is_acceptance());
         // A stopped conflicting vehicle cannot be granted "go later".
         let cmd = p.decide(&request(2, Approach::East, true), now);
-        let CrossingCommand::VtTarget { target_speed, .. } = cmd else { panic!() };
+        let CrossingCommand::VtTarget { target_speed, .. } = cmd else {
+            panic!()
+        };
         assert_eq!(target_speed, MetersPerSecond::ZERO);
         assert!(!cmd.is_acceptance());
         // The denial must not leave a reservation behind.
-        assert!(p.table().reservations().iter().all(|r| r.vehicle != VehicleId(2)));
+        assert!(p
+            .table()
+            .reservations()
+            .iter()
+            .all(|r| r.vehicle != VehicleId(2)));
     }
 
     #[test]

@@ -10,7 +10,7 @@ use crossroads_vehicle::{VehicleId, VehicleSpec};
 /// - Crossroads adds the transmit timestamp `T_T` (Algorithm 8).
 /// - AIM instead proposes a time of arrival `TOA` at the current speed
 ///   (Algorithm 6), and re-proposes from standstill once stopped.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CrossingRequest {
     /// Requester.
     pub vehicle: VehicleId,
@@ -40,7 +40,7 @@ pub struct CrossingRequest {
 
 /// The IM's downlink decision — the union of the three protocols'
 /// response payloads.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum CrossingCommand {
     /// VT-IM (Algorithm 1): "accelerate to `V_T` and maintain until exit",
     /// executed the moment the response is received. `V_T = 0` commands a
@@ -93,30 +93,27 @@ mod tests {
 
     #[test]
     fn acceptance_classification() {
-        assert!(
-            CrossingCommand::VtTarget {
-                target_speed: MetersPerSecond::new(2.0),
-                scheduled_entry: TimePoint::new(1.0),
-            }
-            .is_acceptance()
-        );
-        assert!(
-            !CrossingCommand::VtTarget {
-                target_speed: MetersPerSecond::ZERO,
-                scheduled_entry: TimePoint::new(1.0),
-            }
-            .is_acceptance()
-        );
-        assert!(
-            CrossingCommand::Crossroads {
-                execute_at: TimePoint::new(0.15),
-                arrival: TimePoint::new(2.0),
-                target_speed: MetersPerSecond::new(3.0),
-                stop_first: false,
-            }
-            .is_acceptance()
-        );
-        assert!(CrossingCommand::AimAccept { arrival: TimePoint::new(2.0) }.is_acceptance());
+        assert!(CrossingCommand::VtTarget {
+            target_speed: MetersPerSecond::new(2.0),
+            scheduled_entry: TimePoint::new(1.0),
+        }
+        .is_acceptance());
+        assert!(!CrossingCommand::VtTarget {
+            target_speed: MetersPerSecond::ZERO,
+            scheduled_entry: TimePoint::new(1.0),
+        }
+        .is_acceptance());
+        assert!(CrossingCommand::Crossroads {
+            execute_at: TimePoint::new(0.15),
+            arrival: TimePoint::new(2.0),
+            target_speed: MetersPerSecond::new(3.0),
+            stop_first: false,
+        }
+        .is_acceptance());
+        assert!(CrossingCommand::AimAccept {
+            arrival: TimePoint::new(2.0)
+        }
+        .is_acceptance());
         assert!(!CrossingCommand::AimReject.is_acceptance());
     }
 }

@@ -18,7 +18,7 @@ use crossroads_vehicle::{SpeedProfile, VehicleId, VehicleSpec};
 
 /// One vehicle's physical presence in the box: the time window plus the
 /// executed longitudinal plan, so positions can be replayed exactly.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct BoxOccupancy {
     /// Who.
     pub vehicle: VehicleId,
@@ -45,7 +45,7 @@ impl BoxOccupancy {
 }
 
 /// A pair of vehicles whose physical footprints overlapped.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SafetyViolation {
     /// First vehicle (earlier entry).
     pub first: VehicleId,
@@ -56,7 +56,7 @@ pub struct SafetyViolation {
 }
 
 /// The audit result.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SafetyReport {
     occupancies: Vec<BoxOccupancy>,
     violations: Vec<SafetyViolation>,
@@ -113,7 +113,10 @@ impl SafetyReport {
                 }
             }
         }
-        SafetyReport { occupancies, violations }
+        SafetyReport {
+            occupancies,
+            violations,
+        }
     }
 
     /// No physical contact was observed.
@@ -231,7 +234,10 @@ mod tests {
             occ(1, Approach::South, Turn::Straight, 0.0, 1.5),
             occ(2, Approach::East, Turn::Straight, 0.0, 1.5),
         ]);
-        assert!(!r.is_safe(), "perpendicular simultaneous crossings must touch");
+        assert!(
+            !r.is_safe(),
+            "perpendicular simultaneous crossings must touch"
+        );
         assert_eq!(r.violations().len(), 1);
     }
 

@@ -6,22 +6,19 @@ use std::collections::{HashMap, VecDeque};
 use crossroads_des::Simulation;
 use crossroads_intersection::ConflictTable;
 use crossroads_metrics::{Counters, RunMetrics, VehicleRecord};
-use crossroads_net::{Channel, LocalClock, SendOutcome, clock::testbed_sync};
+use crossroads_net::{clock::testbed_sync, Channel, LocalClock, SendOutcome};
+use crossroads_prng::Rng;
+use crossroads_prng::{SeedableRng, StdRng};
 use crossroads_traffic::Arrival;
 use crossroads_units::kinematics;
 use crossroads_units::{Meters, MetersPerSecond, Seconds, TimePoint};
-use crossroads_vehicle::{
-    ProtocolEvent, ProtocolState, SpeedProfile, VehicleId, VehicleProtocol,
-};
-use rand::Rng;
-use rand::SeedableRng;
-use rand::rngs::StdRng;
+use crossroads_vehicle::{ProtocolEvent, ProtocolState, SpeedProfile, VehicleId, VehicleProtocol};
 
 use crate::policy::IntersectionPolicy;
 use crate::request::{CrossingCommand, CrossingRequest};
-use crate::sim::SimConfig;
 use crate::sim::event::Event;
 use crate::sim::safety::BoxOccupancy;
+use crate::sim::SimConfig;
 
 /// Margin before the hard braking point at which the stop guard fires.
 const GUARD_MARGIN: Meters = Meters::new(0.02);
@@ -94,7 +91,9 @@ impl<'a> World<'a> {
     /// Same-lane vehicles that crossed the line before `v` and have not
     /// yet entered the box.
     fn unentered_predecessors(&self, v: VehicleId) -> Vec<VehicleId> {
-        let Some(agent) = self.vehicles.get(&v) else { return Vec::new() };
+        let Some(agent) = self.vehicles.get(&v) else {
+            return Vec::new();
+        };
         let Some(order) = self.lane_arrivals.get(&agent.movement.approach) else {
             return Vec::new();
         };
@@ -184,10 +183,14 @@ impl<'a> World<'a> {
             .apply(ProtocolEvent::ReachedTransmissionLine, now)
             .expect("fresh machine accepts line crossing");
 
-        // Clock sync: one two-way exchange on the testbed link.
+        // Clock sync: one two-way exchange on the testbed link. The
+        // offset/drift noise comes from a per-vehicle stream split off the
+        // root seed, so a vehicle's clock error is a function of
+        // (seed, vehicle id) alone and survives event reordering.
+        let mut vrng = self.rng.stream(u64::from(arr.vehicle.0));
         let clock = LocalClock::new(
-            Seconds::from_millis(self.rng.gen_range(-200.0..200.0)),
-            self.rng.gen_range(-100.0..100.0),
+            Seconds::from_millis(vrng.gen_range(-200.0..200.0)),
+            vrng.gen_range(-100.0..100.0),
         );
         let sync = testbed_sync(&clock, now, &mut self.rng);
         // Two frames on the air for the exchange.
@@ -235,7 +238,9 @@ impl<'a> World<'a> {
 
     fn on_sync_complete(&mut self, sim: &mut Simulation<Event>, v: VehicleId) {
         let now = sim.now();
-        let Some(agent) = self.vehicles.get_mut(&v) else { return };
+        let Some(agent) = self.vehicles.get_mut(&v) else {
+            return;
+        };
         agent
             .protocol
             .apply(ProtocolEvent::SyncCompleted, now)
@@ -260,11 +265,11 @@ impl<'a> World<'a> {
     fn queue_blocked(&self, v: VehicleId) -> bool {
         match self.cfg.policy {
             crate::policy::PolicyKind::Crossroads => false,
-            crate::policy::PolicyKind::VtIm => {
-                self.unentered_predecessors(v).iter().any(|u| {
-                    self.vehicles.get(u).is_some_and(|a| a.stop_target.is_some())
-                })
-            }
+            crate::policy::PolicyKind::VtIm => self.unentered_predecessors(v).iter().any(|u| {
+                self.vehicles
+                    .get(u)
+                    .is_some_and(|a| a.stop_target.is_some())
+            }),
             crate::policy::PolicyKind::Aim => {
                 // Stop-sign-style discharge (Dresner & Stone; Fok et al.):
                 // once a vehicle has come to rest it engages the IM only
@@ -304,7 +309,9 @@ impl<'a> World<'a> {
             return;
         }
         let (req, timeout) = {
-            let Some(agent) = self.vehicles.get(&v) else { return };
+            let Some(agent) = self.vehicles.get(&v) else {
+                return;
+            };
             if agent.done || agent.accepted {
                 return;
             }
@@ -373,7 +380,9 @@ impl<'a> World<'a> {
 
     fn on_timeout(&mut self, sim: &mut Simulation<Event>, v: VehicleId, attempt: u32) {
         let now = sim.now();
-        let Some(agent) = self.vehicles.get_mut(&v) else { return };
+        let Some(agent) = self.vehicles.get_mut(&v) else {
+            return;
+        };
         if agent.done || agent.accepted {
             return;
         }
@@ -413,7 +422,10 @@ impl<'a> World<'a> {
             let now = sim.now();
             let ops_before = self.policy.ops();
             let cmd = self.policy.decide(&req, now);
-            let svc = self.cfg.computation.decision_time(self.policy.ops() - ops_before);
+            let svc = self
+                .cfg
+                .computation
+                .decision_time(self.policy.ops() - ops_before);
             self.counters.im_requests += 1;
             self.counters.im_busy += svc;
             self.policy.prune(now);
@@ -447,7 +459,9 @@ impl<'a> World<'a> {
     ) {
         let now = sim.now();
         {
-            let Some(agent) = self.vehicles.get(&v) else { return };
+            let Some(agent) = self.vehicles.get(&v) else {
+                return;
+            };
             if agent.done || agent.accepted {
                 return;
             }
@@ -480,7 +494,12 @@ impl<'a> World<'a> {
                     );
                 }
             }
-            CrossingCommand::Crossroads { execute_at, arrival, target_speed, stop_first } => {
+            CrossingCommand::Crossroads {
+                execute_at,
+                arrival,
+                target_speed,
+                stop_first,
+            } => {
                 self.accept_crossroads(sim, v, execute_at, arrival, target_speed, stop_first, now);
             }
             CrossingCommand::AimAccept { arrival } => self.accept_aim(sim, v, arrival, now),
@@ -561,11 +580,8 @@ impl<'a> World<'a> {
                 if d.value() <= 0.0 {
                     Seconds::ZERO
                 } else {
-                    let ve = crate::policy::common::reachable_speed(
-                        MetersPerSecond::ZERO,
-                        &spec,
-                        d,
-                    );
+                    let ve =
+                        crate::policy::common::reachable_speed(MetersPerSecond::ZERO, &spec, d);
                     kinematics::accel_cruise(MetersPerSecond::ZERO, ve, spec.a_max, d)
                         .expect("launch run-up is feasible")
                         .total_time
@@ -741,7 +757,11 @@ impl<'a> World<'a> {
         let (version, final_speed, end_time) = {
             let agent = self.vehicles.get_mut(&v).expect("agent exists");
             agent.plan_version += 1;
-            (agent.plan_version, agent.profile.final_speed(), agent.profile.end_time())
+            (
+                agent.plan_version,
+                agent.profile.final_speed(),
+                agent.profile.end_time(),
+            )
         };
         if final_speed.value() <= 0.0 {
             sim.schedule(end_time.max(sim.now()), Event::MarkStopped(v, version));
@@ -755,7 +775,9 @@ impl<'a> World<'a> {
         let now = sim.now();
         let spec = self.cfg.spec;
         let s_entry = self.s_entry;
-        let Some(agent) = self.vehicles.get(&v) else { return };
+        let Some(agent) = self.vehicles.get(&v) else {
+            return;
+        };
         if agent.accepted || agent.done {
             return;
         }
@@ -779,7 +801,9 @@ impl<'a> World<'a> {
     fn on_stop_guard(&mut self, sim: &mut Simulation<Event>, v: VehicleId, version: u32) {
         let now = sim.now();
         let spec = self.cfg.spec;
-        let Some(agent) = self.vehicles.get_mut(&v) else { return };
+        let Some(agent) = self.vehicles.get_mut(&v) else {
+            return;
+        };
         if agent.done || agent.accepted || agent.plan_version != version {
             return;
         }
@@ -795,7 +819,9 @@ impl<'a> World<'a> {
     }
 
     fn on_mark_stopped(&mut self, v: VehicleId, version: u32) {
-        let Some(agent) = self.vehicles.get_mut(&v) else { return };
+        let Some(agent) = self.vehicles.get_mut(&v) else {
+            return;
+        };
         if agent.done || agent.accepted || agent.plan_version != version {
             return;
         }
@@ -814,9 +840,8 @@ impl<'a> World<'a> {
         let (version, entry_t, exit_t) = {
             let agent = self.vehicles.get_mut(&v).expect("agent exists");
             agent.plan_version += 1;
-            let s_exit = s_entry
-                + self.cfg.geometry.path_length(agent.movement)
-                + self.cfg.spec.length;
+            let s_exit =
+                s_entry + self.cfg.geometry.path_length(agent.movement) + self.cfg.spec.length;
             // A grant can land after a slight overshoot of the line (a
             // stop command arriving inside braking distance): the vehicle
             // is then effectively entering as it launches — clamp to now.
@@ -832,7 +857,9 @@ impl<'a> World<'a> {
     }
 
     fn on_box_entry(&mut self, now: TimePoint, v: VehicleId, version: u32) {
-        let Some(agent) = self.vehicles.get_mut(&v) else { return };
+        let Some(agent) = self.vehicles.get_mut(&v) else {
+            return;
+        };
         if agent.done || agent.plan_version != version {
             return;
         }
@@ -847,7 +874,9 @@ impl<'a> World<'a> {
     fn on_box_exit(&mut self, sim: &mut Simulation<Event>, v: VehicleId, version: u32) {
         let now = sim.now();
         let record = {
-            let Some(agent) = self.vehicles.get_mut(&v) else { return };
+            let Some(agent) = self.vehicles.get_mut(&v) else {
+                return;
+            };
             if agent.done || agent.plan_version != version {
                 return;
             }

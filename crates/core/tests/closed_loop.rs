@@ -2,8 +2,8 @@
 //! safely to completion, and the paper's qualitative orderings must hold.
 
 use crossroads_core::policy::PolicyKind;
-use crossroads_core::sim::{SimConfig, run_simulation};
-use crossroads_traffic::{ScenarioId, scale_model_scenario};
+use crossroads_core::sim::{run_simulation, SimConfig};
+use crossroads_traffic::{scale_model_scenario, ScenarioId};
 
 fn run(policy: PolicyKind, scenario: u8, repeat: u64) -> crossroads_core::sim::SimOutcome {
     let workload = scale_model_scenario(ScenarioId(scenario), repeat);
@@ -21,7 +21,11 @@ fn all_policies_complete_the_worst_case_scenario() {
             out.metrics.completed(),
             out.spawned
         );
-        assert!(out.safety.is_safe(), "{policy}: violations {:?}", out.safety.violations());
+        assert!(
+            out.safety.is_safe(),
+            "{policy}: violations {:?}",
+            out.safety.violations()
+        );
     }
 }
 
@@ -84,8 +88,14 @@ fn crossroads_beats_vt_on_the_worst_case() {
     let mut vt_total = 0.0;
     let mut xr_total = 0.0;
     for repeat in 0..10 {
-        vt_total += run(PolicyKind::VtIm, 1, repeat).metrics.average_wait().value();
-        xr_total += run(PolicyKind::Crossroads, 1, repeat).metrics.average_wait().value();
+        vt_total += run(PolicyKind::VtIm, 1, repeat)
+            .metrics
+            .average_wait()
+            .value();
+        xr_total += run(PolicyKind::Crossroads, 1, repeat)
+            .metrics
+            .average_wait()
+            .value();
     }
     assert!(
         xr_total < vt_total,
@@ -120,7 +130,10 @@ fn aim_generates_more_traffic_than_crossroads() {
         aim_msgs > xr_msgs,
         "AIM messages {aim_msgs} should exceed Crossroads {xr_msgs}"
     );
-    assert!(aim_ops > xr_ops, "AIM ops {aim_ops} should exceed Crossroads {xr_ops}");
+    assert!(
+        aim_ops > xr_ops,
+        "AIM ops {aim_ops} should exceed Crossroads {xr_ops}"
+    );
 }
 
 /// Two waves of four simultaneous arrivals — the adversarial burst that
@@ -170,7 +183,10 @@ fn disabling_vt_rtd_buffer_breaks_the_safety_guarantee() {
             &config.spec,
             margin,
         );
-        assert!(audit.is_safe(), "seed {seed}: buffered VT-IM broke its envelope");
+        assert!(
+            audit.is_safe(),
+            "seed {seed}: buffered VT-IM broke its envelope"
+        );
     }
 
     // Buffers stripped: at least one seed violates the same envelope.

@@ -2,7 +2,7 @@
 //! radios, analytic single-vehicle timings.
 
 use crossroads_core::policy::PolicyKind;
-use crossroads_core::sim::{SimConfig, run_simulation};
+use crossroads_core::sim::{run_simulation, SimConfig};
 use crossroads_intersection::{Approach, Movement, Turn};
 use crossroads_traffic::Arrival;
 use crossroads_units::kinematics;
@@ -43,7 +43,9 @@ fn lone_crossroads_vehicle_matches_analytic_trip() {
     // accelerate to 3 and cruise: trip over 3 + 1.2 + 0.568 m.
     let total = 3.0 + 1.2 + spec.length.value();
     // Lower bound: free-flow with zero protocol latency.
-    let v_reach = (1.5f64.powi(2) + 2.0 * spec.a_max.value() * total).sqrt().min(3.0);
+    let v_reach = (1.5f64.powi(2) + 2.0 * spec.a_max.value() * total)
+        .sqrt()
+        .min(3.0);
     let free = kinematics::accel_cruise(
         MetersPerSecond::new(1.5),
         MetersPerSecond::new(v_reach),
@@ -75,7 +77,10 @@ fn lone_vt_vehicle_is_faster_than_lone_crossroads_vehicle() {
         &single(1.5),
     );
     assert!(vt.all_completed() && xr.all_completed());
-    let (vt_trip, xr_trip) = (vt.metrics.records()[0].trip(), xr.metrics.records()[0].trip());
+    let (vt_trip, xr_trip) = (
+        vt.metrics.records()[0].trip(),
+        xr.metrics.records()[0].trip(),
+    );
     assert!(
         vt_trip < xr_trip,
         "lone VT trip {vt_trip} should undercut Crossroads {xr_trip}"
@@ -106,10 +111,7 @@ fn stopped_vehicle_zero_speed_arrival_is_handled() {
     // A vehicle that crosses the line already crawling at near-zero speed
     // must still complete under every policy (it stops and re-requests).
     for policy in PolicyKind::ALL {
-        let out = run_simulation(
-            &SimConfig::scale_model(policy).with_seed(5),
-            &single(0.3),
-        );
+        let out = run_simulation(&SimConfig::scale_model(policy).with_seed(5), &single(0.3));
         assert!(out.all_completed(), "{policy}: slow arrival stranded");
         assert!(out.safety.is_safe());
     }
@@ -160,6 +162,9 @@ fn stranded_count_matches_completion_gap() {
     config.horizon_slack = Seconds::new(10.0);
     let out = run_simulation(&config, &single(1.5));
     assert_eq!(out.stranded(), 1);
-    let ok = run_simulation(&SimConfig::scale_model(PolicyKind::VtIm).with_seed(1), &single(1.5));
+    let ok = run_simulation(
+        &SimConfig::scale_model(PolicyKind::VtIm).with_seed(1),
+        &single(1.5),
+    );
     assert_eq!(ok.stranded(), 0);
 }

@@ -123,7 +123,8 @@ impl<E> Simulation<E> {
     /// are clamped to zero (events fire "now", after already-queued events
     /// at the same instant).
     pub fn schedule_in(&mut self, delay: Seconds, event: E) -> EventId {
-        self.queue.schedule(self.now + delay.max(Seconds::ZERO), event)
+        self.queue
+            .schedule(self.now + delay.max(Seconds::ZERO), event)
     }
 
     /// Cancels a scheduled event; see [`EventQueue::cancel`].

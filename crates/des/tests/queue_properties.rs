@@ -1,42 +1,39 @@
 //! Property tests for the event queue and simulation executive.
 
+use crossroads_check::{bools, ck_assert, ck_assert_eq, forall, vec};
 use crossroads_des::{EventQueue, Simulation};
 use crossroads_units::TimePoint;
-use proptest::prelude::*;
 
-proptest! {
+forall! {
     /// Popping always yields nondecreasing timestamps, whatever the
     /// insertion order.
-    #[test]
-    fn pops_are_time_sorted(times in prop::collection::vec(0.0f64..1e6, 1..200)) {
+    fn pops_are_time_sorted(times in vec(0.0f64..1e6, 1..200)) {
         let mut q = EventQueue::new();
         for (i, &t) in times.iter().enumerate() {
             q.schedule(TimePoint::new(t), i);
         }
         let mut last = f64::NEG_INFINITY;
         while let Some((at, _)) = q.pop() {
-            prop_assert!(at.value() >= last);
+            ck_assert!(at.value() >= last);
             last = at.value();
         }
     }
 
     /// Equal-timestamp events preserve insertion order (stability), which is
     /// the determinism guarantee the protocol traces rely on.
-    #[test]
     fn equal_times_are_fifo(n in 1usize..300) {
         let mut q = EventQueue::new();
         for i in 0..n {
             q.schedule(TimePoint::new(7.0), i);
         }
         let popped: Vec<usize> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
-        prop_assert_eq!(popped, (0..n).collect::<Vec<_>>());
+        ck_assert_eq!(popped, (0..n).collect::<Vec<_>>());
     }
 
     /// Cancelled events never surface; everything else does, exactly once.
-    #[test]
     fn cancellation_is_exact(
-        times in prop::collection::vec(0.0f64..1e3, 1..100),
-        cancel_mask in prop::collection::vec(any::<bool>(), 1..100),
+        times in vec(0.0f64..1e3, 1..100),
+        cancel_mask in vec(bools(), 1..100),
     ) {
         let mut q = EventQueue::new();
         let ids: Vec<_> = times
@@ -47,7 +44,7 @@ proptest! {
         let mut expect: Vec<usize> = Vec::new();
         for (i, id) in &ids {
             if cancel_mask.get(*i).copied().unwrap_or(false) {
-                prop_assert!(q.cancel(*id));
+                ck_assert!(q.cancel(*id));
             } else {
                 expect.push(*i);
             }
@@ -55,12 +52,11 @@ proptest! {
         let mut popped: Vec<usize> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
         popped.sort_unstable();
         expect.sort_unstable();
-        prop_assert_eq!(popped, expect);
+        ck_assert_eq!(popped, expect);
     }
 
     /// The simulation clock never goes backwards over any run.
-    #[test]
-    fn clock_is_monotone(times in prop::collection::vec(0.0f64..1e4, 1..200)) {
+    fn clock_is_monotone(times in vec(0.0f64..1e4, 1..200)) {
         let mut sim: Simulation<()> = Simulation::new();
         for &t in &times {
             sim.schedule(TimePoint::new(t), ());
@@ -75,8 +71,7 @@ proptest! {
 
     /// Two identically seeded schedules produce identical traces
     /// (determinism regression guard).
-    #[test]
-    fn identical_schedules_identical_traces(times in prop::collection::vec(0.0f64..1e3, 1..100)) {
+    fn identical_schedules_identical_traces(times in vec(0.0f64..1e3, 1..100)) {
         let trace = |times: &[f64]| -> Vec<(u64, usize)> {
             let mut sim: Simulation<usize> = Simulation::new();
             for (i, &t) in times.iter().enumerate() {
@@ -89,6 +84,6 @@ proptest! {
             });
             out
         };
-        prop_assert_eq!(trace(&times), trace(&times));
+        ck_assert_eq!(trace(&times), trace(&times));
     }
 }

@@ -28,7 +28,7 @@ use crate::path::MovementPath;
 /// assert!(table.conflicts(s_straight, e_straight)); // crossing paths
 /// assert!(!table.conflicts(s_straight, n_straight)); // opposing lanes
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ConflictTable {
     table: [[bool; 12]; 12],
 }
@@ -48,8 +48,10 @@ impl ConflictTable {
             "vehicle width must be positive"
         );
         let movements = Movement::all();
-        let paths: Vec<MovementPath> =
-            movements.iter().map(|&m| MovementPath::new(geometry, m)).collect();
+        let paths: Vec<MovementPath> = movements
+            .iter()
+            .map(|&m| MovementPath::new(geometry, m))
+            .collect();
         // Sample density: a point every ~2 % of the box size keeps the
         // pairwise sweep exact to well below a vehicle width.
         let step = geometry.box_size.value() / 50.0;
@@ -58,7 +60,10 @@ impl ConflictTable {
             .map(|p| {
                 let n = (p.length().value() / step).ceil().max(2.0);
                 #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
-                p.sample(n as usize + 1).into_iter().map(|(pt, _)| pt).collect()
+                p.sample(n as usize + 1)
+                    .into_iter()
+                    .map(|(pt, _)| pt)
+                    .collect()
             })
             .collect();
 
@@ -73,9 +78,9 @@ impl ConflictTable {
                     true
                 } else {
                     let min_sep = vehicle_width;
-                    samples[i].iter().any(|p| {
-                        samples[j].iter().any(|q| p.distance_to(*q) < min_sep)
-                    })
+                    samples[i]
+                        .iter()
+                        .any(|p| samples[j].iter().any(|q| p.distance_to(*q) < min_sep))
                 };
                 table[a.index()][b.index()] = hit;
                 table[b.index()][a.index()] = hit;
@@ -144,23 +149,41 @@ mod tests {
     #[test]
     fn crossing_straights_conflict() {
         let t = table();
-        assert!(t.conflicts(m(Approach::South, Turn::Straight), m(Approach::East, Turn::Straight)));
-        assert!(t.conflicts(m(Approach::South, Turn::Straight), m(Approach::West, Turn::Straight)));
-        assert!(t.conflicts(m(Approach::North, Turn::Straight), m(Approach::East, Turn::Straight)));
+        assert!(t.conflicts(
+            m(Approach::South, Turn::Straight),
+            m(Approach::East, Turn::Straight)
+        ));
+        assert!(t.conflicts(
+            m(Approach::South, Turn::Straight),
+            m(Approach::West, Turn::Straight)
+        ));
+        assert!(t.conflicts(
+            m(Approach::North, Turn::Straight),
+            m(Approach::East, Turn::Straight)
+        ));
     }
 
     #[test]
     fn opposing_straights_do_not_conflict() {
         let t = table();
-        assert!(!t.conflicts(m(Approach::South, Turn::Straight), m(Approach::North, Turn::Straight)));
-        assert!(!t.conflicts(m(Approach::East, Turn::Straight), m(Approach::West, Turn::Straight)));
+        assert!(!t.conflicts(
+            m(Approach::South, Turn::Straight),
+            m(Approach::North, Turn::Straight)
+        ));
+        assert!(!t.conflicts(
+            m(Approach::East, Turn::Straight),
+            m(Approach::West, Turn::Straight)
+        ));
     }
 
     #[test]
     fn right_turns_avoid_opposing_straight() {
         let t = table();
         // S-right hugs the south-east corner; N-straight runs at x=-0.3.
-        assert!(!t.conflicts(m(Approach::South, Turn::Right), m(Approach::North, Turn::Straight)));
+        assert!(!t.conflicts(
+            m(Approach::South, Turn::Right),
+            m(Approach::North, Turn::Straight)
+        ));
     }
 
     #[test]
@@ -168,21 +191,30 @@ mod tests {
         let t = table();
         // S-right exits eastbound on the east arm; W-straight also exits
         // eastbound there: merging traffic conflicts.
-        assert!(t.conflicts(m(Approach::South, Turn::Right), m(Approach::West, Turn::Straight)));
+        assert!(t.conflicts(
+            m(Approach::South, Turn::Right),
+            m(Approach::West, Turn::Straight)
+        ));
     }
 
     #[test]
     fn left_turn_conflicts_with_opposing_straight() {
         let t = table();
         // S-left crosses the southbound lane used by N-straight.
-        assert!(t.conflicts(m(Approach::South, Turn::Left), m(Approach::North, Turn::Straight)));
+        assert!(t.conflicts(
+            m(Approach::South, Turn::Left),
+            m(Approach::North, Turn::Straight)
+        ));
     }
 
     #[test]
     fn opposing_rights_are_compatible() {
         let t = table();
         // S-right (SE corner) and N-right (NW corner) are far apart.
-        assert!(!t.conflicts(m(Approach::South, Turn::Right), m(Approach::North, Turn::Right)));
+        assert!(!t.conflicts(
+            m(Approach::South, Turn::Right),
+            m(Approach::North, Turn::Right)
+        ));
     }
 
     #[test]

@@ -6,10 +6,7 @@ use crossroads_units::{Meters, Radians};
 ///
 /// A vehicle on the [`Approach::South`] arm travels *northbound* toward
 /// the center, and so on. Traffic is right-hand.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord,
-    serde::Serialize, serde::Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Approach {
     /// Arriving from the north, heading south.
     North,
@@ -23,7 +20,12 @@ pub enum Approach {
 
 impl Approach {
     /// All four approaches, in a fixed order.
-    pub const ALL: [Approach; 4] = [Approach::North, Approach::East, Approach::South, Approach::West];
+    pub const ALL: [Approach; 4] = [
+        Approach::North,
+        Approach::East,
+        Approach::South,
+        Approach::West,
+    ];
 
     /// Travel heading while approaching (counterclockwise from east).
     #[must_use]
@@ -91,10 +93,7 @@ impl std::fmt::Display for Approach {
 }
 
 /// A turning movement relative to the approach direction.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord,
-    serde::Serialize, serde::Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Turn {
     /// Cross straight through.
     Straight,
@@ -133,10 +132,7 @@ impl std::fmt::Display for Turn {
 /// An (approach, turn) pair — the paper's "lane of entry / lane of exit /
 /// direction of entry / direction of exit" collapsed for a single-lane
 /// four-way intersection.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord,
-    serde::Serialize, serde::Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Movement {
     /// Entry arm.
     pub approach: Approach,
@@ -195,7 +191,7 @@ impl std::fmt::Display for Movement {
 ///        ─────────┐     ┌─────────
 ///                 │  S  │
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct IntersectionGeometry {
     /// Side length of the (square) conflict box.
     pub box_size: Meters,
@@ -267,7 +263,10 @@ impl IntersectionGeometry {
         for (name, v) in [
             ("box_size", self.box_size.value()),
             ("lane_width", self.lane_width.value()),
-            ("transmission_line_distance", self.transmission_line_distance.value()),
+            (
+                "transmission_line_distance",
+                self.transmission_line_distance.value(),
+            ),
         ] {
             if !(v.is_finite() && v > 0.0) {
                 return Err(format!("{name} must be positive and finite, got {v}"));
@@ -311,9 +310,18 @@ mod tests {
     fn movement_exits() {
         let m = Movement::new(Approach::South, Turn::Straight);
         assert_eq!(m.exit(), Approach::North);
-        assert_eq!(Movement::new(Approach::South, Turn::Right).exit(), Approach::East);
-        assert_eq!(Movement::new(Approach::South, Turn::Left).exit(), Approach::West);
-        assert_eq!(Movement::new(Approach::East, Turn::Right).exit(), Approach::North);
+        assert_eq!(
+            Movement::new(Approach::South, Turn::Right).exit(),
+            Approach::East
+        );
+        assert_eq!(
+            Movement::new(Approach::South, Turn::Left).exit(),
+            Approach::West
+        );
+        assert_eq!(
+            Movement::new(Approach::East, Turn::Right).exit(),
+            Approach::North
+        );
     }
 
     #[test]
@@ -359,7 +367,10 @@ mod tests {
 
     #[test]
     fn displays_are_compact() {
-        assert_eq!(Movement::new(Approach::South, Turn::Left).to_string(), "S-left");
+        assert_eq!(
+            Movement::new(Approach::South, Turn::Left).to_string(),
+            "S-left"
+        );
         assert_eq!(Approach::North.to_string(), "N");
         assert_eq!(Turn::Straight.to_string(), "straight");
     }

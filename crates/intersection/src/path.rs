@@ -117,7 +117,11 @@ impl MovementPath {
                 }
             }
         };
-        MovementPath { movement, length: geometry.path_length(movement), kind }
+        MovementPath {
+            movement,
+            length: geometry.path_length(movement),
+            kind,
+        }
     }
 
     /// The movement this path realizes.
@@ -137,9 +141,7 @@ impl MovementPath {
     #[must_use]
     pub fn pose_at(&self, s: Meters) -> (Point2, Radians) {
         match &self.kind {
-            PathKind::Straight { entry, heading } => {
-                (entry.advanced(*heading, s), *heading)
-            }
+            PathKind::Straight { entry, heading } => (entry.advanced(*heading, s), *heading),
             PathKind::Arc {
                 center,
                 radius,
@@ -295,11 +297,12 @@ mod tests {
                 // Reconstruct the center from entry pose: left turns center is
                 // 90° left of heading, right turns 90° right.
                 let (entry, h0) = p.pose_at(Meters::ZERO);
-                let side = if turn == Turn::Left { FRAC_PI_2 } else { -FRAC_PI_2 };
-                let center = entry.advanced(
-                    Radians::new(h0.value() + side),
-                    Meters::new(radius),
-                );
+                let side = if turn == Turn::Left {
+                    FRAC_PI_2
+                } else {
+                    -FRAC_PI_2
+                };
+                let center = entry.advanced(Radians::new(h0.value() + side), Meters::new(radius));
                 for (pt, _) in samples {
                     let d = pt.distance_to(center).value();
                     assert!((d - radius).abs() < 1e-9, "{a}-{turn}: radius {d}");

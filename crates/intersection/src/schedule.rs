@@ -14,7 +14,7 @@ use crate::conflict::ConflictTable;
 use crate::geometry::Movement;
 
 /// One vehicle's occupancy window.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Reservation {
     /// Holder.
     pub vehicle: VehicleId,
@@ -106,7 +106,10 @@ impl ReservationTable {
     /// An empty table over the given conflict relation.
     #[must_use]
     pub fn new(conflicts: ConflictTable) -> Self {
-        ReservationTable { conflicts, reservations: Vec::new() }
+        ReservationTable {
+            conflicts,
+            reservations: Vec::new(),
+        }
     }
 
     /// Active reservations, ordered by entry time.
@@ -147,7 +150,12 @@ impl ReservationTable {
                 if !self.conflicts.conflicts(movement, r.movement) {
                     continue;
                 }
-                let candidate = Reservation { vehicle: VehicleId(u32::MAX), movement, enter, exit: enter + duration };
+                let candidate = Reservation {
+                    vehicle: VehicleId(u32::MAX),
+                    movement,
+                    enter,
+                    exit: enter + duration,
+                };
                 if candidate.overlaps(r) {
                     enter = r.exit;
                     moved = true;
@@ -179,11 +187,11 @@ impl ReservationTable {
             .iter()
             .find(|x| self.conflicts.conflicts(r.movement, x.movement) && x.overlaps(&r))
         {
-            return Err(ScheduleError::Conflicts { with: block.vehicle });
+            return Err(ScheduleError::Conflicts {
+                with: block.vehicle,
+            });
         }
-        let pos = self
-            .reservations
-            .partition_point(|x| x.enter <= r.enter);
+        let pos = self.reservations.partition_point(|x| x.enter <= r.enter);
         self.reservations.insert(pos, r);
         Ok(())
     }
@@ -191,7 +199,10 @@ impl ReservationTable {
     /// Removes `vehicle`'s reservation (when it exits or aborts),
     /// returning it if present.
     pub fn release(&mut self, vehicle: VehicleId) -> Option<Reservation> {
-        let pos = self.reservations.iter().position(|r| r.vehicle == vehicle)?;
+        let pos = self
+            .reservations
+            .iter()
+            .position(|r| r.vehicle == vehicle)?;
         Some(self.reservations.remove(pos))
     }
 
@@ -237,24 +248,42 @@ mod tests {
         }
     }
 
-    const S: Movement = Movement { approach: Approach::South, turn: Turn::Straight };
-    const N: Movement = Movement { approach: Approach::North, turn: Turn::Straight };
-    const E: Movement = Movement { approach: Approach::East, turn: Turn::Straight };
+    const S: Movement = Movement {
+        approach: Approach::South,
+        turn: Turn::Straight,
+    };
+    const N: Movement = Movement {
+        approach: Approach::North,
+        turn: Turn::Straight,
+    };
+    const E: Movement = Movement {
+        approach: Approach::East,
+        turn: Turn::Straight,
+    };
 
     #[test]
     fn empty_table_grants_immediately() {
         let t = sched();
-        assert_eq!(t.earliest_slot(S, TimePoint::new(3.0), Seconds::new(1.0)), TimePoint::new(3.0));
+        assert_eq!(
+            t.earliest_slot(S, TimePoint::new(3.0), Seconds::new(1.0)),
+            TimePoint::new(3.0)
+        );
     }
 
     #[test]
     fn conflicting_window_is_pushed_after_exit() {
         let mut t = sched();
         t.insert(res(1, S, 1.0, 2.0)).unwrap();
-        assert_eq!(t.earliest_slot(E, TimePoint::new(0.5), Seconds::new(1.0)), TimePoint::new(2.0));
+        assert_eq!(
+            t.earliest_slot(E, TimePoint::new(0.5), Seconds::new(1.0)),
+            TimePoint::new(2.0)
+        );
         // A short window that clears before the reservation starts fits
         // immediately (windows are half-open, so touching at 1.0 is fine).
-        assert_eq!(t.earliest_slot(E, TimePoint::ZERO, Seconds::new(1.0)), TimePoint::ZERO);
+        assert_eq!(
+            t.earliest_slot(E, TimePoint::ZERO, Seconds::new(1.0)),
+            TimePoint::ZERO
+        );
     }
 
     #[test]
@@ -262,7 +291,10 @@ mod tests {
         let mut t = sched();
         t.insert(res(1, S, 1.0, 2.0)).unwrap();
         // Opposing straight: same instant is fine.
-        assert_eq!(t.earliest_slot(N, TimePoint::new(1.0), Seconds::new(1.0)), TimePoint::new(1.0));
+        assert_eq!(
+            t.earliest_slot(N, TimePoint::new(1.0), Seconds::new(1.0)),
+            TimePoint::new(1.0)
+        );
         t.insert(res(2, N, 1.0, 2.0)).unwrap();
         assert!(t.is_conflict_free());
     }
@@ -274,7 +306,10 @@ mod tests {
         t.insert(res(2, E, 2.0, 3.0)).unwrap();
         // S conflicts with E, E conflicts with S; a new E-movement vehicle
         // must clear both S (until 2.0) and its own lane (E until 3.0).
-        assert_eq!(t.earliest_slot(E, TimePoint::new(1.5), Seconds::new(1.0)), TimePoint::new(3.0));
+        assert_eq!(
+            t.earliest_slot(E, TimePoint::new(1.5), Seconds::new(1.0)),
+            TimePoint::new(3.0)
+        );
     }
 
     #[test]
@@ -296,7 +331,10 @@ mod tests {
     #[test]
     fn insert_rejects_invalid_window() {
         let mut t = sched();
-        assert_eq!(t.insert(res(1, S, 2.0, 1.0)), Err(ScheduleError::InvalidWindow));
+        assert_eq!(
+            t.insert(res(1, S, 2.0, 1.0)),
+            Err(ScheduleError::InvalidWindow)
+        );
         assert_eq!(
             t.insert(res(1, S, f64::NAN, 1.0)),
             Err(ScheduleError::InvalidWindow)
@@ -309,7 +347,10 @@ mod tests {
         t.insert(res(1, S, 1.0, 2.0)).unwrap();
         assert!(t.release(VehicleId(1)).is_some());
         assert!(t.release(VehicleId(1)).is_none());
-        assert_eq!(t.earliest_slot(E, TimePoint::new(1.0), Seconds::new(1.0)), TimePoint::new(1.0));
+        assert_eq!(
+            t.earliest_slot(E, TimePoint::new(1.0), Seconds::new(1.0)),
+            TimePoint::new(1.0)
+        );
     }
 
     #[test]
@@ -349,8 +390,13 @@ mod tests {
         let mut t = sched();
         let dur = Seconds::new(1.0);
         let first = t.earliest_slot(S, TimePoint::new(1.0), dur);
-        t.insert(Reservation { vehicle: VehicleId(1), movement: S, enter: first, exit: first + dur })
-            .unwrap();
+        t.insert(Reservation {
+            vehicle: VehicleId(1),
+            movement: S,
+            enter: first,
+            exit: first + dur,
+        })
+        .unwrap();
         let second = t.earliest_slot(S, TimePoint::new(1.2), dur);
         assert!(second >= first + dur);
     }

@@ -28,7 +28,7 @@ use crossroads_vehicle::VehicleId;
 /// // Points outside the box do not.
 /// assert!(grid.tile_at(Point2::new(0.7, 0.0)).is_none());
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TileGrid {
     box_size: Meters,
     n: usize,
@@ -100,10 +100,16 @@ impl TileGrid {
         let x1 = clip(footprint.max.x.value() + half);
         let y0 = clip(footprint.min.y.value() + half);
         let y1 = clip(footprint.max.y.value() + half);
-        if x0 >= x1 && (footprint.max.x.value() + half < 0.0 || footprint.min.x.value() + half > self.box_size.value()) {
+        if x0 >= x1
+            && (footprint.max.x.value() + half < 0.0
+                || footprint.min.x.value() + half > self.box_size.value())
+        {
             return Vec::new();
         }
-        if y0 >= y1 && (footprint.max.y.value() + half < 0.0 || footprint.min.y.value() + half > self.box_size.value()) {
+        if y0 >= y1
+            && (footprint.max.y.value() + half < 0.0
+                || footprint.min.y.value() + half > self.box_size.value())
+        {
             return Vec::new();
         }
         #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
@@ -155,15 +161,21 @@ impl TileGrid {
         let mut min = corners[0];
         let mut max = corners[0];
         for c in &corners[1..] {
-            min = Point2 { x: min.x.min(c.x), y: min.y.min(c.y) };
-            max = Point2 { x: max.x.max(c.x), y: max.y.max(c.y) };
+            min = Point2 {
+                x: min.x.min(c.x),
+                y: min.y.min(c.y),
+            };
+            max = Point2 {
+                x: max.x.max(c.x),
+                y: max.y.max(c.y),
+            };
         }
         self.tiles_for_aabb(&Aabb::from_corners(min, max))
     }
 }
 
 /// A time interval reserved on one tile.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TileInterval {
     /// Tile index within the grid.
     pub tile: usize,
@@ -185,7 +197,10 @@ impl TileSchedule {
     /// An empty schedule over `grid`.
     #[must_use]
     pub fn new(grid: TileGrid) -> Self {
-        TileSchedule { grid, slots: vec![Vec::new(); grid.tile_count()] }
+        TileSchedule {
+            grid,
+            slots: vec![Vec::new(); grid.tile_count()],
+        }
     }
 
     /// The underlying grid.
@@ -328,15 +343,31 @@ mod tests {
     fn reserve_then_conflict_then_release() {
         let mut s = TileSchedule::new(grid());
         let req = [
-            TileInterval { tile: 0, from: t(1.0), until: t(2.0) },
-            TileInterval { tile: 1, from: t(1.0), until: t(2.0) },
+            TileInterval {
+                tile: 0,
+                from: t(1.0),
+                until: t(2.0),
+            },
+            TileInterval {
+                tile: 1,
+                from: t(1.0),
+                until: t(2.0),
+            },
         ];
         assert!(s.try_reserve(VehicleId(1), &req));
         assert_eq!(s.reserved_intervals(), 2);
         // Overlapping request on tile 1 fails atomically.
         let req2 = [
-            TileInterval { tile: 2, from: t(1.0), until: t(2.0) },
-            TileInterval { tile: 1, from: t(1.5), until: t(2.5) },
+            TileInterval {
+                tile: 2,
+                from: t(1.0),
+                until: t(2.0),
+            },
+            TileInterval {
+                tile: 1,
+                from: t(1.5),
+                until: t(2.5),
+            },
         ];
         assert!(!s.try_reserve(VehicleId(2), &req2));
         assert_eq!(s.reserved_intervals(), 2, "failed reserve must not leak");
@@ -350,19 +381,41 @@ mod tests {
         let mut s = TileSchedule::new(grid());
         assert!(s.try_reserve(
             VehicleId(1),
-            &[TileInterval { tile: 5, from: t(1.0), until: t(2.0) }]
+            &[TileInterval {
+                tile: 5,
+                from: t(1.0),
+                until: t(2.0)
+            }]
         ));
         assert!(s.try_reserve(
             VehicleId(2),
-            &[TileInterval { tile: 5, from: t(2.0), until: t(3.0) }]
+            &[TileInterval {
+                tile: 5,
+                from: t(2.0),
+                until: t(3.0)
+            }]
         ));
     }
 
     #[test]
     fn prune_drops_expired() {
         let mut s = TileSchedule::new(grid());
-        s.try_reserve(VehicleId(1), &[TileInterval { tile: 0, from: t(0.0), until: t(1.0) }]);
-        s.try_reserve(VehicleId(2), &[TileInterval { tile: 0, from: t(5.0), until: t(6.0) }]);
+        s.try_reserve(
+            VehicleId(1),
+            &[TileInterval {
+                tile: 0,
+                from: t(0.0),
+                until: t(1.0),
+            }],
+        );
+        s.try_reserve(
+            VehicleId(2),
+            &[TileInterval {
+                tile: 0,
+                from: t(5.0),
+                until: t(6.0),
+            }],
+        );
         s.prune_before(t(3.0));
         assert_eq!(s.reserved_intervals(), 1);
     }

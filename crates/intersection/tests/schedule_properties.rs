@@ -2,57 +2,51 @@
 //! arbitrary FIFO admission sequences, and earliest-fit answers always
 //! insert cleanly.
 
+use crossroads_check::{ck_assert, ck_assert_eq, forall, vec};
+use crossroads_intersection::tiles::TileInterval;
 use crossroads_intersection::{
     ConflictTable, IntersectionGeometry, Movement, Reservation, ReservationTable, TileGrid,
     TileSchedule,
 };
-use crossroads_intersection::tiles::TileInterval;
 use crossroads_units::{Meters, Seconds, TimePoint};
 use crossroads_vehicle::VehicleId;
-use proptest::prelude::*;
 
-fn movement_strategy() -> impl Strategy<Value = Movement> {
-    (0usize..12).prop_map(|i| Movement::all()[i])
-}
-
-proptest! {
+forall! {
     /// Whatever the arrival pattern, admitting every vehicle at its
     /// earliest slot keeps the table conflict-free, and slots are at or
     /// after the requested earliest time.
-    #[test]
+    ///
+    /// Movements generate as an index into [`Movement::all`].
     fn fifo_admission_is_always_safe(
-        arrivals in prop::collection::vec(
-            (movement_strategy(), 0.0f64..30.0, 0.2f64..3.0),
-            1..60,
-        )
+        arrivals in vec((0usize..12, 0.0f64..30.0, 0.2f64..3.0), 1..60),
     ) {
         let table = ConflictTable::compute(
             &IntersectionGeometry::scale_model(),
             Meters::new(0.296),
         );
         let mut sched = ReservationTable::new(table);
-        for (i, (movement, earliest, dur)) in arrivals.iter().enumerate() {
+        for (i, (movement_idx, earliest, dur)) in arrivals.iter().enumerate() {
+            let movement = Movement::all()[*movement_idx];
             let earliest = TimePoint::new(*earliest);
             let dur = Seconds::new(*dur);
-            let slot = sched.earliest_slot(*movement, earliest, dur);
-            prop_assert!(slot >= earliest);
+            let slot = sched.earliest_slot(movement, earliest, dur);
+            ck_assert!(slot >= earliest);
             #[allow(clippy::cast_possible_truncation)]
             sched
                 .insert(Reservation {
                     vehicle: VehicleId(i as u32),
-                    movement: *movement,
+                    movement,
                     enter: slot,
                     exit: slot + dur,
                 })
                 .expect("earliest_slot answers must insert cleanly");
-            prop_assert!(sched.is_conflict_free());
+            ck_assert!(sched.is_conflict_free());
         }
     }
 
     /// Same-movement windows strictly serialize (FIFO on one lane).
-    #[test]
     fn same_lane_windows_never_overlap(
-        times in prop::collection::vec((0.0f64..20.0, 0.5f64..2.0), 2..30)
+        times in vec((0.0f64..20.0, 0.5f64..2.0), 2..30),
     ) {
         let table = ConflictTable::compute(
             &IntersectionGeometry::scale_model(),
@@ -76,18 +70,14 @@ proptest! {
         }
         windows.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
         for w in windows.windows(2) {
-            prop_assert!(w[0].1 <= w[1].0 + 1e-12, "windows {w:?} overlap");
+            ck_assert!(w[0].1 <= w[1].0 + 1e-12, "windows {w:?} overlap");
         }
     }
 
     /// Tile reservations are atomic: a failed multi-tile request leaves no
     /// residue, a successful one is fully queryable.
-    #[test]
     fn tile_reservation_atomicity(
-        reqs in prop::collection::vec(
-            (0usize..16, 0.0f64..10.0, 0.1f64..2.0),
-            1..40,
-        )
+        reqs in vec((0usize..16, 0.0f64..10.0, 0.1f64..2.0), 1..40),
     ) {
         let mut sched = TileSchedule::new(TileGrid::new(Meters::new(1.2), 4));
         for (i, (tile, from, len)) in reqs.iter().enumerate() {
@@ -108,9 +98,9 @@ proptest! {
             let ok = sched.try_reserve(VehicleId(i as u32), &iv);
             let after = sched.reserved_intervals();
             if ok {
-                prop_assert_eq!(after, before + 2);
+                ck_assert_eq!(after, before + 2);
             } else {
-                prop_assert_eq!(after, before);
+                ck_assert_eq!(after, before);
             }
         }
     }

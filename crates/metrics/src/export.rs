@@ -1,0 +1,178 @@
+//! Hand-rolled JSON and CSV writers for metrics records.
+//!
+//! The workspace builds hermetically with no registry crates, so instead
+//! of `serde` derives these functions emit the two formats directly. The
+//! output is **deterministic**: field order is fixed, floats are printed
+//! with Rust's shortest-roundtrip `Display` (the same bytes for the same
+//! bits on every platform), and no timestamps or map iteration orders are
+//! involved. Two same-seed runs therefore serialise byte-identically,
+//! which the determinism test in `tests/` relies on.
+
+use crate::record::{Counters, RunMetrics, VehicleRecord};
+
+/// Formats an `f64` deterministically for both JSON and CSV.
+///
+/// Uses the shortest representation that round-trips (`Display`), except
+/// that non-finite values — which JSON cannot represent as numbers — are
+/// emitted as quoted strings in JSON contexts, so callers must not feed
+/// them here. Debug-asserts finiteness.
+fn fmt_f64(v: f64) -> String {
+    debug_assert!(v.is_finite(), "non-finite value {v} in metrics export");
+    format!("{v}")
+}
+
+/// One CSV line per vehicle, with a fixed header.
+///
+/// Columns: `vehicle,line_at,cleared_at,free_flow,wait,requests_sent,rejections`.
+/// All values are plain numbers, so no quoting/escaping is ever needed.
+#[must_use]
+pub fn records_to_csv(records: &[VehicleRecord]) -> String {
+    let mut out =
+        String::from("vehicle,line_at,cleared_at,free_flow,wait,requests_sent,rejections\n");
+    for r in records {
+        out.push_str(&format!(
+            "{},{},{},{},{},{},{}\n",
+            r.vehicle.0,
+            fmt_f64(r.line_at.value()),
+            fmt_f64(r.cleared_at.value()),
+            fmt_f64(r.free_flow.value()),
+            fmt_f64(r.wait().value()),
+            r.requests_sent,
+            r.rejections,
+        ));
+    }
+    out
+}
+
+/// A JSON array of per-vehicle objects with fixed key order.
+#[must_use]
+pub fn records_to_json(records: &[VehicleRecord]) -> String {
+    let mut out = String::from("[");
+    for (i, r) in records.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"vehicle\":{},\"line_at\":{},\"cleared_at\":{},\"free_flow\":{},\"wait\":{},\"requests_sent\":{},\"rejections\":{}}}",
+            r.vehicle.0,
+            fmt_f64(r.line_at.value()),
+            fmt_f64(r.cleared_at.value()),
+            fmt_f64(r.free_flow.value()),
+            fmt_f64(r.wait().value()),
+            r.requests_sent,
+            r.rejections,
+        ));
+    }
+    out.push(']');
+    out
+}
+
+/// Load counters as a JSON object with fixed key order.
+#[must_use]
+pub fn counters_to_json(c: &Counters) -> String {
+    format!(
+        "{{\"im_ops\":{},\"im_requests\":{},\"messages\":{},\"messages_lost\":{},\"im_busy\":{}}}",
+        c.im_ops,
+        c.im_requests,
+        c.messages,
+        c.messages_lost,
+        fmt_f64(c.im_busy.value()),
+    )
+}
+
+/// A whole run — aggregates, counters, and every record — as one JSON
+/// object. This is the canonical serialisation the determinism test
+/// compares byte-for-byte across same-seed runs.
+#[must_use]
+pub fn run_to_json(m: &RunMetrics) -> String {
+    // `throughput()` is +inf for free-flowing runs; JSON has no literal
+    // for it, so clamp to a sentinel the reader can recognise.
+    let throughput = m.throughput();
+    let throughput_str = if throughput.is_finite() {
+        fmt_f64(throughput)
+    } else {
+        String::from("null")
+    };
+    format!(
+        "{{\"completed\":{},\"average_wait\":{},\"throughput\":{},\"flow_rate\":{},\"total_requests\":{},\"counters\":{},\"records\":{}}}",
+        m.completed(),
+        fmt_f64(m.average_wait().value()),
+        throughput_str,
+        fmt_f64(m.flow_rate()),
+        m.total_requests(),
+        counters_to_json(m.counters()),
+        records_to_json(m.records()),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crossroads_units::{Seconds, TimePoint};
+    use crossroads_vehicle::VehicleId;
+
+    fn rec(v: u32, line: f64, cleared: f64, free: f64) -> VehicleRecord {
+        VehicleRecord {
+            vehicle: VehicleId(v),
+            line_at: TimePoint::new(line),
+            cleared_at: TimePoint::new(cleared),
+            free_flow: Seconds::new(free),
+            requests_sent: 1,
+            rejections: 0,
+        }
+    }
+
+    #[test]
+    fn csv_has_header_and_one_line_per_record() {
+        let csv = records_to_csv(&[rec(1, 0.0, 3.5, 2.0), rec(2, 1.0, 6.0, 2.0)]);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(
+            lines[0],
+            "vehicle,line_at,cleared_at,free_flow,wait,requests_sent,rejections"
+        );
+        assert_eq!(lines[1], "1,0,3.5,2,1.5,1,0");
+    }
+
+    #[test]
+    fn json_is_valid_shape_and_key_order() {
+        let json = records_to_json(&[rec(7, 0.25, 3.0, 2.0)]);
+        assert_eq!(
+            json,
+            "[{\"vehicle\":7,\"line_at\":0.25,\"cleared_at\":3,\"free_flow\":2,\"wait\":0.75,\"requests_sent\":1,\"rejections\":0}]"
+        );
+    }
+
+    #[test]
+    fn empty_records_serialise_cleanly() {
+        assert_eq!(records_to_json(&[]), "[]");
+        assert_eq!(records_to_csv(&[]).lines().count(), 1);
+    }
+
+    #[test]
+    fn run_json_is_deterministic() {
+        let mut m = RunMetrics::new();
+        m.push(rec(1, 0.0, 3.0, 2.0));
+        m.push(rec(2, 1.0, 6.0, 2.0));
+        m.add_counters(&Counters {
+            im_ops: 10,
+            im_requests: 2,
+            messages: 4,
+            messages_lost: 1,
+            im_busy: Seconds::new(0.125),
+        });
+        let a = run_to_json(&m);
+        let b = run_to_json(&m);
+        assert_eq!(a, b);
+        assert!(a.starts_with("{\"completed\":2,"));
+        assert!(a.contains("\"im_busy\":0.125"));
+    }
+
+    #[test]
+    fn infinite_throughput_maps_to_null() {
+        let mut m = RunMetrics::new();
+        m.push(rec(1, 0.0, 2.0, 2.0)); // zero wait -> infinite throughput
+        let json = run_to_json(&m);
+        assert!(json.contains("\"throughput\":null"), "{json}");
+    }
+}

@@ -16,8 +16,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod export;
 mod record;
 mod stats;
 
+pub use export::{counters_to_json, records_to_csv, records_to_json, run_to_json};
 pub use record::{Counters, RunMetrics, VehicleRecord};
 pub use stats::{Percentiles, Summary};

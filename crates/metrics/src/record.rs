@@ -6,7 +6,7 @@ use crossroads_vehicle::VehicleId;
 use crate::stats::Summary;
 
 /// One vehicle's measured life through the intersection.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct VehicleRecord {
     /// The vehicle.
     pub vehicle: VehicleId,
@@ -57,7 +57,7 @@ impl VehicleRecord {
 }
 
 /// Compute- and network-load counters for one run.
-#[derive(Debug, Clone, Copy, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct Counters {
     /// Scheduling operations the IM performed (conflict scans, trajectory
     /// simulation steps) — the platform-independent computation metric.
@@ -84,7 +84,7 @@ impl Counters {
 }
 
 /// Aggregated results of one simulation run.
-#[derive(Debug, Clone, PartialEq, Default, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct RunMetrics {
     records: Vec<VehicleRecord>,
     counters: Counters,
@@ -159,7 +159,11 @@ impl RunMetrics {
         #[allow(clippy::cast_precision_loss)]
         let n = self.records.len() as f64;
         if total_wait <= 0.0 {
-            if n == 0.0 { 0.0 } else { f64::INFINITY }
+            if n == 0.0 {
+                0.0
+            } else {
+                f64::INFINITY
+            }
         } else {
             n / total_wait
         }
@@ -194,7 +198,10 @@ impl RunMetrics {
     /// Total requests transmitted by vehicles (network-load numerator).
     #[must_use]
     pub fn total_requests(&self) -> u64 {
-        self.records.iter().map(|r| u64::from(r.requests_sent)).sum()
+        self.records
+            .iter()
+            .map(|r| u64::from(r.requests_sent))
+            .sum()
     }
 }
 
@@ -250,8 +257,20 @@ mod tests {
 
     #[test]
     fn counters_absorb() {
-        let mut a = Counters { im_ops: 1, im_requests: 2, messages: 3, messages_lost: 0, im_busy: Seconds::new(0.5) };
-        let b = Counters { im_ops: 10, im_requests: 1, messages: 7, messages_lost: 2, im_busy: Seconds::new(1.0) };
+        let mut a = Counters {
+            im_ops: 1,
+            im_requests: 2,
+            messages: 3,
+            messages_lost: 0,
+            im_busy: Seconds::new(0.5),
+        };
+        let b = Counters {
+            im_ops: 10,
+            im_requests: 1,
+            messages: 7,
+            messages_lost: 2,
+            im_busy: Seconds::new(1.0),
+        };
         a.absorb(&b);
         assert_eq!(a.im_ops, 11);
         assert_eq!(a.messages, 10);

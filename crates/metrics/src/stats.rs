@@ -1,7 +1,7 @@
 //! Small descriptive-statistics helper.
 
 /// Five-number-ish summary of a sample (mean/min/max/std/count).
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Summary {
     /// Sample size.
     pub count: usize,
@@ -31,7 +31,13 @@ impl Summary {
     pub fn of<I: IntoIterator<Item = f64>>(values: I) -> Self {
         let v: Vec<f64> = values.into_iter().collect();
         if v.is_empty() {
-            return Summary { count: 0, mean: 0.0, min: 0.0, max: 0.0, std_dev: 0.0 };
+            return Summary {
+                count: 0,
+                mean: 0.0,
+                min: 0.0,
+                max: 0.0,
+                std_dev: 0.0,
+            };
         }
         #[allow(clippy::cast_precision_loss)]
         let n = v.len() as f64;
@@ -39,12 +45,18 @@ impl Summary {
         let min = v.iter().copied().fold(f64::INFINITY, f64::min);
         let max = v.iter().copied().fold(f64::NEG_INFINITY, f64::max);
         let var = v.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
-        Summary { count: v.len(), mean, min, max, std_dev: var.sqrt() }
+        Summary {
+            count: v.len(),
+            mean,
+            min,
+            max,
+            std_dev: var.sqrt(),
+        }
     }
 }
 
 /// Percentile report over a sample.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Percentiles {
     /// Median.
     pub p50: f64,
@@ -63,15 +75,29 @@ impl Percentiles {
     pub fn of<I: IntoIterator<Item = f64>>(values: I) -> Self {
         let mut v: Vec<f64> = values.into_iter().collect();
         if v.is_empty() {
-            return Percentiles { p50: 0.0, p90: 0.0, p95: 0.0, p99: 0.0 };
+            return Percentiles {
+                p50: 0.0,
+                p90: 0.0,
+                p95: 0.0,
+                p99: 0.0,
+            };
         }
         v.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
         let pick = |q: f64| {
-            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss, clippy::cast_precision_loss)]
+            #[allow(
+                clippy::cast_possible_truncation,
+                clippy::cast_sign_loss,
+                clippy::cast_precision_loss
+            )]
             let idx = ((q * v.len() as f64).ceil() as usize).clamp(1, v.len()) - 1;
             v[idx]
         };
-        Percentiles { p50: pick(0.50), p90: pick(0.90), p95: pick(0.95), p99: pick(0.99) }
+        Percentiles {
+            p50: pick(0.50),
+            p90: pick(0.90),
+            p95: pick(0.95),
+            p99: pick(0.99),
+        }
     }
 }
 

@@ -7,13 +7,13 @@
 //! the traffic counters — the basis of the Ch. 7.2 network-overhead
 //! comparison — live in one place.
 
+use crossroads_prng::Rng;
 use crossroads_units::Seconds;
-use rand::Rng;
 
 use crate::delay::NetworkDelayModel;
 
 /// Channel parameters.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ChannelConfig {
     /// One-way latency model.
     pub latency: NetworkDelayModel,
@@ -26,18 +26,24 @@ impl ChannelConfig {
     /// The testbed link: 1–7.5 ms latency, 1 % frame loss.
     #[must_use]
     pub fn scale_model() -> Self {
-        ChannelConfig { latency: NetworkDelayModel::scale_model(), loss_probability: 0.01 }
+        ChannelConfig {
+            latency: NetworkDelayModel::scale_model(),
+            loss_probability: 0.01,
+        }
     }
 
     /// A perfect, instantaneous link for unit tests.
     #[must_use]
     pub fn ideal() -> Self {
-        ChannelConfig { latency: NetworkDelayModel::instant(), loss_probability: 0.0 }
+        ChannelConfig {
+            latency: NetworkDelayModel::instant(),
+            loss_probability: 0.0,
+        }
     }
 }
 
 /// Traffic counters, split by direction.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ChannelStats {
     /// Frames handed to the channel, vehicle → IM.
     pub uplink_sent: u64,
@@ -79,7 +85,10 @@ impl Channel {
     /// Creates a channel with the given configuration.
     #[must_use]
     pub fn new(config: ChannelConfig) -> Self {
-        Channel { config, stats: ChannelStats::default() }
+        Channel {
+            config,
+            stats: ChannelStats::default(),
+        }
     }
 
     /// The configuration in use.
@@ -108,20 +117,24 @@ impl Channel {
 
     fn transmit<R: Rng + ?Sized>(&mut self, rng: &mut R) -> SendOutcome {
         let p = self.config.loss_probability;
-        assert!((0.0..=1.0).contains(&p), "loss probability must be in [0, 1], got {p}");
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "loss probability must be in [0, 1], got {p}"
+        );
         if p > 0.0 && rng.gen_bool(p) {
             self.stats.lost += 1;
             return SendOutcome::Lost;
         }
-        SendOutcome::Delivered { latency: self.config.latency.sample(rng) }
+        SendOutcome::Delivered {
+            latency: self.config.latency.sample(rng),
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
-    use rand::rngs::StdRng;
+    use crossroads_prng::{SeedableRng, StdRng};
 
     #[test]
     fn ideal_channel_never_loses_and_is_instant() {
@@ -151,7 +164,10 @@ mod tests {
 
     #[test]
     fn loss_rate_is_plausible() {
-        let mut ch = Channel::new(ChannelConfig { loss_probability: 0.2, ..ChannelConfig::ideal() });
+        let mut ch = Channel::new(ChannelConfig {
+            loss_probability: 0.2,
+            ..ChannelConfig::ideal()
+        });
         let mut rng = StdRng::seed_from_u64(2);
         for _ in 0..10_000 {
             let _ = ch.send_uplink(&mut rng);
@@ -179,7 +195,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "loss probability")]
     fn invalid_loss_probability_panics() {
-        let mut ch = Channel::new(ChannelConfig { loss_probability: 1.5, ..ChannelConfig::ideal() });
+        let mut ch = Channel::new(ChannelConfig {
+            loss_probability: 1.5,
+            ..ChannelConfig::ideal()
+        });
         let mut rng = StdRng::seed_from_u64(0);
         let _ = ch.send_uplink(&mut rng);
     }

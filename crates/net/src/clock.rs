@@ -7,8 +7,8 @@
 //! at 1 ms on the testbed ([`crate::delay::RtdBudget`] consumers only ever
 //! see this bound).
 
+use crossroads_prng::Rng;
 use crossroads_units::{Seconds, TimePoint};
-use rand::Rng;
 
 use crate::delay::NetworkDelayModel;
 
@@ -29,7 +29,7 @@ use crate::delay::NetworkDelayModel;
 /// // 10 s + 40 ms offset + 50 ppm × 10 s = 10.0405 s
 /// assert!((local.value() - 10.0405).abs() < 1e-9);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LocalClock {
     offset: Seconds,
     drift_ppm: f64,
@@ -40,7 +40,11 @@ impl LocalClock {
     /// A clock with the given initial offset and drift (parts per million).
     #[must_use]
     pub fn new(offset: Seconds, drift_ppm: f64) -> Self {
-        LocalClock { offset, drift_ppm, epoch: TimePoint::ZERO }
+        LocalClock {
+            offset,
+            drift_ppm,
+            epoch: TimePoint::ZERO,
+        }
     }
 
     /// A perfectly synchronized, drift-free clock.
@@ -169,7 +173,7 @@ pub fn testbed_sync<R: Rng + ?Sized>(
     start: TimePoint,
     rng: &mut R,
 ) -> SyncOutcome {
-    use rand::distributions::{Distribution, Uniform};
+    use crossroads_prng::{Distribution, Uniform};
     // 1 ms floor + up to 6.5 ms shared channel occupancy (common mode).
     let common = Seconds::new(Uniform::new_inclusive(0.0, 6.5e-3).sample(rng));
     let jitter = Uniform::new_inclusive(-0.5e-3, 0.5e-3);
@@ -192,8 +196,7 @@ pub fn testbed_sync<R: Rng + ?Sized>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
-    use rand::rngs::StdRng;
+    use crossroads_prng::{SeedableRng, StdRng};
 
     #[test]
     fn perfect_clock_reads_true_time() {
@@ -214,7 +217,10 @@ mod tests {
     fn symmetric_link_sync_is_exact() {
         // With equal up/down delays the two-way estimate is error-free.
         let c = LocalClock::new(Seconds::from_millis(37.0), 0.0);
-        let link = NetworkDelayModel { min: Seconds::from_millis(5.0), max: Seconds::from_millis(5.0) };
+        let link = NetworkDelayModel {
+            min: Seconds::from_millis(5.0),
+            max: Seconds::from_millis(5.0),
+        };
         let mut rng = StdRng::seed_from_u64(0);
         let out = two_way_sync(&c, &link, TimePoint::new(1.0), &mut rng);
         assert!(out.residual().abs() < Seconds::new(1e-12));
@@ -272,7 +278,10 @@ mod tests {
             worst <= Seconds::from_millis(1.0),
             "worst residual {worst} exceeds the testbed's 1 ms NTP bound"
         );
-        assert!(worst > Seconds::ZERO, "sync residual should be nonzero under jitter");
+        assert!(
+            worst > Seconds::ZERO,
+            "sync residual should be nonzero under jitter"
+        );
     }
 
     #[test]

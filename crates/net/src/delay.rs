@@ -1,16 +1,15 @@
 //! Delay models: network latency, IM computation time, and the WC-RTD
 //! budget.
 
+use crossroads_prng::{Distribution, Rng, Uniform};
 use crossroads_units::Seconds;
-use rand::Rng;
-use rand::distributions::{Distribution, Uniform};
 
 /// One-way network latency model: uniform in `[min, max]`.
 ///
 /// The worst measured one-way latency on the paper's 2.4 GHz link was
 /// 7.5 ms (15 ms round trip); [`NetworkDelayModel::scale_model`] captures
 /// that envelope.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct NetworkDelayModel {
     /// Fastest observed delivery.
     pub min: Seconds,
@@ -22,13 +21,19 @@ impl NetworkDelayModel {
     /// The testbed's radio link: 1–7.5 ms one way (15 ms worst round trip).
     #[must_use]
     pub fn scale_model() -> Self {
-        NetworkDelayModel { min: Seconds::from_millis(1.0), max: Seconds::from_millis(7.5) }
+        NetworkDelayModel {
+            min: Seconds::from_millis(1.0),
+            max: Seconds::from_millis(7.5),
+        }
     }
 
     /// A zero-latency link for unit tests.
     #[must_use]
     pub fn instant() -> Self {
-        NetworkDelayModel { min: Seconds::ZERO, max: Seconds::ZERO }
+        NetworkDelayModel {
+            min: Seconds::ZERO,
+            max: Seconds::ZERO,
+        }
     }
 
     /// Samples a one-way delivery latency.
@@ -62,7 +67,7 @@ impl NetworkDelayModel {
 /// The paper's worst case — four vehicles arriving simultaneously — took
 /// 135 ms; computation time is "longest when many vehicle requests are in
 /// the queue", which this affine model captures.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ComputationDelayModel {
     /// Cost of scheduling with an empty queue.
     pub base: Seconds,
@@ -141,7 +146,7 @@ impl ComputationDelayModel {
 /// let b = RtdBudget::scale_model();
 /// assert!((b.wc_rtd().as_millis() - 150.0).abs() < 1e-9);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RtdBudget {
     /// Worst-case *round-trip* network delay (both directions).
     pub wc_network: Seconds,
@@ -169,7 +174,10 @@ impl RtdBudget {
     /// the command may land anywhere within `v_max · WC-RTD` of the
     /// intended actuation point (Ch. 4).
     #[must_use]
-    pub fn position_buffer(&self, v_max: crossroads_units::MetersPerSecond) -> crossroads_units::Meters {
+    pub fn position_buffer(
+        &self,
+        v_max: crossroads_units::MetersPerSecond,
+    ) -> crossroads_units::Meters {
         v_max * self.wc_rtd()
     }
 
@@ -184,9 +192,8 @@ impl RtdBudget {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crossroads_prng::{SeedableRng, StdRng};
     use crossroads_units::MetersPerSecond;
-    use rand::SeedableRng;
-    use rand::rngs::StdRng;
 
     #[test]
     fn network_samples_within_bounds() {
@@ -207,7 +214,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "invalid network delay bounds")]
     fn inverted_bounds_panic() {
-        let m = NetworkDelayModel { min: Seconds::from_millis(5.0), max: Seconds::from_millis(1.0) };
+        let m = NetworkDelayModel {
+            min: Seconds::from_millis(5.0),
+            max: Seconds::from_millis(1.0),
+        };
         let mut rng = StdRng::seed_from_u64(0);
         let _ = m.sample(&mut rng);
     }

@@ -26,5 +26,5 @@ pub mod clock;
 pub mod delay;
 
 pub use channel::{Channel, ChannelConfig, ChannelStats, SendOutcome};
-pub use clock::{LocalClock, SyncOutcome, best_of_sync, testbed_sync, two_way_sync};
+pub use clock::{best_of_sync, testbed_sync, two_way_sync, LocalClock, SyncOutcome};
 pub use delay::{ComputationDelayModel, NetworkDelayModel, RtdBudget};

@@ -1,16 +1,16 @@
 //! Property tests for the networking substrate.
 
+use crossroads_check::{ck_assert, ck_assert_eq, forall};
 use crossroads_net::clock::testbed_sync;
-use crossroads_net::{Channel, ChannelConfig, LocalClock, NetworkDelayModel, SendOutcome, two_way_sync};
+use crossroads_net::{
+    two_way_sync, Channel, ChannelConfig, LocalClock, NetworkDelayModel, SendOutcome,
+};
+use crossroads_prng::{SeedableRng, StdRng};
 use crossroads_units::{Seconds, TimePoint};
-use proptest::prelude::*;
-use rand::SeedableRng;
-use rand::rngs::StdRng;
 
-proptest! {
+forall! {
     /// Whatever the clock offset and drift, a testbed sync exchange leaves
     /// the residual within the paper's 1 ms bound.
-    #[test]
     fn testbed_sync_residual_bounded(
         offset_ms in -500.0f64..500.0,
         drift_ppm in -200.0f64..200.0,
@@ -20,16 +20,15 @@ proptest! {
         let clock = LocalClock::new(Seconds::from_millis(offset_ms), drift_ppm);
         let mut rng = StdRng::seed_from_u64(seed);
         let out = testbed_sync(&clock, TimePoint::new(start), &mut rng);
-        prop_assert!(out.residual().abs() <= Seconds::from_millis(1.0),
+        ck_assert!(out.residual().abs() <= Seconds::from_millis(1.0),
             "residual {} for offset {offset_ms} ms, drift {drift_ppm} ppm", out.residual());
         // Correcting by the estimate cancels the offset at the exchange time.
         let corrected = clock.corrected(out.estimated_offset);
-        prop_assert!(corrected.error_at(TimePoint::new(start)).abs() <= Seconds::from_millis(2.0));
+        ck_assert!(corrected.error_at(TimePoint::new(start)).abs() <= Seconds::from_millis(2.0));
     }
 
     /// Two-way sync over an arbitrary (independent-delay) link is bounded
     /// by half the link's asymmetry spread.
-    #[test]
     fn two_way_residual_bounded_by_half_spread(
         offset_ms in -500.0f64..500.0,
         min_ms in 0.0f64..10.0,
@@ -43,14 +42,13 @@ proptest! {
         };
         let mut rng = StdRng::seed_from_u64(seed);
         let out = two_way_sync(&clock, &link, TimePoint::new(1.0), &mut rng);
-        prop_assert!(
+        ck_assert!(
             out.residual().abs() <= Seconds::from_millis(spread_ms / 2.0) + Seconds::new(1e-12)
         );
     }
 
     /// Channel accounting is exact: sent = delivered + lost, and loss
     /// probability zero or one behaves degenerately.
-    #[test]
     fn channel_accounting_is_exact(loss in 0.0f64..1.0, n in 1u32..500, seed in 0u64..100) {
         let mut ch = Channel::new(ChannelConfig {
             latency: NetworkDelayModel::scale_model(),
@@ -69,7 +67,7 @@ proptest! {
             }
         }
         let s = ch.stats();
-        prop_assert_eq!(s.total_sent(), u64::from(n));
-        prop_assert_eq!(s.total_sent() - s.lost, delivered);
+        ck_assert_eq!(s.total_sent(), u64::from(n));
+        ck_assert_eq!(s.total_sent() - s.lost, delivered);
     }
 }

@@ -1,0 +1,223 @@
+//! Distribution objects, for call sites that pass a distribution around
+//! rather than sampling inline (`Uniform::new_inclusive(a, b).sample(rng)`).
+
+use crate::rng::Rng;
+
+/// A sampleable distribution over `T`.
+pub trait Distribution<T> {
+    /// Draws one sample.
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Uniform distribution over an `f64` interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Uniform {
+    lo: f64,
+    hi: f64,
+    inclusive: bool,
+}
+
+impl Uniform {
+    /// Uniform over `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the interval is empty or non-finite.
+    #[must_use]
+    pub fn new(lo: f64, hi: f64) -> Self {
+        assert!(
+            lo.is_finite() && hi.is_finite() && lo < hi,
+            "empty or non-finite uniform interval [{lo}, {hi})"
+        );
+        Uniform {
+            lo,
+            hi,
+            inclusive: false,
+        }
+    }
+
+    /// Uniform over `[lo, hi]` (degenerate `lo == hi` allowed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi` or either bound is non-finite.
+    #[must_use]
+    pub fn new_inclusive(lo: f64, hi: f64) -> Self {
+        assert!(
+            lo.is_finite() && hi.is_finite() && lo <= hi,
+            "empty or non-finite uniform interval [{lo}, {hi}]"
+        );
+        Uniform {
+            lo,
+            hi,
+            inclusive: true,
+        }
+    }
+}
+
+impl Distribution<f64> for Uniform {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        if self.inclusive {
+            self.lo + rng.next_f64_inclusive() * (self.hi - self.lo)
+        } else {
+            let v = self.lo + rng.next_f64() * (self.hi - self.lo);
+            if v >= self.hi {
+                self.lo
+            } else {
+                v
+            }
+        }
+    }
+}
+
+/// Bernoulli distribution: `true` with probability `p`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Bernoulli {
+    p: f64,
+}
+
+impl Bernoulli {
+    /// A Bernoulli draw with success probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 ≤ p ≤ 1`.
+    #[must_use]
+    pub fn new(p: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "Bernoulli probability {p} outside [0, 1]"
+        );
+        Bernoulli { p }
+    }
+}
+
+impl Distribution<bool> for Bernoulli {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> bool {
+        rng.gen_bool(self.p)
+    }
+}
+
+/// Exponential distribution with rate `lambda` (mean `1/lambda`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Exp {
+    lambda: f64,
+}
+
+impl Exp {
+    /// An exponential with the given rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `lambda` is finite and positive.
+    #[must_use]
+    pub fn new(lambda: f64) -> Self {
+        assert!(
+            lambda.is_finite() && lambda > 0.0,
+            "exponential rate must be finite and positive, got {lambda}"
+        );
+        Exp { lambda }
+    }
+}
+
+impl Distribution<f64> for Exp {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        rng.gen_exp(self.lambda)
+    }
+}
+
+/// Normal (Gaussian) distribution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal {
+    mean: f64,
+    std_dev: f64,
+}
+
+impl Normal {
+    /// A normal with the given mean and standard deviation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `std_dev` is negative or either parameter is non-finite.
+    #[must_use]
+    pub fn new(mean: f64, std_dev: f64) -> Self {
+        assert!(
+            mean.is_finite() && std_dev.is_finite() && std_dev >= 0.0,
+            "invalid normal parameters ({mean}, {std_dev})"
+        );
+        Normal { mean, std_dev }
+    }
+}
+
+impl Distribution<f64> for Normal {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        rng.gen_gaussian(self.mean, self.std_dev)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{SeedableRng, StdRng};
+
+    #[test]
+    fn uniform_exclusive_and_inclusive_bounds() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let half = Uniform::new(1.0, 7.5);
+        let full = Uniform::new_inclusive(-0.5, 0.5);
+        for _ in 0..50_000 {
+            let a = half.sample(&mut rng);
+            assert!((1.0..7.5).contains(&a));
+            let b = full.sample(&mut rng);
+            assert!((-0.5..=0.5).contains(&b));
+        }
+    }
+
+    #[test]
+    fn degenerate_inclusive_uniform_is_constant() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let d = Uniform::new_inclusive(3.25, 3.25);
+        for _ in 0..100 {
+            assert_eq!(d.sample(&mut rng), 3.25);
+        }
+    }
+
+    #[test]
+    fn uniform_mean_is_centered() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let d = Uniform::new(-1.0, 3.0);
+        let n = 100_000;
+        let mean = (0..n).map(|_| d.sample(&mut rng)).sum::<f64>() / f64::from(n);
+        assert!((mean - 1.0).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn bernoulli_rate() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let d = Bernoulli::new(0.01);
+        let hits = (0..200_000).filter(|_| d.sample(&mut rng)).count();
+        #[allow(clippy::cast_precision_loss)]
+        let rate = hits as f64 / 200_000.0;
+        assert!((rate - 0.01).abs() < 0.003, "observed {rate}");
+    }
+
+    #[test]
+    fn exp_and_normal_are_deterministic() {
+        let draw = |seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let e = Exp::new(0.5);
+            let g = Normal::new(0.0, 1.0);
+            (0..8)
+                .map(|_| (e.sample(&mut rng), g.sample(&mut rng)))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(draw(11), draw(11));
+        assert_ne!(draw(11), draw(12));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty or non-finite uniform interval")]
+    fn inverted_uniform_panics() {
+        let _ = Uniform::new(2.0, 1.0);
+    }
+}

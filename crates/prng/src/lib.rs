@@ -1,0 +1,49 @@
+//! Deterministic, dependency-free randomness for the Crossroads workspace.
+//!
+//! The build is hermetic by policy — no registry crates — so the workspace
+//! carries its own generator instead of `rand`:
+//!
+//! * [`Xoshiro256PlusPlus`] (aliased as [`StdRng`], the workspace-standard
+//!   generator): xoshiro256++ state seeded through SplitMix64, the
+//!   textbook pairing recommended by the xoshiro authors. 64-bit output,
+//!   256-bit state, passes BigCrush, and is trivially reproducible from a
+//!   single `u64` seed.
+//! * A [`Rng`] trait mirroring the call surface the repo already used
+//!   (`gen_range`, `gen_bool`), so simulation code stays generic over the
+//!   generator.
+//! * The distribution surface the simulators need: uniform ranges
+//!   ([`Uniform`]), [`Bernoulli`] frame loss, [`Exp`]onential Poisson
+//!   inter-arrival gaps, and [`Normal`] (Gaussian) noise.
+//! * Explicit *stream splitting* ([`Xoshiro256PlusPlus::stream`]): child
+//!   generators are derived from the root **seed** plus a stream id, not
+//!   from the mutable state, so per-vehicle streams are stable no matter
+//!   in which order vehicles are spawned or how much randomness anyone
+//!   else consumed first.
+//!
+//! Everything here is pure integer/float arithmetic: two runs with the
+//! same seed produce bit-identical sequences on every platform.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod distributions_impl;
+mod rng;
+mod xoshiro;
+
+pub use distributions_impl::{Bernoulli, Distribution, Exp, Normal, Uniform};
+pub use rng::{Rng, SampleRange, SeedableRng};
+pub use xoshiro::{SplitMix64, Xoshiro256PlusPlus};
+
+/// The workspace-standard generator (what `rand::rngs::StdRng` used to be).
+pub type StdRng = Xoshiro256PlusPlus;
+
+/// Compatibility module so `use crossroads_prng::rngs::StdRng` reads like
+/// the `rand` path it replaced.
+pub mod rngs {
+    pub use crate::StdRng;
+}
+
+/// Compatibility module mirroring `rand::distributions`.
+pub mod distributions {
+    pub use crate::distributions_impl::{Bernoulli, Distribution, Exp, Normal, Uniform};
+}

@@ -1,0 +1,274 @@
+//! The [`Rng`] trait: the generic call surface simulation code programs
+//! against, mirroring the subset of `rand`'s API the workspace uses.
+
+use crate::xoshiro::Xoshiro256PlusPlus;
+
+/// A source of randomness with the convenience surface the simulators use.
+///
+/// Code takes `R: Rng + ?Sized` exactly as it did with `rand`, so any
+/// future generator only needs to supply [`next_u64`](Rng::next_u64).
+pub trait Rng {
+    /// The next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// A uniform `f64` in `[0, 1)` with 53 bits of precision.
+    fn next_f64(&mut self) -> f64 {
+        // 53 high bits / 2^53 — the standard double-precision mapping.
+        #[allow(clippy::cast_precision_loss)]
+        let v = (self.next_u64() >> 11) as f64;
+        v / (1u64 << 53) as f64
+    }
+
+    /// A uniform `f64` in `[0, 1]` (both endpoints reachable).
+    fn next_f64_inclusive(&mut self) -> f64 {
+        #[allow(clippy::cast_precision_loss)]
+        let v = (self.next_u64() >> 11) as f64;
+        v / ((1u64 << 53) - 1) as f64
+    }
+
+    /// A uniform sample from `range` (`a..b` for floats and integers).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty range.
+    fn gen_range<T, Rg: SampleRange<T>>(&mut self, range: Rg) -> T {
+        range.sample_from(self)
+    }
+
+    /// A Bernoulli draw: `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 ≤ p ≤ 1`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "gen_bool probability {p} outside [0, 1]"
+        );
+        self.next_f64() < p
+    }
+
+    /// An exponential draw with rate `lambda` (mean `1/lambda`) via
+    /// inversion. Poisson processes draw their inter-arrival gaps here.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `lambda` is finite and positive.
+    fn gen_exp(&mut self, lambda: f64) -> f64 {
+        assert!(
+            lambda.is_finite() && lambda > 0.0,
+            "exponential rate must be finite and positive, got {lambda}"
+        );
+        // 1 - U in (0, 1] keeps ln() finite.
+        -(1.0 - self.next_f64()).ln() / lambda
+    }
+
+    /// A Gaussian draw with the given mean and standard deviation
+    /// (Box–Muller; one fresh pair per call so the draw count per sample
+    /// is fixed and replayable).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `std_dev` is negative or either parameter is non-finite.
+    fn gen_gaussian(&mut self, mean: f64, std_dev: f64) -> f64 {
+        assert!(
+            mean.is_finite() && std_dev.is_finite() && std_dev >= 0.0,
+            "invalid Gaussian parameters ({mean}, {std_dev})"
+        );
+        let u1 = 1.0 - self.next_f64(); // (0, 1]
+        let u2 = self.next_f64();
+        let r = (-2.0 * u1.ln()).sqrt();
+        mean + std_dev * r * (std::f64::consts::TAU * u2).cos()
+    }
+}
+
+impl Rng for Xoshiro256PlusPlus {
+    fn next_u64(&mut self) -> u64 {
+        Xoshiro256PlusPlus::next_u64(self)
+    }
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// A generator constructible from a `u64` seed.
+pub trait SeedableRng: Sized {
+    /// Builds the generator from a single seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+impl SeedableRng for Xoshiro256PlusPlus {
+    fn seed_from_u64(seed: u64) -> Self {
+        Xoshiro256PlusPlus::from_seed(seed)
+    }
+}
+
+/// Ranges [`Rng::gen_range`] can sample from.
+pub trait SampleRange<T> {
+    /// Draws a uniform sample from `self`.
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl SampleRange<f64> for std::ops::Range<f64> {
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(
+            self.start.is_finite() && self.end.is_finite() && self.start < self.end,
+            "empty or non-finite f64 range {:?}",
+            self
+        );
+        let v = self.start + rng.next_f64() * (self.end - self.start);
+        // Floating rounding can land exactly on `end`; clamp back inside.
+        if v >= self.end {
+            self.start
+        } else {
+            v
+        }
+    }
+}
+
+impl SampleRange<f64> for std::ops::RangeInclusive<f64> {
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> f64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(
+            lo.is_finite() && hi.is_finite() && lo <= hi,
+            "empty or non-finite inclusive f64 range [{lo}, {hi}]"
+        );
+        lo + rng.next_f64_inclusive() * (hi - lo)
+    }
+}
+
+macro_rules! impl_int_sample_range {
+    ($($t:ty),+) => {$(
+        impl SampleRange<$t> for std::ops::Range<$t> {
+            fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty integer range {:?}", self);
+                // Widen to u64 span; rejection-free Lemire-style reduction
+                // would be overkill here — a 128-bit multiply-shift keeps
+                // the modulo bias far below anything a simulation can see
+                // and stays branch-free and deterministic.
+                let span = (self.end as i128 - self.start as i128) as u64;
+                let x = rng.next_u64();
+                #[allow(clippy::cast_possible_truncation)]
+                let off = ((u128::from(x) * u128::from(span)) >> 64) as u64;
+                #[allow(clippy::cast_possible_truncation, clippy::cast_possible_wrap)]
+                { (self.start as i128 + i128::from(off)) as $t }
+            }
+        }
+        impl SampleRange<$t> for std::ops::RangeInclusive<$t> {
+            fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty inclusive integer range [{lo}, {hi}]");
+                let span = (hi as i128 - lo as i128 + 1) as u64; // 0 means full u64 span
+                let x = rng.next_u64();
+                if span == 0 {
+                    #[allow(clippy::cast_possible_truncation, clippy::cast_possible_wrap)]
+                    return x as $t;
+                }
+                #[allow(clippy::cast_possible_truncation)]
+                let off = ((u128::from(x) * u128::from(span)) >> 64) as u64;
+                #[allow(clippy::cast_possible_truncation, clippy::cast_possible_wrap)]
+                { (lo as i128 + i128::from(off)) as $t }
+            }
+        }
+    )+};
+}
+
+impl_int_sample_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::StdRng;
+
+    #[test]
+    fn f64_range_stays_inside() {
+        let mut rng = StdRng::seed_from_u64(0);
+        for _ in 0..100_000 {
+            let v = rng.gen_range(-200.0..200.0);
+            assert!((-200.0..200.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn int_range_covers_every_value() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut seen = [false; 10];
+        for _ in 0..10_000 {
+            seen[rng.gen_range(0usize..10)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "some bucket never drawn: {seen:?}");
+    }
+
+    #[test]
+    fn int_range_is_roughly_uniform() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut counts = [0u32; 4];
+        for _ in 0..40_000 {
+            counts[rng.gen_range(0usize..4)] += 1;
+        }
+        for &c in &counts {
+            assert!((8_000..12_000).contains(&c), "skewed counts {counts:?}");
+        }
+    }
+
+    #[test]
+    fn gen_bool_matches_probability() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let hits = (0..100_000).filter(|_| rng.gen_bool(0.2)).count();
+        #[allow(clippy::cast_precision_loss)]
+        let rate = hits as f64 / 100_000.0;
+        assert!((rate - 0.2).abs() < 0.01, "observed {rate}");
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+    }
+
+    #[test]
+    fn exponential_mean_matches_rate() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let lambda = 2.5;
+        let n = 200_000;
+        let sum: f64 = (0..n).map(|_| rng.gen_exp(lambda)).sum();
+        let mean = sum / f64::from(n);
+        assert!((mean - 1.0 / lambda).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn gaussian_moments_match() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let n = 200_000;
+        let draws: Vec<f64> = (0..n).map(|_| rng.gen_gaussian(3.0, 2.0)).collect();
+        let mean = draws.iter().sum::<f64>() / f64::from(n);
+        let var = draws.iter().map(|d| (d - mean) * (d - mean)).sum::<f64>() / f64::from(n);
+        assert!((mean - 3.0).abs() < 0.05, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.1, "variance {var}");
+    }
+
+    #[test]
+    fn unsized_rng_is_usable() {
+        // The `R: Rng + ?Sized` pattern all simulation code relies on.
+        fn draw<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+            rng.gen_range(0.0..1.0)
+        }
+        let mut rng = StdRng::seed_from_u64(6);
+        let dyn_ref: &mut StdRng = &mut rng;
+        let v = draw(dyn_ref);
+        assert!((0.0..1.0).contains(&v));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty integer range")]
+    fn empty_range_panics() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = rng.gen_range(5..5);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 1]")]
+    fn bad_probability_panics() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = rng.gen_bool(1.5);
+    }
+}

@@ -26,12 +26,12 @@ use crossroads_intersection::Movement;
 use crossroads_units::{MetersPerSecond, TimePoint};
 use crossroads_vehicle::VehicleId;
 
-pub use poisson::{PoissonConfig, generate_poisson};
-pub use rush_hour::{RateProfile, generate_rush_hour};
-pub use scenario::{ScenarioId, scale_model_scenario};
+pub use poisson::{generate_poisson, PoissonConfig};
+pub use rush_hour::{generate_rush_hour, RateProfile};
+pub use scenario::{scale_model_scenario, ScenarioId};
 
 /// One vehicle's appearance at the transmission line.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Arrival {
     /// Identifier (unique within a workload).
     pub vehicle: VehicleId,
@@ -115,18 +115,24 @@ mod tests {
     #[test]
     fn duplicate_ids_rejected() {
         let w = [arr(1, 0.0, Approach::North), arr(1, 1.0, Approach::South)];
-        assert!(validate_workload(&w, Seconds::ZERO).unwrap_err().contains("duplicate"));
+        assert!(validate_workload(&w, Seconds::ZERO)
+            .unwrap_err()
+            .contains("duplicate"));
     }
 
     #[test]
     fn unsorted_rejected() {
         let w = [arr(1, 2.0, Approach::North), arr(2, 1.0, Approach::South)];
-        assert!(validate_workload(&w, Seconds::ZERO).unwrap_err().contains("sorted"));
+        assert!(validate_workload(&w, Seconds::ZERO)
+            .unwrap_err()
+            .contains("sorted"));
     }
 
     #[test]
     fn headway_violation_rejected() {
         let w = [arr(1, 0.0, Approach::North), arr(2, 0.3, Approach::North)];
-        assert!(validate_workload(&w, Seconds::new(1.0)).unwrap_err().contains("headway"));
+        assert!(validate_workload(&w, Seconds::new(1.0))
+            .unwrap_err()
+            .contains("headway"));
     }
 }

@@ -1,15 +1,14 @@
 //! Poisson arrival generation for the Fig. 7.2 throughput sweeps.
 
 use crossroads_intersection::{Approach, Movement, Turn};
+use crossroads_prng::{Distribution, Rng, Uniform};
 use crossroads_units::{MetersPerSecond, Seconds, TimePoint};
 use crossroads_vehicle::VehicleId;
-use rand::Rng;
-use rand::distributions::{Distribution, Uniform};
 
 use crate::Arrival;
 
 /// Configuration of a random input flow.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PoissonConfig {
     /// Mean arrival rate per lane, cars/second (the paper sweeps
     /// 0.05–1.25).
@@ -92,7 +91,11 @@ pub fn generate_poisson<R: Rng + ?Sized>(config: &PoissonConfig, rng: &mut R) ->
     while arrivals.len() < config.total_vehicles as usize {
         // Lane with the earliest pending arrival emits next.
         let lane = (0..4)
-            .min_by(|&a, &b| next_time[a].partial_cmp(&next_time[b]).expect("finite times"))
+            .min_by(|&a, &b| {
+                next_time[a]
+                    .partial_cmp(&next_time[b])
+                    .expect("finite times")
+            })
             .expect("four lanes");
         let at = next_time[lane];
         arrivals.push(Arrival {
@@ -102,9 +105,15 @@ pub fn generate_poisson<R: Rng + ?Sized>(config: &PoissonConfig, rng: &mut R) ->
             speed: config.line_speed,
         });
         id += 1;
-        let gap = sample_exponential(rng, config.rate_per_lane)
-            .max(config.min_headway.value());
-        next_time[lane] = at + gap;
+        let gap = sample_exponential(rng, config.rate_per_lane).max(config.min_headway.value());
+        let mut next = at + gap;
+        // When the gap clamps to exactly min_headway, `at + gap - at` can
+        // round a ulp below the floor the validator enforces; nudge until
+        // the subtraction round-trips.
+        while next - at < config.min_headway.value() {
+            next = next.next_up();
+        }
+        next_time[lane] = next;
     }
     arrivals.sort_by(|a, b| {
         a.at_line
@@ -119,8 +128,7 @@ pub fn generate_poisson<R: Rng + ?Sized>(config: &PoissonConfig, rng: &mut R) ->
 mod tests {
     use super::*;
     use crate::validate_workload;
-    use rand::SeedableRng;
-    use rand::rngs::StdRng;
+    use crossroads_prng::{SeedableRng, StdRng};
 
     fn cfg(rate: f64) -> PoissonConfig {
         PoissonConfig::sweep_point(rate, MetersPerSecond::new(3.0))
@@ -180,9 +188,8 @@ mod tests {
         c.total_vehicles = 4000;
         let w = generate_poisson(&c, &mut rng);
         #[allow(clippy::cast_precision_loss)]
-        let frac = |t: Turn| {
-            w.iter().filter(|a| a.movement.turn == t).count() as f64 / w.len() as f64
-        };
+        let frac =
+            |t: Turn| w.iter().filter(|a| a.movement.turn == t).count() as f64 / w.len() as f64;
         assert!((frac(Turn::Straight) - 0.70).abs() < 0.03);
         assert!((frac(Turn::Left) - 0.15).abs() < 0.03);
         assert!((frac(Turn::Right) - 0.15).abs() < 0.03);

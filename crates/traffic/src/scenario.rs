@@ -8,16 +8,15 @@
 //! scenarios 2–9 "the vehicle orders and distances are randomly selected".
 
 use crossroads_intersection::{Approach, Movement, Turn};
+use crossroads_prng::Rng;
+use crossroads_prng::{SeedableRng, StdRng};
 use crossroads_units::{MetersPerSecond, Seconds, TimePoint};
 use crossroads_vehicle::VehicleId;
-use rand::Rng;
-use rand::SeedableRng;
-use rand::rngs::StdRng;
 
 use crate::Arrival;
 
 /// Scenario number, 1–10.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct ScenarioId(pub u8);
 
 impl ScenarioId {
@@ -46,7 +45,11 @@ impl std::fmt::Display for ScenarioId {
 /// Panics if `id` is outside 1–10.
 #[must_use]
 pub fn scale_model_scenario(id: ScenarioId, repeat_seed: u64) -> Vec<Arrival> {
-    assert!((1..=10).contains(&id.0), "scenario must be 1-10, got {}", id.0);
+    assert!(
+        (1..=10).contains(&id.0),
+        "scenario must be 1-10, got {}",
+        id.0
+    );
     let speed = MetersPerSecond::new(1.5); // comfortable approach speed
     let mut rng = StdRng::seed_from_u64(0xC0FFEE ^ (u64::from(id.0) << 32) ^ repeat_seed);
 
@@ -102,7 +105,7 @@ pub fn scale_model_scenario(id: ScenarioId, repeat_seed: u64) -> Vec<Arrival> {
             let mut t = 0.0;
             let mut out: Vec<Arrival> = (0..5)
                 .map(|i| {
-                    let approach = Approach::ALL[rng.gen_range(0..4)];
+                    let approach = Approach::ALL[rng.gen_range(0..4usize)];
                     let turn = match rng.gen_range(0..10) {
                         0..=6 => Turn::Straight,
                         7..=8 => Turn::Left,
@@ -171,15 +174,22 @@ mod tests {
         let worst = scale_model_scenario(ScenarioId(1), 0);
         let best = scale_model_scenario(ScenarioId(10), 0);
         let span = |w: &[Arrival]| w.last().unwrap().at_line - w[0].at_line;
-        assert!(span(&worst) < Seconds::new(2.0), "worst case span {}", span(&worst));
-        assert!(span(&best) > Seconds::new(2.0), "best case span {}", span(&best));
+        assert!(
+            span(&worst) < Seconds::new(2.0),
+            "worst case span {}",
+            span(&worst)
+        );
+        assert!(
+            span(&best) > Seconds::new(2.0),
+            "best case span {}",
+            span(&best)
+        );
     }
 
     #[test]
     fn scenario_1_loads_all_four_approaches() {
         let w = scale_model_scenario(ScenarioId(1), 3);
-        let lanes: std::collections::HashSet<_> =
-            w.iter().map(|a| a.movement.approach).collect();
+        let lanes: std::collections::HashSet<_> = w.iter().map(|a| a.movement.approach).collect();
         assert_eq!(lanes.len(), 4);
     }
 

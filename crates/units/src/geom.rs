@@ -7,7 +7,7 @@ use crate::{Meters, Radians};
 ///
 /// The frame follows the paper's convention: `x` grows east, `y` grows
 /// north, headings are measured counterclockwise from east.
-#[derive(Debug, Clone, Copy, PartialEq, Default, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct Point2 {
     /// East coordinate.
     pub x: Meters,
@@ -16,7 +16,7 @@ pub struct Point2 {
 }
 
 /// A displacement between two [`Point2`]s (meters).
-#[derive(Debug, Clone, Copy, PartialEq, Default, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct Vec2 {
     /// East component.
     pub x: Meters,
@@ -26,12 +26,18 @@ pub struct Vec2 {
 
 impl Point2 {
     /// The origin of the intersection frame (intersection center).
-    pub const ORIGIN: Point2 = Point2 { x: Meters::ZERO, y: Meters::ZERO };
+    pub const ORIGIN: Point2 = Point2 {
+        x: Meters::ZERO,
+        y: Meters::ZERO,
+    };
 
     /// Creates a point from raw meter coordinates.
     #[must_use]
     pub fn new(x: f64, y: f64) -> Self {
-        Point2 { x: Meters::new(x), y: Meters::new(y) }
+        Point2 {
+            x: Meters::new(x),
+            y: Meters::new(y),
+        }
     }
 
     /// Euclidean distance to another point.
@@ -54,7 +60,10 @@ impl Vec2 {
     /// Creates a vector from raw meter components.
     #[must_use]
     pub fn new(x: f64, y: f64) -> Self {
-        Vec2 { x: Meters::new(x), y: Meters::new(y) }
+        Vec2 {
+            x: Meters::new(x),
+            y: Meters::new(y),
+        }
     }
 
     /// Euclidean length.
@@ -79,21 +88,30 @@ impl Vec2 {
 impl std::ops::Sub for Point2 {
     type Output = Vec2;
     fn sub(self, rhs: Point2) -> Vec2 {
-        Vec2 { x: self.x - rhs.x, y: self.y - rhs.y }
+        Vec2 {
+            x: self.x - rhs.x,
+            y: self.y - rhs.y,
+        }
     }
 }
 
 impl std::ops::Add<Vec2> for Point2 {
     type Output = Point2;
     fn add(self, rhs: Vec2) -> Point2 {
-        Point2 { x: self.x + rhs.x, y: self.y + rhs.y }
+        Point2 {
+            x: self.x + rhs.x,
+            y: self.y + rhs.y,
+        }
     }
 }
 
 impl std::ops::Mul<f64> for Vec2 {
     type Output = Vec2;
     fn mul(self, rhs: f64) -> Vec2 {
-        Vec2 { x: self.x * rhs, y: self.y * rhs }
+        Vec2 {
+            x: self.x * rhs,
+            y: self.y * rhs,
+        }
     }
 }
 
@@ -105,7 +123,7 @@ impl std::fmt::Display for Point2 {
 
 /// An axis-aligned rectangle, used for the intersection box and for the
 /// footprint of vehicles travelling parallel to an axis.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Aabb {
     /// Minimum corner (south-west).
     pub min: Point2,
@@ -118,8 +136,14 @@ impl Aabb {
     #[must_use]
     pub fn from_corners(a: Point2, b: Point2) -> Self {
         Aabb {
-            min: Point2 { x: a.x.min(b.x), y: a.y.min(b.y) },
-            max: Point2 { x: a.x.max(b.x), y: a.y.max(b.y) },
+            min: Point2 {
+                x: a.x.min(b.x),
+                y: a.y.min(b.y),
+            },
+            max: Point2 {
+                x: a.x.max(b.x),
+                y: a.y.max(b.y),
+            },
         }
     }
 
@@ -130,8 +154,14 @@ impl Aabb {
         let hw = width / 2.0;
         let hh = height / 2.0;
         Aabb {
-            min: Point2 { x: center.x - hw, y: center.y - hh },
-            max: Point2 { x: center.x + hw, y: center.y + hh },
+            min: Point2 {
+                x: center.x - hw,
+                y: center.y - hh,
+            },
+            max: Point2 {
+                x: center.x + hw,
+                y: center.y + hh,
+            },
         }
     }
 
@@ -167,14 +197,20 @@ impl Aabb {
     #[must_use]
     pub fn inflated(&self, margin: Meters) -> Aabb {
         Aabb {
-            min: Point2 { x: self.min.x - margin, y: self.min.y - margin },
-            max: Point2 { x: self.max.x + margin, y: self.max.y + margin },
+            min: Point2 {
+                x: self.min.x - margin,
+                y: self.min.y - margin,
+            },
+            max: Point2 {
+                x: self.max.x + margin,
+                y: self.max.y + margin,
+            },
         }
     }
 }
 
 /// An oriented rectangle: a vehicle footprint at some pose.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct OrientedRect {
     /// Footprint center.
     pub center: Point2,
@@ -198,7 +234,12 @@ impl OrientedRect {
                 self.center.y.value() + dl * sin + dw * cos,
             )
         };
-        [corner(hl, hw), corner(-hl, hw), corner(-hl, -hw), corner(hl, -hw)]
+        [
+            corner(hl, hw),
+            corner(-hl, hw),
+            corner(-hl, -hw),
+            corner(hl, -hw),
+        ]
     }
 
     /// Whether two oriented rectangles overlap (separating-axis theorem
@@ -255,10 +296,8 @@ mod tests {
         assert!((p.x.value() - 2.0).abs() < 1e-12);
         assert!(p.y.value().abs() < 1e-12);
 
-        let up = Point2::ORIGIN.advanced(
-            Radians::new(std::f64::consts::FRAC_PI_2),
-            Meters::new(3.0),
-        );
+        let up =
+            Point2::ORIGIN.advanced(Radians::new(std::f64::consts::FRAC_PI_2), Meters::new(3.0));
         assert!(up.x.value().abs() < 1e-12);
         assert!((up.y.value() - 3.0).abs() < 1e-12);
     }
@@ -315,8 +354,14 @@ mod tests {
             length: Meters::new(2.0),
             width: Meters::new(1.0),
         };
-        let near = OrientedRect { center: Point2::new(1.5, 0.0), ..a };
-        let far = OrientedRect { center: Point2::new(2.5, 0.0), ..a };
+        let near = OrientedRect {
+            center: Point2::new(1.5, 0.0),
+            ..a
+        };
+        let far = OrientedRect {
+            center: Point2::new(2.5, 0.0),
+            ..a
+        };
         assert!(a.intersects(&near));
         assert!(near.intersects(&a));
         assert!(!a.intersects(&far));
@@ -339,7 +384,10 @@ mod tests {
         };
         assert!(ns.intersects(&ew));
         // Shift the east-west one beyond the north-south one's half-width.
-        let ew_clear = OrientedRect { center: Point2::new(1.3, 0.0), ..ew };
+        let ew_clear = OrientedRect {
+            center: Point2::new(1.3, 0.0),
+            ..ew
+        };
         assert!(!ns.intersects(&ew_clear));
     }
 
@@ -361,7 +409,10 @@ mod tests {
             width: Meters::new(0.6),
         };
         assert!(!diag.intersects(&corner_probe));
-        let overlapping = OrientedRect { center: Point2::new(0.6, 0.6), ..corner_probe };
+        let overlapping = OrientedRect {
+            center: Point2::new(0.6, 0.6),
+            ..corner_probe
+        };
         assert!(diag.intersects(&overlapping));
     }
 

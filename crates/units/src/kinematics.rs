@@ -53,7 +53,10 @@ pub fn distance_covered(v0: MetersPerSecond, a: MetersPerSecondSquared, t: Secon
 /// Panics if `decel` is not strictly positive.
 #[must_use]
 pub fn stopping_distance(v: MetersPerSecond, decel: MetersPerSecondSquared) -> Meters {
-    assert!(decel.value() > 0.0, "deceleration magnitude must be positive");
+    assert!(
+        decel.value() > 0.0,
+        "deceleration magnitude must be positive"
+    );
     Meters::new(v.value() * v.value() / (2.0 * decel.value()))
 }
 
@@ -185,7 +188,9 @@ pub fn solve_cruise_speed(
     // in v_target over (0, v_max].
     let arrival = |v_t: MetersPerSecond| -> Option<Seconds> {
         let accel = if v_t >= v_init { a_max } else { -d_max };
-        accel_cruise(v_init, v_t, accel, distance).ok().map(|p| p.total_time)
+        accel_cruise(v_init, v_t, accel, distance)
+            .ok()
+            .map(|p| p.total_time)
     };
     let fastest = arrival(v_max)?;
     if total_time < fastest - Seconds::new(1e-9) {
@@ -224,10 +229,19 @@ mod tests {
 
     #[test]
     fn time_to_reach_speed_basic() {
-        assert_eq!(time_to_reach_speed(mps(0.0), mps(3.0), mps2(1.5)), Seconds::new(2.0));
-        assert_eq!(time_to_reach_speed(mps(3.0), mps(3.0), mps2(1.5)), Seconds::ZERO);
+        assert_eq!(
+            time_to_reach_speed(mps(0.0), mps(3.0), mps2(1.5)),
+            Seconds::new(2.0)
+        );
+        assert_eq!(
+            time_to_reach_speed(mps(3.0), mps(3.0), mps2(1.5)),
+            Seconds::ZERO
+        );
         // Deceleration expressed with negative accel still yields positive time.
-        assert_eq!(time_to_reach_speed(mps(3.0), mps(0.0), mps2(-1.5)), Seconds::new(2.0));
+        assert_eq!(
+            time_to_reach_speed(mps(3.0), mps(0.0), mps2(-1.5)),
+            Seconds::new(2.0)
+        );
     }
 
     #[test]
@@ -239,7 +253,10 @@ mod tests {
     #[test]
     fn distance_covered_matches_integral() {
         // v0=1, a=2, t=3 -> 1*3 + 0.5*2*9 = 12
-        assert_eq!(distance_covered(mps(1.0), mps2(2.0), Seconds::new(3.0)), Meters::new(12.0));
+        assert_eq!(
+            distance_covered(mps(1.0), mps2(2.0), Seconds::new(3.0)),
+            Meters::new(12.0)
+        );
     }
 
     #[test]

@@ -54,7 +54,7 @@ pub use quantity::{
 /// let t1 = t0 + Seconds::new(0.5);
 /// assert_eq!(t1 - t0, Seconds::new(0.5));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
 pub struct TimePoint(f64);
 
 impl TimePoint {
@@ -149,8 +149,14 @@ mod tests {
     #[test]
     fn time_point_ordering() {
         assert!(TimePoint::new(1.0) < TimePoint::new(2.0));
-        assert_eq!(TimePoint::new(1.0).max(TimePoint::new(2.0)), TimePoint::new(2.0));
-        assert_eq!(TimePoint::new(1.0).min(TimePoint::new(2.0)), TimePoint::new(1.0));
+        assert_eq!(
+            TimePoint::new(1.0).max(TimePoint::new(2.0)),
+            TimePoint::new(2.0)
+        );
+        assert_eq!(
+            TimePoint::new(1.0).min(TimePoint::new(2.0)),
+            TimePoint::new(1.0)
+        );
     }
 
     #[test]

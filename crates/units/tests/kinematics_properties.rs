@@ -1,17 +1,16 @@
 //! Property tests over the closed-form kinematics and planar geometry.
 
+use crossroads_check::{ck_assert, ck_assert_eq, forall};
 use crossroads_units::kinematics::{
     accel_cruise, distance_covered, solve_cruise_speed, stopping_distance, time_to_reach_speed,
 };
 use crossroads_units::{
     Meters, MetersPerSecond, MetersPerSecondSquared, OrientedRect, Point2, Radians, Seconds,
 };
-use proptest::prelude::*;
 
-proptest! {
+forall! {
     /// The accel-cruise profile's pieces always recompose to the given
     /// distance and its total time to the sum of its phases.
-    #[test]
     fn accel_cruise_pieces_recompose(
         v0 in 0.0f64..15.0,
         dv in 0.0f64..10.0,
@@ -27,21 +26,20 @@ proptest! {
         ) else {
             return Ok(()); // distance too short for the speed change
         };
-        prop_assert_eq!(p.total_time, p.accel_time + p.cruise_time);
+        ck_assert_eq!(p.total_time, p.accel_time + p.cruise_time);
         let cruise_d = MetersPerSecond::new(v1) * p.cruise_time;
-        prop_assert!(((p.accel_distance + cruise_d).value() - d).abs() < 1e-6);
+        ck_assert!(((p.accel_distance + cruise_d).value() - d).abs() < 1e-6);
         // Phase distances agree with the v0t + at²/2 integral.
         let integral = distance_covered(
             MetersPerSecond::new(v0),
             MetersPerSecondSquared::new(a),
             p.accel_time,
         );
-        prop_assert!((integral - p.accel_distance).abs().value() < 1e-9);
+        ck_assert!((integral - p.accel_distance).abs().value() < 1e-9);
     }
 
     /// The cruise-speed solver, where it returns a speed, actually meets
     /// the deadline (round trip through accel_cruise).
-    #[test]
     fn solver_round_trips(
         v0 in 0.0f64..14.0,
         d in 1.0f64..200.0,
@@ -63,13 +61,12 @@ proptest! {
         let arrive = accel_cruise(v_init, v, accel, Meters::new(d))
             .expect("solver output is feasible")
             .total_time;
-        prop_assert!((arrive - deadline).abs().value() < 1e-5,
+        ck_assert!((arrive - deadline).abs().value() < 1e-5,
             "arrive {arrive} vs deadline {deadline}");
     }
 
     /// Stopping distance is monotone in speed and consistent with the
     /// time-to-stop integral.
-    #[test]
     fn stopping_distance_consistency(v in 0.01f64..30.0, d in 0.5f64..8.0) {
         let dist = stopping_distance(MetersPerSecond::new(v), MetersPerSecondSquared::new(d));
         let t = time_to_reach_speed(
@@ -82,17 +79,16 @@ proptest! {
             MetersPerSecondSquared::new(-d),
             t,
         );
-        prop_assert!((dist - integral).abs().value() < 1e-9);
+        ck_assert!((dist - integral).abs().value() < 1e-9);
         let further = stopping_distance(
             MetersPerSecond::new(v * 1.1),
             MetersPerSecondSquared::new(d),
         );
-        prop_assert!(further > dist);
+        ck_assert!(further > dist);
     }
 
     /// SAT rectangle intersection agrees with a dense point-sampling
     /// oracle (no false negatives against contained sample points).
-    #[test]
     fn oriented_rect_sat_agrees_with_sampling(
         cx in -2.0f64..2.0,
         cy in -2.0f64..2.0,
@@ -130,9 +126,9 @@ proptest! {
             }
         }
         if oracle_hit {
-            prop_assert!(a.intersects(&b), "SAT missed an overlap the oracle found");
+            ck_assert!(a.intersects(&b), "SAT missed an overlap the oracle found");
         }
         // And symmetry always holds.
-        prop_assert_eq!(a.intersects(&b), b.intersects(&a));
+        ck_assert_eq!(a.intersects(&b), b.intersects(&a));
     }
 }

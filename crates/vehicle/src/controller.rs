@@ -11,15 +11,15 @@
 //! controller with feed-forward runs at a fixed control rate; sensor,
 //! control and actuation noise from an [`ErrorModel`] perturb every step.
 
+use crossroads_prng::Rng;
 use crossroads_units::{Meters, MetersPerSecond, Seconds, TimePoint};
-use rand::Rng;
 
 use crate::error::ErrorModel;
 use crate::spec::VehicleSpec;
 use crate::trajectory::SpeedProfile;
 
 /// Parameters of the discrete tracking controller.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ControllerConfig {
     /// Control period (the testbed's Arduino loop ran at ~100 Hz).
     pub dt: Seconds,
@@ -29,7 +29,10 @@ pub struct ControllerConfig {
 
 impl Default for ControllerConfig {
     fn default() -> Self {
-        ControllerConfig { dt: Seconds::from_millis(10.0), kp: 4.0 }
+        ControllerConfig {
+            dt: Seconds::from_millis(10.0),
+            kp: 4.0,
+        }
     }
 }
 
@@ -152,8 +155,7 @@ pub fn calibrate_longitudinal_error<R: Rng + ?Sized>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
-    use rand::rngs::StdRng;
+    use crossroads_prng::{SeedableRng, StdRng};
 
     fn spec() -> VehicleSpec {
         VehicleSpec::scale_model()
@@ -169,7 +171,13 @@ mod tests {
             &s,
         );
         let mut rng = StdRng::seed_from_u64(0);
-        let out = track_profile(&p, &s, &ErrorModel::ideal(), &ControllerConfig::default(), &mut rng);
+        let out = track_profile(
+            &p,
+            &s,
+            &ErrorModel::ideal(),
+            &ControllerConfig::default(),
+            &mut rng,
+        );
         assert!(
             out.final_error.abs() < Meters::from_millis(2.0),
             "ideal tracking error {} should be millimetric",
@@ -274,8 +282,10 @@ mod tests {
             &s,
         );
         let mut rng = StdRng::seed_from_u64(0);
-        let cfg = ControllerConfig { dt: Seconds::ZERO, kp: 1.0 };
+        let cfg = ControllerConfig {
+            dt: Seconds::ZERO,
+            kp: 1.0,
+        };
         let _ = track_profile(&p, &s, &ErrorModel::ideal(), &cfg, &mut rng);
     }
 }
-

@@ -16,12 +16,10 @@
 //! constant-curvature paths in this intersection the local truncation error
 //! at the default 1 ms step is far below the sensing noise floor.
 
-use crossroads_units::{
-    Meters, MetersPerSecond, MetersPerSecondSquared, Point2, Radians, Seconds,
-};
+use crossroads_units::{Meters, MetersPerSecond, MetersPerSecondSquared, Point2, Radians, Seconds};
 
 /// Instantaneous bicycle-model state.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BicycleState {
     /// Rear-axle position.
     pub position: Point2,
@@ -35,7 +33,11 @@ impl BicycleState {
     /// A state at `position` facing `heading` at `speed`.
     #[must_use]
     pub fn new(position: Point2, heading: Radians, speed: MetersPerSecond) -> Self {
-        BicycleState { position, heading, speed }
+        BicycleState {
+            position,
+            heading,
+            speed,
+        }
     }
 }
 
@@ -47,7 +49,12 @@ struct Deriv {
     dv: f64,
 }
 
-fn deriv(s: &BicycleState, wheelbase: Meters, steer: Radians, accel: MetersPerSecondSquared) -> Deriv {
+fn deriv(
+    s: &BicycleState,
+    wheelbase: Meters,
+    steer: Radians,
+    accel: MetersPerSecondSquared,
+) -> Deriv {
     let v = s.speed.value();
     Deriv {
         dx: v * s.heading.cos(),
@@ -86,7 +93,10 @@ pub fn integrate_bicycle(
     accel: MetersPerSecondSquared,
     dt: Seconds,
 ) -> BicycleState {
-    assert!(dt.is_finite() && dt.value() >= 0.0, "dt must be non-negative");
+    assert!(
+        dt.is_finite() && dt.value() >= 0.0,
+        "dt must be non-negative"
+    );
     let h = dt.value();
     if h == 0.0 {
         return *state;

@@ -14,9 +14,8 @@
 //! it each control step, and [`ErrorModel::sync_position_error`] gives the
 //! worst-case sync contribution the IM adds when sizing the buffer.
 
+use crossroads_prng::{Distribution, Rng, Uniform};
 use crossroads_units::{Meters, MetersPerSecond, Seconds};
-use rand::Rng;
-use rand::distributions::{Distribution, Uniform};
 
 /// Magnitudes of the injected uncertainties.
 ///
@@ -24,7 +23,7 @@ use rand::distributions::{Distribution, Uniform};
 /// reasons exclusively in worst-case envelopes, and uniform sampling
 /// exercises the full envelope without assuming a distribution shape the
 /// thesis never measures.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ErrorModel {
     /// Bound on the speed-measurement error (encoder quantization +
     /// slippage), in m/s.
@@ -80,10 +79,8 @@ impl ErrorModel {
 
     /// Samples a speed-measurement error.
     pub fn sample_speed_noise<R: Rng + ?Sized>(&self, rng: &mut R) -> MetersPerSecond {
-        sample_symmetric(rng, self.speed_sensor_bound.value()).map_or(
-            MetersPerSecond::ZERO,
-            MetersPerSecond::new,
-        )
+        sample_symmetric(rng, self.speed_sensor_bound.value())
+            .map_or(MetersPerSecond::ZERO, MetersPerSecond::new)
     }
 
     /// Samples a multiplicative control-tracking factor in
@@ -94,16 +91,13 @@ impl ErrorModel {
 
     /// Samples a per-step actuation speed disturbance.
     pub fn sample_actuation_noise<R: Rng + ?Sized>(&self, rng: &mut R) -> MetersPerSecond {
-        sample_symmetric(rng, self.actuation_speed_bound.value()).map_or(
-            MetersPerSecond::ZERO,
-            MetersPerSecond::new,
-        )
+        sample_symmetric(rng, self.actuation_speed_bound.value())
+            .map_or(MetersPerSecond::ZERO, MetersPerSecond::new)
     }
 
     /// Samples a residual clock offset (signed).
     pub fn sample_sync_offset<R: Rng + ?Sized>(&self, rng: &mut R) -> Seconds {
-        sample_symmetric(rng, self.sync_error_bound.value())
-            .map_or(Seconds::ZERO, Seconds::new)
+        sample_symmetric(rng, self.sync_error_bound.value()).map_or(Seconds::ZERO, Seconds::new)
     }
 
     /// Worst-case position error contributed by clock synchronization at
@@ -126,8 +120,7 @@ fn sample_symmetric<R: Rng + ?Sized>(rng: &mut R, bound: f64) -> Option<f64> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
-    use rand::rngs::StdRng;
+    use crossroads_prng::{SeedableRng, StdRng};
 
     #[test]
     fn sync_position_error_matches_paper() {
@@ -180,7 +173,9 @@ mod tests {
         let m = ErrorModel::scale_model();
         let draw = |seed: u64| {
             let mut rng = StdRng::seed_from_u64(seed);
-            (0..10).map(|_| m.sample_speed_noise(&mut rng).value()).collect::<Vec<_>>()
+            (0..10)
+                .map(|_| m.sample_speed_noise(&mut rng).value())
+                .collect::<Vec<_>>()
         };
         assert_eq!(draw(3), draw(3));
         assert_ne!(draw(3), draw(4));

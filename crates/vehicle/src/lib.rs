@@ -35,10 +35,10 @@ pub mod state;
 pub mod steering;
 pub mod trajectory;
 
-pub use controller::{ControllerConfig, TrackingOutcome, track_profile};
-pub use dynamics::{BicycleState, integrate_bicycle};
+pub use controller::{track_profile, ControllerConfig, TrackingOutcome};
+pub use dynamics::{integrate_bicycle, BicycleState};
 pub use error::ErrorModel;
 pub use spec::{VehicleId, VehicleSpec};
-pub use steering::{PurePursuit, TrackingError, track_path};
 pub use state::{ProtocolEvent, ProtocolState, VehicleProtocol};
+pub use steering::{track_path, PurePursuit, TrackingError};
 pub use trajectory::{Phase, PlanError, SpeedProfile};

@@ -3,10 +3,7 @@
 use crossroads_units::{Meters, MetersPerSecond, MetersPerSecondSquared};
 
 /// Identifier a vehicle registers with the IM.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord,
-    serde::Serialize, serde::Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct VehicleId(pub u32);
 
 impl std::fmt::Display for VehicleId {
@@ -35,7 +32,7 @@ impl std::fmt::Display for VehicleId {
 /// assert_eq!(traxxas.length.value(), 0.568);
 /// assert_eq!(traxxas.v_max.value(), 3.0);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct VehicleSpec {
     /// Vehicle length (longitudinal), bumper to bumper.
     pub length: Meters,
@@ -140,7 +137,9 @@ pub struct VehicleSpecBuilder {
 
 impl Default for VehicleSpecBuilder {
     fn default() -> Self {
-        VehicleSpecBuilder { spec: VehicleSpec::scale_model() }
+        VehicleSpecBuilder {
+            spec: VehicleSpec::scale_model(),
+        }
     }
 }
 
@@ -240,7 +239,10 @@ mod tests {
 
     #[test]
     fn builder_rejects_nonpositive() {
-        let err = VehicleSpec::builder().length(Meters::ZERO).build().unwrap_err();
+        let err = VehicleSpec::builder()
+            .length(Meters::ZERO)
+            .build()
+            .unwrap_err();
         assert!(err.contains("length"));
         let err = VehicleSpec::builder()
             .v_max(MetersPerSecond::new(-1.0))
@@ -255,7 +257,10 @@ mod tests {
             .safety_buffer(Meters::new(-0.01))
             .build()
             .is_err());
-        assert!(VehicleSpec::builder().safety_buffer(Meters::ZERO).build().is_ok());
+        assert!(VehicleSpec::builder()
+            .safety_buffer(Meters::ZERO)
+            .build()
+            .is_ok());
     }
 
     #[test]
@@ -263,9 +268,7 @@ mod tests {
         let s = VehicleSpec::scale_model();
         // Base: 0.284 + 0.078 = 0.362; with a 0.45 m RTD buffer: 0.812.
         assert!((s.buffered_half_length(Meters::ZERO).value() - 0.362).abs() < 1e-12);
-        assert!(
-            (s.buffered_half_length(Meters::new(0.45)).value() - 0.812).abs() < 1e-12
-        );
+        assert!((s.buffered_half_length(Meters::new(0.45)).value() - 0.812).abs() < 1e-12);
     }
 
     #[test]

@@ -20,7 +20,7 @@ use crate::spec::VehicleId;
 
 /// The four protocol states (plus the terminal bookkeeping state after the
 /// exit report).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ProtocolState {
     /// Approaching; has not yet reached the transmission line.
     Arriving,
@@ -39,7 +39,7 @@ pub enum ProtocolState {
 }
 
 /// Events that drive the protocol machine.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum ProtocolEvent {
     /// The vehicle crossed the designated transmission line.
     ReachedTransmissionLine,
@@ -67,7 +67,11 @@ pub struct InvalidTransition {
 
 impl std::fmt::Display for InvalidTransition {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "event {:?} is invalid in state {:?}", self.event, self.state)
+        write!(
+            f,
+            "event {:?} is invalid in state {:?}",
+            self.event, self.state
+        )
     }
 }
 
@@ -92,7 +96,7 @@ impl std::error::Error for InvalidTransition {}
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct VehicleProtocol {
     id: VehicleId,
     state: ProtocolState,
@@ -190,11 +194,15 @@ impl VehicleProtocol {
             (S::Request { attempts }, E::ResponseRejected) => {
                 self.total_rejections += 1;
                 self.total_requests += 1;
-                S::Request { attempts: attempts + 1 }
+                S::Request {
+                    attempts: attempts + 1,
+                }
             }
             (S::Request { attempts }, E::TimedOut) => {
                 self.total_requests += 1;
-                S::Request { attempts: attempts + 1 }
+                S::Request {
+                    attempts: attempts + 1,
+                }
             }
             (S::Follow, E::CrossedIntersection) => {
                 self.exited_at = Some(now);
@@ -222,7 +230,8 @@ mod tests {
     #[test]
     fn happy_path_vt_like() {
         let mut p = machine();
-        p.apply(ProtocolEvent::ReachedTransmissionLine, t(1.0)).unwrap();
+        p.apply(ProtocolEvent::ReachedTransmissionLine, t(1.0))
+            .unwrap();
         assert_eq!(p.state(), ProtocolState::Sync);
         p.apply(ProtocolEvent::SyncCompleted, t(1.02)).unwrap();
         assert_eq!(p.state(), ProtocolState::Request { attempts: 1 });
@@ -240,10 +249,13 @@ mod tests {
     #[test]
     fn aim_like_rejection_loop_counts_requests() {
         let mut p = machine();
-        p.apply(ProtocolEvent::ReachedTransmissionLine, t(0.0)).unwrap();
+        p.apply(ProtocolEvent::ReachedTransmissionLine, t(0.0))
+            .unwrap();
         p.apply(ProtocolEvent::SyncCompleted, t(0.01)).unwrap();
         for i in 0..5 {
-            let s = p.apply(ProtocolEvent::ResponseRejected, t(0.1 * f64::from(i + 1))).unwrap();
+            let s = p
+                .apply(ProtocolEvent::ResponseRejected, t(0.1 * f64::from(i + 1)))
+                .unwrap();
             assert_eq!(s, ProtocolState::Request { attempts: i + 2 });
         }
         p.apply(ProtocolEvent::ResponseAccepted, t(1.0)).unwrap();
@@ -254,7 +266,8 @@ mod tests {
     #[test]
     fn timeout_retransmission_counts_requests() {
         let mut p = machine();
-        p.apply(ProtocolEvent::ReachedTransmissionLine, t(0.0)).unwrap();
+        p.apply(ProtocolEvent::ReachedTransmissionLine, t(0.0))
+            .unwrap();
         p.apply(ProtocolEvent::SyncCompleted, t(0.01)).unwrap();
         p.apply(ProtocolEvent::TimedOut, t(0.2)).unwrap();
         assert_eq!(p.state(), ProtocolState::Request { attempts: 2 });
@@ -265,19 +278,25 @@ mod tests {
     #[test]
     fn invalid_transitions_are_rejected() {
         let mut p = machine();
-        let err = p.apply(ProtocolEvent::ResponseAccepted, t(0.0)).unwrap_err();
+        let err = p
+            .apply(ProtocolEvent::ResponseAccepted, t(0.0))
+            .unwrap_err();
         assert_eq!(err.state, ProtocolState::Arriving);
         assert!(!err.to_string().is_empty());
 
         // Double line-crossing is invalid.
-        p.apply(ProtocolEvent::ReachedTransmissionLine, t(0.0)).unwrap();
-        assert!(p.apply(ProtocolEvent::ReachedTransmissionLine, t(0.1)).is_err());
+        p.apply(ProtocolEvent::ReachedTransmissionLine, t(0.0))
+            .unwrap();
+        assert!(p
+            .apply(ProtocolEvent::ReachedTransmissionLine, t(0.1))
+            .is_err());
     }
 
     #[test]
     fn done_is_terminal() {
         let mut p = machine();
-        p.apply(ProtocolEvent::ReachedTransmissionLine, t(0.0)).unwrap();
+        p.apply(ProtocolEvent::ReachedTransmissionLine, t(0.0))
+            .unwrap();
         p.apply(ProtocolEvent::SyncCompleted, t(0.1)).unwrap();
         p.apply(ProtocolEvent::ResponseAccepted, t(0.2)).unwrap();
         p.apply(ProtocolEvent::CrossedIntersection, t(1.0)).unwrap();
@@ -289,14 +308,18 @@ mod tests {
             ProtocolEvent::TimedOut,
             ProtocolEvent::CrossedIntersection,
         ] {
-            assert!(p.apply(ev, t(2.0)).is_err(), "{ev:?} must not apply to Done");
+            assert!(
+                p.apply(ev, t(2.0)).is_err(),
+                "{ev:?} must not apply to Done"
+            );
         }
     }
 
     #[test]
     fn cannot_cross_before_following() {
         let mut p = machine();
-        p.apply(ProtocolEvent::ReachedTransmissionLine, t(0.0)).unwrap();
+        p.apply(ProtocolEvent::ReachedTransmissionLine, t(0.0))
+            .unwrap();
         assert!(p.apply(ProtocolEvent::CrossedIntersection, t(0.5)).is_err());
     }
 }

@@ -14,11 +14,11 @@
 
 use crossroads_units::{Meters, Point2, Radians, Seconds};
 
-use crate::dynamics::{BicycleState, integrate_bicycle};
+use crate::dynamics::{integrate_bicycle, BicycleState};
 use crate::spec::VehicleSpec;
 
 /// Pure-pursuit parameters.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PurePursuit {
     /// Lookahead distance to the goal point on the reference path.
     pub lookahead: Meters,
@@ -120,7 +120,10 @@ where
         }
         max_ct = max_ct.max(Meters::new(best));
     }
-    TrackingError { max_cross_track: max_ct, final_state: state }
+    TrackingError {
+        max_cross_track: max_ct,
+        final_state: state,
+    }
 }
 
 #[cfg(test)]
@@ -212,9 +215,8 @@ mod tests {
 
         pub fn reference_paths() -> Vec<(&'static str, Meters, Curve)> {
             use std::f64::consts::FRAC_PI_2;
-            let straight: Curve = Box::new(|d: Meters| {
-                (Point2::new(0.3, -0.6 + d.value()), Radians::new(FRAC_PI_2))
-            });
+            let straight: Curve =
+                Box::new(|d: Meters| (Point2::new(0.3, -0.6 + d.value()), Radians::new(FRAC_PI_2)));
             let right: Curve = Box::new(|d: Meters| {
                 let r = 0.3;
                 let ang = std::f64::consts::PI - d.value() / r;
@@ -254,7 +256,10 @@ mod tests {
         let s = spec();
         let pp = PurePursuit::scale_model();
         let state = BicycleState::new(Point2::ORIGIN, Radians::new(0.4), MetersPerSecond::new(1.0));
-        assert_eq!(pp.steer_toward(&state, Point2::ORIGIN, s.wheelbase), Radians::new(0.0));
+        assert_eq!(
+            pp.steer_toward(&state, Point2::ORIGIN, s.wheelbase),
+            Radians::new(0.0)
+        );
     }
 
     #[test]

@@ -24,14 +24,12 @@
 //!   "slow down to stop" clause).
 
 use crossroads_units::kinematics::{self, AccelCruise, ProfileError};
-use crossroads_units::{
-    Meters, MetersPerSecond, MetersPerSecondSquared, Seconds, TimePoint,
-};
+use crossroads_units::{Meters, MetersPerSecond, MetersPerSecondSquared, Seconds, TimePoint};
 
 use crate::spec::VehicleSpec;
 
 /// One constant-acceleration segment of a [`SpeedProfile`].
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Phase {
     /// Absolute start time of this phase.
     pub start: TimePoint,
@@ -47,10 +45,14 @@ pub struct Phase {
 
 impl Phase {
     /// Speed `dt` into the phase (clamped to the phase duration).
+    ///
+    /// Profiles are forward-only by construction, but recomputing the exit
+    /// speed as `v0 + accel * duration` can round a ulp below zero on a
+    /// brake-to-stop phase; clamp so callers never observe a negative speed.
     #[must_use]
     pub fn speed_after(&self, dt: Seconds) -> MetersPerSecond {
         let dt = dt.clamp(Seconds::ZERO, self.duration);
-        self.v0 + self.accel * dt
+        (self.v0 + self.accel * dt).max(MetersPerSecond::ZERO)
     }
 
     /// Position `dt` into the phase (clamped to the phase duration).
@@ -90,8 +92,12 @@ pub enum PlanError {
 impl std::fmt::Display for PlanError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            PlanError::ArrivalTooEarly => write!(f, "requested arrival precedes earliest achievable arrival"),
-            PlanError::ArrivalTooLate => write!(f, "requested arrival requires stopping; plan a stop phase"),
+            PlanError::ArrivalTooEarly => {
+                write!(f, "requested arrival precedes earliest achievable arrival")
+            }
+            PlanError::ArrivalTooLate => {
+                write!(f, "requested arrival requires stopping; plan a stop phase")
+            }
             PlanError::InvalidInput => write!(f, "invalid trajectory input"),
         }
     }
@@ -124,7 +130,7 @@ impl From<ProfileError> for PlanError {
 /// assert_eq!(p.speed_at(TimePoint::new(3.0)), MetersPerSecond::new(3.0));
 /// assert_eq!(p.position_at(TimePoint::new(2.0)), Meters::new(2.0));
 /// ```
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SpeedProfile {
     start: TimePoint,
     origin: Meters,
@@ -143,7 +149,12 @@ impl SpeedProfile {
     pub fn starting_at(start: TimePoint, origin: Meters, v_start: MetersPerSecond) -> Self {
         assert!(start.is_finite() && origin.is_finite() && v_start.is_finite());
         assert!(v_start.value() >= 0.0, "speeds are forward-only");
-        SpeedProfile { start, origin, v_start, phases: Vec::new() }
+        SpeedProfile {
+            start,
+            origin,
+            v_start,
+            phases: Vec::new(),
+        }
     }
 
     /// The profile's anchor time.
@@ -155,7 +166,9 @@ impl SpeedProfile {
     /// End of the last phase (== start for an empty profile).
     #[must_use]
     pub fn end_time(&self) -> TimePoint {
-        self.phases.last().map_or(self.start, |p| p.start + p.duration)
+        self.phases
+            .last()
+            .map_or(self.start, |p| p.start + p.duration)
     }
 
     /// Speed after the last phase.
@@ -184,7 +197,13 @@ impl SpeedProfile {
     pub fn push_hold(&mut self, duration: Seconds) {
         assert!(duration.is_finite() && duration.value() >= 0.0);
         let (start, v0, s0) = (self.end_time(), self.final_speed(), self.final_position());
-        self.phases.push(Phase { start, duration, v0, accel: MetersPerSecondSquared::ZERO, s0 });
+        self.phases.push(Phase {
+            start,
+            duration,
+            v0,
+            accel: MetersPerSecondSquared::ZERO,
+            s0,
+        });
     }
 
     /// Appends a constant-acceleration phase that changes speed to
@@ -194,11 +213,7 @@ impl SpeedProfile {
     ///
     /// Panics if `rate` is zero while a speed change is required, or if
     /// `v_target` is negative.
-    pub fn push_speed_change(
-        &mut self,
-        v_target: MetersPerSecond,
-        rate: MetersPerSecondSquared,
-    ) {
+    pub fn push_speed_change(&mut self, v_target: MetersPerSecond, rate: MetersPerSecondSquared) {
         assert!(v_target.value() >= 0.0, "speeds are forward-only");
         let (start, v0, s0) = (self.end_time(), self.final_speed(), self.final_position());
         if v_target == v0 {
@@ -206,7 +221,13 @@ impl SpeedProfile {
         }
         let duration = kinematics::time_to_reach_speed(v0, v_target, rate);
         let accel = (v_target - v0) / duration;
-        self.phases.push(Phase { start, duration, v0, accel, s0 });
+        self.phases.push(Phase {
+            start,
+            duration,
+            v0,
+            accel,
+            s0,
+        });
     }
 
     /// Speed at absolute time `t`. Before the anchor the start speed is
@@ -319,7 +340,10 @@ impl SpeedProfile {
                 return Err(format!("phase {i}: accel {a} exceeds a_max {}", spec.a_max));
             }
             if -a > spec.d_max.value() + tol {
-                return Err(format!("phase {i}: decel {} exceeds d_max {}", -a, spec.d_max));
+                return Err(format!(
+                    "phase {i}: decel {} exceeds d_max {}",
+                    -a, spec.d_max
+                ));
             }
             for v in [p.v0, p.exit_speed()] {
                 if v.value() > spec.v_max.value() + tol {
@@ -366,7 +390,11 @@ impl SpeedProfile {
         spec: &VehicleSpec,
     ) -> SpeedProfile {
         let mut p = SpeedProfile::starting_at(received, s_now, v_current);
-        let rate = if v_target >= v_current { spec.a_max } else { spec.d_max };
+        let rate = if v_target >= v_current {
+            spec.a_max
+        } else {
+            spec.d_max
+        };
         p.push_speed_change(v_target, rate);
         p
     }
@@ -404,7 +432,11 @@ impl SpeedProfile {
         }
         let mut p = SpeedProfile::starting_at(now, s_now, v_current);
         p.push_hold(t_e - now);
-        let rate = if v_target >= v_current { spec.a_max } else { spec.d_max };
+        let rate = if v_target >= v_current {
+            spec.a_max
+        } else {
+            spec.d_max
+        };
         p.push_speed_change(v_target, rate);
         // Cruise until the intersection line.
         let s_after_change = p.final_position();
@@ -672,7 +704,10 @@ mod tests {
             &s,
         )
         .unwrap_err();
-        assert!(matches!(e, PlanError::ArrivalTooEarly | PlanError::InvalidInput));
+        assert!(matches!(
+            e,
+            PlanError::ArrivalTooEarly | PlanError::InvalidInput
+        ));
     }
 
     #[test]

@@ -1,17 +1,16 @@
 //! Property tests for speed profiles and the planning constructions.
 
+use crossroads_check::{ck_assert, ck_assert_eq, ck_assume, forall, CaseError};
 use crossroads_units::{Meters, MetersPerSecond, Seconds, TimePoint};
 use crossroads_vehicle::{SpeedProfile, VehicleSpec};
-use proptest::prelude::*;
 
 fn spec() -> VehicleSpec {
     VehicleSpec::scale_model()
 }
 
-proptest! {
+forall! {
     /// Position along any planner-produced profile is nondecreasing
     /// (vehicles never reverse).
-    #[test]
     fn position_is_monotone(
         v0 in 0.0f64..3.0,
         v1 in 0.0f64..3.0,
@@ -26,7 +25,7 @@ proptest! {
         let mut t = 0.0;
         while t <= end {
             let cur = p.position_at(TimePoint::new(t));
-            prop_assert!(cur.value() >= last.value() - 1e-9);
+            ck_assert!(cur.value() >= last.value() - 1e-9);
             last = cur;
             t += 0.01;
         }
@@ -34,7 +33,6 @@ proptest! {
 
     /// Speed along any planner profile stays within [0, v_max] and the
     /// limit checker agrees.
-    #[test]
     fn limits_hold_for_planned_profiles(
         v0 in 0.0f64..3.0,
         v1 in 0.0f64..3.0,
@@ -47,18 +45,17 @@ proptest! {
             MetersPerSecond::new(v1),
             &s,
         );
-        p.check_limits(&s).map_err(TestCaseError::fail)?;
+        p.check_limits(&s).map_err(CaseError::fail)?;
         let mut t = 0.0;
         while t <= p.end_time().value() + 0.5 {
             let v = p.speed_at(TimePoint::new(t)).value();
-            prop_assert!((-1e-9..=3.0 + 1e-9).contains(&v));
+            ck_assert!((-1e-9..=3.0 + 1e-9).contains(&v));
             t += 0.01;
         }
     }
 
     /// `time_at_position` inverts `position_at` wherever the vehicle is
     /// moving.
-    #[test]
     fn time_position_round_trip(
         v0 in 0.1f64..3.0,
         v1 in 0.1f64..3.0,
@@ -73,14 +70,13 @@ proptest! {
         let target = p.final_position() * frac;
         let t = p.time_at_position(target).expect("moving profile reaches interior points");
         let round = p.position_at(t);
-        prop_assert!((round - target).abs().value() < 1e-6,
+        ck_assert!((round - target).abs().value() < 1e-6,
             "position_at(time_at_position(s)) = {round}, wanted {target}");
     }
 
     /// The Crossroads profile arrives at the line within a millisecond of
     /// the commanded ToA whenever the IM's (ToA, V_T) pair is kinematically
     /// consistent — here generated from the profile itself.
-    #[test]
     fn crossroads_profiles_arrive_on_time(
         v0 in 0.3f64..3.0,
         vt in 0.3f64..3.0,
@@ -94,7 +90,7 @@ proptest! {
         probe.push_hold(t_e - TimePoint::ZERO);
         probe.push_speed_change(MetersPerSecond::new(vt), if vt >= v0 { s.a_max } else { s.d_max });
         let d = Meters::new(d_t);
-        prop_assume!(probe.final_position() < d);
+        ck_assume!(probe.final_position() < d);
         let toa = probe.time_at_position(d).expect("cruise tail reaches the line");
 
         let p = SpeedProfile::crossroads_response(
@@ -108,8 +104,8 @@ proptest! {
             &s,
         ).expect("consistent command plans");
         let arrive = p.time_at_position(d).expect("profile reaches the line");
-        prop_assert!((arrive - toa).abs().value() < 1e-3);
+        ck_assert!((arrive - toa).abs().value() < 1e-3);
         // RTD-invariance: nothing before t_e deviates from v0.
-        prop_assert_eq!(p.speed_at(TimePoint::new(rtd_ms / 2e3)), MetersPerSecond::new(v0));
+        ck_assert_eq!(p.speed_at(TimePoint::new(rtd_ms / 2e3)), MetersPerSecond::new(v0));
     }
 }

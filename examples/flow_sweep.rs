@@ -9,8 +9,7 @@
 //! ```
 
 use crossroads::prelude::*;
-use rand::SeedableRng;
-use rand::rngs::StdRng;
+use crossroads_prng::{SeedableRng, StdRng};
 
 fn main() {
     let rates = [0.05, 0.2, 0.6, 1.25];
@@ -26,9 +25,13 @@ fn main() {
             let config = SimConfig::full_scale(policy).with_seed(42);
             let mut rng = StdRng::seed_from_u64(1000);
             let line_speed = config.typical_line_speed();
-            let workload = generate_poisson(&PoissonConfig::sweep_point(rate, line_speed), &mut rng);
+            let workload =
+                generate_poisson(&PoissonConfig::sweep_point(rate, line_speed), &mut rng);
             let outcome = run_simulation(&config, &workload);
-            assert!(outcome.all_completed(), "{policy} did not finish at rate {rate}");
+            assert!(
+                outcome.all_completed(),
+                "{policy} did not finish at rate {rate}"
+            );
             assert!(outcome.safety.is_safe(), "{policy} unsafe at rate {rate}");
             row += &format!("{:>11.4} ", outcome.metrics.flow_rate() / 4.0);
         }

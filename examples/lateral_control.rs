@@ -9,7 +9,7 @@
 
 use crossroads::intersection::{Approach, IntersectionGeometry, Movement, MovementPath, Turn};
 use crossroads::prelude::*;
-use crossroads::vehicle::steering::{PurePursuit, track_path};
+use crossroads::vehicle::steering::{track_path, PurePursuit};
 use crossroads::vehicle::VehicleSpec;
 
 fn main() {
@@ -18,7 +18,10 @@ fn main() {
     let controller = PurePursuit::scale_model();
 
     println!("Pure-pursuit tracking of every intersection movement (scale model)\n");
-    println!("{:<14} {:>12} {:>18}", "movement", "path len (m)", "max cross-track (mm)");
+    println!(
+        "{:<14} {:>12} {:>18}",
+        "movement", "path len (m)", "max cross-track (mm)"
+    );
 
     for approach in Approach::ALL {
         for turn in [Turn::Straight, Turn::Left, Turn::Right] {

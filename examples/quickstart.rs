@@ -9,13 +9,19 @@ use crossroads::prelude::*;
 
 fn main() {
     println!("Crossroads quickstart — scenario 1 (worst case), 5 vehicles\n");
-    println!("{:<12} {:>10} {:>12} {:>10} {:>8}", "policy", "avg wait", "max wait", "messages", "safe");
+    println!(
+        "{:<12} {:>10} {:>12} {:>10} {:>8}",
+        "policy", "avg wait", "max wait", "messages", "safe"
+    );
 
     let workload = scale_model_scenario(ScenarioId(1), 0);
     for policy in PolicyKind::ALL {
         let config = SimConfig::scale_model(policy).with_seed(42);
         let outcome = run_simulation(&config, &workload);
-        assert!(outcome.all_completed(), "{policy}: not all vehicles completed");
+        assert!(
+            outcome.all_completed(),
+            "{policy}: not all vehicles completed"
+        );
         let waits = outcome.metrics.wait_summary();
         println!(
             "{:<12} {:>9.3}s {:>11.3}s {:>10} {:>8}",

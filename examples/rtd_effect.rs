@@ -21,8 +21,7 @@ fn main() {
     );
 
     // The IM assumed actuation at t=0 (VT) / pinned T_E = 150 ms (Crossroads).
-    let assumed =
-        SpeedProfile::vt_response(TimePoint::ZERO, Meters::ZERO, v0, v_t, &spec);
+    let assumed = SpeedProfile::vt_response(TimePoint::ZERO, Meters::ZERO, v0, v_t, &spec);
     let assumed_arrival = assumed
         .time_at_position(d_t)
         .expect("cruise reaches the line");
@@ -57,7 +56,10 @@ fn main() {
 
         println!(
             "{:>9} {:>15.4}s {:>17.3}m {:>15.4}s",
-            rtd_ms, vt_arrival.value(), displacement, xr_arrival.value()
+            rtd_ms,
+            vt_arrival.value(),
+            displacement,
+            xr_arrival.value()
         );
     }
 

@@ -26,7 +26,10 @@ fn average_wait(policy: PolicyKind, scenario: ScenarioId) -> f64 {
 
 fn main() {
     println!("Fig. 7.1 — average wait time on the 1/10-scale model (s)\n");
-    println!("{:<10} {:>10} {:>12} {:>8}", "scenario", "VT-IM", "Crossroads", "ratio");
+    println!(
+        "{:<10} {:>10} {:>12} {:>8}",
+        "scenario", "VT-IM", "Crossroads", "ratio"
+    );
 
     let mut vt_sum = 0.0;
     let mut xr_sum = 0.0;
@@ -35,10 +38,22 @@ fn main() {
         let xr = average_wait(PolicyKind::Crossroads, id);
         vt_sum += vt;
         xr_sum += xr;
-        println!("{:<10} {:>10.3} {:>12.3} {:>7.2}x", id.0, vt, xr, vt / xr.max(1e-9));
+        println!(
+            "{:<10} {:>10.3} {:>12.3} {:>7.2}x",
+            id.0,
+            vt,
+            xr,
+            vt / xr.max(1e-9)
+        );
     }
     let (vt_avg, xr_avg) = (vt_sum / 10.0, xr_sum / 10.0);
-    println!("{:<10} {:>10.3} {:>12.3} {:>7.2}x", "AVG", vt_avg, xr_avg, vt_avg / xr_avg);
+    println!(
+        "{:<10} {:>10.3} {:>12.3} {:>7.2}x",
+        "AVG",
+        vt_avg,
+        xr_avg,
+        vt_avg / xr_avg
+    );
     println!(
         "\nCrossroads reduces average wait by {:.0}% (paper: 24%)",
         (1.0 - xr_avg / vt_avg) * 100.0

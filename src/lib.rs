@@ -55,12 +55,12 @@ pub use crossroads_vehicle as vehicle;
 /// The most common imports, for `use crossroads::prelude::*`.
 pub mod prelude {
     pub use crossroads_core::policy::PolicyKind;
-    pub use crossroads_core::sim::{SimConfig, SimOutcome, run_simulation};
+    pub use crossroads_core::sim::{run_simulation, SimConfig, SimOutcome};
     pub use crossroads_core::{BufferModel, CrossingCommand, CrossingRequest};
     pub use crossroads_intersection::{Approach, IntersectionGeometry, Movement, Turn};
     pub use crossroads_metrics::{RunMetrics, Summary, VehicleRecord};
     pub use crossroads_traffic::{
-        Arrival, PoissonConfig, ScenarioId, generate_poisson, scale_model_scenario,
+        generate_poisson, scale_model_scenario, Arrival, PoissonConfig, ScenarioId,
     };
     pub use crossroads_units::{
         Meters, MetersPerSecond, MetersPerSecondSquared, Seconds, TimePoint,

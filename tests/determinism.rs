@@ -1,0 +1,49 @@
+//! Bit-exact determinism of the closed loop: two same-seed runs of the
+//! headline scenario must serialise to byte-identical metrics records,
+//! for every policy. This is the contract the in-repo PRNG
+//! (`crossroads-prng`) and the hand-rolled writers (`crossroads-metrics`)
+//! exist to keep — any hidden nondeterminism (map iteration order, time-
+//! dependent seeding, float formatting) breaks it immediately.
+
+use crossroads::prelude::*;
+use crossroads_metrics::{records_to_csv, run_to_json};
+
+fn headline_json(policy: PolicyKind, seed: u64) -> (String, String) {
+    let workload = scale_model_scenario(ScenarioId(1), 0);
+    let config = SimConfig::scale_model(policy).with_seed(seed);
+    let out = run_simulation(&config, &workload);
+    assert!(out.all_completed(), "{policy}: incomplete headline run");
+    (
+        run_to_json(&out.metrics),
+        records_to_csv(out.metrics.records()),
+    )
+}
+
+#[test]
+fn same_seed_runs_serialize_byte_identically() {
+    for policy in PolicyKind::ALL {
+        let (json_a, csv_a) = headline_json(policy, 42);
+        let (json_b, csv_b) = headline_json(policy, 42);
+        assert_eq!(
+            json_a.as_bytes(),
+            json_b.as_bytes(),
+            "{policy}: same-seed JSON records diverged"
+        );
+        assert_eq!(
+            csv_a.as_bytes(),
+            csv_b.as_bytes(),
+            "{policy}: same-seed CSV records diverged"
+        );
+        // Sanity: the serialisation actually carries per-vehicle data.
+        assert!(json_a.contains("\"records\":[{"), "{policy}: empty records");
+    }
+}
+
+#[test]
+fn different_seeds_actually_perturb_the_records() {
+    // Guards against the determinism test passing vacuously because the
+    // seed never reaches the noise models.
+    let (a, _) = headline_json(PolicyKind::Crossroads, 42);
+    let (b, _) = headline_json(PolicyKind::Crossroads, 43);
+    assert_ne!(a, b, "different seeds should change the measured records");
+}

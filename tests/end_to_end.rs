@@ -2,8 +2,7 @@
 //! way a downstream user would, across all crates at once.
 
 use crossroads::prelude::*;
-use rand::SeedableRng;
-use rand::rngs::StdRng;
+use crossroads_prng::{SeedableRng, StdRng};
 
 #[test]
 fn headline_scale_model_ratio_holds() {
@@ -16,8 +15,10 @@ fn headline_scale_model_ratio_holds() {
         for repeat in 0..5 {
             let w = scale_model_scenario(id, repeat);
             let seed = repeat * 977 + u64::from(id.0);
-            let vt_out =
-                run_simulation(&SimConfig::scale_model(PolicyKind::VtIm).with_seed(seed), &w);
+            let vt_out = run_simulation(
+                &SimConfig::scale_model(PolicyKind::VtIm).with_seed(seed),
+                &w,
+            );
             let xr_out = run_simulation(
                 &SimConfig::scale_model(PolicyKind::Crossroads).with_seed(seed),
                 &w,
@@ -59,14 +60,21 @@ fn saturation_throughput_ordering_matches_paper() {
     let xr = carried[&PolicyKind::Crossroads];
     let aim = carried[&PolicyKind::Aim];
     assert!(xr > vt, "Crossroads {xr:.4} must beat VT-IM {vt:.4}");
-    assert!(aim > vt, "AIM {aim:.4} must beat VT-IM {vt:.4} at saturation");
+    assert!(
+        aim > vt,
+        "AIM {aim:.4} must beat VT-IM {vt:.4} at saturation"
+    );
     assert!(
         xr >= aim * 0.97,
         "Crossroads {xr:.4} should at least match coarse-grid AIM {aim:.4}"
     );
     // The paper's worst-case factor over VT-IM is 1.62x; ours should be
     // at least 1.1x on the average.
-    assert!(xr / vt > 1.1, "Crossroads/VT ratio {:.2} too small", xr / vt);
+    assert!(
+        xr / vt > 1.1,
+        "Crossroads/VT ratio {:.2} too small",
+        xr / vt
+    );
 }
 
 #[test]
@@ -123,6 +131,45 @@ fn overhead_ratios_favor_crossroads() {
 }
 
 #[test]
+fn golden_crossroads_matches_or_beats_vt_at_nonzero_wc_rtd() {
+    // The golden end-to-end claim of the paper: with the full-scale
+    // (nonzero) WC-RTD budget in force, Crossroads' throughput — the
+    // paper's completed-vehicles-per-wait-second metric — is at least
+    // VT-IM's on the same saturating workload, with zero safety
+    // violations on both sides.
+    let xr_config = SimConfig::full_scale(PolicyKind::Crossroads).with_seed(11);
+    let vt_config = SimConfig::full_scale(PolicyKind::VtIm).with_seed(11);
+    assert!(
+        xr_config.buffers.rtd.wc_rtd() > Seconds::ZERO,
+        "full-scale config must budget a nonzero worst-case RTD"
+    );
+
+    let mut rng = StdRng::seed_from_u64(1111);
+    let line_speed = xr_config.spec.v_max * (2.0 / 3.0);
+    let w = generate_poisson(&PoissonConfig::sweep_point(0.8, line_speed), &mut rng);
+
+    let xr = run_simulation(&xr_config, &w);
+    let vt = run_simulation(&vt_config, &w);
+    for (name, out) in [("crossroads", &xr), ("vt", &vt)] {
+        assert!(out.all_completed(), "{name}: incomplete run");
+        assert!(
+            out.safety.violations().is_empty(),
+            "{name}: safety violations {:?}",
+            out.safety.violations()
+        );
+    }
+    let (xr_tp, vt_tp) = (xr.metrics.throughput(), vt.metrics.throughput());
+    assert!(
+        xr_tp.is_finite() && vt_tp.is_finite(),
+        "saturating workload must accrue nonzero wait ({xr_tp} / {vt_tp})"
+    );
+    assert!(
+        xr_tp >= vt_tp,
+        "Crossroads throughput {xr_tp:.4} below VT-IM {vt_tp:.4} at nonzero WC-RTD"
+    );
+}
+
+#[test]
 fn outcomes_are_reproducible_across_calls() {
     let w = scale_model_scenario(ScenarioId(4), 2);
     let config = SimConfig::scale_model(PolicyKind::Aim).with_seed(99);
@@ -149,5 +196,8 @@ fn exit_reports_allow_next_vehicles_in() {
     assert!(out.all_completed());
     assert!(out.safety.is_safe());
     let r: Vec<_> = out.metrics.records().to_vec();
-    assert!(r[1].wait() < Seconds::new(0.5), "second vehicle found a clear box");
+    assert!(
+        r[1].wait() < Seconds::new(0.5),
+        "second vehicle found a clear box"
+    );
 }

@@ -3,66 +3,79 @@
 //! metrics are internally consistent.
 
 use crossroads::prelude::*;
-use crossroads_intersection::Approach;
-use proptest::prelude::*;
+use crossroads_check::{ck_assert, ck_assert_eq, forall, vec, Config};
+use crossroads_intersection::{Approach, Movement, Turn};
 
-fn arbitrary_workload() -> impl Strategy<Value = Vec<Arrival>> {
-    prop::collection::vec(
+/// Raw generated tuples: (approach index, turn index, arrival offset,
+/// line speed).
+type RawArrival = (usize, usize, f64, f64);
+
+/// Turns the raw tuples into a physically plausible workload: sorted by
+/// line time, with the same-lane headway the generators guarantee.
+fn build_workload(raw: &[RawArrival]) -> Vec<Arrival> {
+    let mut arrivals: Vec<Arrival> = raw
+        .iter()
+        .enumerate()
+        .map(|(i, &(a, t, at, speed))| Arrival {
+            vehicle: VehicleId(u32::try_from(i).expect("small")),
+            movement: Movement::new(
+                Approach::ALL[a],
+                [Turn::Straight, Turn::Left, Turn::Right][t],
+            ),
+            at_line: TimePoint::new(at),
+            speed: MetersPerSecond::new(speed),
+        })
+        .collect();
+    arrivals.sort_by(|x, y| x.at_line.partial_cmp(&y.at_line).expect("finite"));
+    // Enforce the physical same-lane headway the generators guarantee.
+    let mut last: std::collections::HashMap<Approach, TimePoint> =
+        std::collections::HashMap::default();
+    for a in &mut arrivals {
+        if let Some(&prev) = last.get(&a.movement.approach) {
+            if a.at_line - prev < Seconds::new(1.5) {
+                a.at_line = prev + Seconds::new(1.5);
+            }
+        }
+        last.insert(a.movement.approach, a.at_line);
+    }
+    arrivals.sort_by(|x, y| x.at_line.partial_cmp(&y.at_line).expect("finite"));
+    arrivals
+}
+
+/// The raw-workload strategy feeding [`build_workload`].
+fn raw_workload() -> crossroads_check::VecStrategy<(
+    std::ops::Range<usize>,
+    std::ops::Range<usize>,
+    std::ops::Range<f64>,
+    std::ops::Range<f64>,
+)> {
+    vec(
         (
-            0usize..4,                  // approach
-            0usize..3,                  // turn
-            0.0f64..20.0,               // arrival offset
-            0.5f64..3.0,                // line speed
+            0usize..4,    // approach
+            0usize..3,    // turn
+            0.0f64..20.0, // arrival offset
+            0.5f64..3.0,  // line speed
         ),
         1..12,
     )
-    .prop_map(|raw| {
-        use crossroads_intersection::{Movement, Turn};
-        let mut arrivals: Vec<Arrival> = raw
-            .into_iter()
-            .enumerate()
-            .map(|(i, (a, t, at, speed))| Arrival {
-                vehicle: VehicleId(u32::try_from(i).expect("small")),
-                movement: Movement::new(
-                    Approach::ALL[a],
-                    [Turn::Straight, Turn::Left, Turn::Right][t],
-                ),
-                at_line: TimePoint::new(at),
-                speed: MetersPerSecond::new(speed),
-            })
-            .collect();
-        arrivals.sort_by(|x, y| x.at_line.partial_cmp(&y.at_line).expect("finite"));
-        // Enforce the physical same-lane headway the generators guarantee.
-        let mut last: std::collections::HashMap<Approach, TimePoint> = Default::default();
-        for a in &mut arrivals {
-            if let Some(&prev) = last.get(&a.movement.approach) {
-                if a.at_line - prev < Seconds::new(1.5) {
-                    a.at_line = prev + Seconds::new(1.5);
-                }
-            }
-            last.insert(a.movement.approach, a.at_line);
-        }
-        arrivals.sort_by(|x, y| x.at_line.partial_cmp(&y.at_line).expect("finite"));
-        arrivals
-    })
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+forall! {
+    config = Config::default().with_cases(24);
 
     /// Liveness + safety for every policy on arbitrary small workloads.
-    #[test]
-    fn any_workload_completes_safely(workload in arbitrary_workload(), seed in 0u64..1000) {
+    fn any_workload_completes_safely(raw in raw_workload(), seed in 0u64..1000) {
+        let workload = build_workload(&raw);
         for policy in PolicyKind::ALL {
             let config = SimConfig::scale_model(policy).with_seed(seed);
             let out = run_simulation(&config, &workload);
-            prop_assert!(
+            ck_assert!(
                 out.all_completed(),
                 "{policy}: {}/{} completed (seed {seed})",
                 out.metrics.completed(),
                 out.spawned
             );
-            prop_assert!(
+            ck_assert!(
                 out.safety.is_safe(),
                 "{policy}: {:?} (seed {seed})",
                 out.safety.violations()
@@ -72,29 +85,29 @@ proptest! {
 
     /// Metric invariants: waits are non-negative, clearances follow
     /// arrivals, every record belongs to the workload.
-    #[test]
-    fn metrics_are_internally_consistent(workload in arbitrary_workload(), seed in 0u64..1000) {
+    fn metrics_are_internally_consistent(raw in raw_workload(), seed in 0u64..1000) {
+        let workload = build_workload(&raw);
         let config = SimConfig::scale_model(PolicyKind::Crossroads).with_seed(seed);
         let out = run_simulation(&config, &workload);
         let ids: std::collections::HashSet<_> = workload.iter().map(|a| a.vehicle).collect();
         for r in out.metrics.records() {
-            prop_assert!(ids.contains(&r.vehicle));
-            prop_assert!(r.cleared_at > r.line_at);
-            prop_assert!(r.wait().value() >= 0.0);
-            prop_assert!(r.requests_sent >= 1);
+            ck_assert!(ids.contains(&r.vehicle));
+            ck_assert!(r.cleared_at > r.line_at);
+            ck_assert!(r.wait().value() >= 0.0);
+            ck_assert!(r.requests_sent >= 1);
         }
         // Occupancy log matches the record count.
-        prop_assert_eq!(out.safety.occupancies().len(), out.metrics.completed());
+        ck_assert_eq!(out.safety.occupancies().len(), out.metrics.completed());
     }
 
     /// The protocol's network lower bound: every completed vehicle used at
     /// least one uplink request plus the sync exchange and exit report.
-    #[test]
-    fn message_accounting_lower_bound(workload in arbitrary_workload(), seed in 0u64..100) {
+    fn message_accounting_lower_bound(raw in raw_workload(), seed in 0u64..100) {
+        let workload = build_workload(&raw);
         let config = SimConfig::scale_model(PolicyKind::VtIm).with_seed(seed);
         let out = run_simulation(&config, &workload);
         let n = out.metrics.completed() as u64;
         // sync (2) + >=1 request + exit report per vehicle.
-        prop_assert!(out.metrics.counters().messages >= n * 4);
+        ck_assert!(out.metrics.counters().messages >= n * 4);
     }
 }
