@@ -22,6 +22,22 @@ cargo build --release --offline --workspace
 echo "==> offline test suite"
 cargo test -q --offline --workspace
 
+echo "==> parallel sweep determinism smoke (1 thread vs default)"
+# Reduced sweep, timings discarded: stdout must be byte-identical no
+# matter how many worker threads run the points.
+seq_out=$(mktemp)
+par_out=$(mktemp)
+trap 'rm -f "$seq_out" "$par_out"' EXIT
+CROSSROADS_SWEEP_FAST=1 CROSSROADS_BENCH_OUT=/dev/null CROSSROADS_THREADS=1 \
+    ./target/release/exp_flow_sweep >"$seq_out" 2>/dev/null
+CROSSROADS_SWEEP_FAST=1 CROSSROADS_BENCH_OUT=/dev/null \
+    ./target/release/exp_flow_sweep >"$par_out" 2>/dev/null
+if ! cmp -s "$seq_out" "$par_out"; then
+    echo "FAIL: parallel sweep output diverges from the sequential run" >&2
+    diff "$seq_out" "$par_out" >&2 || true
+    exit 1
+fi
+
 if cargo fmt --version >/dev/null 2>&1; then
     echo "==> rustfmt check"
     cargo fmt --check

@@ -1,0 +1,169 @@
+//! ReservationTable hot paths: the bucketed, binary-searched
+//! `earliest_slot` against the seed's flat restart-scan, and the cost of
+//! advancing the `retire_before` watermark.
+//!
+//! Self-timed (`harness = false`); run with `cargo bench --bench schedule`.
+
+use crossroads_bench::timing::{bench, bench_table_header};
+use crossroads_intersection::{
+    ConflictTable, IntersectionGeometry, Movement, Reservation, ReservationTable,
+};
+use crossroads_units::{Meters, Seconds, TimePoint};
+use crossroads_vehicle::VehicleId;
+use std::hint::black_box;
+
+/// The seed's reservation table, kept verbatim as the bench baseline: a
+/// flat `Vec<Reservation>` sorted by `enter`, with `earliest_slot`
+/// re-scanning the whole table until a pass moves nothing.
+struct NaiveTable {
+    conflicts: ConflictTable,
+    reservations: Vec<Reservation>,
+}
+
+impl NaiveTable {
+    fn new(conflicts: ConflictTable) -> Self {
+        NaiveTable {
+            conflicts,
+            reservations: Vec::new(),
+        }
+    }
+
+    fn earliest_slot(
+        &self,
+        movement: Movement,
+        earliest: TimePoint,
+        duration: Seconds,
+    ) -> TimePoint {
+        let mut enter = earliest;
+        loop {
+            let mut moved = false;
+            for r in &self.reservations {
+                if !self.conflicts.conflicts(movement, r.movement) {
+                    continue;
+                }
+                let (c_enter, c_exit) = (enter, enter + duration);
+                if c_enter < r.exit && r.enter < c_exit {
+                    enter = r.exit;
+                    moved = true;
+                }
+            }
+            if !moved {
+                return enter;
+            }
+        }
+    }
+
+    fn insert(&mut self, r: Reservation) {
+        let pos = self.reservations.partition_point(|x| x.enter <= r.enter);
+        self.reservations.insert(pos, r);
+    }
+}
+
+/// Deterministic FIFO workload: `n` admissions cycling through the
+/// movements with staggered ready times, admitted at their earliest
+/// slots so both tables hold identical windows.
+fn build_tables(n: usize) -> (NaiveTable, ReservationTable) {
+    let conflicts = ConflictTable::compute(&IntersectionGeometry::full_scale(), Meters::new(1.8));
+    let mut naive = NaiveTable::new(conflicts.clone());
+    let mut bucketed = ReservationTable::new(conflicts);
+    let movements = Movement::all();
+    for i in 0..n {
+        let movement = movements[(i * 5) % movements.len()];
+        #[allow(clippy::cast_precision_loss)]
+        let earliest = TimePoint::new((i as f64) * 0.37);
+        let dur = Seconds::new(0.8 + ((i % 7) as f64) * 0.21);
+        let slot = bucketed.earliest_slot(movement, earliest, dur);
+        assert_eq!(
+            slot,
+            naive.earliest_slot(movement, earliest, dur),
+            "baseline and bucketed tables disagree at admission {i}"
+        );
+        #[allow(clippy::cast_possible_truncation)]
+        let r = Reservation {
+            vehicle: VehicleId(i as u32),
+            movement,
+            enter: slot,
+            exit: slot + dur,
+        };
+        naive.insert(r);
+        bucketed
+            .insert(r)
+            .expect("earliest_slot answers insert cleanly");
+    }
+    (naive, bucketed)
+}
+
+fn main() {
+    bench_table_header("schedule");
+
+    for n in [16usize, 64, 256, 1024] {
+        let (naive, bucketed) = build_tables(n);
+        let movements = Movement::all();
+        // Query in the thick of the busy span, across all movements.
+        #[allow(clippy::cast_precision_loss)]
+        let mid = TimePoint::new(n as f64 * 0.37 * 0.5);
+        let dur = Seconds::new(1.1);
+
+        // Worst case: a query from mid-span must cascade past every
+        // later conflicting window before finding open time.
+        bench(&format!("cascade_query_naive/{n}"), || {
+            let mut acc = 0.0;
+            for &m in &movements {
+                acc += naive.earliest_slot(m, black_box(mid), dur).value();
+            }
+            acc
+        });
+        bench(&format!("cascade_query_bucketed/{n}"), || {
+            let mut acc = 0.0;
+            for &m in &movements {
+                acc += bucketed.earliest_slot(m, black_box(mid), dur).value();
+            }
+            acc
+        });
+        // Steady state: arrivals are time-ordered, so admission queries
+        // land near the schedule frontier, not mid-corridor.
+        #[allow(clippy::cast_precision_loss)]
+        let frontier = TimePoint::new(n as f64 * 0.37);
+        bench(&format!("frontier_query_naive/{n}"), || {
+            let mut acc = 0.0;
+            for &m in &movements {
+                acc += naive.earliest_slot(m, black_box(frontier), dur).value();
+            }
+            acc
+        });
+        bench(&format!("frontier_query_bucketed/{n}"), || {
+            let mut acc = 0.0;
+            for &m in &movements {
+                acc += bucketed.earliest_slot(m, black_box(frontier), dur).value();
+            }
+            acc
+        });
+        // Open time: a query past the whole busy span. The naive table
+        // still scans every window; the bucketed one answers from a
+        // handful of binary searches.
+        #[allow(clippy::cast_precision_loss)]
+        let open = TimePoint::new(n as f64 * 4.0);
+        bench(&format!("open_time_query_naive/{n}"), || {
+            let mut acc = 0.0;
+            for &m in &movements {
+                acc += naive.earliest_slot(m, black_box(open), dur).value();
+            }
+            acc
+        });
+        bench(&format!("open_time_query_bucketed/{n}"), || {
+            let mut acc = 0.0;
+            for &m in &movements {
+                acc += bucketed.earliest_slot(m, black_box(open), dur).value();
+            }
+            acc
+        });
+        // The steady-state IM loop: prune up to `now`, then query. The
+        // monotonic watermark makes the repeated retire a near no-op.
+        let mut retired = bucketed.clone();
+        retired.retire_before(mid);
+        bench(&format!("retire_then_query/{n}"), move || {
+            retired.retire_before(black_box(mid));
+            retired.earliest_slot(movements[0], black_box(mid), dur)
+        });
+    }
+}

@@ -10,6 +10,14 @@ use crossroads_units::{Meters, Point2, Radians, TimePoint};
 use crossroads_vehicle::VehicleId;
 use std::hint::black_box;
 
+/// The seed's `is_free`: a full linear scan of the tile's intervals.
+/// Kept as the baseline for the binary-searched ledger.
+fn linear_is_free(slots: &[(TimePoint, TimePoint)], iv: &TileInterval) -> bool {
+    slots
+        .iter()
+        .all(|&(from, until)| !(iv.from < until && from < iv.until))
+}
+
 fn main() {
     bench_table_header("tiles");
 
@@ -22,6 +30,18 @@ fn main() {
                 Meters::new(5.5),
                 Meters::new(1.8),
             ))
+        });
+        // The allocation-free variant AIM's trajectory march uses.
+        let mut scratch = Vec::new();
+        bench(&format!("footprint_cover_into/{side}"), move || {
+            grid.tiles_for_footprint_into(
+                black_box(Point2::new(1.8, -1.8)),
+                Radians::new(std::f64::consts::FRAC_PI_4),
+                Meters::new(5.5),
+                Meters::new(1.8),
+                &mut scratch,
+            );
+            black_box(scratch.len())
         });
 
         let grid = TileGrid::new(Meters::new(12.0), side);
@@ -37,6 +57,47 @@ fn main() {
             let ok = sched.try_reserve(VehicleId(1), black_box(&request));
             sched.release(VehicleId(1));
             black_box(ok)
+        });
+    }
+
+    // Availability checks on one busy tile: the seed's linear scan vs the
+    // ledger's binary search, over identical interval sets.
+    for occupied in [8usize, 64, 512] {
+        let grid = TileGrid::new(Meters::new(12.0), 8);
+        let mut sched = TileSchedule::new(grid);
+        let mut mirror: Vec<(TimePoint, TimePoint)> = Vec::new();
+        for i in 0..occupied {
+            #[allow(clippy::cast_precision_loss)]
+            let from = TimePoint::new(i as f64);
+            let until = TimePoint::new(from.value() + 0.9);
+            #[allow(clippy::cast_possible_truncation)]
+            let ok = sched.try_reserve(
+                VehicleId(i as u32),
+                &[TileInterval {
+                    tile: 5,
+                    from,
+                    until,
+                }],
+            );
+            assert!(ok, "disjoint setup intervals must reserve");
+            mirror.push((from, until));
+        }
+        #[allow(clippy::cast_precision_loss)]
+        let probe = TileInterval {
+            tile: 5,
+            from: TimePoint::new(occupied as f64 * 0.5 + 0.91),
+            until: TimePoint::new(occupied as f64 * 0.5 + 0.99),
+        };
+        assert_eq!(
+            sched.is_free(&[probe]),
+            linear_is_free(&mirror, &probe),
+            "baseline and ledger disagree"
+        );
+        bench(&format!("is_free_linear/{occupied}"), || {
+            black_box(linear_is_free(&mirror, black_box(&probe)))
+        });
+        bench(&format!("is_free_binary/{occupied}"), || {
+            black_box(sched.is_free(black_box(std::slice::from_ref(&probe))))
         });
     }
 }

@@ -5,16 +5,22 @@
 //! Paper reference: all three coincide at low flow; VT-IM saturates
 //! first, AIM next, Crossroads highest. Crossroads is 1.62x over VT-IM
 //! in the worst case (1.36x average) and 1.28x over AIM (1.15x average).
+//!
+//! Every (rate, series, seed) point is an independent simulation, so the
+//! sweep runs on the `CROSSROADS_THREADS` worker pool; the table is
+//! byte-identical at any thread count.
 
-use crossroads_bench::{carried_per_lane, run_ideal_point, run_sweep_point, SWEEP_RATES};
+use crossroads_bench::{
+    carried_per_lane, par_sweep, run_ideal_point, run_sweep_point, sweep_rates, sweep_seeds,
+};
 use crossroads_core::policy::PolicyKind;
 
-const SEEDS: [u64; 3] = [11, 42, 91];
-
 fn main() {
+    let rates = sweep_rates();
+    let seeds = sweep_seeds();
     println!(
         "# E5 — Fig. 7.2: carried throughput (cars/second/lane), mean of {} seeds\n",
-        SEEDS.len()
+        seeds.len()
     );
     crossroads_bench::table_header(&[
         "input rate",
@@ -26,28 +32,53 @@ fn main() {
         "XR/AIM",
     ]);
 
+    // One point per (rate, series, seed); `None` is the Ideal series.
+    let mut points: Vec<(f64, Option<PolicyKind>, u64)> = Vec::new();
+    for &rate in &rates {
+        for policy in PolicyKind::ALL {
+            for &seed in &seeds {
+                points.push((rate, Some(policy), seed));
+            }
+        }
+        for &seed in &seeds {
+            points.push((rate, None, seed));
+        }
+    }
+    let carried = par_sweep(
+        "exp_flow_sweep",
+        &points,
+        |&(rate, policy, seed)| match policy {
+            Some(p) => format!("{p}@{rate}/s{seed}"),
+            None => format!("Ideal@{rate}/s{seed}"),
+        },
+        |&(rate, policy, seed)| match policy {
+            Some(p) => carried_per_lane(&run_sweep_point(p, rate, seed)),
+            None => carried_per_lane(&run_ideal_point(rate, seed)),
+        },
+    );
+
+    let per_rate = points.len() / rates.len();
+    let n = seeds.len() as f64;
     let mut ratios_vt = Vec::new();
     let mut ratios_aim = Vec::new();
-    for rate in SWEEP_RATES {
-        let mut carried = std::collections::HashMap::new();
-        for policy in PolicyKind::ALL {
-            let mean = SEEDS
-                .iter()
-                .map(|&s| carried_per_lane(&run_sweep_point(policy, rate, s)))
-                .sum::<f64>()
-                / SEEDS.len() as f64;
-            carried.insert(policy, mean);
+    for (ri, &rate) in rates.iter().enumerate() {
+        // Dense per-policy accumulator (indexed by `PolicyKind::index`),
+        // plus the Ideal series on the side.
+        let mut sums = [0.0f64; PolicyKind::ALL.len()];
+        let mut ideal_sum = 0.0f64;
+        let chunk = ri * per_rate;
+        for (offset, &value) in carried[chunk..chunk + per_rate].iter().enumerate() {
+            match points[chunk + offset].1 {
+                Some(p) => sums[p.index()] += value,
+                None => ideal_sum += value,
+            }
         }
-        let ideal = SEEDS
-            .iter()
-            .map(|&s| carried_per_lane(&run_ideal_point(rate, s)))
-            .sum::<f64>()
-            / SEEDS.len() as f64;
         let (vt, xr, aim) = (
-            carried[&PolicyKind::VtIm],
-            carried[&PolicyKind::Crossroads],
-            carried[&PolicyKind::Aim],
+            sums[PolicyKind::VtIm.index()] / n,
+            sums[PolicyKind::Crossroads.index()] / n,
+            sums[PolicyKind::Aim.index()] / n,
         );
+        let ideal = ideal_sum / n;
         ratios_vt.push(xr / vt);
         ratios_aim.push(xr / aim);
         println!(

@@ -4,17 +4,26 @@
 //! 2. simulation: 1.62x higher throughput than VT-IM (worst case),
 //!    1.36x better than AIM (the thesis text mixes "average/worst"
 //!    phrasing; we report both aggregations for both baselines).
+//!
+//! Both stages fan out over the `CROSSROADS_THREADS` worker pool; each
+//! point is a self-seeded simulation, so the output never depends on the
+//! thread count.
 
-use crossroads_bench::{carried_per_lane, run_sweep_point, SWEEP_RATES};
+use crossroads_bench::{carried_per_lane, par_sweep, run_sweep_point, SWEEP_RATES};
 use crossroads_core::policy::PolicyKind;
 use crossroads_core::sim::{run_simulation, SimConfig};
 use crossroads_traffic::{scale_model_scenario, ScenarioId};
 
 fn scale_model_reduction() -> f64 {
-    let mut vt = 0.0;
-    let mut xr = 0.0;
-    for id in ScenarioId::all() {
-        for repeat in 0..10 {
+    let points: Vec<(ScenarioId, u64)> = ScenarioId::all()
+        .into_iter()
+        .flat_map(|id| (0..10).map(move |repeat| (id, repeat)))
+        .collect();
+    let waits = par_sweep(
+        "headline_scale_model",
+        &points,
+        |&(id, repeat)| format!("scenario{}r{repeat}", id.0),
+        |&(id, repeat)| {
             let w = scale_model_scenario(id, repeat);
             let seed = repeat * 1313 + 7;
             let a = run_simulation(
@@ -26,20 +35,36 @@ fn scale_model_reduction() -> f64 {
                 &w,
             );
             assert!(a.all_completed() && b.all_completed());
-            vt += a.metrics.average_wait().value();
-            xr += b.metrics.average_wait().value();
-        }
-    }
+            (
+                a.metrics.average_wait().value(),
+                b.metrics.average_wait().value(),
+            )
+        },
+    );
+    let vt: f64 = waits.iter().map(|&(v, _)| v).sum();
+    let xr: f64 = waits.iter().map(|&(_, x)| x).sum();
     (1.0 - xr / vt) * 100.0
 }
 
 fn sweep_ratios() -> (f64, f64, f64, f64) {
+    let points: Vec<(f64, PolicyKind)> = SWEEP_RATES
+        .into_iter()
+        .flat_map(|rate| PolicyKind::ALL.map(|p| (rate, p)))
+        .collect();
+    let carried = par_sweep(
+        "headline_sweep",
+        &points,
+        |&(rate, policy)| format!("{policy}@{rate}"),
+        |&(rate, policy)| carried_per_lane(&run_sweep_point(policy, rate, 42)),
+    );
     let mut vs_vt = Vec::new();
     let mut vs_aim = Vec::new();
-    for rate in SWEEP_RATES {
-        let vt = carried_per_lane(&run_sweep_point(PolicyKind::VtIm, rate, 42));
-        let xr = carried_per_lane(&run_sweep_point(PolicyKind::Crossroads, rate, 42));
-        let aim = carried_per_lane(&run_sweep_point(PolicyKind::Aim, rate, 42));
+    for chunk in carried.chunks(PolicyKind::ALL.len()) {
+        let (vt, xr, aim) = (
+            chunk[PolicyKind::VtIm.index()],
+            chunk[PolicyKind::Crossroads.index()],
+            chunk[PolicyKind::Aim.index()],
+        );
         vs_vt.push(xr / vt);
         vs_aim.push(xr / aim);
     }

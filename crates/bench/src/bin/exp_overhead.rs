@@ -3,9 +3,13 @@
 //! Paper reference: AIM has up to 16x higher computation per admitted
 //! vehicle than Crossroads; Crossroads/VT-IM network traffic is up to
 //! 20x lower than AIM's.
+//!
+//! The (rate, policy) grid runs on the `CROSSROADS_THREADS` worker pool.
 
-use crossroads_bench::run_sweep_point;
+use crossroads_bench::{par_sweep, run_sweep_point};
 use crossroads_core::policy::PolicyKind;
+
+const RATES: [f64; 3] = [0.2, 0.6, 1.25];
 
 fn main() {
     println!("# E6 — Ch. 7.2: computation and network overhead per policy\n");
@@ -18,17 +22,30 @@ fn main() {
         "requests/vehicle",
     ]);
 
+    let points: Vec<(f64, PolicyKind)> = RATES
+        .into_iter()
+        .flat_map(|rate| PolicyKind::ALL.map(|p| (rate, p)))
+        .collect();
+    let outcomes = par_sweep(
+        "exp_overhead",
+        &points,
+        |&(rate, policy)| format!("{policy}@{rate}"),
+        |&(rate, policy)| run_sweep_point(policy, rate, 42),
+    );
+
     let mut worst_ops_ratio: f64 = 0.0;
     let mut worst_msg_ratio: f64 = 0.0;
-    for rate in [0.2, 0.6, 1.25] {
-        let mut ops_per_req = std::collections::HashMap::new();
-        let mut msgs = std::collections::HashMap::new();
-        for policy in PolicyKind::ALL {
-            let out = run_sweep_point(policy, rate, 42);
+    for (chunk_points, chunk) in points
+        .chunks(PolicyKind::ALL.len())
+        .zip(outcomes.chunks(PolicyKind::ALL.len()))
+    {
+        let mut ops_per_req = [0.0f64; PolicyKind::ALL.len()];
+        let mut msgs = [0.0f64; PolicyKind::ALL.len()];
+        for (&(rate, policy), out) in chunk_points.iter().zip(chunk) {
             let c = out.metrics.counters();
             let opr = c.im_ops as f64 / c.im_requests.max(1) as f64;
-            ops_per_req.insert(policy, opr);
-            msgs.insert(policy, c.messages as f64);
+            ops_per_req[policy.index()] = opr;
+            msgs[policy.index()] = c.messages as f64;
             println!(
                 "| {rate} | {policy} | {opr:.1} | {:.2} | {} | {:.2} |",
                 c.im_busy.value(),
@@ -36,10 +53,11 @@ fn main() {
                 out.metrics.total_requests() as f64 / out.metrics.completed().max(1) as f64,
             );
         }
-        worst_ops_ratio = worst_ops_ratio
-            .max(ops_per_req[&PolicyKind::Aim] / ops_per_req[&PolicyKind::Crossroads]);
-        worst_msg_ratio =
-            worst_msg_ratio.max(msgs[&PolicyKind::Aim] / msgs[&PolicyKind::Crossroads]);
+        worst_ops_ratio = worst_ops_ratio.max(
+            ops_per_req[PolicyKind::Aim.index()] / ops_per_req[PolicyKind::Crossroads.index()],
+        );
+        worst_msg_ratio = worst_msg_ratio
+            .max(msgs[PolicyKind::Aim.index()] / msgs[PolicyKind::Crossroads.index()]);
     }
 
     println!("\n## Paper vs measured\n");

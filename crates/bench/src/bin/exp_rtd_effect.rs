@@ -63,14 +63,22 @@ fn open_loop_table() {
 fn closed_loop_spread() {
     println!("\n## Closed loop: buffer stripped, 78 mm-envelope audit (30 seeds)\n");
     crossroads_bench::table_header(&["policy", "RTD buffer", "seeds with envelope violations"]);
-    for (enabled, label) in [(true, "on"), (false, "off (failure injection)")] {
-        let mut buffers = crossroads_core::BufferModel::scale_model();
-        buffers.vt_rtd_buffer_enabled = enabled;
-        if !enabled {
-            buffers.e_long = Meters::ZERO;
-        }
-        let mut bad = 0;
-        for seed in 0..30 {
+    // Every (buffer-setting, seed) audit is independent — fan the grid
+    // out over the `CROSSROADS_THREADS` worker pool.
+    let points: Vec<(bool, u64)> = [true, false]
+        .into_iter()
+        .flat_map(|enabled| (0..30).map(move |seed| (enabled, seed)))
+        .collect();
+    let violations = crossroads_bench::par_sweep(
+        "rtd_closed_loop",
+        &points,
+        |&(enabled, seed)| format!("buffer-{}/s{seed}", if enabled { "on" } else { "off" }),
+        |&(enabled, seed)| {
+            let mut buffers = crossroads_core::BufferModel::scale_model();
+            buffers.vt_rtd_buffer_enabled = enabled;
+            if !enabled {
+                buffers.e_long = Meters::ZERO;
+            }
             let w = scale_model_scenario(ScenarioId(1), seed);
             let config = SimConfig::scale_model(PolicyKind::VtIm)
                 .with_seed(seed)
@@ -82,10 +90,15 @@ fn closed_loop_spread() {
                 &config.spec,
                 Meters::from_millis(78.0),
             );
-            if !audit.is_safe() {
-                bad += 1;
-            }
-        }
+            !audit.is_safe()
+        },
+    );
+    for (enabled, label) in [(true, "on"), (false, "off (failure injection)")] {
+        let bad = points
+            .iter()
+            .zip(&violations)
+            .filter(|(&(e, _), &v)| e == enabled && v)
+            .count();
         println!("| VT-IM | {label} | {bad}/30 |");
     }
 }

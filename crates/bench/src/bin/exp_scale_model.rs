@@ -5,30 +5,12 @@
 //! (scenario 1), 1.08x in the best case (scenario 10), ~24% lower wait
 //! overall.
 
+use crossroads_bench::par_sweep;
 use crossroads_core::policy::PolicyKind;
 use crossroads_core::sim::{run_simulation, SimConfig};
 use crossroads_traffic::{scale_model_scenario, ScenarioId};
 
 const REPEATS: u64 = 10;
-
-fn average_wait(policy: PolicyKind, scenario: ScenarioId) -> f64 {
-    let mut total = 0.0;
-    for repeat in 0..REPEATS {
-        let workload = scale_model_scenario(scenario, repeat);
-        let config = SimConfig::scale_model(policy).with_seed(repeat * 1313 + 7);
-        let outcome = run_simulation(&config, &workload);
-        assert!(
-            outcome.all_completed(),
-            "{policy} {scenario} repeat {repeat}: incomplete"
-        );
-        assert!(
-            outcome.safety.is_safe(),
-            "{policy} {scenario} repeat {repeat}: unsafe"
-        );
-        total += outcome.metrics.average_wait().value();
-    }
-    total / REPEATS as f64
-}
 
 fn main() {
     println!("# E4 — Fig. 7.1: scale-model average wait, 10 scenarios x {REPEATS} repeats\n");
@@ -39,13 +21,52 @@ fn main() {
         "VT/XR ratio",
     ]);
 
+    // One point per (scenario, policy, repeat) simulation, fanned out on
+    // the `CROSSROADS_THREADS` worker pool.
+    let points: Vec<(ScenarioId, PolicyKind, u64)> = ScenarioId::all()
+        .into_iter()
+        .flat_map(|id| {
+            [PolicyKind::VtIm, PolicyKind::Crossroads]
+                .into_iter()
+                .flat_map(move |policy| (0..REPEATS).map(move |repeat| (id, policy, repeat)))
+        })
+        .collect();
+    let waits = par_sweep(
+        "exp_scale_model",
+        &points,
+        |&(id, policy, repeat)| format!("{policy}/scenario{}/r{repeat}", id.0),
+        |&(id, policy, repeat)| {
+            let workload = scale_model_scenario(id, repeat);
+            let config = SimConfig::scale_model(policy).with_seed(repeat * 1313 + 7);
+            let outcome = run_simulation(&config, &workload);
+            assert!(
+                outcome.all_completed(),
+                "{policy} {id} repeat {repeat}: incomplete"
+            );
+            assert!(
+                outcome.safety.is_safe(),
+                "{policy} {id} repeat {repeat}: unsafe"
+            );
+            outcome.metrics.average_wait().value()
+        },
+    );
+    let mean = |scenario: ScenarioId, policy: PolicyKind| {
+        let total: f64 = points
+            .iter()
+            .zip(&waits)
+            .filter(|(&(id, p, _), _)| id == scenario && p == policy)
+            .map(|(_, &w)| w)
+            .sum();
+        total / REPEATS as f64
+    };
+
     let mut vt_sum = 0.0;
     let mut xr_sum = 0.0;
     let mut worst_ratio: f64 = 0.0;
     let mut best_ratio = f64::INFINITY;
     for id in ScenarioId::all() {
-        let vt = average_wait(PolicyKind::VtIm, id);
-        let xr = average_wait(PolicyKind::Crossroads, id);
+        let vt = mean(id, PolicyKind::VtIm);
+        let xr = mean(id, PolicyKind::Crossroads);
         vt_sum += vt;
         xr_sum += xr;
         let ratio = vt / xr.max(1e-9);

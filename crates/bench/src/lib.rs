@@ -11,14 +11,141 @@
 
 pub mod timing;
 
+use std::io::Write as _;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Instant;
+
 use crossroads_core::policy::PolicyKind;
 use crossroads_core::sim::{run_simulation, SimConfig, SimOutcome};
+use crossroads_metrics::{bench_sweep_to_json, BenchPoint};
 use crossroads_prng::{SeedableRng, StdRng};
 use crossroads_traffic::{generate_poisson, Arrival, PoissonConfig};
 use crossroads_units::MetersPerSecond;
 
+pub use crossroads_pool::{threads_from_env, WorkerPool};
+
 /// The input flow rates of Fig. 7.2 (cars/second/lane).
 pub const SWEEP_RATES: [f64; 9] = [0.05, 0.1, 0.2, 0.3, 0.4, 0.6, 0.8, 1.0, 1.25];
+
+/// The seeds averaged by the sweep experiments.
+pub const SWEEP_SEEDS: [u64; 3] = [11, 42, 91];
+
+/// Environment variable selecting the reduced CI smoke sweep.
+pub const FAST_ENV: &str = "CROSSROADS_SWEEP_FAST";
+
+/// Environment variable overriding where sweep timings are appended
+/// (default `BENCH_sweep.json`; `/dev/null` discards them).
+pub const BENCH_OUT_ENV: &str = "CROSSROADS_BENCH_OUT";
+
+/// Whether `CROSSROADS_SWEEP_FAST` selects the reduced smoke sweep
+/// (any value but `0` enables it).
+#[must_use]
+pub fn fast_sweep() -> bool {
+    std::env::var_os(FAST_ENV).is_some_and(|v| v != *"0")
+}
+
+/// Flow rates for the current mode: the full Fig. 7.2 axis, or a
+/// three-point smoke subset under [`fast_sweep`].
+#[must_use]
+pub fn sweep_rates() -> Vec<f64> {
+    if fast_sweep() {
+        vec![0.05, 0.3]
+    } else {
+        SWEEP_RATES.to_vec()
+    }
+}
+
+/// Seeds for the current mode ([`SWEEP_SEEDS`], or one under
+/// [`fast_sweep`]).
+#[must_use]
+pub fn sweep_seeds() -> Vec<u64> {
+    if fast_sweep() {
+        vec![11]
+    } else {
+        SWEEP_SEEDS.to_vec()
+    }
+}
+
+/// Maps `run` over `items` on the env-sized worker pool, preserving
+/// input order. The shared parallel driver behind [`par_sweep`] and the
+/// determinism/golden end-to-end tests: results are byte-identical to a
+/// sequential loop because every item owns its PRNG stream.
+pub fn par_run<T, R>(items: &[T], run: impl Fn(&T) -> R + Sync) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+{
+    WorkerPool::from_env().map(items, |_, item| run(item))
+}
+
+/// [`par_run`] plus the perf trajectory: times every point and the whole
+/// sweep, appends one JSON record to `BENCH_sweep.json` (see
+/// [`BENCH_OUT_ENV`]), and notes the wall clock on stderr. Stdout is
+/// untouched, so experiment tables stay byte-identical across thread
+/// counts.
+pub fn par_sweep<T, R>(
+    experiment: &str,
+    items: &[T],
+    label: impl Fn(&T) -> String,
+    run: impl Fn(&T) -> R + Sync,
+) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+{
+    let pool = WorkerPool::from_env();
+    let started = Instant::now();
+    let timed = pool.map(items, |_, item| {
+        let t0 = Instant::now();
+        let out = run(item);
+        (out, t0.elapsed().as_secs_f64() * 1e3)
+    });
+    let total_ms = started.elapsed().as_secs_f64() * 1e3;
+    let points: Vec<BenchPoint> = items
+        .iter()
+        .zip(&timed)
+        .map(|(item, &(_, wall_ms))| BenchPoint {
+            label: label(item),
+            wall_ms,
+        })
+        .collect();
+    emit_bench_record(&bench_sweep_to_json(
+        experiment,
+        pool.threads(),
+        total_ms,
+        &points,
+    ));
+    eprintln!(
+        "[{experiment}] {} points in {:.0} ms on {} threads",
+        items.len(),
+        total_ms,
+        pool.threads()
+    );
+    timed.into_iter().map(|(out, _)| out).collect()
+}
+
+/// Appends one JSONL record to the bench output file. The first write of
+/// a process truncates, so every binary run starts a fresh trajectory
+/// capture; later sweeps in the same run append.
+fn emit_bench_record(record: &str) {
+    static APPEND: AtomicBool = AtomicBool::new(false);
+    let path = std::env::var(BENCH_OUT_ENV).unwrap_or_else(|_| String::from("BENCH_sweep.json"));
+    let truncate = !APPEND.swap(true, Ordering::Relaxed);
+    let opened = std::fs::OpenOptions::new()
+        .create(true)
+        .write(true)
+        .append(!truncate)
+        .truncate(truncate)
+        .open(&path);
+    match opened {
+        Ok(mut f) => {
+            if let Err(e) = writeln!(f, "{record}") {
+                eprintln!("warning: could not append to {path}: {e}");
+            }
+        }
+        Err(e) => eprintln!("warning: could not open {path}: {e}"),
+    }
+}
 
 /// The approach-speed fraction of `v_max` used by the sweep workloads
 /// (vehicles cross the transmission line at 2/3 of the road limit).

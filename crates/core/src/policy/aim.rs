@@ -45,6 +45,13 @@ pub struct AimPolicy {
     /// Minimum lead the acceptance needs to reach the vehicle.
     response_margin: Seconds,
     ops: u64,
+    // Scratch buffers reused across decisions: the tiles covered at one
+    // step, the request being assembled, and a tile → last-interval-index
+    // map (`u32::MAX` = none) used to coalesce a tile's consecutive steps
+    // into one interval.
+    covered: Vec<usize>,
+    intervals: Vec<TileInterval>,
+    tile_last: Vec<u32>,
 }
 
 impl AimPolicy {
@@ -71,6 +78,9 @@ impl AimPolicy {
             sim_step,
             response_margin: Seconds::from_millis(20.0),
             ops: 0,
+            covered: Vec::new(),
+            intervals: Vec::new(),
+            tile_last: Vec::new(),
         }
     }
 
@@ -80,18 +90,26 @@ impl AimPolicy {
         &self.tiles
     }
 
-    /// Simulates the proposed crossing and returns the space-time tiles it
-    /// would occupy. `entry` describes how the vehicle arrives: holding a
+    /// Simulates the proposed crossing, leaving the space-time tiles it
+    /// would occupy in `self.intervals` (valid only when this returns
+    /// `true`). `entry` describes how the vehicle arrives: holding a
     /// constant speed (the classic AIM query), or launching — entering at
     /// `entry_speed` (momentum from its queue run-up) while still
     /// accelerating toward `v_max`.
+    ///
+    /// A tile revisited on consecutive steps extends its previous
+    /// interval in place (via `self.tile_last`) instead of pushing a new
+    /// one: each step's window is `[t − dt, t + 2dt)`, so successive
+    /// visits overlap and the extension is the *exact union* of the
+    /// per-step windows — the tile ledger sees the same occupied set,
+    /// from a request of ~covered-tiles length instead of steps × tiles.
     fn simulate_trajectory(
         &mut self,
         movement: Movement,
         spec: &VehicleSpec,
         toa: TimePoint,
         entry: EntryMode,
-    ) -> Option<Vec<TileInterval>> {
+    ) -> bool {
         let eff = self.buffers.effective_length(PolicyKind::Aim, spec);
         let path = self.paths.get(&movement).expect("all movements have paths");
         let total = self.geometry.path_length(movement) + eff;
@@ -102,7 +120,7 @@ impl AimPolicy {
                 let v = v.value();
                 Box::new(move |t: f64| v * t)
             }
-            EntryMode::Constant(_) => return None, // crawling proposal: not schedulable
+            EntryMode::Constant(_) => return false, // crawling proposal: not schedulable
             EntryMode::Launch { entry_speed } => {
                 let (a, vm) = (spec.a_max.value(), spec.v_max.value());
                 let v0 = entry_speed.value().clamp(0.0, vm);
@@ -119,34 +137,48 @@ impl AimPolicy {
         };
 
         let dt = self.sim_step.value();
-        let mut out = Vec::new();
+        self.intervals.clear();
+        self.tile_last.clear();
+        self.tile_last
+            .resize(self.tiles.grid().tile_count(), u32::MAX);
         let mut t = 0.0;
         // March until the rear (plus buffers) clears the box.
         loop {
             let f = progress(t);
             let center_s = Meters::new(f - eff.value() / 2.0);
             let (pose, heading) = path.pose_at(center_s);
-            let covered = self
-                .tiles
-                .grid()
-                .tiles_for_footprint(pose, heading, eff, spec.width);
-            self.ops += covered.len() as u64 + 1;
-            for tile in covered {
-                out.push(TileInterval {
-                    tile,
-                    from: toa + Seconds::new(t - dt),
-                    until: toa + Seconds::new(t + 2.0 * dt),
-                });
+            self.tiles.grid().tiles_for_footprint_into(
+                pose,
+                heading,
+                eff,
+                spec.width,
+                &mut self.covered,
+            );
+            self.ops += self.covered.len() as u64 + 1;
+            let from = toa + Seconds::new(t - dt);
+            let until = toa + Seconds::new(t + 2.0 * dt);
+            for &tile in &self.covered {
+                let slot = self.tile_last[tile];
+                if slot != u32::MAX {
+                    let prev = &mut self.intervals[slot as usize];
+                    if prev.until >= from {
+                        prev.until = until; // `until` grows with `t`
+                        continue;
+                    }
+                }
+                #[allow(clippy::cast_possible_truncation)]
+                let next = self.intervals.len() as u32;
+                self.tile_last[tile] = next;
+                self.intervals.push(TileInterval { tile, from, until });
             }
             if f >= total.value() {
-                break;
+                return true;
             }
             t += dt;
             if t > 120.0 {
-                return None; // defensive: proposal never clears the box
+                return false; // defensive: proposal never clears the box
             }
         }
-        Some(out)
     }
 }
 
@@ -180,11 +212,10 @@ impl IntersectionPolicy for AimPolicy {
         } else {
             EntryMode::Constant(request.speed)
         };
-        let Some(intervals) = self.simulate_trajectory(request.movement, &request.spec, toa, entry)
-        else {
+        if !self.simulate_trajectory(request.movement, &request.spec, toa, entry) {
             return CrossingCommand::AimReject;
-        };
-        if self.tiles.try_reserve(request.vehicle, &intervals) {
+        }
+        if self.tiles.try_reserve(request.vehicle, &self.intervals) {
             self.reserved.insert(request.vehicle);
             CrossingCommand::AimAccept { arrival: toa }
         } else {
@@ -328,17 +359,18 @@ mod tests {
         req.speed = MetersPerSecond::ZERO;
         req.distance_to_intersection = Meters::ZERO;
         assert!(p.decide(&req, TimePoint::ZERO).is_acceptance());
-        // Its tiles span the slow launch: total reserved intervals exceed
-        // a fast cruise's.
-        let launch_tiles = p.tiles().reserved_intervals();
+        // Its tiles span the slow launch: total reserved tile-seconds
+        // exceed a fast cruise's (interval *counts* are coalescing
+        // artifacts; the occupied span is the physical quantity).
+        let launch_span = p.tiles().reserved_span();
         p.on_exit(VehicleId(1), TimePoint::new(10.0));
         // Compare against a top-speed cruise, which clears the box much
-        // faster and therefore sweeps fewer space-time tiles.
+        // faster and therefore occupies tiles for less total time.
         let mut p2 = policy();
         let mut fast = request(2, Approach::South, 2.0);
         fast.speed = MetersPerSecond::new(3.0);
         assert!(p2.decide(&fast, TimePoint::ZERO).is_acceptance());
-        assert!(launch_tiles > p2.tiles().reserved_intervals());
+        assert!(launch_span > p2.tiles().reserved_span());
     }
 
     #[test]

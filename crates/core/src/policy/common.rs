@@ -222,7 +222,7 @@ impl IntervalScheduler {
             let lead = lead_length / speed;
             let dur = self.cruise_occupancy(movement, effective_length, speed) + lead;
             let window_start = (toa - lead).max(TimePoint::ZERO);
-            self.ops += self.table.reservations().len() as u64 + 1;
+            self.ops += self.table.len() as u64 + 1;
             let slot = self.table.earliest_slot(movement, window_start, dur);
             if (slot - window_start).abs() <= eps {
                 // Admit at the exact slot the table returned: a sub-epsilon
@@ -264,7 +264,7 @@ impl IntervalScheduler {
         let (cover, occupancy) = self.launch_occupancy(movement, effective_length, spec, setback);
         let dur = occupancy + pad;
         let gate = self.gate(movement.approach);
-        self.ops += self.table.reservations().len() as u64 + 1;
+        self.ops += self.table.len() as u64 + 1;
         let toa = self
             .table
             .earliest_slot(movement, (earliest_launch + cover).max(gate), dur);

@@ -29,6 +29,17 @@ pub enum PolicyKind {
 impl PolicyKind {
     /// All three, in the paper's comparison order.
     pub const ALL: [PolicyKind; 3] = [PolicyKind::VtIm, PolicyKind::Crossroads, PolicyKind::Aim];
+
+    /// This policy's position in [`ALL`](Self::ALL) — a dense index for
+    /// fixed-size accumulator arrays (`[f64; PolicyKind::ALL.len()]`).
+    #[must_use]
+    pub fn index(self) -> usize {
+        match self {
+            PolicyKind::VtIm => 0,
+            PolicyKind::Crossroads => 1,
+            PolicyKind::Aim => 2,
+        }
+    }
 }
 
 impl std::fmt::Display for PolicyKind {

@@ -97,25 +97,101 @@ impl std::error::Error for ScheduleError {}
 #[derive(Debug, Clone)]
 pub struct ReservationTable {
     conflicts: ConflictTable,
-    // Sorted by `enter`; linear scans are fine at intersection scale
-    // (tens of concurrent reservations).
-    reservations: Vec<Reservation>,
+    // One bucket per movement, each holding that movement's windows.
+    //
+    // Invariants (load-bearing for the binary searches below):
+    //
+    // - Windows within a bucket are pairwise disjoint: a movement always
+    //   conflicts with itself, so `insert` rejects same-bucket overlaps.
+    // - Each bucket is sorted lexicographically by `(enter, exit)`.
+    //   Disjointness then makes `exit` sorted too, so both "first window
+    //   ending after t" and "insertion point" are `partition_point`s,
+    //   and expired windows form a removable *prefix*.
+    // - `earliest_slot`/`insert` only ever consult the buckets of
+    //   movements conflicting with the queried one (`masks`).
+    buckets: [Vec<Window>; MOVEMENTS],
+    // Bit `j` of `masks[i]`: movement `i` conflicts with movement `j`.
+    masks: [u16; MOVEMENTS],
+    // Total window count across buckets.
+    len: usize,
+    // Monotonic pruning watermark: every window ending before this is
+    // gone, and `retire_before` calls at or below it are no-ops.
+    retired: Option<TimePoint>,
+}
+
+/// Number of movements at a four-way single-lane intersection.
+const MOVEMENTS: usize = 12;
+
+/// A reservation without its movement (implied by the bucket).
+#[derive(Debug, Clone, Copy)]
+struct Window {
+    enter: TimePoint,
+    exit: TimePoint,
+    vehicle: VehicleId,
 }
 
 impl ReservationTable {
     /// An empty table over the given conflict relation.
     #[must_use]
     pub fn new(conflicts: ConflictTable) -> Self {
+        let movements = Movement::all();
+        let mut masks = [0u16; MOVEMENTS];
+        for &a in &movements {
+            for &b in &movements {
+                if conflicts.conflicts(a, b) {
+                    masks[a.index()] |= 1 << b.index();
+                }
+            }
+        }
         ReservationTable {
             conflicts,
-            reservations: Vec::new(),
+            buckets: std::array::from_fn(|_| Vec::new()),
+            masks,
+            len: 0,
+            retired: None,
         }
     }
 
-    /// Active reservations, ordered by entry time.
+    /// Active reservations, ordered by entry time (collected across the
+    /// per-movement buckets — diagnostics and tests; the schedulers never
+    /// materialise this).
     #[must_use]
-    pub fn reservations(&self) -> &[Reservation] {
-        &self.reservations
+    pub fn reservations(&self) -> Vec<Reservation> {
+        let movements = Movement::all();
+        let mut out: Vec<Reservation> = Vec::with_capacity(self.len);
+        for (i, bucket) in self.buckets.iter().enumerate() {
+            out.extend(bucket.iter().map(|w| Reservation {
+                vehicle: w.vehicle,
+                movement: movements[i],
+                enter: w.enter,
+                exit: w.exit,
+            }));
+        }
+        out.sort_by(|a, b| {
+            (a.enter.value(), a.exit.value(), a.movement.index())
+                .partial_cmp(&(b.enter.value(), b.exit.value(), b.movement.index()))
+                .expect("windows are finite")
+        });
+        out
+    }
+
+    /// Number of live reservations.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the table holds no reservations.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The pruning watermark: every window ending before this instant has
+    /// been retired (`None` until the first retirement).
+    #[must_use]
+    pub fn retired_before(&self) -> Option<TimePoint> {
+        self.retired
     }
 
     /// The conflict relation in use.
@@ -124,8 +200,25 @@ impl ReservationTable {
         &self.conflicts
     }
 
+    /// Indices of buckets conflicting with `movement`.
+    fn conflicting_buckets(&self, movement: Movement) -> impl Iterator<Item = usize> {
+        let mask = self.masks[movement.index()];
+        (0..MOVEMENTS).filter(move |&j| mask & (1 << j) != 0)
+    }
+
     /// Earliest `enter ≥ earliest` such that `[enter, enter + duration]`
     /// overlaps no conflicting reservation.
+    ///
+    /// Only conflicting buckets are consulted. Each is entered through
+    /// one binary search for the first window ending after the candidate
+    /// entry, then walked with a *monotonic cursor*: the candidate only
+    /// moves later, so windows a cursor has passed can never overlap
+    /// again and are never re-examined. Pushing through a saturated
+    /// corridor therefore costs O(windows in the cascade) total, while a
+    /// query into open time stays O(conflicting buckets × log windows).
+    /// The answer is the *minimal* admissible entry: a jump to a blocking
+    /// window's exit can never skip a feasible gap (any gap before it
+    /// would itself overlap the blocker).
     ///
     /// # Panics
     ///
@@ -142,29 +235,47 @@ impl ReservationTable {
             "occupancy duration must be non-negative"
         );
         let mut enter = earliest;
-        // Push the window past each conflicting overlap; the list is sorted
-        // by entry, so one forward pass converges (windows only move later).
+        let mask = self.masks[movement.index()];
+        let mut cursor = [0usize; MOVEMENTS];
+        for (j, bucket) in self.buckets.iter().enumerate() {
+            if mask & (1 << j) != 0 {
+                // First window ending after the candidate (half-open
+                // windows touching at `enter` do not overlap).
+                cursor[j] = bucket.partition_point(|w| w.exit <= enter);
+            }
+        }
         loop {
             let mut moved = false;
-            for r in &self.reservations {
-                if !self.conflicts.conflicts(movement, r.movement) {
+            for (j, bucket) in self.buckets.iter().enumerate() {
+                if mask & (1 << j) == 0 {
                     continue;
                 }
-                let candidate = Reservation {
-                    vehicle: VehicleId(u32::MAX),
-                    movement,
-                    enter,
-                    exit: enter + duration,
-                };
-                if candidate.overlaps(r) {
-                    enter = r.exit;
+                let mut i = cursor[j];
+                while i < bucket.len() {
+                    let w = bucket[i];
+                    if w.exit <= enter {
+                        i += 1; // expired for this candidate, and forever
+                        continue;
+                    }
+                    if w.enter >= enter + duration {
+                        break; // beyond the window; re-examined next pass
+                    }
+                    enter = w.exit;
                     moved = true;
+                    i += 1;
                 }
+                cursor[j] = i;
             }
             if !moved {
                 return enter;
             }
         }
+    }
+
+    /// First window in `bucket` overlapping `[enter, exit)`, if any.
+    fn first_overlap(bucket: &[Window], enter: TimePoint, exit: TimePoint) -> Option<&Window> {
+        let i = bucket.partition_point(|w| w.exit <= enter);
+        bucket.get(i).filter(|w| w.enter < exit)
     }
 
     /// Inserts a reservation after re-validating it against the table.
@@ -179,44 +290,93 @@ impl ReservationTable {
         if !(r.enter.is_finite() && r.exit.is_finite()) || r.exit < r.enter {
             return Err(ScheduleError::InvalidWindow);
         }
-        if self.reservations.iter().any(|x| x.vehicle == r.vehicle) {
+        if self
+            .buckets
+            .iter()
+            .any(|b| b.iter().any(|w| w.vehicle == r.vehicle))
+        {
             return Err(ScheduleError::AlreadyReserved);
         }
-        if let Some(block) = self
-            .reservations
-            .iter()
-            .find(|x| self.conflicts.conflicts(r.movement, x.movement) && x.overlaps(&r))
-        {
-            return Err(ScheduleError::Conflicts {
-                with: block.vehicle,
-            });
+        for j in self.conflicting_buckets(r.movement) {
+            if let Some(block) = Self::first_overlap(&self.buckets[j], r.enter, r.exit) {
+                return Err(ScheduleError::Conflicts {
+                    with: block.vehicle,
+                });
+            }
         }
-        let pos = self.reservations.partition_point(|x| x.enter <= r.enter);
-        self.reservations.insert(pos, r);
+        let bucket = &mut self.buckets[r.movement.index()];
+        // Lexicographic (enter, exit) order keeps `exit` sorted even when
+        // zero-length windows share an endpoint with a real one.
+        let pos = bucket.partition_point(|w| {
+            (w.enter.value(), w.exit.value()) <= (r.enter.value(), r.exit.value())
+        });
+        bucket.insert(
+            pos,
+            Window {
+                enter: r.enter,
+                exit: r.exit,
+                vehicle: r.vehicle,
+            },
+        );
+        self.len += 1;
         Ok(())
     }
 
     /// Removes `vehicle`'s reservation (when it exits or aborts),
     /// returning it if present.
     pub fn release(&mut self, vehicle: VehicleId) -> Option<Reservation> {
-        let pos = self
-            .reservations
-            .iter()
-            .position(|r| r.vehicle == vehicle)?;
-        Some(self.reservations.remove(pos))
+        let movements = Movement::all();
+        for (j, bucket) in self.buckets.iter_mut().enumerate() {
+            if let Some(i) = bucket.iter().position(|w| w.vehicle == vehicle) {
+                let w = bucket.remove(i);
+                self.len -= 1;
+                return Some(Reservation {
+                    vehicle: w.vehicle,
+                    movement: movements[j],
+                    enter: w.enter,
+                    exit: w.exit,
+                });
+            }
+        }
+        None
     }
 
-    /// Drops reservations whose windows ended before `now` (housekeeping).
+    /// Retires reservations whose windows ended before `now`, advancing
+    /// the monotonic watermark. Calls with `now` at or below the current
+    /// watermark return immediately; otherwise each bucket drops an
+    /// expired *prefix* (buckets are exit-sorted), so the sweep costs a
+    /// binary search per bucket plus the windows actually removed.
+    ///
+    /// Queries at or after the watermark are unaffected by retirement: a
+    /// window with `exit < watermark ≤ earliest` can never overlap a
+    /// candidate starting at `earliest` (windows are half-open).
+    pub fn retire_before(&mut self, now: TimePoint) {
+        if self.retired.is_some_and(|r| now <= r) {
+            return;
+        }
+        self.retired = Some(now);
+        for bucket in &mut self.buckets {
+            let k = bucket.partition_point(|w| w.exit < now);
+            if k > 0 {
+                bucket.drain(..k);
+                self.len -= k;
+            }
+        }
+    }
+
+    /// Drops reservations whose windows ended before `now` (housekeeping
+    /// alias for [`retire_before`](Self::retire_before)).
     pub fn prune_before(&mut self, now: TimePoint) {
-        self.reservations.retain(|r| r.exit >= now);
+        self.retire_before(now);
     }
 
     /// Verifies the core safety invariant: no two conflicting reservations
     /// overlap. Intended for tests and debug assertions.
     #[must_use]
     pub fn is_conflict_free(&self) -> bool {
-        for (i, a) in self.reservations.iter().enumerate() {
-            for b in &self.reservations[i + 1..] {
+        let all = self.reservations();
+        for (i, a) in all.iter().enumerate() {
+            for b in &all[i + 1..] {
                 if self.conflicts.conflicts(a.movement, b.movement) && a.overlaps(b) {
                     return false;
                 }

@@ -10,7 +10,7 @@
 //! `crossroads-core`.
 
 use crossroads_units::geom::Aabb;
-use crossroads_units::{Meters, Point2, Radians, TimePoint};
+use crossroads_units::{Meters, Point2, Radians, Seconds, TimePoint};
 use crossroads_vehicle::VehicleId;
 
 /// A square grid of reservation tiles over the intersection box.
@@ -93,6 +93,17 @@ impl TileGrid {
     /// box; an entirely external box yields no tiles).
     #[must_use]
     pub fn tiles_for_aabb(&self, footprint: &Aabb) -> Vec<usize> {
+        let mut out = Vec::new();
+        self.tiles_for_aabb_into(footprint, &mut out);
+        out
+    }
+
+    /// Allocation-free [`tiles_for_aabb`](Self::tiles_for_aabb): clears
+    /// `out` and fills it with the covered tiles. The hot path for AIM's
+    /// per-step trajectory simulation — the caller keeps one scratch
+    /// buffer alive across the whole march.
+    pub fn tiles_for_aabb_into(&self, footprint: &Aabb, out: &mut Vec<usize>) {
+        out.clear();
         let half = self.box_size.value() / 2.0;
         let ts = self.tile_size().value();
         let clip = |v: f64| v.clamp(0.0, self.box_size.value());
@@ -104,13 +115,13 @@ impl TileGrid {
             && (footprint.max.x.value() + half < 0.0
                 || footprint.min.x.value() + half > self.box_size.value())
         {
-            return Vec::new();
+            return;
         }
         if y0 >= y1
             && (footprint.max.y.value() + half < 0.0
                 || footprint.min.y.value() + half > self.box_size.value())
         {
-            return Vec::new();
+            return;
         }
         #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
         let (c0, c1) = (
@@ -122,13 +133,12 @@ impl TileGrid {
             ((y0 / ts).floor() as usize).min(self.n - 1),
             (((y1 / ts).ceil() as usize).max(1) - 1).min(self.n - 1),
         );
-        let mut out = Vec::with_capacity((c1 - c0 + 1) * (r1 - r0 + 1));
+        out.reserve((c1 - c0 + 1) * (r1 - r0 + 1));
         for r in r0..=r1 {
             for c in c0..=c1 {
                 out.push(r * self.n + c);
             }
         }
-        out
     }
 
     /// Tiles covered by an *oriented* vehicle footprint: a rectangle of
@@ -144,6 +154,21 @@ impl TileGrid {
         length: Meters,
         width: Meters,
     ) -> Vec<usize> {
+        let mut out = Vec::new();
+        self.tiles_for_footprint_into(center, heading, length, width, &mut out);
+        out
+    }
+
+    /// Allocation-free [`tiles_for_footprint`](Self::tiles_for_footprint):
+    /// clears `out` and fills it with the covered tiles.
+    pub fn tiles_for_footprint_into(
+        &self,
+        center: Point2,
+        heading: Radians,
+        length: Meters,
+        width: Meters,
+        out: &mut Vec<usize>,
+    ) {
         let (hl, hw) = (length.value() / 2.0, width.value() / 2.0);
         let (sin, cos) = (heading.sin(), heading.cos());
         let corner = |dl: f64, dw: f64| {
@@ -170,7 +195,7 @@ impl TileGrid {
                 y: max.y.max(c.y),
             };
         }
-        self.tiles_for_aabb(&Aabb::from_corners(min, max))
+        self.tiles_for_aabb_into(&Aabb::from_corners(min, max), out);
     }
 }
 
@@ -186,10 +211,19 @@ pub struct TileInterval {
 }
 
 /// Per-tile reservation ledger.
+///
+/// Each tile's interval list is kept sorted by `(from, until)` with the
+/// stored intervals pairwise disjoint, so `until` is sorted too and
+/// [`is_free`](Self::is_free) is a binary search per requested interval.
+/// Disjointness holds because cross-holder overlaps are rejected by the
+/// `is_free` gate in [`try_reserve`](Self::try_reserve), while same-call
+/// overlaps (AIM's per-step requests revisit tiles) are coalesced into
+/// their exact union at insert. Empty intervals (`from ≥ until`) block
+/// nothing and are not stored.
 #[derive(Debug, Clone)]
 pub struct TileSchedule {
     grid: TileGrid,
-    // For each tile: (from, until, holder), kept sorted by `from`.
+    // For each tile: (from, until, holder); see the struct invariants.
     slots: Vec<Vec<(TimePoint, TimePoint, VehicleId)>>,
 }
 
@@ -211,15 +245,19 @@ impl TileSchedule {
 
     /// Whether every requested (tile, interval) is free.
     ///
+    /// Per interval: one binary search for the first stored interval
+    /// ending after `from`; only that interval can overlap, since stored
+    /// intervals are disjoint and sorted.
+    ///
     /// # Panics
     ///
     /// Panics if a tile index is out of range.
     #[must_use]
     pub fn is_free(&self, request: &[TileInterval]) -> bool {
         request.iter().all(|iv| {
-            self.slots[iv.tile]
-                .iter()
-                .all(|&(from, until, _)| !(iv.from < until && from < iv.until))
+            let v = &self.slots[iv.tile];
+            let i = v.partition_point(|&(_, until, _)| until <= iv.from);
+            v.get(i).is_none_or(|&(from, _, _)| from >= iv.until)
         })
     }
 
@@ -230,15 +268,46 @@ impl TileSchedule {
             return false;
         }
         for iv in request {
+            if iv.from >= iv.until {
+                continue;
+            }
             let v = &mut self.slots[iv.tile];
             let pos = v.partition_point(|&(from, _, _)| from <= iv.from);
-            v.insert(pos, (iv.from, iv.until, vehicle));
+            // Coalesce with same-call neighbours into the exact union.
+            // `is_free` passed against the pre-call table, so anything
+            // overlapping here was inserted for `vehicle` this call.
+            let overlaps_prev = pos > 0 && v[pos - 1].1 > iv.from;
+            if overlaps_prev && v[pos - 1].1 >= iv.until {
+                continue; // fully contained in the previous interval
+            }
+            if overlaps_prev {
+                v[pos - 1].1 = iv.until;
+                Self::merge_forward(v, pos - 1);
+            } else {
+                v.insert(pos, (iv.from, iv.until, vehicle));
+                Self::merge_forward(v, pos);
+            }
         }
         true
     }
 
+    /// Absorbs successors of `v[i]` that start inside it, restoring
+    /// disjointness after an interval at `i` grew.
+    fn merge_forward(v: &mut Vec<(TimePoint, TimePoint, VehicleId)>, i: usize) {
+        let mut end = v[i].1;
+        let mut j = i + 1;
+        while j < v.len() && v[j].0 < end {
+            end = end.max(v[j].1);
+            j += 1;
+        }
+        if j > i + 1 {
+            v[i].1 = end;
+            v.drain(i + 1..j);
+        }
+    }
+
     /// Releases every interval held by `vehicle`, returning how many were
-    /// dropped.
+    /// dropped (coalesced runs count once).
     pub fn release(&mut self, vehicle: VehicleId) -> usize {
         let mut dropped = 0;
         for v in &mut self.slots {
@@ -249,10 +318,15 @@ impl TileSchedule {
         dropped
     }
 
-    /// Drops intervals that ended before `now`.
+    /// Drops intervals that ended before `now`. Expired intervals form a
+    /// prefix of each tile's `until`-sorted list, so this is a binary
+    /// search plus a prefix drain per non-empty tile.
     pub fn prune_before(&mut self, now: TimePoint) {
         for v in &mut self.slots {
-            v.retain(|&(_, until, _)| until >= now);
+            let k = v.partition_point(|&(_, until, _)| until < now);
+            if k > 0 {
+                v.drain(..k);
+            }
         }
     }
 
@@ -260,6 +334,20 @@ impl TileSchedule {
     #[must_use]
     pub fn reserved_intervals(&self) -> usize {
         self.slots.iter().map(Vec::len).sum()
+    }
+
+    /// Total reserved tile-seconds across all live intervals — a
+    /// coalescing-stable diagnostic (merging same-holder overlaps keeps
+    /// the union, and hence this sum over it, unchanged).
+    #[must_use]
+    pub fn reserved_span(&self) -> Seconds {
+        let mut total = Seconds::ZERO;
+        for v in &self.slots {
+            for &(from, until, _) in v {
+                total = total + (until - from);
+            }
+        }
+        total
     }
 }
 
@@ -424,6 +512,126 @@ mod tests {
     #[should_panic(expected = "at least one tile")]
     fn zero_grid_panics() {
         let _ = TileGrid::new(Meters::new(1.2), 0);
+    }
+
+    #[test]
+    fn into_variants_match_allocating_variants() {
+        let g = grid();
+        let fp = Aabb::from_corners(Point2::new(-0.3, -0.45), Point2::new(0.2, 0.1));
+        let mut scratch = vec![99, 98, 97]; // stale contents must be cleared
+        g.tiles_for_aabb_into(&fp, &mut scratch);
+        assert_eq!(scratch, g.tiles_for_aabb(&fp));
+        g.tiles_for_footprint_into(
+            Point2::new(0.1, -0.2),
+            Radians::new(0.7),
+            Meters::new(0.568),
+            Meters::new(0.296),
+            &mut scratch,
+        );
+        assert_eq!(
+            scratch,
+            g.tiles_for_footprint(
+                Point2::new(0.1, -0.2),
+                Radians::new(0.7),
+                Meters::new(0.568),
+                Meters::new(0.296),
+            )
+        );
+    }
+
+    #[test]
+    fn same_call_overlaps_coalesce_to_exact_union() {
+        let mut s = TileSchedule::new(grid());
+        // AIM-style request: the same tile revisited by overlapping steps.
+        let req = [
+            TileInterval {
+                tile: 3,
+                from: t(1.0),
+                until: t(1.4),
+            },
+            TileInterval {
+                tile: 3,
+                from: t(1.2),
+                until: t(1.6),
+            },
+            TileInterval {
+                tile: 3,
+                from: t(1.3),
+                until: t(1.5),
+            },
+        ];
+        assert!(s.try_reserve(VehicleId(7), &req));
+        assert_eq!(s.reserved_intervals(), 1, "overlaps must coalesce");
+        assert!((s.reserved_span().value() - 0.6).abs() < 1e-12);
+        // The union [1.0, 1.6) blocks exactly what the pieces did.
+        let probe = |from: f64, until: f64| {
+            s.is_free(&[TileInterval {
+                tile: 3,
+                from: t(from),
+                until: t(until),
+            }])
+        };
+        assert!(!probe(1.55, 1.7));
+        assert!(!probe(0.9, 1.05));
+        assert!(probe(1.6, 2.0));
+        assert!(probe(0.5, 1.0));
+        assert_eq!(s.release(VehicleId(7)), 1);
+    }
+
+    #[test]
+    fn empty_intervals_block_nothing_and_are_not_stored() {
+        let mut s = TileSchedule::new(grid());
+        assert!(s.try_reserve(
+            VehicleId(1),
+            &[TileInterval {
+                tile: 0,
+                from: t(2.0),
+                until: t(2.0),
+            }]
+        ));
+        assert_eq!(s.reserved_intervals(), 0);
+        assert!(s.is_free(&[TileInterval {
+            tile: 0,
+            from: t(0.0),
+            until: t(10.0),
+        }]));
+    }
+
+    #[test]
+    fn binary_is_free_matches_linear_reference() {
+        let mut s = TileSchedule::new(grid());
+        let mut reference: Vec<(f64, f64)> = Vec::new();
+        for (i, &(from, until)) in [(0.0, 1.0), (1.5, 2.0), (2.0, 2.25), (4.0, 7.0)]
+            .iter()
+            .enumerate()
+        {
+            #[allow(clippy::cast_possible_truncation)]
+            let id = VehicleId(i as u32);
+            assert!(s.try_reserve(
+                VehicleId(id.0),
+                &[TileInterval {
+                    tile: 9,
+                    from: t(from),
+                    until: t(until),
+                }]
+            ));
+            reference.push((from, until));
+        }
+        let mut q = 0.0;
+        while q < 8.0 {
+            let (from, until) = (q, q + 0.4);
+            let linear = reference.iter().all(|&(a, b)| !(from < b && a < until));
+            assert_eq!(
+                s.is_free(&[TileInterval {
+                    tile: 9,
+                    from: t(from),
+                    until: t(until),
+                }]),
+                linear,
+                "divergence at query [{from}, {until})"
+            );
+            q += 0.13;
+        }
     }
 
     #[test]

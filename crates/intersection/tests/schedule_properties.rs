@@ -74,6 +74,108 @@ forall! {
         }
     }
 
+    /// Retiring expired windows is invisible to future queries: for any
+    /// watermark at or below a query's `earliest`, `earliest_slot`
+    /// answers exactly as it did before `retire_before`, and the answer
+    /// still inserts cleanly into the pruned table.
+    fn earliest_slot_unchanged_by_retirement(
+        arrivals in vec((0usize..12, 0.0f64..30.0, 0.2f64..3.0), 1..40),
+        query in (0usize..12, 0.0f64..35.0, 0.2f64..3.0),
+        fraction in 0.0f64..1.0,
+    ) {
+        let table = ConflictTable::compute(
+            &IntersectionGeometry::scale_model(),
+            Meters::new(0.296),
+        );
+        let mut sched = ReservationTable::new(table);
+        for (i, (movement_idx, earliest, dur)) in arrivals.iter().enumerate() {
+            let movement = Movement::all()[*movement_idx];
+            let slot = sched.earliest_slot(
+                movement,
+                TimePoint::new(*earliest),
+                Seconds::new(*dur),
+            );
+            #[allow(clippy::cast_possible_truncation)]
+            sched
+                .insert(Reservation {
+                    vehicle: VehicleId(i as u32),
+                    movement,
+                    enter: slot,
+                    exit: slot + Seconds::new(*dur),
+                })
+                .unwrap();
+        }
+        let (movement_idx, earliest, dur) = query;
+        let movement = Movement::all()[movement_idx];
+        let earliest = TimePoint::new(earliest);
+        let dur = Seconds::new(dur);
+        let before = sched.earliest_slot(movement, earliest, dur);
+        // Any watermark in [0, earliest] may only drop windows that end
+        // strictly before it — none of which can touch the query.
+        sched.retire_before(TimePoint::new(earliest.value() * fraction));
+        let after = sched.earliest_slot(movement, earliest, dur);
+        ck_assert_eq!(before, after, "retirement changed an unaffected query");
+        #[allow(clippy::cast_possible_truncation)]
+        sched
+            .insert(Reservation {
+                vehicle: VehicleId(u32::MAX - 1),
+                movement,
+                enter: after,
+                exit: after + dur,
+            })
+            .expect("post-retirement answers must insert cleanly");
+        ck_assert!(sched.is_conflict_free());
+    }
+
+    /// A pruned table never re-admits an overlap: every surviving window
+    /// still rejects a conflicting duplicate laid on top of it.
+    fn pruned_tables_never_readmit_overlap(
+        arrivals in vec((0usize..12, 0.0f64..30.0, 0.2f64..3.0), 1..40),
+        watermark in 0.0f64..40.0,
+    ) {
+        let table = ConflictTable::compute(
+            &IntersectionGeometry::scale_model(),
+            Meters::new(0.296),
+        );
+        let mut sched = ReservationTable::new(table);
+        for (i, (movement_idx, earliest, dur)) in arrivals.iter().enumerate() {
+            let movement = Movement::all()[*movement_idx];
+            let slot = sched.earliest_slot(
+                movement,
+                TimePoint::new(*earliest),
+                Seconds::new(*dur),
+            );
+            #[allow(clippy::cast_possible_truncation)]
+            sched
+                .insert(Reservation {
+                    vehicle: VehicleId(i as u32),
+                    movement,
+                    enter: slot,
+                    exit: slot + Seconds::new(*dur),
+                })
+                .unwrap();
+        }
+        sched.retire_before(TimePoint::new(watermark));
+        ck_assert!(sched.is_conflict_free());
+        for r in sched.reservations() {
+            // A same-movement copy always conflicts; the pruned table
+            // must still reject it.
+            let dup = Reservation {
+                vehicle: VehicleId(u32::MAX - 2),
+                movement: r.movement,
+                enter: r.enter,
+                exit: r.exit,
+            };
+            if (r.exit - r.enter).value() > 0.0 {
+                ck_assert!(
+                    sched.insert(dup).is_err(),
+                    "pruned table re-admitted an overlap at {:?}",
+                    (r.enter, r.exit)
+                );
+            }
+        }
+    }
+
     /// Tile reservations are atomic: a failed multi-tile request leaves no
     /// residue, a successful one is fully queryable.
     fn tile_reservation_atomicity(

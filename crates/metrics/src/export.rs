@@ -105,6 +105,66 @@ pub fn run_to_json(m: &RunMetrics) -> String {
     )
 }
 
+/// One timed sweep point of the `BENCH_*.json` perf trajectory.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchPoint {
+    /// Point label, e.g. `Crossroads@0.3/s42`.
+    pub label: String,
+    /// Wall-clock milliseconds the point took.
+    pub wall_ms: f64,
+}
+
+/// Escapes a string for embedding in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// One `BENCH_sweep.json` record: an experiment's per-point and total
+/// wall-clock timings, as a single JSON object (one line — the file is
+/// JSON Lines, one record per sweep). Schema is documented in README.md
+/// under "Running the experiments".
+#[must_use]
+pub fn bench_sweep_to_json(
+    experiment: &str,
+    threads: usize,
+    total_wall_ms: f64,
+    points: &[BenchPoint],
+) -> String {
+    let sum: f64 = points.iter().map(|p| p.wall_ms).sum();
+    let mut out = format!(
+        "{{\"experiment\":\"{}\",\"threads\":{},\"points\":{},\"total_wall_ms\":{},\"points_wall_ms_sum\":{},\"point_timings\":[",
+        json_escape(experiment),
+        threads,
+        points.len(),
+        fmt_f64(total_wall_ms),
+        fmt_f64(sum),
+    );
+    for (i, p) in points.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"label\":\"{}\",\"wall_ms\":{}}}",
+            json_escape(&p.label),
+            fmt_f64(p.wall_ms),
+        ));
+    }
+    out.push_str("]}");
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -166,6 +226,38 @@ mod tests {
         assert_eq!(a, b);
         assert!(a.starts_with("{\"completed\":2,"));
         assert!(a.contains("\"im_busy\":0.125"));
+    }
+
+    #[test]
+    fn bench_sweep_json_shape() {
+        let points = [
+            BenchPoint {
+                label: String::from("Crossroads@0.05/s11"),
+                wall_ms: 12.5,
+            },
+            BenchPoint {
+                label: String::from("VT-IM@0.05/s11"),
+                wall_ms: 7.5,
+            },
+        ];
+        let json = bench_sweep_to_json("exp_flow_sweep", 4, 13.25, &points);
+        assert!(json.starts_with(
+            "{\"experiment\":\"exp_flow_sweep\",\"threads\":4,\"points\":2,\
+             \"total_wall_ms\":13.25,\"points_wall_ms_sum\":20,"
+        ));
+        assert!(json.contains("{\"label\":\"Crossroads@0.05/s11\",\"wall_ms\":12.5}"));
+        assert!(json.ends_with("]}"));
+        assert!(!json.contains('\n'), "one JSONL record per sweep");
+    }
+
+    #[test]
+    fn bench_labels_are_escaped() {
+        let points = [BenchPoint {
+            label: String::from("odd \"label\"\\with\tescapes"),
+            wall_ms: 1.0,
+        }];
+        let json = bench_sweep_to_json("x", 1, 1.0, &points);
+        assert!(json.contains("odd \\\"label\\\"\\\\with\\tescapes"));
     }
 
     #[test]

@@ -20,6 +20,8 @@ mod export;
 mod record;
 mod stats;
 
-pub use export::{counters_to_json, records_to_csv, records_to_json, run_to_json};
+pub use export::{
+    bench_sweep_to_json, counters_to_json, records_to_csv, records_to_json, run_to_json, BenchPoint,
+};
 pub use record::{Counters, RunMetrics, VehicleRecord};
 pub use stats::{Percentiles, Summary};

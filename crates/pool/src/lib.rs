@@ -1,0 +1,186 @@
+//! `crossroads-pool`: the workspace's own scoped worker pool.
+//!
+//! The experiment harness runs hundreds of independent `(policy × rate ×
+//! seed)` simulation points; every point owns its seed, so the sweeps are
+//! embarrassingly parallel. The hermetic-build policy (no registry
+//! dependencies — see README.md) rules out `rayon`, so this crate
+//! supplies the one primitive the harness needs: an ordered parallel map
+//! over a slice, built on [`std::thread::scope`].
+//!
+//! Guarantees:
+//!
+//! - **Deterministic result ordering.** `map` returns results indexed
+//!   exactly like the input slice, whatever order workers finish in.
+//!   Parallel runs are therefore byte-identical to sequential ones as
+//!   long as each task is a pure function of its input (the sweeps are:
+//!   every point derives its own PRNG stream from its seed).
+//! - **Panic propagation.** A panic inside a worker is caught, the queue
+//!   is drained, and the payload re-thrown in the caller via
+//!   [`std::panic::resume_unwind`] — a failing sweep point fails the
+//!   sweep, never hangs it.
+//! - **Fixed workers, shared queue.** `threads` workers pull indices off
+//!   an atomic counter; tasks ≫ workers oversubscribe gracefully.
+//!
+//! Thread count comes from the `CROSSROADS_THREADS` environment variable
+//! (see [`threads_from_env`]); the default is the machine's available
+//! parallelism, and `CROSSROADS_THREADS=1` forces sequential execution.
+//!
+//! # Examples
+//!
+//! ```
+//! use crossroads_pool::WorkerPool;
+//!
+//! let squares = WorkerPool::new(4).map(&[1u64, 2, 3, 4], |_, &x| x * x);
+//! assert_eq!(squares, vec![1, 4, 9, 16]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// The environment variable overriding the worker count.
+pub const THREADS_ENV: &str = "CROSSROADS_THREADS";
+
+/// Worker count from `CROSSROADS_THREADS`, defaulting to the machine's
+/// available parallelism (1 if that cannot be determined). Values that
+/// fail to parse, or parse to zero, fall back to the default.
+#[must_use]
+pub fn threads_from_env() -> usize {
+    std::env::var(THREADS_ENV)
+        .ok()
+        .and_then(|s| s.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or_else(default_threads)
+}
+
+fn default_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+/// A fixed-size pool mapping a slice through a function in parallel.
+///
+/// The pool is a configuration object: each [`map`](Self::map) call
+/// spawns its workers inside a [`std::thread::scope`], so borrows of the
+/// input slice and the task function need no `'static` bound and every
+/// worker is joined before `map` returns.
+#[derive(Debug, Clone, Copy)]
+pub struct WorkerPool {
+    threads: usize,
+}
+
+impl WorkerPool {
+    /// A pool with exactly `threads` workers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero.
+    #[must_use]
+    pub fn new(threads: usize) -> Self {
+        assert!(threads >= 1, "a pool needs at least one worker");
+        WorkerPool { threads }
+    }
+
+    /// A pool sized by [`threads_from_env`].
+    #[must_use]
+    pub fn from_env() -> Self {
+        WorkerPool::new(threads_from_env())
+    }
+
+    /// Worker count.
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Applies `f` to every item, returning results in input order.
+    ///
+    /// `f` receives `(index, &item)`. With one worker (or fewer than two
+    /// items) the map degenerates to the sequential fold — same results,
+    /// no threads spawned.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises the first panic (by input index) raised inside `f`.
+    /// Remaining queued tasks are abandoned once a panic is observed.
+    pub fn map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+    {
+        if self.threads == 1 || items.len() <= 1 {
+            return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+        }
+
+        let next = AtomicUsize::new(0);
+        let poisoned = AtomicBool::new(false);
+        let done: Mutex<Vec<(usize, std::thread::Result<R>)>> =
+            Mutex::new(Vec::with_capacity(items.len()));
+
+        std::thread::scope(|scope| {
+            for _ in 0..self.threads.min(items.len()) {
+                scope.spawn(|| loop {
+                    if poisoned.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= items.len() {
+                        break;
+                    }
+                    let out = catch_unwind(AssertUnwindSafe(|| f(i, &items[i])));
+                    if out.is_err() {
+                        poisoned.store(true, Ordering::Relaxed);
+                    }
+                    done.lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner)
+                        .push((i, out));
+                });
+            }
+        });
+
+        let mut done = done
+            .into_inner()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        done.sort_by_key(|&(i, _)| i);
+        let mut results = Vec::with_capacity(done.len());
+        for (_, r) in done {
+            match r {
+                Ok(v) => results.push(v),
+                Err(payload) => resume_unwind(payload),
+            }
+        }
+        debug_assert_eq!(results.len(), items.len());
+        results
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordered_map_over_many_items() {
+        let items: Vec<u64> = (0..257).collect();
+        let out = WorkerPool::new(8).map(&items, |i, &x| {
+            assert_eq!(i as u64, x);
+            x * 2
+        });
+        assert_eq!(out, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(WorkerPool::new(4).map(&empty, |_, &x| x).is_empty());
+        assert_eq!(WorkerPool::new(4).map(&[9u32], |_, &x| x + 1), vec![10]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_workers_rejected() {
+        let _ = WorkerPool::new(0);
+    }
+}

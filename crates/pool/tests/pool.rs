@@ -1,0 +1,77 @@
+//! Behavioural contract of the worker pool: ordering, panic
+//! propagation, sequential equivalence, and oversubscription.
+
+use std::panic::catch_unwind;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Duration;
+
+use crossroads_pool::WorkerPool;
+
+#[test]
+fn results_come_back_in_submission_order() {
+    // Early items sleep longest, so completion order is roughly the
+    // reverse of submission order — the returned vector must not care.
+    let items: Vec<u64> = (0..48).collect();
+    let out = WorkerPool::new(6).map(&items, |i, &x| {
+        std::thread::sleep(Duration::from_millis(48 - x.min(47)));
+        (i, x * x)
+    });
+    for (i, (idx, sq)) in out.iter().enumerate() {
+        assert_eq!(*idx, i, "slot {i} holds result of input {idx}");
+        assert_eq!(*sq, (i as u64) * (i as u64));
+    }
+}
+
+#[test]
+fn panic_in_worker_propagates_to_caller() {
+    let items: Vec<u32> = (0..64).collect();
+    let err = catch_unwind(|| {
+        WorkerPool::new(4).map(&items, |_, &x| {
+            if x == 13 {
+                panic!("unlucky point {x}");
+            }
+            x
+        })
+    })
+    .expect_err("a worker panic must fail the whole map");
+    let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+    assert!(
+        msg.contains("unlucky point 13"),
+        "panic payload must survive the hop across threads, got {msg:?}"
+    );
+}
+
+#[test]
+fn one_thread_pool_equals_sequential_fold() {
+    let items: Vec<i64> = (-100..100).collect();
+    let sequential: Vec<i64> = items.iter().map(|&x| x * 3 - 1).collect();
+    let pooled = WorkerPool::new(1).map(&items, |_, &x| x * 3 - 1);
+    assert_eq!(pooled, sequential);
+}
+
+#[test]
+fn oversubscribed_pool_completes_every_task() {
+    // Tasks ≫ workers: every index must run exactly once.
+    let hits = AtomicUsize::new(0);
+    let items: Vec<usize> = (0..2000).collect();
+    let out = WorkerPool::new(3).map(&items, |i, &x| {
+        hits.fetch_add(1, Ordering::Relaxed);
+        i + x
+    });
+    assert_eq!(hits.load(Ordering::Relaxed), items.len());
+    assert_eq!(out.len(), items.len());
+    assert!(out.iter().enumerate().all(|(i, &v)| v == 2 * i));
+}
+
+#[test]
+fn parallel_map_matches_sequential_map_bytewise() {
+    // The sweeps rely on this: a pure per-item function yields the same
+    // bytes regardless of the worker count.
+    let items: Vec<u64> = (0..200).collect();
+    let render = |x: u64| format!("{:.17}\n", (x as f64).sqrt() * 0.1);
+    let seq: Vec<String> = items.iter().map(|&x| render(x)).collect();
+    for threads in [2, 4, 16] {
+        let par = WorkerPool::new(threads).map(&items, |_, &x| render(x));
+        assert_eq!(seq, par, "{threads}-thread map diverged from sequential");
+    }
+}

@@ -40,6 +40,31 @@ fn same_seed_runs_serialize_byte_identically() {
 }
 
 #[test]
+fn parallel_headline_runs_match_sequential_byte_for_byte() {
+    // The contract behind the parallel experiment harness: because every
+    // point owns its seed, fanning the runs out over a worker pool must
+    // reproduce the sequential serialisations byte for byte, at any
+    // thread count.
+    let points: Vec<(PolicyKind, u64)> = PolicyKind::ALL
+        .iter()
+        .flat_map(|&p| [42u64, 43].map(|s| (p, s)))
+        .collect();
+    let sequential: Vec<(String, String)> =
+        points.iter().map(|&(p, s)| headline_json(p, s)).collect();
+    for threads in [2, 4] {
+        let parallel = crossroads_bench::WorkerPool::new(threads)
+            .map(&points, |_, &(p, s)| headline_json(p, s));
+        assert_eq!(
+            sequential, parallel,
+            "{threads}-thread pool diverged from the sequential run"
+        );
+    }
+    // And through the env-sized driver the experiment binaries use.
+    let driven = crossroads_bench::par_run(&points, |&(p, s)| headline_json(p, s));
+    assert_eq!(sequential, driven, "par_run diverged from sequential");
+}
+
+#[test]
 fn different_seeds_actually_perturb_the_records() {
     // Guards against the determinism test passing vacuously because the
     // seed never reaches the noise models.

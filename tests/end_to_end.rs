@@ -9,26 +9,30 @@ fn headline_scale_model_ratio_holds() {
     // Fig. 7.1 / abstract: Crossroads reduces scale-model average wait
     // versus VT-IM; the paper reports 24% over ten scenarios. We assert
     // the direction and a sane band (10%..50%).
-    let mut vt = 0.0;
-    let mut xr = 0.0;
-    for id in ScenarioId::all() {
-        for repeat in 0..5 {
-            let w = scale_model_scenario(id, repeat);
-            let seed = repeat * 977 + u64::from(id.0);
-            let vt_out = run_simulation(
-                &SimConfig::scale_model(PolicyKind::VtIm).with_seed(seed),
-                &w,
-            );
-            let xr_out = run_simulation(
-                &SimConfig::scale_model(PolicyKind::Crossroads).with_seed(seed),
-                &w,
-            );
-            assert!(vt_out.all_completed() && vt_out.safety.is_safe());
-            assert!(xr_out.all_completed() && xr_out.safety.is_safe());
-            vt += vt_out.metrics.average_wait().value();
-            xr += xr_out.metrics.average_wait().value();
-        }
-    }
+    let points: Vec<(ScenarioId, u64)> = ScenarioId::all()
+        .into_iter()
+        .flat_map(|id| (0..5).map(move |repeat| (id, repeat)))
+        .collect();
+    let waits = crossroads_bench::par_run(&points, |&(id, repeat)| {
+        let w = scale_model_scenario(id, repeat);
+        let seed = repeat * 977 + u64::from(id.0);
+        let vt_out = run_simulation(
+            &SimConfig::scale_model(PolicyKind::VtIm).with_seed(seed),
+            &w,
+        );
+        let xr_out = run_simulation(
+            &SimConfig::scale_model(PolicyKind::Crossroads).with_seed(seed),
+            &w,
+        );
+        assert!(vt_out.all_completed() && vt_out.safety.is_safe());
+        assert!(xr_out.all_completed() && xr_out.safety.is_safe());
+        (
+            vt_out.metrics.average_wait().value(),
+            xr_out.metrics.average_wait().value(),
+        )
+    });
+    let vt: f64 = waits.iter().map(|&(v, _)| v).sum();
+    let xr: f64 = waits.iter().map(|&(_, x)| x).sum();
     let reduction = 1.0 - xr / vt;
     assert!(
         (0.10..=0.50).contains(&reduction),
@@ -41,24 +45,27 @@ fn headline_scale_model_ratio_holds() {
 fn saturation_throughput_ordering_matches_paper() {
     // Fig. 7.2: at saturating input flows Crossroads carries the most
     // traffic and VT-IM the least.
-    let mut carried = std::collections::HashMap::new();
-    for policy in PolicyKind::ALL {
-        let mut total = 0.0;
-        for rate in [0.6, 0.9, 1.25] {
-            let config = SimConfig::full_scale(policy).with_seed(42);
-            let mut rng = StdRng::seed_from_u64(1000);
-            let line_speed = config.spec.v_max * (2.0 / 3.0);
-            let w = generate_poisson(&PoissonConfig::sweep_point(rate, line_speed), &mut rng);
-            let out = run_simulation(&config, &w);
-            assert!(out.all_completed(), "{policy} rate {rate}");
-            assert!(out.safety.is_safe(), "{policy} rate {rate}");
-            total += out.metrics.flow_rate() / 4.0;
-        }
-        carried.insert(policy, total / 3.0);
+    let points: Vec<(PolicyKind, f64)> = PolicyKind::ALL
+        .into_iter()
+        .flat_map(|policy| [0.6, 0.9, 1.25].map(|rate| (policy, rate)))
+        .collect();
+    let flows = crossroads_bench::par_run(&points, |&(policy, rate)| {
+        let config = SimConfig::full_scale(policy).with_seed(42);
+        let mut rng = StdRng::seed_from_u64(1000);
+        let line_speed = config.spec.v_max * (2.0 / 3.0);
+        let w = generate_poisson(&PoissonConfig::sweep_point(rate, line_speed), &mut rng);
+        let out = run_simulation(&config, &w);
+        assert!(out.all_completed(), "{policy} rate {rate}");
+        assert!(out.safety.is_safe(), "{policy} rate {rate}");
+        out.metrics.flow_rate() / 4.0
+    });
+    let mut carried = [0.0f64; PolicyKind::ALL.len()];
+    for (&(policy, _), flow) in points.iter().zip(&flows) {
+        carried[policy.index()] += flow / 3.0;
     }
-    let vt = carried[&PolicyKind::VtIm];
-    let xr = carried[&PolicyKind::Crossroads];
-    let aim = carried[&PolicyKind::Aim];
+    let vt = carried[PolicyKind::VtIm.index()];
+    let xr = carried[PolicyKind::Crossroads.index()];
+    let aim = carried[PolicyKind::Aim.index()];
     assert!(xr > vt, "Crossroads {xr:.4} must beat VT-IM {vt:.4}");
     assert!(
         aim > vt,
@@ -148,8 +155,12 @@ fn golden_crossroads_matches_or_beats_vt_at_nonzero_wc_rtd() {
     let line_speed = xr_config.spec.v_max * (2.0 / 3.0);
     let w = generate_poisson(&PoissonConfig::sweep_point(0.8, line_speed), &mut rng);
 
-    let xr = run_simulation(&xr_config, &w);
-    let vt = run_simulation(&vt_config, &w);
+    // Both policies replay the same workload independently — run them
+    // through the shared parallel driver, as the experiment harness does.
+    let configs = [xr_config.clone(), vt_config.clone()];
+    let mut outcomes = crossroads_bench::par_run(&configs, |config| run_simulation(config, &w));
+    let vt = outcomes.pop().expect("two runs");
+    let xr = outcomes.pop().expect("two runs");
     for (name, out) in [("crossroads", &xr), ("vt", &vt)] {
         assert!(out.all_completed(), "{name}: incomplete run");
         assert!(
