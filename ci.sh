@@ -38,6 +38,14 @@ if ! cmp -s "$seq_out" "$par_out"; then
     exit 1
 fi
 
+echo "==> DES engine vs seed-baseline agreement gate"
+# Quick mode: benches/des.rs replays randomized schedule/cancel/pop
+# interleavings on the rewritten queue and the seed's BinaryHeap
+# baseline (embedded in the bench), and the sweep audit against the
+# exhaustive pairwise reference, hard-asserting identical transcripts
+# and verdicts. Timing loops are skipped.
+CROSSROADS_SWEEP_FAST=1 cargo bench --offline --bench des -p crossroads-bench
+
 if cargo fmt --version >/dev/null 2>&1; then
     echo "==> rustfmt check"
     cargo fmt --check

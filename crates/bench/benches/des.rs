@@ -1,0 +1,344 @@
+//! DES engine hot paths: the slab-indexed cancellable event queue
+//! against the seed's `BinaryHeap` + tombstone-set queue, and the
+//! sweep-pruned safety audit against the exhaustive pairwise reference.
+//!
+//! Before any timing, the bench **hard-asserts** engine-vs-seed
+//! agreement on randomized workloads — pop transcripts, `cancel` return
+//! values, audit verdicts. `ci.sh` runs it with `CROSSROADS_SWEEP_FAST=1`,
+//! which keeps those gates and skips the timing loops, so every CI pass
+//! re-proves the rewritten engine behaves exactly like the seed.
+//!
+//! Self-timed (`harness = false`); run with `cargo bench --bench des`.
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashSet};
+use std::hint::black_box;
+
+use crossroads_bench::fast_sweep;
+use crossroads_bench::timing::{bench, bench_table_header};
+use crossroads_core::sim::{BoxOccupancy, SafetyReport};
+use crossroads_des::EventQueue;
+use crossroads_intersection::{IntersectionGeometry, Movement};
+use crossroads_prng::{Rng, SeedableRng, StdRng};
+use crossroads_units::{Meters, MetersPerSecond, TimePoint};
+use crossroads_vehicle::{SpeedProfile, VehicleId, VehicleSpec};
+
+// ---------------------------------------------------------------------
+// The seed's event queue, embedded verbatim as the bench baseline: a
+// max-heap of inverted (time, seq) entries plus a `live` tombstone set.
+// Cancellation is O(1) but leaves the entry in the heap; `pop` reaps
+// cancelled entries as they surface.
+// ---------------------------------------------------------------------
+
+struct SeedEntry<E> {
+    at: TimePoint,
+    seq: u64,
+    payload: E,
+}
+
+impl<E> PartialEq for SeedEntry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.seq == other.seq
+    }
+}
+impl<E> Eq for SeedEntry<E> {}
+
+impl<E> Ord for SeedEntry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .at
+            .partial_cmp(&self.at)
+            .expect("event timestamps are finite")
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+impl<E> PartialOrd for SeedEntry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+struct SeedQueue<E> {
+    heap: BinaryHeap<SeedEntry<E>>,
+    live: HashSet<u64>,
+    next_seq: u64,
+}
+
+impl<E> SeedQueue<E> {
+    fn new() -> Self {
+        SeedQueue {
+            heap: BinaryHeap::new(),
+            live: HashSet::new(),
+            next_seq: 0,
+        }
+    }
+
+    fn schedule(&mut self, at: TimePoint, payload: E) -> u64 {
+        assert!(at.is_finite(), "event timestamp must be finite, got {at}");
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.live.insert(seq);
+        self.heap.push(SeedEntry { at, seq, payload });
+        seq
+    }
+
+    fn cancel(&mut self, seq: u64) -> bool {
+        self.live.remove(&seq)
+    }
+
+    fn pop(&mut self) -> Option<(TimePoint, E)> {
+        while let Some(entry) = self.heap.pop() {
+            if self.live.remove(&entry.seq) {
+                return Some((entry.at, entry.payload));
+            }
+            // Cancelled: drop and keep reaping.
+        }
+        None
+    }
+}
+
+// ---------------------------------------------------------------------
+// Randomized queue workloads, replayed identically on both queues.
+// ---------------------------------------------------------------------
+
+/// One queue operation; `Cancel` picks among the handles issued so far.
+#[derive(Clone, Copy)]
+enum Op {
+    Schedule(f64),
+    Cancel(usize),
+    Pop,
+}
+
+/// A reproducible interleaving with roughly `cancel_frac` of the issued
+/// events cancelled, biased toward scheduling so queues stay populated.
+fn gen_ops(seed: u64, n: usize, cancel_frac: f64) -> Vec<Op> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut ops = Vec::with_capacity(n);
+    for _ in 0..n {
+        let roll = rng.gen_range(0.0..1.0);
+        if roll < 0.5 {
+            ops.push(Op::Schedule(rng.gen_range(0.0..1e4)));
+        } else if roll < 0.5 + cancel_frac {
+            #[allow(clippy::cast_possible_truncation)]
+            ops.push(Op::Cancel((rng.next_u64() % (1 << 32)) as usize));
+        } else {
+            ops.push(Op::Pop);
+        }
+    }
+    ops
+}
+
+/// Replays `ops` on the indexed queue, returning the pop transcript
+/// (time bits + payload) and every cancel verdict.
+fn run_indexed(ops: &[Op]) -> (Vec<(u64, usize)>, Vec<bool>) {
+    let mut q: EventQueue<usize> = EventQueue::new();
+    let mut ids = Vec::new();
+    let mut payload = 0usize;
+    let mut pops = Vec::new();
+    let mut cancels = Vec::new();
+    for &op in ops {
+        match op {
+            Op::Schedule(at) => {
+                ids.push(q.schedule(TimePoint::new(at), payload));
+                payload += 1;
+            }
+            Op::Cancel(pick) if !ids.is_empty() => {
+                cancels.push(q.cancel(ids[pick % ids.len()]));
+            }
+            Op::Cancel(_) => {}
+            Op::Pop => {
+                if let Some((at, e)) = q.pop() {
+                    pops.push((at.value().to_bits(), e));
+                }
+            }
+        }
+    }
+    while let Some((at, e)) = q.pop() {
+        pops.push((at.value().to_bits(), e));
+    }
+    (pops, cancels)
+}
+
+/// Replays `ops` on the seed queue; same transcript shape.
+fn run_seed(ops: &[Op]) -> (Vec<(u64, usize)>, Vec<bool>) {
+    let mut q: SeedQueue<usize> = SeedQueue::new();
+    let mut ids = Vec::new();
+    let mut payload = 0usize;
+    let mut pops = Vec::new();
+    let mut cancels = Vec::new();
+    for &op in ops {
+        match op {
+            Op::Schedule(at) => {
+                ids.push(q.schedule(TimePoint::new(at), payload));
+                payload += 1;
+            }
+            Op::Cancel(pick) if !ids.is_empty() => {
+                cancels.push(q.cancel(ids[pick % ids.len()]));
+            }
+            Op::Cancel(_) => {}
+            Op::Pop => {
+                if let Some((at, e)) = q.pop() {
+                    pops.push((at.value().to_bits(), e));
+                }
+            }
+        }
+    }
+    while let Some((at, e)) = q.pop() {
+        pops.push((at.value().to_bits(), e));
+    }
+    (pops, cancels)
+}
+
+/// The correctness gate: on many randomized interleavings, the indexed
+/// queue's pop transcript and cancel verdicts must equal the seed's.
+fn assert_queue_agreement() {
+    for seed in 0..32u64 {
+        let ops = gen_ops(seed, 400, 0.25);
+        let (pops_new, cancels_new) = run_indexed(&ops);
+        let (pops_seed, cancels_seed) = run_seed(&ops);
+        assert_eq!(
+            pops_new, pops_seed,
+            "pop transcript diverged from the seed queue (seed {seed})"
+        );
+        assert_eq!(
+            cancels_new, cancels_seed,
+            "cancel verdicts diverged from the seed queue (seed {seed})"
+        );
+    }
+    println!("queue agreement: indexed == seed on 32 randomized interleavings");
+}
+
+// ---------------------------------------------------------------------
+// Randomized audit workloads.
+// ---------------------------------------------------------------------
+
+/// A constant-speed crossing entering the box at `enter`.
+fn occupancy(v: u32, movement: Movement, enter: f64, speed: f64) -> BoxOccupancy {
+    let g = IntersectionGeometry::scale_model();
+    let s = VehicleSpec::scale_model();
+    let total = g.path_length(movement) + s.length;
+    BoxOccupancy {
+        vehicle: VehicleId(v),
+        movement,
+        entered: TimePoint::new(enter),
+        exited: TimePoint::new(enter + total.value() / speed),
+        profile: SpeedProfile::starting_at(
+            TimePoint::new(enter),
+            Meters::ZERO,
+            MetersPerSecond::new(speed),
+        ),
+        line_offset: Meters::ZERO,
+    }
+}
+
+/// `n` random crossings over a span that grows with `n`, holding the
+/// temporal density (and thus the co-residency rate the sweep prunes
+/// against) roughly constant at the experiments' regime: ~0.5 box
+/// entries per second, as in the mid-range Fig. 7.2 sweep points, where
+/// each crossing is co-resident with a handful of neighbours and almost
+/// every one of the n²/2 exhaustive pairs is temporally disjoint.
+fn random_occupancies(seed: u64, n: usize) -> Vec<BoxOccupancy> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let movements = Movement::all();
+    #[allow(clippy::cast_precision_loss)]
+    let span = n as f64 * 2.0;
+    (0..n)
+        .map(|i| {
+            #[allow(clippy::cast_possible_truncation)]
+            let m = movements[(rng.next_u64() % 12) as usize];
+            let enter = rng.gen_range(0.0..span);
+            let speed = rng.gen_range(0.5..3.0);
+            #[allow(clippy::cast_possible_truncation)]
+            occupancy(i as u32, m, enter, speed)
+        })
+        .collect()
+}
+
+fn digest(report: &SafetyReport) -> Vec<(u32, u32, u64)> {
+    report
+        .violations()
+        .iter()
+        .map(|v| (v.first.0, v.second.0, v.at.value().to_bits()))
+        .collect()
+}
+
+/// The audit gate: the sweep-pruned audit's verdict must equal the
+/// exhaustive pairwise reference on randomized traffic.
+fn assert_audit_agreement() {
+    let g = IntersectionGeometry::scale_model();
+    let s = VehicleSpec::scale_model();
+    let mut checked = 0usize;
+    for seed in 0..8u64 {
+        for n in [0usize, 1, 13, 64] {
+            let occs = random_occupancies(seed, n);
+            let sweep = SafetyReport::audit_with_margin(occs.clone(), &g, &s, Meters::ZERO);
+            let pairwise = SafetyReport::audit_exhaustive_with_margin(occs, &g, &s, Meters::ZERO);
+            assert_eq!(
+                digest(&sweep),
+                digest(&pairwise),
+                "sweep audit diverged from the exhaustive audit (seed {seed}, n {n})"
+            );
+            checked += 1;
+        }
+    }
+    println!("audit agreement: sweep == exhaustive on {checked} randomized sets");
+}
+
+fn main() {
+    assert_queue_agreement();
+    assert_audit_agreement();
+    if fast_sweep() {
+        println!("quick mode: correctness gates only, timing loops skipped");
+        return;
+    }
+
+    bench_table_header("des_queue");
+
+    // Pure schedule-then-drain: no cancellations, the common case.
+    for n in [256usize, 1024, 4096] {
+        let ops = gen_ops(7, n * 2, 0.0);
+        bench(&format!("schedule_drain_seed/{n}"), || {
+            run_seed(black_box(&ops)).0.len()
+        });
+        bench(&format!("schedule_drain_indexed/{n}"), || {
+            run_indexed(black_box(&ops)).0.len()
+        });
+    }
+
+    // Cancel-heavy interleavings: the protocol's retransmission-timer
+    // pattern (nearly every scheduled timeout is cancelled). The seed
+    // queue carries every tombstone to the top of the heap before
+    // reaping; the indexed queue evicts on the spot.
+    for n in [256usize, 1024, 4096] {
+        let ops = gen_ops(11, n * 2, 0.45);
+        bench(&format!("cancel_heavy_seed/{n}"), || {
+            run_seed(black_box(&ops)).0.len()
+        });
+        bench(&format!("cancel_heavy_indexed/{n}"), || {
+            run_indexed(black_box(&ops)).0.len()
+        });
+    }
+
+    bench_table_header("safety_audit");
+
+    let g = IntersectionGeometry::scale_model();
+    let s = VehicleSpec::scale_model();
+    for n in [64usize, 256, 1024, 4096] {
+        let occs = random_occupancies(3, n);
+        bench(&format!("audit_pairwise/{n}"), || {
+            SafetyReport::audit_exhaustive_with_margin(
+                black_box(occs.clone()),
+                &g,
+                &s,
+                Meters::ZERO,
+            )
+            .violations()
+            .len()
+        });
+        bench(&format!("audit_sweep/{n}"), || {
+            SafetyReport::audit_with_margin(black_box(occs.clone()), &g, &s, Meters::ZERO)
+                .violations()
+                .len()
+        });
+    }
+}

@@ -83,6 +83,11 @@ where
 /// [`BENCH_OUT_ENV`]), and notes the wall clock on stderr. Stdout is
 /// untouched, so experiment tables stay byte-identical across thread
 /// counts.
+///
+/// Each point also reports how many DES events its simulations
+/// dispatched (via the engine's thread-local tally, read before and
+/// after the point on its worker thread), so the JSON record carries
+/// engine throughput as `events_per_sec`.
 pub fn par_sweep<T, R>(
     experiment: &str,
     items: &[T],
@@ -96,17 +101,21 @@ where
     let pool = WorkerPool::from_env();
     let started = Instant::now();
     let timed = pool.map(items, |_, item| {
+        let events0 = crossroads_core::sim::thread_events_processed();
         let t0 = Instant::now();
         let out = run(item);
-        (out, t0.elapsed().as_secs_f64() * 1e3)
+        let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let events = crossroads_core::sim::thread_events_processed() - events0;
+        (out, wall_ms, events)
     });
     let total_ms = started.elapsed().as_secs_f64() * 1e3;
     let points: Vec<BenchPoint> = items
         .iter()
         .zip(&timed)
-        .map(|(item, &(_, wall_ms))| BenchPoint {
+        .map(|(item, &(_, wall_ms, events))| BenchPoint {
             label: label(item),
             wall_ms,
+            events,
         })
         .collect();
     emit_bench_record(&bench_sweep_to_json(
@@ -121,7 +130,7 @@ where
         total_ms,
         pool.threads()
     );
-    timed.into_iter().map(|(out, _)| out).collect()
+    timed.into_iter().map(|(out, _, _)| out).collect()
 }
 
 /// Appends one JSONL record to the bench output file. The first write of

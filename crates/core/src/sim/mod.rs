@@ -184,6 +184,20 @@ impl SimOutcome {
     }
 }
 
+thread_local! {
+    /// Events dispatched by every `run_simulation` call on this thread.
+    static DES_EVENTS: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+}
+
+/// Total DES events dispatched by `run_simulation` calls on the calling
+/// thread, ever. Timing harnesses read this before and after a run to
+/// derive `events/sec` without threading a counter through every
+/// experiment's return type.
+#[must_use]
+pub fn thread_events_processed() -> u64 {
+    DES_EVENTS.with(std::cell::Cell::get)
+}
+
 /// Runs one experiment: `workload` through the configured IM.
 ///
 /// Deterministic: the same `(config, workload)` pair always produces the
@@ -203,14 +217,16 @@ pub fn run_simulation(config: &SimConfig, workload: &[Arrival]) -> SimOutcome {
     let horizon = workload
         .last()
         .map_or(TimePoint::ZERO, |a| a.at_line + config.horizon_slack);
-    sim.run_until(horizon, |sim, ev| {
+    let run = sim.run_until(horizon, |sim, ev| {
         world.handle(sim, ev);
         true
     });
+    DES_EVENTS.with(|c| c.set(c.get() + run.events_processed));
 
     let mut metrics = std::mem::take(&mut world.metrics);
     let mut counters = world.counters;
     counters.im_ops = world.policy_ops();
+    counters.des_events = run.events_processed;
     let stats = world.channel_stats();
     counters.messages = stats.total_sent();
     counters.messages_lost = stats.lost;

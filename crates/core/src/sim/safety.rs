@@ -84,6 +84,15 @@ impl SafetyReport {
     /// a position uncertainty of `margin` must keep the inflated envelopes
     /// exclusive. With the correct buffers the reproduction passes at
     /// `margin = E_long`; strip VT-IM's RTD buffer and it fails (Ch. 4).
+    ///
+    /// Pairs are found by a sweep over entry times: occupancies are sorted
+    /// by box entry once, and an active set retains only those whose
+    /// windows are still open, so pairs whose box intervals cannot overlap
+    /// in time are never geometrically tested — O(n log n + k) candidate
+    /// generation against the exhaustive audit's O(n²), with `k` the
+    /// number of genuinely co-resident pairs. The geometric replay per
+    /// candidate, the violation set and its order are identical to
+    /// [`audit_exhaustive_with_margin`](Self::audit_exhaustive_with_margin).
     #[must_use]
     pub fn audit_with_margin(
         occupancies: Vec<BoxOccupancy>,
@@ -91,25 +100,60 @@ impl SafetyReport {
         spec: &VehicleSpec,
         margin: Meters,
     ) -> Self {
+        let paths = movement_paths(geometry);
+        // Sweep: visit occupancies in entry order, keeping an active set
+        // of earlier entries whose exit lies beyond the current entry.
+        let mut by_entry: Vec<usize> = (0..occupancies.len()).collect();
+        by_entry.sort_by(|&i, &j| {
+            occupancies[i]
+                .entered
+                .partial_cmp(&occupancies[j].entered)
+                .expect("occupancy times are finite")
+                .then_with(|| i.cmp(&j))
+        });
+        let mut active: Vec<usize> = Vec::new();
+        let mut candidates: Vec<(usize, usize)> = Vec::new();
+        for &j in &by_entry {
+            let enter = occupancies[j].entered;
+            active.retain(|&i| occupancies[i].exited > enter);
+            for &i in &active {
+                candidates.push((i.min(j), i.max(j)));
+            }
+            active.push(j);
+        }
+        // Replay candidates in index order — the exhaustive audit's pair
+        // order — so the reported violations match it byte for byte.
+        candidates.sort_unstable();
         let mut violations = Vec::new();
-        let paths: std::collections::HashMap<Movement, MovementPath> = Movement::all()
-            .into_iter()
-            .map(|m| (m, MovementPath::new(geometry, m)))
-            .collect();
+        for &(i, j) in &candidates {
+            let (a, b) = (&occupancies[i], &occupancies[j]);
+            if let Some(violation) = check_pair(a, b, &paths, spec, margin) {
+                violations.push(violation);
+            }
+        }
+        SafetyReport {
+            occupancies,
+            violations,
+        }
+    }
+
+    /// The seed's exhaustive pairwise audit, kept verbatim as the
+    /// reference implementation: every pair is interval-tested, O(n²).
+    /// Property tests and `benches/des.rs` cross-check the sweep-pruned
+    /// [`audit_with_margin`](Self::audit_with_margin) against it.
+    #[must_use]
+    pub fn audit_exhaustive_with_margin(
+        occupancies: Vec<BoxOccupancy>,
+        geometry: &IntersectionGeometry,
+        spec: &VehicleSpec,
+        margin: Meters,
+    ) -> Self {
+        let paths = movement_paths(geometry);
+        let mut violations = Vec::new();
         for (i, a) in occupancies.iter().enumerate() {
             for b in &occupancies[i + 1..] {
-                let start = a.entered.max(b.entered);
-                let end = a.exited.min(b.exited);
-                if end <= start {
-                    continue; // never inside together
-                }
-                if let Some(at) = first_contact(a, b, &paths, spec, margin, start, end) {
-                    let (first, second) = if a.entered <= b.entered {
-                        (a.vehicle, b.vehicle)
-                    } else {
-                        (b.vehicle, a.vehicle)
-                    };
-                    violations.push(SafetyViolation { first, second, at });
+                if let Some(violation) = check_pair(a, b, &paths, spec, margin) {
+                    violations.push(violation);
                 }
             }
         }
@@ -136,6 +180,40 @@ impl SafetyReport {
     pub fn occupancies(&self) -> &[BoxOccupancy] {
         &self.occupancies
     }
+}
+
+/// One replayable path per movement, shared by both audit variants.
+fn movement_paths(
+    geometry: &IntersectionGeometry,
+) -> std::collections::HashMap<Movement, MovementPath> {
+    Movement::all()
+        .into_iter()
+        .map(|m| (m, MovementPath::new(geometry, m)))
+        .collect()
+}
+
+/// The per-pair test both audits share: interval overlap, then geometric
+/// replay. Returns the violation (entry-ordered vehicle pair, first
+/// contact instant) if the footprints ever touch.
+fn check_pair(
+    a: &BoxOccupancy,
+    b: &BoxOccupancy,
+    paths: &std::collections::HashMap<Movement, MovementPath>,
+    spec: &VehicleSpec,
+    margin: Meters,
+) -> Option<SafetyViolation> {
+    let start = a.entered.max(b.entered);
+    let end = a.exited.min(b.exited);
+    if end <= start {
+        return None; // never inside together
+    }
+    let at = first_contact(a, b, paths, spec, margin, start, end)?;
+    let (first, second) = if a.entered <= b.entered {
+        (a.vehicle, b.vehicle)
+    } else {
+        (b.vehicle, a.vehicle)
+    };
+    Some(SafetyViolation { first, second, at })
 }
 
 fn footprint(

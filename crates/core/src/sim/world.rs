@@ -1,7 +1,7 @@
 //! The closed-loop world: vehicle agents, the IM server, and the radio,
 //! coupled on the DES.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 use crossroads_des::Simulation;
 use crossroads_intersection::ConflictTable;
@@ -41,6 +41,10 @@ pub(crate) struct Agent {
     last_proposal: Option<(TimePoint, MetersPerSecond, bool)>,
     /// Assigned stop position (queue slot) once the vehicle plans a stop.
     stop_target: Option<Meters>,
+    /// Highest request attempt the IM has processed from this vehicle:
+    /// the IM drops reordered/stale uplinks so its ledger always reflects
+    /// the newest vehicle state it has seen. Zero until the first uplink.
+    im_seen_attempt: u32,
 }
 
 pub(crate) struct World<'a> {
@@ -49,21 +53,25 @@ pub(crate) struct World<'a> {
     rng: StdRng,
     channel: Channel,
     policy: Box<dyn IntersectionPolicy>,
-    vehicles: HashMap<VehicleId, Agent>,
+    /// Dense agent slab indexed by `VehicleId` (workload ids are small
+    /// sequential integers): O(1) lookup with no hashing on the hot path.
+    /// Agents are never removed, so a slot is `None` only before its
+    /// vehicle crosses the line.
+    vehicles: Vec<Option<Agent>>,
     im_queue: VecDeque<(VehicleId, CrossingRequest)>,
     im_busy: bool,
-    /// Highest request attempt processed per vehicle: the IM drops
-    /// reordered/stale uplinks so its ledger always reflects the newest
-    /// vehicle state it has seen.
-    im_seen_attempt: HashMap<VehicleId, u32>,
     pub(crate) occupancies: Vec<BoxOccupancy>,
     pub(crate) metrics: RunMetrics,
     pub(crate) counters: Counters,
     s_entry: Meters,
     /// Per-approach vehicles in line-crossing order — the physical lane
-    /// order. Stop positions, queue discharge and follower suppression
-    /// all derive from it.
-    lane_arrivals: HashMap<crossroads_intersection::Approach, Vec<VehicleId>>,
+    /// order, indexed by [`Approach::index`]. Stop positions, queue
+    /// discharge and follower suppression all derive from it.
+    lane_arrivals: [Vec<VehicleId>; 4],
+    /// Reusable scratch for [`unentered_predecessors`]
+    /// (`Self::unentered_predecessors`), so the per-request queue check
+    /// allocates nothing in steady state.
+    pred_scratch: Vec<VehicleId>,
 }
 
 impl<'a> World<'a> {
@@ -76,41 +84,58 @@ impl<'a> World<'a> {
             rng: StdRng::seed_from_u64(cfg.seed),
             channel: Channel::new(cfg.channel),
             policy,
-            vehicles: HashMap::new(),
+            vehicles: Vec::with_capacity(workload.len()),
             im_queue: VecDeque::new(),
             im_busy: false,
-            im_seen_attempt: HashMap::new(),
             occupancies: Vec::new(),
             metrics: RunMetrics::new(),
             counters: Counters::default(),
             s_entry: cfg.geometry.transmission_line_distance,
-            lane_arrivals: HashMap::new(),
+            lane_arrivals: [Vec::new(), Vec::new(), Vec::new(), Vec::new()],
+            pred_scratch: Vec::new(),
         }
     }
 
+    /// The agent for `v`, if the vehicle has crossed the line.
+    fn agent(&self, v: VehicleId) -> Option<&Agent> {
+        self.vehicles.get(v.0 as usize).and_then(Option::as_ref)
+    }
+
+    /// Mutable access to the agent for `v`.
+    fn agent_mut(&mut self, v: VehicleId) -> Option<&mut Agent> {
+        self.vehicles.get_mut(v.0 as usize).and_then(Option::as_mut)
+    }
+
+    /// Installs a fresh agent in its slab slot, growing the slab to cover
+    /// the id if the workload's ids arrive out of numeric order.
+    fn insert_agent(&mut self, v: VehicleId, agent: Agent) {
+        let slot = v.0 as usize;
+        if slot >= self.vehicles.len() {
+            self.vehicles.resize_with(slot + 1, || None);
+        }
+        self.vehicles[slot] = Some(agent);
+    }
+
     /// Same-lane vehicles that crossed the line before `v` and have not
-    /// yet entered the box.
-    fn unentered_predecessors(&self, v: VehicleId) -> Vec<VehicleId> {
-        let Some(agent) = self.vehicles.get(&v) else {
-            return Vec::new();
+    /// yet entered the box, written into `out` (cleared first) — the
+    /// caller holds the buffer so the per-request check never allocates.
+    fn unentered_predecessors(&self, v: VehicleId, out: &mut Vec<VehicleId>) {
+        out.clear();
+        let Some(agent) = self.agent(v) else {
+            return;
         };
-        let Some(order) = self.lane_arrivals.get(&agent.movement.approach) else {
-            return Vec::new();
-        };
-        let mut out = Vec::new();
+        let order = &self.lane_arrivals[agent.movement.approach.index()];
         for &u in order {
             if u == v {
                 break;
             }
             if self
-                .vehicles
-                .get(&u)
+                .agent(u)
                 .is_some_and(|a| !a.done && a.entered_at.is_none())
             {
                 out.push(u);
             }
         }
-        out
     }
 
     /// Assigns (or returns the already-assigned) stop position: the box
@@ -122,11 +147,11 @@ impl<'a> World<'a> {
     /// (Self::queue_blocked) and per-lane scheduling gates, and entry
     /// spacing by the IM's own occupancy windows/tiles.
     fn assign_stop_target(&mut self, v: VehicleId) -> Meters {
-        if let Some(t) = self.vehicles.get(&v).and_then(|a| a.stop_target) {
+        if let Some(t) = self.agent(v).and_then(|a| a.stop_target) {
             return t;
         }
         let target = self.s_entry;
-        let agent = self.vehicles.get_mut(&v).expect("agent exists");
+        let agent = self.agent_mut(v).expect("agent exists");
         agent.stop_target = Some(target);
         target
     }
@@ -203,11 +228,8 @@ impl<'a> World<'a> {
 
         let profile = SpeedProfile::starting_at(now, Meters::ZERO, arr.speed);
         let free_flow = self.free_flow_time(arr);
-        self.lane_arrivals
-            .entry(arr.movement.approach)
-            .or_default()
-            .push(arr.vehicle);
-        self.vehicles.insert(
+        self.lane_arrivals[arr.movement.approach.index()].push(arr.vehicle);
+        self.insert_agent(
             arr.vehicle,
             Agent {
                 movement: arr.movement,
@@ -223,6 +245,7 @@ impl<'a> World<'a> {
                 free_flow,
                 last_proposal: None,
                 stop_target: None,
+                im_seen_attempt: 0,
             },
         );
         self.schedule_guard(sim, arr.vehicle);
@@ -238,7 +261,7 @@ impl<'a> World<'a> {
 
     fn on_sync_complete(&mut self, sim: &mut Simulation<Event>, v: VehicleId) {
         let now = sim.now();
-        let Some(agent) = self.vehicles.get_mut(&v) else {
+        let Some(agent) = self.agent_mut(v) else {
             return;
         };
         agent
@@ -262,14 +285,15 @@ impl<'a> World<'a> {
     ///   the IM's lane gate serializes entries, so queued followers may
     ///   request immediately and the whole queue discharge is scheduled
     ///   in advance — the protocol's signature advantage.
-    fn queue_blocked(&self, v: VehicleId) -> bool {
+    fn queue_blocked(&self, v: VehicleId, preds: &mut Vec<VehicleId>) -> bool {
         match self.cfg.policy {
             crate::policy::PolicyKind::Crossroads => false,
-            crate::policy::PolicyKind::VtIm => self.unentered_predecessors(v).iter().any(|u| {
-                self.vehicles
-                    .get(u)
-                    .is_some_and(|a| a.stop_target.is_some())
-            }),
+            crate::policy::PolicyKind::VtIm => {
+                self.unentered_predecessors(v, preds);
+                preds
+                    .iter()
+                    .any(|&u| self.agent(u).is_some_and(|a| a.stop_target.is_some()))
+            }
             crate::policy::PolicyKind::Aim => {
                 // Stop-sign-style discharge (Dresner & Stone; Fok et al.):
                 // once a vehicle has come to rest it engages the IM only
@@ -277,15 +301,14 @@ impl<'a> World<'a> {
                 // one launch at a time. Cruising vehicles merely defer to
                 // leaders that are queued or still unscheduled, so moving
                 // platoons at low flow are unaffected.
-                let preds = self.unentered_predecessors(v);
+                self.unentered_predecessors(v, preds);
                 if preds.is_empty() {
                     false
-                } else if self.vehicles.get(&v).is_some_and(|a| a.stopped) {
+                } else if self.agent(v).is_some_and(|a| a.stopped) {
                     true
                 } else {
-                    preds.iter().any(|u| {
-                        self.vehicles
-                            .get(u)
+                    preds.iter().any(|&u| {
+                        self.agent(u)
                             .is_some_and(|a| a.stop_target.is_some() || !a.accepted)
                     })
                 }
@@ -295,10 +318,13 @@ impl<'a> World<'a> {
 
     fn on_send_request(&mut self, sim: &mut Simulation<Event>, v: VehicleId, attempt: u32) {
         let now = sim.now();
-        if self.queue_blocked(v) {
+        let mut preds = std::mem::take(&mut self.pred_scratch);
+        let blocked = self.queue_blocked(v, &mut preds);
+        self.pred_scratch = preds;
+        if blocked {
             // Hold the request until the lane ahead clears; poll at a
             // human-scale cadence rather than spamming the radio.
-            let still_relevant = self.vehicles.get(&v).is_some_and(|a| {
+            let still_relevant = self.agent(v).is_some_and(|a| {
                 !a.done
                     && !a.accepted
                     && a.protocol.state() == (ProtocolState::Request { attempts: attempt })
@@ -309,7 +335,7 @@ impl<'a> World<'a> {
             return;
         }
         let (req, timeout) = {
-            let Some(agent) = self.vehicles.get(&v) else {
+            let Some(agent) = self.agent(v) else {
                 return;
             };
             if agent.done || agent.accepted {
@@ -344,7 +370,7 @@ impl<'a> World<'a> {
             )
         };
         if let Some(toa) = req.proposed_arrival {
-            let agent = self.vehicles.get_mut(&v).expect("agent exists");
+            let agent = self.agent_mut(v).expect("agent exists");
             agent.last_proposal = Some((toa, req.speed, req.stopped));
         }
         if let SendOutcome::Delivered { latency } = self.channel.send_uplink(&mut self.rng) {
@@ -380,7 +406,7 @@ impl<'a> World<'a> {
 
     fn on_timeout(&mut self, sim: &mut Simulation<Event>, v: VehicleId, attempt: u32) {
         let now = sim.now();
-        let Some(agent) = self.vehicles.get_mut(&v) else {
+        let Some(agent) = self.agent_mut(v) else {
             return;
         };
         if agent.done || agent.accepted {
@@ -409,11 +435,14 @@ impl<'a> World<'a> {
         if let Some((v, req)) = self.im_queue.pop_front() {
             // Drop stale/reordered requests: the ledger must only ever
             // move forward with the vehicle's newest reported state.
-            let seen = self.im_seen_attempt.entry(v).or_insert(0);
-            if req.attempt <= *seen && *seen != 0 {
+            // (Vehicles request only after crossing the line, so the
+            // agent — which carries the IM's per-vehicle watermark —
+            // always exists by the time an uplink lands.)
+            let agent = self.agent_mut(v).expect("uplink implies agent");
+            if req.attempt <= agent.im_seen_attempt && agent.im_seen_attempt != 0 {
                 return self.im_start_next(sim);
             }
-            *seen = req.attempt;
+            agent.im_seen_attempt = req.attempt;
             self.im_busy = true;
             // The decision is computed now; the response leaves the IM
             // once the computation time — proportional to the scheduling
@@ -459,7 +488,7 @@ impl<'a> World<'a> {
     ) {
         let now = sim.now();
         {
-            let Some(agent) = self.vehicles.get(&v) else {
+            let Some(agent) = self.agent(v) else {
                 return;
             };
             if agent.done || agent.accepted {
@@ -481,10 +510,7 @@ impl<'a> World<'a> {
                     // Escalate the re-request interval with consecutive
                     // denials: a vehicle parked behind a busy box gains
                     // nothing from polling the IM at round-trip rate.
-                    let denials = self
-                        .vehicles
-                        .get(&v)
-                        .map_or(0, |a| a.protocol.total_rejections());
+                    let denials = self.agent(v).map_or(0, |a| a.protocol.total_rejections());
                     let factor = f64::from((1 + denials).min(6));
                     self.reject_and_stop(
                         sim,
@@ -515,7 +541,7 @@ impl<'a> World<'a> {
         now: TimePoint,
     ) {
         let spec = self.cfg.spec;
-        let agent = self.vehicles.get_mut(&v).expect("agent exists");
+        let agent = self.agent_mut(v).expect("agent exists");
         let s_now = agent.profile.position_at(now);
         let v_now = agent.profile.speed_at(now);
         agent
@@ -541,7 +567,7 @@ impl<'a> World<'a> {
     ) {
         let spec = self.cfg.spec;
         let s_entry = self.s_entry;
-        let agent = self.vehicles.get_mut(&v).expect("agent exists");
+        let agent = self.agent_mut(v).expect("agent exists");
         let s_now = agent.profile.position_at(now);
         let v_now = agent.profile.speed_at(now);
 
@@ -606,7 +632,7 @@ impl<'a> World<'a> {
             }
         };
 
-        let agent = self.vehicles.get_mut(&v).expect("agent exists");
+        let agent = self.agent_mut(v).expect("agent exists");
         agent
             .protocol
             .apply(ProtocolEvent::ResponseAccepted, now)
@@ -627,7 +653,7 @@ impl<'a> World<'a> {
         let spec = self.cfg.spec;
         let s_entry = self.s_entry;
         let (s_now, v_now, last_proposal, stopped) = {
-            let agent = self.vehicles.get(&v).expect("agent exists");
+            let agent = self.agent(v).expect("agent exists");
             (
                 agent.profile.position_at(now),
                 agent.profile.speed_at(now),
@@ -667,7 +693,7 @@ impl<'a> World<'a> {
             // Hold the proposed speed through the box.
             SpeedProfile::starting_at(now, s_now, v_now)
         };
-        let agent = self.vehicles.get_mut(&v).expect("agent exists");
+        let agent = self.agent_mut(v).expect("agent exists");
         agent
             .protocol
             .apply(ProtocolEvent::ResponseAccepted, now)
@@ -683,7 +709,7 @@ impl<'a> World<'a> {
         let slowdown = self.cfg.aim_slowdown_factor;
         let spec = self.cfg.spec;
         let s_entry = self.s_entry;
-        let agent = self.vehicles.get_mut(&v).expect("agent exists");
+        let agent = self.agent_mut(v).expect("agent exists");
         agent
             .protocol
             .apply(ProtocolEvent::ResponseRejected, now)
@@ -701,11 +727,11 @@ impl<'a> World<'a> {
                 || room <= kinematics::stopping_distance(v_now, spec.d_max) + GUARD_MARGIN;
             if needs_stop {
                 let target = self.assign_stop_target(v);
-                let agent = self.vehicles.get_mut(&v).expect("agent exists");
+                let agent = self.agent_mut(v).expect("agent exists");
                 agent.profile = SpeedProfile::stop_at(now, s_now, v_now, target, &spec);
                 self.bump_unaccepted_plan(sim, v);
             } else {
-                let agent = self.vehicles.get_mut(&v).expect("agent exists");
+                let agent = self.agent_mut(v).expect("agent exists");
                 agent.profile = SpeedProfile::vt_response(now, s_now, v_now, v_new, &spec);
                 self.bump_unaccepted_plan(sim, v);
             }
@@ -723,7 +749,7 @@ impl<'a> World<'a> {
         retry: Seconds,
     ) {
         let spec = self.cfg.spec;
-        let agent = self.vehicles.get_mut(&v).expect("agent exists");
+        let agent = self.agent_mut(v).expect("agent exists");
         agent
             .protocol
             .apply(ProtocolEvent::ResponseRejected, now)
@@ -737,7 +763,7 @@ impl<'a> World<'a> {
             let v_now = agent.profile.speed_at(now);
             if v_now.value() > 0.0 {
                 let target = self.assign_stop_target(v);
-                let agent = self.vehicles.get_mut(&v).expect("agent exists");
+                let agent = self.agent_mut(v).expect("agent exists");
                 agent.profile = SpeedProfile::stop_at(now, s_now, v_now, target, &spec);
                 self.bump_unaccepted_plan(sim, v);
             }
@@ -755,7 +781,7 @@ impl<'a> World<'a> {
     /// arms the stop guard or the stopped marker.
     fn bump_unaccepted_plan(&mut self, sim: &mut Simulation<Event>, v: VehicleId) {
         let (version, final_speed, end_time) = {
-            let agent = self.vehicles.get_mut(&v).expect("agent exists");
+            let agent = self.agent_mut(v).expect("agent exists");
             agent.plan_version += 1;
             (
                 agent.plan_version,
@@ -775,7 +801,7 @@ impl<'a> World<'a> {
         let now = sim.now();
         let spec = self.cfg.spec;
         let s_entry = self.s_entry;
-        let Some(agent) = self.vehicles.get(&v) else {
+        let Some(agent) = self.agent(v) else {
             return;
         };
         if agent.accepted || agent.done {
@@ -801,7 +827,7 @@ impl<'a> World<'a> {
     fn on_stop_guard(&mut self, sim: &mut Simulation<Event>, v: VehicleId, version: u32) {
         let now = sim.now();
         let spec = self.cfg.spec;
-        let Some(agent) = self.vehicles.get_mut(&v) else {
+        let Some(agent) = self.agent_mut(v) else {
             return;
         };
         if agent.done || agent.accepted || agent.plan_version != version {
@@ -813,13 +839,13 @@ impl<'a> World<'a> {
             return;
         }
         let target = self.assign_stop_target(v);
-        let agent = self.vehicles.get_mut(&v).expect("agent exists");
+        let agent = self.agent_mut(v).expect("agent exists");
         agent.profile = SpeedProfile::stop_at(now, s_now, v_now, target, &spec);
         self.bump_unaccepted_plan(sim, v);
     }
 
     fn on_mark_stopped(&mut self, v: VehicleId, version: u32) {
-        let Some(agent) = self.vehicles.get_mut(&v) else {
+        let Some(agent) = self.agent_mut(v) else {
             return;
         };
         if agent.done || agent.accepted || agent.plan_version != version {
@@ -837,11 +863,12 @@ impl<'a> World<'a> {
     fn schedule_crossing_events(&mut self, sim: &mut Simulation<Event>, v: VehicleId) {
         let now = sim.now();
         let s_entry = self.s_entry;
+        let geometry = self.cfg.geometry;
+        let length = self.cfg.spec.length;
         let (version, entry_t, exit_t) = {
-            let agent = self.vehicles.get_mut(&v).expect("agent exists");
+            let agent = self.agent_mut(v).expect("agent exists");
             agent.plan_version += 1;
-            let s_exit =
-                s_entry + self.cfg.geometry.path_length(agent.movement) + self.cfg.spec.length;
+            let s_exit = s_entry + geometry.path_length(agent.movement) + length;
             // A grant can land after a slight overshoot of the line (a
             // stop command arriving inside braking distance): the vehicle
             // is then effectively entering as it launches — clamp to now.
@@ -857,7 +884,7 @@ impl<'a> World<'a> {
     }
 
     fn on_box_entry(&mut self, now: TimePoint, v: VehicleId, version: u32) {
-        let Some(agent) = self.vehicles.get_mut(&v) else {
+        let Some(agent) = self.agent_mut(v) else {
             return;
         };
         if agent.done || agent.plan_version != version {
@@ -873,8 +900,9 @@ impl<'a> World<'a> {
 
     fn on_box_exit(&mut self, sim: &mut Simulation<Event>, v: VehicleId, version: u32) {
         let now = sim.now();
-        let record = {
-            let Some(agent) = self.vehicles.get_mut(&v) else {
+        let line_offset = self.s_entry;
+        let (occupancy, record) = {
+            let Some(agent) = self.agent_mut(v) else {
                 return;
             };
             if agent.done || agent.plan_version != version {
@@ -886,23 +914,26 @@ impl<'a> World<'a> {
                 .expect("exit applies in Follow state");
             agent.done = true;
             let entered = agent.entered_at.unwrap_or(now);
-            self.occupancies.push(BoxOccupancy {
-                vehicle: v,
-                movement: agent.movement,
-                entered,
-                exited: now,
-                profile: agent.profile.clone(),
-                line_offset: self.s_entry,
-            });
-            VehicleRecord {
-                vehicle: v,
-                line_at: agent.line_at,
-                cleared_at: now,
-                free_flow: agent.free_flow,
-                requests_sent: agent.protocol.total_requests(),
-                rejections: agent.protocol.total_rejections(),
-            }
+            (
+                BoxOccupancy {
+                    vehicle: v,
+                    movement: agent.movement,
+                    entered,
+                    exited: now,
+                    profile: agent.profile.clone(),
+                    line_offset,
+                },
+                VehicleRecord {
+                    vehicle: v,
+                    line_at: agent.line_at,
+                    cleared_at: now,
+                    free_flow: agent.free_flow,
+                    requests_sent: agent.protocol.total_requests(),
+                    rejections: agent.protocol.total_rejections(),
+                },
+            )
         };
+        self.occupancies.push(occupancy);
         self.metrics.push(record);
         // Exit notification to the IM.
         if let SendOutcome::Delivered { latency } = self.channel.send_uplink(&mut self.rng) {

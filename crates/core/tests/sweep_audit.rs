@@ -1,0 +1,119 @@
+//! The sweep-pruned audit must be indistinguishable from the exhaustive
+//! pairwise reference: same violations, same order, same instants.
+//!
+//! `audit_with_margin` only *prunes* pairs whose box intervals cannot
+//! overlap in time; every surviving candidate is replayed with the same
+//! geometry. These properties drive both audits over randomized occupancy
+//! sets — including heavy same-instant entries and zero-duration windows —
+//! and demand byte-for-byte agreement.
+
+use crossroads_check::{ck_assert_eq, forall, vec};
+use crossroads_core::sim::{BoxOccupancy, SafetyReport};
+use crossroads_intersection::{Approach, IntersectionGeometry, Movement, Turn};
+use crossroads_units::{Meters, MetersPerSecond, TimePoint};
+use crossroads_vehicle::{SpeedProfile, VehicleId, VehicleSpec};
+
+fn geometry() -> IntersectionGeometry {
+    IntersectionGeometry::scale_model()
+}
+
+fn spec() -> VehicleSpec {
+    VehicleSpec::scale_model()
+}
+
+/// A constant-speed crossing entering the box at `enter` (profile
+/// coordinates start at the box entry, as in the simulator's records).
+fn occ(v: u32, movement: Movement, enter: f64, speed: f64) -> BoxOccupancy {
+    let total = geometry().path_length(movement) + spec().length;
+    BoxOccupancy {
+        vehicle: VehicleId(v),
+        movement,
+        entered: TimePoint::new(enter),
+        exited: TimePoint::new(enter + total.value() / speed),
+        profile: SpeedProfile::starting_at(
+            TimePoint::new(enter),
+            Meters::ZERO,
+            MetersPerSecond::new(speed),
+        ),
+        line_offset: Meters::ZERO,
+    }
+}
+
+/// Flattens a report into comparable raw data (violation triples in
+/// report order, with exact time bits).
+fn digest(report: &SafetyReport) -> Vec<(u32, u32, u64)> {
+    report
+        .violations()
+        .iter()
+        .map(|v| (v.first.0, v.second.0, v.at.value().to_bits()))
+        .collect()
+}
+
+fn occupancies_from(entries: &[(usize, usize, f64, f64)]) -> Vec<BoxOccupancy> {
+    entries
+        .iter()
+        .enumerate()
+        .map(|(i, &(a, t, enter, speed))| {
+            let movement = Movement::new(Approach::ALL[a % 4], Turn::ALL[t % 3]);
+            occ(i as u32, movement, enter, speed)
+        })
+        .collect()
+}
+
+forall! {
+    /// Random traffic: the sweep audit and the exhaustive audit agree on
+    /// the violation list exactly.
+    fn sweep_matches_exhaustive(
+        entries in vec((0usize..4, 0usize..3, 0.0f64..30.0, 0.5f64..3.0), 0..40),
+    ) {
+        let occs = occupancies_from(&entries);
+        let sweep =
+            SafetyReport::audit_with_margin(occs.clone(), &geometry(), &spec(), Meters::ZERO);
+        let exhaustive = SafetyReport::audit_exhaustive_with_margin(
+            occs,
+            &geometry(),
+            &spec(),
+            Meters::ZERO,
+        );
+        ck_assert_eq!(digest(&sweep), digest(&exhaustive));
+    }
+
+    /// Same agreement under an inflation margin (the guarantee-level
+    /// check), where near-miss pairs flip to violations.
+    fn sweep_matches_exhaustive_with_margin(
+        entries in vec((0usize..4, 0usize..3, 0.0f64..20.0, 0.5f64..3.0), 0..30),
+        margin_cm in 0.0f64..0.3,
+    ) {
+        let occs = occupancies_from(&entries);
+        let m = Meters::new(margin_cm);
+        let sweep = SafetyReport::audit_with_margin(occs.clone(), &geometry(), &spec(), m);
+        let exhaustive =
+            SafetyReport::audit_exhaustive_with_margin(occs, &geometry(), &spec(), m);
+        ck_assert_eq!(digest(&sweep), digest(&exhaustive));
+    }
+
+    /// Adversarial timing: many vehicles entering at the same handful of
+    /// instants, so the sweep's tie handling (equal `entered`) is
+    /// exercised hard.
+    fn sweep_survives_entry_time_ties(
+        entries in vec((0usize..4, 0usize..3, 0usize..3, 0.5f64..3.0), 0..30),
+    ) {
+        let occs: Vec<BoxOccupancy> = entries
+            .iter()
+            .enumerate()
+            .map(|(i, &(a, t, slot, speed))| {
+                let movement = Movement::new(Approach::ALL[a % 4], Turn::ALL[t % 3]);
+                occ(i as u32, movement, slot as f64 * 2.0, speed)
+            })
+            .collect();
+        let sweep =
+            SafetyReport::audit_with_margin(occs.clone(), &geometry(), &spec(), Meters::ZERO);
+        let exhaustive = SafetyReport::audit_exhaustive_with_margin(
+            occs,
+            &geometry(),
+            &spec(),
+            Meters::ZERO,
+        );
+        ck_assert_eq!(digest(&sweep), digest(&exhaustive));
+    }
+}

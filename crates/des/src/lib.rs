@@ -32,5 +32,5 @@
 mod queue;
 mod sim;
 
-pub use queue::{EventId, EventQueue};
+pub use queue::{EventId, EventQueue, Popped};
 pub use sim::{RunOutcome, Simulation, StopReason};

@@ -1,57 +1,87 @@
 //! The time-ordered event queue.
+//!
+//! A slab-backed *indexed* binary min-heap: every scheduled event lives in
+//! a reusable slot, and the heap stores slot indices while each slot
+//! tracks its own heap position. That position index is what makes
+//! cancellation **eager** — `cancel` swap-removes the entry and re-sifts
+//! in O(log n), so the heap never carries tombstones and `peek_time` /
+//! `is_empty` are O(1) reads on `&self` (the seed implementation reaped
+//! lazily and needed `&mut self` for both).
 
 use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashSet};
 
 use crossroads_units::TimePoint;
 
+/// Vacant-slot sentinel for the intrusive free list.
+const NIL: u32 = u32::MAX;
+
 /// Handle to a scheduled event, usable to cancel it before it fires.
 ///
-/// Ids are unique within one [`EventQueue`] for its whole lifetime.
+/// Packs the event's slot index and a generation tag; slots are recycled,
+/// so the generation is what keeps a stale handle from cancelling a later
+/// event that happens to reuse the same slot. Handles are unique within
+/// one [`EventQueue`] for its whole lifetime (up to generation wrap at
+/// 2³² reuses of a single slot, far beyond any simulated run).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct EventId(u64);
 
-struct Entry<E> {
+impl EventId {
+    fn new(slot: u32, generation: u32) -> Self {
+        EventId(u64::from(generation) << 32 | u64::from(slot))
+    }
+
+    fn slot(self) -> u32 {
+        #[allow(clippy::cast_possible_truncation)]
+        {
+            self.0 as u32
+        }
+    }
+
+    fn generation(self) -> u32 {
+        #[allow(clippy::cast_possible_truncation)]
+        {
+            (self.0 >> 32) as u32
+        }
+    }
+}
+
+struct Slot<E> {
+    /// Bumped every time the slot is vacated, invalidating old handles.
+    generation: u32,
+    /// While occupied: this slot's index in `heap`. While vacant: the next
+    /// vacant slot (intrusive free list), or [`NIL`].
+    pos: u32,
     at: TimePoint,
+    /// Global schedule order; ties on `at` pop in `seq` order (FIFO).
     seq: u64,
-    payload: E,
+    /// `Some` while the event is live; `None` marks the slot vacant.
+    payload: Option<E>,
 }
 
-impl<E> PartialEq for Entry<E> {
-    fn eq(&self, other: &Self) -> bool {
-        self.seq == other.seq
-    }
-}
-impl<E> Eq for Entry<E> {}
-
-impl<E> Ord for Entry<E> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops
-        // first. Timestamps are asserted finite on insert, so total order
-        // via partial_cmp cannot fail.
-        other
-            .at
-            .partial_cmp(&self.at)
-            .expect("event timestamps are finite")
-            .then_with(|| other.seq.cmp(&self.seq))
-    }
-}
-impl<E> PartialOrd for Entry<E> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
+/// Result of [`EventQueue::pop_within`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Popped<E> {
+    /// The earliest event fired at or before the horizon.
+    Event(TimePoint, E),
+    /// The earliest event lies strictly beyond the horizon; it stays
+    /// queued and its timestamp is reported.
+    Beyond(TimePoint),
+    /// No live events remain.
+    Empty,
 }
 
 /// A deterministic, cancellable priority queue of timestamped events.
 ///
 /// Events pop in nondecreasing time order; ties pop in insertion order.
-/// Cancellation is lazy: a cancelled id is remembered and the entry is
-/// dropped when it surfaces, keeping cancellation O(1).
+/// Cancellation is eager: the entry is removed from the heap immediately
+/// (O(log n)), so the queue never holds dead entries and every traversal
+/// touches live events only.
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Entry<E>>,
-    /// Seqs scheduled but not yet fired or cancelled. Membership makes
-    /// `cancel` exact: cancelling an already-fired event reports `false`.
-    live: HashSet<u64>,
+    /// Slot indices, heap-ordered by the owning slot's `(at, seq)`.
+    heap: Vec<u32>,
+    slots: Vec<Slot<E>>,
+    /// Head of the vacant-slot free list threaded through `Slot::pos`.
+    free_head: u32,
     next_seq: u64,
     scheduled_total: u64,
 }
@@ -67,8 +97,9 @@ impl<E> EventQueue<E> {
     #[must_use]
     pub fn new() -> Self {
         EventQueue {
-            heap: BinaryHeap::new(),
-            live: HashSet::new(),
+            heap: Vec::new(),
+            slots: Vec::new(),
+            free_head: NIL,
             next_seq: 0,
             scheduled_total: 0,
         }
@@ -86,48 +117,94 @@ impl<E> EventQueue<E> {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.scheduled_total += 1;
-        self.live.insert(seq);
-        self.heap.push(Entry { at, seq, payload });
-        EventId(seq)
+        let idx = if self.free_head == NIL {
+            let idx = u32::try_from(self.slots.len()).expect("fewer than 2^32 live events");
+            self.slots.push(Slot {
+                generation: 0,
+                pos: NIL,
+                at,
+                seq,
+                payload: Some(payload),
+            });
+            idx
+        } else {
+            let idx = self.free_head;
+            let slot = &mut self.slots[idx as usize];
+            self.free_head = slot.pos;
+            slot.at = at;
+            slot.seq = seq;
+            slot.payload = Some(payload);
+            idx
+        };
+        let pos = self.heap.len();
+        self.heap.push(idx);
+        self.slots[idx as usize].pos = u32::try_from(pos).expect("heap fits in u32");
+        self.sift_up(pos);
+        EventId::new(idx, self.slots[idx as usize].generation)
     }
 
-    /// Cancels a previously scheduled event. Returns `true` if the event had
-    /// not yet fired or been cancelled. Cancelling an already-fired id is a
-    /// harmless no-op returning `false`.
+    /// Cancels a previously scheduled event, removing it from the heap
+    /// immediately. Returns `true` if the event had not yet fired or been
+    /// cancelled. Cancelling an already-fired id is a harmless no-op
+    /// returning `false`.
     pub fn cancel(&mut self, id: EventId) -> bool {
-        self.live.remove(&id.0)
+        let idx = id.slot();
+        let Some(slot) = self.slots.get(idx as usize) else {
+            return false;
+        };
+        if slot.generation != id.generation() || slot.payload.is_none() {
+            return false;
+        }
+        let pos = slot.pos as usize;
+        self.remove_at(pos);
+        self.vacate(idx);
+        true
     }
 
     /// Removes and returns the earliest live event, or `None` if the queue
     /// is empty.
     pub fn pop(&mut self) -> Option<(TimePoint, E)> {
-        while let Some(entry) = self.heap.pop() {
-            if self.live.remove(&entry.seq) {
-                return Some((entry.at, entry.payload));
+        let &idx = self.heap.first()?;
+        self.remove_at(0);
+        let at = self.slots[idx as usize].at;
+        let payload = self.vacate(idx).expect("heap entries are occupied");
+        Some((at, payload))
+    }
+
+    /// Pops the earliest event if it fires at or before `horizon`
+    /// (`None` means no horizon): the single-traversal form of
+    /// peek-then-pop the run loop uses. A deferred event stays queued and
+    /// is reported as [`Popped::Beyond`].
+    pub fn pop_within(&mut self, horizon: Option<TimePoint>) -> Popped<E> {
+        let Some(&idx) = self.heap.first() else {
+            return Popped::Empty;
+        };
+        let at = self.slots[idx as usize].at;
+        if let Some(h) = horizon {
+            if at > h {
+                return Popped::Beyond(at);
             }
-            // Cancelled: drop and keep reaping.
         }
-        None
+        self.remove_at(0);
+        let payload = self.vacate(idx).expect("heap entries are occupied");
+        Popped::Event(at, payload)
     }
 
-    /// Timestamp of the next live event without removing it.
-    pub fn peek_time(&mut self) -> Option<TimePoint> {
-        while let Some(entry) = self.heap.peek() {
-            if self.live.contains(&entry.seq) {
-                return Some(entry.at);
-            }
-            self.heap.pop();
-        }
-        None
+    /// Timestamp of the next live event without removing it. O(1).
+    #[must_use]
+    pub fn peek_time(&self) -> Option<TimePoint> {
+        self.heap.first().map(|&idx| self.slots[idx as usize].at)
     }
 
-    /// Whether no live events remain.
-    pub fn is_empty(&mut self) -> bool {
-        self.peek_time().is_none()
+    /// Whether no live events remain. O(1).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
     }
 
-    /// Number of entries currently in the heap, *including* not-yet-reaped
-    /// cancelled entries. Intended for capacity diagnostics, not logic.
+    /// Number of live entries. Eager cancellation keeps no tombstones, so
+    /// this is exact (the seed implementation counted unreaped cancelled
+    /// entries too).
     #[must_use]
     pub fn raw_len(&self) -> usize {
         self.heap.len()
@@ -138,13 +215,100 @@ impl<E> EventQueue<E> {
     pub fn scheduled_total(&self) -> u64 {
         self.scheduled_total
     }
+
+    /// Frees a slot back to the free list, bumping its generation so any
+    /// outstanding handle to the old occupant is invalidated.
+    fn vacate(&mut self, idx: u32) -> Option<E> {
+        let slot = &mut self.slots[idx as usize];
+        slot.generation = slot.generation.wrapping_add(1);
+        slot.pos = self.free_head;
+        self.free_head = idx;
+        slot.payload.take()
+    }
+
+    /// Whether slot `a` orders strictly before slot `b`: earlier time,
+    /// then earlier sequence number (FIFO on ties). Sequence numbers are
+    /// unique, so this is a strict total order.
+    fn before(&self, a: u32, b: u32) -> bool {
+        let (sa, sb) = (&self.slots[a as usize], &self.slots[b as usize]);
+        match sa
+            .at
+            .partial_cmp(&sb.at)
+            .expect("event timestamps are finite")
+        {
+            Ordering::Less => true,
+            Ordering::Greater => false,
+            Ordering::Equal => sa.seq < sb.seq,
+        }
+    }
+
+    /// Writes `idx` at heap position `pos` and records the position in
+    /// the slot — the invariant every sift step maintains.
+    fn place(&mut self, pos: usize, idx: u32) {
+        self.heap[pos] = idx;
+        self.slots[idx as usize].pos = u32::try_from(pos).expect("heap fits in u32");
+    }
+
+    fn sift_up(&mut self, mut pos: usize) {
+        while pos > 0 {
+            let parent = (pos - 1) / 2;
+            if self.before(self.heap[pos], self.heap[parent]) {
+                let (a, b) = (self.heap[pos], self.heap[parent]);
+                self.place(pos, b);
+                self.place(parent, a);
+                pos = parent;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn sift_down(&mut self, mut pos: usize) {
+        let len = self.heap.len();
+        loop {
+            let left = 2 * pos + 1;
+            if left >= len {
+                break;
+            }
+            let right = left + 1;
+            let child = if right < len && self.before(self.heap[right], self.heap[left]) {
+                right
+            } else {
+                left
+            };
+            if self.before(self.heap[child], self.heap[pos]) {
+                let (a, b) = (self.heap[pos], self.heap[child]);
+                self.place(pos, b);
+                self.place(child, a);
+                pos = child;
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Removes the heap entry at `pos` by swapping the tail in, then
+    /// restoring heap order from `pos` (the replacement may need to move
+    /// either direction). Does not touch the owning slot.
+    fn remove_at(&mut self, pos: usize) {
+        let last = self.heap.len() - 1;
+        if pos == last {
+            self.heap.pop();
+            return;
+        }
+        let tail = self.heap[last];
+        self.heap.pop();
+        self.place(pos, tail);
+        self.sift_down(pos);
+        self.sift_up(pos);
+    }
 }
 
 impl<E: std::fmt::Debug> std::fmt::Debug for EventQueue<E> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("EventQueue")
             .field("len", &self.heap.len())
-            .field("live", &self.live.len())
+            .field("slots", &self.slots.len())
             .field("scheduled_total", &self.scheduled_total)
             .finish()
     }
@@ -193,7 +357,7 @@ mod tests {
     #[test]
     fn cancel_unknown_id_is_false() {
         let mut q: EventQueue<()> = EventQueue::new();
-        assert!(!q.cancel(EventId(42)));
+        assert!(!q.cancel(EventId::new(42, 0)));
     }
 
     #[test]
@@ -202,6 +366,20 @@ mod tests {
         let id = q.schedule(t(1.0), ());
         assert!(q.cancel(id));
         assert!(!q.cancel(id));
+    }
+
+    #[test]
+    fn stale_handle_to_recycled_slot_is_false() {
+        let mut q = EventQueue::new();
+        let old = q.schedule(t(1.0), 1);
+        q.pop();
+        // The freed slot is recycled for the next schedule; the old handle
+        // must not be able to cancel the new occupant.
+        let new = q.schedule(t(2.0), 2);
+        assert!(!q.cancel(old));
+        assert_eq!(q.peek_time(), Some(t(2.0)));
+        assert!(q.cancel(new));
+        assert!(q.is_empty());
     }
 
     #[test]
@@ -236,6 +414,18 @@ mod tests {
     }
 
     #[test]
+    fn cancelled_entries_leave_the_heap_immediately() {
+        let mut q = EventQueue::new();
+        let ids: Vec<_> = (0..10).map(|i| q.schedule(t(f64::from(i)), i)).collect();
+        for id in &ids[..9] {
+            assert!(q.cancel(*id));
+        }
+        // Eager cancellation: no tombstones linger.
+        assert_eq!(q.raw_len(), 1);
+        assert_eq!(q.pop(), Some((t(9.0), 9)));
+    }
+
+    #[test]
     fn interleaved_schedule_pop_stays_ordered() {
         let mut q = EventQueue::new();
         q.schedule(t(5.0), 5);
@@ -246,6 +436,25 @@ mod tests {
         assert_eq!(q.pop(), Some((t(2.0), 2)));
         assert_eq!(q.pop(), Some((t(3.0), 3)));
         assert_eq!(q.pop(), Some((t(5.0), 5)));
+    }
+
+    #[test]
+    fn pop_within_defers_past_the_horizon() {
+        let mut q = EventQueue::new();
+        q.schedule(t(1.0), "a");
+        q.schedule(t(3.0), "b");
+        assert_eq!(q.pop_within(Some(t(2.0))), Popped::Event(t(1.0), "a"));
+        assert_eq!(q.pop_within(Some(t(2.0))), Popped::Beyond(t(3.0)));
+        // The deferred event is untouched.
+        assert_eq!(q.pop_within(None), Popped::Event(t(3.0), "b"));
+        assert_eq!(q.pop_within(Some(t(2.0))), Popped::Empty);
+    }
+
+    #[test]
+    fn pop_within_takes_events_exactly_at_the_horizon() {
+        let mut q = EventQueue::new();
+        q.schedule(t(2.0), ());
+        assert_eq!(q.pop_within(Some(t(2.0))), Popped::Event(t(2.0), ()));
     }
 
     #[test]

@@ -2,6 +2,7 @@
 
 use crossroads_units::{Seconds, TimePoint};
 
+use crate::queue::Popped;
 use crate::{EventId, EventQueue};
 
 /// Why a [`Simulation::run`] call returned.
@@ -143,9 +144,16 @@ impl<E> Simulation<E> {
         Some((at, event))
     }
 
-    /// Time of the next pending event, if any.
-    pub fn peek_time(&mut self) -> Option<TimePoint> {
+    /// Time of the next pending event, if any. O(1).
+    #[must_use]
+    pub fn peek_time(&self) -> Option<TimePoint> {
         self.queue.peek_time()
+    }
+
+    /// Whether no events remain queued. O(1).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
     }
 
     /// Total number of events ever scheduled.
@@ -189,24 +197,26 @@ impl<E> Simulation<E> {
                     end_time: self.now,
                 };
             }
-            let Some(next_at) = self.queue.peek_time() else {
-                return RunOutcome {
-                    reason: StopReason::QueueExhausted,
-                    events_processed: processed,
-                    end_time: self.now,
-                };
-            };
-            if let Some(h) = horizon {
-                if next_at > h {
-                    self.now = h;
+            // One queue operation per event: the pop itself checks the
+            // horizon and pushes back (leaves queued) anything beyond it.
+            let (at, event) = match self.queue.pop_within(horizon) {
+                Popped::Empty => {
+                    return RunOutcome {
+                        reason: StopReason::QueueExhausted,
+                        events_processed: processed,
+                        end_time: self.now,
+                    };
+                }
+                Popped::Beyond(_) => {
+                    self.now = horizon.expect("Beyond implies a horizon");
                     return RunOutcome {
                         reason: StopReason::HorizonReached,
                         events_processed: processed,
                         end_time: self.now,
                     };
                 }
-            }
-            let (at, event) = self.queue.pop().expect("peeked event exists");
+                Popped::Event(at, event) => (at, event),
+            };
             self.now = at;
             processed += 1;
             if !handler(self, event) {

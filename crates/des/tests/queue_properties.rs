@@ -4,6 +4,47 @@ use crossroads_check::{bools, ck_assert, ck_assert_eq, forall, vec};
 use crossroads_des::{EventQueue, Simulation};
 use crossroads_units::TimePoint;
 
+/// The obviously-correct reference queue: a flat vector scanned for the
+/// minimum `(time, seq)` on every pop, with cancellation by removal. The
+/// model test below drives it in lockstep with the indexed heap.
+#[derive(Default)]
+struct NaiveQueue {
+    /// `(at, seq, payload)` for every live event.
+    entries: Vec<(f64, u64, usize)>,
+    next_seq: u64,
+}
+
+impl NaiveQueue {
+    /// Returns the sequence number as the cancellation handle.
+    fn schedule(&mut self, at: f64, payload: usize) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.entries.push((at, seq, payload));
+        seq
+    }
+
+    fn cancel(&mut self, handle: u64) -> bool {
+        match self.entries.iter().position(|&(_, seq, _)| seq == handle) {
+            Some(i) => {
+                self.entries.remove(i);
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn pop(&mut self) -> Option<(f64, usize)> {
+        let best = self
+            .entries
+            .iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| a.partial_cmp(b).expect("finite times"))
+            .map(|(i, _)| i)?;
+        let (at, _, payload) = self.entries.remove(best);
+        Some((at, payload))
+    }
+}
+
 forall! {
     /// Popping always yields nondecreasing timestamps, whatever the
     /// insertion order.
@@ -53,6 +94,55 @@ forall! {
         popped.sort_unstable();
         expect.sort_unstable();
         ck_assert_eq!(popped, expect);
+    }
+
+    /// Model test: random interleavings of schedule / cancel / pop drive
+    /// the indexed heap and the naive reference queue in lockstep — pop
+    /// transcripts (time bits + payload) and every `cancel` return value
+    /// must agree exactly.
+    fn indexed_heap_matches_naive_reference(
+        ops in vec((0u8..4, 0.0f64..100.0, 0usize..64), 1..150),
+    ) {
+        let mut queue = EventQueue::new();
+        let mut naive = NaiveQueue::default();
+        // Parallel handle lists: entry k of each is the same logical event.
+        let mut ids = Vec::new();
+        let mut handles = Vec::new();
+        let mut payload = 0usize;
+        for &(op, time, pick) in &ops {
+            match op {
+                // Two schedule arms to one each of cancel/pop keeps the
+                // queues populated enough for cancels to land on live ids.
+                0 | 1 => {
+                    ids.push(queue.schedule(TimePoint::new(time), payload));
+                    handles.push(naive.schedule(time, payload));
+                    payload += 1;
+                }
+                2 if !ids.is_empty() => {
+                    let k = pick % ids.len();
+                    ck_assert_eq!(
+                        queue.cancel(ids[k]),
+                        naive.cancel(handles[k]),
+                        "cancel of event {k} disagreed"
+                    );
+                }
+                _ => {
+                    let popped = queue.pop().map(|(at, e)| (at.value().to_bits(), e));
+                    let expect = naive.pop().map(|(at, e)| (at.to_bits(), e));
+                    ck_assert_eq!(popped, expect);
+                }
+            }
+            ck_assert_eq!(queue.raw_len(), naive.entries.len());
+        }
+        // Drain both: the tails must agree event for event.
+        loop {
+            let popped = queue.pop().map(|(at, e)| (at.value().to_bits(), e));
+            let expect = naive.pop().map(|(at, e)| (at.to_bits(), e));
+            ck_assert_eq!(popped, expect);
+            if expect.is_none() {
+                break;
+            }
+        }
     }
 
     /// The simulation clock never goes backwards over any run.

@@ -71,12 +71,13 @@ pub fn records_to_json(records: &[VehicleRecord]) -> String {
 #[must_use]
 pub fn counters_to_json(c: &Counters) -> String {
     format!(
-        "{{\"im_ops\":{},\"im_requests\":{},\"messages\":{},\"messages_lost\":{},\"im_busy\":{}}}",
+        "{{\"im_ops\":{},\"im_requests\":{},\"messages\":{},\"messages_lost\":{},\"im_busy\":{},\"des_events\":{}}}",
         c.im_ops,
         c.im_requests,
         c.messages,
         c.messages_lost,
         fmt_f64(c.im_busy.value()),
+        c.des_events,
     )
 }
 
@@ -112,6 +113,8 @@ pub struct BenchPoint {
     pub label: String,
     /// Wall-clock milliseconds the point took.
     pub wall_ms: f64,
+    /// DES events the engine dispatched while computing the point.
+    pub events: u64,
 }
 
 /// Escapes a string for embedding in a JSON string literal.
@@ -143,22 +146,35 @@ pub fn bench_sweep_to_json(
     points: &[BenchPoint],
 ) -> String {
     let sum: f64 = points.iter().map(|p| p.wall_ms).sum();
+    let events: u64 = points.iter().map(|p| p.events).sum();
+    // Engine throughput over the *summed* point time (parallel sweeps
+    // overlap points, so total wall would undercount per-core speed).
+    let events_per_sec = if sum > 0.0 {
+        #[allow(clippy::cast_precision_loss)]
+        let rate = events as f64 / (sum / 1e3);
+        rate
+    } else {
+        0.0
+    };
     let mut out = format!(
-        "{{\"experiment\":\"{}\",\"threads\":{},\"points\":{},\"total_wall_ms\":{},\"points_wall_ms_sum\":{},\"point_timings\":[",
+        "{{\"experiment\":\"{}\",\"threads\":{},\"points\":{},\"total_wall_ms\":{},\"points_wall_ms_sum\":{},\"events\":{},\"events_per_sec\":{},\"point_timings\":[",
         json_escape(experiment),
         threads,
         points.len(),
         fmt_f64(total_wall_ms),
         fmt_f64(sum),
+        events,
+        fmt_f64(events_per_sec),
     );
     for (i, p) in points.iter().enumerate() {
         if i > 0 {
             out.push(',');
         }
         out.push_str(&format!(
-            "{{\"label\":\"{}\",\"wall_ms\":{}}}",
+            "{{\"label\":\"{}\",\"wall_ms\":{},\"events\":{}}}",
             json_escape(&p.label),
             fmt_f64(p.wall_ms),
+            p.events,
         ));
     }
     out.push_str("]}");
@@ -220,12 +236,14 @@ mod tests {
             messages: 4,
             messages_lost: 1,
             im_busy: Seconds::new(0.125),
+            des_events: 321,
         });
         let a = run_to_json(&m);
         let b = run_to_json(&m);
         assert_eq!(a, b);
         assert!(a.starts_with("{\"completed\":2,"));
         assert!(a.contains("\"im_busy\":0.125"));
+        assert!(a.contains("\"des_events\":321"));
     }
 
     #[test]
@@ -234,20 +252,34 @@ mod tests {
             BenchPoint {
                 label: String::from("Crossroads@0.05/s11"),
                 wall_ms: 12.5,
+                events: 1500,
             },
             BenchPoint {
                 label: String::from("VT-IM@0.05/s11"),
                 wall_ms: 7.5,
+                events: 500,
             },
         ];
         let json = bench_sweep_to_json("exp_flow_sweep", 4, 13.25, &points);
         assert!(json.starts_with(
             "{\"experiment\":\"exp_flow_sweep\",\"threads\":4,\"points\":2,\
-             \"total_wall_ms\":13.25,\"points_wall_ms_sum\":20,"
+             \"total_wall_ms\":13.25,\"points_wall_ms_sum\":20,\
+             \"events\":2000,\"events_per_sec\":100000,"
         ));
-        assert!(json.contains("{\"label\":\"Crossroads@0.05/s11\",\"wall_ms\":12.5}"));
+        assert!(
+            json.contains("{\"label\":\"Crossroads@0.05/s11\",\"wall_ms\":12.5,\"events\":1500}")
+        );
         assert!(json.ends_with("]}"));
         assert!(!json.contains('\n'), "one JSONL record per sweep");
+    }
+
+    #[test]
+    fn zero_time_sweep_reports_zero_rate() {
+        let json = bench_sweep_to_json("empty", 1, 0.0, &[]);
+        assert!(
+            json.contains("\"events\":0,\"events_per_sec\":0,"),
+            "{json}"
+        );
     }
 
     #[test]
@@ -255,6 +287,7 @@ mod tests {
         let points = [BenchPoint {
             label: String::from("odd \"label\"\\with\tescapes"),
             wall_ms: 1.0,
+            events: 0,
         }];
         let json = bench_sweep_to_json("x", 1, 1.0, &points);
         assert!(json.contains("odd \\\"label\\\"\\\\with\\tescapes"));

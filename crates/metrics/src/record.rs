@@ -70,6 +70,10 @@ pub struct Counters {
     pub messages_lost: u64,
     /// Simulated seconds the IM spent computing.
     pub im_busy: Seconds,
+    /// Discrete events the DES engine dispatched for this run — the
+    /// denominator-free measure of simulator work that `events/sec`
+    /// reporting divides by wall time.
+    pub des_events: u64,
 }
 
 impl Counters {
@@ -80,6 +84,7 @@ impl Counters {
         self.messages += other.messages;
         self.messages_lost += other.messages_lost;
         self.im_busy += other.im_busy;
+        self.des_events += other.des_events;
     }
 }
 
@@ -263,6 +268,7 @@ mod tests {
             messages: 3,
             messages_lost: 0,
             im_busy: Seconds::new(0.5),
+            des_events: 100,
         };
         let b = Counters {
             im_ops: 10,
@@ -270,12 +276,14 @@ mod tests {
             messages: 7,
             messages_lost: 2,
             im_busy: Seconds::new(1.0),
+            des_events: 40,
         };
         a.absorb(&b);
         assert_eq!(a.im_ops, 11);
         assert_eq!(a.messages, 10);
         assert_eq!(a.messages_lost, 2);
         assert_eq!(a.im_busy, Seconds::new(1.5));
+        assert_eq!(a.des_events, 140);
     }
 
     #[test]
