@@ -38,6 +38,27 @@ if ! cmp -s "$seq_out" "$par_out"; then
     exit 1
 fi
 
+echo "==> fault-injection smoke (reduced grid, 1 thread vs default)"
+# Same determinism contract under injected faults: the reduced fault
+# sweep (burst x outage grid, all policies) must be byte-identical at
+# any pool width, and every point hard-asserts the zero-safety-violation
+# invariant internally.
+CROSSROADS_SWEEP_FAST=1 CROSSROADS_BENCH_OUT=/dev/null CROSSROADS_THREADS=1 \
+    ./target/release/exp_fault_sweep >"$seq_out" 2>/dev/null
+CROSSROADS_SWEEP_FAST=1 CROSSROADS_BENCH_OUT=/dev/null \
+    ./target/release/exp_fault_sweep >"$par_out" 2>/dev/null
+if ! cmp -s "$seq_out" "$par_out"; then
+    echo "FAIL: fault sweep output diverges from the sequential run" >&2
+    diff "$seq_out" "$par_out" >&2 || true
+    exit 1
+fi
+
+echo "==> no-deadlock liveness under faults (pinned regression seeds)"
+# Replays the committed fault_liveness.check-regressions corner cases
+# before novel cases: no seeded loss/burst/outage pattern may strand a
+# vehicle or dirty the safety audit.
+cargo test -q --offline -p crossroads-core --test fault_liveness
+
 echo "==> DES engine vs seed-baseline agreement gate"
 # Quick mode: benches/des.rs replays randomized schedule/cancel/pop
 # interleavings on the rewritten queue and the seed's BinaryHeap

@@ -18,9 +18,10 @@ use std::time::Instant;
 use crossroads_core::policy::PolicyKind;
 use crossroads_core::sim::{run_simulation, SimConfig, SimOutcome};
 use crossroads_metrics::{bench_sweep_to_json, BenchPoint};
+use crossroads_net::{FaultConfig, GilbertElliott};
 use crossroads_prng::{SeedableRng, StdRng};
 use crossroads_traffic::{generate_poisson, Arrival, PoissonConfig};
-use crossroads_units::MetersPerSecond;
+use crossroads_units::{MetersPerSecond, Seconds};
 
 pub use crossroads_pool::{threads_from_env, WorkerPool};
 
@@ -188,6 +189,63 @@ pub fn run_sweep_point(policy: PolicyKind, rate: f64, seed: u64) -> SimOutcome {
     assert!(
         outcome.safety.is_safe(),
         "{policy} at rate {rate}: unsafe run"
+    );
+    outcome
+}
+
+/// Builds the fault grid point `(burst, outage)` used by the fault sweep
+/// and its tests: symmetric Gilbert–Elliott burst loss at long-run mean
+/// `burst` on both directions, mild duplication, and enough reordering
+/// displacement (220 ms, beyond the 150 ms WC-RTD) that held-back
+/// downlinks miss their execute-at deadlines. Outages of `outage_secs`
+/// recur every 20 s starting at t = 5 s. `(0.0, 0.0)` returns the
+/// disabled config — a clean baseline column for the sweep.
+#[must_use]
+pub fn fault_point(burst: f64, outage_secs: f64) -> FaultConfig {
+    if burst == 0.0 && outage_secs == 0.0 {
+        return FaultConfig::disabled();
+    }
+    FaultConfig {
+        uplink: GilbertElliott::bursty(burst),
+        downlink: GilbertElliott::bursty(burst),
+        duplicate_probability: 0.03,
+        reorder_probability: 0.08,
+        extra_delay: Seconds::from_millis(220.0),
+        outage_start: Seconds::new(5.0),
+        outage_duration: Seconds::new(outage_secs),
+        outage_period: Seconds::new(20.0),
+    }
+}
+
+/// Runs one full-scale fault-sweep point and asserts the headline
+/// invariant: faults may cost throughput, never safety or completion.
+///
+/// # Panics
+///
+/// Panics if any vehicle is stranded or the safety audit finds a
+/// violation — at *any* injected fault intensity.
+#[must_use]
+pub fn run_fault_point(
+    policy: PolicyKind,
+    rate: f64,
+    burst: f64,
+    outage_secs: f64,
+    seed: u64,
+) -> SimOutcome {
+    let config = SimConfig::full_scale(policy)
+        .with_seed(seed)
+        .with_faults(fault_point(burst, outage_secs));
+    let workload = sweep_workload(&config, rate, seed.wrapping_add(1000));
+    let outcome = run_simulation(&config, &workload);
+    assert!(
+        outcome.all_completed(),
+        "{policy} burst={burst} outage={outage_secs}s seed={seed}: \
+         {} vehicles stranded",
+        outcome.stranded()
+    );
+    assert!(
+        outcome.safety.is_safe(),
+        "{policy} burst={burst} outage={outage_secs}s seed={seed}: SAFETY VIOLATION"
     );
     outcome
 }

@@ -20,8 +20,11 @@ pub(crate) enum Event {
     /// An uplink frame reached the IM radio.
     UplinkArrival(VehicleId, CrossingRequest),
     /// The IM finished computing this response (for the tagged request
-    /// attempt); transmit it.
-    ImFinish(VehicleId, u32, CrossingCommand),
+    /// attempt); transmit it. The final field is the IM process epoch the
+    /// computation started in: a crash bumps the epoch, so results of
+    /// computations that were in flight when the IM died are discarded on
+    /// arrival rather than transmitted by a machine that no longer exists.
+    ImFinish(VehicleId, u32, CrossingCommand, u32),
     /// A downlink frame reached the vehicle, answering the tagged attempt.
     DownlinkArrival(VehicleId, u32, CrossingCommand),
     /// The vehicle's response timeout elapsed for `attempt`.
@@ -36,4 +39,11 @@ pub(crate) enum Event {
     BoxExit(VehicleId, u32),
     /// The vehicle's exit notification reached the IM.
     ImExitNotice(VehicleId),
+    /// Fault injection: the IM process crashes. Uplinks arriving until the
+    /// matching restart are dropped, queued requests and in-flight
+    /// computations are lost.
+    ImCrash,
+    /// Fault injection: the crashed IM comes back up and conservatively
+    /// re-validates its ledger (`IntersectionPolicy::on_restart`).
+    ImRestart,
 }

@@ -16,7 +16,7 @@ pub use safety::{BoxOccupancy, SafetyReport, SafetyViolation};
 use crossroads_des::Simulation;
 use crossroads_intersection::{ConflictTable, IntersectionGeometry, ReservationTable};
 use crossroads_metrics::RunMetrics;
-use crossroads_net::{ChannelConfig, ComputationDelayModel};
+use crossroads_net::{ChannelConfig, ComputationDelayModel, FaultConfig};
 use crossroads_traffic::Arrival;
 use crossroads_units::{MetersPerSecond, Seconds, TimePoint};
 use crossroads_vehicle::VehicleSpec;
@@ -57,6 +57,10 @@ pub struct SimConfig {
     pub crawl_fraction: f64,
     /// Wall-clock cap on the simulation after the last arrival.
     pub horizon_slack: Seconds,
+    /// Fault injection (bursty loss, duplication/reordering, IM outages).
+    /// Disabled by default; a disabled config is zero-cost — the run is
+    /// byte-identical to one without the fault subsystem.
+    pub fault: FaultConfig,
 }
 
 impl SimConfig {
@@ -77,6 +81,7 @@ impl SimConfig {
             aim_slowdown_factor: 0.7,
             crawl_fraction: 0.30,
             horizon_slack: Seconds::new(1200.0),
+            fault: FaultConfig::disabled(),
         }
     }
 
@@ -120,6 +125,14 @@ impl SimConfig {
     #[must_use]
     pub fn with_buffers(mut self, buffers: BufferModel) -> Self {
         self.buffers = buffers;
+        self
+    }
+
+    /// Installs a fault-injection configuration (validated when the run
+    /// builds its [`FaultModel`]).
+    #[must_use]
+    pub fn with_faults(mut self, fault: FaultConfig) -> Self {
+        self.fault = fault;
         self
     }
 
@@ -217,6 +230,12 @@ pub fn run_simulation(config: &SimConfig, workload: &[Arrival]) -> SimOutcome {
     let horizon = workload
         .last()
         .map_or(TimePoint::ZERO, |a| a.at_line + config.horizon_slack);
+    if config.fault.enabled() {
+        for (crash, restart) in config.fault.outage_windows(horizon - TimePoint::ZERO) {
+            sim.schedule(TimePoint::ZERO + crash, Event::ImCrash);
+            sim.schedule(TimePoint::ZERO + restart, Event::ImRestart);
+        }
+    }
     let run = sim.run_until(horizon, |sim, ev| {
         world.handle(sim, ev);
         true
@@ -230,6 +249,13 @@ pub fn run_simulation(config: &SimConfig, workload: &[Arrival]) -> SimOutcome {
     let stats = world.channel_stats();
     counters.messages = stats.total_sent();
     counters.messages_lost = stats.lost;
+    if let Some(fault_stats) = world.fault_stats() {
+        // Burst drops are losses on top of the base channel's; duplicated
+        // copies are extra frames on the air.
+        counters.burst_losses = fault_stats.burst_losses;
+        counters.messages_lost += fault_stats.burst_losses;
+        counters.messages += fault_stats.duplicated;
+    }
     metrics.add_counters(&counters);
 
     let occupancies = std::mem::take(&mut world.occupancies);

@@ -6,7 +6,9 @@ use std::collections::VecDeque;
 use crossroads_des::Simulation;
 use crossroads_intersection::ConflictTable;
 use crossroads_metrics::{Counters, RunMetrics, VehicleRecord};
-use crossroads_net::{clock::testbed_sync, Channel, LocalClock, SendOutcome};
+use crossroads_net::{
+    clock::testbed_sync, Channel, Deliveries, Direction, FaultModel, FaultStats, LocalClock,
+};
 use crossroads_prng::Rng;
 use crossroads_prng::{SeedableRng, StdRng};
 use crossroads_traffic::Arrival;
@@ -42,9 +44,11 @@ pub(crate) struct Agent {
     /// Assigned stop position (queue slot) once the vehicle plans a stop.
     stop_target: Option<Meters>,
     /// Highest request attempt the IM has processed from this vehicle:
-    /// the IM drops reordered/stale uplinks so its ledger always reflects
-    /// the newest vehicle state it has seen. Zero until the first uplink.
-    im_seen_attempt: u32,
+    /// the IM drops reordered/stale/duplicated uplinks so its ledger only
+    /// ever moves forward with the newest vehicle state it has seen.
+    /// `None` until the first uplink — an explicit "never seen" so a
+    /// legitimate first attempt can never collide with a sentinel value.
+    im_seen_attempt: Option<u32>,
 }
 
 pub(crate) struct World<'a> {
@@ -60,6 +64,15 @@ pub(crate) struct World<'a> {
     vehicles: Vec<Option<Agent>>,
     im_queue: VecDeque<(VehicleId, CrossingRequest)>,
     im_busy: bool,
+    /// Fault injector, present only when the config enables any fault —
+    /// the disabled path never touches it (zero cost, identical traces).
+    fault: Option<FaultModel>,
+    /// Whether the IM is inside an injected crash window (uplinks are
+    /// dropped on arrival).
+    im_down: bool,
+    /// IM process incarnation: bumped by every crash so results of
+    /// computations started before the crash are discarded on arrival.
+    im_epoch: u32,
     pub(crate) occupancies: Vec<BoxOccupancy>,
     pub(crate) metrics: RunMetrics,
     pub(crate) counters: Counters,
@@ -78,15 +91,25 @@ impl<'a> World<'a> {
     pub(crate) fn new(cfg: &'a SimConfig, workload: &'a [Arrival]) -> Self {
         let conflicts = ConflictTable::compute(&cfg.geometry, cfg.spec.width);
         let policy = cfg.build_policy(&conflicts);
+        let rng = StdRng::seed_from_u64(cfg.seed);
+        // The injector's streams derive from the root seed alone, so the
+        // fault pattern is independent of the main stream's draw history.
+        let fault = cfg
+            .fault
+            .enabled()
+            .then(|| FaultModel::new(cfg.fault, &rng));
         World {
             cfg,
             workload,
-            rng: StdRng::seed_from_u64(cfg.seed),
+            rng,
             channel: Channel::new(cfg.channel),
             policy,
             vehicles: Vec::with_capacity(workload.len()),
             im_queue: VecDeque::new(),
             im_busy: false,
+            fault,
+            im_down: false,
+            im_epoch: 0,
             occupancies: Vec::new(),
             metrics: RunMetrics::new(),
             counters: Counters::default(),
@@ -176,6 +199,30 @@ impl<'a> World<'a> {
         self.channel.stats()
     }
 
+    /// What the fault injector did, if one is active.
+    pub(crate) fn fault_stats(&self) -> Option<FaultStats> {
+        self.fault.as_ref().map(FaultModel::stats)
+    }
+
+    /// Prices an uplink frame and runs it through the fault pipeline
+    /// (identity when faults are disabled).
+    fn uplink_deliveries(&mut self) -> Deliveries {
+        let outcome = self.channel.send_uplink(&mut self.rng);
+        match self.fault.as_mut() {
+            Some(f) => f.filter(Direction::Uplink, outcome),
+            None => Deliveries::from(outcome),
+        }
+    }
+
+    /// Prices a downlink frame and runs it through the fault pipeline.
+    fn downlink_deliveries(&mut self) -> Deliveries {
+        let outcome = self.channel.send_downlink(&mut self.rng);
+        match self.fault.as_mut() {
+            Some(f) => f.filter(Direction::Downlink, outcome),
+            None => Deliveries::from(outcome),
+        }
+    }
+
     /// Physical distance from the line to the rear clearing the box.
     fn s_exit(&self, movement: crossroads_intersection::Movement) -> Meters {
         self.s_entry + self.cfg.geometry.path_length(movement) + self.cfg.spec.length
@@ -187,14 +234,24 @@ impl<'a> World<'a> {
             Event::SyncComplete(v) => self.on_sync_complete(sim, v),
             Event::SendRequest(v, attempt) => self.on_send_request(sim, v, attempt),
             Event::UplinkArrival(v, req) => self.on_uplink(sim, v, req),
-            Event::ImFinish(v, attempt, cmd) => self.on_im_finish(sim, v, attempt, cmd),
+            Event::ImFinish(v, attempt, cmd, epoch) => {
+                self.on_im_finish(sim, v, attempt, cmd, epoch);
+            }
             Event::DownlinkArrival(v, attempt, cmd) => self.on_downlink(sim, v, attempt, cmd),
             Event::ResponseTimeout(v, attempt) => self.on_timeout(sim, v, attempt),
             Event::StopGuard(v, version) => self.on_stop_guard(sim, v, version),
             Event::MarkStopped(v, version) => self.on_mark_stopped(v, version),
             Event::BoxEntry(v, version) => self.on_box_entry(sim.now(), v, version),
             Event::BoxExit(v, version) => self.on_box_exit(sim, v, version),
-            Event::ImExitNotice(v) => self.policy.on_exit(v, sim.now()),
+            Event::ImExitNotice(v) => {
+                if self.im_down {
+                    self.counters.im_outage_drops += 1;
+                } else {
+                    self.policy.on_exit(v, sim.now());
+                }
+            }
+            Event::ImCrash => self.on_im_crash(),
+            Event::ImRestart => self.on_im_restart(sim.now()),
         }
     }
 
@@ -245,7 +302,7 @@ impl<'a> World<'a> {
                 free_flow,
                 last_proposal: None,
                 stop_target: None,
-                im_seen_attempt: 0,
+                im_seen_attempt: None,
             },
         );
         self.schedule_guard(sim, arr.vehicle);
@@ -373,7 +430,7 @@ impl<'a> World<'a> {
             let agent = self.agent_mut(v).expect("agent exists");
             agent.last_proposal = Some((toa, req.speed, req.stopped));
         }
-        if let SendOutcome::Delivered { latency } = self.channel.send_uplink(&mut self.rng) {
+        for latency in self.uplink_deliveries().iter() {
             sim.schedule_in(latency, Event::UplinkArrival(v, req));
         }
         sim.schedule_in(timeout, Event::ResponseTimeout(v, attempt));
@@ -425,6 +482,13 @@ impl<'a> World<'a> {
     // --- IM server ----------------------------------------------------------
 
     fn on_uplink(&mut self, sim: &mut Simulation<Event>, v: VehicleId, req: CrossingRequest) {
+        if self.im_down {
+            // The IM radio is dead: the frame vanishes, the vehicle's own
+            // timeout is the only recovery (exactly like a medium loss,
+            // but attributed to the outage).
+            self.counters.im_outage_drops += 1;
+            return;
+        }
         self.im_queue.push_back((v, req));
         if !self.im_busy {
             self.im_start_next(sim);
@@ -432,17 +496,23 @@ impl<'a> World<'a> {
     }
 
     fn im_start_next(&mut self, sim: &mut Simulation<Event>) {
-        if let Some((v, req)) = self.im_queue.pop_front() {
-            // Drop stale/reordered requests: the ledger must only ever
-            // move forward with the vehicle's newest reported state.
-            // (Vehicles request only after crossing the line, so the
-            // agent — which carries the IM's per-vehicle watermark —
+        // Iterative drain: a retransmission storm can queue arbitrarily
+        // many stale frames back-to-back, so dropping them must not grow
+        // the call stack once per frame.
+        while let Some((v, req)) = self.im_queue.pop_front() {
+            // Drop stale/reordered/duplicated requests: the ledger must
+            // only ever move forward with the vehicle's newest reported
+            // state. (Vehicles request only after crossing the line, so
+            // the agent — which carries the IM's per-vehicle watermark —
             // always exists by the time an uplink lands.)
             let agent = self.agent_mut(v).expect("uplink implies agent");
-            if req.attempt <= agent.im_seen_attempt && agent.im_seen_attempt != 0 {
-                return self.im_start_next(sim);
+            if agent
+                .im_seen_attempt
+                .is_some_and(|seen| req.attempt <= seen)
+            {
+                continue;
             }
-            agent.im_seen_attempt = req.attempt;
+            agent.im_seen_attempt = Some(req.attempt);
             self.im_busy = true;
             // The decision is computed now; the response leaves the IM
             // once the computation time — proportional to the scheduling
@@ -458,10 +528,10 @@ impl<'a> World<'a> {
             self.counters.im_requests += 1;
             self.counters.im_busy += svc;
             self.policy.prune(now);
-            sim.schedule_in(svc, Event::ImFinish(v, req.attempt, cmd));
-        } else {
-            self.im_busy = false;
+            sim.schedule_in(svc, Event::ImFinish(v, req.attempt, cmd, self.im_epoch));
+            return;
         }
+        self.im_busy = false;
     }
 
     fn on_im_finish(
@@ -470,11 +540,36 @@ impl<'a> World<'a> {
         v: VehicleId,
         attempt: u32,
         cmd: CrossingCommand,
+        epoch: u32,
     ) {
-        if let SendOutcome::Delivered { latency } = self.channel.send_downlink(&mut self.rng) {
+        if epoch != self.im_epoch {
+            // The IM crashed while this computation was in flight: its
+            // result dies with the process that was computing it. The
+            // post-restart incarnation drives its own queue.
+            return;
+        }
+        for latency in self.downlink_deliveries().iter() {
             sim.schedule_in(latency, Event::DownlinkArrival(v, attempt, cmd));
         }
         self.im_start_next(sim);
+    }
+
+    fn on_im_crash(&mut self) {
+        self.im_down = true;
+        self.im_epoch = self.im_epoch.wrapping_add(1);
+        // Requests queued inside the IM die with it; the vehicles recover
+        // through their retransmission timeouts.
+        self.counters.im_outage_drops += self.im_queue.len() as u64;
+        self.im_queue.clear();
+        self.im_busy = false;
+    }
+
+    fn on_im_restart(&mut self, now: TimePoint) {
+        self.im_down = false;
+        // Conservative ledger re-validation: grants already issued stay
+        // booked (their vehicles will execute them regardless), expired
+        // bookkeeping is dropped.
+        self.policy.on_restart(now);
     }
 
     // --- Response handling ---------------------------------------------------
@@ -500,6 +595,19 @@ impl<'a> World<'a> {
             // re-simulated from the newer request).
             if agent.protocol.state() != (ProtocolState::Request { attempts: attempt }) {
                 return;
+            }
+        }
+        // Late-command rejection: a Crossroads command delivered after its
+        // own execute-at deadline cannot be followed — the WC-RTD contract
+        // it was scheduled under is already broken (burst losses, frame
+        // reordering, IM queueing past the budget). The vehicle detects
+        // and discards it, falls back to a safe stop at the line and
+        // re-requests; the IM's orphaned reservation is released by its
+        // next prune once the reserved window expires.
+        if let CrossingCommand::Crossroads { execute_at, .. } = cmd {
+            if now > execute_at {
+                self.counters.deadline_misses += 1;
+                return self.stale_response(sim, v, now);
             }
         }
         match cmd {
@@ -674,6 +782,9 @@ impl<'a> World<'a> {
             let cover = self.cover_time(s_entry - s_now);
             let launch = arrival - cover;
             if launch < now {
+                // The grant's launch instant already passed in transit —
+                // AIM's equivalent of a missed execute-at deadline.
+                self.counters.deadline_misses += 1;
                 return self.stale_response(sim, v, now);
             }
             let mut p = SpeedProfile::starting_at(now, s_now, MetersPerSecond::ZERO);
@@ -765,6 +876,7 @@ impl<'a> World<'a> {
                 let target = self.assign_stop_target(v);
                 let agent = self.agent_mut(v).expect("agent exists");
                 agent.profile = SpeedProfile::stop_at(now, s_now, v_now, target, &spec);
+                self.counters.fallback_stops += 1;
                 self.bump_unaccepted_plan(sim, v);
             }
         }
@@ -772,6 +884,10 @@ impl<'a> World<'a> {
     }
 
     fn stale_response(&mut self, sim: &mut Simulation<Event>, v: VehicleId, now: TimePoint) {
+        // Every discard lands here: deadline misses and superseded-state
+        // grants alike. The vehicle treats the response as never received
+        // (beyond noting it must re-request promptly).
+        self.counters.late_discards += 1;
         self.reject_and_stop(sim, v, now, Seconds::from_millis(50.0));
     }
 
@@ -841,6 +957,7 @@ impl<'a> World<'a> {
         let target = self.assign_stop_target(v);
         let agent = self.agent_mut(v).expect("agent exists");
         agent.profile = SpeedProfile::stop_at(now, s_now, v_now, target, &spec);
+        self.counters.fallback_stops += 1;
         self.bump_unaccepted_plan(sim, v);
     }
 
@@ -935,9 +1052,202 @@ impl<'a> World<'a> {
         };
         self.occupancies.push(occupancy);
         self.metrics.push(record);
-        // Exit notification to the IM.
-        if let SendOutcome::Delivered { latency } = self.channel.send_uplink(&mut self.rng) {
+        // Exit notification to the IM. A lost notice is safe: the policy's
+        // reservation for the vehicle simply expires via prune instead of
+        // being released early.
+        for latency in self.uplink_deliveries().iter() {
             sim.schedule_in(latency, Event::ImExitNotice(v));
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::PolicyKind;
+    use crossroads_intersection::{Approach, Movement, Turn};
+
+    fn test_config() -> SimConfig {
+        SimConfig::scale_model(PolicyKind::Crossroads).with_seed(7)
+    }
+
+    fn test_workload() -> Vec<Arrival> {
+        vec![Arrival {
+            vehicle: VehicleId(0),
+            movement: Movement::new(Approach::South, Turn::Straight),
+            at_line: TimePoint::ZERO,
+            speed: MetersPerSecond::new(1.5),
+        }]
+    }
+
+    /// An agent already past sync, in `Request { attempts: 1 }` — the
+    /// state an IM-side uplink test needs.
+    fn requesting_agent(movement: Movement) -> Agent {
+        let mut protocol = VehicleProtocol::new(VehicleId(0));
+        protocol
+            .apply(ProtocolEvent::ReachedTransmissionLine, TimePoint::ZERO)
+            .unwrap();
+        protocol
+            .apply(ProtocolEvent::SyncCompleted, TimePoint::ZERO)
+            .unwrap();
+        Agent {
+            movement,
+            line_at: TimePoint::ZERO,
+            profile: SpeedProfile::starting_at(
+                TimePoint::ZERO,
+                Meters::ZERO,
+                MetersPerSecond::new(1.5),
+            ),
+            protocol,
+            clock_err: Seconds::ZERO,
+            plan_version: 0,
+            stopped: false,
+            accepted: false,
+            entered_at: None,
+            done: false,
+            free_flow: Seconds::new(10.0),
+            last_proposal: None,
+            stop_target: None,
+            im_seen_attempt: None,
+        }
+    }
+
+    fn request(cfg: &SimConfig, movement: Movement, attempt: u32) -> CrossingRequest {
+        CrossingRequest {
+            vehicle: VehicleId(0),
+            movement,
+            spec: cfg.spec,
+            transmitted_at: TimePoint::ZERO,
+            distance_to_intersection: cfg.geometry.transmission_line_distance,
+            speed: MetersPerSecond::new(1.5),
+            stopped: false,
+            attempt,
+            proposed_arrival: None,
+        }
+    }
+
+    /// Regression (watermark sentinel): a *duplicated* attempt-1 uplink —
+    /// the first frame this vehicle ever sends, twice on the air — must be
+    /// processed exactly once. With the old `0`-as-never-seen sentinel the
+    /// invariant relied on attempts never being 0; `Option<u32>` makes
+    /// "never seen" unconfusable with any attempt number.
+    #[test]
+    fn duplicated_first_attempt_is_processed_once() {
+        let cfg = test_config();
+        let workload = test_workload();
+        let movement = workload[0].movement;
+        let mut sim: Simulation<Event> = Simulation::new();
+        let mut world = World::new(&cfg, &workload);
+        world.insert_agent(VehicleId(0), requesting_agent(movement));
+        let req = request(&cfg, movement, 1);
+        sim.schedule(
+            TimePoint::new(0.001),
+            Event::UplinkArrival(VehicleId(0), req),
+        );
+        sim.schedule(
+            TimePoint::new(0.002),
+            Event::UplinkArrival(VehicleId(0), req),
+        );
+        sim.run_until(TimePoint::new(5.0), |sim, ev| {
+            world.handle(sim, ev);
+            true
+        });
+        assert_eq!(
+            world.counters.im_requests, 1,
+            "the duplicate attempt-1 frame must be dropped by the watermark"
+        );
+        assert_eq!(
+            world.agent(VehicleId(0)).unwrap().im_seen_attempt,
+            Some(1),
+            "watermark records the processed attempt"
+        );
+    }
+
+    /// A retransmission storm of stale frames queued behind a fresh one:
+    /// the iterative drain must drop all of them in one sweep (the old
+    /// recursive version deepened the call stack per dropped frame) and
+    /// process only the two distinct attempts.
+    #[test]
+    fn stale_storm_drains_iteratively_to_the_fresh_request() {
+        let cfg = test_config();
+        let workload = test_workload();
+        let movement = workload[0].movement;
+        let mut sim: Simulation<Event> = Simulation::new();
+        let mut world = World::new(&cfg, &workload);
+        world.insert_agent(VehicleId(0), requesting_agent(movement));
+        // Attempt 1 arrives first and occupies the IM; while it computes,
+        // a storm of duplicated attempt-1 frames and one fresh attempt-2
+        // frame pile into the queue.
+        sim.schedule(
+            TimePoint::new(0.001),
+            Event::UplinkArrival(VehicleId(0), request(&cfg, movement, 1)),
+        );
+        for i in 0..64u32 {
+            sim.schedule(
+                TimePoint::new(0.002 + f64::from(i) * 1e-5),
+                Event::UplinkArrival(VehicleId(0), request(&cfg, movement, 1)),
+            );
+        }
+        sim.schedule(
+            TimePoint::new(0.004),
+            Event::UplinkArrival(VehicleId(0), request(&cfg, movement, 2)),
+        );
+        sim.run_until(TimePoint::new(5.0), |sim, ev| {
+            world.handle(sim, ev);
+            true
+        });
+        assert_eq!(
+            world.counters.im_requests, 2,
+            "exactly the two distinct attempts are processed"
+        );
+        assert_eq!(world.agent(VehicleId(0)).unwrap().im_seen_attempt, Some(2));
+    }
+
+    /// Uplinks landing during an IM crash window are dropped and counted;
+    /// the queue the IM held when it died is lost too.
+    #[test]
+    fn outage_drops_uplinks_and_queued_requests() {
+        let cfg = test_config();
+        let workload = test_workload();
+        let movement = workload[0].movement;
+        let mut sim: Simulation<Event> = Simulation::new();
+        let mut world = World::new(&cfg, &workload);
+        world.insert_agent(VehicleId(0), requesting_agent(movement));
+        sim.schedule(
+            TimePoint::new(0.001),
+            Event::UplinkArrival(VehicleId(0), request(&cfg, movement, 1)),
+        );
+        // Queued behind the busy IM when the crash hits.
+        sim.schedule(
+            TimePoint::new(0.002),
+            Event::UplinkArrival(VehicleId(0), request(&cfg, movement, 2)),
+        );
+        sim.schedule(TimePoint::new(0.003), Event::ImCrash);
+        // Landing on the dead radio.
+        sim.schedule(
+            TimePoint::new(0.004),
+            Event::UplinkArrival(VehicleId(0), request(&cfg, movement, 3)),
+        );
+        sim.schedule(TimePoint::new(0.005), Event::ImRestart);
+        // Processed by the restarted IM.
+        sim.schedule(
+            TimePoint::new(0.006),
+            Event::UplinkArrival(VehicleId(0), request(&cfg, movement, 4)),
+        );
+        sim.run_until(TimePoint::new(5.0), |sim, ev| {
+            world.handle(sim, ev);
+            true
+        });
+        assert_eq!(
+            world.counters.im_outage_drops, 2,
+            "one queued request lost in the crash + one dropped on the dead radio"
+        );
+        assert_eq!(
+            world.counters.im_requests, 2,
+            "attempt 1 (pre-crash) and attempt 4 (post-restart) are served"
+        );
+        // The in-flight attempt-1 computation died with the old epoch: its
+        // downlink was never transmitted.
+        assert!(!world.im_down);
     }
 }

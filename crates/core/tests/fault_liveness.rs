@@ -1,0 +1,62 @@
+//! No-deadlock liveness under injected faults: for *any* combination of
+//! bursty frame loss, duplication/reordering, and recurring IM outages,
+//! every policy must still route every vehicle to completion with a clean
+//! safety audit. A fault may delay a crossing (the vehicle falls back to
+//! a safe stop at the line and re-requests); it must never wedge the
+//! V2I loop — no orphaned reservation, lost wakeup, or retransmission
+//! state machine stuck waiting on a frame that will never arrive.
+
+use crossroads_check::{ck_assert, forall, Config};
+use crossroads_core::policy::PolicyKind;
+use crossroads_core::sim::{run_simulation, SimConfig};
+use crossroads_net::{FaultConfig, GilbertElliott};
+use crossroads_traffic::{scale_model_scenario, ScenarioId};
+use crossroads_units::Seconds;
+
+forall! {
+    // Each case is a full closed-loop run; keep the count CI-sized
+    // (CROSSROADS_CHECK_CASES scales it up for soak runs).
+    config = Config::default().with_cases(16);
+
+    /// Liveness + safety hold at every point of the fault space.
+    fn faulted_runs_always_complete_safely(
+        policy_ix in 0usize..3,
+        scenario in 1u8..11,
+        seed in 0u64..1_000_000,
+        burst in 0.0f64..0.35,
+        frame_chaos in (0.0f64..0.05, 0.0f64..0.12),
+        outage_tenths in 0u32..16,
+    ) {
+        let policy = PolicyKind::ALL[policy_ix];
+        let (duplicate, reorder) = frame_chaos;
+        let fault = FaultConfig {
+            uplink: GilbertElliott::bursty(burst),
+            downlink: GilbertElliott::bursty(burst),
+            duplicate_probability: duplicate,
+            reorder_probability: reorder,
+            // Past the 150 ms WC-RTD, so held-back frames miss deadlines.
+            extra_delay: Seconds::from_millis(220.0),
+            outage_start: Seconds::new(2.0),
+            outage_duration: Seconds::new(f64::from(outage_tenths) / 10.0),
+            outage_period: Seconds::new(8.0),
+        };
+        let workload = scale_model_scenario(ScenarioId(scenario), seed);
+        let config = SimConfig::scale_model(policy)
+            .with_seed(seed)
+            .with_faults(fault);
+        let out = run_simulation(&config, &workload);
+        ck_assert!(
+            out.all_completed(),
+            "{policy} scenario {scenario} seed {seed} burst {burst:.3} \
+             outage {:.1}s: {}/{} vehicles completed",
+            f64::from(outage_tenths) / 10.0,
+            out.metrics.completed(),
+            out.spawned,
+        );
+        ck_assert!(
+            out.safety.is_safe(),
+            "{policy} scenario {scenario} seed {seed}: {:?}",
+            out.safety.violations(),
+        );
+    }
+}

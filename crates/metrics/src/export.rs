@@ -71,13 +71,18 @@ pub fn records_to_json(records: &[VehicleRecord]) -> String {
 #[must_use]
 pub fn counters_to_json(c: &Counters) -> String {
     format!(
-        "{{\"im_ops\":{},\"im_requests\":{},\"messages\":{},\"messages_lost\":{},\"im_busy\":{},\"des_events\":{}}}",
+        "{{\"im_ops\":{},\"im_requests\":{},\"messages\":{},\"messages_lost\":{},\"im_busy\":{},\"des_events\":{},\"deadline_misses\":{},\"late_discards\":{},\"burst_losses\":{},\"im_outage_drops\":{},\"fallback_stops\":{}}}",
         c.im_ops,
         c.im_requests,
         c.messages,
         c.messages_lost,
         fmt_f64(c.im_busy.value()),
         c.des_events,
+        c.deadline_misses,
+        c.late_discards,
+        c.burst_losses,
+        c.im_outage_drops,
+        c.fallback_stops,
     )
 }
 
@@ -237,6 +242,11 @@ mod tests {
             messages_lost: 1,
             im_busy: Seconds::new(0.125),
             des_events: 321,
+            deadline_misses: 6,
+            late_discards: 7,
+            burst_losses: 8,
+            im_outage_drops: 9,
+            fallback_stops: 10,
         });
         let a = run_to_json(&m);
         let b = run_to_json(&m);
@@ -244,6 +254,10 @@ mod tests {
         assert!(a.starts_with("{\"completed\":2,"));
         assert!(a.contains("\"im_busy\":0.125"));
         assert!(a.contains("\"des_events\":321"));
+        assert!(a.contains(
+            "\"deadline_misses\":6,\"late_discards\":7,\"burst_losses\":8,\
+             \"im_outage_drops\":9,\"fallback_stops\":10"
+        ));
     }
 
     #[test]

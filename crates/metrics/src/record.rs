@@ -74,6 +74,23 @@ pub struct Counters {
     /// denominator-free measure of simulator work that `events/sec`
     /// reporting divides by wall time.
     pub des_events: u64,
+    /// Commands that reached their vehicle *after* the execute-at deadline
+    /// the WC-RTD contract promised (the vehicle detected and discarded
+    /// them). Zero unless fault injection breaks the RTD envelope.
+    pub deadline_misses: u64,
+    /// Downlink commands a vehicle discarded as stale or late (deadline
+    /// misses and superseded-state grants alike); each discard triggers
+    /// the safe-stop-and-re-request fallback.
+    pub late_discards: u64,
+    /// Frames dropped by the injected Gilbert–Elliott burst channel, on
+    /// top of the base channel's independent losses.
+    pub burst_losses: u64,
+    /// Uplink frames that reached the IM radio while the IM was crashed
+    /// (plus requests queued inside the IM when it went down).
+    pub im_outage_drops: u64,
+    /// Safe stop-at-line fallback profiles vehicles installed (stop
+    /// guards firing without a grant, and post-discard fallbacks).
+    pub fallback_stops: u64,
 }
 
 impl Counters {
@@ -85,6 +102,11 @@ impl Counters {
         self.messages_lost += other.messages_lost;
         self.im_busy += other.im_busy;
         self.des_events += other.des_events;
+        self.deadline_misses += other.deadline_misses;
+        self.late_discards += other.late_discards;
+        self.burst_losses += other.burst_losses;
+        self.im_outage_drops += other.im_outage_drops;
+        self.fallback_stops += other.fallback_stops;
     }
 }
 
@@ -269,6 +291,11 @@ mod tests {
             messages_lost: 0,
             im_busy: Seconds::new(0.5),
             des_events: 100,
+            deadline_misses: 1,
+            late_discards: 2,
+            burst_losses: 3,
+            im_outage_drops: 4,
+            fallback_stops: 5,
         };
         let b = Counters {
             im_ops: 10,
@@ -277,6 +304,11 @@ mod tests {
             messages_lost: 2,
             im_busy: Seconds::new(1.0),
             des_events: 40,
+            deadline_misses: 1,
+            late_discards: 1,
+            burst_losses: 1,
+            im_outage_drops: 1,
+            fallback_stops: 1,
         };
         a.absorb(&b);
         assert_eq!(a.im_ops, 11);
@@ -284,6 +316,11 @@ mod tests {
         assert_eq!(a.messages_lost, 2);
         assert_eq!(a.im_busy, Seconds::new(1.5));
         assert_eq!(a.des_events, 140);
+        assert_eq!(a.deadline_misses, 2);
+        assert_eq!(a.late_discards, 3);
+        assert_eq!(a.burst_losses, 4);
+        assert_eq!(a.im_outage_drops, 5);
+        assert_eq!(a.fallback_stops, 6);
     }
 
     #[test]

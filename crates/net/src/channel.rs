@@ -82,9 +82,21 @@ pub struct Channel {
 }
 
 impl Channel {
-    /// Creates a channel with the given configuration.
+    /// Creates a channel with the given configuration, validating it
+    /// once here so the per-frame [`transmit`] path only debug-asserts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the loss probability is outside `[0, 1]` or the latency
+    /// bounds are inverted/negative/non-finite.
     #[must_use]
     pub fn new(config: ChannelConfig) -> Self {
+        let p = config.loss_probability;
+        assert!(
+            p.is_finite() && (0.0..=1.0).contains(&p),
+            "loss probability must be in [0, 1], got {p}"
+        );
+        config.latency.validate();
         Channel {
             config,
             stats: ChannelStats::default(),
@@ -117,7 +129,7 @@ impl Channel {
 
     fn transmit<R: Rng + ?Sized>(&mut self, rng: &mut R) -> SendOutcome {
         let p = self.config.loss_probability;
-        assert!(
+        debug_assert!(
             (0.0..=1.0).contains(&p),
             "loss probability must be in [0, 1], got {p}"
         );
@@ -194,13 +206,23 @@ mod tests {
 
     #[test]
     #[should_panic(expected = "loss probability")]
-    fn invalid_loss_probability_panics() {
-        let mut ch = Channel::new(ChannelConfig {
+    fn invalid_loss_probability_panics_at_construction() {
+        let _ = Channel::new(ChannelConfig {
             loss_probability: 1.5,
             ..ChannelConfig::ideal()
         });
-        let mut rng = StdRng::seed_from_u64(0);
-        let _ = ch.send_uplink(&mut rng);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid network delay bounds")]
+    fn invalid_latency_bounds_panic_at_construction() {
+        let _ = Channel::new(ChannelConfig {
+            latency: NetworkDelayModel {
+                min: Seconds::from_millis(9.0),
+                max: Seconds::from_millis(1.0),
+            },
+            loss_probability: 0.0,
+        });
     }
 
     #[test]

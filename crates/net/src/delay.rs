@@ -18,13 +18,27 @@ pub struct NetworkDelayModel {
 }
 
 impl NetworkDelayModel {
+    /// Builds a validated model.
+    ///
+    /// Validation happens *here*, once — the per-frame
+    /// [`sample`](Self::sample) path only debug-asserts. Callers that
+    /// assemble the struct literally (the fields are public) get the same
+    /// check at [`Channel::new`](crate::Channel::new).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min > max` or either bound is negative/non-finite.
+    #[must_use]
+    pub fn new(min: Seconds, max: Seconds) -> Self {
+        let model = NetworkDelayModel { min, max };
+        model.validate();
+        model
+    }
+
     /// The testbed's radio link: 1–7.5 ms one way (15 ms worst round trip).
     #[must_use]
     pub fn scale_model() -> Self {
-        NetworkDelayModel {
-            min: Seconds::from_millis(1.0),
-            max: Seconds::from_millis(7.5),
-        }
+        NetworkDelayModel::new(Seconds::from_millis(1.0), Seconds::from_millis(7.5))
     }
 
     /// A zero-latency link for unit tests.
@@ -38,10 +52,11 @@ impl NetworkDelayModel {
 
     /// Samples a one-way delivery latency.
     ///
-    /// # Panics
-    ///
-    /// Panics if `min > max` or either bound is negative/non-finite.
+    /// The bounds were validated at construction ([`new`](Self::new) or
+    /// [`Channel::new`](crate::Channel::new)); this hot path only
+    /// debug-asserts them.
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Seconds {
+        #[cfg(debug_assertions)]
         self.validate();
         if self.min == self.max {
             return self.min;
@@ -49,7 +64,14 @@ impl NetworkDelayModel {
         Seconds::new(Uniform::new_inclusive(self.min.value(), self.max.value()).sample(rng))
     }
 
-    fn validate(&self) {
+    /// Asserts the bounds are usable. Called once per model from the
+    /// validated constructors; the sampling hot path repeats it only in
+    /// debug builds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min > max` or either bound is negative/non-finite.
+    pub(crate) fn validate(&self) {
         assert!(
             self.min.is_finite()
                 && self.max.is_finite()
@@ -213,13 +235,8 @@ mod tests {
 
     #[test]
     #[should_panic(expected = "invalid network delay bounds")]
-    fn inverted_bounds_panic() {
-        let m = NetworkDelayModel {
-            min: Seconds::from_millis(5.0),
-            max: Seconds::from_millis(1.0),
-        };
-        let mut rng = StdRng::seed_from_u64(0);
-        let _ = m.sample(&mut rng);
+    fn inverted_bounds_panic_at_construction() {
+        let _ = NetworkDelayModel::new(Seconds::from_millis(5.0), Seconds::from_millis(1.0));
     }
 
     #[test]

@@ -17,6 +17,9 @@
 //!   time-transfer exchange that bounds the residual error.
 //! - [`channel`] — a lossy half-duplex channel with delivery-time sampling
 //!   and traffic accounting (the Ch. 7.2 network-overhead metric).
+//! - [`fault`] — optional fault injection layered on the channel: bursty
+//!   Gilbert–Elliott loss, frame duplication/reordering, and scheduled IM
+//!   outage windows (the regimes outside the paper's WC-RTD envelope).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -24,7 +27,9 @@
 pub mod channel;
 pub mod clock;
 pub mod delay;
+pub mod fault;
 
 pub use channel::{Channel, ChannelConfig, ChannelStats, SendOutcome};
 pub use clock::{best_of_sync, testbed_sync, two_way_sync, LocalClock, SyncOutcome};
 pub use delay::{ComputationDelayModel, NetworkDelayModel, RtdBudget};
+pub use fault::{Deliveries, Direction, FaultConfig, FaultModel, FaultStats, GilbertElliott};
