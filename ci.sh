@@ -53,6 +53,36 @@ if ! cmp -s "$seq_out" "$par_out"; then
     exit 1
 fi
 
+echo "==> flight-recorder trace smoke (replay identity + divergence diff)"
+# The trace diff tool must find zero divergences when replaying the same
+# points through 1- and 4-thread pools, and must name the first diverging
+# record of a deliberately fault-perturbed pair. Its stdout is itself
+# deterministic, so two invocations must agree byte for byte.
+CROSSROADS_SWEEP_FAST=1 ./target/release/exp_trace_diff >"$seq_out" 2>/dev/null
+if ! grep -q "0 divergences" "$seq_out"; then
+    echo "FAIL: trace replay reported divergences on identical pairs" >&2
+    cat "$seq_out" >&2
+    exit 1
+fi
+if ! grep -q "first divergence at record #" "$seq_out"; then
+    echo "FAIL: trace diff failed to localize the perturbed pair" >&2
+    cat "$seq_out" >&2
+    exit 1
+fi
+CROSSROADS_SWEEP_FAST=1 ./target/release/exp_trace_diff >"$par_out" 2>/dev/null
+if ! cmp -s "$seq_out" "$par_out"; then
+    echo "FAIL: exp_trace_diff stdout is nondeterministic" >&2
+    diff "$seq_out" "$par_out" >&2 || true
+    exit 1
+fi
+
+echo "==> NaN regression gate (metrics stats + JSON export)"
+# Percentiles/Summary must never panic on non-finite samples, and the
+# JSON writers must emit null (valid JSON) for non-finite values — both
+# verified by the metrics crate's regression tests, including a parse of
+# the poisoned output with the in-repo reader.
+cargo test -q --offline -p crossroads-metrics
+
 echo "==> no-deadlock liveness under faults (pinned regression seeds)"
 # Replays the committed fault_liveness.check-regressions corner cases
 # before novel cases: no seeded loss/burst/outage pattern may strand a

@@ -144,7 +144,7 @@ impl BatchPlanner {
                 earliest,
             });
         }
-        crossings.sort_by(|x, y| x.entry.partial_cmp(&y.entry).expect("finite"));
+        crossings.sort_by(|x, y| x.entry.total_cmp(y.entry));
         BatchSchedule { crossings }
     }
 
@@ -215,7 +215,7 @@ impl BatchPlanner {
             }
             crossings.extend(order);
         }
-        crossings.sort_by(|x, y| x.entry.partial_cmp(&y.entry).expect("finite"));
+        crossings.sort_by(|x, y| x.entry.total_cmp(y.entry));
         BatchSchedule { crossings }
     }
 
@@ -237,12 +237,7 @@ impl BatchPlanner {
                     let entry = table.earliest_slot(a.movement, earliest, dur);
                     (i, entry, earliest, dur)
                 })
-                .min_by(|x, y| {
-                    (x.1 - x.2)
-                        .value()
-                        .partial_cmp(&(y.1 - y.2).value())
-                        .expect("finite")
-                })
+                .min_by(|x, y| (x.1 - x.2).total_cmp(y.1 - y.2))
                 .expect("pending non-empty");
             let a = pending.swap_remove(best_idx);
             table

@@ -44,4 +44,6 @@ pub use batch::{BatchPlanner, BatchSchedule, PlannedCrossing};
 pub use buffer::BufferModel;
 pub use policy::{IntersectionPolicy, PolicyKind};
 pub use request::{CrossingCommand, CrossingRequest};
-pub use sim::{run_simulation, thread_events_processed, SimConfig, SimOutcome};
+pub use sim::{
+    run_simulation, run_simulation_traced, thread_events_processed, SimConfig, SimOutcome,
+};

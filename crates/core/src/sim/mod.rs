@@ -17,6 +17,7 @@ use crossroads_des::Simulation;
 use crossroads_intersection::{ConflictTable, IntersectionGeometry, ReservationTable};
 use crossroads_metrics::RunMetrics;
 use crossroads_net::{ChannelConfig, ComputationDelayModel, FaultConfig};
+use crossroads_trace::Recorder;
 use crossroads_traffic::Arrival;
 use crossroads_units::{MetersPerSecond, Seconds, TimePoint};
 use crossroads_vehicle::VehicleSpec;
@@ -222,8 +223,39 @@ pub fn thread_events_processed() -> u64 {
 /// [`crossroads_traffic::validate_workload`] first).
 #[must_use]
 pub fn run_simulation(config: &SimConfig, workload: &[Arrival]) -> SimOutcome {
+    run_with_recorder(config, workload, None)
+}
+
+/// Runs one experiment with the flight recorder engaged: every structured
+/// simulation event (frame sends and deliveries, IM decisions with their
+/// service latency, actuations, fallback stops, epoch bumps, audit
+/// verdicts) is appended to `recorder` as it happens.
+///
+/// The recorded run is otherwise identical to [`run_simulation`] — the
+/// recorder draws no randomness and perturbs no decision, so a traced run
+/// and an untraced run of the same `(config, workload)` produce the same
+/// [`SimOutcome`].
+///
+/// # Panics
+///
+/// Panics if the workload is not sorted by arrival time.
+#[must_use]
+pub fn run_simulation_traced(
+    config: &SimConfig,
+    workload: &[Arrival],
+    recorder: &mut Recorder,
+) -> SimOutcome {
+    run_with_recorder(config, workload, Some(recorder))
+}
+
+fn run_with_recorder(
+    config: &SimConfig,
+    workload: &[Arrival],
+    recorder: Option<&mut Recorder>,
+) -> SimOutcome {
     let mut sim: Simulation<Event> = Simulation::new();
     let mut world = World::new(config, workload);
+    world.recorder = recorder;
     for (i, arr) in workload.iter().enumerate() {
         sim.schedule(arr.at_line, Event::LineCrossing(i));
     }
@@ -260,6 +292,7 @@ pub fn run_simulation(config: &SimConfig, workload: &[Arrival]) -> SimOutcome {
 
     let occupancies = std::mem::take(&mut world.occupancies);
     let safety = SafetyReport::audit(occupancies, &config.geometry, &config.spec);
+    world.record_audit(&sim, &safety);
 
     SimOutcome {
         metrics,

@@ -107,8 +107,7 @@ impl SafetyReport {
         by_entry.sort_by(|&i, &j| {
             occupancies[i]
                 .entered
-                .partial_cmp(&occupancies[j].entered)
-                .expect("occupancy times are finite")
+                .total_cmp(occupancies[j].entered)
                 .then_with(|| i.cmp(&j))
         });
         let mut active: Vec<usize> = Vec::new();

@@ -11,6 +11,7 @@ use crossroads_net::{
 };
 use crossroads_prng::Rng;
 use crossroads_prng::{SeedableRng, StdRng};
+use crossroads_trace::{Recorder, TraceEvent, TraceRecord, Verdict, LOST_LATENCY, NO_VEHICLE};
 use crossroads_traffic::Arrival;
 use crossroads_units::kinematics;
 use crossroads_units::{Meters, MetersPerSecond, Seconds, TimePoint};
@@ -24,6 +25,24 @@ use crate::sim::SimConfig;
 
 /// Margin before the hard braking point at which the stop guard fires.
 const GUARD_MARGIN: Meters = Meters::new(0.02);
+
+/// Flattens a command to the closed verdict set the flight recorder
+/// stores (a `V_T = 0` velocity transaction is the VT-IM's "stop and
+/// re-request" answer, everything else maps one-to-one).
+fn verdict_of(cmd: &CrossingCommand) -> Verdict {
+    match cmd {
+        CrossingCommand::VtTarget { target_speed, .. } => {
+            if target_speed.value() > 0.0 {
+                Verdict::VtGo
+            } else {
+                Verdict::VtStop
+            }
+        }
+        CrossingCommand::Crossroads { .. } => Verdict::Crossroads,
+        CrossingCommand::AimAccept { .. } => Verdict::AimAccept,
+        CrossingCommand::AimReject => Verdict::AimReject,
+    }
+}
 
 pub(crate) struct Agent {
     movement: crossroads_intersection::Movement,
@@ -85,6 +104,11 @@ pub(crate) struct World<'a> {
     /// (`Self::unentered_predecessors`), so the per-request queue check
     /// allocates nothing in steady state.
     pred_scratch: Vec<VehicleId>,
+    /// Flight recorder, present only when the caller asked for a traced
+    /// run. The `None` arm does no work and draws no randomness, so an
+    /// untraced run is byte-identical to one built before tracing existed
+    /// (the same guarantee the fault layer makes).
+    pub(crate) recorder: Option<&'a mut Recorder>,
 }
 
 impl<'a> World<'a> {
@@ -116,6 +140,33 @@ impl<'a> World<'a> {
             s_entry: cfg.geometry.transmission_line_distance,
             lane_arrivals: [Vec::new(), Vec::new(), Vec::new(), Vec::new()],
             pred_scratch: Vec::new(),
+            recorder: None,
+        }
+    }
+
+    /// Appends one flight-recorder record stamped with the current DES
+    /// dispatch index, sim time and IM epoch. A no-op when recording is
+    /// disabled.
+    fn rec(&mut self, sim: &Simulation<Event>, vehicle: u32, attempt: u32, event: TraceEvent) {
+        let epoch = self.im_epoch;
+        if let Some(r) = self.recorder.as_deref_mut() {
+            r.record(TraceRecord {
+                dispatch: sim.events_dispatched(),
+                at: sim.now(),
+                vehicle,
+                attempt,
+                epoch,
+                event,
+            });
+        }
+    }
+
+    /// The vehicle's current request attempt (0 outside the Request
+    /// state), for records emitted where the attempt is not in scope.
+    fn current_attempt(&self, v: VehicleId) -> u32 {
+        match self.agent(v).map(|a| a.protocol.state()) {
+            Some(ProtocolState::Request { attempts }) => attempts,
+            _ => 0,
         }
     }
 
@@ -250,8 +301,16 @@ impl<'a> World<'a> {
                     self.policy.on_exit(v, sim.now());
                 }
             }
-            Event::ImCrash => self.on_im_crash(),
-            Event::ImRestart => self.on_im_restart(sim.now()),
+            Event::ImCrash => {
+                self.on_im_crash();
+                // Stamped with the *new* epoch, so in-flight work of the
+                // dead incarnation is identifiable in the trace.
+                self.rec(sim, NO_VEHICLE, 0, TraceEvent::ImCrash);
+            }
+            Event::ImRestart => {
+                self.on_im_restart(sim.now());
+                self.rec(sim, NO_VEHICLE, 0, TraceEvent::ImRestart);
+            }
         }
     }
 
@@ -430,7 +489,17 @@ impl<'a> World<'a> {
             let agent = self.agent_mut(v).expect("agent exists");
             agent.last_proposal = Some((toa, req.speed, req.stopped));
         }
-        for latency in self.uplink_deliveries().iter() {
+        let deliveries = self.uplink_deliveries();
+        self.rec(
+            sim,
+            v.0,
+            attempt,
+            TraceEvent::UplinkSend {
+                copies: u8::try_from(deliveries.count()).unwrap_or(u8::MAX),
+                latency: deliveries.first_latency().unwrap_or(LOST_LATENCY),
+            },
+        );
+        for latency in deliveries.iter() {
             sim.schedule_in(latency, Event::UplinkArrival(v, req));
         }
         sim.schedule_in(timeout, Event::ResponseTimeout(v, attempt));
@@ -482,6 +551,9 @@ impl<'a> World<'a> {
     // --- IM server ----------------------------------------------------------
 
     fn on_uplink(&mut self, sim: &mut Simulation<Event>, v: VehicleId, req: CrossingRequest) {
+        // The frame physically reached the IM radio — recorded whether or
+        // not the IM process is alive to act on it.
+        self.rec(sim, v.0, req.attempt, TraceEvent::UplinkDeliver);
         if self.im_down {
             // The IM radio is dead: the frame vanishes, the vehicle's own
             // timeout is the only recovery (exactly like a medium loss,
@@ -519,12 +591,23 @@ impl<'a> World<'a> {
             // work it actually performed — has elapsed. This is how AIM's
             // trajectory re-simulation turns into response latency.
             let now = sim.now();
+            self.rec(sim, v.0, req.attempt, TraceEvent::DecisionEnter);
             let ops_before = self.policy.ops();
             let cmd = self.policy.decide(&req, now);
             let svc = self
                 .cfg
                 .computation
                 .decision_time(self.policy.ops() - ops_before);
+            self.metrics.push_decision_latency(svc);
+            self.rec(
+                sim,
+                v.0,
+                req.attempt,
+                TraceEvent::DecisionExit {
+                    verdict: verdict_of(&cmd),
+                    service: svc,
+                },
+            );
             self.counters.im_requests += 1;
             self.counters.im_busy += svc;
             self.policy.prune(now);
@@ -548,7 +631,17 @@ impl<'a> World<'a> {
             // post-restart incarnation drives its own queue.
             return;
         }
-        for latency in self.downlink_deliveries().iter() {
+        let deliveries = self.downlink_deliveries();
+        self.rec(
+            sim,
+            v.0,
+            attempt,
+            TraceEvent::DownlinkSend {
+                copies: u8::try_from(deliveries.count()).unwrap_or(u8::MAX),
+                latency: deliveries.first_latency().unwrap_or(LOST_LATENCY),
+            },
+        );
+        for latency in deliveries.iter() {
             sim.schedule_in(latency, Event::DownlinkArrival(v, attempt, cmd));
         }
         self.im_start_next(sim);
@@ -582,6 +675,9 @@ impl<'a> World<'a> {
         cmd: CrossingCommand,
     ) {
         let now = sim.now();
+        // The frame physically reached the vehicle radio — recorded even
+        // when the guards below discard it as stale.
+        self.rec(sim, v.0, attempt, TraceEvent::DownlinkDeliver);
         {
             let Some(agent) = self.agent(v) else {
                 return;
@@ -607,6 +703,7 @@ impl<'a> World<'a> {
         if let CrossingCommand::Crossroads { execute_at, .. } = cmd {
             if now > execute_at {
                 self.counters.deadline_misses += 1;
+                self.rec(sim, v.0, attempt, TraceEvent::DeadlineMiss);
                 return self.stale_response(sim, v, now);
             }
         }
@@ -638,6 +735,19 @@ impl<'a> World<'a> {
             }
             CrossingCommand::AimAccept { arrival } => self.accept_aim(sim, v, arrival, now),
             CrossingCommand::AimReject => self.reject_aim(sim, v, now),
+        }
+        // The agent was not `accepted` on entry (early return above), so
+        // `accepted` now means *this* command was acted on: the vehicle
+        // committed its crossing trajectory.
+        if self.agent(v).is_some_and(|a| a.accepted) {
+            self.rec(
+                sim,
+                v.0,
+                attempt,
+                TraceEvent::Actuation {
+                    verdict: verdict_of(&cmd),
+                },
+            );
         }
     }
 
@@ -785,6 +895,7 @@ impl<'a> World<'a> {
                 // The grant's launch instant already passed in transit —
                 // AIM's equivalent of a missed execute-at deadline.
                 self.counters.deadline_misses += 1;
+                self.rec(sim, v.0, self.current_attempt(v), TraceEvent::DeadlineMiss);
                 return self.stale_response(sim, v, now);
             }
             let mut p = SpeedProfile::starting_at(now, s_now, MetersPerSecond::ZERO);
@@ -877,6 +988,7 @@ impl<'a> World<'a> {
                 let agent = self.agent_mut(v).expect("agent exists");
                 agent.profile = SpeedProfile::stop_at(now, s_now, v_now, target, &spec);
                 self.counters.fallback_stops += 1;
+                self.rec(sim, v.0, attempts, TraceEvent::FallbackStop);
                 self.bump_unaccepted_plan(sim, v);
             }
         }
@@ -958,6 +1070,7 @@ impl<'a> World<'a> {
         let agent = self.agent_mut(v).expect("agent exists");
         agent.profile = SpeedProfile::stop_at(now, s_now, v_now, target, &spec);
         self.counters.fallback_stops += 1;
+        self.rec(sim, v.0, self.current_attempt(v), TraceEvent::FallbackStop);
         self.bump_unaccepted_plan(sim, v);
     }
 
@@ -1058,6 +1171,34 @@ impl<'a> World<'a> {
         for latency in self.uplink_deliveries().iter() {
             sim.schedule_in(latency, Event::ImExitNotice(v));
         }
+    }
+
+    /// Appends the post-run safety-audit verdicts to the trace: one
+    /// record per overlapping pair, then a summary. A no-op when
+    /// recording is disabled.
+    pub(crate) fn record_audit(
+        &mut self,
+        sim: &Simulation<Event>,
+        report: &crate::sim::safety::SafetyReport,
+    ) {
+        for viol in report.violations() {
+            self.rec(
+                sim,
+                viol.first.0,
+                0,
+                TraceEvent::AuditViolation {
+                    other: viol.second.0,
+                },
+            );
+        }
+        self.rec(
+            sim,
+            NO_VEHICLE,
+            0,
+            TraceEvent::AuditSummary {
+                violations: u32::try_from(report.violations().len()).unwrap_or(u32::MAX),
+            },
+        );
     }
 }
 

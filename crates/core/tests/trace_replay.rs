@@ -1,0 +1,143 @@
+//! Replay-record identity: the flight recorder is a pure observer. A
+//! recorded run replayed with the same `(config, workload)` must produce
+//! a record-identical trace (and byte-identical codec output), whether or
+//! not faults are injected — the recorder draws no randomness and
+//! perturbs no decision, so tracing can be trusted to *describe* a run
+//! rather than create a different one.
+
+use crossroads_check::{bools, ck_assert, ck_assert_eq, forall, Config};
+use crossroads_core::policy::PolicyKind;
+use crossroads_core::sim::{run_simulation, run_simulation_traced, SimConfig};
+use crossroads_net::{FaultConfig, GilbertElliott};
+use crossroads_trace::codec::encode;
+use crossroads_trace::diff::{divergence_report, first_divergence};
+use crossroads_trace::{Recorder, Trace, TraceEvent};
+use crossroads_traffic::{scale_model_scenario, Arrival, ScenarioId};
+use crossroads_units::Seconds;
+
+/// Roomy enough that no scale-model scenario ever overflows it — the
+/// identity below must compare *complete* traces.
+const CAP: usize = 1 << 18;
+
+fn traced(config: &SimConfig, workload: &[Arrival]) -> (Trace, Seconds) {
+    let mut rec = Recorder::fixed(CAP);
+    let out = run_simulation_traced(config, workload, &mut rec);
+    let trace = rec.into_trace();
+    assert_eq!(trace.dropped, 0, "capacity too small for a full trace");
+    (trace, out.metrics.average_wait())
+}
+
+forall! {
+    // Each case is two (sometimes three) full closed-loop runs; keep the
+    // count CI-sized (CROSSROADS_CHECK_CASES scales it up for soaks).
+    config = Config::default().with_cases(12);
+
+    /// Same (config, workload) ⇒ record-identical trace, with or without
+    /// the fault model, for every policy; and the traced outcome matches
+    /// the untraced one.
+    fn replayed_runs_record_identically(
+        policy_ix in 0usize..3,
+        scenario in 1u8..11,
+        seed in 0u64..1_000_000,
+        faulted in bools(),
+    ) {
+        let policy = PolicyKind::ALL[policy_ix];
+        let workload = scale_model_scenario(ScenarioId(scenario), seed);
+        let mut config = SimConfig::scale_model(policy).with_seed(seed);
+        if faulted {
+            config = config.with_faults(FaultConfig {
+                uplink: GilbertElliott::bursty(0.15),
+                downlink: GilbertElliott::bursty(0.15),
+                duplicate_probability: 0.02,
+                reorder_probability: 0.05,
+                extra_delay: Seconds::from_millis(220.0),
+                outage_start: Seconds::new(2.0),
+                outage_duration: Seconds::new(0.8),
+                outage_period: Seconds::new(8.0),
+            });
+        }
+        let (a, wait_a) = traced(&config, &workload);
+        let (b, wait_b) = traced(&config, &workload);
+        if let Some(d) = first_divergence(&a, &b) {
+            ck_assert!(
+                false,
+                "{policy} scenario {scenario} seed {seed} faulted {faulted}: \
+                 replay diverged at record #{}",
+                d.index,
+            );
+        }
+        ck_assert_eq!(encode(&a), encode(&b));
+        ck_assert!(!a.is_empty(), "a closed-loop run must record something");
+        // Pure-observer check: an untraced run of the same pair lands on
+        // the same aggregate outcome.
+        let untraced = run_simulation(&config, &workload);
+        ck_assert_eq!(wait_a, wait_b);
+        ck_assert_eq!(untraced.metrics.average_wait(), wait_a);
+    }
+}
+
+#[test]
+fn perturbed_seed_produces_a_nameable_divergence() {
+    // Same workload, different channel seeds: the first frame's latency
+    // draw already differs, and the diff names the exact record.
+    let workload = scale_model_scenario(ScenarioId(1), 0);
+    let (a, _) = traced(
+        &SimConfig::scale_model(PolicyKind::Crossroads).with_seed(1),
+        &workload,
+    );
+    let (b, _) = traced(
+        &SimConfig::scale_model(PolicyKind::Crossroads).with_seed(2),
+        &workload,
+    );
+    let div = first_divergence(&a, &b).expect("different seeds must diverge");
+    let report = divergence_report(&a, &b, 2).expect("report accompanies divergence");
+    assert!(
+        report.contains(&format!("#{}", div.index)),
+        "report must name the diverging record: {report}"
+    );
+}
+
+#[test]
+fn traced_run_captures_the_decision_pipeline() {
+    let workload = scale_model_scenario(ScenarioId(1), 0);
+    let config = SimConfig::scale_model(PolicyKind::Crossroads).with_seed(7);
+    let mut rec = Recorder::fixed(CAP);
+    let out = run_simulation_traced(&config, &workload, &mut rec);
+    assert!(out.all_completed());
+    let trace = rec.into_trace();
+
+    let has = |pred: &dyn Fn(&TraceEvent) -> bool| trace.records.iter().any(|r| pred(&r.event));
+    assert!(has(&|e| matches!(e, TraceEvent::UplinkSend { .. })));
+    assert!(has(&|e| matches!(e, TraceEvent::UplinkDeliver)));
+    assert!(has(&|e| matches!(e, TraceEvent::DecisionEnter)));
+    assert!(has(&|e| matches!(e, TraceEvent::DecisionExit { .. })));
+    assert!(has(&|e| matches!(e, TraceEvent::DownlinkSend { .. })));
+    assert!(has(&|e| matches!(e, TraceEvent::DownlinkDeliver)));
+    assert!(has(&|e| matches!(e, TraceEvent::Actuation { .. })));
+    assert!(has(&|e| matches!(
+        e,
+        TraceEvent::AuditSummary { violations: 0 }
+    )));
+
+    // Records are stamped in dispatch order (the audit tail shares the
+    // final dispatch index).
+    assert!(
+        trace
+            .records
+            .windows(2)
+            .all(|w| w[0].dispatch <= w[1].dispatch),
+        "dispatch stamps must be nondecreasing"
+    );
+
+    // One decision-latency sample per IM decision, and each DecisionExit
+    // carries a nonnegative service time.
+    assert_eq!(
+        out.metrics.decision_latencies().len() as u64,
+        out.metrics.counters().im_requests,
+    );
+    for r in &trace.records {
+        if let TraceEvent::DecisionExit { service, .. } = r.event {
+            assert!(service >= Seconds::ZERO);
+        }
+    }
+}

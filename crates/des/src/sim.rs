@@ -68,6 +68,11 @@ pub struct Simulation<E> {
     queue: EventQueue<E>,
     now: TimePoint,
     max_events: u64,
+    /// Cumulative events dispatched across every `step`/`run` call — the
+    /// stamp the flight-recorder trace uses to pin a record to an exact
+    /// event-loop iteration (unlike `RunOutcome::events_processed`, which
+    /// resets per run call).
+    dispatched: u64,
 }
 
 impl<E> Default for Simulation<E> {
@@ -88,6 +93,7 @@ impl<E> Simulation<E> {
             queue: EventQueue::new(),
             now: TimePoint::ZERO,
             max_events: Self::DEFAULT_MAX_EVENTS,
+            dispatched: 0,
         }
     }
 
@@ -141,6 +147,7 @@ impl<E> Simulation<E> {
         let (at, event) = self.queue.pop()?;
         debug_assert!(at >= self.now, "event queue violated time order");
         self.now = at;
+        self.dispatched += 1;
         Some((at, event))
     }
 
@@ -160,6 +167,13 @@ impl<E> Simulation<E> {
     #[must_use]
     pub fn scheduled_total(&self) -> u64 {
         self.queue.scheduled_total()
+    }
+
+    /// Cumulative events dispatched over the simulation's whole lifetime
+    /// (all `step` and `run` calls). Monotone; never resets.
+    #[must_use]
+    pub fn events_dispatched(&self) -> u64 {
+        self.dispatched
     }
 
     /// Runs until the queue drains or the handler returns `false`.
@@ -219,6 +233,7 @@ impl<E> Simulation<E> {
             };
             self.now = at;
             processed += 1;
+            self.dispatched += 1;
             if !handler(self, event) {
                 return RunOutcome {
                     reason: StopReason::HandlerStopped,
@@ -363,6 +378,21 @@ mod tests {
             true
         });
         assert_eq!(order, vec!["first", "second", "third"]);
+    }
+
+    #[test]
+    fn dispatch_counter_is_cumulative_across_runs_and_steps() {
+        let mut sim: Simulation<u32> = Simulation::new();
+        for i in 0..5 {
+            sim.schedule(TimePoint::new(f64::from(i)), i);
+        }
+        assert_eq!(sim.events_dispatched(), 0);
+        sim.step();
+        assert_eq!(sim.events_dispatched(), 1);
+        sim.run_until(TimePoint::new(2.5), |_, _| true);
+        assert_eq!(sim.events_dispatched(), 3);
+        sim.run(|_, _| true);
+        assert_eq!(sim.events_dispatched(), 5);
     }
 
     #[test]

@@ -168,9 +168,10 @@ impl ReservationTable {
             }));
         }
         out.sort_by(|a, b| {
-            (a.enter.value(), a.exit.value(), a.movement.index())
-                .partial_cmp(&(b.enter.value(), b.exit.value(), b.movement.index()))
-                .expect("windows are finite")
+            a.enter
+                .total_cmp(b.enter)
+                .then(a.exit.total_cmp(b.exit))
+                .then(a.movement.index().cmp(&b.movement.index()))
         });
         out
     }

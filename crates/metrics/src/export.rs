@@ -12,13 +12,17 @@ use crate::record::{Counters, RunMetrics, VehicleRecord};
 
 /// Formats an `f64` deterministically for both JSON and CSV.
 ///
-/// Uses the shortest representation that round-trips (`Display`), except
-/// that non-finite values — which JSON cannot represent as numbers — are
-/// emitted as quoted strings in JSON contexts, so callers must not feed
-/// them here. Debug-asserts finiteness.
+/// Uses the shortest representation that round-trips (`Display`). JSON
+/// has no literal for non-finite numbers, so NaN and ±inf are emitted as
+/// `null` — the output stays parseable whatever the value. (The old
+/// `debug_assert!` version wrote bare `NaN`/`inf` tokens in release
+/// builds, producing invalid JSON.) CSV cells get the same `null` token.
 fn fmt_f64(v: f64) -> String {
-    debug_assert!(v.is_finite(), "non-finite value {v} in metrics export");
-    format!("{v}")
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        String::from("null")
+    }
 }
 
 /// One CSV line per vehicle, with a fixed header.
@@ -91,21 +95,27 @@ pub fn counters_to_json(c: &Counters) -> String {
 /// compares byte-for-byte across same-seed runs.
 #[must_use]
 pub fn run_to_json(m: &RunMetrics) -> String {
-    // `throughput()` is +inf for free-flowing runs; JSON has no literal
-    // for it, so clamp to a sentinel the reader can recognise.
-    let throughput = m.throughput();
-    let throughput_str = if throughput.is_finite() {
-        fmt_f64(throughput)
-    } else {
-        String::from("null")
-    };
+    // `throughput()` is +inf for free-flowing runs; `fmt_f64` writes it
+    // (like every non-finite value) as `null`, which readers recognise.
+    let lat = m.decision_latency_summary();
+    let lat_p = m.decision_latency_percentiles();
     format!(
-        "{{\"completed\":{},\"average_wait\":{},\"throughput\":{},\"flow_rate\":{},\"total_requests\":{},\"counters\":{},\"records\":{}}}",
+        "{{\"completed\":{},\"average_wait\":{},\"throughput\":{},\"flow_rate\":{},\"total_requests\":{},\"decision_latency\":{{\"count\":{},\"mean\":{},\"min\":{},\"max\":{},\"p50\":{},\"p90\":{},\"p95\":{},\"p99\":{},\"hist\":{}}},\"wait_hist\":{},\"counters\":{},\"records\":{}}}",
         m.completed(),
         fmt_f64(m.average_wait().value()),
-        throughput_str,
+        fmt_f64(m.throughput()),
         fmt_f64(m.flow_rate()),
         m.total_requests(),
+        lat.count,
+        fmt_f64(lat.mean),
+        fmt_f64(lat.min),
+        fmt_f64(lat.max),
+        fmt_f64(lat_p.p50),
+        fmt_f64(lat_p.p90),
+        fmt_f64(lat_p.p95),
+        fmt_f64(lat_p.p99),
+        m.decision_latency_histogram().to_json(),
+        m.wait_histogram().to_json(),
         counters_to_json(m.counters()),
         records_to_json(m.records()),
     )
@@ -313,5 +323,67 @@ mod tests {
         m.push(rec(1, 0.0, 2.0, 2.0)); // zero wait -> infinite throughput
         let json = run_to_json(&m);
         assert!(json.contains("\"throughput\":null"), "{json}");
+    }
+
+    #[test]
+    fn non_finite_values_emit_null_not_bare_tokens() {
+        // Regression: the old fmt_f64 only debug_assert!ed finiteness, so
+        // release builds wrote bare `NaN`/`inf` tokens — invalid JSON.
+        // This test exercises the exact release-mode inputs.
+        let json = records_to_json(&[rec(1, f64::NAN, f64::INFINITY, 2.0)]);
+        assert!(!json.contains("NaN") && !json.contains("inf"), "{json}");
+        assert!(json.contains("\"line_at\":null"), "{json}");
+        assert!(json.contains("\"cleared_at\":null"), "{json}");
+        let csv = records_to_csv(&[rec(1, f64::NAN, 3.0, 2.0)]);
+        assert!(!csv.contains("NaN"), "{csv}");
+    }
+
+    #[test]
+    fn json_with_non_finite_values_parses_with_the_reader() {
+        let mut m = RunMetrics::new();
+        m.push(rec(1, f64::NAN, f64::INFINITY, 2.0));
+        m.push_decision_latency(Seconds::new(f64::NAN));
+        let json = run_to_json(&m);
+        let doc = crate::parse_json(&json).expect("export must stay valid JSON");
+        // The poisoned record's fields read back as null.
+        let first = doc
+            .get("records")
+            .and_then(|r| r.index(0))
+            .expect("one record");
+        assert!(first.get("line_at").expect("key").is_null());
+        let lat = doc.get("decision_latency").expect("latency block");
+        assert!(lat.get("mean").expect("key").is_null());
+        assert_eq!(
+            lat.get("count").and_then(crate::JsonValue::as_f64),
+            Some(1.0)
+        );
+    }
+
+    #[test]
+    fn run_json_reports_latency_and_wait_histograms() {
+        let mut m = RunMetrics::new();
+        m.push(rec(1, 0.0, 3.0, 2.0)); // wait 1 s
+        m.push_decision_latency(Seconds::from_millis(0.5));
+        m.push_decision_latency(Seconds::from_millis(1.0));
+        let json = run_to_json(&m);
+        let doc = crate::parse_json(&json).expect("valid");
+        let lat = doc.get("decision_latency").expect("latency block");
+        assert_eq!(
+            lat.get("count").and_then(crate::JsonValue::as_f64),
+            Some(2.0)
+        );
+        assert!(lat.get("hist").and_then(|h| h.get("buckets")).is_some());
+        let wait_hist = doc.get("wait_hist").expect("wait histogram");
+        assert_eq!(
+            wait_hist.get("count").and_then(crate::JsonValue::as_f64),
+            Some(1.0)
+        );
+        // wait = 1 s lands in bucket [2^0, 2^1).
+        assert!(
+            json.contains(
+                "\"wait_hist\":{\"count\":1,\"zero\":0,\"non_finite\":0,\"buckets\":[[0,1]]}"
+            ),
+            "{json}"
+        );
     }
 }

@@ -1,0 +1,216 @@
+//! Deterministic log2-bucketed histograms.
+//!
+//! Latency and wait distributions span several orders of magnitude
+//! (sub-millisecond AIM decisions to multi-second saturation waits), so
+//! buckets double in width: bucket `e` counts samples in `[2^e, 2^(e+1))`
+//! seconds. The bucket index is computed from the IEEE-754 exponent bits —
+//! no logarithm calls — so the same sample lands in the same bucket on
+//! every platform and the serialized histogram is byte-stable, which the
+//! determinism tests require.
+
+/// Lowest represented unbiased exponent: `2^-32` s ≈ 0.23 ns. Everything
+/// positive but smaller (including subnormals) clamps into this bucket.
+const MIN_EXP: i32 = -32;
+/// Number of power-of-two buckets: exponents `-32 ..= 31` (up to ~2^31 s).
+const BUCKETS: usize = 64;
+
+/// Fixed-size power-of-two histogram over nonnegative `f64` samples.
+///
+/// Samples that are zero or negative land in a dedicated underflow
+/// counter, and non-finite samples (NaN, ±inf) in their own counter, so
+/// recording never panics and nothing is silently discarded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: [u64; BUCKETS],
+    zero: u64,
+    non_finite: u64,
+    count: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        Histogram {
+            buckets: [0; BUCKETS],
+            zero: 0,
+            non_finite: 0,
+            count: 0,
+        }
+    }
+
+    /// Builds a histogram from an iterator of samples.
+    #[must_use]
+    pub fn of<I: IntoIterator<Item = f64>>(values: I) -> Self {
+        let mut h = Histogram::new();
+        for v in values {
+            h.record(v);
+        }
+        h
+    }
+
+    /// Records one sample. Never panics; zero/negative and non-finite
+    /// samples go to their dedicated counters.
+    pub fn record(&mut self, v: f64) {
+        self.count += 1;
+        if !v.is_finite() {
+            self.non_finite += 1;
+        } else if v <= 0.0 {
+            self.zero += 1;
+        } else {
+            self.buckets[Self::index_of(v)] += 1;
+        }
+    }
+
+    /// Bucket index of a finite positive sample, from the raw exponent
+    /// bits (biased exponent 0 = subnormal clamps to the lowest bucket).
+    #[allow(clippy::cast_possible_truncation, clippy::cast_possible_wrap)]
+    fn index_of(v: f64) -> usize {
+        let biased = ((v.to_bits() >> 52) & 0x7ff) as i32;
+        let exp = biased - 1023; // subnormals: -1023, clamped below
+        (exp - MIN_EXP).clamp(0, BUCKETS as i32 - 1) as usize
+    }
+
+    /// Total samples recorded (including zero/negative and non-finite).
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Samples that were zero or negative.
+    #[must_use]
+    pub fn zero(&self) -> u64 {
+        self.zero
+    }
+
+    /// Samples that were NaN or infinite.
+    #[must_use]
+    pub fn non_finite(&self) -> u64 {
+        self.non_finite
+    }
+
+    /// Count in the bucket covering `[2^exp, 2^(exp+1))`, zero when `exp`
+    /// is outside the represented range.
+    #[must_use]
+    pub fn bucket(&self, exp: i32) -> u64 {
+        let idx = exp - MIN_EXP;
+        if (0..BUCKETS as i32).contains(&idx) {
+            #[allow(clippy::cast_sign_loss)]
+            {
+                self.buckets[idx as usize]
+            }
+        } else {
+            0
+        }
+    }
+
+    /// Non-empty buckets as `(unbiased exponent, count)`, ascending.
+    #[must_use]
+    pub fn nonzero_buckets(&self) -> Vec<(i32, u64)> {
+        #[allow(clippy::cast_possible_truncation, clippy::cast_possible_wrap)]
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|&(_, &n)| n > 0)
+            .map(|(i, &n)| (i as i32 + MIN_EXP, n))
+            .collect()
+    }
+
+    /// Merges another histogram into this one.
+    pub fn absorb(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.zero += other.zero;
+        self.non_finite += other.non_finite;
+        self.count += other.count;
+    }
+
+    /// Compact deterministic JSON: the sparse bucket list plus the
+    /// overflow counters. Example:
+    /// `{"count":5,"zero":1,"non_finite":0,"buckets":[[-11,3],[2,1]]}`.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = format!(
+            "{{\"count\":{},\"zero\":{},\"non_finite\":{},\"buckets\":[",
+            self.count, self.zero, self.non_finite
+        );
+        for (i, (exp, n)) in self.nonzero_buckets().into_iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("[{exp},{n}]"));
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_double_in_width() {
+        let h = Histogram::of([0.001, 0.0015, 0.004, 1.0, 1.9]);
+        // 0.001 and 0.0015 share [2^-10, 2^-9) = [0.000977, 0.00195).
+        assert_eq!(h.bucket(-10), 2);
+        assert_eq!(h.bucket(-8), 1); // 0.004 in [0.0039, 0.0078)
+        assert_eq!(h.bucket(0), 2); // 1.0 and 1.9 in [1, 2)
+        assert_eq!(h.count(), 5);
+    }
+
+    #[test]
+    fn zero_negative_and_non_finite_never_panic() {
+        let h = Histogram::of([0.0, -3.0, f64::NAN, f64::INFINITY, f64::NEG_INFINITY, 2.0]);
+        assert_eq!(h.zero(), 2);
+        assert_eq!(h.non_finite(), 3);
+        assert_eq!(h.bucket(1), 1);
+        assert_eq!(h.count(), 6);
+    }
+
+    #[test]
+    fn extreme_exponents_clamp_into_edge_buckets() {
+        let h = Histogram::of([f64::MIN_POSITIVE / 2.0, 1e-300, 1e300]);
+        assert_eq!(h.bucket(MIN_EXP), 2); // subnormal + tiny both clamp down
+        assert_eq!(h.bucket(MIN_EXP + BUCKETS as i32 - 1), 1); // huge clamps up
+    }
+
+    #[test]
+    fn json_is_sparse_and_deterministic() {
+        let h = Histogram::of([0.5, 0.5, 0.0]);
+        assert_eq!(
+            h.to_json(),
+            "{\"count\":3,\"zero\":1,\"non_finite\":0,\"buckets\":[[-1,2]]}"
+        );
+        assert_eq!(h.to_json(), h.clone().to_json());
+        assert_eq!(
+            Histogram::new().to_json(),
+            "{\"count\":0,\"zero\":0,\"non_finite\":0,\"buckets\":[]}"
+        );
+    }
+
+    #[test]
+    fn absorb_adds_counts() {
+        let mut a = Histogram::of([1.0]);
+        let b = Histogram::of([1.5, f64::NAN, 0.0]);
+        a.absorb(&b);
+        assert_eq!(a.bucket(0), 2);
+        assert_eq!(a.zero(), 1);
+        assert_eq!(a.non_finite(), 1);
+        assert_eq!(a.count(), 4);
+    }
+
+    #[test]
+    fn bucket_outside_range_is_zero() {
+        let h = Histogram::of([1.0]);
+        assert_eq!(h.bucket(1000), 0);
+        assert_eq!(h.bucket(-1000), 0);
+    }
+}

@@ -17,11 +17,15 @@
 #![warn(missing_docs)]
 
 mod export;
+mod hist;
+mod json;
 mod record;
 mod stats;
 
 pub use export::{
     bench_sweep_to_json, counters_to_json, records_to_csv, records_to_json, run_to_json, BenchPoint,
 };
+pub use hist::Histogram;
+pub use json::{parse_json, JsonError, JsonValue};
 pub use record::{Counters, RunMetrics, VehicleRecord};
 pub use stats::{Percentiles, Summary};

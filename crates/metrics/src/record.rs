@@ -115,6 +115,11 @@ impl Counters {
 pub struct RunMetrics {
     records: Vec<VehicleRecord>,
     counters: Counters,
+    /// Per-decision IM service latencies, in arrival order. The per-policy
+    /// computation cost of each decision (the same quantity `im_busy`
+    /// integrates) — kept individually so the export can report a
+    /// distribution, not just the sum.
+    decision_latencies: Vec<Seconds>,
 }
 
 impl RunMetrics {
@@ -132,6 +137,41 @@ impl RunMetrics {
     /// Accumulates load counters.
     pub fn add_counters(&mut self, c: &Counters) {
         self.counters.absorb(c);
+    }
+
+    /// Records one IM decision's service latency.
+    pub fn push_decision_latency(&mut self, latency: Seconds) {
+        self.decision_latencies.push(latency);
+    }
+
+    /// Per-decision IM service latencies, in decision order.
+    #[must_use]
+    pub fn decision_latencies(&self) -> &[Seconds] {
+        &self.decision_latencies
+    }
+
+    /// Distribution of the per-decision IM service latency.
+    #[must_use]
+    pub fn decision_latency_summary(&self) -> Summary {
+        Summary::of(self.decision_latencies.iter().map(|s| s.value()))
+    }
+
+    /// Tail behaviour of the per-decision IM service latency.
+    #[must_use]
+    pub fn decision_latency_percentiles(&self) -> crate::stats::Percentiles {
+        crate::stats::Percentiles::of(self.decision_latencies.iter().map(|s| s.value()))
+    }
+
+    /// Log2-bucketed histogram of the per-decision IM service latency.
+    #[must_use]
+    pub fn decision_latency_histogram(&self) -> crate::Histogram {
+        crate::Histogram::of(self.decision_latencies.iter().map(|s| s.value()))
+    }
+
+    /// Log2-bucketed histogram of per-vehicle waits.
+    #[must_use]
+    pub fn wait_histogram(&self) -> crate::Histogram {
+        crate::Histogram::of(self.records.iter().map(|r| r.wait().value()))
     }
 
     /// All per-vehicle records.
@@ -331,6 +371,32 @@ mod tests {
         m.push(r);
         m.push(rec(2, 0.0, 3.0, 2.0));
         assert_eq!(m.total_requests(), 6);
+    }
+
+    #[test]
+    fn decision_latencies_feed_summary_and_histogram() {
+        let mut m = RunMetrics::new();
+        for ms in [0.4, 0.8, 1.6] {
+            m.push_decision_latency(Seconds::from_millis(ms));
+        }
+        assert_eq!(m.decision_latencies().len(), 3);
+        let s = m.decision_latency_summary();
+        assert_eq!(s.count, 3);
+        assert!((s.min - 0.0004).abs() < 1e-12);
+        let p = m.decision_latency_percentiles();
+        assert!((p.p50 - 0.0008).abs() < 1e-12);
+        assert_eq!(m.decision_latency_histogram().count(), 3);
+    }
+
+    #[test]
+    fn wait_histogram_counts_completed_vehicles() {
+        let mut m = RunMetrics::new();
+        m.push(rec(1, 0.0, 3.0, 2.0)); // wait 1
+        m.push(rec(2, 0.0, 2.0, 2.0)); // wait 0
+        let h = m.wait_histogram();
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.zero(), 1);
+        assert_eq!(h.bucket(0), 1);
     }
 
     #[test]

@@ -18,6 +18,11 @@ pub struct Summary {
 impl Summary {
     /// Summarizes an iterator of observations.
     ///
+    /// Never panics, whatever the input: `min`/`max` ignore NaN samples
+    /// (they are NaN only if *every* sample is NaN), while `mean` and
+    /// `std_dev` propagate NaN/±inf arithmetically, so a poisoned sample
+    /// is visible in the aggregate rather than crashing the export path.
+    ///
     /// # Examples
     ///
     /// ```
@@ -42,8 +47,19 @@ impl Summary {
         #[allow(clippy::cast_precision_loss)]
         let n = v.len() as f64;
         let mean = v.iter().sum::<f64>() / n;
-        let min = v.iter().copied().fold(f64::INFINITY, f64::min);
-        let max = v.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let mut min = f64::NAN;
+        let mut max = f64::NAN;
+        for &x in &v {
+            if x.is_nan() {
+                continue;
+            }
+            if min.is_nan() || x < min {
+                min = x;
+            }
+            if max.is_nan() || x > max {
+                max = x;
+            }
+        }
         let var = v.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
         Summary {
             count: v.len(),
@@ -71,6 +87,11 @@ pub struct Percentiles {
 impl Percentiles {
     /// Computes percentiles by nearest-rank over the sample (0 for an
     /// empty sample).
+    ///
+    /// The sample is ranked with [`f64::total_cmp`], so non-finite
+    /// observations never panic the sort: `-NaN` and `-inf` rank first,
+    /// `+inf` and `+NaN` last. A NaN-poisoned sample therefore surfaces
+    /// in the top percentiles instead of crashing the report.
     #[must_use]
     pub fn of<I: IntoIterator<Item = f64>>(values: I) -> Self {
         let mut v: Vec<f64> = values.into_iter().collect();
@@ -82,7 +103,7 @@ impl Percentiles {
                 p99: 0.0,
             };
         }
-        v.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+        v.sort_by(f64::total_cmp);
         let pick = |q: f64| {
             #[allow(
                 clippy::cast_possible_truncation,
@@ -180,5 +201,55 @@ mod tests {
         let txt = s.to_string();
         assert!(txt.contains("n=2"));
         assert!(txt.contains("mean=1.5"));
+    }
+
+    #[test]
+    fn percentiles_tolerate_nan_and_infinities() {
+        // Regression: the old partial_cmp sort panicked on the first NaN.
+        let mut sample: Vec<f64> = (1..=8).map(f64::from).collect();
+        sample.push(f64::INFINITY);
+        sample.push(f64::NAN);
+        let p = Percentiles::of(sample);
+        assert_eq!(p.p50, 5.0);
+        // total_cmp ranks +inf then +NaN last, so the tail percentiles
+        // surface the poisoned observations.
+        assert_eq!(p.p90, f64::INFINITY);
+        assert!(p.p99.is_nan());
+        // -inf sorts first, so it is the lower of two samples.
+        let neg = Percentiles::of([3.0, f64::NEG_INFINITY]);
+        assert!(neg.p50.is_infinite() && neg.p50 < 0.0);
+    }
+
+    #[test]
+    fn percentiles_all_nan_does_not_panic() {
+        let p = Percentiles::of([f64::NAN, f64::NAN]);
+        assert!(p.p50.is_nan());
+        assert!(p.p99.is_nan());
+    }
+
+    #[test]
+    fn summary_min_max_skip_nan() {
+        let s = Summary::of([f64::NAN, 2.0, -1.0, f64::NAN]);
+        assert_eq!(s.min, -1.0);
+        assert_eq!(s.max, 2.0);
+        // Mean/std propagate the poison by design.
+        assert!(s.mean.is_nan());
+        assert!(s.std_dev.is_nan());
+        assert_eq!(s.count, 4);
+    }
+
+    #[test]
+    fn summary_all_nan_reports_nan_extremes() {
+        let s = Summary::of([f64::NAN]);
+        assert!(s.min.is_nan());
+        assert!(s.max.is_nan());
+    }
+
+    #[test]
+    fn summary_handles_infinities() {
+        let s = Summary::of([f64::NEG_INFINITY, 0.0, f64::INFINITY]);
+        assert_eq!(s.min, f64::NEG_INFINITY);
+        assert_eq!(s.max, f64::INFINITY);
+        assert!(s.mean.is_nan()); // -inf + inf
     }
 }

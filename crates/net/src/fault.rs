@@ -312,6 +312,15 @@ impl Deliveries {
     pub fn count(&self) -> usize {
         self.slots.iter().flatten().count()
     }
+
+    /// Latency of the first copy in injection order, `None` when the
+    /// frame was lost. This is the value the flight-recorder trace stamps
+    /// on send records, so a diverging delay draw is visible at the send,
+    /// not first at the (reordered) arrival.
+    #[must_use]
+    pub fn first_latency(&self) -> Option<Seconds> {
+        self.slots.iter().flatten().next().copied()
+    }
 }
 
 impl From<SendOutcome> for Deliveries {
@@ -422,6 +431,19 @@ mod tests {
 
     fn root(seed: u64) -> StdRng {
         StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn first_latency_follows_injection_order() {
+        assert_eq!(Deliveries::none().first_latency(), None);
+        assert_eq!(
+            Deliveries::one(Seconds::new(0.02)).first_latency(),
+            Some(Seconds::new(0.02))
+        );
+        assert_eq!(
+            Deliveries::two(Seconds::new(0.25), Seconds::new(0.02)).first_latency(),
+            Some(Seconds::new(0.25))
+        );
     }
 
     #[test]

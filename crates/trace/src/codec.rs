@@ -1,0 +1,457 @@
+//! Compact binary on-disk format for traces, with a hand-rolled reader.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! magic   b"XRTR"            4 bytes
+//! version u8 = 1             1 byte
+//! dropped u64                8 bytes
+//! count   u64                8 bytes
+//! count * record:
+//!   len   u8                 payload bytes that follow
+//!   payload:
+//!     dispatch u64, at f64-bits u64, vehicle u32, attempt u32,
+//!     epoch u32, tag u8, per-variant fields (0..=9 bytes)
+//! ```
+//!
+//! Every record is length-prefixed so a reader that does not know a tag
+//! can still skip the record, and truncation is always detected. Floats
+//! travel as raw IEEE-754 bits, so encode → decode is bit-exact and two
+//! traces are equal iff their encodings are byte-identical.
+
+use crate::{Trace, TraceEvent, TraceRecord, Verdict};
+use crossroads_units::{Seconds, TimePoint};
+
+/// File magic: "XRTR" = Crossroads trace.
+pub const MAGIC: [u8; 4] = *b"XRTR";
+/// Current format version.
+pub const VERSION: u8 = 1;
+
+const TAG_UPLINK_SEND: u8 = 0;
+const TAG_UPLINK_DELIVER: u8 = 1;
+const TAG_DECISION_ENTER: u8 = 2;
+const TAG_DECISION_EXIT: u8 = 3;
+const TAG_DOWNLINK_SEND: u8 = 4;
+const TAG_DOWNLINK_DELIVER: u8 = 5;
+const TAG_ACTUATION: u8 = 6;
+const TAG_FALLBACK_STOP: u8 = 7;
+const TAG_DEADLINE_MISS: u8 = 8;
+const TAG_IM_CRASH: u8 = 9;
+const TAG_IM_RESTART: u8 = 10;
+const TAG_AUDIT_VIOLATION: u8 = 11;
+const TAG_AUDIT_SUMMARY: u8 = 12;
+
+/// Why a byte stream failed to decode as a trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The stream does not start with [`MAGIC`].
+    BadMagic,
+    /// The version byte is newer than this reader understands.
+    UnsupportedVersion(u8),
+    /// The stream ended mid-field.
+    Truncated,
+    /// A record's length prefix disagrees with its tag's payload size.
+    LengthMismatch {
+        /// The record's tag byte.
+        tag: u8,
+        /// Payload length the prefix declared.
+        declared: u8,
+        /// Payload length the tag requires.
+        expected: u8,
+    },
+    /// An unknown event tag.
+    UnknownTag(u8),
+    /// An unknown verdict code inside a decision/actuation record.
+    UnknownVerdict(u8),
+    /// Bytes remained after the declared record count.
+    TrailingBytes,
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            DecodeError::BadMagic => write!(f, "not a crossroads trace (bad magic)"),
+            DecodeError::UnsupportedVersion(v) => write!(f, "unsupported trace version {v}"),
+            DecodeError::Truncated => write!(f, "trace truncated mid-record"),
+            DecodeError::LengthMismatch {
+                tag,
+                declared,
+                expected,
+            } => write!(
+                f,
+                "record tag {tag}: declared payload {declared} bytes, expected {expected}"
+            ),
+            DecodeError::UnknownTag(t) => write!(f, "unknown record tag {t}"),
+            DecodeError::UnknownVerdict(v) => write!(f, "unknown verdict code {v}"),
+            DecodeError::TrailingBytes => write!(f, "trailing bytes after final record"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Fixed part of every record payload: dispatch + at + vehicle + attempt +
+/// epoch + tag.
+const BASE_LEN: u8 = 8 + 8 + 4 + 4 + 4 + 1;
+
+fn extra_len(tag: u8) -> Option<u8> {
+    Some(match tag {
+        TAG_UPLINK_SEND | TAG_DOWNLINK_SEND => 1 + 8,
+        TAG_DECISION_EXIT => 1 + 8,
+        TAG_ACTUATION => 1,
+        TAG_AUDIT_VIOLATION | TAG_AUDIT_SUMMARY => 4,
+        TAG_UPLINK_DELIVER | TAG_DECISION_ENTER | TAG_DOWNLINK_DELIVER | TAG_FALLBACK_STOP
+        | TAG_DEADLINE_MISS | TAG_IM_CRASH | TAG_IM_RESTART => 0,
+        _ => return None,
+    })
+}
+
+fn push_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn push_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn push_f64(out: &mut Vec<u8>, v: f64) {
+    out.extend_from_slice(&v.to_bits().to_le_bytes());
+}
+
+/// Serializes a trace to the on-disk byte format.
+#[must_use]
+pub fn encode(trace: &Trace) -> Vec<u8> {
+    // Worst-case record: len byte + base + 9 extra bytes.
+    let mut out =
+        Vec::with_capacity(4 + 1 + 8 + 8 + trace.records.len() * (1 + BASE_LEN as usize + 9));
+    out.extend_from_slice(&MAGIC);
+    out.push(VERSION);
+    push_u64(&mut out, trace.dropped);
+    push_u64(&mut out, trace.records.len() as u64);
+    for r in &trace.records {
+        let (tag, extra) = tag_of(r.event);
+        out.push(BASE_LEN + extra);
+        push_u64(&mut out, r.dispatch);
+        push_f64(&mut out, r.at.value());
+        push_u32(&mut out, r.vehicle);
+        push_u32(&mut out, r.attempt);
+        push_u32(&mut out, r.epoch);
+        out.push(tag);
+        match r.event {
+            TraceEvent::UplinkSend { copies, latency }
+            | TraceEvent::DownlinkSend { copies, latency } => {
+                out.push(copies);
+                push_f64(&mut out, latency.value());
+            }
+            TraceEvent::DecisionExit { verdict, service } => {
+                out.push(verdict as u8);
+                push_f64(&mut out, service.value());
+            }
+            TraceEvent::Actuation { verdict } => out.push(verdict as u8),
+            TraceEvent::AuditViolation { other } => push_u32(&mut out, other),
+            TraceEvent::AuditSummary { violations } => push_u32(&mut out, violations),
+            TraceEvent::UplinkDeliver
+            | TraceEvent::DecisionEnter
+            | TraceEvent::DownlinkDeliver
+            | TraceEvent::FallbackStop
+            | TraceEvent::DeadlineMiss
+            | TraceEvent::ImCrash
+            | TraceEvent::ImRestart => {}
+        }
+    }
+    out
+}
+
+fn tag_of(event: TraceEvent) -> (u8, u8) {
+    let tag = match event {
+        TraceEvent::UplinkSend { .. } => TAG_UPLINK_SEND,
+        TraceEvent::UplinkDeliver => TAG_UPLINK_DELIVER,
+        TraceEvent::DecisionEnter => TAG_DECISION_ENTER,
+        TraceEvent::DecisionExit { .. } => TAG_DECISION_EXIT,
+        TraceEvent::DownlinkSend { .. } => TAG_DOWNLINK_SEND,
+        TraceEvent::DownlinkDeliver => TAG_DOWNLINK_DELIVER,
+        TraceEvent::Actuation { .. } => TAG_ACTUATION,
+        TraceEvent::FallbackStop => TAG_FALLBACK_STOP,
+        TraceEvent::DeadlineMiss => TAG_DEADLINE_MISS,
+        TraceEvent::ImCrash => TAG_IM_CRASH,
+        TraceEvent::ImRestart => TAG_IM_RESTART,
+        TraceEvent::AuditViolation { .. } => TAG_AUDIT_VIOLATION,
+        TraceEvent::AuditSummary { .. } => TAG_AUDIT_SUMMARY,
+    };
+    (tag, extra_len(tag).expect("every variant has a size"))
+}
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        let end = self.pos.checked_add(n).ok_or(DecodeError::Truncated)?;
+        if end > self.bytes.len() {
+            return Err(DecodeError::Truncated);
+        }
+        let s = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, DecodeError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, DecodeError> {
+        let s = self.take(4)?;
+        Ok(u32::from_le_bytes(s.try_into().expect("4 bytes")))
+    }
+
+    fn u64(&mut self) -> Result<u64, DecodeError> {
+        let s = self.take(8)?;
+        Ok(u64::from_le_bytes(s.try_into().expect("8 bytes")))
+    }
+
+    fn f64(&mut self) -> Result<f64, DecodeError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+}
+
+/// Parses a byte stream produced by [`encode`].
+///
+/// # Errors
+///
+/// Returns a [`DecodeError`] naming the first structural problem: wrong
+/// magic, unsupported version, truncation, length/tag disagreement,
+/// unknown tag or verdict, or trailing bytes.
+pub fn decode(bytes: &[u8]) -> Result<Trace, DecodeError> {
+    let mut r = Reader { bytes, pos: 0 };
+    if r.take(4)? != MAGIC {
+        return Err(DecodeError::BadMagic);
+    }
+    let version = r.u8()?;
+    if version != VERSION {
+        return Err(DecodeError::UnsupportedVersion(version));
+    }
+    let dropped = r.u64()?;
+    let count = r.u64()?;
+    // Guard the pre-allocation against a hostile count: never reserve more
+    // than the stream could actually hold.
+    let max_possible = bytes.len().saturating_sub(r.pos) / (1 + BASE_LEN as usize);
+    let mut records = Vec::with_capacity((count as usize).min(max_possible));
+    for _ in 0..count {
+        let len = r.u8()?;
+        let payload = Reader {
+            bytes: r.take(len as usize)?,
+            pos: 0,
+        };
+        records.push(decode_record(payload, len)?);
+    }
+    if r.pos != bytes.len() {
+        return Err(DecodeError::TrailingBytes);
+    }
+    Ok(Trace { records, dropped })
+}
+
+fn decode_record(mut p: Reader<'_>, len: u8) -> Result<TraceRecord, DecodeError> {
+    if len < BASE_LEN {
+        return Err(DecodeError::Truncated);
+    }
+    let dispatch = p.u64()?;
+    let at = TimePoint::new(p.f64()?);
+    let vehicle = p.u32()?;
+    let attempt = p.u32()?;
+    let epoch = p.u32()?;
+    let tag = p.u8()?;
+    let expected = extra_len(tag).ok_or(DecodeError::UnknownTag(tag))?;
+    if len != BASE_LEN + expected {
+        return Err(DecodeError::LengthMismatch {
+            tag,
+            declared: len,
+            expected: BASE_LEN + expected,
+        });
+    }
+    let verdict = |code: u8| Verdict::from_u8(code).ok_or(DecodeError::UnknownVerdict(code));
+    let event = match tag {
+        TAG_UPLINK_SEND => TraceEvent::UplinkSend {
+            copies: p.u8()?,
+            latency: Seconds::new(p.f64()?),
+        },
+        TAG_UPLINK_DELIVER => TraceEvent::UplinkDeliver,
+        TAG_DECISION_ENTER => TraceEvent::DecisionEnter,
+        TAG_DECISION_EXIT => {
+            let v = verdict(p.u8()?)?;
+            TraceEvent::DecisionExit {
+                verdict: v,
+                service: Seconds::new(p.f64()?),
+            }
+        }
+        TAG_DOWNLINK_SEND => TraceEvent::DownlinkSend {
+            copies: p.u8()?,
+            latency: Seconds::new(p.f64()?),
+        },
+        TAG_DOWNLINK_DELIVER => TraceEvent::DownlinkDeliver,
+        TAG_ACTUATION => TraceEvent::Actuation {
+            verdict: verdict(p.u8()?)?,
+        },
+        TAG_FALLBACK_STOP => TraceEvent::FallbackStop,
+        TAG_DEADLINE_MISS => TraceEvent::DeadlineMiss,
+        TAG_IM_CRASH => TraceEvent::ImCrash,
+        TAG_IM_RESTART => TraceEvent::ImRestart,
+        TAG_AUDIT_VIOLATION => TraceEvent::AuditViolation { other: p.u32()? },
+        TAG_AUDIT_SUMMARY => TraceEvent::AuditSummary {
+            violations: p.u32()?,
+        },
+        _ => unreachable!("extra_len already rejected unknown tags"),
+    };
+    Ok(TraceRecord {
+        dispatch,
+        at,
+        vehicle,
+        attempt,
+        epoch,
+        event,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NO_VEHICLE;
+
+    fn sample_trace() -> Trace {
+        let records = vec![
+            TraceRecord {
+                dispatch: 1,
+                at: TimePoint::new(0.25),
+                vehicle: 0,
+                attempt: 1,
+                epoch: 0,
+                event: TraceEvent::UplinkSend {
+                    copies: 2,
+                    latency: Seconds::new(0.018),
+                },
+            },
+            TraceRecord {
+                dispatch: 2,
+                at: TimePoint::new(0.268),
+                vehicle: 0,
+                attempt: 1,
+                epoch: 0,
+                event: TraceEvent::DecisionExit {
+                    verdict: Verdict::Crossroads,
+                    service: Seconds::new(0.0004),
+                },
+            },
+            TraceRecord {
+                dispatch: 3,
+                at: TimePoint::new(1.0),
+                vehicle: NO_VEHICLE,
+                attempt: 0,
+                epoch: 1,
+                event: TraceEvent::ImCrash,
+            },
+            TraceRecord {
+                dispatch: 4,
+                at: TimePoint::new(9.0),
+                vehicle: NO_VEHICLE,
+                attempt: 0,
+                epoch: 1,
+                event: TraceEvent::AuditSummary { violations: 0 },
+            },
+        ];
+        Trace {
+            records,
+            dropped: 17,
+        }
+    }
+
+    #[test]
+    fn round_trip_is_exact() {
+        let t = sample_trace();
+        let bytes = encode(&t);
+        let back = decode(&bytes).expect("well-formed");
+        assert_eq!(back, t);
+        // Equality of traces == equality of encodings.
+        assert_eq!(encode(&back), bytes);
+    }
+
+    #[test]
+    fn round_trip_preserves_non_finite_latency_bits() {
+        let mut t = sample_trace();
+        t.records[0].event = TraceEvent::UplinkSend {
+            copies: 0,
+            latency: crate::LOST_LATENCY,
+        };
+        t.records[1].at = TimePoint::new(f64::NAN);
+        let back = decode(&encode(&t)).expect("well-formed");
+        assert_eq!(encode(&back), encode(&t));
+        assert!(back.records[1].at.value().is_nan());
+    }
+
+    #[test]
+    fn rejects_bad_magic_and_version() {
+        let mut bytes = encode(&sample_trace());
+        let mut wrong = bytes.clone();
+        wrong[0] = b'Y';
+        assert_eq!(decode(&wrong), Err(DecodeError::BadMagic));
+        bytes[4] = 99;
+        assert_eq!(decode(&bytes), Err(DecodeError::UnsupportedVersion(99)));
+    }
+
+    #[test]
+    fn rejects_truncation_anywhere() {
+        let bytes = encode(&sample_trace());
+        for cut in 0..bytes.len() {
+            let err = decode(&bytes[..cut]).expect_err("truncated stream must fail");
+            assert!(
+                matches!(err, DecodeError::Truncated | DecodeError::BadMagic),
+                "cut at {cut}: unexpected {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_unknown_tag_and_trailing_bytes() {
+        let t = Trace {
+            records: vec![sample_trace().records[2]],
+            dropped: 0,
+        };
+        let mut bytes = encode(&t);
+        let tag_at = bytes.len() - 1;
+        bytes[tag_at] = 200;
+        assert!(matches!(
+            decode(&bytes),
+            Err(DecodeError::UnknownTag(200) | DecodeError::LengthMismatch { .. })
+        ));
+        let mut ok = encode(&t);
+        ok.push(0);
+        assert_eq!(decode(&ok), Err(DecodeError::TrailingBytes));
+    }
+
+    #[test]
+    fn rejects_unknown_verdict() {
+        let t = Trace {
+            records: vec![TraceRecord {
+                dispatch: 0,
+                at: TimePoint::ZERO,
+                vehicle: 1,
+                attempt: 1,
+                epoch: 0,
+                event: TraceEvent::Actuation {
+                    verdict: Verdict::VtGo,
+                },
+            }],
+            dropped: 0,
+        };
+        let mut bytes = encode(&t);
+        let verdict_at = bytes.len() - 1;
+        bytes[verdict_at] = 42;
+        assert_eq!(decode(&bytes), Err(DecodeError::UnknownVerdict(42)));
+    }
+
+    #[test]
+    fn empty_trace_round_trips() {
+        let t = Trace::default();
+        assert_eq!(decode(&encode(&t)).expect("well-formed"), t);
+    }
+}

@@ -1,0 +1,168 @@
+//! Record-level divergence diff between two traces of "the same" run.
+//!
+//! Two runs of the same (config, workload) pair must produce identical
+//! traces; when they do not, the interesting datum is the *first* record
+//! where they disagree — everything after it is downstream noise. The
+//! report renders that record from both sides plus a window of agreeing
+//! context records, which localizes "stdout differs" to one event-loop
+//! iteration.
+
+use crate::{Trace, TraceRecord};
+use std::fmt::Write as _;
+
+/// The first point where two traces disagree.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Divergence {
+    /// Record index (into both traces) of the first disagreement.
+    pub index: usize,
+    /// The left trace's record there, `None` if it ended first.
+    pub left: Option<TraceRecord>,
+    /// The right trace's record there, `None` if it ended first.
+    pub right: Option<TraceRecord>,
+}
+
+/// Finds the first index where the traces disagree, including one trace
+/// ending before the other. Identical traces return `None`.
+///
+/// The drop counters are compared only when all retained records agree:
+/// a recorder that dropped a different number of overflow records saw a
+/// different event stream, and that is reported at the index where the
+/// shared records end.
+#[must_use]
+pub fn first_divergence(left: &Trace, right: &Trace) -> Option<Divergence> {
+    let n = left.records.len().min(right.records.len());
+    for i in 0..n {
+        if left.records[i] != right.records[i] {
+            return Some(Divergence {
+                index: i,
+                left: Some(left.records[i]),
+                right: Some(right.records[i]),
+            });
+        }
+    }
+    if left.records.len() != right.records.len() || left.dropped != right.dropped {
+        return Some(Divergence {
+            index: n,
+            left: left.records.get(n).copied(),
+            right: right.records.get(n).copied(),
+        });
+    }
+    None
+}
+
+/// Human-readable report of the first divergence, with up to `context`
+/// preceding (agreeing) records for orientation. `None` means the traces
+/// are record-identical.
+#[must_use]
+pub fn divergence_report(left: &Trace, right: &Trace, context: usize) -> Option<String> {
+    let d = first_divergence(left, right)?;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "first divergence at record #{} (left: {} records, {} dropped; right: {} records, {} dropped)",
+        d.index,
+        left.records.len(),
+        left.dropped,
+        right.records.len(),
+        right.dropped,
+    );
+    let start = d.index.saturating_sub(context);
+    for (i, r) in left.records[start..d.index].iter().enumerate() {
+        let _ = writeln!(out, "      #{:<6} {}", start + i, r);
+    }
+    match d.left {
+        Some(r) => {
+            let _ = writeln!(out, "  left  {r}");
+        }
+        None => {
+            let _ = writeln!(out, "  left  <trace ends>");
+        }
+    }
+    match d.right {
+        Some(r) => {
+            let _ = writeln!(out, "  right {r}");
+        }
+        None => {
+            let _ = writeln!(out, "  right <trace ends>");
+        }
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{TraceEvent, Verdict};
+    use crossroads_units::{Seconds, TimePoint};
+
+    fn rec(dispatch: u64, vehicle: u32) -> TraceRecord {
+        TraceRecord {
+            dispatch,
+            at: TimePoint::new(dispatch as f64),
+            vehicle,
+            attempt: 1,
+            epoch: 0,
+            event: TraceEvent::DecisionExit {
+                verdict: Verdict::Crossroads,
+                service: Seconds::new(0.001),
+            },
+        }
+    }
+
+    fn trace(records: Vec<TraceRecord>) -> Trace {
+        Trace {
+            records,
+            dropped: 0,
+        }
+    }
+
+    #[test]
+    fn identical_traces_have_no_divergence() {
+        let t = trace(vec![rec(1, 0), rec(2, 1)]);
+        assert_eq!(first_divergence(&t, &t.clone()), None);
+        assert_eq!(divergence_report(&t, &t.clone(), 3), None);
+    }
+
+    #[test]
+    fn first_differing_record_is_named() {
+        let a = trace(vec![rec(1, 0), rec(2, 1), rec(3, 2)]);
+        let b = trace(vec![rec(1, 0), rec(2, 7), rec(3, 2)]);
+        let d = first_divergence(&a, &b).expect("must diverge");
+        assert_eq!(d.index, 1);
+        assert_eq!(d.left.expect("present").vehicle, 1);
+        assert_eq!(d.right.expect("present").vehicle, 7);
+    }
+
+    #[test]
+    fn length_mismatch_diverges_at_the_shorter_end() {
+        let a = trace(vec![rec(1, 0)]);
+        let b = trace(vec![rec(1, 0), rec(2, 1)]);
+        let d = first_divergence(&a, &b).expect("must diverge");
+        assert_eq!(d.index, 1);
+        assert!(d.left.is_none());
+        assert_eq!(d.right.expect("present").dispatch, 2);
+    }
+
+    #[test]
+    fn dropped_count_mismatch_diverges() {
+        let a = trace(vec![rec(1, 0)]);
+        let mut b = a.clone();
+        b.dropped = 5;
+        let d = first_divergence(&a, &b).expect("must diverge");
+        assert_eq!(d.index, 1);
+        assert!(d.left.is_none() && d.right.is_none());
+    }
+
+    #[test]
+    fn report_contains_context_and_both_sides() {
+        let a = trace(vec![rec(1, 0), rec(2, 1), rec(3, 2)]);
+        let b = trace(vec![rec(1, 0), rec(2, 1), rec(3, 9)]);
+        let report = divergence_report(&a, &b, 2).expect("must diverge");
+        assert!(report.contains("record #2"));
+        assert!(report.contains("left"));
+        assert!(report.contains("right"));
+        // The two agreeing context records are rendered.
+        assert!(report.contains("#0"));
+        assert!(report.contains("#1"));
+    }
+}

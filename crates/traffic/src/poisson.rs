@@ -91,11 +91,7 @@ pub fn generate_poisson<R: Rng + ?Sized>(config: &PoissonConfig, rng: &mut R) ->
     while arrivals.len() < config.total_vehicles as usize {
         // Lane with the earliest pending arrival emits next.
         let lane = (0..4)
-            .min_by(|&a, &b| {
-                next_time[a]
-                    .partial_cmp(&next_time[b])
-                    .expect("finite times")
-            })
+            .min_by(|&a, &b| next_time[a].total_cmp(&next_time[b]))
             .expect("four lanes");
         let at = next_time[lane];
         arrivals.push(Arrival {
@@ -117,8 +113,7 @@ pub fn generate_poisson<R: Rng + ?Sized>(config: &PoissonConfig, rng: &mut R) ->
     }
     arrivals.sort_by(|a, b| {
         a.at_line
-            .partial_cmp(&b.at_line)
-            .expect("finite times")
+            .total_cmp(b.at_line)
             .then(a.vehicle.cmp(&b.vehicle))
     });
     arrivals

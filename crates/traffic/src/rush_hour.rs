@@ -166,8 +166,7 @@ pub fn generate_rush_hour<R: Rng + ?Sized>(
     }
     arrivals.sort_by(|a, b| {
         a.at_line
-            .partial_cmp(&b.at_line)
-            .expect("finite times")
+            .total_cmp(b.at_line)
             .then(a.vehicle.cmp(&b.vehicle))
     });
     arrivals

@@ -73,7 +73,7 @@ pub fn scale_model_scenario(id: ScenarioId, repeat_seed: u64) -> Vec<Arrival> {
                 at_line: TimePoint::new(1.2 + rng.gen_range(0.0..0.02)),
                 speed,
             });
-            out.sort_by(|a, b| a.at_line.partial_cmp(&b.at_line).expect("finite"));
+            out.sort_by(|a, b| a.at_line.total_cmp(b.at_line));
             renumber(out)
         }
         10 => {
@@ -129,7 +129,7 @@ pub fn scale_model_scenario(id: ScenarioId, repeat_seed: u64) -> Vec<Arrival> {
 }
 
 fn renumber(mut arrivals: Vec<Arrival>) -> Vec<Arrival> {
-    arrivals.sort_by(|a, b| a.at_line.partial_cmp(&b.at_line).expect("finite"));
+    arrivals.sort_by(|a, b| a.at_line.total_cmp(b.at_line));
     for (i, a) in arrivals.iter_mut().enumerate() {
         a.vehicle = VehicleId(u32::try_from(i).expect("small workload"));
     }
@@ -138,7 +138,7 @@ fn renumber(mut arrivals: Vec<Arrival>) -> Vec<Arrival> {
 
 fn enforce_headway(arrivals: &mut [Arrival], headway: Seconds) {
     use std::collections::HashMap;
-    arrivals.sort_by(|a, b| a.at_line.partial_cmp(&b.at_line).expect("finite"));
+    arrivals.sort_by(|a, b| a.at_line.total_cmp(b.at_line));
     let mut last: HashMap<Approach, TimePoint> = HashMap::new();
     for a in arrivals.iter_mut() {
         if let Some(&prev) = last.get(&a.movement.approach) {
@@ -148,7 +148,7 @@ fn enforce_headway(arrivals: &mut [Arrival], headway: Seconds) {
         }
         last.insert(a.movement.approach, a.at_line);
     }
-    arrivals.sort_by(|a, b| a.at_line.partial_cmp(&b.at_line).expect("finite"));
+    arrivals.sort_by(|a, b| a.at_line.total_cmp(b.at_line));
 }
 
 #[cfg(test)]

@@ -99,6 +99,16 @@ impl TimePoint {
     pub fn is_finite(self) -> bool {
         self.0.is_finite()
     }
+
+    /// Total ordering over the raw value ([`f64::total_cmp`]).
+    ///
+    /// Unlike `partial_cmp`, this never returns `None` and never panics:
+    /// `-NaN < -inf < … < +inf < +NaN`. Use it as the sort key whenever
+    /// the input may carry non-finite instants.
+    #[must_use]
+    pub fn total_cmp(self, other: Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
 }
 
 impl std::fmt::Display for TimePoint {
@@ -176,5 +186,18 @@ mod tests {
         assert!(TimePoint::new(1.0).is_finite());
         assert!(!TimePoint::new(f64::NAN).is_finite());
         assert!(!TimePoint::new(f64::INFINITY).is_finite());
+    }
+
+    #[test]
+    fn time_point_total_cmp_handles_nan() {
+        let mut v = vec![
+            TimePoint::new(f64::NAN),
+            TimePoint::new(2.0),
+            TimePoint::new(-1.0),
+        ];
+        v.sort_by(|a, b| a.total_cmp(*b));
+        assert_eq!(v[0], TimePoint::new(-1.0));
+        assert_eq!(v[1], TimePoint::new(2.0));
+        assert!(v[2].value().is_nan());
     }
 }

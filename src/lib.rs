@@ -15,6 +15,7 @@
 //! | [`core`] | the **Crossroads**, **VT-IM** and **AIM** policies + the closed-loop simulator |
 //! | [`traffic`] | Poisson workloads and the ten scale-model scenarios |
 //! | [`metrics`] | wait time, throughput, compute/network load |
+//! | [`trace`] | flight-recorder tracing, binary codec, divergence diff |
 //!
 //! This facade crate re-exports the full public API so downstream users
 //! depend on one crate; the workspace members remain usable individually.
@@ -48,6 +49,7 @@ pub use crossroads_des as des;
 pub use crossroads_intersection as intersection;
 pub use crossroads_metrics as metrics;
 pub use crossroads_net as net;
+pub use crossroads_trace as trace;
 pub use crossroads_traffic as traffic;
 pub use crossroads_units as units;
 pub use crossroads_vehicle as vehicle;

@@ -1,0 +1,60 @@
+//! Thread-count invariance of the flight recorder: tracing the same
+//! experiment points through worker pools of width 1, 4 and 7 must
+//! produce byte-identical encoded traces, in input order, matching the
+//! sequential run. Each point owns its recorder, so the pool cannot
+//! interleave records — any divergence here means a run's event stream
+//! itself depended on scheduling, which is exactly the bug the recorder
+//! exists to catch.
+
+use crossroads::prelude::*;
+use crossroads_core::run_simulation_traced;
+use crossroads_trace::codec::{decode, encode};
+use crossroads_trace::diff::first_divergence;
+use crossroads_trace::Recorder;
+
+fn traced_bytes(policy: PolicyKind, seed: u64) -> Vec<u8> {
+    let workload = scale_model_scenario(ScenarioId(1), seed);
+    let config = SimConfig::scale_model(policy).with_seed(seed);
+    let mut rec = Recorder::fixed(1 << 18);
+    let out = run_simulation_traced(&config, &workload, &mut rec);
+    assert!(out.all_completed(), "{policy} seed {seed}: incomplete run");
+    let trace = rec.into_trace();
+    assert_eq!(trace.dropped, 0, "recorder overflowed");
+    encode(&trace)
+}
+
+#[test]
+fn traces_are_byte_identical_at_any_pool_width() {
+    let points: Vec<(PolicyKind, u64)> = PolicyKind::ALL
+        .iter()
+        .flat_map(|&p| [11u64, 12].map(|s| (p, s)))
+        .collect();
+    let sequential: Vec<Vec<u8>> = points.iter().map(|&(p, s)| traced_bytes(p, s)).collect();
+    for threads in [1, 4, 7] {
+        let pooled = crossroads_bench::WorkerPool::new(threads)
+            .map(&points, |_, &(p, s)| traced_bytes(p, s));
+        for (i, (seq, par)) in sequential.iter().zip(&pooled).enumerate() {
+            if seq != par {
+                // Decode both sides and name the first diverging record —
+                // the failure message the diff layer exists to provide.
+                let a = decode(seq).expect("sequential trace decodes");
+                let b = decode(par).expect("pooled trace decodes");
+                let d = first_divergence(&a, &b);
+                panic!(
+                    "{threads}-thread trace of point {i} ({:?}) diverged: {d:?}",
+                    points[i],
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn encoded_traces_survive_the_disk_round_trip() {
+    // The on-disk format is the exchange medium for offline diffing:
+    // encode → decode → encode must be the identity on a real trace.
+    let bytes = traced_bytes(PolicyKind::Crossroads, 11);
+    let trace = decode(&bytes).expect("real trace decodes");
+    assert_eq!(encode(&trace), bytes, "codec round trip must be identity");
+    assert!(!trace.is_empty());
+}
