@@ -97,6 +97,22 @@ echo "==> DES engine vs seed-baseline agreement gate"
 # and verdicts. Timing loops are skipped.
 CROSSROADS_SWEEP_FAST=1 cargo bench --offline --bench des -p crossroads-bench
 
+echo "==> AIM analytic-vs-marched kernel agreement gate"
+# Quick mode: benches/trajectory.rs hard-asserts that the closed-form
+# analytic footprint kernel returns the stepped march's verdict and a
+# superset of its tile intervals for every movement and entry mode on
+# both testbed geometries. Timing loops are skipped.
+CROSSROADS_SWEEP_FAST=1 CROSSROADS_BENCH_OUT=/dev/null \
+    cargo bench --offline --bench trajectory -p crossroads-bench
+
+echo "==> marched-oracle differential suite (bounded cases)"
+# The randomized contract behind the gate above: verdict equality,
+# superset coverage and bounded conservatism against the marched oracle,
+# plus the fine-step kinematics oracle for the SpeedProfile closed
+# forms. Replays persisted counterexamples, then a bounded fresh batch.
+CROSSROADS_CHECK_CASES=16 \
+    cargo test -q --offline -p crossroads-core --test analytic_oracle
+
 if cargo fmt --version >/dev/null 2>&1; then
     echo "==> rustfmt check"
     cargo fmt --check

@@ -1,16 +1,202 @@
-//! Trajectory-planning micro-costs: profile construction, inversion, and
-//! the cruise-speed solver behind every IM decision.
+//! Trajectory-planning micro-costs: profile construction, inversion, the
+//! cruise-speed solver behind every IM decision — and the headline
+//! comparison of this series: AIM footprint construction with the seed's
+//! stepped march against the closed-form analytic kernel.
+//!
+//! Before any timing, the bench **hard-asserts** kernel agreement on
+//! every movement, entry mode and both testbed geometries: identical
+//! accept/reject verdicts, and every marched tile interval covered by
+//! the analytic footprint. `ci.sh` runs it with `CROSSROADS_SWEEP_FAST=1`,
+//! which keeps that gate and skips the timing loops, so every CI pass
+//! re-proves the analytic kernel stands in for the march. (The full
+//! randomized contract lives in `crates/core/tests/analytic_oracle.rs`.)
 //!
 //! Self-timed (`harness = false`); run with
-//! `cargo bench --bench trajectory`.
+//! `cargo bench --bench trajectory`. Timed runs append the AIM
+//! footprint/decision medians and the marched→analytic speedup to
+//! `BENCH_sweep.json` (see `CROSSROADS_BENCH_OUT`).
 
-use crossroads_bench::timing::{bench, bench_table_header};
+use crossroads_bench::timing::{bench, bench_table_header, Measurement};
+use crossroads_bench::{emit_micro_bench, fast_sweep};
+use crossroads_core::policy::{AimPolicy, EntryMode, IntersectionPolicy};
+use crossroads_core::request::CrossingRequest;
+use crossroads_core::BufferModel;
+use crossroads_intersection::{Approach, IntersectionGeometry, Movement, Turn};
+use crossroads_metrics::BenchPoint;
 use crossroads_units::kinematics;
 use crossroads_units::{Meters, MetersPerSecond, Seconds, TimePoint};
-use crossroads_vehicle::{SpeedProfile, VehicleSpec};
+use crossroads_vehicle::{SpeedProfile, VehicleId, VehicleSpec};
 use std::hint::black_box;
 
+/// One testbed's AIM configuration for the agreement gate and timings.
+struct AimSetup {
+    geometry: IntersectionGeometry,
+    buffers: BufferModel,
+    spec: VehicleSpec,
+    grid_side: usize,
+    sim_step: Seconds,
+}
+
+impl AimSetup {
+    fn scale() -> Self {
+        AimSetup {
+            geometry: IntersectionGeometry::scale_model(),
+            buffers: BufferModel::scale_model(),
+            spec: VehicleSpec::scale_model(),
+            grid_side: 8,
+            sim_step: Seconds::from_millis(20.0),
+        }
+    }
+
+    fn full() -> Self {
+        AimSetup {
+            geometry: IntersectionGeometry::full_scale(),
+            buffers: BufferModel::full_scale(),
+            spec: VehicleSpec::full_scale(),
+            grid_side: 3,
+            sim_step: Seconds::from_millis(50.0),
+        }
+    }
+
+    fn policy(&self, analytic: bool) -> AimPolicy {
+        AimPolicy::new(self.geometry, self.buffers, self.grid_side, self.sim_step)
+            .with_analytic(analytic)
+    }
+
+    fn entries(&self) -> [EntryMode; 3] {
+        [
+            EntryMode::Constant(self.spec.v_max * (2.0 / 3.0)),
+            EntryMode::Constant(self.spec.v_max * 0.25),
+            EntryMode::Launch {
+                entry_speed: MetersPerSecond::ZERO,
+            },
+        ]
+    }
+}
+
+/// Hard gate: the analytic kernel returns the march's verdict and a
+/// superset of its tile intervals, for every movement × entry mode on
+/// both testbeds. Panics on the first disagreement.
+fn assert_footprint_agreement() {
+    for setup in [AimSetup::scale(), AimSetup::full()] {
+        let mut marched = setup.policy(false);
+        let mut analytic = setup.policy(true);
+        for movement in Movement::all() {
+            for entry in setup.entries() {
+                let toa = TimePoint::new(5.0);
+                let vm = marched.propose_marched(movement, &setup.spec, toa, entry);
+                let va = analytic.propose_analytic(movement, &setup.spec, toa, entry);
+                assert_eq!(vm, va, "kernel verdicts diverge: {movement:?} {entry:?}");
+                if !vm {
+                    continue;
+                }
+                for iv in marched.footprint() {
+                    let covered = analytic
+                        .footprint()
+                        .iter()
+                        .any(|a| a.tile == iv.tile && a.from <= iv.from && iv.until <= a.until);
+                    assert!(
+                        covered,
+                        "marched tile {} interval not covered by analytic footprint: \
+                         {movement:?} {entry:?}",
+                        iv.tile
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// A standing AIM request for the decide-latency benches (constant-speed
+/// proposal far enough out that the response margin never rejects it).
+fn aim_request(setup: &AimSetup) -> CrossingRequest {
+    CrossingRequest {
+        vehicle: VehicleId(1),
+        movement: Movement::new(Approach::North, Turn::Left),
+        spec: setup.spec,
+        transmitted_at: TimePoint::ZERO,
+        distance_to_intersection: Meters::new(3.0),
+        speed: setup.spec.v_max * (2.0 / 3.0),
+        stopped: false,
+        attempt: 1,
+        proposed_arrival: Some(TimePoint::new(5.0)),
+    }
+}
+
+fn aim_kernel_benches() -> Vec<BenchPoint> {
+    let setup = AimSetup::scale();
+    // The left turn is the most expensive footprint (longest arc), and
+    // the standstill launch the longest entry motion: the march's worst
+    // case, hence the honest baseline for the speedup claim.
+    let movement = Movement::new(Approach::North, Turn::Left);
+    let entry = EntryMode::Launch {
+        entry_speed: MetersPerSecond::ZERO,
+    };
+    let toa = TimePoint::new(5.0);
+
+    let point = |m: &Measurement| BenchPoint {
+        label: m.name.clone(),
+        wall_ms: m.median_ns / 1e6,
+        events: m.iters_per_sample,
+    };
+    let mut points = Vec::new();
+
+    let mut marched = setup.policy(false);
+    let m_footprint = bench("aim_footprint_marched", || {
+        black_box(marched.propose_marched(movement, &setup.spec, toa, black_box(entry)))
+    });
+    points.push(point(&m_footprint));
+
+    let mut analytic = setup.policy(true);
+    // Warm the band-table cache outside the timed region: steady-state
+    // decisions reuse it, and that steady state is what the march is
+    // being compared against.
+    analytic.propose_analytic(movement, &setup.spec, toa, entry);
+    let a_footprint = bench("aim_footprint_analytic", || {
+        black_box(analytic.propose_analytic(movement, &setup.spec, toa, black_box(entry)))
+    });
+    points.push(point(&a_footprint));
+
+    // Full decision latency: trajectory evaluation plus ledger check and
+    // reservation. Each call re-requests the same vehicle, so the policy
+    // releases the prior reservation and re-admits — the steady-state
+    // re-request cycle AIM's load model is built around.
+    let request = aim_request(&setup);
+    let mut marched = setup.policy(false);
+    let m_decide = bench("aim_decide_marched", || {
+        black_box(marched.decide(black_box(&request), TimePoint::ZERO))
+    });
+    points.push(point(&m_decide));
+
+    let mut analytic = setup.policy(true);
+    analytic.decide(&request, TimePoint::ZERO);
+    let a_decide = bench("aim_decide_analytic", || {
+        black_box(analytic.decide(black_box(&request), TimePoint::ZERO))
+    });
+    points.push(point(&a_decide));
+
+    let speedup = m_footprint.median_ns / a_footprint.median_ns;
+    let decide_speedup = m_decide.median_ns / a_decide.median_ns;
+    println!();
+    println!(
+        "footprint construction speedup (marched/analytic): {speedup:.1}x; \
+         full decision: {decide_speedup:.1}x"
+    );
+    points.push(BenchPoint {
+        label: String::from("aim_footprint_speedup_x"),
+        wall_ms: speedup,
+        events: 0,
+    });
+    points
+}
+
 fn main() {
+    assert_footprint_agreement();
+    if fast_sweep() {
+        println!("trajectory quick gate: analytic/marched footprint agreement OK");
+        return;
+    }
+
     let spec = VehicleSpec::scale_model();
     bench_table_header("trajectory");
 
@@ -54,4 +240,13 @@ fn main() {
             Meters::new(3.0),
         ))
     });
+
+    bench_table_header("aim footprint kernels");
+    let started = std::time::Instant::now();
+    let points = aim_kernel_benches();
+    emit_micro_bench(
+        "bench_trajectory_aim",
+        started.elapsed().as_secs_f64() * 1e3,
+        &points,
+    );
 }

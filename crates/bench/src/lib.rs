@@ -134,6 +134,16 @@ where
     timed.into_iter().map(|(out, _, _)| out).collect()
 }
 
+/// Appends one micro-benchmark record to the bench output file (same
+/// schema and destination as the [`par_sweep`] records): `experiment`
+/// names the bench group, each [`BenchPoint`] one timed routine, with
+/// `wall_ms` the median per-call time and `events` the iterations
+/// sampled. Lets `benches/*.rs` land their measurements in
+/// `BENCH_sweep.json` next to the sweep trajectories.
+pub fn emit_micro_bench(experiment: &str, total_ms: f64, points: &[BenchPoint]) {
+    emit_bench_record(&bench_sweep_to_json(experiment, 1, total_ms, points));
+}
+
 /// Appends one JSONL record to the bench output file. The first write of
 /// a process truncates, so every binary run starts a fresh trajectory
 /// capture; later sweeps in the same run append.

@@ -46,4 +46,5 @@ pub use policy::{IntersectionPolicy, PolicyKind};
 pub use request::{CrossingCommand, CrossingRequest};
 pub use sim::{
     run_simulation, run_simulation_traced, thread_events_processed, SimConfig, SimOutcome,
+    AIM_ANALYTIC_ENV,
 };

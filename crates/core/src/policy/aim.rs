@@ -14,7 +14,7 @@ use crossroads_intersection::{
     IntersectionGeometry, Movement, MovementPath, TileGrid, TileSchedule,
 };
 use crossroads_units::{Meters, Seconds, TimePoint};
-use crossroads_vehicle::{VehicleId, VehicleSpec};
+use crossroads_vehicle::{EntryProgress, VehicleId, VehicleSpec};
 
 use crate::buffer::BufferModel;
 use crate::policy::{IntersectionPolicy, PolicyKind};
@@ -22,7 +22,7 @@ use crate::request::{CrossingCommand, CrossingRequest};
 
 /// How a proposed crossing enters the box.
 #[derive(Debug, Clone, Copy, PartialEq)]
-enum EntryMode {
+pub enum EntryMode {
     /// Hold this speed through the box (the classic AIM query).
     Constant(crossroads_units::MetersPerSecond),
     /// Enter at `entry_speed` while accelerating toward `v_max` (a
@@ -31,6 +31,29 @@ enum EntryMode {
         /// Speed at the box entry plane.
         entry_speed: crossroads_units::MetersPerSecond,
     },
+}
+
+/// One tile's coverage run in front-bumper progress space: while the
+/// proposal's progress `f` lies in `[f_from, f_until]`, the (inflated)
+/// buffered footprint covers `tile`. Precomputed per movement geometry;
+/// combined with [`EntryProgress::window`] at decision time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct TileBand {
+    tile: usize,
+    f_from: f64,
+    f_until: f64,
+}
+
+/// Cache key for a movement's band table. The geometry depends on the
+/// movement path, the buffered footprint dimensions, and the sweep
+/// margin past the exit (which absorbs the march's final-step
+/// overshoot); all enter the key bit-exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct BandKey {
+    movement: Movement,
+    eff_bits: u64,
+    width_bits: u64,
+    margin_bits: u64,
 }
 
 /// The AIM baseline.
@@ -44,6 +67,11 @@ pub struct AimPolicy {
     sim_step: Seconds,
     /// Minimum lead the acceptance needs to reach the vehicle.
     response_margin: Seconds,
+    /// Whether proposals are evaluated by the closed-form analytic
+    /// kernel instead of the stepped march (see [`Self::with_analytic`]).
+    analytic: bool,
+    /// Precomputed tile ↔ progress-band tables for the analytic kernel.
+    bands: HashMap<BandKey, Vec<TileBand>>,
     ops: u64,
     // Scratch buffers reused across decisions: the tiles covered at one
     // step, the request being assembled, and a tile → last-interval-index
@@ -77,11 +105,32 @@ impl AimPolicy {
             reserved: HashSet::new(),
             sim_step,
             response_margin: Seconds::from_millis(20.0),
+            analytic: false,
+            bands: HashMap::new(),
             ops: 0,
             covered: Vec::new(),
             intervals: Vec::new(),
             tile_last: Vec::new(),
         }
+    }
+
+    /// Selects the footprint kernel: `true` evaluates proposals with the
+    /// closed-form analytic kernel ([`Self::propose_analytic`]), `false`
+    /// (the default, and the seed behavior) with the stepped march
+    /// ([`Self::propose_marched`]). The analytic tile set is a verified
+    /// superset of the marched one, so flipping this never weakens the
+    /// safety audit; it does change which exact intervals are reserved,
+    /// hence simulation outputs are only byte-stable within one kernel.
+    #[must_use]
+    pub fn with_analytic(mut self, analytic: bool) -> Self {
+        self.analytic = analytic;
+        self
+    }
+
+    /// Which footprint kernel [`decide`](IntersectionPolicy::decide) uses.
+    #[must_use]
+    pub fn analytic(&self) -> bool {
+        self.analytic
     }
 
     /// Read access to the tile ledger (audits).
@@ -90,12 +139,40 @@ impl AimPolicy {
         &self.tiles
     }
 
-    /// Simulates the proposed crossing, leaving the space-time tiles it
-    /// would occupy in `self.intervals` (valid only when this returns
-    /// `true`). `entry` describes how the vehicle arrives: holding a
-    /// constant speed (the classic AIM query), or launching — entering at
-    /// `entry_speed` (momentum from its queue run-up) while still
-    /// accelerating toward `v_max`.
+    /// The space-time tiles computed by the last successful
+    /// [`propose_marched`](Self::propose_marched) /
+    /// [`propose_analytic`](Self::propose_analytic) call (differential
+    /// tests and benches).
+    #[must_use]
+    pub fn footprint(&self) -> &[TileInterval] {
+        &self.intervals
+    }
+
+    /// Evaluates the proposed crossing with the configured kernel,
+    /// leaving the space-time tiles it would occupy in `self.intervals`
+    /// (valid only when this returns `true`).
+    fn simulate_trajectory(
+        &mut self,
+        movement: Movement,
+        spec: &VehicleSpec,
+        toa: TimePoint,
+        entry: EntryMode,
+    ) -> bool {
+        if self.analytic {
+            self.propose_analytic(movement, spec, toa, entry)
+        } else {
+            self.propose_marched(movement, spec, toa, entry)
+        }
+    }
+
+    /// The seed's stepped trajectory march, kept alive as the test
+    /// oracle for the analytic kernel. Simulates the proposed crossing,
+    /// leaving the space-time tiles it would occupy in `self.intervals`
+    /// (valid only when this returns `true`; read via
+    /// [`footprint`](Self::footprint)). `entry` describes how the
+    /// vehicle arrives: holding a constant speed (the classic AIM
+    /// query), or launching — entering at `entry_speed` (momentum from
+    /// its queue run-up) while still accelerating toward `v_max`.
     ///
     /// A tile revisited on consecutive steps extends its previous
     /// interval in place (via `self.tile_last`) instead of pushing a new
@@ -103,7 +180,7 @@ impl AimPolicy {
     /// visits overlap and the extension is the *exact union* of the
     /// per-step windows — the tile ledger sees the same occupied set,
     /// from a request of ~covered-tiles length instead of steps × tiles.
-    fn simulate_trajectory(
+    pub fn propose_marched(
         &mut self,
         movement: Movement,
         spec: &VehicleSpec,
@@ -180,6 +257,159 @@ impl AimPolicy {
             }
         }
     }
+
+    /// The closed-form analytic kernel: O(phases × covered tiles)
+    /// instead of O(timesteps × tiles).
+    ///
+    /// The decision splits into geometry and time. Geometry — at which
+    /// front-bumper progress values `f` the buffered footprint covers
+    /// each tile — depends only on the movement path, the footprint
+    /// dimensions and the grid, so it is precomputed once per
+    /// [`BandKey`] by [`build_tile_bands`] (a conservative spatial sweep
+    /// whose inflation makes each band a superset of the continuous
+    /// coverage). Time is where the closed form does the work: the entry
+    /// motion is piecewise-constant-acceleration, so
+    /// [`EntryProgress::window`] inverts it exactly and each band maps
+    /// to one `TileInterval` `[t_enter − dt, t_exit + 2dt)`.
+    ///
+    /// **Superset contract** (pinned by `tests/analytic_oracle.rs`):
+    /// every marched sample that covers a tile has progress inside that
+    /// tile's band and therefore sample time inside the analytic window,
+    /// and each marched step only emits `[t − dt, t + 2dt)` — so the
+    /// analytic intervals always cover the marched ones and the safety
+    /// audit can never see fewer occupied tiles than the seed behavior.
+    /// The accept/reject verdict also matches the march, including its
+    /// defensive 120 s bail-out (mirrored on the same sample grid).
+    pub fn propose_analytic(
+        &mut self,
+        movement: Movement,
+        spec: &VehicleSpec,
+        toa: TimePoint,
+        entry: EntryMode,
+    ) -> bool {
+        let eff = self.buffers.effective_length(PolicyKind::Aim, spec);
+        let total = self.geometry.path_length(movement) + eff;
+        let dt = self.sim_step.value();
+
+        let prog = match entry {
+            EntryMode::Constant(v) => match EntryProgress::constant(v) {
+                Some(p) => p,
+                None => return false, // crawling proposal: not schedulable
+            },
+            EntryMode::Launch { entry_speed } => EntryProgress::launch(entry_speed, spec),
+        };
+        // The march succeeds at its first sample with f ≥ total and
+        // bails out once t exceeds 120 s; mirror that verdict on the
+        // same sample grid (the 1e-9 slack forgives the march's additive
+        // accumulation of t when the crossing time lands on a sample).
+        let t_total = prog.time_at(total).value();
+        let clearing_sample = dt * (t_total / dt - 1e-9).ceil().max(0.0);
+        if clearing_sample > 120.0 {
+            return false; // defensive: proposal never clears the box
+        }
+
+        // Geometry: the movement's tile ↔ progress-band table, cached.
+        // The sweep margin covers the march's final-step overshoot
+        // (progress per step never exceeds top speed × dt).
+        let margin = prog.top_speed().value() * dt;
+        let key = BandKey {
+            movement,
+            eff_bits: eff.value().to_bits(),
+            width_bits: spec.width.value().to_bits(),
+            margin_bits: margin.to_bits(),
+        };
+        if !self.bands.contains_key(&key) {
+            let path = self.paths.get(&movement).expect("all movements have paths");
+            let table = build_tile_bands(path, self.tiles.grid(), eff, spec.width, margin);
+            self.bands.insert(key, table);
+        }
+
+        // Time: one closed-form window per band.
+        let mut intervals = std::mem::take(&mut self.intervals);
+        intervals.clear();
+        let bands = self.bands.get(&key).expect("band table just ensured");
+        for band in bands {
+            let (t_enter, t_exit) =
+                prog.window(Meters::new(band.f_from), Meters::new(band.f_until));
+            intervals.push(TileInterval {
+                tile: band.tile,
+                from: toa + Seconds::new(t_enter.value() - dt),
+                until: toa + Seconds::new(t_exit.value() + 2.0 * dt),
+            });
+        }
+        self.ops += bands.len() as u64 + 1;
+        self.intervals = intervals;
+        true
+    }
+}
+
+/// Builds a movement's tile ↔ progress-band table: for each tile, the
+/// (possibly several) runs of front-bumper progress `f` over which the
+/// buffered footprint covers it, swept over `f ∈ [0, path + eff + margin]`.
+///
+/// The sweep samples every `ds = tile_size / 8` of progress and inflates
+/// the footprint so that the discrete samples *over*-cover the
+/// continuous motion: between two samples the footprint's center moves
+/// at most `ds / 2` along the path and its heading rotates at most
+/// `ds / 2 × max_curvature`, so every point of the exact rectangle at an
+/// intermediate `f` lies within `pad = ds × (1 + half_diagonal ×
+/// curvature)` of the inflated rectangle at the nearest sample (twice
+/// the displacement bound). Covered runs are additionally widened by
+/// `ds` on each side. The result is a strict superset of the tiles the
+/// exact footprint (and hence any march over it) covers at every `f` in
+/// range — the bounded slack the oracle suite asserts.
+fn build_tile_bands(
+    path: &MovementPath,
+    grid: &TileGrid,
+    eff: Meters,
+    width: Meters,
+    margin: f64,
+) -> Vec<TileBand> {
+    let ds = grid.tile_size().value() / 8.0;
+    // Inflation pad: fixed-point on the (pad-dependent) half diagonal,
+    // starting from the translation-only bound.
+    let kappa = path.max_curvature();
+    let mut pad = 2.0 * ds;
+    for _ in 0..3 {
+        let half_diag = 0.5 * f64::hypot(eff.value() + 2.0 * pad, width.value() + 2.0 * pad);
+        pad = ds * (1.0 + half_diag * kappa);
+    }
+    let len_inflated = Meters::new(eff.value() + 2.0 * pad);
+    let width_inflated = Meters::new(width.value() + 2.0 * pad);
+
+    let f_max = path.length().value() + eff.value() + margin;
+    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+    let samples = (f_max / ds).ceil() as usize;
+    let mut bands: Vec<TileBand> = Vec::new();
+    let mut band_last: Vec<u32> = vec![u32::MAX; grid.tile_count()];
+    let mut covered: Vec<usize> = Vec::new();
+    for i in 0..=samples {
+        #[allow(clippy::cast_precision_loss)]
+        let f = (i as f64) * ds;
+        let center_s = Meters::new(f - eff.value() / 2.0);
+        let (pose, heading) = path.pose_at(center_s);
+        grid.tiles_for_footprint_into(pose, heading, len_inflated, width_inflated, &mut covered);
+        let (f_from, f_until) = (f - ds, f + ds);
+        for &tile in &covered {
+            let slot = band_last[tile];
+            if slot != u32::MAX {
+                let prev = &mut bands[slot as usize];
+                if prev.f_until >= f_from {
+                    prev.f_until = f_until; // consecutive samples merge
+                    continue;
+                }
+            }
+            #[allow(clippy::cast_possible_truncation)]
+            let next = bands.len() as u32;
+            band_last[tile] = next;
+            bands.push(TileBand {
+                tile,
+                f_from,
+                f_until,
+            });
+        }
+    }
+    bands
 }
 
 impl IntersectionPolicy for AimPolicy {

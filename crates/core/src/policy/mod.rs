@@ -5,7 +5,7 @@ pub mod common;
 mod crossroads;
 mod vt;
 
-pub use aim::AimPolicy;
+pub use aim::{AimPolicy, EntryMode};
 pub use common::{reachable_speed, IntervalScheduler, SlotDecision};
 pub use crossroads::CrossroadsPolicy;
 pub use vt::VtPolicy;

@@ -28,6 +28,16 @@ use crate::policy::{AimPolicy, CrossroadsPolicy, IntersectionPolicy, PolicyKind,
 use self::event::Event;
 use self::world::World;
 
+/// Environment flag that flips AIM onto the closed-form analytic
+/// footprint kernel (`propose_analytic`). Set to any value except `"0"`
+/// to enable; unset (the default) keeps the seed's stepped march, whose
+/// experiment stdout is pinned byte-for-byte. The two kernels always
+/// agree on accept/reject verdicts, and the analytic tile intervals
+/// cover the marched ones (see `tests/analytic_oracle.rs`), so flipping
+/// the flag can only make reservations slightly more conservative —
+/// never less safe.
+pub const AIM_ANALYTIC_ENV: &str = "CROSSROADS_AIM_ANALYTIC";
+
 /// Everything one experiment needs.
 #[derive(Debug, Clone, Copy)]
 pub struct SimConfig {
@@ -49,6 +59,9 @@ pub struct SimConfig {
     pub aim_grid_side: usize,
     /// AIM trajectory-simulation step.
     pub aim_sim_step: Seconds,
+    /// Whether AIM uses the closed-form analytic footprint kernel instead
+    /// of the stepped march (defaults to the [`AIM_ANALYTIC_ENV`] flag).
+    pub aim_analytic: bool,
     /// Delay before a rejected AIM vehicle re-requests.
     pub aim_retry_interval: Seconds,
     /// Speed multiplier a rejected AIM vehicle applies (< 1).
@@ -78,6 +91,7 @@ impl SimConfig {
             seed: 0,
             aim_grid_side: 8,
             aim_sim_step: Seconds::from_millis(20.0),
+            aim_analytic: std::env::var_os(AIM_ANALYTIC_ENV).is_some_and(|v| v != *"0"),
             aim_retry_interval: Seconds::from_millis(300.0),
             aim_slowdown_factor: 0.7,
             crawl_fraction: 0.30,
@@ -160,12 +174,15 @@ impl SimConfig {
                 self.buffers,
                 self.crawl_fraction,
             )),
-            PolicyKind::Aim => Box::new(AimPolicy::new(
-                self.geometry,
-                self.buffers,
-                self.aim_grid_side,
-                self.aim_sim_step,
-            )),
+            PolicyKind::Aim => Box::new(
+                AimPolicy::new(
+                    self.geometry,
+                    self.buffers,
+                    self.aim_grid_side,
+                    self.aim_sim_step,
+                )
+                .with_analytic(self.aim_analytic),
+            ),
         }
     }
 }

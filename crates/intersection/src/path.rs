@@ -136,6 +136,19 @@ impl MovementPath {
         self.length
     }
 
+    /// Maximum curvature (1/radius) anywhere along the path — zero for
+    /// straight crossings, the arc curvature for turns (the approach and
+    /// exit extensions are straight). Used by conservative footprint
+    /// sweeps to bound how far a rigid body rotates per meter of
+    /// progress.
+    #[must_use]
+    pub fn max_curvature(&self) -> f64 {
+        match &self.kind {
+            PathKind::Straight { .. } => 0.0,
+            PathKind::Arc { radius, .. } => 1.0 / radius.value(),
+        }
+    }
+
     /// Pose (position, heading) at distance `s` from box entry. `s < 0`
     /// extends along the approach arm; `s > length` along the exit arm.
     #[must_use]

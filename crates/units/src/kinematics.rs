@@ -41,6 +41,52 @@ pub fn distance_covered(v0: MetersPerSecond, a: MetersPerSecondSquared, t: Secon
     v0 * t + (a * t) * t * 0.5
 }
 
+/// Earliest time at which a constant-acceleration motion starting at
+/// speed `v0` has covered distance `ds`: the smallest admissible root of
+/// `v0 t + a t² / 2 = ds`.
+///
+/// Returns `None` when the distance is never covered: a parked segment
+/// (`|a| < 1e-12` and `v0 ≤ 0`), or a braking segment that stops short
+/// (negative discriminant). The constant-speed branch reports the signed
+/// crossing time — negative for `ds < 0` — while the quadratic branch
+/// clamps its root at zero; callers that need a window must clamp
+/// themselves. This is the closed-form kernel behind
+/// `SpeedProfile::time_at_position` and the analytic AIM footprint, so
+/// its branch structure (including the `1e-12` parked floor and the
+/// `-1e-12` root tolerance) is pinned by the differential oracle suite.
+#[must_use]
+pub fn first_time_at_distance(
+    v0: MetersPerSecond,
+    a: MetersPerSecondSquared,
+    ds: Meters,
+) -> Option<Seconds> {
+    let (v0, a, ds) = (v0.value(), a.value(), ds.value());
+    if a.abs() < 1e-12 {
+        if v0 <= 0.0 {
+            return None; // parked segment cannot advance
+        }
+        return Some(Seconds::new(ds / v0));
+    }
+    let disc = v0 * v0 + 2.0 * a * ds;
+    if disc < 0.0 {
+        return None; // brakes to a stop before covering ds
+    }
+    // Earliest non-negative root.
+    let sq = disc.sqrt();
+    let r1 = (-v0 + sq) / a;
+    let r2 = (-v0 - sq) / a;
+    let mut best = f64::INFINITY;
+    for r in [r1, r2] {
+        if r >= -1e-12 && r < best {
+            best = r;
+        }
+    }
+    if !best.is_finite() {
+        return None;
+    }
+    Some(Seconds::new(best.max(0.0)))
+}
+
 /// The distance needed to come to a complete stop from `v` when braking at
 /// `decel` (a positive magnitude): `v² / (2 d)`.
 ///
@@ -257,6 +303,59 @@ mod tests {
             distance_covered(mps(1.0), mps2(2.0), Seconds::new(3.0)),
             Meters::new(12.0)
         );
+    }
+
+    #[test]
+    fn first_time_at_distance_constant_speed() {
+        // 2 m at 1 m/s: 2 s, independent of a ulp-sized acceleration.
+        assert_eq!(
+            first_time_at_distance(mps(1.0), mps2(0.0), Meters::new(2.0)),
+            Some(Seconds::new(2.0))
+        );
+        assert_eq!(
+            first_time_at_distance(mps(1.0), mps2(1e-13), Meters::new(2.0)),
+            Some(Seconds::new(2.0))
+        );
+    }
+
+    #[test]
+    fn first_time_at_distance_parked_branch_pinned() {
+        // The `|a| < 1e-12` parked guard: zero speed, zero accel never
+        // covers a positive distance.
+        assert_eq!(
+            first_time_at_distance(mps(0.0), mps2(0.0), Meters::new(0.5)),
+            None
+        );
+        // A parked segment asked for zero distance is still `None` — the
+        // caller (profile scan) falls through to the next phase, which
+        // starts at the same position.
+        assert_eq!(
+            first_time_at_distance(mps(0.0), mps2(0.0), Meters::ZERO),
+            None
+        );
+    }
+
+    #[test]
+    fn first_time_at_distance_negative_discriminant_pinned() {
+        // Braking 1 m/s at 2 m/s² stops after 0.25 m; 0.26 m is out of
+        // reach (disc = 1 − 2·2·0.26 = −0.04).
+        assert_eq!(
+            first_time_at_distance(mps(1.0), mps2(-2.0), Meters::new(0.26)),
+            None
+        );
+        // The exact stop point is reached (disc == 0) at t = v/|a|.
+        let t = first_time_at_distance(mps(1.0), mps2(-2.0), Meters::new(0.25)).unwrap();
+        assert!((t.value() - 0.5).abs() < 1e-9, "got {t}");
+    }
+
+    #[test]
+    fn first_time_at_distance_accelerating_root() {
+        // From rest at 2 m/s²: 1 m takes √(2·1/2) = 1 s.
+        let t = first_time_at_distance(mps(0.0), mps2(2.0), Meters::new(1.0)).unwrap();
+        assert!((t.value() - 1.0).abs() < 1e-12);
+        // Zero distance is reached immediately.
+        let t0 = first_time_at_distance(mps(1.0), mps2(2.0), Meters::ZERO).unwrap();
+        assert_eq!(t0, Seconds::ZERO);
     }
 
     #[test]

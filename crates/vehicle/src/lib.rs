@@ -9,6 +9,9 @@
 //! - [`trajectory`] — piecewise-constant-acceleration longitudinal speed
 //!   profiles and the planning constructions of Fig. 6.2 (`T_Acc`, `ΔX`,
 //!   `D_E`, `EToA`) used by all three intersection managers.
+//! - [`analytic`] — closed-form progress kernels for the AIM trajectory
+//!   simulator: exact distance/time inversion of the box-entry motions,
+//!   replacing the stepped march (which remains as the test oracle).
 //! - [`dynamics`] — the bicycle model of eq. 7.1 with an RK4 integrator,
 //!   used by the AIM trajectory simulator and to validate that planned
 //!   profiles are dynamically feasible.
@@ -27,6 +30,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod analytic;
 pub mod controller;
 pub mod dynamics;
 pub mod error;
@@ -35,6 +39,7 @@ pub mod state;
 pub mod steering;
 pub mod trajectory;
 
+pub use analytic::EntryProgress;
 pub use controller::{track_profile, ControllerConfig, TrackingOutcome};
 pub use dynamics::{integrate_bicycle, BicycleState};
 pub use error::ErrorModel;

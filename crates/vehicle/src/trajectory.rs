@@ -277,36 +277,14 @@ impl SpeedProfile {
         for p in &self.phases {
             let s_end = p.exit_position();
             if s <= s_end {
-                // Solve s0 + v0 dt + a dt²/2 = s on [0, duration].
-                let ds = (s - p.s0).value();
-                let (v0, a) = (p.v0.value(), p.accel.value());
-                let dt = if a.abs() < 1e-12 {
-                    if v0 <= 0.0 {
-                        continue; // parked phase cannot advance
+                // Solve s0 + v0 dt + a dt²/2 = s on [0, duration]; a
+                // parked phase or negative discriminant falls through to
+                // the next phase.
+                match kinematics::first_time_at_distance(p.v0, p.accel, s - p.s0) {
+                    Some(dt) if dt.value() <= p.duration.value() + 1e-9 => {
+                        return Some(p.start + dt);
                     }
-                    ds / v0
-                } else {
-                    let disc = v0 * v0 + 2.0 * a * ds;
-                    if disc < 0.0 {
-                        continue;
-                    }
-                    // Earliest non-negative root.
-                    let sq = disc.sqrt();
-                    let r1 = (-v0 + sq) / a;
-                    let r2 = (-v0 - sq) / a;
-                    let mut best = f64::INFINITY;
-                    for r in [r1, r2] {
-                        if r >= -1e-12 && r < best {
-                            best = r;
-                        }
-                    }
-                    if !best.is_finite() {
-                        continue;
-                    }
-                    best.max(0.0)
-                };
-                if dt <= p.duration.value() + 1e-9 {
-                    return Some(p.start + Seconds::new(dt));
+                    _ => {}
                 }
             }
         }
@@ -321,10 +299,16 @@ impl SpeedProfile {
 
     fn phase_at(&self, t: TimePoint) -> Option<&Phase> {
         // Phases are contiguous; linear scan is fine for the ≤4 phases the
-        // planners generate.
+        // planners generate. The window is half-open [start, start+dur):
+        // at an exact boundary the *next* phase answers (its `v0`/`s0`
+        // are the previous phase's exit values by construction, so the
+        // evaluated speed/position are identical — but the half-open scan
+        // also skips zero-duration phases and matches the evaluation
+        // semantics the analytic kernels assume). Past the last phase the
+        // tail extrapolation in the callers takes over.
         self.phases
             .iter()
-            .find(|p| t >= p.start && t <= p.start + p.duration)
+            .find(|p| t >= p.start && t < p.start + p.duration)
     }
 
     /// Verifies the profile respects `spec`'s speed and acceleration limits.
@@ -748,6 +732,75 @@ mod tests {
         let p = SpeedProfile::stop_at(t(0.0), m(2.0), mps(0.0), m(3.0), &s);
         assert!(p.phases().is_empty());
         assert_eq!(p.position_at(t(10.0)), m(2.0));
+    }
+
+    #[test]
+    fn boundary_time_evaluates_next_phase() {
+        // Pins the half-open `phase_at` scan: at the exact boundary
+        // between a hold and an acceleration phase, evaluation enters the
+        // *next* phase. The observable values are continuous (the next
+        // phase's v0/s0 are the previous phase's exit floats), and a
+        // zero-duration phase at the boundary is skipped entirely.
+        let mut p = SpeedProfile::starting_at(t(0.0), m(0.0), mps(1.0));
+        p.push_hold(Seconds::new(2.0));
+        p.push_hold(Seconds::ZERO); // zero-duration phase at the boundary
+        p.push_speed_change(mps(3.0), spec().a_max);
+        let boundary = t(2.0);
+        assert_eq!(p.speed_at(boundary), mps(1.0));
+        assert_eq!(p.position_at(boundary), m(2.0));
+        // A hair past the boundary the acceleration phase is in effect.
+        let just_after = t(2.0 + 1e-9);
+        assert!(p.speed_at(just_after) > mps(1.0));
+        // At the profile end the tail extrapolation answers with the
+        // exact final floats.
+        assert_eq!(p.speed_at(p.end_time()), p.final_speed());
+        assert_eq!(p.position_at(p.end_time()), p.final_position());
+    }
+
+    #[test]
+    fn time_at_position_skips_parked_phase_to_relaunch() {
+        // Brake to a stop, sit parked (a zero-accel zero-speed phase —
+        // the `|a| < 1e-12, v0 <= 0` branch), then relaunch. Positions
+        // past the stop point must resolve into the relaunch phase, so
+        // the scan has to fall through the parked phase.
+        let s = spec();
+        let mut p = SpeedProfile::starting_at(t(0.0), m(0.0), mps(3.0));
+        p.push_speed_change(mps(0.0), s.d_max); // stops at 1.5 m, t = 1.0
+        p.push_hold(Seconds::new(2.0)); // parked until t = 3.0
+        p.push_speed_change(mps(2.0), s.a_max); // relaunch
+        let reach = p.time_at_position(m(1.6)).unwrap();
+        assert!(
+            reach.value() > 3.0,
+            "past-stop position must be reached in the relaunch, got {reach}"
+        );
+        assert!((p.position_at(reach) - m(1.6)).abs().value() < 1e-9);
+        // The stop point itself is first reached by the braking phase.
+        let stop = p.time_at_position(m(1.5)).unwrap();
+        assert!((stop.value() - 1.0).abs() < 1e-6, "got {stop}");
+    }
+
+    #[test]
+    fn time_at_position_near_stop_point_never_panics() {
+        // Regression guard for the negative-discriminant branch: querying
+        // a few ulps around the braking phase's exact stop point must
+        // return a sane time (the ulp where disc rounds below zero falls
+        // through to the parked phase and then the tail).
+        let s = spec();
+        let mut p = SpeedProfile::starting_at(t(0.0), m(0.0), mps(3.0));
+        p.push_speed_change(mps(0.0), s.d_max);
+        p.push_hold(Seconds::new(1.0));
+        let stop = p.final_position();
+        let mut q = stop.value();
+        for _ in 0..4 {
+            let reach = p.time_at_position(Meters::new(q));
+            let reach = reach.expect("positions at or before the stop point are reached");
+            assert!((p.position_at(reach) - Meters::new(q)).abs().value() < 1e-9);
+            q = f64::from_bits(q.to_bits() - 1); // next ulp down
+        }
+        // One ulp past the stop point is genuinely unreachable.
+        assert!(p
+            .time_at_position(Meters::new(f64::from_bits(stop.value().to_bits() + 1)))
+            .is_none());
     }
 
     #[test]

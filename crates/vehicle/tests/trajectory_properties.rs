@@ -74,6 +74,54 @@ forall! {
             "position_at(time_at_position(s)) = {round}, wanted {target}");
     }
 
+    /// `time_at_position ∘ position_at` on randomly generated multi-phase
+    /// profiles (hold / accel / decel / full-stop-and-park / relaunch):
+    /// whenever the vehicle is moving at `t`, the first time its position
+    /// is reached is no later than `t`, and mapping that time back through
+    /// `position_at` reproduces the position.
+    fn time_at_position_inverts_position_at(
+        v0 in 0.0f64..3.0,
+        seg1 in (0u64..4, 0.05f64..3.0),
+        seg2 in (0u64..4, 0.05f64..3.0),
+        seg3 in (0u64..4, 0.05f64..3.0),
+        frac in 0.0f64..1.2,
+    ) {
+        let s = spec();
+        let mut p = SpeedProfile::starting_at(TimePoint::ZERO, Meters::ZERO, MetersPerSecond::new(v0));
+        for (kind, param) in [seg1, seg2, seg3] {
+            match kind {
+                0 => p.push_hold(Seconds::new(param)),
+                1 => {
+                    let target = MetersPerSecond::new(param);
+                    let rate = if target >= p.final_speed() { s.a_max } else { s.d_max };
+                    p.push_speed_change(target, rate);
+                }
+                // Full stop, then sit parked — the branch-heavy shape.
+                2 => {
+                    p.push_speed_change(MetersPerSecond::ZERO, s.d_max);
+                    p.push_hold(Seconds::new(param));
+                }
+                // Ulp-edge phase: a near-zero-duration sliver.
+                _ => p.push_hold(Seconds::new(param * 1e-9)),
+            }
+        }
+        let t = TimePoint::new((p.end_time().value() + 0.5) * frac);
+        ck_assume!(p.speed_at(t).value() > 1e-6);
+        let pos = p.position_at(t);
+        let first = p
+            .time_at_position(pos)
+            .expect("a position the vehicle occupies while moving is reached");
+        ck_assert!(
+            first <= t + Seconds::new(1e-9),
+            "first crossing {first} later than occupancy time {t}"
+        );
+        let round = p.position_at(first);
+        ck_assert!(
+            (round - pos).abs().value() < 1e-6,
+            "position_at(time_at_position({pos})) = {round}"
+        );
+    }
+
     /// The Crossroads profile arrives at the line within a millisecond of
     /// the commanded ToA whenever the IM's (ToA, V_T) pair is kinematically
     /// consistent — here generated from the profile itself.
