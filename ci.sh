@@ -53,6 +53,28 @@ if ! cmp -s "$seq_out" "$par_out"; then
     exit 1
 fi
 
+echo "==> corridor grid smoke (reduced grid, 1 thread vs default vs 7)"
+# The E13 corridor sweep (chained intersections, batched pool-parallel
+# admission) must route every vehicle with clean audits and print
+# byte-identical tables at any worker-pool width — the batch merge makes
+# both the sweep pool and the per-corridor batch workers unobservable.
+CROSSROADS_SWEEP_FAST=1 CROSSROADS_BENCH_OUT=/dev/null CROSSROADS_THREADS=1 \
+    ./target/release/exp_grid_sweep >"$seq_out" 2>/dev/null
+CROSSROADS_SWEEP_FAST=1 CROSSROADS_BENCH_OUT=/dev/null \
+    ./target/release/exp_grid_sweep >"$par_out" 2>/dev/null
+if ! cmp -s "$seq_out" "$par_out"; then
+    echo "FAIL: grid sweep output diverges from the sequential run" >&2
+    diff "$seq_out" "$par_out" >&2 || true
+    exit 1
+fi
+CROSSROADS_SWEEP_FAST=1 CROSSROADS_BENCH_OUT=/dev/null CROSSROADS_THREADS=7 \
+    ./target/release/exp_grid_sweep >"$par_out" 2>/dev/null
+if ! cmp -s "$seq_out" "$par_out"; then
+    echo "FAIL: grid sweep output diverges on a 7-thread pool" >&2
+    diff "$seq_out" "$par_out" >&2 || true
+    exit 1
+fi
+
 echo "==> flight-recorder trace smoke (replay identity + divergence diff)"
 # The trace diff tool must find zero divergences when replaying the same
 # points through 1- and 4-thread pools, and must name the first diverging
@@ -96,6 +118,13 @@ echo "==> DES engine vs seed-baseline agreement gate"
 # exhaustive pairwise reference, hard-asserting identical transcripts
 # and verdicts. Timing loops are skipped.
 CROSSROADS_SWEEP_FAST=1 cargo bench --offline --bench des -p crossroads-bench
+
+echo "==> batched-admission verdict agreement gate"
+# Quick mode: benches/grid.rs hard-asserts that batched pool-parallel
+# admission returns the serial baseline's verdict for all 10k requests
+# across 8 shards at 1/2/4/8 workers. Timing loops are skipped.
+CROSSROADS_SWEEP_FAST=1 CROSSROADS_BENCH_OUT=/dev/null \
+    cargo bench --offline --bench grid -p crossroads-bench
 
 echo "==> AIM analytic-vs-marched kernel agreement gate"
 # Quick mode: benches/trajectory.rs hard-asserts that the closed-form

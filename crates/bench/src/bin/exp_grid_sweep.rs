@@ -1,0 +1,80 @@
+//! E13 — corridor grid: K chained intersections × arterial rate ×
+//! policy, at 10k vehicles.
+//!
+//! Beyond the paper: the ROADMAP's network-scale headline. Each point
+//! chains K identical intersections into an arterial corridor
+//! (westbound and eastbound through-traffic handed off box to box,
+//! cross traffic at every intersection), runs the full V2I loop on every
+//! leg with batched pool-parallel admission, and reports the corridor's
+//! carried flow. The K = 8 points route 10,000 vehicles each.
+//!
+//! Stdout is byte-identical at any `CROSSROADS_THREADS` setting: the
+//! table carries only simulation-side figures, and the corridor's batch
+//! merge makes worker count unobservable. Wall-clock figures (events/s)
+//! land in `BENCH_sweep.json` alongside the deterministic grid summary
+//! record.
+
+use crossroads_bench::{
+    emit_bench_record, grid_label, grid_points, grid_row, grid_summary_point, par_sweep,
+    run_grid_point, GRID_SEED,
+};
+use crossroads_core::policy::PolicyKind;
+use crossroads_metrics::grid_summary_to_json;
+
+fn main() {
+    println!("# E13 — corridor grid: K intersections x arterial rate x policy\n");
+    crossroads_bench::table_header(&[
+        "policy",
+        "K",
+        "rate (cars/s/dir)",
+        "vehicles",
+        "handoffs",
+        "veh/hour",
+        "avg wait (s)",
+    ]);
+
+    let points = grid_points();
+    let outcomes = par_sweep("exp_grid_sweep", &points, grid_label, |p| {
+        run_grid_point(p, GRID_SEED)
+    });
+
+    for (p, out) in points.iter().zip(&outcomes) {
+        println!("{}", grid_row(p, out));
+    }
+
+    let summaries: Vec<_> = points
+        .iter()
+        .zip(&outcomes)
+        .map(|(p, out)| grid_summary_point(p, out))
+        .collect();
+    emit_bench_record(&grid_summary_to_json("exp_grid_sweep", &summaries));
+
+    // Corridor scaling: carried flow by corridor length at the top rate,
+    // per policy. Longer corridors serve proportionally more demand, so
+    // veh/hour growing with K is the headline scale-out claim.
+    let top_rate = points.iter().map(|p| p.rate).fold(0.0, f64::max);
+    println!("\n## Corridor scaling at {top_rate} cars/s/direction\n");
+    crossroads_bench::table_header(&["policy", "K", "veh/hour", "handoffs"]);
+    for policy in PolicyKind::ALL {
+        for (p, out) in points.iter().zip(&outcomes) {
+            if p.policy == policy && p.rate == top_rate {
+                println!(
+                    "| {} | {} | {:.0} | {} |",
+                    p.policy,
+                    p.k,
+                    out.metrics.flow_rate() * 3600.0,
+                    out.handoffs,
+                );
+            }
+        }
+    }
+
+    let total: usize = outcomes.iter().map(|o| o.spawned).sum();
+    let safe = outcomes
+        .iter()
+        .all(crossroads_core::CorridorOutcome::is_safe);
+    println!(
+        "\n{total} vehicles routed across the grid, zero stranded, safety audits {}",
+        if safe { "clean" } else { "FAILED" }
+    );
+}

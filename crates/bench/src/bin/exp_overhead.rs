@@ -60,6 +60,30 @@ fn main() {
             .max(msgs[PolicyKind::Aim.index()] / msgs[PolicyKind::Crossroads.index()]);
     }
 
+    println!("\n## Decision-latency SLO (per policy, all rates pooled)\n");
+    crossroads_bench::table_header(&["policy", "decisions", "p50", "p95", "p99", "max"]);
+    let mut pooled: [crossroads_metrics::Histogram; PolicyKind::ALL.len()] = Default::default();
+    for (&(_, policy), out) in points.iter().zip(&outcomes) {
+        pooled[policy.index()].absorb(&out.metrics.decision_latency_histogram());
+    }
+    for policy in PolicyKind::ALL {
+        let h = &pooled[policy.index()];
+        // Quantiles are the histogram's upper bucket edges, so each cell
+        // is a guaranteed "latency ≤ shown" bound.
+        let cell = |q: f64| match h.quantile(q) {
+            Some(s) => format!("{:.3} ms", s * 1e3),
+            None => String::from("-"),
+        };
+        println!(
+            "| {policy} | {} | {} | {} | {} | {} |",
+            h.count(),
+            cell(0.5),
+            cell(0.95),
+            cell(0.99),
+            cell(1.0),
+        );
+    }
+
     println!("\n## Paper vs measured\n");
     crossroads_bench::table_header(&["claim", "paper", "measured"]);
     println!("| AIM/Crossroads compute per request | up to 16x | {worst_ops_ratio:.1}x |");

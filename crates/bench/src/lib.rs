@@ -15,15 +15,21 @@ use std::io::Write as _;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Instant;
 
+use std::path::{Path, PathBuf};
+
 use crossroads_core::policy::PolicyKind;
-use crossroads_core::sim::{run_simulation, SimConfig, SimOutcome};
-use crossroads_metrics::{bench_sweep_to_json, BenchPoint};
+use crossroads_core::sim::{run_simulation, run_simulation_traced, SimConfig, SimOutcome};
+use crossroads_core::{run_corridor, run_corridor_traced, CorridorConfig, CorridorOutcome};
+use crossroads_metrics::{bench_sweep_to_json, BenchPoint, GridPointSummary};
 use crossroads_net::{FaultConfig, GilbertElliott};
 use crossroads_prng::{SeedableRng, StdRng};
-use crossroads_traffic::{generate_poisson, Arrival, PoissonConfig};
+use crossroads_trace::{Recorder, Trace};
+use crossroads_traffic::{
+    generate_corridor, generate_poisson, Arrival, CorridorDemand, PoissonConfig,
+};
 use crossroads_units::{MetersPerSecond, Seconds};
 
-pub use crossroads_pool::{threads_from_env, WorkerPool};
+pub use crossroads_pool::{threads_from_env, BatchHost, WorkerPool};
 
 /// The input flow rates of Fig. 7.2 (cars/second/lane).
 pub const SWEEP_RATES: [f64; 9] = [0.05, 0.1, 0.2, 0.3, 0.4, 0.6, 0.8, 1.0, 1.25];
@@ -37,6 +43,84 @@ pub const FAST_ENV: &str = "CROSSROADS_SWEEP_FAST";
 /// Environment variable overriding where sweep timings are appended
 /// (default `BENCH_sweep.json`; `/dev/null` discards them).
 pub const BENCH_OUT_ENV: &str = "CROSSROADS_BENCH_OUT";
+
+/// Environment variable engaging the post-mortem flight recorder. When
+/// set (and not `0`), every guarded sweep point runs with a last-N ring
+/// [`Recorder`] attached, and a point that fails its soundness checks
+/// (stranded vehicles or a safety violation) dumps the ring to disk
+/// before the harness panics, so a diverging CI sweep leaves a replayable
+/// `.xrtr` flight recording behind. The variable's value names the dump
+/// directory; the value `1` selects `trace_dumps/`.
+pub const TRACE_ENV: &str = "CROSSROADS_TRACE";
+
+/// Ring capacity of the post-mortem recorder: the last 4096 records give
+/// plenty of context around the failing decision without unbounded
+/// memory on long sweeps.
+pub const TRACE_RING_CAPACITY: usize = 4096;
+
+/// The flight-recorder dump directory selected by [`TRACE_ENV`], or
+/// `None` when post-mortem tracing is disabled.
+#[must_use]
+pub fn trace_dump_dir() -> Option<PathBuf> {
+    let v = std::env::var_os(TRACE_ENV)?;
+    if v.is_empty() || v == *"0" {
+        return None;
+    }
+    if v == *"1" {
+        Some(PathBuf::from("trace_dumps"))
+    } else {
+        Some(PathBuf::from(v))
+    }
+}
+
+/// Writes `trace` to `<dir>/<label>.xrtr` in the binary trace format
+/// (creating `dir` if needed) and returns the path. The label is
+/// sanitized to a filename-safe alphabet, so point labels like
+/// `Crossroads@0.3/s42` can be used directly.
+///
+/// # Errors
+///
+/// Returns any I/O error from creating the directory or writing the file.
+pub fn dump_ring_trace(dir: &Path, label: &str, trace: &Trace) -> std::io::Result<PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let safe: String = label
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || matches!(c, '-' | '_' | '.') {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    let path = dir.join(format!("{safe}.xrtr"));
+    std::fs::write(&path, crossroads_trace::codec::encode(trace))?;
+    Ok(path)
+}
+
+/// Runs one simulation with the [`TRACE_ENV`] post-mortem guard: when
+/// tracing is enabled the run carries a ring recorder, and an unsound
+/// outcome (stranded vehicles or safety violations — the conditions every
+/// sweep harness asserts) dumps the flight recording to disk before the
+/// caller's assertion fires.
+#[must_use]
+pub fn run_point_guarded(config: &SimConfig, workload: &[Arrival], label: &str) -> SimOutcome {
+    let Some(dir) = trace_dump_dir() else {
+        return run_simulation(config, workload);
+    };
+    let mut recorder = Recorder::ring(TRACE_RING_CAPACITY);
+    let outcome = run_simulation_traced(config, workload, &mut recorder);
+    if !outcome.all_completed() || !outcome.safety.is_safe() {
+        match dump_ring_trace(&dir, label, &recorder.snapshot()) {
+            Ok(path) => eprintln!(
+                "[{label}] unsound run; flight recording at {}",
+                path.display()
+            ),
+            Err(e) => eprintln!("[{label}] unsound run; trace dump failed: {e}"),
+        }
+    }
+    outcome
+}
 
 /// Whether `CROSSROADS_SWEEP_FAST` selects the reduced smoke sweep
 /// (any value but `0` enables it).
@@ -144,10 +228,13 @@ pub fn emit_micro_bench(experiment: &str, total_ms: f64, points: &[BenchPoint]) 
     emit_bench_record(&bench_sweep_to_json(experiment, 1, total_ms, points));
 }
 
-/// Appends one JSONL record to the bench output file. The first write of
-/// a process truncates, so every binary run starts a fresh trajectory
-/// capture; later sweeps in the same run append.
-fn emit_bench_record(record: &str) {
+/// Appends one JSONL record to the bench output file (see
+/// [`BENCH_OUT_ENV`]). The first write of a process truncates, so every
+/// binary run starts a fresh trajectory capture; later sweeps in the
+/// same run append. Public so experiment binaries can land additional
+/// record kinds (e.g. the deterministic grid summary) next to the timed
+/// sweeps.
+pub fn emit_bench_record(record: &str) {
     static APPEND: AtomicBool = AtomicBool::new(false);
     let path = std::env::var(BENCH_OUT_ENV).unwrap_or_else(|_| String::from("BENCH_sweep.json"));
     let truncate = !APPEND.swap(true, Ordering::Relaxed);
@@ -189,7 +276,7 @@ pub fn sweep_workload(config: &SimConfig, rate: f64, seed: u64) -> Vec<Arrival> 
 pub fn run_sweep_point(policy: PolicyKind, rate: f64, seed: u64) -> SimOutcome {
     let config = SimConfig::full_scale(policy).with_seed(seed);
     let workload = sweep_workload(&config, rate, seed.wrapping_add(1000));
-    let outcome = run_simulation(&config, &workload);
+    let outcome = run_point_guarded(&config, &workload, &format!("{policy}@{rate}-s{seed}"));
     assert!(
         outcome.all_completed(),
         "{policy} at rate {rate}: {}/{} vehicles completed",
@@ -246,7 +333,11 @@ pub fn run_fault_point(
         .with_seed(seed)
         .with_faults(fault_point(burst, outage_secs));
     let workload = sweep_workload(&config, rate, seed.wrapping_add(1000));
-    let outcome = run_simulation(&config, &workload);
+    let outcome = run_point_guarded(
+        &config,
+        &workload,
+        &format!("{policy}@{rate}-b{burst}-o{outage_secs}-s{seed}"),
+    );
     assert!(
         outcome.all_completed(),
         "{policy} burst={burst} outage={outage_secs}s seed={seed}: \
@@ -286,7 +377,7 @@ pub fn ideal_config() -> SimConfig {
 pub fn run_ideal_point(rate: f64, seed: u64) -> SimOutcome {
     let config = ideal_config().with_seed(seed);
     let workload = sweep_workload(&config, rate, seed.wrapping_add(1000));
-    let outcome = run_simulation(&config, &workload);
+    let outcome = run_point_guarded(&config, &workload, &format!("ideal@{rate}-s{seed}"));
     assert!(outcome.all_completed(), "ideal at rate {rate}: incomplete");
     assert!(outcome.safety.is_safe(), "ideal at rate {rate}: unsafe");
     outcome
@@ -296,6 +387,157 @@ pub fn run_ideal_point(rate: f64, seed: u64) -> SimOutcome {
 #[must_use]
 pub fn carried_per_lane(outcome: &SimOutcome) -> f64 {
     outcome.metrics.flow_rate() / 4.0
+}
+
+/// Fixed worker count of the corridor's batched admission pool in the
+/// grid sweep. Independent of `CROSSROADS_THREADS` (which sizes the
+/// *point-level* pool), so the sweep's stdout is byte-identical at any
+/// thread count — and because the batch merge is deterministic, the
+/// worker count would be unobservable anyway.
+pub const GRID_BATCH_WORKERS: usize = 4;
+
+/// The seed every grid point runs at.
+pub const GRID_SEED: u64 = 11;
+
+/// One corridor grid point: a policy crossing a corridor length and an
+/// arterial demand level.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GridPoint {
+    /// The admission policy every IM in the corridor runs.
+    pub policy: PolicyKind,
+    /// Chained intersections.
+    pub k: usize,
+    /// Arterial arrival rate, cars/second per direction (cross traffic
+    /// runs at half this rate per lane).
+    pub rate: f64,
+}
+
+/// Display label of a grid point, e.g. `Crossroads@K4/r0.25`.
+#[must_use]
+pub fn grid_label(p: &GridPoint) -> String {
+    format!("{}@K{}/r{}", p.policy, p.k, p.rate)
+}
+
+/// The E13 grid: K ∈ {1, 2, 4, 8} × arterial rate × all three policies
+/// (fast mode trims to K ∈ {1, 4} at one rate). Workload size scales
+/// with K, so the K = 8 headline points route 10k vehicles each. The
+/// rates sit below every policy's measured saturation throughput
+/// (~0.1 car/s/lane, E5) — at 10k vehicles the corridor runs long enough
+/// that any oversubscription strands the tail of the queue.
+#[must_use]
+pub fn grid_points() -> Vec<GridPoint> {
+    let (ks, rates): (&[usize], &[f64]) = if fast_sweep() {
+        (&[1, 4], &[0.08])
+    } else {
+        (&[1, 2, 4, 8], &[0.05, 0.08])
+    };
+    ks.iter()
+        .flat_map(|&k| {
+            rates.iter().flat_map(move |&rate| {
+                PolicyKind::ALL.map(move |policy| GridPoint { policy, k, rate })
+            })
+        })
+        .collect()
+}
+
+/// Demand shape of one grid point: two arterial directions at `rate`,
+/// cross traffic at every intersection at `rate / 2` per lane, total
+/// vehicles proportional to corridor length (1250 per intersection —
+/// 10k at K = 8; 100 per intersection in fast mode).
+#[must_use]
+pub fn grid_demand(config: &SimConfig, k: usize, rate: f64) -> CorridorDemand {
+    #[allow(clippy::cast_possible_truncation)]
+    let per_k = if fast_sweep() { 100u32 } else { 1250u32 };
+    CorridorDemand {
+        k,
+        arterial_rate: rate,
+        cross_rate: rate / 2.0,
+        total_vehicles: per_k * k as u32,
+        line_speed: config.typical_line_speed(),
+        min_headway: Seconds::new(1.0),
+    }
+}
+
+/// Runs one corridor with the [`TRACE_ENV`] post-mortem guard, exactly
+/// as [`run_point_guarded`] does for single intersections.
+#[must_use]
+pub fn run_corridor_guarded(
+    config: &CorridorConfig,
+    workload: &[Arrival],
+    entry_ims: &[u32],
+    label: &str,
+) -> CorridorOutcome {
+    let Some(dir) = trace_dump_dir() else {
+        return run_corridor(config, workload, entry_ims);
+    };
+    let mut recorder = Recorder::ring(TRACE_RING_CAPACITY);
+    let outcome = run_corridor_traced(config, workload, entry_ims, &mut recorder);
+    if !outcome.all_completed() || !outcome.is_safe() {
+        match dump_ring_trace(&dir, label, &recorder.snapshot()) {
+            Ok(path) => eprintln!(
+                "[{label}] unsound run; flight recording at {}",
+                path.display()
+            ),
+            Err(e) => eprintln!("[{label}] unsound run; trace dump failed: {e}"),
+        }
+    }
+    outcome
+}
+
+/// Runs one grid point end to end and asserts it is sound.
+///
+/// # Panics
+///
+/// Panics if any vehicle is stranded or any intersection's safety audit
+/// finds a violation.
+#[must_use]
+pub fn run_grid_point(p: &GridPoint, seed: u64) -> CorridorOutcome {
+    let sim = SimConfig::full_scale(p.policy).with_seed(seed);
+    let demand = grid_demand(&sim, p.k, p.rate);
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_add(2000));
+    let (workload, entry_ims) = generate_corridor(&demand, &mut rng);
+    let config = CorridorConfig::new(sim, p.k).with_batch_workers(GRID_BATCH_WORKERS);
+    let label = grid_label(p);
+    let out = run_corridor_guarded(&config, &workload, &entry_ims, &label);
+    assert!(
+        out.all_completed(),
+        "{label}: {} of {} vehicles stranded",
+        out.stranded(),
+        out.spawned
+    );
+    assert!(out.is_safe(), "{label}: SAFETY VIOLATION");
+    out
+}
+
+/// One markdown row of the grid table — pure function of the outcome,
+/// shared by `exp_grid_sweep` and the thread-count identity test.
+#[must_use]
+pub fn grid_row(p: &GridPoint, out: &CorridorOutcome) -> String {
+    format!(
+        "| {} | {} | {} | {} | {} | {:.0} | {:.2} |",
+        p.policy,
+        p.k,
+        p.rate,
+        out.spawned,
+        out.handoffs,
+        out.metrics.flow_rate() * 3600.0,
+        out.metrics.average_wait().value(),
+    )
+}
+
+/// The grid point's deterministic `BENCH_sweep.json` summary entry.
+#[must_use]
+pub fn grid_summary_point(p: &GridPoint, out: &CorridorOutcome) -> GridPointSummary {
+    GridPointSummary {
+        label: grid_label(p),
+        k: p.k,
+        rate: p.rate,
+        vehicles: out.spawned,
+        completed: out.metrics.completed(),
+        handoffs: out.handoffs,
+        vehicles_per_hour: out.metrics.flow_rate() * 3600.0,
+        average_wait: out.metrics.average_wait().value(),
+    }
 }
 
 /// Prints a markdown table header.
@@ -324,5 +566,23 @@ mod tests {
     fn run_sweep_point_is_sound_at_low_rate() {
         let out = run_sweep_point(PolicyKind::Crossroads, 0.05, 9);
         assert!(carried_per_lane(&out) > 0.0);
+    }
+
+    #[test]
+    fn ring_trace_dump_round_trips_and_sanitizes_labels() {
+        let config = SimConfig::full_scale(PolicyKind::Crossroads).with_seed(3);
+        let workload = sweep_workload(&config, 0.05, 1003);
+        let mut recorder = Recorder::ring(64);
+        let _ = run_simulation_traced(&config, &workload, &mut recorder);
+        let trace = recorder.snapshot();
+        assert!(!trace.records.is_empty(), "a run must leave records");
+
+        let dir = std::env::temp_dir().join(format!("xr_trace_dump_{}", std::process::id()));
+        let path = dump_ring_trace(&dir, "Crossroads@0.05/s3", &trace).expect("dump must succeed");
+        assert_eq!(path.file_name().unwrap(), "Crossroads_0.05_s3.xrtr");
+        let bytes = std::fs::read(&path).expect("dump readable");
+        let decoded = crossroads_trace::codec::decode(&bytes).expect("dump decodes");
+        assert_eq!(decoded, trace, "disk round trip must be lossless");
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -45,6 +45,7 @@ pub use buffer::BufferModel;
 pub use policy::{IntersectionPolicy, PolicyKind};
 pub use request::{CrossingCommand, CrossingRequest};
 pub use sim::{
-    run_simulation, run_simulation_traced, thread_events_processed, SimConfig, SimOutcome,
+    run_corridor, run_corridor_traced, run_simulation, run_simulation_traced,
+    thread_events_processed, CorridorConfig, CorridorOutcome, SimConfig, SimOutcome,
     AIM_ANALYTIC_ENV,
 };

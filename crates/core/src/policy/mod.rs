@@ -56,7 +56,11 @@ impl std::fmt::Display for PolicyKind {
 /// An intersection manager's decision logic, independent of the network
 /// and execution environment (the simulator drives any implementor
 /// identically — DESIGN.md §5.5).
-pub trait IntersectionPolicy {
+///
+/// `Send` because a corridor world ships each shard's policy to a
+/// `crossroads_pool::BatchHost` worker for batched admission; exactly one
+/// worker touches a given policy per batch, so no `Sync` is needed.
+pub trait IntersectionPolicy: Send {
     /// Protocol identifier.
     fn kind(&self) -> PolicyKind;
 

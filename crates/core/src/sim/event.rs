@@ -7,28 +7,40 @@ use crate::request::{CrossingCommand, CrossingRequest};
 /// Everything that can happen in the world. Events carrying a
 /// `plan_version` are ignored when the vehicle has re-planned since they
 /// were scheduled (cheap logical cancellation).
+///
+/// In a corridor world the V2I events additionally carry the intersection
+/// (shard) index they belong to: a vehicle restarts its protocol at every
+/// handoff, so an event scheduled on one leg must never be acted on by
+/// the next leg's fresh state machine. Single-intersection worlds carry a
+/// constant 0 — the guards never fire and the event flow is identical to
+/// the pre-corridor world.
 #[derive(Debug, Clone)]
 pub(crate) enum Event {
     /// A workload vehicle crosses the transmission line (index into the
     /// workload slice).
     LineCrossing(usize),
-    /// Clock synchronization with the IM finished.
-    SyncComplete(VehicleId),
-    /// The vehicle should (re)transmit its crossing request; `attempt`
-    /// guards against stale firings.
-    SendRequest(VehicleId, u32),
-    /// An uplink frame reached the IM radio.
-    UplinkArrival(VehicleId, CrossingRequest),
-    /// The IM finished computing this response (for the tagged request
-    /// attempt); transmit it. The final field is the IM process epoch the
-    /// computation started in: a crash bumps the epoch, so results of
-    /// computations that were in flight when the IM died are discarded on
-    /// arrival rather than transmitted by a machine that no longer exists.
-    ImFinish(VehicleId, u32, CrossingCommand, u32),
-    /// A downlink frame reached the vehicle, answering the tagged attempt.
-    DownlinkArrival(VehicleId, u32, CrossingCommand),
-    /// The vehicle's response timeout elapsed for `attempt`.
-    ResponseTimeout(VehicleId, u32),
+    /// Clock synchronization with the tagged IM finished.
+    SyncComplete(VehicleId, u32),
+    /// The vehicle should (re)transmit its crossing request to the tagged
+    /// IM; `attempt` guards against stale firings.
+    SendRequest(VehicleId, u32, u32),
+    /// An uplink frame reached the tagged IM's radio. The shard is bound
+    /// at send time: a frame in flight when its vehicle hands off still
+    /// lands at the IM it was addressed to.
+    UplinkArrival(VehicleId, u32, CrossingRequest),
+    /// The tagged IM finished computing this response (for the tagged
+    /// request attempt); transmit it. The final field is the IM process
+    /// epoch the computation started in: a crash bumps the epoch, so
+    /// results of computations that were in flight when the IM died are
+    /// discarded on arrival rather than transmitted by a machine that no
+    /// longer exists.
+    ImFinish(VehicleId, u32, u32, CrossingCommand, u32),
+    /// A downlink frame from the tagged IM reached the vehicle, answering
+    /// the tagged attempt.
+    DownlinkArrival(VehicleId, u32, u32, CrossingCommand),
+    /// The vehicle's response timeout elapsed for `attempt` on the tagged
+    /// leg.
+    ResponseTimeout(VehicleId, u32, u32),
     /// Last moment to start braking without a plan (`plan_version` guard).
     StopGuard(VehicleId, u32),
     /// The braking profile completed; the vehicle now waits at the line.
@@ -37,13 +49,17 @@ pub(crate) enum Event {
     BoxEntry(VehicleId, u32),
     /// Rear bumper clears the box (`plan_version` guard).
     BoxExit(VehicleId, u32),
-    /// The vehicle's exit notification reached the IM.
-    ImExitNotice(VehicleId),
-    /// Fault injection: the IM process crashes. Uplinks arriving until the
-    /// matching restart are dropped, queued requests and in-flight
-    /// computations are lost.
-    ImCrash,
-    /// Fault injection: the crashed IM comes back up and conservatively
-    /// re-validates its ledger (`IntersectionPolicy::on_restart`).
-    ImRestart,
+    /// The vehicle's exit notification reached the tagged IM.
+    ImExitNotice(VehicleId, u32),
+    /// Corridor handoff: the vehicle reaches the tagged downstream
+    /// intersection's transmission line after traversing the link.
+    LinkArrival(VehicleId, u32),
+    /// Fault injection: the tagged IM process crashes. Uplinks arriving
+    /// until the matching restart are dropped, queued requests and
+    /// in-flight computations are lost.
+    ImCrash(u32),
+    /// Fault injection: the tagged crashed IM comes back up and
+    /// conservatively re-validates its ledger
+    /// (`IntersectionPolicy::on_restart`).
+    ImRestart(u32),
 }

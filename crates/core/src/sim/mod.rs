@@ -17,6 +17,7 @@ use crossroads_des::Simulation;
 use crossroads_intersection::{ConflictTable, IntersectionGeometry, ReservationTable};
 use crossroads_metrics::RunMetrics;
 use crossroads_net::{ChannelConfig, ComputationDelayModel, FaultConfig};
+use crossroads_pool::BatchHost;
 use crossroads_trace::Recorder;
 use crossroads_traffic::Arrival;
 use crossroads_units::{MetersPerSecond, Seconds, TimePoint};
@@ -28,14 +29,15 @@ use crate::policy::{AimPolicy, CrossroadsPolicy, IntersectionPolicy, PolicyKind,
 use self::event::Event;
 use self::world::World;
 
-/// Environment flag that flips AIM onto the closed-form analytic
-/// footprint kernel (`propose_analytic`). Set to any value except `"0"`
-/// to enable; unset (the default) keeps the seed's stepped march, whose
-/// experiment stdout is pinned byte-for-byte. The two kernels always
-/// agree on accept/reject verdicts, and the analytic tile intervals
-/// cover the marched ones (see `tests/analytic_oracle.rs`), so flipping
-/// the flag can only make reservations slightly more conservative —
-/// never less safe.
+/// Environment flag selecting AIM's footprint kernel. The closed-form
+/// analytic kernel (`propose_analytic`) is the **default**; set the flag
+/// to `"0"` to fall back to the stepped march (`propose_marched`), which
+/// stays maintained as the differential-test oracle. The two kernels
+/// always agree on accept/reject verdicts, and the analytic tile
+/// intervals cover the marched ones (see `tests/analytic_oracle.rs`), so
+/// the kernels differ only in how conservative the reservation intervals
+/// are — never in safety. The pinned experiment stdouts correspond to
+/// the analytic default.
 pub const AIM_ANALYTIC_ENV: &str = "CROSSROADS_AIM_ANALYTIC";
 
 /// Everything one experiment needs.
@@ -91,7 +93,7 @@ impl SimConfig {
             seed: 0,
             aim_grid_side: 8,
             aim_sim_step: Seconds::from_millis(20.0),
-            aim_analytic: std::env::var_os(AIM_ANALYTIC_ENV).is_some_and(|v| v != *"0"),
+            aim_analytic: std::env::var_os(AIM_ANALYTIC_ENV).map_or(true, |v| v != *"0"),
             aim_retry_interval: Seconds::from_millis(300.0),
             aim_slowdown_factor: 0.7,
             crawl_fraction: 0.30,
@@ -281,8 +283,8 @@ fn run_with_recorder(
         .map_or(TimePoint::ZERO, |a| a.at_line + config.horizon_slack);
     if config.fault.enabled() {
         for (crash, restart) in config.fault.outage_windows(horizon - TimePoint::ZERO) {
-            sim.schedule(TimePoint::ZERO + crash, Event::ImCrash);
-            sim.schedule(TimePoint::ZERO + restart, Event::ImRestart);
+            sim.schedule(TimePoint::ZERO + crash, Event::ImCrash(0));
+            sim.schedule(TimePoint::ZERO + restart, Event::ImRestart(0));
         }
     }
     let run = sim.run_until(horizon, |sim, ev| {
@@ -307,14 +309,239 @@ fn run_with_recorder(
     }
     metrics.add_counters(&counters);
 
-    let occupancies = std::mem::take(&mut world.occupancies);
-    let safety = SafetyReport::audit(occupancies, &config.geometry, &config.spec);
-    world.record_audit(&sim, &safety);
+    let mut occupancies = std::mem::take(&mut world.occupancies);
+    let safety = SafetyReport::audit(
+        occupancies.pop().expect("single-intersection world"),
+        &config.geometry,
+        &config.spec,
+    );
+    world.record_audit(&sim, 0, &safety);
 
     SimOutcome {
         metrics,
         safety,
         spawned: workload.len(),
         ended_at: sim.now(),
+    }
+}
+
+/// Configuration of a corridor run: `k` chained intersections sharing one
+/// [`SimConfig`], connected by fixed-travel-time links, with optional
+/// batched pool-parallel admission.
+#[derive(Debug, Clone, Copy)]
+pub struct CorridorConfig {
+    /// The per-intersection configuration (every IM in the corridor runs
+    /// the same policy, geometry and radio).
+    pub sim: SimConfig,
+    /// Number of chained intersections (`k >= 1`; `k == 1` is exactly a
+    /// single-intersection run).
+    pub k: usize,
+    /// Exit-to-next-transmission-line travel time between adjacent
+    /// intersections.
+    pub link_time: Seconds,
+    /// Worker threads for batched admission. Below 2 the corridor decides
+    /// serially inline with each uplink — the same code path as
+    /// [`run_simulation`] — which is also the deterministic reference the
+    /// batched mode must (and does) reproduce byte-for-byte.
+    pub batch_workers: usize,
+}
+
+impl CorridorConfig {
+    /// A corridor of `k` identical intersections with a 6-second link.
+    #[must_use]
+    pub fn new(sim: SimConfig, k: usize) -> Self {
+        CorridorConfig {
+            sim,
+            k,
+            link_time: Seconds::new(6.0),
+            batch_workers: 0,
+        }
+    }
+
+    /// Replaces the link travel time.
+    #[must_use]
+    pub fn with_link_time(mut self, link_time: Seconds) -> Self {
+        self.link_time = link_time;
+        self
+    }
+
+    /// Enables batched pool-parallel admission on `workers` threads.
+    #[must_use]
+    pub fn with_batch_workers(mut self, workers: usize) -> Self {
+        self.batch_workers = workers;
+        self
+    }
+
+    /// Validates the corridor shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `k == 0`, or when `link_time` is shorter than 2 s: the
+    /// V2I retransmission timeouts are all well under that bound, so a
+    /// link this long guarantees no stale event of the previous leg can
+    /// still be in flight when the vehicle reaches the next intersection.
+    pub fn validate(&self) {
+        assert!(self.k >= 1, "a corridor needs at least one intersection");
+        assert!(
+            self.link_time >= Seconds::new(2.0),
+            "link_time {} must be >= 2 s (the stale-event horizon)",
+            self.link_time
+        );
+    }
+}
+
+/// Result of one corridor run.
+#[derive(Debug)]
+pub struct CorridorOutcome {
+    /// Per-vehicle trip records (line crossing to final box clearance,
+    /// across all legs) and aggregate load counters summed over shards.
+    pub metrics: RunMetrics,
+    /// One ground-truth safety audit per intersection.
+    pub safety: Vec<SafetyReport>,
+    /// Vehicles in the workload.
+    pub spawned: usize,
+    /// Simulated instant the run ended.
+    pub ended_at: TimePoint,
+    /// Completed intersection-to-intersection handoffs.
+    pub handoffs: u64,
+}
+
+impl CorridorOutcome {
+    /// Whether every spawned vehicle cleared its final intersection.
+    #[must_use]
+    pub fn all_completed(&self) -> bool {
+        self.metrics.completed() == self.spawned
+    }
+
+    /// Vehicles that never cleared their final box.
+    #[must_use]
+    pub fn stranded(&self) -> usize {
+        self.spawned - self.metrics.completed()
+    }
+
+    /// Whether every intersection's audit found zero conflicts.
+    #[must_use]
+    pub fn is_safe(&self) -> bool {
+        self.safety.iter().all(SafetyReport::is_safe)
+    }
+}
+
+/// Runs a corridor experiment: `workload[i]` enters the network at
+/// intersection `entry_ims[i]` (missing entries default to 0). Arterial
+/// through-traffic (westbound/eastbound `Straight` movements) chains to
+/// the adjacent intersection after `link_time`; everything else exits
+/// after one box.
+///
+/// Deterministic: the same `(config, workload, entry_ims)` triple always
+/// produces the identical outcome, at any `batch_workers` setting — the
+/// batch merge replays decisions in shard-then-queue order, so worker
+/// count is unobservable.
+///
+/// # Panics
+///
+/// Panics if [`CorridorConfig::validate`] rejects the configuration, an
+/// entry index is out of range, or the workload is not sorted by arrival
+/// time.
+#[must_use]
+pub fn run_corridor(
+    config: &CorridorConfig,
+    workload: &[Arrival],
+    entry_ims: &[u32],
+) -> CorridorOutcome {
+    run_corridor_with_recorder(config, workload, entry_ims, None)
+}
+
+/// [`run_corridor`] with the flight recorder engaged (see
+/// [`run_simulation_traced`] for the recording contract).
+///
+/// # Panics
+///
+/// As [`run_corridor`].
+#[must_use]
+pub fn run_corridor_traced(
+    config: &CorridorConfig,
+    workload: &[Arrival],
+    entry_ims: &[u32],
+    recorder: &mut Recorder,
+) -> CorridorOutcome {
+    run_corridor_with_recorder(config, workload, entry_ims, Some(recorder))
+}
+
+fn run_corridor_with_recorder(
+    config: &CorridorConfig,
+    workload: &[Arrival],
+    entry_ims: &[u32],
+    recorder: Option<&mut Recorder>,
+) -> CorridorOutcome {
+    config.validate();
+    assert!(
+        entry_ims.iter().all(|&im| (im as usize) < config.k),
+        "every entry intersection must be inside the corridor"
+    );
+    let host = (config.batch_workers >= 2).then(|| BatchHost::new(config.batch_workers));
+    let mut sim: Simulation<Event> = Simulation::new();
+    let mut world =
+        World::new_corridor(&config.sim, workload, entry_ims, config.k, config.link_time);
+    world.batch = host.as_ref();
+    world.recorder = recorder;
+    for (i, arr) in workload.iter().enumerate() {
+        sim.schedule(arr.at_line, Event::LineCrossing(i));
+    }
+    // A through-vehicle entering at the last arrival still has up to
+    // `k - 1` legs ahead of it: extend the horizon so the tail of the
+    // corridor drains before the run is cut off.
+    #[allow(clippy::cast_precision_loss)]
+    let corridor_slack = (config.link_time + Seconds::new(120.0)) * (config.k - 1) as f64;
+    let horizon = workload
+        .last()
+        .map_or(TimePoint::ZERO, |a| a.at_line + config.sim.horizon_slack)
+        + corridor_slack;
+    if config.sim.fault.enabled() {
+        // Each IM crashes on the same schedule (the windows are a pure
+        // function of the config), but recovers independently: shard-local
+        // queues, epochs and fault streams.
+        for (crash, restart) in config.sim.fault.outage_windows(horizon - TimePoint::ZERO) {
+            for im in 0..config.k {
+                sim.schedule(TimePoint::ZERO + crash, Event::ImCrash(im as u32));
+                sim.schedule(TimePoint::ZERO + restart, Event::ImRestart(im as u32));
+            }
+        }
+    }
+    let run = sim.run_until(horizon, |sim, ev| {
+        world.handle(sim, ev);
+        world.maybe_drain(sim);
+        true
+    });
+    DES_EVENTS.with(|c| c.set(c.get() + run.events_processed));
+
+    let mut metrics = std::mem::take(&mut world.metrics);
+    let mut counters = world.counters;
+    counters.im_ops = world.policy_ops();
+    counters.des_events = run.events_processed;
+    let stats = world.channel_stats();
+    counters.messages = stats.total_sent();
+    counters.messages_lost = stats.lost;
+    if let Some(fault_stats) = world.fault_stats() {
+        counters.burst_losses = fault_stats.burst_losses;
+        counters.messages_lost += fault_stats.burst_losses;
+        counters.messages += fault_stats.duplicated;
+    }
+    metrics.add_counters(&counters);
+
+    let occupancies = std::mem::take(&mut world.occupancies);
+    let safety: Vec<SafetyReport> = occupancies
+        .into_iter()
+        .map(|occ| SafetyReport::audit(occ, &config.sim.geometry, &config.sim.spec))
+        .collect();
+    for (im, report) in safety.iter().enumerate() {
+        world.record_audit(&sim, im, report);
+    }
+
+    CorridorOutcome {
+        metrics,
+        safety,
+        spawned: workload.len(),
+        ended_at: sim.now(),
+        handoffs: world.handoffs,
     }
 }

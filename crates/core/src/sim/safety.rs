@@ -191,9 +191,17 @@ fn movement_paths(
         .collect()
 }
 
-/// The per-pair test both audits share: interval overlap, then geometric
-/// replay. Returns the violation (entry-ordered vehicle pair, first
+/// The per-pair test both audits share: interval overlap, then contact
+/// search. Returns the violation (entry-ordered vehicle pair, first
 /// contact instant) if the footprints ever touch.
+///
+/// Same-movement straight pairs get the *exact* first-contact time: both
+/// bodies ride the same straight line with identical headings, so contact
+/// reduces to the 1-D separation condition and
+/// [`first_gap_violation`](crossroads_vehicle::first_gap_violation)
+/// solves the crossing in closed form. Every other pair (curved paths,
+/// distinct movements) keeps the sampled rectangle march, which the
+/// property suite pins against the closed form on the shared domain.
 fn check_pair(
     a: &BoxOccupancy,
     b: &BoxOccupancy,
@@ -206,7 +214,20 @@ fn check_pair(
     if end <= start {
         return None; // never inside together
     }
-    let at = first_contact(a, b, paths, spec, margin, start, end)?;
+    let at =
+        if a.movement == b.movement && a.movement.turn == crossroads_intersection::Turn::Straight {
+            let gap = spec.length + margin * 2.0;
+            crossroads_vehicle::first_gap_violation(
+                &a.profile,
+                &b.profile,
+                b.line_offset - a.line_offset,
+                gap,
+                start,
+                end,
+            )?
+        } else {
+            first_contact(a, b, paths, spec, margin, start, end)?
+        };
     let (first, second) = if a.entered <= b.entered {
         (a.vehicle, b.vehicle)
     } else {

@@ -1,5 +1,12 @@
-//! The closed-loop world: vehicle agents, the IM server, and the radio,
+//! The closed-loop world: vehicle agents, the IM servers, and the radio,
 //! coupled on the DES.
+//!
+//! Since the corridor generalization the world hosts `K >= 1` chained
+//! intersections. All per-IM state — policy ledger, radio channel, fault
+//! injector, request queue, epoch, lane order — lives in a [`Shard`];
+//! a single-intersection world is exactly the `K = 1` special case and
+//! follows the identical code path (same RNG draw order, same event
+//! schedule), so pre-corridor runs replay byte-for-byte.
 
 use std::collections::VecDeque;
 
@@ -9,6 +16,7 @@ use crossroads_metrics::{Counters, RunMetrics, VehicleRecord};
 use crossroads_net::{
     clock::testbed_sync, Channel, Deliveries, Direction, FaultModel, FaultStats, LocalClock,
 };
+use crossroads_pool::BatchHost;
 use crossroads_prng::Rng;
 use crossroads_prng::{SeedableRng, StdRng};
 use crossroads_trace::{Recorder, TraceEvent, TraceRecord, Verdict, LOST_LATENCY, NO_VEHICLE};
@@ -44,9 +52,23 @@ fn verdict_of(cmd: &CrossingCommand) -> Verdict {
     }
 }
 
+/// The per-vehicle clock-noise stream: a pure function of (vehicle, leg),
+/// so clock errors survive event reordering and every corridor leg draws
+/// an independent error. Leg 0 collapses to the pre-corridor stream id,
+/// keeping single-intersection runs byte-identical.
+fn clock_stream(vehicle: u32, im: usize) -> u64 {
+    u64::from(vehicle) | ((im as u64) << 32)
+}
+
 pub(crate) struct Agent {
     movement: crossroads_intersection::Movement,
+    /// When the current leg's transmission line was crossed.
     line_at: TimePoint,
+    /// When the vehicle first entered the corridor (equals `line_at` on
+    /// the first leg).
+    first_line_at: TimePoint,
+    /// The intersection the vehicle is currently approaching/crossing.
+    im: usize,
     profile: SpeedProfile,
     protocol: VehicleProtocol,
     clock_err: Seconds,
@@ -55,51 +77,130 @@ pub(crate) struct Agent {
     accepted: bool,
     entered_at: Option<TimePoint>,
     done: bool,
+    /// Free-flow time for the current leg (line to box clearance).
     free_flow: Seconds,
+    /// Free-flow time accumulated over completed legs, including link
+    /// traversals. Zero on the first leg.
+    trip_free_flow: Seconds,
+    /// Requests/rejections accumulated over completed legs (the protocol
+    /// machine restarts at every handoff).
+    trip_requests: u32,
+    trip_rejections: u32,
     /// The AIM proposal backing the in-flight request: (arrival, speed at
     /// proposal, stopped flag). Acceptances are validated against it so a
     /// grant computed for a superseded state is discarded.
     last_proposal: Option<(TimePoint, MetersPerSecond, bool)>,
     /// Assigned stop position (queue slot) once the vehicle plans a stop.
     stop_target: Option<Meters>,
-    /// Highest request attempt the IM has processed from this vehicle:
-    /// the IM drops reordered/stale/duplicated uplinks so its ledger only
-    /// ever moves forward with the newest vehicle state it has seen.
-    /// `None` until the first uplink — an explicit "never seen" so a
-    /// legitimate first attempt can never collide with a sentinel value.
+    /// Highest request attempt the IM has processed from this vehicle on
+    /// the current leg: the IM drops reordered/stale/duplicated uplinks
+    /// so its ledger only ever moves forward with the newest vehicle
+    /// state it has seen. `None` until the first uplink — an explicit
+    /// "never seen" so a legitimate first attempt can never collide with
+    /// a sentinel value.
     im_seen_attempt: Option<u32>,
 }
 
-pub(crate) struct World<'a> {
-    cfg: &'a SimConfig,
-    workload: &'a [Arrival],
-    rng: StdRng,
+/// Everything one intersection manager owns. A corridor world holds `K`
+/// of these; each shard's mutable policy state is only ever touched by
+/// one batch worker at a time (the batch kernel moves the boxed policy
+/// into the job and back), which is the whole determinism argument for
+/// pool-parallel admission.
+pub(crate) struct Shard {
+    /// The IM's decision logic. `Option` so the batch drain can move the
+    /// box into a worker job and restore it on merge; it is `None` only
+    /// inside `maybe_drain`.
+    policy: Option<Box<dyn IntersectionPolicy>>,
+    /// This intersection's radio.
     channel: Channel,
-    policy: Box<dyn IntersectionPolicy>,
-    /// Dense agent slab indexed by `VehicleId` (workload ids are small
-    /// sequential integers): O(1) lookup with no hashing on the hot path.
-    /// Agents are never removed, so a slot is `None` only before its
-    /// vehicle crosses the line.
-    vehicles: Vec<Option<Agent>>,
-    im_queue: VecDeque<(VehicleId, CrossingRequest)>,
-    im_busy: bool,
     /// Fault injector, present only when the config enables any fault —
     /// the disabled path never touches it (zero cost, identical traces).
     fault: Option<FaultModel>,
+    im_queue: VecDeque<(VehicleId, CrossingRequest)>,
+    im_busy: bool,
     /// Whether the IM is inside an injected crash window (uplinks are
     /// dropped on arrival).
     im_down: bool,
     /// IM process incarnation: bumped by every crash so results of
     /// computations started before the crash are discarded on arrival.
     im_epoch: u32,
-    pub(crate) occupancies: Vec<BoxOccupancy>,
-    pub(crate) metrics: RunMetrics,
-    pub(crate) counters: Counters,
-    s_entry: Meters,
+    /// Batched mode: responses of the current batch still in flight;
+    /// the shard stays busy until all of them have left the IM.
+    in_flight: u32,
     /// Per-approach vehicles in line-crossing order — the physical lane
-    /// order, indexed by [`Approach::index`]. Stop positions, queue
+    /// order, indexed by `Approach::index`. Stop positions, queue
     /// discharge and follower suppression all derive from it.
     lane_arrivals: [Vec<VehicleId>; 4],
+    /// Index of the first lane entry that might still be occupying the
+    /// approach. Entries before it have permanently passed (entered the
+    /// box, finished, or handed off), so predecessor scans skip them —
+    /// without this the per-request scan is O(n) in lane length and the
+    /// 10k-vehicle corridor goes quadratic.
+    lane_cursor: [usize; 4],
+}
+
+impl Shard {
+    fn new(cfg: &SimConfig, conflicts: &ConflictTable, rng: &StdRng, im: usize) -> Self {
+        Shard {
+            policy: Some(cfg.build_policy(conflicts)),
+            channel: Channel::new(cfg.channel),
+            // The injector's streams derive from the root seed alone, so
+            // the fault pattern is independent of the main stream's draw
+            // history (and of every other shard's).
+            fault: cfg
+                .fault
+                .enabled()
+                .then(|| FaultModel::for_shard(cfg.fault, rng, im as u64)),
+            im_queue: VecDeque::new(),
+            im_busy: false,
+            im_down: false,
+            im_epoch: 0,
+            in_flight: 0,
+            lane_arrivals: [Vec::new(), Vec::new(), Vec::new(), Vec::new()],
+            lane_cursor: [0; 4],
+        }
+    }
+}
+
+/// One per-shard admission batch shipped to a pool worker: the shard's
+/// policy rides along by value, so exactly one worker touches it.
+struct BatchJob {
+    im: usize,
+    policy: Box<dyn IntersectionPolicy>,
+    requests: Vec<(VehicleId, CrossingRequest)>,
+    now: TimePoint,
+}
+
+pub(crate) struct World<'a> {
+    cfg: &'a SimConfig,
+    workload: &'a [Arrival],
+    /// Entry intersection per workload index (empty = everything enters
+    /// at shard 0, the single-intersection case).
+    entry_ims: &'a [u32],
+    /// Link travel time between adjacent intersections (exit of shard i
+    /// to the transmission line of shard i±1).
+    link_time: Seconds,
+    rng: StdRng,
+    /// The chained intersections. `shards.len() == 1` reproduces the
+    /// pre-corridor world exactly.
+    shards: Vec<Shard>,
+    /// Batched admission: when set, uplinks queue silently and
+    /// [`maybe_drain`](Self::maybe_drain) evaluates per-shard batches on
+    /// the host between DES dispatches. `None` = serial admission inline
+    /// with the uplink (the pre-corridor behavior).
+    pub(crate) batch: Option<&'a BatchHost>,
+    /// Dense agent slab indexed by `VehicleId` (workload ids are small
+    /// sequential integers): O(1) lookup with no hashing on the hot path.
+    /// Agents are never removed, so a slot is `None` only before its
+    /// vehicle crosses the line.
+    vehicles: Vec<Option<Agent>>,
+    /// Per-shard box occupancies for the ground-truth safety audit.
+    pub(crate) occupancies: Vec<Vec<BoxOccupancy>>,
+    pub(crate) metrics: RunMetrics,
+    pub(crate) counters: Counters,
+    /// Completed intersection-to-intersection handoffs.
+    pub(crate) handoffs: u64,
+    s_entry: Meters,
     /// Reusable scratch for [`unentered_predecessors`]
     /// (`Self::unentered_predecessors`), so the per-request queue check
     /// allocates nothing in steady state.
@@ -112,43 +213,60 @@ pub(crate) struct World<'a> {
 }
 
 impl<'a> World<'a> {
+    /// A single-intersection world (the pre-corridor constructor).
     pub(crate) fn new(cfg: &'a SimConfig, workload: &'a [Arrival]) -> Self {
+        World::new_corridor(cfg, workload, &[], 1, Seconds::new(6.0))
+    }
+
+    /// A corridor of `k` chained intersections. `entry_ims[i]` names the
+    /// shard at which `workload[i]` enters (missing entries default to
+    /// 0). `link_time` is the exit-to-next-line travel time; corridor
+    /// configs validate it against the protocol's timeout horizon so a
+    /// leg's stale events cannot outlive the handoff.
+    pub(crate) fn new_corridor(
+        cfg: &'a SimConfig,
+        workload: &'a [Arrival],
+        entry_ims: &'a [u32],
+        k: usize,
+        link_time: Seconds,
+    ) -> Self {
+        assert!(k >= 1, "a corridor needs at least one intersection");
         let conflicts = ConflictTable::compute(&cfg.geometry, cfg.spec.width);
-        let policy = cfg.build_policy(&conflicts);
         let rng = StdRng::seed_from_u64(cfg.seed);
-        // The injector's streams derive from the root seed alone, so the
-        // fault pattern is independent of the main stream's draw history.
-        let fault = cfg
-            .fault
-            .enabled()
-            .then(|| FaultModel::new(cfg.fault, &rng));
+        let shards = (0..k)
+            .map(|im| Shard::new(cfg, &conflicts, &rng, im))
+            .collect();
         World {
             cfg,
             workload,
+            entry_ims,
+            link_time,
             rng,
-            channel: Channel::new(cfg.channel),
-            policy,
+            shards,
+            batch: None,
             vehicles: Vec::with_capacity(workload.len()),
-            im_queue: VecDeque::new(),
-            im_busy: false,
-            fault,
-            im_down: false,
-            im_epoch: 0,
-            occupancies: Vec::new(),
+            occupancies: (0..k).map(|_| Vec::new()).collect(),
             metrics: RunMetrics::new(),
             counters: Counters::default(),
+            handoffs: 0,
             s_entry: cfg.geometry.transmission_line_distance,
-            lane_arrivals: [Vec::new(), Vec::new(), Vec::new(), Vec::new()],
             pred_scratch: Vec::new(),
             recorder: None,
         }
     }
 
     /// Appends one flight-recorder record stamped with the current DES
-    /// dispatch index, sim time and IM epoch. A no-op when recording is
-    /// disabled.
-    fn rec(&mut self, sim: &Simulation<Event>, vehicle: u32, attempt: u32, event: TraceEvent) {
-        let epoch = self.im_epoch;
+    /// dispatch index, sim time, shard and that shard's IM epoch. A no-op
+    /// when recording is disabled.
+    fn rec(
+        &mut self,
+        sim: &Simulation<Event>,
+        im: usize,
+        vehicle: u32,
+        attempt: u32,
+        event: TraceEvent,
+    ) {
+        let epoch = self.shards[im].im_epoch;
         if let Some(r) = self.recorder.as_deref_mut() {
             r.record(TraceRecord {
                 dispatch: sim.events_dispatched(),
@@ -156,6 +274,7 @@ impl<'a> World<'a> {
                 vehicle,
                 attempt,
                 epoch,
+                im: im as u32,
                 event,
             });
         }
@@ -190,22 +309,46 @@ impl<'a> World<'a> {
         self.vehicles[slot] = Some(agent);
     }
 
-    /// Same-lane vehicles that crossed the line before `v` and have not
-    /// yet entered the box, written into `out` (cleared first) — the
-    /// caller holds the buffer so the per-request check never allocates.
+    /// Advances the shard's lane cursor past the prefix of vehicles that
+    /// have permanently left the approach (entered the box, finished the
+    /// leg, or handed off downstream). The skip condition is monotone —
+    /// none of those states ever reverts for a given (vehicle, shard) —
+    /// so skipped entries can never matter to a later predecessor scan.
+    fn advance_lane_cursor(&mut self, im: usize, lane: usize) {
+        let mut cur = self.shards[im].lane_cursor[lane];
+        let len = self.shards[im].lane_arrivals[lane].len();
+        while cur < len {
+            let u = self.shards[im].lane_arrivals[lane][cur];
+            let passed = self
+                .agent(u)
+                .is_some_and(|a| a.im != im || a.done || a.entered_at.is_some());
+            if !passed {
+                break;
+            }
+            cur += 1;
+        }
+        self.shards[im].lane_cursor[lane] = cur;
+    }
+
+    /// Same-lane vehicles that crossed this shard's line before `v` and
+    /// have not yet entered the box, written into `out` (cleared first) —
+    /// the caller holds the buffer so the per-request check never
+    /// allocates.
     fn unentered_predecessors(&self, v: VehicleId, out: &mut Vec<VehicleId>) {
         out.clear();
         let Some(agent) = self.agent(v) else {
             return;
         };
-        let order = &self.lane_arrivals[agent.movement.approach.index()];
-        for &u in order {
+        let im = agent.im;
+        let lane = agent.movement.approach.index();
+        let shard = &self.shards[im];
+        for &u in &shard.lane_arrivals[lane][shard.lane_cursor[lane]..] {
             if u == v {
                 break;
             }
             if self
                 .agent(u)
-                .is_some_and(|a| !a.done && a.entered_at.is_none())
+                .is_some_and(|a| a.im == im && !a.done && a.entered_at.is_none())
             {
                 out.push(u);
             }
@@ -242,33 +385,58 @@ impl<'a> World<'a> {
             .total_time
     }
 
+    /// Total scheduling work performed across every shard's policy.
     pub(crate) fn policy_ops(&self) -> u64 {
-        self.policy.ops()
+        self.shards
+            .iter()
+            .map(|s| s.policy.as_ref().expect("policy resident").ops())
+            .sum()
     }
 
+    /// Radio statistics summed over every shard's channel.
     pub(crate) fn channel_stats(&self) -> crossroads_net::ChannelStats {
-        self.channel.stats()
+        let mut total = crossroads_net::ChannelStats::default();
+        for s in &self.shards {
+            let st = s.channel.stats();
+            total.uplink_sent += st.uplink_sent;
+            total.downlink_sent += st.downlink_sent;
+            total.lost += st.lost;
+        }
+        total
     }
 
-    /// What the fault injector did, if one is active.
+    /// What the fault injectors did, summed over shards (if any are
+    /// active).
     pub(crate) fn fault_stats(&self) -> Option<FaultStats> {
-        self.fault.as_ref().map(FaultModel::stats)
+        let mut any = false;
+        let mut total = FaultStats::default();
+        for s in &self.shards {
+            if let Some(f) = s.fault.as_ref() {
+                any = true;
+                let st = f.stats();
+                total.burst_losses += st.burst_losses;
+                total.duplicated += st.duplicated;
+                total.reordered += st.reordered;
+            }
+        }
+        any.then_some(total)
     }
 
-    /// Prices an uplink frame and runs it through the fault pipeline
-    /// (identity when faults are disabled).
-    fn uplink_deliveries(&mut self) -> Deliveries {
-        let outcome = self.channel.send_uplink(&mut self.rng);
-        match self.fault.as_mut() {
+    /// Prices an uplink frame on shard `im`'s radio and runs it through
+    /// that shard's fault pipeline (identity when faults are disabled).
+    fn uplink_deliveries(&mut self, im: usize) -> Deliveries {
+        let outcome = self.shards[im].channel.send_uplink(&mut self.rng);
+        match self.shards[im].fault.as_mut() {
             Some(f) => f.filter(Direction::Uplink, outcome),
             None => Deliveries::from(outcome),
         }
     }
 
-    /// Prices a downlink frame and runs it through the fault pipeline.
-    fn downlink_deliveries(&mut self) -> Deliveries {
-        let outcome = self.channel.send_downlink(&mut self.rng);
-        match self.fault.as_mut() {
+    /// Prices a downlink frame on shard `im`'s radio and runs it through
+    /// that shard's fault pipeline.
+    fn downlink_deliveries(&mut self, im: usize) -> Deliveries {
+        let outcome = self.shards[im].channel.send_downlink(&mut self.rng);
+        match self.shards[im].fault.as_mut() {
             Some(f) => f.filter(Direction::Downlink, outcome),
             None => Deliveries::from(outcome),
         }
@@ -279,86 +447,138 @@ impl<'a> World<'a> {
         self.s_entry + self.cfg.geometry.path_length(movement) + self.cfg.spec.length
     }
 
+    /// The shard this vehicle proceeds to after clearing `from`, if any.
+    /// Only arterial through-traffic propagates: westbound entries run
+    /// east (`im + 1`), eastbound entries run west (`im - 1`); turning
+    /// vehicles and cross traffic leave the network after one box.
+    fn next_leg(&self, agent: &Agent) -> Option<usize> {
+        use crossroads_intersection::{Approach, Turn};
+        if self.shards.len() <= 1 || agent.movement.turn != Turn::Straight {
+            return None;
+        }
+        match agent.movement.approach {
+            Approach::West => {
+                let next = agent.im + 1;
+                (next < self.shards.len()).then_some(next)
+            }
+            Approach::East => agent.im.checked_sub(1),
+            Approach::North | Approach::South => None,
+        }
+    }
+
     pub(crate) fn handle(&mut self, sim: &mut Simulation<Event>, event: Event) {
         match event {
             Event::LineCrossing(i) => self.on_line_crossing(sim, i),
-            Event::SyncComplete(v) => self.on_sync_complete(sim, v),
-            Event::SendRequest(v, attempt) => self.on_send_request(sim, v, attempt),
-            Event::UplinkArrival(v, req) => self.on_uplink(sim, v, req),
-            Event::ImFinish(v, attempt, cmd, epoch) => {
-                self.on_im_finish(sim, v, attempt, cmd, epoch);
+            Event::SyncComplete(v, im) => self.on_sync_complete(sim, v, im as usize),
+            Event::SendRequest(v, attempt, im) => {
+                self.on_send_request(sim, v, attempt, im as usize);
             }
-            Event::DownlinkArrival(v, attempt, cmd) => self.on_downlink(sim, v, attempt, cmd),
-            Event::ResponseTimeout(v, attempt) => self.on_timeout(sim, v, attempt),
+            Event::UplinkArrival(v, im, req) => self.on_uplink(sim, v, im as usize, req),
+            Event::ImFinish(v, im, attempt, cmd, epoch) => {
+                self.on_im_finish(sim, v, im as usize, attempt, cmd, epoch);
+            }
+            Event::DownlinkArrival(v, im, attempt, cmd) => {
+                self.on_downlink(sim, v, im as usize, attempt, cmd);
+            }
+            Event::ResponseTimeout(v, attempt, im) => {
+                self.on_timeout(sim, v, attempt, im as usize);
+            }
             Event::StopGuard(v, version) => self.on_stop_guard(sim, v, version),
             Event::MarkStopped(v, version) => self.on_mark_stopped(v, version),
             Event::BoxEntry(v, version) => self.on_box_entry(sim.now(), v, version),
             Event::BoxExit(v, version) => self.on_box_exit(sim, v, version),
-            Event::ImExitNotice(v) => {
-                if self.im_down {
+            Event::LinkArrival(v, im) => self.on_link_arrival(sim, v, im as usize),
+            Event::ImExitNotice(v, im) => {
+                let im = im as usize;
+                if self.shards[im].im_down {
                     self.counters.im_outage_drops += 1;
                 } else {
-                    self.policy.on_exit(v, sim.now());
+                    let now = sim.now();
+                    self.shards[im]
+                        .policy
+                        .as_mut()
+                        .expect("policy resident")
+                        .on_exit(v, now);
                 }
             }
-            Event::ImCrash => {
-                self.on_im_crash();
+            Event::ImCrash(im) => {
+                let im = im as usize;
+                self.on_im_crash(im);
                 // Stamped with the *new* epoch, so in-flight work of the
                 // dead incarnation is identifiable in the trace.
-                self.rec(sim, NO_VEHICLE, 0, TraceEvent::ImCrash);
+                self.rec(sim, im, NO_VEHICLE, 0, TraceEvent::ImCrash);
             }
-            Event::ImRestart => {
-                self.on_im_restart(sim.now());
-                self.rec(sim, NO_VEHICLE, 0, TraceEvent::ImRestart);
+            Event::ImRestart(im) => {
+                let im = im as usize;
+                self.on_im_restart(sim.now(), im);
+                self.rec(sim, im, NO_VEHICLE, 0, TraceEvent::ImRestart);
             }
         }
     }
 
     // --- Vehicle lifecycle --------------------------------------------------
 
-    fn on_line_crossing(&mut self, sim: &mut Simulation<Event>, index: usize) {
-        let arr = self.workload[index];
-        let now = sim.now();
-        let mut protocol = VehicleProtocol::new(arr.vehicle);
+    /// Starts the V2I protocol with shard `im`: fresh state machine, one
+    /// two-way clock-sync exchange on that shard's link, and the
+    /// `SyncComplete` that leads to the first request. The offset/drift
+    /// noise comes from a per-(vehicle, leg) stream split off the root
+    /// seed, so a vehicle's clock error is a function of
+    /// (seed, vehicle id, leg) alone and survives event reordering.
+    fn start_protocol(
+        &mut self,
+        sim: &mut Simulation<Event>,
+        v: VehicleId,
+        im: usize,
+        now: TimePoint,
+    ) -> (VehicleProtocol, Seconds) {
+        let mut protocol = VehicleProtocol::new(v);
         protocol
             .apply(ProtocolEvent::ReachedTransmissionLine, now)
             .expect("fresh machine accepts line crossing");
-
-        // Clock sync: one two-way exchange on the testbed link. The
-        // offset/drift noise comes from a per-vehicle stream split off the
-        // root seed, so a vehicle's clock error is a function of
-        // (seed, vehicle id) alone and survives event reordering.
-        let mut vrng = self.rng.stream(u64::from(arr.vehicle.0));
+        let mut vrng = self.rng.stream(clock_stream(v.0, im));
         let clock = LocalClock::new(
             Seconds::from_millis(vrng.gen_range(-200.0..200.0)),
             vrng.gen_range(-100.0..100.0),
         );
         let sync = testbed_sync(&clock, now, &mut self.rng);
         // Two frames on the air for the exchange.
-        let _ = self.channel.send_uplink(&mut self.rng);
-        let _ = self.channel.send_downlink(&mut self.rng);
+        let _ = self.shards[im].channel.send_uplink(&mut self.rng);
+        let _ = self.shards[im].channel.send_downlink(&mut self.rng);
         sim.schedule_in(
             sync.round_trip + Seconds::from_millis(2.0),
-            Event::SyncComplete(arr.vehicle),
+            Event::SyncComplete(v, im as u32),
         );
+        (protocol, sync.residual())
+    }
+
+    fn on_line_crossing(&mut self, sim: &mut Simulation<Event>, index: usize) {
+        let arr = self.workload[index];
+        let now = sim.now();
+        let im = self.entry_ims.get(index).map_or(0, |&x| x as usize);
+        let (protocol, clock_err) = self.start_protocol(sim, arr.vehicle, im, now);
 
         let profile = SpeedProfile::starting_at(now, Meters::ZERO, arr.speed);
-        let free_flow = self.free_flow_time(arr);
-        self.lane_arrivals[arr.movement.approach.index()].push(arr.vehicle);
+        let free_flow = self.free_flow_time(arr.movement, arr.speed);
+        self.shards[im].lane_arrivals[arr.movement.approach.index()].push(arr.vehicle);
         self.insert_agent(
             arr.vehicle,
             Agent {
                 movement: arr.movement,
                 line_at: now,
+                first_line_at: now,
+                im,
                 profile,
                 protocol,
-                clock_err: sync.residual(),
+                clock_err,
                 plan_version: 0,
                 stopped: false,
                 accepted: false,
                 entered_at: None,
                 done: false,
                 free_flow,
+                trip_free_flow: Seconds::ZERO,
+                trip_requests: 0,
+                trip_rejections: 0,
                 last_proposal: None,
                 stop_target: None,
                 im_seen_attempt: None,
@@ -367,24 +587,70 @@ impl<'a> World<'a> {
         self.schedule_guard(sim, arr.vehicle);
     }
 
-    fn free_flow_time(&self, arr: Arrival) -> Seconds {
-        let total = self.s_exit(arr.movement);
-        let v_reach = crate::policy::common::reachable_speed(arr.speed, &self.cfg.spec, total);
-        kinematics::accel_cruise(arr.speed, v_reach, self.cfg.spec.a_max, total)
+    fn free_flow_time(
+        &self,
+        movement: crossroads_intersection::Movement,
+        speed: MetersPerSecond,
+    ) -> Seconds {
+        let total = self.s_exit(movement);
+        let v_reach = crate::policy::common::reachable_speed(speed, &self.cfg.spec, total);
+        kinematics::accel_cruise(speed, v_reach, self.cfg.spec.a_max, total)
             .expect("free-flow profile is feasible")
             .total_time
     }
 
-    fn on_sync_complete(&mut self, sim: &mut Simulation<Event>, v: VehicleId) {
+    /// Corridor handoff: the vehicle reaches the next intersection's
+    /// transmission line. Everything leg-scoped resets — protocol, clock
+    /// sync, profile (position re-origined at the new line), stop state,
+    /// IM watermark — and the plan version bumps so every event of the
+    /// previous leg dies on its guard.
+    fn on_link_arrival(&mut self, sim: &mut Simulation<Event>, v: VehicleId, im: usize) {
+        let now = sim.now();
+        // Vehicles settle to the corridor cruise speed on the link — the
+        // same speed the standard workload builders use at entry, so each
+        // leg starts from the state the policies were tuned for.
+        let speed = self.cfg.typical_line_speed();
+        let movement = {
+            let Some(agent) = self.agent(v) else {
+                return;
+            };
+            agent.movement
+        };
+        let (protocol, clock_err) = self.start_protocol(sim, v, im, now);
+        let free_flow = self.free_flow_time(movement, speed);
+        self.shards[im].lane_arrivals[movement.approach.index()].push(v);
+        let agent = self.agent_mut(v).expect("agent exists");
+        agent.im = im;
+        agent.line_at = now;
+        agent.profile = SpeedProfile::starting_at(now, Meters::ZERO, speed);
+        agent.protocol = protocol;
+        agent.clock_err = clock_err;
+        agent.plan_version += 1;
+        agent.stopped = false;
+        agent.accepted = false;
+        agent.entered_at = None;
+        agent.done = false;
+        agent.free_flow = free_flow;
+        agent.last_proposal = None;
+        agent.stop_target = None;
+        agent.im_seen_attempt = None;
+        self.handoffs += 1;
+        self.schedule_guard(sim, v);
+    }
+
+    fn on_sync_complete(&mut self, sim: &mut Simulation<Event>, v: VehicleId, im: usize) {
         let now = sim.now();
         let Some(agent) = self.agent_mut(v) else {
             return;
         };
+        if agent.im != im {
+            return; // sync of a leg the vehicle has already left
+        }
         agent
             .protocol
             .apply(ProtocolEvent::SyncCompleted, now)
             .expect("sync completes in Sync state");
-        sim.schedule_in(Seconds::ZERO, Event::SendRequest(v, 1));
+        sim.schedule_in(Seconds::ZERO, Event::SendRequest(v, 1, im as u32));
     }
 
     /// Whether this vehicle must hold its request. Queues discharge
@@ -432,8 +698,24 @@ impl<'a> World<'a> {
         }
     }
 
-    fn on_send_request(&mut self, sim: &mut Simulation<Event>, v: VehicleId, attempt: u32) {
+    fn on_send_request(
+        &mut self,
+        sim: &mut Simulation<Event>,
+        v: VehicleId,
+        attempt: u32,
+        im: usize,
+    ) {
         let now = sim.now();
+        {
+            let Some(agent) = self.agent(v) else {
+                return;
+            };
+            if agent.im != im {
+                return; // scheduled on a leg the vehicle has left
+            }
+            let lane = agent.movement.approach.index();
+            self.advance_lane_cursor(im, lane);
+        }
         let mut preds = std::mem::take(&mut self.pred_scratch);
         let blocked = self.queue_blocked(v, &mut preds);
         self.pred_scratch = preds;
@@ -446,7 +728,10 @@ impl<'a> World<'a> {
                     && a.protocol.state() == (ProtocolState::Request { attempts: attempt })
             });
             if still_relevant {
-                sim.schedule_in(Seconds::from_millis(200.0), Event::SendRequest(v, attempt));
+                sim.schedule_in(
+                    Seconds::from_millis(200.0),
+                    Event::SendRequest(v, attempt, im as u32),
+                );
             }
             return;
         }
@@ -489,9 +774,10 @@ impl<'a> World<'a> {
             let agent = self.agent_mut(v).expect("agent exists");
             agent.last_proposal = Some((toa, req.speed, req.stopped));
         }
-        let deliveries = self.uplink_deliveries();
+        let deliveries = self.uplink_deliveries(im);
         self.rec(
             sim,
+            im,
             v.0,
             attempt,
             TraceEvent::UplinkSend {
@@ -500,9 +786,9 @@ impl<'a> World<'a> {
             },
         );
         for latency in deliveries.iter() {
-            sim.schedule_in(latency, Event::UplinkArrival(v, req));
+            sim.schedule_in(latency, Event::UplinkArrival(v, im as u32, req));
         }
-        sim.schedule_in(timeout, Event::ResponseTimeout(v, attempt));
+        sim.schedule_in(timeout, Event::ResponseTimeout(v, attempt, im as u32));
     }
 
     fn aim_proposal(
@@ -530,11 +816,14 @@ impl<'a> World<'a> {
         }
     }
 
-    fn on_timeout(&mut self, sim: &mut Simulation<Event>, v: VehicleId, attempt: u32) {
+    fn on_timeout(&mut self, sim: &mut Simulation<Event>, v: VehicleId, attempt: u32, im: usize) {
         let now = sim.now();
         let Some(agent) = self.agent_mut(v) else {
             return;
         };
+        if agent.im != im {
+            return; // timeout of a leg the vehicle has left
+        }
         if agent.done || agent.accepted {
             return;
         }
@@ -545,62 +834,90 @@ impl<'a> World<'a> {
             .protocol
             .apply(ProtocolEvent::TimedOut, now)
             .expect("timeout applies in Request state");
-        sim.schedule_in(Seconds::ZERO, Event::SendRequest(v, attempt + 1));
+        sim.schedule_in(Seconds::ZERO, Event::SendRequest(v, attempt + 1, im as u32));
     }
 
     // --- IM server ----------------------------------------------------------
 
-    fn on_uplink(&mut self, sim: &mut Simulation<Event>, v: VehicleId, req: CrossingRequest) {
+    fn on_uplink(
+        &mut self,
+        sim: &mut Simulation<Event>,
+        v: VehicleId,
+        im: usize,
+        req: CrossingRequest,
+    ) {
         // The frame physically reached the IM radio — recorded whether or
         // not the IM process is alive to act on it.
-        self.rec(sim, v.0, req.attempt, TraceEvent::UplinkDeliver);
-        if self.im_down {
+        self.rec(sim, im, v.0, req.attempt, TraceEvent::UplinkDeliver);
+        if self.shards[im].im_down {
             // The IM radio is dead: the frame vanishes, the vehicle's own
             // timeout is the only recovery (exactly like a medium loss,
             // but attributed to the outage).
             self.counters.im_outage_drops += 1;
             return;
         }
-        self.im_queue.push_back((v, req));
-        if !self.im_busy {
-            self.im_start_next(sim);
+        self.shards[im].im_queue.push_back((v, req));
+        // Batched admission defers the decision to the next drain point;
+        // serial admission starts it inline if the IM is idle.
+        if self.batch.is_none() && !self.shards[im].im_busy {
+            self.im_start_next(sim, im);
         }
     }
 
-    fn im_start_next(&mut self, sim: &mut Simulation<Event>) {
+    /// Watermark admission for one dequeued request: `true` if the IM
+    /// should decide it, `false` if it is stale/duplicated (or from a
+    /// vehicle that has since handed off to another shard) and must be
+    /// dropped.
+    fn admit_request(&mut self, v: VehicleId, im: usize, req: &CrossingRequest) -> bool {
+        // Vehicles request only after crossing the line, so the agent —
+        // which carries the IM's per-vehicle watermark — always exists by
+        // the time an uplink lands.
+        let agent = self.agent_mut(v).expect("uplink implies agent");
+        if agent.im != im {
+            return false;
+        }
+        if agent
+            .im_seen_attempt
+            .is_some_and(|seen| req.attempt <= seen)
+        {
+            return false;
+        }
+        agent.im_seen_attempt = Some(req.attempt);
+        true
+    }
+
+    fn im_start_next(&mut self, sim: &mut Simulation<Event>, im: usize) {
         // Iterative drain: a retransmission storm can queue arbitrarily
         // many stale frames back-to-back, so dropping them must not grow
         // the call stack once per frame.
-        while let Some((v, req)) = self.im_queue.pop_front() {
+        while let Some((v, req)) = self.shards[im].im_queue.pop_front() {
             // Drop stale/reordered/duplicated requests: the ledger must
             // only ever move forward with the vehicle's newest reported
-            // state. (Vehicles request only after crossing the line, so
-            // the agent — which carries the IM's per-vehicle watermark —
-            // always exists by the time an uplink lands.)
-            let agent = self.agent_mut(v).expect("uplink implies agent");
-            if agent
-                .im_seen_attempt
-                .is_some_and(|seen| req.attempt <= seen)
-            {
+            // state.
+            if !self.admit_request(v, im, &req) {
                 continue;
             }
-            agent.im_seen_attempt = Some(req.attempt);
-            self.im_busy = true;
+            self.shards[im].im_busy = true;
             // The decision is computed now; the response leaves the IM
             // once the computation time — proportional to the scheduling
             // work it actually performed — has elapsed. This is how AIM's
             // trajectory re-simulation turns into response latency.
             let now = sim.now();
-            self.rec(sim, v.0, req.attempt, TraceEvent::DecisionEnter);
-            let ops_before = self.policy.ops();
-            let cmd = self.policy.decide(&req, now);
-            let svc = self
-                .cfg
-                .computation
-                .decision_time(self.policy.ops() - ops_before);
+            self.rec(sim, im, v.0, req.attempt, TraceEvent::DecisionEnter);
+            let (cmd, svc) = {
+                let policy = self.shards[im].policy.as_mut().expect("policy resident");
+                let ops_before = policy.ops();
+                let cmd = policy.decide(&req, now);
+                let svc = self
+                    .cfg
+                    .computation
+                    .decision_time(policy.ops() - ops_before);
+                (cmd, svc)
+            };
             self.metrics.push_decision_latency(svc);
             self.rec(
                 sim,
+                im,
                 v.0,
                 req.attempt,
                 TraceEvent::DecisionExit {
@@ -610,30 +927,139 @@ impl<'a> World<'a> {
             );
             self.counters.im_requests += 1;
             self.counters.im_busy += svc;
-            self.policy.prune(now);
-            sim.schedule_in(svc, Event::ImFinish(v, req.attempt, cmd, self.im_epoch));
+            self.shards[im]
+                .policy
+                .as_mut()
+                .expect("policy resident")
+                .prune(now);
+            let epoch = self.shards[im].im_epoch;
+            sim.schedule_in(svc, Event::ImFinish(v, im as u32, req.attempt, cmd, epoch));
             return;
         }
-        self.im_busy = false;
+        self.shards[im].im_busy = false;
+    }
+
+    /// Batched, pool-parallel admission: called after every DES dispatch;
+    /// acts only at a *timestamp boundary* (no further event due at the
+    /// current instant), where it drains every idle shard's queued
+    /// requests into one per-shard batch and evaluates the batches
+    /// concurrently on the host.
+    ///
+    /// Determinism argument: the drained batches are a pure function of
+    /// the (deterministic) DES event order; each shard's policy is moved
+    /// into exactly one job, decided sequentially within it, and drawn
+    /// from no RNG; [`BatchHost::run`] returns results in input order; and
+    /// the merge walks shards in ascending index, scheduling each
+    /// response at the same cumulative service offset a lone IM core
+    /// would. Worker count therefore cannot reorder anything observable.
+    pub(crate) fn maybe_drain(&mut self, sim: &mut Simulation<Event>) {
+        let Some(host) = self.batch else {
+            return;
+        };
+        let now = sim.now();
+        if sim.peek_time() == Some(now) {
+            return; // more events due at this instant: keep batching
+        }
+        let mut jobs: Vec<BatchJob> = Vec::new();
+        for im in 0..self.shards.len() {
+            if self.shards[im].im_busy
+                || self.shards[im].im_down
+                || self.shards[im].im_queue.is_empty()
+            {
+                continue;
+            }
+            let mut requests = Vec::with_capacity(self.shards[im].im_queue.len());
+            while let Some((v, req)) = self.shards[im].im_queue.pop_front() {
+                if self.admit_request(v, im, &req) {
+                    requests.push((v, req));
+                }
+            }
+            if requests.is_empty() {
+                continue;
+            }
+            let policy = self.shards[im].policy.take().expect("policy resident");
+            jobs.push(BatchJob {
+                im,
+                policy,
+                requests,
+                now,
+            });
+        }
+        if jobs.is_empty() {
+            return;
+        }
+        let computation = self.cfg.computation;
+        let results = host.run(jobs, move |_, job| {
+            let BatchJob {
+                im,
+                mut policy,
+                requests,
+                now,
+            } = job;
+            let decisions: Vec<(CrossingCommand, Seconds)> = requests
+                .iter()
+                .map(|(_, req)| {
+                    let ops_before = policy.ops();
+                    let cmd = policy.decide(req, now);
+                    let svc = computation.decision_time(policy.ops() - ops_before);
+                    policy.prune(now);
+                    (cmd, svc)
+                })
+                .collect();
+            (im, policy, requests, decisions)
+        });
+        for (im, policy, requests, decisions) in results {
+            self.shards[im].policy = Some(policy);
+            let epoch = self.shards[im].im_epoch;
+            let mut offset = Seconds::ZERO;
+            for (&(v, req), &(cmd, svc)) in requests.iter().zip(&decisions) {
+                self.rec(sim, im, v.0, req.attempt, TraceEvent::DecisionEnter);
+                self.metrics.push_decision_latency(svc);
+                self.rec(
+                    sim,
+                    im,
+                    v.0,
+                    req.attempt,
+                    TraceEvent::DecisionExit {
+                        verdict: verdict_of(&cmd),
+                        service: svc,
+                    },
+                );
+                self.counters.im_requests += 1;
+                self.counters.im_busy += svc;
+                // The IM still serializes its own responses: the batch
+                // models one decision core per intersection, so response
+                // k leaves after the k-prefix of service times.
+                offset += svc;
+                sim.schedule_in(
+                    offset,
+                    Event::ImFinish(v, im as u32, req.attempt, cmd, epoch),
+                );
+            }
+            self.shards[im].im_busy = true;
+            self.shards[im].in_flight = u32::try_from(requests.len()).unwrap_or(u32::MAX);
+        }
     }
 
     fn on_im_finish(
         &mut self,
         sim: &mut Simulation<Event>,
         v: VehicleId,
+        im: usize,
         attempt: u32,
         cmd: CrossingCommand,
         epoch: u32,
     ) {
-        if epoch != self.im_epoch {
+        if epoch != self.shards[im].im_epoch {
             // The IM crashed while this computation was in flight: its
             // result dies with the process that was computing it. The
             // post-restart incarnation drives its own queue.
             return;
         }
-        let deliveries = self.downlink_deliveries();
+        let deliveries = self.downlink_deliveries(im);
         self.rec(
             sim,
+            im,
             v.0,
             attempt,
             TraceEvent::DownlinkSend {
@@ -642,27 +1068,45 @@ impl<'a> World<'a> {
             },
         );
         for latency in deliveries.iter() {
-            sim.schedule_in(latency, Event::DownlinkArrival(v, attempt, cmd));
+            sim.schedule_in(latency, Event::DownlinkArrival(v, im as u32, attempt, cmd));
         }
-        self.im_start_next(sim);
+        if self.batch.is_some() {
+            let shard = &mut self.shards[im];
+            shard.in_flight = shard.in_flight.saturating_sub(1);
+            if shard.in_flight == 0 {
+                // Anything queued while the batch was in flight drains at
+                // the next timestamp boundary.
+                shard.im_busy = false;
+            }
+        } else {
+            self.im_start_next(sim, im);
+        }
     }
 
-    fn on_im_crash(&mut self) {
-        self.im_down = true;
-        self.im_epoch = self.im_epoch.wrapping_add(1);
+    fn on_im_crash(&mut self, im: usize) {
+        let shard = &mut self.shards[im];
+        shard.im_down = true;
+        shard.im_epoch = shard.im_epoch.wrapping_add(1);
         // Requests queued inside the IM die with it; the vehicles recover
-        // through their retransmission timeouts.
-        self.counters.im_outage_drops += self.im_queue.len() as u64;
-        self.im_queue.clear();
-        self.im_busy = false;
+        // through their retransmission timeouts. In-flight batched
+        // decisions die on the epoch guard when their ImFinish lands.
+        self.counters.im_outage_drops += shard.im_queue.len() as u64;
+        shard.im_queue.clear();
+        shard.im_busy = false;
+        shard.in_flight = 0;
     }
 
-    fn on_im_restart(&mut self, now: TimePoint) {
-        self.im_down = false;
+    fn on_im_restart(&mut self, now: TimePoint, im: usize) {
+        let shard = &mut self.shards[im];
+        shard.im_down = false;
         // Conservative ledger re-validation: grants already issued stay
         // booked (their vehicles will execute them regardless), expired
         // bookkeeping is dropped.
-        self.policy.on_restart(now);
+        shard
+            .policy
+            .as_mut()
+            .expect("policy resident")
+            .on_restart(now);
     }
 
     // --- Response handling ---------------------------------------------------
@@ -671,17 +1115,21 @@ impl<'a> World<'a> {
         &mut self,
         sim: &mut Simulation<Event>,
         v: VehicleId,
+        im: usize,
         attempt: u32,
         cmd: CrossingCommand,
     ) {
         let now = sim.now();
         // The frame physically reached the vehicle radio — recorded even
         // when the guards below discard it as stale.
-        self.rec(sim, v.0, attempt, TraceEvent::DownlinkDeliver);
+        self.rec(sim, im, v.0, attempt, TraceEvent::DownlinkDeliver);
         {
             let Some(agent) = self.agent(v) else {
                 return;
             };
+            if agent.im != im {
+                return; // response from an IM the vehicle has moved past
+            }
             if agent.done || agent.accepted {
                 return;
             }
@@ -703,7 +1151,7 @@ impl<'a> World<'a> {
         if let CrossingCommand::Crossroads { execute_at, .. } = cmd {
             if now > execute_at {
                 self.counters.deadline_misses += 1;
-                self.rec(sim, v.0, attempt, TraceEvent::DeadlineMiss);
+                self.rec(sim, im, v.0, attempt, TraceEvent::DeadlineMiss);
                 return self.stale_response(sim, v, now);
             }
         }
@@ -742,6 +1190,7 @@ impl<'a> World<'a> {
         if self.agent(v).is_some_and(|a| a.accepted) {
             self.rec(
                 sim,
+                im,
                 v.0,
                 attempt,
                 TraceEvent::Actuation {
@@ -870,13 +1319,14 @@ impl<'a> World<'a> {
     ) {
         let spec = self.cfg.spec;
         let s_entry = self.s_entry;
-        let (s_now, v_now, last_proposal, stopped) = {
+        let (s_now, v_now, last_proposal, stopped, im) = {
             let agent = self.agent(v).expect("agent exists");
             (
                 agent.profile.position_at(now),
                 agent.profile.speed_at(now),
                 agent.last_proposal,
                 agent.stopped,
+                agent.im,
             )
         };
         // Validate against the proposal this grant answers: if the vehicle
@@ -895,7 +1345,8 @@ impl<'a> World<'a> {
                 // The grant's launch instant already passed in transit —
                 // AIM's equivalent of a missed execute-at deadline.
                 self.counters.deadline_misses += 1;
-                self.rec(sim, v.0, self.current_attempt(v), TraceEvent::DeadlineMiss);
+                let attempt = self.current_attempt(v);
+                self.rec(sim, im, v.0, attempt, TraceEvent::DeadlineMiss);
                 return self.stale_response(sim, v, now);
             }
             let mut p = SpeedProfile::starting_at(now, s_now, MetersPerSecond::ZERO);
@@ -932,6 +1383,7 @@ impl<'a> World<'a> {
         let spec = self.cfg.spec;
         let s_entry = self.s_entry;
         let agent = self.agent_mut(v).expect("agent exists");
+        let im = agent.im;
         agent
             .protocol
             .apply(ProtocolEvent::ResponseRejected, now)
@@ -958,7 +1410,7 @@ impl<'a> World<'a> {
                 self.bump_unaccepted_plan(sim, v);
             }
         }
-        sim.schedule_in(retry, Event::SendRequest(v, attempts));
+        sim.schedule_in(retry, Event::SendRequest(v, attempts, im as u32));
     }
 
     /// A VT "stop" command, or any stale/invalid acceptance: brake toward
@@ -972,6 +1424,7 @@ impl<'a> World<'a> {
     ) {
         let spec = self.cfg.spec;
         let agent = self.agent_mut(v).expect("agent exists");
+        let im = agent.im;
         agent
             .protocol
             .apply(ProtocolEvent::ResponseRejected, now)
@@ -988,11 +1441,11 @@ impl<'a> World<'a> {
                 let agent = self.agent_mut(v).expect("agent exists");
                 agent.profile = SpeedProfile::stop_at(now, s_now, v_now, target, &spec);
                 self.counters.fallback_stops += 1;
-                self.rec(sim, v.0, attempts, TraceEvent::FallbackStop);
+                self.rec(sim, im, v.0, attempts, TraceEvent::FallbackStop);
                 self.bump_unaccepted_plan(sim, v);
             }
         }
-        sim.schedule_in(retry, Event::SendRequest(v, attempts));
+        sim.schedule_in(retry, Event::SendRequest(v, attempts, im as u32));
     }
 
     fn stale_response(&mut self, sim: &mut Simulation<Event>, v: VehicleId, now: TimePoint) {
@@ -1061,6 +1514,7 @@ impl<'a> World<'a> {
         if agent.done || agent.accepted || agent.plan_version != version {
             return;
         }
+        let im = agent.im;
         let s_now = agent.profile.position_at(now);
         let v_now = agent.profile.speed_at(now);
         if v_now.value() <= 0.0 {
@@ -1070,7 +1524,8 @@ impl<'a> World<'a> {
         let agent = self.agent_mut(v).expect("agent exists");
         agent.profile = SpeedProfile::stop_at(now, s_now, v_now, target, &spec);
         self.counters.fallback_stops += 1;
-        self.rec(sim, v.0, self.current_attempt(v), TraceEvent::FallbackStop);
+        let attempt = self.current_attempt(v);
+        self.rec(sim, im, v.0, attempt, TraceEvent::FallbackStop);
         self.bump_unaccepted_plan(sim, v);
     }
 
@@ -1131,7 +1586,8 @@ impl<'a> World<'a> {
     fn on_box_exit(&mut self, sim: &mut Simulation<Event>, v: VehicleId, version: u32) {
         let now = sim.now();
         let line_offset = self.s_entry;
-        let (occupancy, record) = {
+        let link_time = self.link_time;
+        let (im, occupancy, continuation) = {
             let Some(agent) = self.agent_mut(v) else {
                 return;
             };
@@ -1144,46 +1600,65 @@ impl<'a> World<'a> {
                 .expect("exit applies in Follow state");
             agent.done = true;
             let entered = agent.entered_at.unwrap_or(now);
-            (
-                BoxOccupancy {
-                    vehicle: v,
-                    movement: agent.movement,
-                    entered,
-                    exited: now,
-                    profile: agent.profile.clone(),
-                    line_offset,
-                },
-                VehicleRecord {
-                    vehicle: v,
-                    line_at: agent.line_at,
-                    cleared_at: now,
-                    free_flow: agent.free_flow,
-                    requests_sent: agent.protocol.total_requests(),
-                    rejections: agent.protocol.total_rejections(),
-                },
-            )
+            let occupancy = BoxOccupancy {
+                vehicle: v,
+                movement: agent.movement,
+                entered,
+                exited: now,
+                profile: agent.profile.clone(),
+                line_offset,
+            };
+            (agent.im, occupancy, ())
         };
-        self.occupancies.push(occupancy);
-        self.metrics.push(record);
+        let _ = continuation;
+        self.occupancies[im].push(occupancy);
+        let next = self.agent(v).and_then(|a| self.next_leg(a));
+        match next {
+            Some(next_im) => {
+                // Handoff: bank this leg's protocol tallies and free-flow
+                // time (plus the link traversal), then ride the link to
+                // the next intersection's transmission line.
+                let agent = self.agent_mut(v).expect("agent exists");
+                agent.trip_requests += agent.protocol.total_requests();
+                agent.trip_rejections += agent.protocol.total_rejections();
+                agent.trip_free_flow += agent.free_flow + link_time;
+                sim.schedule_in(link_time, Event::LinkArrival(v, next_im as u32));
+            }
+            None => {
+                // Final exit: one record for the whole trip.
+                let agent = self.agent(v).expect("agent exists");
+                let record = VehicleRecord {
+                    vehicle: v,
+                    line_at: agent.first_line_at,
+                    cleared_at: now,
+                    free_flow: agent.trip_free_flow + agent.free_flow,
+                    requests_sent: agent.trip_requests + agent.protocol.total_requests(),
+                    rejections: agent.trip_rejections + agent.protocol.total_rejections(),
+                };
+                self.metrics.push(record);
+            }
+        }
         // Exit notification to the IM. A lost notice is safe: the policy's
         // reservation for the vehicle simply expires via prune instead of
         // being released early.
-        for latency in self.uplink_deliveries().iter() {
-            sim.schedule_in(latency, Event::ImExitNotice(v));
+        for latency in self.uplink_deliveries(im).iter() {
+            sim.schedule_in(latency, Event::ImExitNotice(v, im as u32));
         }
     }
 
-    /// Appends the post-run safety-audit verdicts to the trace: one
-    /// record per overlapping pair, then a summary. A no-op when
+    /// Appends one shard's post-run safety-audit verdicts to the trace:
+    /// one record per overlapping pair, then a summary. A no-op when
     /// recording is disabled.
     pub(crate) fn record_audit(
         &mut self,
         sim: &Simulation<Event>,
+        im: usize,
         report: &crate::sim::safety::SafetyReport,
     ) {
         for viol in report.violations() {
             self.rec(
                 sim,
+                im,
                 viol.first.0,
                 0,
                 TraceEvent::AuditViolation {
@@ -1193,6 +1668,7 @@ impl<'a> World<'a> {
         }
         self.rec(
             sim,
+            im,
             NO_VEHICLE,
             0,
             TraceEvent::AuditSummary {
@@ -1234,6 +1710,8 @@ mod tests {
         Agent {
             movement,
             line_at: TimePoint::ZERO,
+            first_line_at: TimePoint::ZERO,
+            im: 0,
             profile: SpeedProfile::starting_at(
                 TimePoint::ZERO,
                 Meters::ZERO,
@@ -1247,6 +1725,9 @@ mod tests {
             entered_at: None,
             done: false,
             free_flow: Seconds::new(10.0),
+            trip_free_flow: Seconds::ZERO,
+            trip_requests: 0,
+            trip_rejections: 0,
             last_proposal: None,
             stop_target: None,
             im_seen_attempt: None,
@@ -1283,11 +1764,11 @@ mod tests {
         let req = request(&cfg, movement, 1);
         sim.schedule(
             TimePoint::new(0.001),
-            Event::UplinkArrival(VehicleId(0), req),
+            Event::UplinkArrival(VehicleId(0), 0, req),
         );
         sim.schedule(
             TimePoint::new(0.002),
-            Event::UplinkArrival(VehicleId(0), req),
+            Event::UplinkArrival(VehicleId(0), 0, req),
         );
         sim.run_until(TimePoint::new(5.0), |sim, ev| {
             world.handle(sim, ev);
@@ -1321,17 +1802,17 @@ mod tests {
         // frame pile into the queue.
         sim.schedule(
             TimePoint::new(0.001),
-            Event::UplinkArrival(VehicleId(0), request(&cfg, movement, 1)),
+            Event::UplinkArrival(VehicleId(0), 0, request(&cfg, movement, 1)),
         );
         for i in 0..64u32 {
             sim.schedule(
                 TimePoint::new(0.002 + f64::from(i) * 1e-5),
-                Event::UplinkArrival(VehicleId(0), request(&cfg, movement, 1)),
+                Event::UplinkArrival(VehicleId(0), 0, request(&cfg, movement, 1)),
             );
         }
         sim.schedule(
             TimePoint::new(0.004),
-            Event::UplinkArrival(VehicleId(0), request(&cfg, movement, 2)),
+            Event::UplinkArrival(VehicleId(0), 0, request(&cfg, movement, 2)),
         );
         sim.run_until(TimePoint::new(5.0), |sim, ev| {
             world.handle(sim, ev);
@@ -1356,24 +1837,24 @@ mod tests {
         world.insert_agent(VehicleId(0), requesting_agent(movement));
         sim.schedule(
             TimePoint::new(0.001),
-            Event::UplinkArrival(VehicleId(0), request(&cfg, movement, 1)),
+            Event::UplinkArrival(VehicleId(0), 0, request(&cfg, movement, 1)),
         );
         // Queued behind the busy IM when the crash hits.
         sim.schedule(
             TimePoint::new(0.002),
-            Event::UplinkArrival(VehicleId(0), request(&cfg, movement, 2)),
+            Event::UplinkArrival(VehicleId(0), 0, request(&cfg, movement, 2)),
         );
-        sim.schedule(TimePoint::new(0.003), Event::ImCrash);
+        sim.schedule(TimePoint::new(0.003), Event::ImCrash(0));
         // Landing on the dead radio.
         sim.schedule(
             TimePoint::new(0.004),
-            Event::UplinkArrival(VehicleId(0), request(&cfg, movement, 3)),
+            Event::UplinkArrival(VehicleId(0), 0, request(&cfg, movement, 3)),
         );
-        sim.schedule(TimePoint::new(0.005), Event::ImRestart);
+        sim.schedule(TimePoint::new(0.005), Event::ImRestart(0));
         // Processed by the restarted IM.
         sim.schedule(
             TimePoint::new(0.006),
-            Event::UplinkArrival(VehicleId(0), request(&cfg, movement, 4)),
+            Event::UplinkArrival(VehicleId(0), 0, request(&cfg, movement, 4)),
         );
         sim.run_until(TimePoint::new(5.0), |sim, ev| {
             world.handle(sim, ev);
@@ -1389,6 +1870,46 @@ mod tests {
         );
         // The in-flight attempt-1 computation died with the old epoch: its
         // downlink was never transmitted.
-        assert!(!world.im_down);
+        assert!(!world.shards[0].im_down);
+    }
+
+    /// A batched drain and the serial path must agree verdict-for-verdict
+    /// on the same queue contents (the benches assert this at scale; this
+    /// pins the wiring).
+    #[test]
+    fn batched_drain_matches_serial_watermark_behavior() {
+        let cfg = test_config();
+        let workload = test_workload();
+        let movement = workload[0].movement;
+        let host = BatchHost::new(2);
+        let mut sim: Simulation<Event> = Simulation::new();
+        let mut world = World::new(&cfg, &workload);
+        world.batch = Some(&host);
+        world.insert_agent(VehicleId(0), requesting_agent(movement));
+        // A duplicate and a fresh attempt at the same instant: the drain
+        // admits exactly the two distinct attempts.
+        sim.schedule(
+            TimePoint::new(0.001),
+            Event::UplinkArrival(VehicleId(0), 0, request(&cfg, movement, 1)),
+        );
+        sim.schedule(
+            TimePoint::new(0.001),
+            Event::UplinkArrival(VehicleId(0), 0, request(&cfg, movement, 1)),
+        );
+        sim.schedule(
+            TimePoint::new(0.001),
+            Event::UplinkArrival(VehicleId(0), 0, request(&cfg, movement, 2)),
+        );
+        sim.run_until(TimePoint::new(5.0), |sim, ev| {
+            world.handle(sim, ev);
+            world.maybe_drain(sim);
+            true
+        });
+        assert_eq!(
+            world.counters.im_requests, 2,
+            "watermark admits the two distinct attempts, batched"
+        );
+        assert_eq!(world.agent(VehicleId(0)).unwrap().im_seen_attempt, Some(2));
+        assert!(!world.shards[0].im_busy, "batch fully drained");
     }
 }

@@ -1,0 +1,184 @@
+//! The closed-form same-lane contact solver must agree with the sampled
+//! rectangle march it replaced.
+//!
+//! `SafetyReport`'s same-movement straight pairs are now decided by
+//! `crossroads_vehicle::first_gap_violation` (an exact per-phase quadratic
+//! solve); these properties replay randomized same-lane traffic through
+//! the full audit and compare against a test-local 5 ms footprint march —
+//! the seed's original method. Agreement is one-sided by construction:
+//! every marched hit is a continuous-time hit (so the exact solver must
+//! find it, at or before the sampled instant), while the exact solver may
+//! legitimately catch sub-step touches the march steps over.
+
+use crossroads_check::{ck_assert, forall, vec, Config};
+use crossroads_core::sim::{BoxOccupancy, SafetyReport};
+use crossroads_intersection::{Approach, IntersectionGeometry, Movement, MovementPath, Turn};
+use crossroads_units::{Meters, MetersPerSecond, OrientedRect, Seconds, TimePoint};
+use crossroads_vehicle::{SpeedProfile, VehicleId, VehicleSpec};
+
+const STEP: Seconds = Seconds::new(0.005);
+
+fn geometry() -> IntersectionGeometry {
+    IntersectionGeometry::scale_model()
+}
+
+fn spec() -> VehicleSpec {
+    VehicleSpec::scale_model()
+}
+
+/// A same-lane occupancy: enters the box at `enter` at `speed`, and
+/// optionally brakes to rest `brake_after` seconds in (a stop-and-go
+/// follower), producing multi-phase profiles for the solver to segment.
+fn lane_occ(v: u32, enter: f64, speed: f64, brake_after: Option<f64>) -> BoxOccupancy {
+    let movement = Movement::new(Approach::South, Turn::Straight);
+    let s = spec();
+    let total = geometry().path_length(movement) + s.length;
+    let mut profile = SpeedProfile::starting_at(
+        TimePoint::new(enter),
+        Meters::ZERO,
+        MetersPerSecond::new(speed),
+    );
+    if let Some(dt) = brake_after {
+        profile.push_hold(Seconds::new(dt));
+        profile.push_speed_change(MetersPerSecond::ZERO, s.d_max);
+        profile.push_hold(Seconds::new(1.0));
+        profile.push_speed_change(MetersPerSecond::new(speed), s.a_max);
+    }
+    let exited = profile
+        .time_at_position(total)
+        .unwrap_or(TimePoint::new(enter) + Seconds::new(60.0));
+    BoxOccupancy {
+        vehicle: VehicleId(v),
+        movement,
+        entered: TimePoint::new(enter),
+        exited,
+        profile,
+        line_offset: Meters::ZERO,
+    }
+}
+
+fn footprint(
+    occ: &BoxOccupancy,
+    path: &MovementPath,
+    margin: Meters,
+    t: TimePoint,
+) -> OrientedRect {
+    let s = spec();
+    let front = occ.profile.position_at(t) - occ.line_offset;
+    let (center, heading) = path.pose_at(front - s.length / 2.0);
+    OrientedRect {
+        center,
+        heading,
+        length: s.length + margin * 2.0,
+        width: s.width + margin * 2.0,
+    }
+}
+
+/// The seed's sampled first-contact march, reimplemented over the public
+/// geometry API.
+fn marched_contact(a: &BoxOccupancy, b: &BoxOccupancy, margin: Meters) -> Option<TimePoint> {
+    let path = MovementPath::new(&geometry(), a.movement);
+    let start = a.entered.max(b.entered);
+    let end = a.exited.min(b.exited);
+    if end <= start {
+        return None;
+    }
+    let mut t = start;
+    while t <= end {
+        if footprint(a, &path, margin, t).intersects(&footprint(b, &path, margin, t)) {
+            return Some(t);
+        }
+        t += STEP;
+    }
+    None
+}
+
+forall! {
+    config = Config::default();
+
+    /// Pairwise agreement on randomized same-lane stop-and-go traffic:
+    /// a marched hit implies an exact hit no later than the sampled
+    /// instant, and the exact instant itself passes the geometric
+    /// rectangle test.
+    fn exact_covers_the_march(
+        pairs in vec(
+            (0.0f64..6.0, 0.5f64..3.0, 0.0f64..6.0, 0.5f64..3.0, 0u8..3, 0.0f64..2.0),
+            1..12
+        ),
+        margin_cm in 0.0f64..0.3,
+    ) {
+        let margin = Meters::new(margin_cm);
+        let path = MovementPath::new(&geometry(), Movement::new(Approach::South, Turn::Straight));
+        for (i, &(e1, v1, e2, v2, brake, after)) in pairs.iter().enumerate() {
+            let a = lane_occ(i as u32 * 2, e1, v1, (brake == 1).then_some(after));
+            let b = lane_occ(i as u32 * 2 + 1, e2, v2, (brake == 2).then_some(after));
+            let start = a.entered.max(b.entered);
+            let end = a.exited.min(b.exited);
+            if end <= start {
+                continue;
+            }
+            let gap = spec().length + margin * 2.0;
+            let exact = crossroads_vehicle::first_gap_violation(
+                &a.profile, &b.profile, b.line_offset - a.line_offset, gap, start, end,
+            );
+            let marched = marched_contact(&a, &b, margin);
+            if let Some(tm) = marched {
+                let te = exact.unwrap_or_else(|| panic!(
+                    "march found contact at {tm} but the exact solver found none \
+                     (pair {i}: e1={e1} v1={v1} e2={e2} v2={v2} brake={brake} after={after})"
+                ));
+                ck_assert!(
+                    te <= tm + Seconds::new(1e-9),
+                    "exact contact {te} must not trail the marched contact {tm}"
+                );
+                // The march can only be late by whole steps.
+                ck_assert!(tm - te <= Seconds::new(60.0), "sanity: {tm} vs {te}");
+            }
+            if let Some(te) = exact {
+                // The reported instant is a genuine geometric contact
+                // (probe with a hair of inflation to absorb the exact
+                // touching case landing on the SAT boundary).
+                let eps = Meters::new(1e-9);
+                ck_assert!(
+                    footprint(&a, &path, margin + eps, te)
+                        .intersects(&footprint(&b, &path, margin + eps, te)),
+                    "exact instant {te} fails the rectangle test"
+                );
+            }
+        }
+    }
+
+    /// Full-audit agreement: on same-lane-only traffic, the sweep audit
+    /// (exact solver) and a marched reference agree on *which* pairs
+    /// violate — the exact solver may time a hit earlier, never miss one
+    /// the march saw.
+    fn audit_verdicts_cover_marched_verdicts(
+        entries in vec((0.0f64..10.0, 0.5f64..3.0, 0u8..2, 0.0f64..2.0), 0..14),
+    ) {
+        let occs: Vec<BoxOccupancy> = entries
+            .iter()
+            .enumerate()
+            .map(|(i, &(enter, speed, brake, after))| {
+                lane_occ(i as u32, enter, speed, (brake == 1).then_some(after))
+            })
+            .collect();
+        let report =
+            SafetyReport::audit_with_margin(occs.clone(), &geometry(), &spec(), Meters::ZERO);
+        let exact_pairs: std::collections::BTreeSet<(u32, u32)> = report
+            .violations()
+            .iter()
+            .map(|v| (v.first.0.min(v.second.0), v.first.0.max(v.second.0)))
+            .collect();
+        for (i, a) in occs.iter().enumerate() {
+            for b in &occs[i + 1..] {
+                if let Some(tm) = marched_contact(a, b, Meters::ZERO) {
+                    let key = (a.vehicle.0.min(b.vehicle.0), a.vehicle.0.max(b.vehicle.0));
+                    ck_assert!(
+                        exact_pairs.contains(&key),
+                        "march flagged pair {key:?} at {tm} but the audit did not"
+                    );
+                }
+            }
+        }
+    }
+}

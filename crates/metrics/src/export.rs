@@ -99,8 +99,13 @@ pub fn run_to_json(m: &RunMetrics) -> String {
     // (like every non-finite value) as `null`, which readers recognise.
     let lat = m.decision_latency_summary();
     let lat_p = m.decision_latency_percentiles();
+    let hist = m.decision_latency_histogram();
+    // SLO quantiles are the histogram's conservative upper bucket edges —
+    // guaranteed "p99 ≤ reported" bounds, unlike the sample percentiles
+    // above which interpolate.
+    let slo = |q: f64| fmt_f64(hist.quantile(q).unwrap_or(f64::NAN));
     format!(
-        "{{\"completed\":{},\"average_wait\":{},\"throughput\":{},\"flow_rate\":{},\"total_requests\":{},\"decision_latency\":{{\"count\":{},\"mean\":{},\"min\":{},\"max\":{},\"p50\":{},\"p90\":{},\"p95\":{},\"p99\":{},\"hist\":{}}},\"wait_hist\":{},\"counters\":{},\"records\":{}}}",
+        "{{\"completed\":{},\"average_wait\":{},\"throughput\":{},\"flow_rate\":{},\"total_requests\":{},\"decision_latency\":{{\"count\":{},\"mean\":{},\"min\":{},\"max\":{},\"p50\":{},\"p90\":{},\"p95\":{},\"p99\":{},\"slo\":{{\"p50\":{},\"p95\":{},\"p99\":{},\"max\":{}}},\"hist\":{}}},\"wait_hist\":{},\"counters\":{},\"records\":{}}}",
         m.completed(),
         fmt_f64(m.average_wait().value()),
         fmt_f64(m.throughput()),
@@ -114,7 +119,11 @@ pub fn run_to_json(m: &RunMetrics) -> String {
         fmt_f64(lat_p.p90),
         fmt_f64(lat_p.p95),
         fmt_f64(lat_p.p99),
-        m.decision_latency_histogram().to_json(),
+        slo(0.5),
+        slo(0.95),
+        slo(0.99),
+        slo(1.0),
+        hist.to_json(),
         m.wait_histogram().to_json(),
         counters_to_json(m.counters()),
         records_to_json(m.records()),
@@ -190,6 +199,61 @@ pub fn bench_sweep_to_json(
             json_escape(&p.label),
             fmt_f64(p.wall_ms),
             p.events,
+        ));
+    }
+    out.push_str("]}");
+    out
+}
+
+/// One corridor grid point's deterministic summary for the
+/// `BENCH_sweep.json` grid record — the simulation-side figures
+/// (vehicles/hour, handoffs) that stay byte-identical across thread
+/// counts, complementing the wall-clock record `par_sweep` emits for the
+/// same sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GridPointSummary {
+    /// Point label, e.g. `Crossroads@K4/r0.25`.
+    pub label: String,
+    /// Chained intersections at this point.
+    pub k: usize,
+    /// Arterial arrival rate, cars/second per direction.
+    pub rate: f64,
+    /// Vehicles spawned.
+    pub vehicles: usize,
+    /// Vehicles that cleared their final intersection.
+    pub completed: usize,
+    /// Intersection-to-intersection handoffs the corridor served.
+    pub handoffs: u64,
+    /// Corridor carried flow in vehicles/hour (flow rate × 3600).
+    pub vehicles_per_hour: f64,
+    /// Mean wait per vehicle, seconds.
+    pub average_wait: f64,
+}
+
+/// One `BENCH_sweep.json` record summarising a corridor grid sweep:
+/// `{"experiment":"<name>/grid","points":[...]}` with one object per
+/// grid point. Deterministic — no wall-clock fields — so the record is
+/// byte-identical at any thread count.
+#[must_use]
+pub fn grid_summary_to_json(experiment: &str, points: &[GridPointSummary]) -> String {
+    let mut out = format!(
+        "{{\"experiment\":\"{}/grid\",\"points\":[",
+        json_escape(experiment)
+    );
+    for (i, p) in points.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"label\":\"{}\",\"k\":{},\"rate\":{},\"vehicles\":{},\"completed\":{},\"handoffs\":{},\"vehicles_per_hour\":{},\"average_wait\":{}}}",
+            json_escape(&p.label),
+            p.k,
+            fmt_f64(p.rate),
+            p.vehicles,
+            p.completed,
+            p.handoffs,
+            fmt_f64(p.vehicles_per_hour),
+            fmt_f64(p.average_wait),
         ));
     }
     out.push_str("]}");
@@ -298,6 +362,30 @@ mod tests {
     }
 
     #[test]
+    fn grid_summary_json_shape() {
+        let points = [GridPointSummary {
+            label: String::from("Crossroads@K4/r0.25"),
+            k: 4,
+            rate: 0.25,
+            vehicles: 5000,
+            completed: 5000,
+            handoffs: 3750,
+            vehicles_per_hour: 1234.5,
+            average_wait: 2.75,
+        }];
+        let json = grid_summary_to_json("exp_grid_sweep", &points);
+        assert_eq!(
+            json,
+            "{\"experiment\":\"exp_grid_sweep/grid\",\"points\":[\
+             {\"label\":\"Crossroads@K4/r0.25\",\"k\":4,\"rate\":0.25,\
+             \"vehicles\":5000,\"completed\":5000,\"handoffs\":3750,\
+             \"vehicles_per_hour\":1234.5,\"average_wait\":2.75}]}"
+        );
+        assert!(!json.contains('\n'), "one JSONL record per grid sweep");
+        crate::parse_json(&json).expect("valid JSON");
+    }
+
+    #[test]
     fn zero_time_sweep_reports_zero_rate() {
         let json = bench_sweep_to_json("empty", 1, 0.0, &[]);
         assert!(
@@ -373,6 +461,18 @@ mod tests {
             Some(2.0)
         );
         assert!(lat.get("hist").and_then(|h| h.get("buckets")).is_some());
+        // The SLO block carries the histogram's conservative upper-edge
+        // quantiles: both samples land in [2^-11, 2^-10) ∪ [2^-10, 2^-9),
+        // so p50 is 2^-10 and the max edge is 2^-9.
+        let slo = lat.get("slo").expect("slo block");
+        assert_eq!(
+            slo.get("p50").and_then(crate::JsonValue::as_f64),
+            Some(f64::powi(2.0, -10))
+        );
+        assert_eq!(
+            slo.get("max").and_then(crate::JsonValue::as_f64),
+            Some(f64::powi(2.0, -9))
+        );
         let wait_hist = doc.get("wait_hist").expect("wait histogram");
         assert_eq!(
             wait_hist.get("count").and_then(crate::JsonValue::as_f64),

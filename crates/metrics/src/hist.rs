@@ -122,6 +122,50 @@ impl Histogram {
             .collect()
     }
 
+    /// Conservative `q`-quantile (`0 <= q <= 1`): the *upper edge* of the
+    /// bucket holding the `ceil(q · n)`-th smallest finite sample, so the
+    /// reported value is an upper bound on the true quantile — the right
+    /// direction for latency SLO tables, where "p99 ≤ reported" must
+    /// hold. Zero/negative samples sort below every bucket (and report
+    /// 0.0); non-finite samples are excluded. `None` on an empty
+    /// histogram (or one holding only non-finite samples).
+    ///
+    /// Deterministic: quantiles are a pure function of the bucket counts,
+    /// so any two histograms with equal JSON report equal quantiles.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `q` is outside `[0, 1]`.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        assert!((0.0..=1.0).contains(&q), "quantile {q} outside [0, 1]");
+        let finite = self.count - self.non_finite;
+        if finite == 0 {
+            return None;
+        }
+        // Rank of the target sample, 1-based; q = 0 degenerates to the
+        // smallest sample.
+        #[allow(
+            clippy::cast_precision_loss,
+            clippy::cast_sign_loss,
+            clippy::cast_possible_truncation
+        )]
+        let rank = ((q * finite as f64).ceil() as u64).max(1);
+        if rank <= self.zero {
+            return Some(0.0);
+        }
+        let mut seen = self.zero;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                #[allow(clippy::cast_possible_truncation, clippy::cast_possible_wrap)]
+                let exp = i as i32 + MIN_EXP;
+                return Some(f64::powi(2.0, exp + 1));
+            }
+        }
+        unreachable!("rank {rank} exceeds finite sample count {finite}");
+    }
+
     /// Merges another histogram into this one.
     pub fn absorb(&mut self, other: &Histogram) {
         for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
@@ -212,5 +256,36 @@ mod tests {
         let h = Histogram::of([1.0]);
         assert_eq!(h.bucket(1000), 0);
         assert_eq!(h.bucket(-1000), 0);
+    }
+
+    #[test]
+    fn quantile_reports_upper_bucket_edges() {
+        // 100 samples of ~1 ms (bucket [2^-10, 2^-9)) and one 1.5 s tail
+        // sample (bucket [1, 2)).
+        let mut h = Histogram::new();
+        for _ in 0..100 {
+            h.record(0.001);
+        }
+        h.record(1.5);
+        // p50/p95 land in the millisecond bucket; its upper edge is 2^-9.
+        assert_eq!(h.quantile(0.5), Some(f64::powi(2.0, -9)));
+        assert_eq!(h.quantile(0.95), Some(f64::powi(2.0, -9)));
+        // The max (q = 1) must cover the tail sample: upper edge 2.
+        assert_eq!(h.quantile(1.0), Some(2.0));
+        // And the bound really is conservative: every recorded sample is
+        // below its reported quantile edge.
+        assert!(1.5 < h.quantile(1.0).unwrap());
+    }
+
+    #[test]
+    fn quantile_handles_zero_and_non_finite_samples() {
+        let h = Histogram::of([0.0, 0.0, 0.0, 1.0]);
+        assert_eq!(h.quantile(0.5), Some(0.0), "zeros dominate the median");
+        assert_eq!(h.quantile(1.0), Some(2.0));
+        assert_eq!(Histogram::new().quantile(0.5), None);
+        let nan_only = Histogram::of([f64::NAN]);
+        assert_eq!(nan_only.quantile(0.5), None, "non-finite samples excluded");
+        // q = 0 degenerates to the smallest sample's bucket edge.
+        assert_eq!(h.quantile(0.0), Some(0.0));
     }
 }

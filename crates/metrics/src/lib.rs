@@ -23,7 +23,8 @@ mod record;
 mod stats;
 
 pub use export::{
-    bench_sweep_to_json, counters_to_json, records_to_csv, records_to_json, run_to_json, BenchPoint,
+    bench_sweep_to_json, counters_to_json, grid_summary_to_json, records_to_csv, records_to_json,
+    run_to_json, BenchPoint, GridPointSummary,
 };
 pub use hist::Histogram;
 pub use json::{parse_json, JsonError, JsonValue};

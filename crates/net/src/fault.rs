@@ -357,14 +357,32 @@ impl FaultModel {
     /// Panics if [`FaultConfig::validate`] rejects the configuration.
     #[must_use]
     pub fn new(config: FaultConfig, root: &StdRng) -> Self {
+        FaultModel::for_shard(config, root, 0)
+    }
+
+    /// Per-intersection injector for corridor worlds: shard `i`'s streams
+    /// are offset from the base constants so every IM sees an independent
+    /// fault pattern, still derived from the root seed alone (independent
+    /// of the main stream's draw history). `for_shard(cfg, root, 0)` is
+    /// exactly [`FaultModel::new`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid (see
+    /// [`FaultConfig::validate`]).
+    #[must_use]
+    pub fn for_shard(config: FaultConfig, root: &StdRng, shard: u64) -> Self {
         config.validate();
+        // The base constants differ in the low byte; shards shift into the
+        // next bytes so no two (direction, shard) pairs collide.
+        let offset = shard.wrapping_mul(0x100);
         FaultModel {
             config,
             up_bad: false,
-            up_rng: root.stream(STREAM_UPLINK),
+            up_rng: root.stream(STREAM_UPLINK.wrapping_add(offset)),
             down_bad: false,
-            down_rng: root.stream(STREAM_DOWNLINK),
-            aux: root.stream(STREAM_AUX),
+            down_rng: root.stream(STREAM_DOWNLINK.wrapping_add(offset)),
+            aux: root.stream(STREAM_AUX.wrapping_add(offset)),
             stats: FaultStats::default(),
         }
     }

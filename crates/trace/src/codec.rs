@@ -11,13 +11,20 @@
 //!   len   u8                 payload bytes that follow
 //!   payload:
 //!     dispatch u64, at f64-bits u64, vehicle u32, attempt u32,
-//!     epoch u32, tag u8, per-variant fields (0..=9 bytes)
+//!     epoch u32, tag u8, per-variant fields (0..=9 bytes),
+//!     im u32 (optional suffix, present iff im != 0)
 //! ```
 //!
 //! Every record is length-prefixed so a reader that does not know a tag
 //! can still skip the record, and truncation is always detected. Floats
 //! travel as raw IEEE-754 bits, so encode → decode is bit-exact and two
 //! traces are equal iff their encodings are byte-identical.
+//!
+//! The `im` suffix is the corridor extension: records from shard 0 (and
+//! every record written before corridors existed) omit it, so a
+//! single-intersection trace encodes byte-identically to the original
+//! version-1 format, and the canonical-encoding property above survives —
+//! `im == 0` if and only if the suffix is absent.
 
 use crate::{Trace, TraceEvent, TraceRecord, Verdict};
 use crossroads_units::{Seconds, TimePoint};
@@ -130,7 +137,8 @@ pub fn encode(trace: &Trace) -> Vec<u8> {
     push_u64(&mut out, trace.records.len() as u64);
     for r in &trace.records {
         let (tag, extra) = tag_of(r.event);
-        out.push(BASE_LEN + extra);
+        let im_suffix = if r.im != 0 { 4 } else { 0 };
+        out.push(BASE_LEN + extra + im_suffix);
         push_u64(&mut out, r.dispatch);
         push_f64(&mut out, r.at.value());
         push_u32(&mut out, r.vehicle);
@@ -157,6 +165,9 @@ pub fn encode(trace: &Trace) -> Vec<u8> {
             | TraceEvent::DeadlineMiss
             | TraceEvent::ImCrash
             | TraceEvent::ImRestart => {}
+        }
+        if r.im != 0 {
+            push_u32(&mut out, r.im);
         }
     }
     out
@@ -263,7 +274,10 @@ fn decode_record(mut p: Reader<'_>, len: u8) -> Result<TraceRecord, DecodeError>
     let epoch = p.u32()?;
     let tag = p.u8()?;
     let expected = extra_len(tag).ok_or(DecodeError::UnknownTag(tag))?;
-    if len != BASE_LEN + expected {
+    // Two valid lengths per tag: the version-1 payload, or the corridor
+    // extension with a trailing 4-byte `im`.
+    let has_im = len == BASE_LEN + expected + 4;
+    if !has_im && len != BASE_LEN + expected {
         return Err(DecodeError::LengthMismatch {
             tag,
             declared: len,
@@ -303,12 +317,14 @@ fn decode_record(mut p: Reader<'_>, len: u8) -> Result<TraceRecord, DecodeError>
         },
         _ => unreachable!("extra_len already rejected unknown tags"),
     };
+    let im = if has_im { p.u32()? } else { 0 };
     Ok(TraceRecord {
         dispatch,
         at,
         vehicle,
         attempt,
         epoch,
+        im,
         event,
     })
 }
@@ -326,6 +342,7 @@ mod tests {
                 vehicle: 0,
                 attempt: 1,
                 epoch: 0,
+                im: 0,
                 event: TraceEvent::UplinkSend {
                     copies: 2,
                     latency: Seconds::new(0.018),
@@ -337,6 +354,7 @@ mod tests {
                 vehicle: 0,
                 attempt: 1,
                 epoch: 0,
+                im: 0,
                 event: TraceEvent::DecisionExit {
                     verdict: Verdict::Crossroads,
                     service: Seconds::new(0.0004),
@@ -348,6 +366,7 @@ mod tests {
                 vehicle: NO_VEHICLE,
                 attempt: 0,
                 epoch: 1,
+                im: 0,
                 event: TraceEvent::ImCrash,
             },
             TraceRecord {
@@ -356,6 +375,7 @@ mod tests {
                 vehicle: NO_VEHICLE,
                 attempt: 0,
                 epoch: 1,
+                im: 0,
                 event: TraceEvent::AuditSummary { violations: 0 },
             },
         ];
@@ -437,6 +457,7 @@ mod tests {
                 vehicle: 1,
                 attempt: 1,
                 epoch: 0,
+                im: 0,
                 event: TraceEvent::Actuation {
                     verdict: Verdict::VtGo,
                 },
@@ -453,5 +474,27 @@ mod tests {
     fn empty_trace_round_trips() {
         let t = Trace::default();
         assert_eq!(decode(&encode(&t)).expect("well-formed"), t);
+    }
+
+    #[test]
+    fn shard_suffix_round_trips_and_zero_im_stays_version_1_sized() {
+        let mut t = sample_trace();
+        let baseline = encode(&t).len();
+        // Tag every record with a nonzero shard: each grows by exactly the
+        // 4-byte suffix and round-trips bit-exactly.
+        for (i, r) in t.records.iter_mut().enumerate() {
+            r.im = i as u32 + 1;
+        }
+        let bytes = encode(&t);
+        assert_eq!(bytes.len(), baseline + 4 * t.records.len());
+        let back = decode(&bytes).expect("well-formed");
+        assert_eq!(back, t);
+        assert_eq!(encode(&back), bytes);
+        // Truncating the suffix is detected as a length problem, not
+        // silently read as a version-1 record.
+        let mut cut = bytes.clone();
+        let last = cut.len() - 1;
+        cut.truncate(last);
+        assert!(decode(&cut).is_err());
     }
 }

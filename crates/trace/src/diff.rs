@@ -102,6 +102,7 @@ mod tests {
             vehicle,
             attempt: 1,
             epoch: 0,
+            im: 0,
             event: TraceEvent::DecisionExit {
                 verdict: Verdict::Crossroads,
                 service: Seconds::new(0.001),

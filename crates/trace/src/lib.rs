@@ -162,6 +162,10 @@ pub struct TraceRecord {
     pub attempt: u32,
     /// IM epoch (bumped on every crash) at record time.
     pub epoch: u32,
+    /// Intersection (shard) index the event concerns in a corridor world.
+    /// 0 in single-intersection worlds — such records encode and render
+    /// exactly as they did before the corridor format existed.
+    pub im: u32,
     /// The event payload.
     pub event: TraceEvent,
 }
@@ -174,7 +178,11 @@ impl std::fmt::Display for TraceRecord {
         } else {
             write!(f, "v{:<4}", self.vehicle)?;
         }
-        write!(f, " a{} e{} ", self.attempt, self.epoch)?;
+        write!(f, " a{} e{}", self.attempt, self.epoch)?;
+        if self.im != 0 {
+            write!(f, " im{}", self.im)?;
+        }
+        write!(f, " ")?;
         match self.event {
             TraceEvent::UplinkSend { copies, latency } => {
                 write!(f, "uplink-send copies={copies} latency={latency}")
@@ -375,8 +383,18 @@ mod tests {
             vehicle: 7,
             attempt: 1,
             epoch: 0,
+            im: 0,
             event,
         }
+    }
+
+    #[test]
+    fn display_marks_nonzero_shard_only() {
+        let base = rec(1, TraceEvent::UplinkDeliver);
+        let zero = base.to_string();
+        assert!(!zero.contains("im0"), "im 0 renders as before: {zero}");
+        let shard = TraceRecord { im: 3, ..base };
+        assert!(shard.to_string().contains(" im3 "), "{shard}");
     }
 
     #[test]

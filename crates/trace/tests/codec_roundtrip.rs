@@ -66,6 +66,7 @@ forall! {
                 vehicle: if aux % 7 == 0 { NO_VEHICLE } else { aux % 64 },
                 attempt: aux % 5,
                 epoch: aux % 3,
+                im: aux % 4,
                 event: event_from(kind, aux),
             })
             .collect();

@@ -1,0 +1,199 @@
+//! Corridor (arterial grid) workload generation.
+//!
+//! The single-intersection generators in [`poisson`](crate::poisson)
+//! drive four lanes of one box; a corridor of `k` chained intersections
+//! instead sees two kinds of demand:
+//!
+//! - **Arterial through-traffic** — westbound vehicles entering the first
+//!   intersection and eastbound vehicles entering the last, all
+//!   `Straight`, which the corridor hands off from box to box.
+//! - **Cross traffic** — north/south `Straight` vehicles entering at
+//!   every intersection and leaving after one box, contending with the
+//!   artery for the conflict area.
+//!
+//! Each (intersection, lane) stream is an independent Poisson process
+//! with a minimum same-lane headway, merged by arrival time into one
+//! sorted workload with densely renumbered vehicle ids, plus the
+//! parallel entry-intersection vector the corridor runner consumes.
+
+use crossroads_intersection::{Approach, Movement, Turn};
+use crossroads_prng::{Distribution, Rng, Uniform};
+use crossroads_units::{MetersPerSecond, Seconds, TimePoint};
+use crossroads_vehicle::VehicleId;
+
+use crate::Arrival;
+
+/// Demand shape of one corridor workload.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CorridorDemand {
+    /// Chained intersections (`k >= 1`).
+    pub k: usize,
+    /// Mean arrival rate of each arterial direction, cars/second.
+    pub arterial_rate: f64,
+    /// Mean arrival rate of each cross-traffic lane (north and south at
+    /// every intersection), cars/second.
+    pub cross_rate: f64,
+    /// Total vehicles across all streams.
+    pub total_vehicles: u32,
+    /// Speed at the transmission line.
+    pub line_speed: MetersPerSecond,
+    /// Minimum same-lane headway; closer samples are pushed apart.
+    pub min_headway: Seconds,
+}
+
+impl CorridorDemand {
+    fn validate(&self) {
+        assert!(self.k >= 1, "a corridor needs at least one intersection");
+        assert!(
+            self.arterial_rate.is_finite() && self.arterial_rate > 0.0,
+            "arterial rate must be positive"
+        );
+        assert!(
+            self.cross_rate.is_finite() && self.cross_rate > 0.0,
+            "cross rate must be positive"
+        );
+        assert!(self.total_vehicles > 0, "need at least one vehicle");
+    }
+}
+
+/// Draws an exponential inter-arrival time with rate `lambda` via inverse
+/// CDF (the same scheme as the single-intersection generator).
+fn sample_exponential<R: Rng + ?Sized>(rng: &mut R, lambda: f64) -> f64 {
+    let u: f64 = Uniform::new(f64::EPSILON, 1.0).sample(rng);
+    -u.ln() / lambda
+}
+
+/// Generates a sorted corridor workload of `demand.total_vehicles`
+/// arrivals and the entry intersection of each, for
+/// `run_corridor(config, &arrivals, &entry_ims)`.
+///
+/// Streams, in fixed order: westbound artery at intersection 0, eastbound
+/// artery at intersection `k - 1`, then north and south cross lanes at
+/// every intersection. The merge always emits the stream with the
+/// earliest pending arrival (ties break toward the earlier stream), so
+/// the output is deterministic in `(demand, rng)`.
+///
+/// # Panics
+///
+/// Panics if the demand shape is invalid (see field docs).
+#[must_use]
+pub fn generate_corridor<R: Rng + ?Sized>(
+    demand: &CorridorDemand,
+    rng: &mut R,
+) -> (Vec<Arrival>, Vec<u32>) {
+    demand.validate();
+    #[allow(clippy::cast_possible_truncation)]
+    let last = (demand.k - 1) as u32;
+    // (entry intersection, approach, rate) per stream.
+    let mut streams: Vec<(u32, Approach, f64)> = vec![
+        (0, Approach::West, demand.arterial_rate),
+        (last, Approach::East, demand.arterial_rate),
+    ];
+    for im in 0..demand.k {
+        #[allow(clippy::cast_possible_truncation)]
+        let im = im as u32;
+        streams.push((im, Approach::North, demand.cross_rate));
+        streams.push((im, Approach::South, demand.cross_rate));
+    }
+
+    let mut next_time: Vec<f64> = streams
+        .iter()
+        .map(|&(_, _, rate)| sample_exponential(rng, rate))
+        .collect();
+    let mut arrivals = Vec::with_capacity(demand.total_vehicles as usize);
+    let mut entry_ims = Vec::with_capacity(demand.total_vehicles as usize);
+    let mut id = 0u32;
+    while arrivals.len() < demand.total_vehicles as usize {
+        let s = (0..streams.len())
+            .min_by(|&a, &b| next_time[a].total_cmp(&next_time[b]))
+            .expect("at least four streams");
+        let (im, approach, rate) = streams[s];
+        let at = next_time[s];
+        arrivals.push(Arrival {
+            vehicle: VehicleId(id),
+            movement: Movement::new(approach, Turn::Straight),
+            at_line: TimePoint::new(at),
+            speed: demand.line_speed,
+        });
+        entry_ims.push(im);
+        id += 1;
+        let gap = sample_exponential(rng, rate).max(demand.min_headway.value());
+        let mut next = at + gap;
+        // Same ulp guard as the single-intersection generator: the
+        // headway must survive the `next - at` round trip.
+        while next - at < demand.min_headway.value() {
+            next = next.next_up();
+        }
+        next_time[s] = next;
+    }
+    (arrivals, entry_ims)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crossroads_prng::{SeedableRng, StdRng};
+
+    fn demand(k: usize) -> CorridorDemand {
+        CorridorDemand {
+            k,
+            arterial_rate: 0.4,
+            cross_rate: 0.2,
+            total_vehicles: 200,
+            line_speed: MetersPerSecond::new(10.0),
+            min_headway: Seconds::new(1.0),
+        }
+    }
+
+    #[test]
+    fn workload_is_sorted_dense_and_deterministic() {
+        let (a, ims_a) = generate_corridor(&demand(4), &mut StdRng::seed_from_u64(7));
+        let (b, ims_b) = generate_corridor(&demand(4), &mut StdRng::seed_from_u64(7));
+        assert_eq!(a, b);
+        assert_eq!(ims_a, ims_b);
+        assert_eq!(a.len(), 200);
+        assert_eq!(ims_a.len(), 200);
+        for (i, arr) in a.iter().enumerate() {
+            assert_eq!(arr.vehicle.0 as usize, i, "ids must be dense");
+        }
+        for w in a.windows(2) {
+            assert!(w[0].at_line <= w[1].at_line, "must be time-sorted");
+        }
+    }
+
+    #[test]
+    fn entries_respect_the_corridor_shape() {
+        let k = 4;
+        let (arrivals, entry_ims) = generate_corridor(&demand(k), &mut StdRng::seed_from_u64(9));
+        for (arr, &im) in arrivals.iter().zip(&entry_ims) {
+            assert!((im as usize) < k);
+            assert_eq!(arr.movement.turn, Turn::Straight);
+            match arr.movement.approach {
+                Approach::West => assert_eq!(im, 0, "westbound artery enters at 0"),
+                Approach::East => assert_eq!(im as usize, k - 1, "eastbound enters at k-1"),
+                Approach::North | Approach::South => {}
+            }
+        }
+        // Every intersection sees some cross traffic at these rates.
+        for im in 0..k as u32 {
+            assert!(entry_ims.contains(&im), "no arrivals at intersection {im}");
+        }
+    }
+
+    #[test]
+    fn same_lane_headway_holds_per_stream() {
+        let (arrivals, entry_ims) = generate_corridor(&demand(3), &mut StdRng::seed_from_u64(3));
+        let mut last: std::collections::HashMap<(u32, crossroads_intersection::Approach), f64> =
+            std::collections::HashMap::new();
+        for (arr, &im) in arrivals.iter().zip(&entry_ims) {
+            let key = (im, arr.movement.approach);
+            if let Some(prev) = last.get(&key) {
+                assert!(
+                    arr.at_line.value() - prev >= 1.0,
+                    "headway violated on {key:?}"
+                );
+            }
+            last.insert(key, arr.at_line.value());
+        }
+    }
+}

@@ -18,6 +18,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod corridor;
 pub mod poisson;
 pub mod rush_hour;
 pub mod scenario;
@@ -26,6 +27,7 @@ use crossroads_intersection::Movement;
 use crossroads_units::{MetersPerSecond, TimePoint};
 use crossroads_vehicle::VehicleId;
 
+pub use corridor::{generate_corridor, CorridorDemand};
 pub use poisson::{generate_poisson, PoissonConfig};
 pub use rush_hour::{generate_rush_hour, RateProfile};
 pub use scenario::{scale_model_scenario, ScenarioId};

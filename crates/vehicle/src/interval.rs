@@ -1,0 +1,256 @@
+//! Closed-form proximity analysis of two longitudinal profiles.
+//!
+//! Two vehicles on the *same straight path* conflict exactly when their
+//! longitudinal separation drops to the body length (plus audit margin):
+//! no rectangle geometry is needed, the condition is one-dimensional.
+//! Both motions are piecewise-quadratic ([`SpeedProfile`] phases plus the
+//! constant-speed extrapolations before the anchor and after the last
+//! phase), so their difference is piecewise-quadratic too, and the first
+//! instant the gap closes is the smallest root of a per-piece quadratic —
+//! computed exactly instead of by marching a sampling clock (the
+//! discrete-interval idiom of abstreet's `des_model/interval.rs`,
+//! solved in closed form).
+//!
+//! The safety audit uses this to pin same-lane first-contact times
+//! analytically; the sampled march remains the oracle for curved-path
+//! pairs, where chord-vs-arc effects make the 1-D reduction conservative
+//! rather than exact.
+
+use crossroads_units::{Meters, Seconds, TimePoint};
+
+use crate::trajectory::SpeedProfile;
+
+/// First instant in `[start, end]` at which
+/// `|a(t) − b(t) + shift| <= gap`, or `None` if the separation never
+/// closes within the window. `shift` is a constant added to the position
+/// difference (use it to reconcile profiles measured from different
+/// origins); `gap` is the inclusive contact threshold, matching the
+/// touching-counts convention of the rectangle audit.
+///
+/// Exact up to floating-point rounding: the crossing time is the root of
+/// the per-piece quadratic, not a sample grid point.
+///
+/// # Panics
+///
+/// Panics when `gap` is negative or any argument is non-finite.
+#[must_use]
+pub fn first_gap_violation(
+    a: &SpeedProfile,
+    b: &SpeedProfile,
+    shift: Meters,
+    gap: Meters,
+    start: TimePoint,
+    end: TimePoint,
+) -> Option<TimePoint> {
+    assert!(
+        gap.is_finite() && gap.value() >= 0.0,
+        "gap must be finite and non-negative, got {gap}"
+    );
+    assert!(
+        shift.is_finite() && start.is_finite() && end.is_finite(),
+        "window and shift must be finite"
+    );
+    if end < start {
+        return None;
+    }
+    // Segment the window at every phase boundary of either profile: the
+    // difference is a single quadratic inside each segment.
+    let mut cuts: Vec<TimePoint> = vec![start, end];
+    for p in [a, b] {
+        for phase in p.phases() {
+            for t in [phase.start, phase.start + phase.duration] {
+                if t > start && t < end {
+                    cuts.push(t);
+                }
+            }
+        }
+    }
+    cuts.sort_by(|x, y| x.total_cmp(*y));
+    cuts.dedup();
+
+    for w in cuts.windows(2) {
+        let (t0, t1) = (w[0], w[1]);
+        let len = t1 - t0;
+        // Difference coefficients on [0, len]:
+        //   d(dt) = d0 + dv·dt + ½·da·dt²
+        // anchored by exact evaluation at the segment start; the
+        // acceleration is constant inside the segment, read off at its
+        // midpoint to stay clear of the boundary ambiguity.
+        let mid = t0 + len * 0.5;
+        let d0 = a.position_at(t0) - b.position_at(t0) + shift;
+        let dv = a.speed_at(t0) - b.speed_at(t0);
+        let da = accel_at(a, mid) - accel_at(b, mid);
+        if d0.abs() <= gap {
+            return Some(t0);
+        }
+        // The gap is open at t0; it closes when d crosses the near
+        // threshold (+gap from above, −gap from below).
+        let threshold = if d0.value() > 0.0 { gap } else { -gap };
+        let c = (d0 - threshold).value();
+        if let Some(dt) = smallest_root(0.5 * da.value(), dv.value(), c, len.value()) {
+            return Some(t0 + Seconds::new(dt));
+        }
+    }
+    // The final cut is a zero-length segment in the loop above only when
+    // it coincides with t1 of the last window; probe the endpoint itself.
+    let d_end = a.position_at(end) - b.position_at(end) + shift;
+    (d_end.abs() <= gap).then_some(end)
+}
+
+/// Constant acceleration governing profile `p` at time `t` (zero in the
+/// constant-speed extrapolations outside the phase list).
+fn accel_at(p: &SpeedProfile, t: TimePoint) -> crossroads_units::MetersPerSecondSquared {
+    for phase in p.phases() {
+        if t >= phase.start && t < phase.start + phase.duration {
+            return phase.accel;
+        }
+    }
+    crossroads_units::MetersPerSecondSquared::ZERO
+}
+
+/// Smallest root of `a·x² + b·x + c = 0` in `(0, hi]`, `None` if there is
+/// none. Degenerates gracefully to the linear and constant cases.
+fn smallest_root(a: f64, b: f64, c: f64, hi: f64) -> Option<f64> {
+    let in_range = |x: f64| (x > 0.0 && x <= hi).then_some(x);
+    if a.abs() < 1e-12 {
+        if b.abs() < 1e-12 {
+            return None; // constant, and c != 0 at entry by construction
+        }
+        return in_range(-c / b);
+    }
+    let disc = b * b - 4.0 * a * c;
+    if disc < 0.0 {
+        return None;
+    }
+    let sq = disc.sqrt();
+    // Citardauq-stable pairing: compute the large-magnitude root first.
+    let q = -0.5 * (b + b.signum() * sq);
+    let (r1, r2) = (q / a, if q.abs() < 1e-300 { q / a } else { c / q });
+    let (lo_r, hi_r) = if r1 <= r2 { (r1, r2) } else { (r2, r1) };
+    in_range(lo_r).or_else(|| in_range(hi_r))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crossroads_units::MetersPerSecond;
+
+    fn cruise(at: f64, s0: f64, v: f64) -> SpeedProfile {
+        SpeedProfile::starting_at(TimePoint::new(at), Meters::new(s0), MetersPerSecond::new(v))
+    }
+
+    #[test]
+    fn closing_at_constant_speeds_hits_exact_instant() {
+        // Follower at 2 m/s, leader at 1 m/s, initial separation 5 m,
+        // gap 1 m: contact at t = 4 s exactly.
+        let leader = cruise(0.0, 5.0, 1.0);
+        let follower = cruise(0.0, 0.0, 2.0);
+        let t = first_gap_violation(
+            &leader,
+            &follower,
+            Meters::ZERO,
+            Meters::new(1.0),
+            TimePoint::ZERO,
+            TimePoint::new(100.0),
+        )
+        .expect("they must touch");
+        assert!((t.value() - 4.0).abs() < 1e-9, "got {t}");
+    }
+
+    #[test]
+    fn open_gap_that_never_closes_returns_none() {
+        let leader = cruise(0.0, 5.0, 2.0);
+        let follower = cruise(0.0, 0.0, 1.0);
+        assert_eq!(
+            first_gap_violation(
+                &leader,
+                &follower,
+                Meters::ZERO,
+                Meters::new(1.0),
+                TimePoint::ZERO,
+                TimePoint::new(50.0),
+            ),
+            None
+        );
+    }
+
+    #[test]
+    fn violation_already_at_window_start_is_reported_at_start() {
+        let a = cruise(0.0, 0.4, 1.0);
+        let b = cruise(0.0, 0.0, 1.0);
+        let t = first_gap_violation(
+            &a,
+            &b,
+            Meters::ZERO,
+            Meters::new(1.0),
+            TimePoint::new(2.0),
+            TimePoint::new(3.0),
+        )
+        .expect("already touching");
+        assert_eq!(t, TimePoint::new(2.0));
+    }
+
+    #[test]
+    fn braking_phase_root_lands_inside_the_phase() {
+        // Leader brakes from 2 m/s at −1 m/s² (stops in 2 s after 2 m);
+        // follower cruises at 2 m/s from 4 m behind. Separation:
+        // d(t) = 4 + (2t − t²/2) − 2t = 4 − t²/2 (during the brake).
+        // Gap 1 m ⇒ d = 1 at t = √6 ≈ 2.449… — but the brake ends at
+        // t = 2 (leader parked at 2 m): d(t) = 6 − 2t afterwards, so the
+        // true contact is at t = 2.5 exactly.
+        let mut leader =
+            SpeedProfile::starting_at(TimePoint::ZERO, Meters::new(4.0), MetersPerSecond::new(2.0));
+        leader.push_speed_change(
+            MetersPerSecond::ZERO,
+            crossroads_units::MetersPerSecondSquared::new(-1.0),
+        );
+        let follower = cruise(0.0, 0.0, 2.0);
+        let t = first_gap_violation(
+            &leader,
+            &follower,
+            Meters::ZERO,
+            Meters::new(1.0),
+            TimePoint::ZERO,
+            TimePoint::new(10.0),
+        )
+        .expect("follower rams the parked leader");
+        assert!((t.value() - 2.5).abs() < 1e-9, "got {t}");
+    }
+
+    #[test]
+    fn shift_reconciles_different_origins() {
+        // Same physical setup as the constant-speed case, but the leader's
+        // profile is measured from an origin 10 m behind: shift restores
+        // the true separation.
+        let leader = cruise(0.0, 15.0, 1.0);
+        let follower = cruise(0.0, 0.0, 2.0);
+        let t = first_gap_violation(
+            &leader,
+            &follower,
+            Meters::new(-10.0),
+            Meters::new(1.0),
+            TimePoint::ZERO,
+            TimePoint::new(100.0),
+        )
+        .expect("they must touch");
+        assert!((t.value() - 4.0).abs() < 1e-9, "got {t}");
+    }
+
+    #[test]
+    fn overtaking_from_behind_crosses_the_negative_threshold() {
+        // a starts 5 m *behind* b and closes at 1 m/s: d = −5 + t, gap 1,
+        // first |d| <= 1 at t = 4.
+        let a = cruise(0.0, 0.0, 2.0);
+        let b = cruise(0.0, 5.0, 1.0);
+        let t = first_gap_violation(
+            &a,
+            &b,
+            Meters::ZERO,
+            Meters::new(1.0),
+            TimePoint::ZERO,
+            TimePoint::new(100.0),
+        )
+        .expect("closing from behind");
+        assert!((t.value() - 4.0).abs() < 1e-9, "got {t}");
+    }
+}

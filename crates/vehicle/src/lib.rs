@@ -34,6 +34,7 @@ pub mod analytic;
 pub mod controller;
 pub mod dynamics;
 pub mod error;
+pub mod interval;
 pub mod spec;
 pub mod state;
 pub mod steering;
@@ -43,6 +44,7 @@ pub use analytic::EntryProgress;
 pub use controller::{track_profile, ControllerConfig, TrackingOutcome};
 pub use dynamics::{integrate_bicycle, BicycleState};
 pub use error::ErrorModel;
+pub use interval::first_gap_violation;
 pub use spec::{VehicleId, VehicleSpec};
 pub use state::{ProtocolEvent, ProtocolState, VehicleProtocol};
 pub use steering::{track_path, PurePursuit, TrackingError};

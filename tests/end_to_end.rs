@@ -109,10 +109,14 @@ fn low_flow_all_policies_are_equivalent() {
 #[test]
 fn overhead_ratios_favor_crossroads() {
     // Ch. 7.2: AIM pays up to 16x compute and far more network traffic.
+    // The compute claim is about the paper's stepped-march kernel, so pin
+    // marched mode: the analytic default collapses AIM's op count to a
+    // handful per request (E6 in EXPERIMENTS.md documents both modes).
     let mut ops = std::collections::HashMap::new();
     let mut msgs = std::collections::HashMap::new();
     for policy in PolicyKind::ALL {
-        let config = SimConfig::full_scale(policy).with_seed(5);
+        let mut config = SimConfig::full_scale(policy).with_seed(5);
+        config.aim_analytic = false;
         let mut rng = StdRng::seed_from_u64(55);
         let line_speed = config.spec.v_max * (2.0 / 3.0);
         let w = generate_poisson(&PoissonConfig::sweep_point(0.6, line_speed), &mut rng);
