@@ -75,6 +75,21 @@ if ! cmp -s "$seq_out" "$par_out"; then
     exit 1
 fi
 
+echo "==> windowed-parallel corridor smoke (1 vs 4 vs 7 shard workers)"
+# The conservative time-windowed parallel corridor engine must be
+# unobservable: routing every corridor of the reduced grid through K
+# per-shard event queues on 4 or 7 workers (1 = the serial engine) must
+# leave the sweep's stdout byte-identical.
+for w in 1 4 7; do
+    CROSSROADS_SWEEP_FAST=1 CROSSROADS_BENCH_OUT=/dev/null CROSSROADS_SHARD_WORKERS=$w \
+        ./target/release/exp_grid_sweep >"$par_out" 2>/dev/null
+    if ! cmp -s "$seq_out" "$par_out"; then
+        echo "FAIL: grid sweep output diverges on $w shard workers" >&2
+        diff "$seq_out" "$par_out" >&2 || true
+        exit 1
+    fi
+done
+
 echo "==> flight-recorder trace smoke (replay identity + divergence diff)"
 # The trace diff tool must find zero divergences when replaying the same
 # points through 1- and 4-thread pools, and must name the first diverging
@@ -119,10 +134,12 @@ echo "==> DES engine vs seed-baseline agreement gate"
 # and verdicts. Timing loops are skipped.
 CROSSROADS_SWEEP_FAST=1 cargo bench --offline --bench des -p crossroads-bench
 
-echo "==> batched-admission verdict agreement gate"
+echo "==> batched-admission verdict + corridor transcript agreement gate"
 # Quick mode: benches/grid.rs hard-asserts that batched pool-parallel
 # admission returns the serial baseline's verdict for all 10k requests
-# across 8 shards at 1/2/4/8 workers. Timing loops are skipped.
+# across 8 shards at 1/2/4/8 workers, and that the windowed-parallel
+# corridor engine reproduces the serial engine's full outcome at 2/4/8
+# shard workers. Timing loops are skipped.
 CROSSROADS_SWEEP_FAST=1 CROSSROADS_BENCH_OUT=/dev/null \
     cargo bench --offline --bench grid -p crossroads-bench
 

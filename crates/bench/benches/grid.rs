@@ -11,13 +11,21 @@
 //! is hard-asserted over the full 10k-request stream before anything is
 //! timed.
 //!
+//! Two agreement gates run before anything is timed: the
+//! verdict-level batched == serial assertion over the full 10k-request
+//! stream, and a corridor transcript gate pinning the windowed-parallel
+//! engine (DESIGN.md §7) to the serial engine's full outcome at 2/4/8
+//! shard workers.
+//!
 //! Self-timed (`harness = false`); run with `cargo bench --bench grid`.
-//! `ci.sh` runs it with `CROSSROADS_SWEEP_FAST=1`, which keeps the
-//! agreement gate and skips the timing loops.
+//! `ci.sh` runs it with `CROSSROADS_SWEEP_FAST=1`, which keeps both
+//! agreement gates and skips the timing loops.
 
 use crossroads_bench::timing::{bench_table_header, measure};
-use crossroads_bench::{emit_micro_bench, fast_sweep, BatchHost};
-use crossroads_core::policy::{CrossroadsPolicy, IntersectionPolicy};
+use crossroads_bench::{
+    emit_micro_bench, fast_sweep, run_grid_point_sharded, BatchHost, GridPoint, GRID_SEED,
+};
+use crossroads_core::policy::{CrossroadsPolicy, IntersectionPolicy, PolicyKind};
 use crossroads_core::{BufferModel, CrossingCommand, CrossingRequest};
 use crossroads_intersection::{
     Approach, ConflictTable, IntersectionGeometry, Movement, ReservationTable, Turn,
@@ -64,12 +72,15 @@ fn stream() -> Vec<(usize, CrossingRequest)> {
         .collect()
 }
 
-fn fresh_shards(conflicts: &ConflictTable) -> Vec<CrossroadsPolicy> {
+/// Every shard's reservation table shares the one conflict table behind
+/// an `Arc` — the geometry is immutable, so cloning the table per shard
+/// would only duplicate memory.
+fn fresh_shards(conflicts: &Arc<ConflictTable>) -> Vec<CrossroadsPolicy> {
     (0..SHARDS)
         .map(|_| {
             CrossroadsPolicy::new(
                 IntersectionGeometry::full_scale(),
-                ReservationTable::new(conflicts.clone()),
+                ReservationTable::new(Arc::clone(conflicts)),
                 BufferModel::full_scale(),
                 0.30,
             )
@@ -153,8 +164,37 @@ fn batched_pass(
 }
 
 fn main() {
-    let conflicts = ConflictTable::compute(&IntersectionGeometry::full_scale(), Meters::new(1.8));
+    let conflicts = Arc::new(ConflictTable::compute(
+        &IntersectionGeometry::full_scale(),
+        Meters::new(1.8),
+    ));
     let reqs = Arc::new(stream());
+
+    // Corridor transcript gate: the windowed-parallel engine must
+    // reproduce the serial engine's outcome bit for bit — records,
+    // counters, audits, end time — before any admission timing below is
+    // worth reading. Runs in quick mode too (`ci.sh` relies on it).
+    let gate = GridPoint {
+        policy: PolicyKind::Crossroads,
+        k: 4,
+        rate: 0.08,
+    };
+    let serial = run_grid_point_sharded(&gate, GRID_SEED, 0);
+    for workers in [2usize, 4, 8] {
+        let windowed = run_grid_point_sharded(&gate, GRID_SEED, workers);
+        assert!(
+            windowed.metrics.records() == serial.metrics.records()
+                && windowed.metrics.counters() == serial.metrics.counters()
+                && windowed.ended_at == serial.ended_at
+                && windowed.handoffs == serial.handoffs
+                && windowed.safety == serial.safety,
+            "corridor transcript diverged on {workers} shard workers"
+        );
+    }
+    println!(
+        "corridor transcript: windowed == serial over {} vehicles at K=4 x {{2,4,8}} shard workers",
+        serial.spawned
+    );
 
     // Hard gate first: the batched path must agree with the serial
     // baseline verdict for verdict over the full 10k-request stream, at

@@ -14,12 +14,14 @@
 //! land in `BENCH_sweep.json` alongside the deterministic grid summary
 //! record.
 
+use std::time::Instant;
+
 use crossroads_bench::{
     emit_bench_record, grid_label, grid_points, grid_row, grid_summary_point, par_sweep,
-    run_grid_point, GRID_SEED,
+    run_grid_point, time_grid_point, GridPoint, GRID_SEED, GRID_SHARD_WORKERS,
 };
 use crossroads_core::policy::PolicyKind;
-use crossroads_metrics::grid_summary_to_json;
+use crossroads_metrics::{bench_sweep_to_json, grid_summary_to_json, BenchPoint};
 
 fn main() {
     println!("# E13 — corridor grid: K intersections x arterial rate x policy\n");
@@ -68,6 +70,64 @@ fn main() {
             }
         }
     }
+
+    // Windowed-parallel engine: per-K serial vs parallel, same points.
+    // The agreement column is the deterministic contract (and is hard
+    // asserted); the wall-clock and events/s figures land only in
+    // `BENCH_sweep.json`, so this table too is byte-identical at any
+    // thread or shard-worker count.
+    let ks: Vec<usize> = {
+        let mut ks: Vec<usize> = points.iter().map(|p| p.k).collect();
+        ks.sort_unstable();
+        ks.dedup();
+        ks
+    };
+    println!(
+        "\n## Windowed-parallel engine: serial vs {GRID_SHARD_WORKERS} shard workers \
+         at {top_rate} cars/s/direction\n"
+    );
+    crossroads_bench::table_header(&["policy", "K", "vehicles", "handoffs", "agreement"]);
+    let started = Instant::now();
+    let mut bench: Vec<BenchPoint> = Vec::new();
+    for &k in &ks {
+        let p = GridPoint {
+            policy: PolicyKind::Crossroads,
+            k,
+            rate: top_rate,
+        };
+        let (serial, serial_ms, serial_events) = time_grid_point(&p, GRID_SEED, 0);
+        let (windowed, windowed_ms, windowed_events) =
+            time_grid_point(&p, GRID_SEED, GRID_SHARD_WORKERS);
+        let identical = windowed.metrics.records() == serial.metrics.records()
+            && windowed.metrics.counters() == serial.metrics.counters()
+            && windowed.ended_at == serial.ended_at
+            && windowed.handoffs == serial.handoffs
+            && windowed.safety == serial.safety;
+        assert!(
+            identical,
+            "K={k}: windowed-parallel corridor diverged from the serial engine"
+        );
+        println!(
+            "| {} | {} | {} | {} | identical |",
+            p.policy, k, serial.spawned, serial.handoffs
+        );
+        bench.push(BenchPoint {
+            label: format!("serial@K{k}"),
+            wall_ms: serial_ms,
+            events: serial_events,
+        });
+        bench.push(BenchPoint {
+            label: format!("windowed_w{GRID_SHARD_WORKERS}@K{k}"),
+            wall_ms: windowed_ms,
+            events: windowed_events,
+        });
+    }
+    emit_bench_record(&bench_sweep_to_json(
+        "exp_grid_sweep_windowed",
+        GRID_SHARD_WORKERS,
+        started.elapsed().as_secs_f64() * 1e3,
+        &bench,
+    ));
 
     let total: usize = outcomes.iter().map(|o| o.spawned).sum();
     let safe = outcomes

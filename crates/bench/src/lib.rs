@@ -484,7 +484,16 @@ pub fn run_corridor_guarded(
     outcome
 }
 
-/// Runs one grid point end to end and asserts it is sound.
+/// Shard workers on the windowed-parallel comparison axis of
+/// `exp_grid_sweep` (the corridor's K = 8 headline width). Explicit
+/// rather than env-derived so the comparison's stdout is byte-identical
+/// at any `CROSSROADS_SHARD_WORKERS` setting.
+pub const GRID_SHARD_WORKERS: usize = 8;
+
+/// Runs one grid point end to end and asserts it is sound. The engine
+/// (serial or windowed-parallel) follows the config default — i.e. the
+/// `CROSSROADS_SHARD_WORKERS` environment; the outcome is identical
+/// either way.
 ///
 /// # Panics
 ///
@@ -492,11 +501,48 @@ pub fn run_corridor_guarded(
 /// finds a violation.
 #[must_use]
 pub fn run_grid_point(p: &GridPoint, seed: u64) -> CorridorOutcome {
+    run_grid_point_inner(p, seed, None)
+}
+
+/// [`run_grid_point`] with an explicit windowed-shard worker count
+/// (`0` or `1` forces the serial engine), overriding the
+/// `CROSSROADS_SHARD_WORKERS` environment default.
+///
+/// # Panics
+///
+/// Panics on an unsound run, as [`run_grid_point`] does.
+#[must_use]
+pub fn run_grid_point_sharded(p: &GridPoint, seed: u64, shard_workers: usize) -> CorridorOutcome {
+    run_grid_point_inner(p, seed, Some(shard_workers))
+}
+
+/// Times one explicitly-sharded grid-point run on the calling thread:
+/// returns the outcome, wall-clock milliseconds, and DES events
+/// dispatched (via the engine's thread-local tally, which the windowed
+/// engine credits to its caller).
+#[must_use]
+pub fn time_grid_point(
+    p: &GridPoint,
+    seed: u64,
+    shard_workers: usize,
+) -> (CorridorOutcome, f64, u64) {
+    let events0 = crossroads_core::sim::thread_events_processed();
+    let t0 = Instant::now();
+    let out = run_grid_point_sharded(p, seed, shard_workers);
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let events = crossroads_core::sim::thread_events_processed() - events0;
+    (out, wall_ms, events)
+}
+
+fn run_grid_point_inner(p: &GridPoint, seed: u64, shard_workers: Option<usize>) -> CorridorOutcome {
     let sim = SimConfig::full_scale(p.policy).with_seed(seed);
     let demand = grid_demand(&sim, p.k, p.rate);
     let mut rng = StdRng::seed_from_u64(seed.wrapping_add(2000));
     let (workload, entry_ims) = generate_corridor(&demand, &mut rng);
-    let config = CorridorConfig::new(sim, p.k).with_batch_workers(GRID_BATCH_WORKERS);
+    let mut config = CorridorConfig::new(sim, p.k).with_batch_workers(GRID_BATCH_WORKERS);
+    if let Some(w) = shard_workers {
+        config = config.with_shard_workers(w);
+    }
     let label = grid_label(p);
     let out = run_corridor_guarded(&config, &workload, &entry_ims, &label);
     assert!(

@@ -87,7 +87,10 @@ impl BatchSchedule {
 #[derive(Debug, Clone)]
 pub struct BatchPlanner {
     geometry: IntersectionGeometry,
-    conflicts: ConflictTable,
+    /// Shared across every [`ReservationTable`] the planner builds — the
+    /// table is immutable, so clones are reference bumps, not deep
+    /// copies of the conflict relation.
+    conflicts: std::sync::Arc<ConflictTable>,
     spec: VehicleSpec,
     effective_length: Meters,
 }
@@ -97,7 +100,7 @@ impl BatchPlanner {
     /// per-end sensing buffer.
     #[must_use]
     pub fn new(geometry: IntersectionGeometry, spec: VehicleSpec, buffer: Meters) -> Self {
-        let conflicts = ConflictTable::compute(&geometry, spec.width);
+        let conflicts = std::sync::Arc::new(ConflictTable::compute(&geometry, spec.width));
         BatchPlanner {
             geometry,
             conflicts,
@@ -124,7 +127,7 @@ impl BatchPlanner {
     /// against.
     #[must_use]
     pub fn schedule_fifo(&self, arrivals: &[Arrival]) -> BatchSchedule {
-        let mut table = ReservationTable::new(self.conflicts.clone());
+        let mut table = ReservationTable::new(std::sync::Arc::clone(&self.conflicts));
         let mut crossings = Vec::with_capacity(arrivals.len());
         for a in arrivals {
             let (earliest, dur) = self.earliest_and_duration(a);
@@ -184,7 +187,7 @@ impl BatchPlanner {
             batches[idx].push(*a);
         }
 
-        let mut table = ReservationTable::new(self.conflicts.clone());
+        let mut table = ReservationTable::new(std::sync::Arc::clone(&self.conflicts));
         let mut crossings: Vec<PlannedCrossing> = Vec::with_capacity(arrivals.len());
         for batch in batches.iter().filter(|b| !b.is_empty()) {
             // Seed with the better of FIFO order and greedy best-insertion

@@ -9,6 +9,7 @@
 
 mod event;
 pub mod safety;
+mod windowed;
 mod world;
 
 pub use safety::{BoxOccupancy, SafetyReport, SafetyViolation};
@@ -39,6 +40,13 @@ use self::world::World;
 /// are — never in safety. The pinned experiment stdouts correspond to
 /// the analytic default.
 pub const AIM_ANALYTIC_ENV: &str = "CROSSROADS_AIM_ANALYTIC";
+
+/// Environment default for [`CorridorConfig::shard_workers`]: worker
+/// threads for the conservative time-windowed parallel corridor engine.
+/// Unset or `0`/`1` selects the serial engine; `>= 2` runs the corridor
+/// shards concurrently in lookahead windows. The outcome is byte-
+/// identical at every setting — the knob only changes wall-clock time.
+pub const SHARD_WORKERS_ENV: &str = "CROSSROADS_SHARD_WORKERS";
 
 /// Everything one experiment needs.
 #[derive(Debug, Clone, Copy)]
@@ -162,17 +170,20 @@ impl SimConfig {
         self.spec.v_max * (2.0 / 3.0)
     }
 
-    pub(crate) fn build_policy(&self, conflicts: &ConflictTable) -> Box<dyn IntersectionPolicy> {
+    pub(crate) fn build_policy(
+        &self,
+        conflicts: &std::sync::Arc<ConflictTable>,
+    ) -> Box<dyn IntersectionPolicy> {
         match self.policy {
             PolicyKind::VtIm => Box::new(VtPolicy::new(
                 self.geometry,
-                ReservationTable::new(conflicts.clone()),
+                ReservationTable::new(std::sync::Arc::clone(conflicts)),
                 self.buffers,
                 self.crawl_fraction,
             )),
             PolicyKind::Crossroads => Box::new(CrossroadsPolicy::new(
                 self.geometry,
-                ReservationTable::new(conflicts.clone()),
+                ReservationTable::new(std::sync::Arc::clone(conflicts)),
                 self.buffers,
                 self.crawl_fraction,
             )),
@@ -344,6 +355,17 @@ pub struct CorridorConfig {
     /// [`run_simulation`] — which is also the deterministic reference the
     /// batched mode must (and does) reproduce byte-for-byte.
     pub batch_workers: usize,
+    /// Worker threads for the conservative time-windowed parallel engine.
+    /// Below 2 (or at `k == 1`, or under a flight recorder) the corridor
+    /// runs the serial engine; `>= 2` executes the shards concurrently in
+    /// lookahead windows with the identical outcome at any worker count.
+    /// Defaults to [`SHARD_WORKERS_ENV`].
+    pub shard_workers: usize,
+    /// Conservative window length override for the windowed engine. Must
+    /// lie in `(0, link_time]`; `None` derives `link_time` minus the
+    /// protocol's worst-case response-time budget (WC-RTD) — the largest
+    /// window with comfortable slack under the handoff lookahead bound.
+    pub lookahead: Option<Seconds>,
 }
 
 impl CorridorConfig {
@@ -355,6 +377,11 @@ impl CorridorConfig {
             k,
             link_time: Seconds::new(6.0),
             batch_workers: 0,
+            shard_workers: std::env::var(SHARD_WORKERS_ENV)
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(0),
+            lookahead: None,
         }
     }
 
@@ -372,14 +399,40 @@ impl CorridorConfig {
         self
     }
 
+    /// Enables the windowed parallel engine on `workers` threads
+    /// (overriding the [`SHARD_WORKERS_ENV`] default).
+    #[must_use]
+    pub fn with_shard_workers(mut self, workers: usize) -> Self {
+        self.shard_workers = workers;
+        self
+    }
+
+    /// Overrides the conservative window length (tests sweep this; the
+    /// outcome is invariant for any value in `(0, link_time]`).
+    #[must_use]
+    pub fn with_lookahead(mut self, lookahead: Seconds) -> Self {
+        self.lookahead = Some(lookahead);
+        self
+    }
+
+    /// The conservative window the windowed engine will use.
+    #[must_use]
+    pub fn effective_lookahead(&self) -> Seconds {
+        self.lookahead
+            .unwrap_or_else(|| self.link_time - self.sim.buffers.rtd.wc_rtd())
+            .min(self.link_time)
+    }
+
     /// Validates the corridor shape.
     ///
     /// # Panics
     ///
-    /// Panics when `k == 0`, or when `link_time` is shorter than 2 s: the
+    /// Panics when `k == 0`, when `link_time` is shorter than 2 s (the
     /// V2I retransmission timeouts are all well under that bound, so a
     /// link this long guarantees no stale event of the previous leg can
-    /// still be in flight when the vehicle reaches the next intersection.
+    /// still be in flight when the vehicle reaches the next
+    /// intersection), or when an explicit `lookahead` falls outside
+    /// `(0, link_time]` — the conservative-window safety bound.
     pub fn validate(&self) {
         assert!(self.k >= 1, "a corridor needs at least one intersection");
         assert!(
@@ -387,6 +440,12 @@ impl CorridorConfig {
             "link_time {} must be >= 2 s (the stale-event horizon)",
             self.link_time
         );
+        if let Some(la) = self.lookahead {
+            assert!(
+                la > Seconds::ZERO && la <= self.link_time,
+                "lookahead {la} must be in (0, link_time]"
+            );
+        }
     }
 }
 
@@ -478,6 +537,18 @@ fn run_corridor_with_recorder(
         entry_ims.iter().all(|&im| (im as usize) < config.k),
         "every entry intersection must be inside the corridor"
     );
+    // The windowed parallel engine handles the untraced multi-shard case;
+    // flight-recorder stamps carry the global dispatch index, which is
+    // inherently serial, so traced runs always take the serial engine.
+    if recorder.is_none() && config.k >= 2 && config.shard_workers >= 2 {
+        return windowed::run_corridor_windowed(
+            config,
+            workload,
+            entry_ims,
+            config.shard_workers,
+            config.effective_lookahead(),
+        );
+    }
     let host = (config.batch_workers >= 2).then(|| BatchHost::new(config.batch_workers));
     let mut sim: Simulation<Event> = Simulation::new();
     let mut world =

@@ -9,6 +9,7 @@
 //! schedule), so pre-corridor runs replay byte-for-byte.
 
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 use crossroads_des::Simulation;
 use crossroads_intersection::ConflictTable;
@@ -59,6 +60,14 @@ fn verdict_of(cmd: &CrossingCommand) -> Verdict {
 fn clock_stream(vehicle: u32, im: usize) -> u64 {
     u64::from(vehicle) | ((im as u64) << 32)
 }
+
+/// Stream id of shard `im`'s main RNG (`SHARD_RNG_STREAM | im`). Shard 0
+/// uses the root stream itself, so the single-intersection world (and the
+/// first corridor shard) draws exactly the pre-corridor sequence. The
+/// high constant keeps the id space disjoint from both [`clock_stream`]
+/// (whose ids stay below `2^34` for any realistic corridor) and the fault
+/// injector's `0xFA17_…` streams.
+const SHARD_RNG_STREAM: u64 = 0x5AAD_0000_0000_0000;
 
 pub(crate) struct Agent {
     movement: crossroads_intersection::Movement,
@@ -137,10 +146,17 @@ pub(crate) struct Shard {
     /// without this the per-request scan is O(n) in lane length and the
     /// 10k-vehicle corridor goes quadratic.
     lane_cursor: [usize; 4],
+    /// This shard's main RNG: radio latency draws, clock-sync noise.
+    /// Per-shard (rather than one world-global stream) so a shard's draw
+    /// sequence depends only on its own event history — the property that
+    /// lets the windowed engine run shards concurrently and still match
+    /// the serial engine draw-for-draw. Shard 0 holds the root stream, so
+    /// `K = 1` runs are byte-identical to the pre-corridor world.
+    rng: StdRng,
 }
 
 impl Shard {
-    fn new(cfg: &SimConfig, conflicts: &ConflictTable, rng: &StdRng, im: usize) -> Self {
+    fn new(cfg: &SimConfig, conflicts: &Arc<ConflictTable>, root: &StdRng, im: usize) -> Self {
         Shard {
             policy: Some(cfg.build_policy(conflicts)),
             channel: Channel::new(cfg.channel),
@@ -150,7 +166,7 @@ impl Shard {
             fault: cfg
                 .fault
                 .enabled()
-                .then(|| FaultModel::for_shard(cfg.fault, rng, im as u64)),
+                .then(|| FaultModel::for_shard(cfg.fault, root, im as u64)),
             im_queue: VecDeque::new(),
             im_busy: false,
             im_down: false,
@@ -158,17 +174,42 @@ impl Shard {
             in_flight: 0,
             lane_arrivals: [Vec::new(), Vec::new(), Vec::new(), Vec::new()],
             lane_cursor: [0; 4],
+            rng: if im == 0 {
+                root.clone()
+            } else {
+                root.stream(SHARD_RNG_STREAM | im as u64)
+            },
         }
     }
 }
 
 /// One per-shard admission batch shipped to a pool worker: the shard's
-/// policy rides along by value, so exactly one worker touches it.
+/// policy rides along by value, so exactly one worker touches it. The
+/// request and decision buffers are recycled through the world's pools
+/// ([`World::request_pool`] / [`World::decision_pool`]) so the per-drain
+/// hot path allocates nothing in steady state.
 struct BatchJob {
     im: usize,
     policy: Box<dyn IntersectionPolicy>,
     requests: Vec<(VehicleId, CrossingRequest)>,
+    /// Filled by the worker, one `(command, service)` per request.
+    decisions: Vec<(CrossingCommand, Seconds)>,
     now: TimePoint,
+}
+
+/// A vehicle that cleared its box and continues at an intersection owned
+/// by *another* lane of the windowed engine: the agent is banked here
+/// until the next barrier, where the target lane re-seats it and
+/// schedules the `LinkArrival`.
+pub(crate) struct Handoff {
+    /// Absolute arrival instant at the downstream transmission line
+    /// (`exit + link_time` — exactly the instant the serial engine's
+    /// `schedule_in` would produce).
+    pub(crate) at: TimePoint,
+    /// Destination intersection (global index).
+    pub(crate) to_im: usize,
+    pub(crate) vehicle: VehicleId,
+    agent: Agent,
 }
 
 pub(crate) struct World<'a> {
@@ -180,10 +221,26 @@ pub(crate) struct World<'a> {
     /// Link travel time between adjacent intersections (exit of shard i
     /// to the transmission line of shard i±1).
     link_time: Seconds,
-    rng: StdRng,
-    /// The chained intersections. `shards.len() == 1` reproduces the
-    /// pre-corridor world exactly.
+    /// The chained intersections this world *hosts*. The serial engine
+    /// hosts all `K`; a windowed-engine lane hosts exactly one.
+    /// `shards.len() == 1` reproduces the pre-corridor world exactly.
     shards: Vec<Shard>,
+    /// Global index of `shards[0]` (0 for the serial engine; the lane's
+    /// intersection index in the windowed engine). Event shard tags are
+    /// always global, so every `shards[...]` access subtracts this.
+    shard_base: usize,
+    /// Total corridor length, which may exceed `shards.len()` for a
+    /// windowed lane — leg routing must see the whole corridor.
+    k_total: usize,
+    /// Windowed engine only: vehicles that exited toward an intersection
+    /// this world does not host, awaiting the next barrier exchange.
+    outbox: Vec<Handoff>,
+    /// Windowed lanes only (`log_decisions`): `(now, service)` per IM
+    /// decision, in this lane's decision order — the barrier merge
+    /// interleaves lanes by stamp to reproduce the serial engine's
+    /// global decision-latency order (and its `im_busy` f64 sum order).
+    pub(crate) decision_log: Vec<(TimePoint, Seconds)>,
+    log_decisions: bool,
     /// Batched admission: when set, uplinks queue silently and
     /// [`maybe_drain`](Self::maybe_drain) evaluates per-shard batches on
     /// the host between DES dispatches. `None` = serial admission inline
@@ -205,6 +262,15 @@ pub(crate) struct World<'a> {
     /// (`Self::unentered_predecessors`), so the per-request queue check
     /// allocates nothing in steady state.
     pred_scratch: Vec<VehicleId>,
+    /// Reusable job/result shells for [`maybe_drain`](Self::maybe_drain)
+    /// — drained and refilled every dispatch boundary, never dropped.
+    batch_jobs: Vec<BatchJob>,
+    batch_results: Vec<BatchJob>,
+    /// Recycled per-job request buffers (capacity survives the round
+    /// trip through the batch host).
+    request_pool: Vec<Vec<(VehicleId, CrossingRequest)>>,
+    /// Recycled per-job decision buffers.
+    decision_pool: Vec<Vec<(CrossingCommand, Seconds)>>,
     /// Flight recorder, present only when the caller asked for a traced
     /// run. The `None` arm does no work and draws no randomness, so an
     /// untraced run is byte-identical to one built before tracing existed
@@ -231,28 +297,98 @@ impl<'a> World<'a> {
         link_time: Seconds,
     ) -> Self {
         assert!(k >= 1, "a corridor needs at least one intersection");
-        let conflicts = ConflictTable::compute(&cfg.geometry, cfg.spec.width);
-        let rng = StdRng::seed_from_u64(cfg.seed);
-        let shards = (0..k)
-            .map(|im| Shard::new(cfg, &conflicts, &rng, im))
+        let conflicts = Arc::new(ConflictTable::compute(&cfg.geometry, cfg.spec.width));
+        let root = StdRng::seed_from_u64(cfg.seed);
+        World::hosting(
+            cfg, workload, entry_ims, &conflicts, &root, 0, k, k, link_time,
+        )
+    }
+
+    /// One lane of the windowed parallel engine: a world hosting exactly
+    /// the shard at global index `im` of a `k_total`-intersection
+    /// corridor. `root` must be the untouched seed-fresh root RNG (shard
+    /// streams split off it) and `conflicts` the corridor-shared table.
+    pub(crate) fn new_lane(
+        cfg: &'a SimConfig,
+        workload: &'a [Arrival],
+        entry_ims: &'a [u32],
+        conflicts: &Arc<ConflictTable>,
+        root: &StdRng,
+        im: usize,
+        k_total: usize,
+        link_time: Seconds,
+    ) -> Self {
+        let mut world = World::hosting(
+            cfg, workload, entry_ims, conflicts, root, im, 1, k_total, link_time,
+        );
+        world.log_decisions = true;
+        world
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn hosting(
+        cfg: &'a SimConfig,
+        workload: &'a [Arrival],
+        entry_ims: &'a [u32],
+        conflicts: &Arc<ConflictTable>,
+        root: &StdRng,
+        base: usize,
+        count: usize,
+        k_total: usize,
+        link_time: Seconds,
+    ) -> Self {
+        let shards = (base..base + count)
+            .map(|im| Shard::new(cfg, conflicts, root, im))
             .collect();
         World {
             cfg,
             workload,
             entry_ims,
             link_time,
-            rng,
             shards,
+            shard_base: base,
+            k_total,
+            outbox: Vec::new(),
+            decision_log: Vec::new(),
+            log_decisions: false,
             batch: None,
             vehicles: Vec::with_capacity(workload.len()),
-            occupancies: (0..k).map(|_| Vec::new()).collect(),
+            occupancies: (0..count).map(|_| Vec::new()).collect(),
             metrics: RunMetrics::new(),
             counters: Counters::default(),
             handoffs: 0,
             s_entry: cfg.geometry.transmission_line_distance,
             pred_scratch: Vec::new(),
+            batch_jobs: Vec::new(),
+            batch_results: Vec::new(),
+            request_pool: Vec::new(),
+            decision_pool: Vec::new(),
             recorder: None,
         }
+    }
+
+    /// Local index of global intersection `im` in this world's `shards`.
+    fn li(&self, im: usize) -> usize {
+        im - self.shard_base
+    }
+
+    /// Whether this world hosts global intersection `im`.
+    fn owns(&self, im: usize) -> bool {
+        im >= self.shard_base && im < self.shard_base + self.shards.len()
+    }
+
+    /// Hands the banked cross-lane departures to the barrier exchange,
+    /// tagged with this lane's index for the deterministic tie-break.
+    pub(crate) fn drain_outbox(&mut self, lane: usize, out: &mut Vec<(usize, Handoff)>) {
+        out.extend(self.outbox.drain(..).map(|h| (lane, h)));
+    }
+
+    /// Re-seats a vehicle handed off from another lane and schedules its
+    /// `LinkArrival` at the exact instant the serial engine would have.
+    pub(crate) fn accept_handoff(&mut self, sim: &mut Simulation<Event>, h: Handoff) {
+        debug_assert!(self.owns(h.to_im), "handoff routed to the wrong lane");
+        self.insert_agent(h.vehicle, h.agent);
+        sim.schedule(h.at, Event::LinkArrival(h.vehicle, h.to_im as u32));
     }
 
     /// Appends one flight-recorder record stamped with the current DES
@@ -266,7 +402,7 @@ impl<'a> World<'a> {
         attempt: u32,
         event: TraceEvent,
     ) {
-        let epoch = self.shards[im].im_epoch;
+        let epoch = self.shards[self.li(im)].im_epoch;
         if let Some(r) = self.recorder.as_deref_mut() {
             r.record(TraceRecord {
                 dispatch: sim.events_dispatched(),
@@ -315,19 +451,22 @@ impl<'a> World<'a> {
     /// none of those states ever reverts for a given (vehicle, shard) —
     /// so skipped entries can never matter to a later predecessor scan.
     fn advance_lane_cursor(&mut self, im: usize, lane: usize) {
-        let mut cur = self.shards[im].lane_cursor[lane];
-        let len = self.shards[im].lane_arrivals[lane].len();
+        let s = self.li(im);
+        let mut cur = self.shards[s].lane_cursor[lane];
+        let len = self.shards[s].lane_arrivals[lane].len();
         while cur < len {
-            let u = self.shards[im].lane_arrivals[lane][cur];
+            let u = self.shards[s].lane_arrivals[lane][cur];
+            // A missing agent was handed off to another lane of the
+            // windowed engine — it has permanently left this approach.
             let passed = self
                 .agent(u)
-                .is_some_and(|a| a.im != im || a.done || a.entered_at.is_some());
+                .is_none_or(|a| a.im != im || a.done || a.entered_at.is_some());
             if !passed {
                 break;
             }
             cur += 1;
         }
-        self.shards[im].lane_cursor[lane] = cur;
+        self.shards[s].lane_cursor[lane] = cur;
     }
 
     /// Same-lane vehicles that crossed this shard's line before `v` and
@@ -341,7 +480,7 @@ impl<'a> World<'a> {
         };
         let im = agent.im;
         let lane = agent.movement.approach.index();
-        let shard = &self.shards[im];
+        let shard = &self.shards[self.li(im)];
         for &u in &shard.lane_arrivals[lane][shard.lane_cursor[lane]..] {
             if u == v {
                 break;
@@ -425,8 +564,9 @@ impl<'a> World<'a> {
     /// Prices an uplink frame on shard `im`'s radio and runs it through
     /// that shard's fault pipeline (identity when faults are disabled).
     fn uplink_deliveries(&mut self, im: usize) -> Deliveries {
-        let outcome = self.shards[im].channel.send_uplink(&mut self.rng);
-        match self.shards[im].fault.as_mut() {
+        let shard = &mut self.shards[im - self.shard_base];
+        let outcome = shard.channel.send_uplink(&mut shard.rng);
+        match shard.fault.as_mut() {
             Some(f) => f.filter(Direction::Uplink, outcome),
             None => Deliveries::from(outcome),
         }
@@ -435,8 +575,9 @@ impl<'a> World<'a> {
     /// Prices a downlink frame on shard `im`'s radio and runs it through
     /// that shard's fault pipeline.
     fn downlink_deliveries(&mut self, im: usize) -> Deliveries {
-        let outcome = self.shards[im].channel.send_downlink(&mut self.rng);
-        match self.shards[im].fault.as_mut() {
+        let shard = &mut self.shards[im - self.shard_base];
+        let outcome = shard.channel.send_downlink(&mut shard.rng);
+        match shard.fault.as_mut() {
             Some(f) => f.filter(Direction::Downlink, outcome),
             None => Deliveries::from(outcome),
         }
@@ -453,13 +594,13 @@ impl<'a> World<'a> {
     /// vehicles and cross traffic leave the network after one box.
     fn next_leg(&self, agent: &Agent) -> Option<usize> {
         use crossroads_intersection::{Approach, Turn};
-        if self.shards.len() <= 1 || agent.movement.turn != Turn::Straight {
+        if self.k_total <= 1 || agent.movement.turn != Turn::Straight {
             return None;
         }
         match agent.movement.approach {
             Approach::West => {
                 let next = agent.im + 1;
-                (next < self.shards.len()).then_some(next)
+                (next < self.k_total).then_some(next)
             }
             Approach::East => agent.im.checked_sub(1),
             Approach::North | Approach::South => None,
@@ -489,12 +630,12 @@ impl<'a> World<'a> {
             Event::BoxExit(v, version) => self.on_box_exit(sim, v, version),
             Event::LinkArrival(v, im) => self.on_link_arrival(sim, v, im as usize),
             Event::ImExitNotice(v, im) => {
-                let im = im as usize;
-                if self.shards[im].im_down {
+                let s = self.li(im as usize);
+                if self.shards[s].im_down {
                     self.counters.im_outage_drops += 1;
                 } else {
                     let now = sim.now();
-                    self.shards[im]
+                    self.shards[s]
                         .policy
                         .as_mut()
                         .expect("policy resident")
@@ -535,15 +676,16 @@ impl<'a> World<'a> {
         protocol
             .apply(ProtocolEvent::ReachedTransmissionLine, now)
             .expect("fresh machine accepts line crossing");
-        let mut vrng = self.rng.stream(clock_stream(v.0, im));
+        let shard = &mut self.shards[im - self.shard_base];
+        let mut vrng = shard.rng.stream(clock_stream(v.0, im));
         let clock = LocalClock::new(
             Seconds::from_millis(vrng.gen_range(-200.0..200.0)),
             vrng.gen_range(-100.0..100.0),
         );
-        let sync = testbed_sync(&clock, now, &mut self.rng);
+        let sync = testbed_sync(&clock, now, &mut shard.rng);
         // Two frames on the air for the exchange.
-        let _ = self.shards[im].channel.send_uplink(&mut self.rng);
-        let _ = self.shards[im].channel.send_downlink(&mut self.rng);
+        let _ = shard.channel.send_uplink(&mut shard.rng);
+        let _ = shard.channel.send_downlink(&mut shard.rng);
         sim.schedule_in(
             sync.round_trip + Seconds::from_millis(2.0),
             Event::SyncComplete(v, im as u32),
@@ -559,7 +701,8 @@ impl<'a> World<'a> {
 
         let profile = SpeedProfile::starting_at(now, Meters::ZERO, arr.speed);
         let free_flow = self.free_flow_time(arr.movement, arr.speed);
-        self.shards[im].lane_arrivals[arr.movement.approach.index()].push(arr.vehicle);
+        self.shards[im - self.shard_base].lane_arrivals[arr.movement.approach.index()]
+            .push(arr.vehicle);
         self.insert_agent(
             arr.vehicle,
             Agent {
@@ -618,7 +761,7 @@ impl<'a> World<'a> {
         };
         let (protocol, clock_err) = self.start_protocol(sim, v, im, now);
         let free_flow = self.free_flow_time(movement, speed);
-        self.shards[im].lane_arrivals[movement.approach.index()].push(v);
+        self.shards[im - self.shard_base].lane_arrivals[movement.approach.index()].push(v);
         let agent = self.agent_mut(v).expect("agent exists");
         agent.im = im;
         agent.line_at = now;
@@ -849,17 +992,18 @@ impl<'a> World<'a> {
         // The frame physically reached the IM radio — recorded whether or
         // not the IM process is alive to act on it.
         self.rec(sim, im, v.0, req.attempt, TraceEvent::UplinkDeliver);
-        if self.shards[im].im_down {
+        let s = self.li(im);
+        if self.shards[s].im_down {
             // The IM radio is dead: the frame vanishes, the vehicle's own
             // timeout is the only recovery (exactly like a medium loss,
             // but attributed to the outage).
             self.counters.im_outage_drops += 1;
             return;
         }
-        self.shards[im].im_queue.push_back((v, req));
+        self.shards[s].im_queue.push_back((v, req));
         // Batched admission defers the decision to the next drain point;
         // serial admission starts it inline if the IM is idle.
-        if self.batch.is_none() && !self.shards[im].im_busy {
+        if self.batch.is_none() && !self.shards[s].im_busy {
             self.im_start_next(sim, im);
         }
     }
@@ -887,17 +1031,18 @@ impl<'a> World<'a> {
     }
 
     fn im_start_next(&mut self, sim: &mut Simulation<Event>, im: usize) {
+        let s = self.li(im);
         // Iterative drain: a retransmission storm can queue arbitrarily
         // many stale frames back-to-back, so dropping them must not grow
         // the call stack once per frame.
-        while let Some((v, req)) = self.shards[im].im_queue.pop_front() {
+        while let Some((v, req)) = self.shards[s].im_queue.pop_front() {
             // Drop stale/reordered/duplicated requests: the ledger must
             // only ever move forward with the vehicle's newest reported
             // state.
             if !self.admit_request(v, im, &req) {
                 continue;
             }
-            self.shards[im].im_busy = true;
+            self.shards[s].im_busy = true;
             // The decision is computed now; the response leaves the IM
             // once the computation time — proportional to the scheduling
             // work it actually performed — has elapsed. This is how AIM's
@@ -905,7 +1050,7 @@ impl<'a> World<'a> {
             let now = sim.now();
             self.rec(sim, im, v.0, req.attempt, TraceEvent::DecisionEnter);
             let (cmd, svc) = {
-                let policy = self.shards[im].policy.as_mut().expect("policy resident");
+                let policy = self.shards[s].policy.as_mut().expect("policy resident");
                 let ops_before = policy.ops();
                 let cmd = policy.decide(&req, now);
                 let svc = self
@@ -915,6 +1060,9 @@ impl<'a> World<'a> {
                 (cmd, svc)
             };
             self.metrics.push_decision_latency(svc);
+            if self.log_decisions {
+                self.decision_log.push((now, svc));
+            }
             self.rec(
                 sim,
                 im,
@@ -927,16 +1075,16 @@ impl<'a> World<'a> {
             );
             self.counters.im_requests += 1;
             self.counters.im_busy += svc;
-            self.shards[im]
+            self.shards[s]
                 .policy
                 .as_mut()
                 .expect("policy resident")
                 .prune(now);
-            let epoch = self.shards[im].im_epoch;
+            let epoch = self.shards[s].im_epoch;
             sim.schedule_in(svc, Event::ImFinish(v, im as u32, req.attempt, cmd, epoch));
             return;
         }
-        self.shards[im].im_busy = false;
+        self.shards[s].im_busy = false;
     }
 
     /// Batched, pool-parallel admission: called after every DES dispatch;
@@ -948,10 +1096,16 @@ impl<'a> World<'a> {
     /// Determinism argument: the drained batches are a pure function of
     /// the (deterministic) DES event order; each shard's policy is moved
     /// into exactly one job, decided sequentially within it, and drawn
-    /// from no RNG; [`BatchHost::run`] returns results in input order; and
-    /// the merge walks shards in ascending index, scheduling each
-    /// response at the same cumulative service offset a lone IM core
+    /// from no RNG; [`BatchHost::run_reusing`] returns results in input
+    /// order; and the merge walks shards in ascending index, scheduling
+    /// each response at the same cumulative service offset a lone IM core
     /// would. Worker count therefore cannot reorder anything observable.
+    ///
+    /// Allocation: job shells and per-job request/decision buffers are
+    /// recycled through `batch_jobs`/`batch_results` and the
+    /// `request_pool`/`decision_pool` free lists, so a steady-state drain
+    /// allocates nothing (the multi-worker host path still boxes one
+    /// closure per job in flight).
     pub(crate) fn maybe_drain(&mut self, sim: &mut Simulation<Event>) {
         let Some(host) = self.batch else {
             return;
@@ -960,61 +1114,72 @@ impl<'a> World<'a> {
         if sim.peek_time() == Some(now) {
             return; // more events due at this instant: keep batching
         }
-        let mut jobs: Vec<BatchJob> = Vec::new();
-        for im in 0..self.shards.len() {
-            if self.shards[im].im_busy
-                || self.shards[im].im_down
-                || self.shards[im].im_queue.is_empty()
+        let mut jobs = std::mem::take(&mut self.batch_jobs);
+        debug_assert!(jobs.is_empty());
+        for s in 0..self.shards.len() {
+            if self.shards[s].im_busy
+                || self.shards[s].im_down
+                || self.shards[s].im_queue.is_empty()
             {
                 continue;
             }
-            let mut requests = Vec::with_capacity(self.shards[im].im_queue.len());
-            while let Some((v, req)) = self.shards[im].im_queue.pop_front() {
+            let im = self.shard_base + s;
+            let mut requests = self.request_pool.pop().unwrap_or_default();
+            requests.reserve(self.shards[s].im_queue.len());
+            while let Some((v, req)) = self.shards[s].im_queue.pop_front() {
                 if self.admit_request(v, im, &req) {
                     requests.push((v, req));
                 }
             }
             if requests.is_empty() {
+                self.request_pool.push(requests);
                 continue;
             }
-            let policy = self.shards[im].policy.take().expect("policy resident");
+            let policy = self.shards[s].policy.take().expect("policy resident");
+            let decisions = self.decision_pool.pop().unwrap_or_default();
             jobs.push(BatchJob {
                 im,
                 policy,
                 requests,
+                decisions,
                 now,
             });
         }
         if jobs.is_empty() {
+            self.batch_jobs = jobs;
             return;
         }
         let computation = self.cfg.computation;
-        let results = host.run(jobs, move |_, job| {
+        let mut results = std::mem::take(&mut self.batch_results);
+        host.run_reusing(&mut jobs, &mut results, move |_, mut job| {
+            for i in 0..job.requests.len() {
+                let req = &job.requests[i].1;
+                let ops_before = job.policy.ops();
+                let cmd = job.policy.decide(req, job.now);
+                let svc = computation.decision_time(job.policy.ops() - ops_before);
+                job.policy.prune(job.now);
+                job.decisions.push((cmd, svc));
+            }
+            job
+        });
+        for job in results.drain(..) {
             let BatchJob {
                 im,
-                mut policy,
-                requests,
-                now,
+                policy,
+                mut requests,
+                mut decisions,
+                now: _,
             } = job;
-            let decisions: Vec<(CrossingCommand, Seconds)> = requests
-                .iter()
-                .map(|(_, req)| {
-                    let ops_before = policy.ops();
-                    let cmd = policy.decide(req, now);
-                    let svc = computation.decision_time(policy.ops() - ops_before);
-                    policy.prune(now);
-                    (cmd, svc)
-                })
-                .collect();
-            (im, policy, requests, decisions)
-        });
-        for (im, policy, requests, decisions) in results {
-            self.shards[im].policy = Some(policy);
-            let epoch = self.shards[im].im_epoch;
+            let s = im - self.shard_base;
+            self.shards[s].policy = Some(policy);
+            let epoch = self.shards[s].im_epoch;
             let mut offset = Seconds::ZERO;
             for (&(v, req), &(cmd, svc)) in requests.iter().zip(&decisions) {
                 self.rec(sim, im, v.0, req.attempt, TraceEvent::DecisionEnter);
                 self.metrics.push_decision_latency(svc);
+                if self.log_decisions {
+                    self.decision_log.push((now, svc));
+                }
                 self.rec(
                     sim,
                     im,
@@ -1036,9 +1201,15 @@ impl<'a> World<'a> {
                     Event::ImFinish(v, im as u32, req.attempt, cmd, epoch),
                 );
             }
-            self.shards[im].im_busy = true;
-            self.shards[im].in_flight = u32::try_from(requests.len()).unwrap_or(u32::MAX);
+            self.shards[s].im_busy = true;
+            self.shards[s].in_flight = u32::try_from(requests.len()).unwrap_or(u32::MAX);
+            requests.clear();
+            self.request_pool.push(requests);
+            decisions.clear();
+            self.decision_pool.push(decisions);
         }
+        self.batch_jobs = jobs;
+        self.batch_results = results;
     }
 
     fn on_im_finish(
@@ -1050,7 +1221,7 @@ impl<'a> World<'a> {
         cmd: CrossingCommand,
         epoch: u32,
     ) {
-        if epoch != self.shards[im].im_epoch {
+        if epoch != self.shards[self.li(im)].im_epoch {
             // The IM crashed while this computation was in flight: its
             // result dies with the process that was computing it. The
             // post-restart incarnation drives its own queue.
@@ -1071,7 +1242,7 @@ impl<'a> World<'a> {
             sim.schedule_in(latency, Event::DownlinkArrival(v, im as u32, attempt, cmd));
         }
         if self.batch.is_some() {
-            let shard = &mut self.shards[im];
+            let shard = &mut self.shards[im - self.shard_base];
             shard.in_flight = shard.in_flight.saturating_sub(1);
             if shard.in_flight == 0 {
                 // Anything queued while the batch was in flight drains at
@@ -1084,7 +1255,7 @@ impl<'a> World<'a> {
     }
 
     fn on_im_crash(&mut self, im: usize) {
-        let shard = &mut self.shards[im];
+        let shard = &mut self.shards[im - self.shard_base];
         shard.im_down = true;
         shard.im_epoch = shard.im_epoch.wrapping_add(1);
         // Requests queued inside the IM die with it; the vehicles recover
@@ -1097,7 +1268,7 @@ impl<'a> World<'a> {
     }
 
     fn on_im_restart(&mut self, now: TimePoint, im: usize) {
-        let shard = &mut self.shards[im];
+        let shard = &mut self.shards[im - self.shard_base];
         shard.im_down = false;
         // Conservative ledger re-validation: grants already issued stay
         // booked (their vehicles will execute them regardless), expired
@@ -1611,7 +1782,7 @@ impl<'a> World<'a> {
             (agent.im, occupancy, ())
         };
         let _ = continuation;
-        self.occupancies[im].push(occupancy);
+        self.occupancies[im - self.shard_base].push(occupancy);
         let next = self.agent(v).and_then(|a| self.next_leg(a));
         match next {
             Some(next_im) => {
@@ -1622,7 +1793,22 @@ impl<'a> World<'a> {
                 agent.trip_requests += agent.protocol.total_requests();
                 agent.trip_rejections += agent.protocol.total_rejections();
                 agent.trip_free_flow += agent.free_flow + link_time;
-                sim.schedule_in(link_time, Event::LinkArrival(v, next_im as u32));
+                if self.owns(next_im) {
+                    sim.schedule_in(link_time, Event::LinkArrival(v, next_im as u32));
+                } else {
+                    // Windowed engine: the next intersection lives in
+                    // another lane. Take the agent out of this lane's slab
+                    // and bank it for the barrier exchange — before the
+                    // exit-notice draws below, so this shard's RNG
+                    // sequence is unaffected by where the vehicle goes.
+                    let agent = self.vehicles[v.0 as usize].take().expect("agent exists");
+                    self.outbox.push(Handoff {
+                        at: now + link_time,
+                        to_im: next_im,
+                        vehicle: v,
+                        agent,
+                    });
+                }
             }
             None => {
                 // Final exit: one record for the whole trip.

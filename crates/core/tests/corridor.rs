@@ -95,6 +95,92 @@ forall! {
     }
 }
 
+forall! {
+    config = Config::default().with_cases(12);
+
+    /// The conservative time-windowed parallel engine is bit-identical to
+    /// the serial engine: same per-vehicle records (f64s and all), same
+    /// counters (including the f64 `im_busy` accumulation), same audits,
+    /// same end time — across random policies, corridor lengths, seeds,
+    /// window lengths and worker counts, with recurring IM outage windows
+    /// (which freely straddle barrier instants) thrown in.
+    fn windowed_parallel_matches_serial(
+        policy_ix in 0usize..3,
+        k in 2usize..6,
+        seed in 0u64..1_000_000,
+        outage_tenths in 0u32..12,
+        lookahead_tenths in 1u64..11,
+        workers in 2usize..8,
+    ) {
+        let policy = PolicyKind::ALL[policy_ix];
+        let mut sim = SimConfig::full_scale(policy).with_seed(seed);
+        if outage_tenths > 0 {
+            sim = sim.with_faults(FaultConfig {
+                uplink: GilbertElliott::bursty(0.10),
+                downlink: GilbertElliott::bursty(0.10),
+                duplicate_probability: 0.02,
+                reorder_probability: 0.05,
+                extra_delay: Seconds::from_millis(220.0),
+                outage_start: Seconds::new(5.0),
+                outage_duration: Seconds::new(f64::from(outage_tenths) / 10.0),
+                outage_period: Seconds::new(20.0),
+            });
+        }
+        #[allow(clippy::cast_possible_truncation)]
+        let vehicles = (30 * k) as u32;
+        let (workload, entry_ims) = workload_for(&sim, k, 0.06, vehicles, seed);
+        let base = CorridorConfig::new(sim, k).with_shard_workers(0);
+        #[allow(clippy::cast_precision_loss)]
+        let lookahead = base.link_time * (lookahead_tenths as f64 / 10.0);
+
+        let serial = run_corridor(&base, &workload, &entry_ims);
+        let windowed = run_corridor(
+            &base.with_shard_workers(workers).with_lookahead(lookahead),
+            &workload,
+            &entry_ims,
+        );
+
+        ck_assert!(
+            windowed.metrics.records() == serial.metrics.records(),
+            "{policy} K={k} seed {seed} w={workers} la={lookahead}: records diverge",
+        );
+        ck_assert!(
+            windowed.metrics.counters() == serial.metrics.counters(),
+            "{policy} K={k} seed {seed} w={workers} la={lookahead}: counters diverge \
+             ({:?} vs {:?})",
+            windowed.metrics.counters(),
+            serial.metrics.counters(),
+        );
+        ck_assert!(
+            windowed.metrics.decision_latencies() == serial.metrics.decision_latencies(),
+            "{policy} K={k} seed {seed} w={workers} la={lookahead}: \
+             decision latency order diverges",
+        );
+        ck_assert!(
+            windowed.ended_at == serial.ended_at,
+            "{policy} K={k} seed {seed} w={workers} la={lookahead}: \
+             ended_at {} vs {}",
+            windowed.ended_at,
+            serial.ended_at,
+        );
+        ck_assert!(
+            windowed.handoffs == serial.handoffs,
+            "{policy} K={k} seed {seed} w={workers} la={lookahead}: \
+             handoffs {} vs {}",
+            windowed.handoffs,
+            serial.handoffs,
+        );
+        ck_assert!(
+            windowed.safety == serial.safety,
+            "{policy} K={k} seed {seed} w={workers} la={lookahead}: audits diverge",
+        );
+        ck_assert!(
+            windowed.spawned == serial.spawned,
+            "{policy} K={k} seed {seed}: spawned diverges",
+        );
+    }
+}
+
 /// A K = 1 corridor is exactly the single-intersection simulator: same
 /// per-vehicle records, same load counters, same audit, same end time.
 #[test]

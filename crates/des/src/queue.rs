@@ -190,6 +190,27 @@ impl<E> EventQueue<E> {
         Popped::Event(at, payload)
     }
 
+    /// Pops the earliest event if it fires *strictly before* `limit`; an
+    /// event exactly at `limit` stays queued and is reported as
+    /// [`Popped::Beyond`]. This is the window-bounded drain conservative
+    /// parallel execution needs: windows are half-open `[t0, limit)`, so
+    /// a cross-shard handoff landing exactly on a barrier is always
+    /// scheduled into its target queue *before* the window that covers
+    /// that instant runs (contrast [`pop_within`](Self::pop_within),
+    /// whose horizon is inclusive).
+    pub fn pop_before(&mut self, limit: TimePoint) -> Popped<E> {
+        let Some(&idx) = self.heap.first() else {
+            return Popped::Empty;
+        };
+        let at = self.slots[idx as usize].at;
+        if at >= limit {
+            return Popped::Beyond(at);
+        }
+        self.remove_at(0);
+        let payload = self.vacate(idx).expect("heap entries are occupied");
+        Popped::Event(at, payload)
+    }
+
     /// Timestamp of the next live event without removing it. O(1).
     #[must_use]
     pub fn peek_time(&self) -> Option<TimePoint> {
@@ -455,6 +476,30 @@ mod tests {
         let mut q = EventQueue::new();
         q.schedule(t(2.0), ());
         assert_eq!(q.pop_within(Some(t(2.0))), Popped::Event(t(2.0), ()));
+    }
+
+    #[test]
+    fn pop_before_excludes_the_limit_instant() {
+        let mut q = EventQueue::new();
+        q.schedule(t(1.0), "a");
+        q.schedule(t(2.0), "b");
+        assert_eq!(q.pop_before(t(2.0)), Popped::Event(t(1.0), "a"));
+        // An event exactly at the limit is *deferred* — the half-open
+        // window contract pop_within's inclusive horizon does not give.
+        assert_eq!(q.pop_before(t(2.0)), Popped::Beyond(t(2.0)));
+        assert_eq!(q.pop_before(t(2.0 + 1e-9)), Popped::Event(t(2.0), "b"));
+        assert_eq!(q.pop_before(t(10.0)), Popped::Empty);
+    }
+
+    #[test]
+    fn pop_before_preserves_fifo_ties_inside_the_window() {
+        let mut q = EventQueue::new();
+        for i in 0..8u32 {
+            q.schedule(t(1.0), i);
+        }
+        for i in 0..8u32 {
+            assert_eq!(q.pop_before(t(2.0)), Popped::Event(t(1.0), i));
+        }
     }
 
     #[test]

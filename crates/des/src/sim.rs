@@ -198,6 +198,63 @@ impl<E> Simulation<E> {
         self.run_inner(Some(horizon), handler)
     }
 
+    /// Runs every event scheduled *strictly before* `end`, leaving events
+    /// at or after `end` queued — the window-bounded drain of conservative
+    /// parallel DES. Two deliberate differences from
+    /// [`run_until`](Self::run_until):
+    ///
+    /// - the bound is **exclusive**: an event exactly at `end` belongs to
+    ///   the *next* window (a cross-queue handoff landing exactly on a
+    ///   barrier must be exchanged before the window covering that instant
+    ///   runs);
+    /// - the clock is **not** advanced to `end` when events remain: it
+    ///   stays at the last processed event, so after the final window
+    ///   `now()` still reports when this queue's last event actually
+    ///   fired (and a handoff scheduled at `>= end` can never be "in the
+    ///   past").
+    pub fn run_window<F>(&mut self, end: TimePoint, mut handler: F) -> RunOutcome
+    where
+        F: FnMut(&mut Simulation<E>, E) -> bool,
+    {
+        let mut processed = 0u64;
+        loop {
+            if processed >= self.max_events {
+                return RunOutcome {
+                    reason: StopReason::EventLimit,
+                    events_processed: processed,
+                    end_time: self.now,
+                };
+            }
+            let (at, event) = match self.queue.pop_before(end) {
+                Popped::Empty => {
+                    return RunOutcome {
+                        reason: StopReason::QueueExhausted,
+                        events_processed: processed,
+                        end_time: self.now,
+                    };
+                }
+                Popped::Beyond(_) => {
+                    return RunOutcome {
+                        reason: StopReason::HorizonReached,
+                        events_processed: processed,
+                        end_time: self.now,
+                    };
+                }
+                Popped::Event(at, event) => (at, event),
+            };
+            self.now = at;
+            processed += 1;
+            self.dispatched += 1;
+            if !handler(self, event) {
+                return RunOutcome {
+                    reason: StopReason::HandlerStopped,
+                    events_processed: processed,
+                    end_time: self.now,
+                };
+            }
+        }
+    }
+
     fn run_inner<F>(&mut self, horizon: Option<TimePoint>, mut handler: F) -> RunOutcome
     where
         F: FnMut(&mut Simulation<E>, E) -> bool,
@@ -347,6 +404,67 @@ mod tests {
         let outcome = sim.run_until(TimePoint::new(5.0), |_, _| true);
         assert_eq!(outcome.events_processed, 1);
         assert_eq!(outcome.reason, StopReason::QueueExhausted);
+    }
+
+    #[test]
+    fn run_window_excludes_the_end_instant_and_keeps_the_clock_honest() {
+        let mut sim: Simulation<u32> = Simulation::new();
+        sim.schedule(TimePoint::new(1.0), 1);
+        sim.schedule(TimePoint::new(2.0), 2);
+        sim.schedule(TimePoint::new(3.0), 3);
+        let mut seen = Vec::new();
+        let outcome = sim.run_window(TimePoint::new(2.0), |_, e| {
+            seen.push(e);
+            true
+        });
+        assert_eq!(outcome.reason, StopReason::HorizonReached);
+        assert_eq!(seen, vec![1]);
+        // The clock stays at the last *processed* event — not the window
+        // end — so a later schedule at exactly the barrier is legal.
+        assert_eq!(sim.now(), TimePoint::new(1.0));
+        sim.schedule(TimePoint::new(2.0), 20);
+        let outcome = sim.run_window(TimePoint::new(4.0), |_, e| {
+            seen.push(e);
+            true
+        });
+        assert_eq!(outcome.reason, StopReason::QueueExhausted);
+        // FIFO on the tie at t=2: the pre-existing event first.
+        assert_eq!(seen, vec![1, 2, 20, 3]);
+        assert_eq!(sim.now(), TimePoint::new(3.0));
+    }
+
+    #[test]
+    fn run_window_then_run_until_matches_one_run_until() {
+        // Chopping a run into windows must process the same events in the
+        // same order as one inclusive run to the horizon.
+        let schedule = |sim: &mut Simulation<u32>| {
+            for i in 0..10 {
+                sim.schedule(TimePoint::new(f64::from(i) * 0.5), i);
+            }
+        };
+        let mut whole: Simulation<u32> = Simulation::new();
+        schedule(&mut whole);
+        let mut a = Vec::new();
+        whole.run_until(TimePoint::new(4.5), |_, e| {
+            a.push(e);
+            true
+        });
+        let mut windowed: Simulation<u32> = Simulation::new();
+        schedule(&mut windowed);
+        let mut b = Vec::new();
+        for w in [1.0, 2.0, 3.0, 4.5] {
+            windowed.run_window(TimePoint::new(w), |_, e| {
+                b.push(e);
+                true
+            });
+        }
+        // The exclusive windows leave the event exactly at 4.5 queued;
+        // the final inclusive stretch picks it up.
+        windowed.run_until(TimePoint::new(4.5), |_, e| {
+            b.push(e);
+            true
+        });
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -96,7 +96,11 @@ impl std::error::Error for ScheduleError {}
 /// ```
 #[derive(Debug, Clone)]
 pub struct ReservationTable {
-    conflicts: ConflictTable,
+    /// Shared, immutable conflict relation. An `Arc` so a K-shard
+    /// corridor builds the geometry once and every shard's table points
+    /// at the same allocation (cloning a table used to deep-copy it per
+    /// shard).
+    conflicts: std::sync::Arc<ConflictTable>,
     // One bucket per movement, each holding that movement's windows.
     //
     // Invariants (load-bearing for the binary searches below):
@@ -131,9 +135,13 @@ struct Window {
 }
 
 impl ReservationTable {
-    /// An empty table over the given conflict relation.
+    /// An empty table over the given conflict relation. Accepts either an
+    /// owned [`ConflictTable`] or an `Arc<ConflictTable>`; pass a clone of
+    /// one shared `Arc` to let many tables (e.g. one per corridor shard)
+    /// reference the same immutable geometry without deep-copying it.
     #[must_use]
-    pub fn new(conflicts: ConflictTable) -> Self {
+    pub fn new(conflicts: impl Into<std::sync::Arc<ConflictTable>>) -> Self {
+        let conflicts = conflicts.into();
         let movements = Movement::all();
         let mut masks = [0u16; MOVEMENTS];
         for &a in &movements {

@@ -156,6 +156,102 @@ impl WorkerPool {
         debug_assert_eq!(results.len(), items.len());
         results
     }
+
+    /// Bulk-synchronous rounds over mutable slots, with workers spawned
+    /// once and reused across every round — the "shard step" shape of
+    /// conservative windowed parallel DES.
+    ///
+    /// The loop alternates two phases until `control` returns `false`:
+    ///
+    /// 1. **Control (exclusive).** `control` runs on the calling thread
+    ///    with mutable access to every slot (in input order) — this is
+    ///    where a windowed engine exchanges handoffs between shards and
+    ///    computes the next barrier. Returning `false` ends the call.
+    /// 2. **Round (parallel).** `step(i, &mut slot_i)` runs for every
+    ///    slot, distributed over the workers. Slots travel to workers as
+    ///    `&mut` borrows over a channel, so no slot is ever aliased and
+    ///    no `'static` bound is needed — the whole call lives inside one
+    ///    [`std::thread::scope`].
+    ///
+    /// Determinism: each `step` owns its slot exclusively and the control
+    /// phase always observes slots in input order, so as long as `step`
+    /// is a pure function of its slot the outcome is independent of the
+    /// worker count — one worker (or one slot) degenerates to the same
+    /// control/step sequence run inline.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises the first panic (by slot index) raised inside `step` in
+    /// the round that observed it, after every slot of that round has
+    /// been returned.
+    pub fn rounds<T, C, S>(&self, slots: &mut [T], mut control: C, step: S)
+    where
+        T: Send,
+        C: FnMut(&mut [&mut T]) -> bool,
+        S: Fn(usize, &mut T) + Sync,
+    {
+        let mut refs: Vec<&mut T> = slots.iter_mut().collect();
+        if self.threads == 1 || refs.len() <= 1 {
+            while control(&mut refs) {
+                for (i, slot) in refs.iter_mut().enumerate() {
+                    step(i, slot);
+                }
+            }
+            return;
+        }
+        let step = &step;
+        std::thread::scope(|scope| {
+            type Returned<'r, T> = (usize, &'r mut T, Option<Box<dyn std::any::Any + Send>>);
+            let (task_tx, task_rx) = mpsc::channel::<(usize, &mut T)>();
+            let task_rx = Arc::new(Mutex::new(task_rx));
+            let (done_tx, done_rx) = mpsc::channel::<Returned<'_, T>>();
+            for _ in 0..self.threads.min(refs.len()) {
+                let task_rx = Arc::clone(&task_rx);
+                let done_tx = done_tx.clone();
+                scope.spawn(move || loop {
+                    // Workers park on the channel between rounds; the
+                    // coordinator dropping the sender is the shutdown.
+                    let msg = task_rx
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner)
+                        .recv();
+                    let Ok((i, slot)) = msg else { break };
+                    let out = catch_unwind(AssertUnwindSafe(|| step(i, &mut *slot)));
+                    // The slot ref travels back even when the step
+                    // panicked, so the control phase never loses a shard.
+                    let _ = done_tx.send((i, slot, out.err()));
+                });
+            }
+            drop(done_tx);
+            while control(&mut refs) {
+                let n = refs.len();
+                for pair in refs.drain(..).enumerate() {
+                    task_tx.send(pair).expect("workers outlive the rounds");
+                }
+                let mut returned: Vec<Option<&mut T>> = (0..n).map(|_| None).collect();
+                let mut first_panic: Option<(usize, Box<dyn std::any::Any + Send>)> = None;
+                for _ in 0..n {
+                    let (i, slot, panic) = done_rx.recv().expect("every slot comes back");
+                    returned[i] = Some(slot);
+                    if let Some(p) = panic {
+                        if first_panic.as_ref().is_none_or(|&(j, _)| i < j) {
+                            first_panic = Some((i, p));
+                        }
+                    }
+                }
+                if let Some((_, payload)) = first_panic {
+                    drop(task_tx);
+                    resume_unwind(payload);
+                }
+                refs.extend(
+                    returned
+                        .into_iter()
+                        .map(|s| s.expect("every index returned exactly once")),
+                );
+            }
+            drop(task_tx);
+        });
+    }
 }
 
 type HostJob = Box<dyn FnOnce() + Send + 'static>;
@@ -266,14 +362,41 @@ impl BatchHost {
     ///
     /// Re-raises the first panic (by input index) raised inside `f`,
     /// after every job has finished.
-    pub fn run<J, R, F>(&self, jobs: Vec<J>, f: F) -> Vec<R>
+    pub fn run<J, R, F>(&self, mut jobs: Vec<J>, f: F) -> Vec<R>
     where
         J: Send + 'static,
         R: Send + 'static,
         F: Fn(usize, J) -> R + Send + Sync + 'static,
     {
+        let mut results = Vec::with_capacity(jobs.len());
+        self.run_reusing(&mut jobs, &mut results, f);
+        results
+    }
+
+    /// [`run`](Self::run) with caller-held buffers: drains `jobs` (the
+    /// vector keeps its allocation) and writes results — input order, as
+    /// always — into `results` (cleared first, capacity reused).
+    ///
+    /// This is the steady-state shape for a hot loop firing thousands of
+    /// small batches: the caller parks both vectors between calls, so the
+    /// single-job fast path (by far the common case at a DES dispatch
+    /// boundary) allocates nothing at all, and a multi-job batch
+    /// allocates only its per-job closures.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises the first panic (by input index) raised inside `f`,
+    /// after every job has finished. `jobs` is drained either way.
+    pub fn run_reusing<J, R, F>(&self, jobs: &mut Vec<J>, results: &mut Vec<R>, f: F)
+    where
+        J: Send + 'static,
+        R: Send + 'static,
+        F: Fn(usize, J) -> R + Send + Sync + 'static,
+    {
+        results.clear();
         if self.workers.is_empty() || jobs.len() <= 1 {
-            return jobs.into_iter().enumerate().map(|(i, j)| f(i, j)).collect();
+            results.extend(jobs.drain(..).enumerate().map(|(i, j)| f(i, j)));
+            return;
         }
         let n = jobs.len();
         let f = Arc::new(f);
@@ -284,7 +407,7 @@ impl BatchHost {
                 .queue
                 .lock()
                 .unwrap_or_else(std::sync::PoisonError::into_inner);
-            for (i, job) in jobs.into_iter().enumerate() {
+            for (i, job) in jobs.drain(..).enumerate() {
                 let f = Arc::clone(&f);
                 let tx = tx.clone();
                 q.jobs.push_back(Box::new(move || {
@@ -300,14 +423,12 @@ impl BatchHost {
             let (i, r) = rx.recv().expect("worker delivers every queued job");
             done[i] = Some(r);
         }
-        let mut results = Vec::with_capacity(n);
         for slot in done {
             match slot.expect("every index delivered exactly once") {
                 Ok(v) => results.push(v),
                 Err(payload) => resume_unwind(payload),
             }
         }
-        results
     }
 }
 
@@ -381,6 +502,83 @@ mod tests {
         });
         for (i, v) in out.iter().enumerate() {
             assert_eq!(v, &vec![i as u64; 5]);
+        }
+    }
+
+    /// A toy windowed engine over `rounds`: every round each slot adds
+    /// its round number, the control phase exchanges the ends. The result
+    /// must be identical at every worker count (inline path included).
+    fn toy_rounds(workers: usize) -> Vec<u64> {
+        let mut slots: Vec<u64> = (0..5).collect();
+        let round = std::sync::atomic::AtomicU64::new(0);
+        WorkerPool::new(workers).rounds(
+            &mut slots,
+            |slots| {
+                if round.load(Ordering::Relaxed) > 0 {
+                    let last = slots.len() - 1;
+                    let (a, b) = (*slots[0], *slots[last]);
+                    *slots[0] = b;
+                    *slots[last] = a;
+                }
+                round.fetch_add(1, Ordering::Relaxed) < 4
+            },
+            |i, slot| *slot += round.load(Ordering::Relaxed) * (i as u64 + 1),
+        );
+        slots
+    }
+
+    #[test]
+    fn rounds_worker_count_is_unobservable() {
+        let reference = toy_rounds(1);
+        for workers in [2, 3, 7] {
+            assert_eq!(toy_rounds(workers), reference, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn rounds_control_sees_slots_in_input_order_every_round() {
+        let mut slots: Vec<(usize, u32)> = (0..9).map(|i| (i, 0)).collect();
+        let mut rounds_run = 0;
+        WorkerPool::new(4).rounds(
+            &mut slots,
+            |slots| {
+                for (i, slot) in slots.iter().enumerate() {
+                    assert_eq!(slot.0, i, "control order after round {rounds_run}");
+                    assert_eq!(slot.1, rounds_run);
+                }
+                rounds_run += 1;
+                rounds_run <= 3
+            },
+            |_, slot| slot.1 += 1,
+        );
+        assert_eq!(rounds_run, 4);
+    }
+
+    #[test]
+    fn rounds_propagates_step_panics() {
+        let mut slots = vec![0u32, 1, 2, 3];
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            WorkerPool::new(3).rounds(&mut slots, |_| true, |i, _| assert!(i != 2, "boom at {i}"));
+        }));
+        assert!(result.is_err(), "step panic must propagate");
+    }
+
+    #[test]
+    fn run_reusing_keeps_buffer_capacity() {
+        let host = BatchHost::new(3);
+        let mut jobs: Vec<u64> = Vec::with_capacity(64);
+        let mut results: Vec<u64> = Vec::new();
+        for round in 0..4u64 {
+            jobs.extend(0..8u64);
+            let cap = jobs.capacity();
+            host.run_reusing(&mut jobs, &mut results, move |i, x| {
+                x * 10 + round + i as u64 * 0
+            });
+            assert!(jobs.is_empty() && jobs.capacity() == cap);
+            assert_eq!(
+                results,
+                (0..8u64).map(|x| x * 10 + round).collect::<Vec<_>>()
+            );
         }
     }
 
