@@ -159,6 +159,34 @@ echo "==> marched-oracle differential suite (bounded cases)"
 CROSSROADS_CHECK_CASES=16 \
     cargo test -q --offline -p crossroads-core --test analytic_oracle
 
+echo "==> platoon-admission smoke (PAIM sweep at 1/4/7 threads + disabled identity)"
+# The platooned sweep (both admission modes, rush-hour wave, IM-crash
+# scenario) hard-asserts completion, clean safety audits and a net
+# message saving internally; its stdout must stay byte-identical at any
+# worker-pool width. Platooning must also be unobservable by default:
+# an existing experiment run with CROSSROADS_PLATOON=0 pinned must match
+# the flag-unset run byte for byte.
+CROSSROADS_SWEEP_FAST=1 CROSSROADS_BENCH_OUT=/dev/null CROSSROADS_THREADS=1 \
+    ./target/release/exp_platoon_sweep >"$seq_out" 2>/dev/null
+for t in 4 7; do
+    CROSSROADS_SWEEP_FAST=1 CROSSROADS_BENCH_OUT=/dev/null CROSSROADS_THREADS=$t \
+        ./target/release/exp_platoon_sweep >"$par_out" 2>/dev/null
+    if ! cmp -s "$seq_out" "$par_out"; then
+        echo "FAIL: platoon sweep output diverges on a $t-thread pool" >&2
+        diff "$seq_out" "$par_out" >&2 || true
+        exit 1
+    fi
+done
+CROSSROADS_SWEEP_FAST=1 CROSSROADS_BENCH_OUT=/dev/null \
+    ./target/release/exp_flow_sweep >"$seq_out" 2>/dev/null
+CROSSROADS_SWEEP_FAST=1 CROSSROADS_BENCH_OUT=/dev/null CROSSROADS_PLATOON=0 \
+    ./target/release/exp_flow_sweep >"$par_out" 2>/dev/null
+if ! cmp -s "$seq_out" "$par_out"; then
+    echo "FAIL: flow sweep output depends on the unset platoon flag" >&2
+    diff "$seq_out" "$par_out" >&2 || true
+    exit 1
+fi
+
 if cargo fmt --version >/dev/null 2>&1; then
     echo "==> rustfmt check"
     cargo fmt --check

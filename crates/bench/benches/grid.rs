@@ -55,6 +55,8 @@ fn request(v: u32, t: f64) -> CrossingRequest {
         stopped: false,
         attempt: 1,
         proposed_arrival: None,
+        platoon_followers: 0,
+        platoon_gap: Meters::ZERO,
     }
 }
 

@@ -25,6 +25,8 @@ fn request(v: u32, approach: Approach, t: f64, aim: bool) -> CrossingRequest {
         stopped: false,
         attempt: 1,
         proposed_arrival: aim.then(|| TimePoint::new(t + 10.0)),
+        platoon_followers: 0,
+        platoon_gap: Meters::ZERO,
     }
 }
 

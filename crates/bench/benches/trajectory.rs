@@ -120,6 +120,8 @@ fn aim_request(setup: &AimSetup) -> CrossingRequest {
         stopped: false,
         attempt: 1,
         proposed_arrival: Some(TimePoint::new(5.0)),
+        platoon_followers: 0,
+        platoon_gap: Meters::ZERO,
     }
 }
 

@@ -232,6 +232,12 @@ impl BatchPlanner {
         let mut out = Vec::with_capacity(batch.len());
         while !pending.is_empty() {
             // Pick the pending vehicle with the smallest achievable delay.
+            // Tie-break note (audited alongside the generator tie-break
+            // fix): `min_by` returns the *last* of equal-delay candidates,
+            // i.e. the highest batch index. That order is part of the
+            // pinned batched==serial transcripts (benches/grid.rs and the
+            // exp_* goldens), so it is kept as-is and documented here
+            // rather than flipped.
             let (best_idx, entry, earliest, dur) = pending
                 .iter()
                 .enumerate()

@@ -445,6 +445,20 @@ impl IntersectionPolicy for AimPolicy {
         if !self.simulate_trajectory(request.movement, &request.spec, toa, entry) {
             return CrossingCommand::AimReject;
         }
+        if let Some(platoon) = request.platoon_shape() {
+            // PAIM: one reservation covers the column. Each follower's
+            // footprint is the leader's shifted by `i × offset`, so
+            // extending every tile interval's `until` by the full span is
+            // a conservative superset of the union of shifted footprints.
+            let offset = match entry {
+                EntryMode::Constant(v) => platoon.cruise_offset(v),
+                EntryMode::Launch { .. } => platoon.launch_offset(&request.spec),
+            };
+            let span = platoon.span(offset);
+            for iv in &mut self.intervals {
+                iv.until = iv.until + span;
+            }
+        }
         if self.tiles.try_reserve(request.vehicle, &self.intervals) {
             self.reserved.insert(request.vehicle);
             CrossingCommand::AimAccept { arrival: toa }
@@ -494,6 +508,8 @@ mod tests {
             stopped: false,
             attempt: 1,
             proposed_arrival: Some(TimePoint::new(toa)),
+            platoon_followers: 0,
+            platoon_gap: Meters::ZERO,
         }
     }
 

@@ -16,6 +16,8 @@ use crossroads_units::kinematics;
 use crossroads_units::{Meters, MetersPerSecond, Seconds, TimePoint};
 use crossroads_vehicle::{SpeedProfile, VehicleId, VehicleSpec};
 
+use super::PlatoonShape;
+
 /// Outcome of a scheduling attempt.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum SlotDecision {
@@ -169,6 +171,40 @@ impl IntervalScheduler {
         lead_length: Meters,
         allow_stop_and_go: bool,
     ) -> SlotDecision {
+        self.schedule_moving_platooned(
+            vehicle,
+            movement,
+            spec,
+            t_base,
+            d,
+            v0,
+            effective_length,
+            lead_length,
+            allow_stop_and_go,
+            None,
+        )
+    }
+
+    /// [`schedule_moving`](Self::schedule_moving) for a platoon leader:
+    /// the booked occupancy is widened by the follower span (PAIM — one
+    /// reservation covers the whole column), using the *cruise* offset at
+    /// each candidate speed for the cruise outcome and the *launch*
+    /// offset for the stop-and-go fallback. `None` is exactly the
+    /// per-vehicle path.
+    #[allow(clippy::too_many_arguments)]
+    pub fn schedule_moving_platooned(
+        &mut self,
+        vehicle: VehicleId,
+        movement: Movement,
+        spec: &VehicleSpec,
+        t_base: TimePoint,
+        d: Meters,
+        v0: MetersPerSecond,
+        effective_length: Meters,
+        lead_length: Meters,
+        allow_stop_and_go: bool,
+        platoon: Option<PlatoonShape>,
+    ) -> SlotDecision {
         self.release(vehicle);
         let v_crawl = spec.v_max * self.crawl_fraction;
         let v_reach = reachable_speed(v0, spec, d);
@@ -182,6 +218,7 @@ impl IntervalScheduler {
                 v0,
                 effective_length,
                 allow_stop_and_go,
+                platoon,
             );
         };
         let etoa = t_base + fastest.total_time;
@@ -213,14 +250,17 @@ impl IntervalScheduler {
                             v0,
                             effective_length,
                             allow_stop_and_go,
+                            platoon,
                         );
                     }
                 }
             };
             // Window opens early by the lead (stale-position cover) and
-            // lasts the buffered crossing.
+            // lasts the buffered crossing — plus the follower span when a
+            // platoon crosses on this grant.
             let lead = lead_length / speed;
-            let dur = self.cruise_occupancy(movement, effective_length, speed) + lead;
+            let span = platoon.map_or(Seconds::ZERO, |p| p.span(p.cruise_offset(speed)));
+            let dur = self.cruise_occupancy(movement, effective_length, speed) + lead + span;
             let window_start = (toa - lead).max(TimePoint::ZERO);
             self.ops += self.table.len() as u64 + 1;
             let slot = self.table.earliest_slot(movement, window_start, dur);
@@ -228,7 +268,7 @@ impl IntervalScheduler {
                 // Admit at the exact slot the table returned: a sub-epsilon
                 // difference from `window_start` would fail the insert's
                 // overlap re-check.
-                self.admit(vehicle, movement, slot, dur);
+                self.admit(vehicle, movement, slot, dur, span);
                 return SlotDecision::Cruise { toa, speed };
             }
             toa = slot + lead;
@@ -242,6 +282,7 @@ impl IntervalScheduler {
             v0,
             effective_length,
             allow_stop_and_go,
+            platoon,
         )
     }
 
@@ -260,16 +301,83 @@ impl IntervalScheduler {
         effective_length: Meters,
         pad: Seconds,
     ) -> (TimePoint, Seconds) {
+        self.schedule_stopped_platooned(
+            vehicle,
+            movement,
+            spec,
+            earliest_launch,
+            setback,
+            effective_length,
+            pad,
+            None,
+        )
+    }
+
+    /// [`schedule_stopped`](Self::schedule_stopped) for a platoon leader:
+    /// widens the booked occupancy by the follower *launch* span — the
+    /// column launches from standstill one `launch_offset` apart. `None`
+    /// is exactly the per-vehicle path.
+    #[allow(clippy::too_many_arguments)]
+    pub fn schedule_stopped_platooned(
+        &mut self,
+        vehicle: VehicleId,
+        movement: Movement,
+        spec: &VehicleSpec,
+        earliest_launch: TimePoint,
+        setback: Meters,
+        effective_length: Meters,
+        pad: Seconds,
+        platoon: Option<PlatoonShape>,
+    ) -> (TimePoint, Seconds) {
         self.release(vehicle);
         let (cover, occupancy) = self.launch_occupancy(movement, effective_length, spec, setback);
-        let dur = occupancy + pad;
+        let span = platoon.map_or(Seconds::ZERO, |p| p.span(p.launch_offset(spec)));
+        let dur = occupancy + pad + span;
         let gate = self.gate(movement.approach);
         self.ops += self.table.len() as u64 + 1;
         let toa = self
             .table
             .earliest_slot(movement, (earliest_launch + cover).max(gate), dur);
-        self.admit(vehicle, movement, toa, dur);
+        self.admit(vehicle, movement, toa, dur, span);
         (toa, cover)
+    }
+
+    /// [`schedule_stopped_platooned`](Self::schedule_stopped_platooned)
+    /// restricted to an *immediate* launch — the only grant VT-IM can
+    /// express for a standstill vehicle. Admits (and moves the lane
+    /// gate) only when the earliest admissible slot is exactly
+    /// `earliest_launch + cover`; a non-immediate answer mutates
+    /// nothing. The plain stopped path instead admits-then-releases on
+    /// denial, which leaves the lane gate at the abandoned `toa`; with a
+    /// follower span widening every abandoned window that gate ratchets
+    /// ahead of the clock faster than the retry loop advances it, and
+    /// the column starves its own lane (re-request livelock). Platooned
+    /// stopped requests therefore go through this non-mutating probe.
+    #[allow(clippy::too_many_arguments)]
+    pub fn schedule_stopped_immediate(
+        &mut self,
+        vehicle: VehicleId,
+        movement: Movement,
+        spec: &VehicleSpec,
+        earliest_launch: TimePoint,
+        setback: Meters,
+        effective_length: Meters,
+        pad: Seconds,
+        platoon: Option<PlatoonShape>,
+    ) -> (TimePoint, Seconds, bool) {
+        self.release(vehicle);
+        let (cover, occupancy) = self.launch_occupancy(movement, effective_length, spec, setback);
+        let span = platoon.map_or(Seconds::ZERO, |p| p.span(p.launch_offset(spec)));
+        let dur = occupancy + pad + span;
+        let gate = self.gate(movement.approach);
+        self.ops += self.table.len() as u64 + 1;
+        let start = (earliest_launch + cover).max(gate);
+        let toa = self.table.earliest_slot(movement, start, dur);
+        let immediate = (toa - (earliest_launch + cover)).abs() <= Seconds::new(1e-6);
+        if immediate {
+            self.admit(vehicle, movement, toa, dur, span);
+        }
+        (toa, cover, immediate)
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -283,6 +391,7 @@ impl IntervalScheduler {
         v0: MetersPerSecond,
         effective_length: Meters,
         allow_stop_and_go: bool,
+        platoon: Option<PlatoonShape>,
     ) -> SlotDecision {
         if !allow_stop_and_go {
             return SlotDecision::Deny;
@@ -293,7 +402,7 @@ impl IntervalScheduler {
         // the same instant with more speed and clears sooner.
         let probe = SpeedProfile::stop_at(t_base, Meters::ZERO, v0, d, spec);
         let stopped_at = probe.end_time();
-        let (toa, _cover) = self.schedule_stopped(
+        let (toa, _cover) = self.schedule_stopped_platooned(
             vehicle,
             movement,
             spec,
@@ -301,6 +410,7 @@ impl IntervalScheduler {
             Meters::ZERO,
             effective_length,
             Seconds::ZERO,
+            platoon,
         );
         SlotDecision::StopAndGo { toa }
     }
@@ -312,7 +422,14 @@ impl IntervalScheduler {
             .map_or(TimePoint::ZERO, |t| t + Seconds::new(1e-3))
     }
 
-    fn admit(&mut self, vehicle: VehicleId, movement: Movement, toa: TimePoint, dur: Seconds) {
+    fn admit(
+        &mut self,
+        vehicle: VehicleId,
+        movement: Movement,
+        toa: TimePoint,
+        dur: Seconds,
+        platoon_span: Seconds,
+    ) {
         self.table
             .insert(Reservation {
                 vehicle,
@@ -321,7 +438,10 @@ impl IntervalScheduler {
                 exit: toa + dur,
             })
             .expect("earliest_slot result must insert cleanly");
-        self.lane_gate.insert(movement.approach, toa);
+        // The lane gate must cover the *last follower's* entry, not just
+        // the leader's, or the next same-approach grant could be slotted
+        // into the middle of the column.
+        self.lane_gate.insert(movement.approach, toa + platoon_span);
         debug_assert!(self.table.is_conflict_free());
     }
 }

@@ -78,7 +78,7 @@ impl IntersectionPolicy for CrossroadsPolicy {
             // reports its queue setback as D_T and covers it during the
             // launch run-up.
             let earliest_launch = now + self.buffers.rtd.wc_network + self.response_margin;
-            let (toa, cover) = self.scheduler.schedule_stopped(
+            let (toa, cover) = self.scheduler.schedule_stopped_platooned(
                 request.vehicle,
                 request.movement,
                 &request.spec,
@@ -86,6 +86,7 @@ impl IntersectionPolicy for CrossroadsPolicy {
                 request.distance_to_intersection,
                 eff,
                 Seconds::ZERO,
+                request.platoon_shape(),
             );
             return CrossingCommand::Crossroads {
                 execute_at: toa - cover,
@@ -100,7 +101,7 @@ impl IntersectionPolicy for CrossroadsPolicy {
         let travelled = request.speed * (t_e - request.transmitted_at);
         let d_e = (request.distance_to_intersection - travelled).max(Meters::new(0.05));
 
-        match self.scheduler.schedule_moving(
+        match self.scheduler.schedule_moving_platooned(
             request.vehicle,
             request.movement,
             &request.spec,
@@ -110,6 +111,7 @@ impl IntersectionPolicy for CrossroadsPolicy {
             eff,
             Meters::ZERO,
             true, // a fixed T_E lets the IM command stop-and-go
+            request.platoon_shape(),
         ) {
             SlotDecision::Cruise { toa, speed } => CrossingCommand::Crossroads {
                 execute_at: t_e,
@@ -165,6 +167,8 @@ mod tests {
             stopped: false,
             attempt: 1,
             proposed_arrival: None,
+            platoon_followers: 0,
+            platoon_gap: Meters::ZERO,
         }
     }
 

@@ -10,10 +10,58 @@ pub use common::{reachable_speed, IntervalScheduler, SlotDecision};
 pub use crossroads::CrossroadsPolicy;
 pub use vt::VtPolicy;
 
-use crossroads_units::TimePoint;
-use crossroads_vehicle::VehicleId;
+use crossroads_units::{Meters, MetersPerSecond, Seconds, TimePoint};
+use crossroads_vehicle::{VehicleId, VehicleSpec};
 
 use crate::request::{CrossingCommand, CrossingRequest};
+
+/// The follower geometry of a platooned crossing request (PAIM): one
+/// uplink books the whole column, so the policy widens the leader's
+/// occupancy by the follower span and the world schedules each follower
+/// one offset behind its predecessor.
+///
+/// This struct is the **single source of truth** for both sides of that
+/// contract: the policy books `span = followers × offset` extra
+/// occupancy, and the world derives follower entry times `T_i = T0 +
+/// i × offset` from bit-identical inputs — so an inherited slot can
+/// never overlap a conflicting grant that the audit would reject.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlatoonShape {
+    /// Vehicles crossing behind the leader on the same grant.
+    pub followers: u32,
+    /// Front-to-front spacing each follower keeps behind its
+    /// predecessor.
+    pub gap: Meters,
+}
+
+impl PlatoonShape {
+    /// Per-follower entry offset when the column crosses at cruise speed
+    /// `v`: the time one front bumper takes to succeed the previous at a
+    /// fixed spacing.
+    #[must_use]
+    pub fn cruise_offset(&self, v: MetersPerSecond) -> Seconds {
+        Seconds::new(self.gap.value() / v.value())
+    }
+
+    /// Per-follower entry offset when the column launches from
+    /// standstill: each member starts `gap` behind the previous and
+    /// launches once its predecessor has cleared that distance at
+    /// `a_max`, i.e. `sqrt(2·gap/a_max)` later. Separation then only
+    /// grows (the predecessor is already moving when the follower
+    /// starts), so the spacing at the line lower-bounds the spacing
+    /// everywhere.
+    #[must_use]
+    pub fn launch_offset(&self, spec: &VehicleSpec) -> Seconds {
+        Seconds::new((2.0 * self.gap.value() / spec.a_max.value()).sqrt())
+    }
+
+    /// Total extra occupancy the leader's grant must book to cover every
+    /// follower entering `offset` apart.
+    #[must_use]
+    pub fn span(&self, offset: Seconds) -> Seconds {
+        Seconds::new(f64::from(self.followers) * offset.value())
+    }
+}
 
 /// Which IM protocol an instance speaks.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]

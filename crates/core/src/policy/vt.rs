@@ -63,7 +63,31 @@ impl IntersectionPolicy for VtPolicy {
             // somewhere inside the next WC-RTD. Grant only an immediate
             // window, padded by WC-RTD to cover the launch uncertainty.
             // The vehicle reports its queue setback as D_T.
-            let (toa, cover) = self.scheduler.schedule_stopped(
+            if let Some(shape) = request.platoon_shape() {
+                // A denied column must not ratchet its own lane gate by
+                // the abandoned window each retry (see
+                // `schedule_stopped_immediate`): probe without mutating.
+                let (toa, cover, immediate) = self.scheduler.schedule_stopped_immediate(
+                    request.vehicle,
+                    request.movement,
+                    &request.spec,
+                    now,
+                    request.distance_to_intersection,
+                    eff,
+                    self.buffers.rtd.wc_rtd(),
+                    Some(shape),
+                );
+                let _ = cover;
+                return CrossingCommand::VtTarget {
+                    target_speed: if immediate {
+                        request.spec.v_max
+                    } else {
+                        MetersPerSecond::ZERO
+                    },
+                    scheduled_entry: toa,
+                };
+            }
+            let (toa, cover) = self.scheduler.schedule_stopped_platooned(
                 request.vehicle,
                 request.movement,
                 &request.spec,
@@ -71,6 +95,7 @@ impl IntersectionPolicy for VtPolicy {
                 request.distance_to_intersection,
                 eff,
                 self.buffers.rtd.wc_rtd(),
+                None,
             );
             if (toa - (now + cover)).abs() <= Seconds::new(1e-6) {
                 return CrossingCommand::VtTarget {
@@ -94,7 +119,7 @@ impl IntersectionPolicy for VtPolicy {
             .buffers
             .effective_length(PolicyKind::Crossroads, &request.spec);
         let lead = self.buffers.rtd_extra(PolicyKind::VtIm, request.spec.v_max);
-        match self.scheduler.schedule_moving(
+        match self.scheduler.schedule_moving_platooned(
             request.vehicle,
             request.movement,
             &request.spec,
@@ -104,6 +129,7 @@ impl IntersectionPolicy for VtPolicy {
             base,
             lead,
             false, // stop-and-go cannot be commanded by a bare velocity
+            request.platoon_shape(),
         ) {
             SlotDecision::Cruise { toa, speed } => CrossingCommand::VtTarget {
                 target_speed: speed,
@@ -164,6 +190,8 @@ mod tests {
             stopped,
             attempt: 1,
             proposed_arrival: None,
+            platoon_followers: 0,
+            platoon_gap: Meters::ZERO,
         }
     }
 

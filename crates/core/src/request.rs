@@ -36,6 +36,26 @@ pub struct CrossingRequest {
     pub attempt: u32,
     /// AIM only: the proposed time of arrival.
     pub proposed_arrival: Option<TimePoint>,
+    /// Followers crossing on this grant behind the requester (PAIM:
+    /// one uplink reserves the whole platoon). `0` is a solo request —
+    /// the per-vehicle path, bit-identical to pre-platoon behavior.
+    pub platoon_followers: u32,
+    /// Bumper-to-bumper gap each follower keeps behind its predecessor
+    /// while crossing. The policies widen the booked occupancy by the
+    /// follower span derived from this gap (see `policy::PlatoonShape`),
+    /// so the single grant covers every member.
+    pub platoon_gap: Meters,
+}
+
+impl CrossingRequest {
+    /// The platoon shape this request books, `None` for a solo request.
+    #[must_use]
+    pub fn platoon_shape(&self) -> Option<crate::policy::PlatoonShape> {
+        (self.platoon_followers > 0).then_some(crate::policy::PlatoonShape {
+            followers: self.platoon_followers,
+            gap: self.platoon_gap,
+        })
+    }
 }
 
 /// The IM's downlink decision — the union of the three protocols'

@@ -54,6 +54,11 @@ pub(crate) enum Event {
     /// Corridor handoff: the vehicle reaches the tagged downstream
     /// intersection's transmission line after traversing the link.
     LinkArrival(VehicleId, u32),
+    /// Platoon fallback deadline for the tagged follower on the tagged
+    /// leg: if it is still waiting on its leader's inherited grant when
+    /// this fires (the leader's negotiation stalled — typically an IM
+    /// crash mid-platoon), it detaches and runs the per-vehicle protocol.
+    PlatoonTimeout(VehicleId, u32),
     /// Fault injection: the tagged IM process crashes. Uplinks arriving
     /// until the matching restart are dropped, queued requests and
     /// in-flight computations are lost.

@@ -48,6 +48,103 @@ pub const AIM_ANALYTIC_ENV: &str = "CROSSROADS_AIM_ANALYTIC";
 /// identical at every setting — the knob only changes wall-clock time.
 pub const SHARD_WORKERS_ENV: &str = "CROSSROADS_SHARD_WORKERS";
 
+/// Environment default for [`PlatoonConfig::enabled`]: platoon-based
+/// admission (PAIM). Unset or `"0"` keeps the per-vehicle request loop —
+/// the disabled path draws no extra randomness and sends no extra
+/// frames, so every pre-platoon experiment stdout stays byte-identical.
+/// Any other value turns platooning on with the default shape.
+pub const PLATOON_ENV: &str = "CROSSROADS_PLATOON";
+
+/// Platoon formation and admission parameters (PAIM, arXiv 1809.06956):
+/// same-movement vehicles arriving within [`headway`](Self::headway) of
+/// their lane predecessor join its platoon (up to
+/// [`max_size`](Self::max_size) members); only the leader negotiates
+/// with the IM, and followers inherit the grant at fixed entry offsets.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlatoonConfig {
+    /// Whether platoons form at all. Off by default — the per-vehicle
+    /// request loop is the paper's protocol and the pinned baseline.
+    pub enabled: bool,
+    /// Maximum platoon size including the leader (`>= 2` when enabled).
+    pub max_size: u32,
+    /// Maximum line-crossing headway behind the previous platoon member
+    /// for a vehicle to join.
+    pub headway: Seconds,
+    /// Follower spacing in vehicle lengths: the front-to-front gap each
+    /// follower keeps is `gap_lengths × spec.length`.
+    pub gap_lengths: f64,
+    /// How long a follower waits for its leader's grant before falling
+    /// back to the per-vehicle protocol (covers lost downlinks and IM
+    /// crashes mid-platoon).
+    pub fallback_timeout: Seconds,
+}
+
+impl PlatoonConfig {
+    /// The disabled default: per-vehicle admission, bit-identical to the
+    /// pre-platoon tree.
+    #[must_use]
+    pub fn disabled() -> Self {
+        PlatoonConfig {
+            enabled: false,
+            ..PlatoonConfig::standard()
+        }
+    }
+
+    /// The standard enabled shape: platoons of up to 4, a 2.5 s join
+    /// headway, followers two vehicle lengths apart front-to-front, and
+    /// a 15 s grant-inheritance timeout.
+    #[must_use]
+    pub fn standard() -> Self {
+        PlatoonConfig {
+            enabled: true,
+            max_size: 4,
+            headway: Seconds::new(2.5),
+            gap_lengths: 2.0,
+            fallback_timeout: Seconds::new(15.0),
+        }
+    }
+
+    /// Resolves the [`PLATOON_ENV`] default: disabled unless the flag is
+    /// set to something other than `"0"`.
+    #[must_use]
+    pub fn from_env() -> Self {
+        if std::env::var_os(PLATOON_ENV).is_some_and(|v| v != *"0") {
+            PlatoonConfig::standard()
+        } else {
+            PlatoonConfig::disabled()
+        }
+    }
+
+    /// Validates the shape when enabled.
+    ///
+    /// # Panics
+    ///
+    /// Panics when enabled with `max_size < 2`, a non-positive or
+    /// non-finite `headway`/`fallback_timeout`, or `gap_lengths < 1.0`
+    /// (followers may not overlap their predecessor).
+    pub fn validate(&self) {
+        if !self.enabled {
+            return;
+        }
+        assert!(self.max_size >= 2, "an enabled platoon needs >= 2 members");
+        assert!(
+            self.headway.value().is_finite() && self.headway.value() > 0.0,
+            "platoon headway must be finite and positive, got {:?}",
+            self.headway
+        );
+        assert!(
+            self.fallback_timeout.value().is_finite() && self.fallback_timeout.value() > 0.0,
+            "platoon fallback_timeout must be finite and positive, got {:?}",
+            self.fallback_timeout
+        );
+        assert!(
+            self.gap_lengths.is_finite() && self.gap_lengths >= 1.0,
+            "platoon gap_lengths must be >= 1 vehicle length, got {}",
+            self.gap_lengths
+        );
+    }
+}
+
 /// Everything one experiment needs.
 #[derive(Debug, Clone, Copy)]
 pub struct SimConfig {
@@ -85,6 +182,10 @@ pub struct SimConfig {
     /// Disabled by default; a disabled config is zero-cost — the run is
     /// byte-identical to one without the fault subsystem.
     pub fault: FaultConfig,
+    /// Platoon-based admission (PAIM). Disabled by default (see
+    /// [`PLATOON_ENV`]); a disabled config is zero-cost — the run is
+    /// byte-identical to one without the platoon subsystem.
+    pub platoon: PlatoonConfig,
 }
 
 impl SimConfig {
@@ -107,6 +208,7 @@ impl SimConfig {
             crawl_fraction: 0.30,
             horizon_slack: Seconds::new(1200.0),
             fault: FaultConfig::disabled(),
+            platoon: PlatoonConfig::from_env(),
         }
     }
 
@@ -158,6 +260,14 @@ impl SimConfig {
     #[must_use]
     pub fn with_faults(mut self, fault: FaultConfig) -> Self {
         self.fault = fault;
+        self
+    }
+
+    /// Installs a platoon-admission configuration (overriding the
+    /// [`PLATOON_ENV`] default; validated when the run starts).
+    #[must_use]
+    pub fn with_platoons(mut self, platoon: PlatoonConfig) -> Self {
+        self.platoon = platoon;
         self
     }
 

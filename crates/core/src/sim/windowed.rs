@@ -156,7 +156,7 @@ pub(crate) fn run_corridor_windowed(
             exchange.sort_by(|(a_src, a), (b_src, b)| {
                 a.to_im
                     .cmp(&b.to_im)
-                    .then(a.at.partial_cmp(&b.at).expect("handoff times are finite"))
+                    .then(a.at.total_cmp(b.at))
                     .then(a_src.cmp(b_src))
             });
             for (_, h) in exchange.drain(..) {
@@ -167,7 +167,7 @@ pub(crate) fn run_corridor_windowed(
             let t0 = lanes
                 .iter()
                 .filter_map(|l| l.sim.peek_time())
-                .min_by(|a, b| a.partial_cmp(b).expect("event times are finite"));
+                .min_by(|a, b| a.total_cmp(*b));
             let Some(t0) = t0 else { return false };
             if t0 > horizon {
                 return false;

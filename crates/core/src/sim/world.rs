@@ -53,6 +53,17 @@ fn verdict_of(cmd: &CrossingCommand) -> Verdict {
     }
 }
 
+/// A fresh protocol machine parked at the line in `Sync` — the state a
+/// platoon follower waits in for its inherited grant
+/// ([`VehicleProtocol::inherit_grant`] only applies there).
+fn follower_protocol(v: VehicleId, now: TimePoint) -> VehicleProtocol {
+    let mut protocol = VehicleProtocol::new(v);
+    protocol
+        .apply(ProtocolEvent::ReachedTransmissionLine, now)
+        .expect("fresh machine accepts line crossing");
+    protocol
+}
+
 /// The per-vehicle clock-noise stream: a pure function of (vehicle, leg),
 /// so clock errors survive event reordering and every corridor leg draws
 /// an independent error. Leg 0 collapses to the pre-corridor stream id,
@@ -108,6 +119,61 @@ pub(crate) struct Agent {
     /// "never seen" so a legitimate first attempt can never collide with
     /// a sentinel value.
     im_seen_attempt: Option<u32>,
+    /// The vehicle's place in a platoon while its column negotiates a
+    /// shared grant; `None` is the per-vehicle protocol (always `None`
+    /// with platooning disabled — the field is never read on that path).
+    platoon: Option<PlatoonRole>,
+}
+
+/// A vehicle's role in an undissolved platoon (PAIM-style admission:
+/// one uplink, one decision, one downlink for the whole column).
+pub(crate) enum PlatoonRole {
+    /// Front of the column: negotiates with the IM on behalf of the
+    /// followers queued behind it.
+    Leader(PlatoonLead),
+    /// Riding a leader's negotiation: no sync exchange and no uplink of
+    /// its own — the inherited grant (or the fallback deadline) is the
+    /// next protocol step that happens to it.
+    Follower {
+        /// The vehicle whose grant this follower inherits.
+        leader: VehicleId,
+    },
+}
+
+/// Leader-side platoon state.
+pub(crate) struct PlatoonLead {
+    /// Followers in lane order (join order equals line-crossing order).
+    followers: Vec<VehicleId>,
+    /// Follower count the in-flight request reported. The IM booked span
+    /// for exactly this many, so the grant covers exactly this many;
+    /// later joiners detach when it lands.
+    sent: u32,
+    /// Whether that request reported the leader stopped — selects the
+    /// launch-vs-cruise follower offset, mirroring the span the policy
+    /// booked (the [`PlatoonShape`](crate::policy::PlatoonShape)
+    /// contract).
+    sent_stopped: bool,
+}
+
+/// How a freshly granted leader's followers are spaced behind it,
+/// derived from the granted command so the world's follower entry times
+/// stay inside the span the policy booked.
+/// One platoon crossing on a single reservation, tracked IM-side so the
+/// slot is freed when the *column* clears the box, not when its leader
+/// does. `members` stays immutable (it also classifies duplicate exit
+/// notices); `remaining` drains as notices land.
+struct PlatoonColumn {
+    leader: VehicleId,
+    members: Vec<VehicleId>,
+    remaining: Vec<VehicleId>,
+}
+
+#[derive(Clone, Copy)]
+enum FollowerSpacing {
+    /// Stop-and-go column: successive standstill launches.
+    Launch,
+    /// Rolling column entering at the granted speed.
+    Cruise(MetersPerSecond),
 }
 
 /// Everything one intersection manager owns. A corridor world holds `K`
@@ -146,6 +212,11 @@ pub(crate) struct Shard {
     /// without this the per-request scan is O(n) in lane length and the
     /// 10k-vehicle corridor goes quadratic.
     lane_cursor: [usize; 4],
+    /// Columns crossing on one inherited reservation. The leader's slot
+    /// covers every member, so the IM must not free it on the *leader's*
+    /// exit notice — only when the last member reports out (see the
+    /// `ImExitNotice` handler).
+    columns: Vec<PlatoonColumn>,
     /// This shard's main RNG: radio latency draws, clock-sync noise.
     /// Per-shard (rather than one world-global stream) so a shard's draw
     /// sequence depends only on its own event history — the property that
@@ -174,6 +245,7 @@ impl Shard {
             in_flight: 0,
             lane_arrivals: [Vec::new(), Vec::new(), Vec::new(), Vec::new()],
             lane_cursor: [0; 4],
+            columns: Vec::new(),
             rng: if im == 0 {
                 root.clone()
             } else {
@@ -629,17 +701,13 @@ impl<'a> World<'a> {
             Event::BoxEntry(v, version) => self.on_box_entry(sim.now(), v, version),
             Event::BoxExit(v, version) => self.on_box_exit(sim, v, version),
             Event::LinkArrival(v, im) => self.on_link_arrival(sim, v, im as usize),
+            Event::PlatoonTimeout(v, im) => self.on_platoon_timeout(sim, v, im as usize),
             Event::ImExitNotice(v, im) => {
                 let s = self.li(im as usize);
                 if self.shards[s].im_down {
                     self.counters.im_outage_drops += 1;
                 } else {
-                    let now = sim.now();
-                    self.shards[s]
-                        .policy
-                        .as_mut()
-                        .expect("policy resident")
-                        .on_exit(v, now);
+                    self.on_exit_notice(s, v, sim.now());
                 }
             }
             Event::ImCrash(im) => {
@@ -697,7 +765,13 @@ impl<'a> World<'a> {
         let arr = self.workload[index];
         let now = sim.now();
         let im = self.entry_ims.get(index).map_or(0, |&x| x as usize);
-        let (protocol, clock_err) = self.start_protocol(sim, arr.vehicle, im, now);
+        let joined = self.platoon_try_join(im, arr.movement, now);
+        let (protocol, clock_err) = match joined {
+            // A follower rides its leader's negotiation: no sync
+            // exchange, no radio frames, no RNG draws of its own.
+            Some(_) => (follower_protocol(arr.vehicle, now), Seconds::ZERO),
+            None => self.start_protocol(sim, arr.vehicle, im, now),
+        };
 
         let profile = SpeedProfile::starting_at(now, Meters::ZERO, arr.speed);
         let free_flow = self.free_flow_time(arr.movement, arr.speed);
@@ -725,8 +799,12 @@ impl<'a> World<'a> {
                 last_proposal: None,
                 stop_target: None,
                 im_seen_attempt: None,
+                platoon: None,
             },
         );
+        if let Some(leader) = joined {
+            self.platoon_attach(sim, arr.vehicle, leader, im);
+        }
         self.schedule_guard(sim, arr.vehicle);
     }
 
@@ -759,7 +837,11 @@ impl<'a> World<'a> {
             };
             agent.movement
         };
-        let (protocol, clock_err) = self.start_protocol(sim, v, im, now);
+        let joined = self.platoon_try_join(im, movement, now);
+        let (protocol, clock_err) = match joined {
+            Some(_) => (follower_protocol(v, now), Seconds::ZERO),
+            None => self.start_protocol(sim, v, im, now),
+        };
         let free_flow = self.free_flow_time(movement, speed);
         self.shards[im - self.shard_base].lane_arrivals[movement.approach.index()].push(v);
         let agent = self.agent_mut(v).expect("agent exists");
@@ -777,7 +859,11 @@ impl<'a> World<'a> {
         agent.last_proposal = None;
         agent.stop_target = None;
         agent.im_seen_attempt = None;
+        agent.platoon = None;
         self.handoffs += 1;
+        if let Some(leader) = joined {
+            self.platoon_attach(sim, v, leader, im);
+        }
         self.schedule_guard(sim, v);
     }
 
@@ -893,6 +979,20 @@ impl<'a> World<'a> {
             let t_vehicle = now + agent.clock_err;
             let d_t = (self.s_entry - s_now).max(Meters::ZERO);
             let proposed = self.aim_proposal(agent, t_vehicle, d_t, v_now);
+            // A platoon leader asks for the whole column: the IM books
+            // `followers × offset` of extra span behind the leader's slot
+            // (solo vehicles report 0/0 — bit-identical to pre-platoon).
+            let platoon_followers = match &agent.platoon {
+                Some(PlatoonRole::Leader(l)) => {
+                    u32::try_from(l.followers.len()).unwrap_or(u32::MAX)
+                }
+                _ => 0,
+            };
+            let platoon_gap = if platoon_followers > 0 {
+                self.platoon_gap()
+            } else {
+                Meters::ZERO
+            };
             // Exponential backoff on retransmissions: a response can
             // legitimately take several service times under queueing, and
             // re-requesting faster than the IM can answer only grows the
@@ -909,6 +1009,8 @@ impl<'a> World<'a> {
                     stopped: agent.stopped,
                     attempt,
                     proposed_arrival: proposed,
+                    platoon_followers,
+                    platoon_gap,
                 },
                 self.cfg.buffers.rtd.retransmit_timeout() * f64::from(backoff),
             )
@@ -916,6 +1018,19 @@ impl<'a> World<'a> {
         if let Some(toa) = req.proposed_arrival {
             let agent = self.agent_mut(v).expect("agent exists");
             agent.last_proposal = Some((toa, req.speed, req.stopped));
+        }
+        if req.platoon_followers > 0 {
+            // Snapshot what this uplink asked for: the grant that answers
+            // it covers exactly this many followers, spaced by the offset
+            // this stopped-flag selects. (The downlink guard pins the
+            // acted-on response to the *latest* attempt, so the snapshot
+            // is always the one the grant answers.)
+            if let Some(PlatoonRole::Leader(l)) =
+                &mut self.agent_mut(v).expect("agent exists").platoon
+            {
+                l.sent = req.platoon_followers;
+                l.sent_stopped = req.stopped;
+            }
         }
         let deliveries = self.uplink_deliveries(im);
         self.rec(
@@ -1379,6 +1494,13 @@ impl<'a> World<'a> {
         now: TimePoint,
     ) {
         let spec = self.cfg.spec;
+        // VT booked follower span by the *request's* stopped flag (the
+        // PlatoonShape contract), so spacing keys on the same.
+        let spacing = if self.platoon_sent_stopped(v) {
+            FollowerSpacing::Launch
+        } else {
+            FollowerSpacing::Cruise(target)
+        };
         let agent = self.agent_mut(v).expect("agent exists");
         let s_now = agent.profile.position_at(now);
         let v_now = agent.profile.speed_at(now);
@@ -1390,6 +1512,7 @@ impl<'a> World<'a> {
         agent.accepted = true;
         agent.stopped = false;
         self.schedule_crossing_events(sim, v);
+        self.grant_followers(sim, v, now, spacing);
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -1479,6 +1602,15 @@ impl<'a> World<'a> {
         agent.accepted = true;
         agent.stopped = false;
         self.schedule_crossing_events(sim, v);
+        // Crossroads may answer a moving platoon with stop-and-go, in
+        // which case the scheduler booked *launch* span — spacing keys on
+        // the command, not the request.
+        let spacing = if stop_first {
+            FollowerSpacing::Launch
+        } else {
+            FollowerSpacing::Cruise(target)
+        };
+        self.grant_followers(sim, v, now, spacing);
     }
 
     fn accept_aim(
@@ -1546,6 +1678,15 @@ impl<'a> World<'a> {
         agent.accepted = true;
         agent.stopped = false;
         self.schedule_crossing_events(sim, v);
+        // AIM's tile intervals were extended by the entry mode the
+        // proposal implied: launch span for a standstill proposal, cruise
+        // span at the proposed speed otherwise.
+        let spacing = if was_stopped {
+            FollowerSpacing::Launch
+        } else {
+            FollowerSpacing::Cruise(v_prop)
+        };
+        self.grant_followers(sim, v, now, spacing);
     }
 
     fn reject_aim(&mut self, sim: &mut Simulation<Event>, v: VehicleId, now: TimePoint) {
@@ -1625,6 +1766,372 @@ impl<'a> World<'a> {
         // (beyond noting it must re-request promptly).
         self.counters.late_discards += 1;
         self.reject_and_stop(sim, v, now, Seconds::from_millis(50.0));
+    }
+
+    // --- Platooning ----------------------------------------------------------
+
+    /// Front-to-front spacing between successive platoon members, in
+    /// vehicle lengths (the same value the leader's uplink reports and
+    /// the policies book span from).
+    fn platoon_gap(&self) -> Meters {
+        self.cfg.spec.length * self.cfg.platoon.gap_lengths
+    }
+
+    /// Whether `v` leads a platoon whose in-flight request reported it
+    /// stopped — the flag the policy's span booking keyed on.
+    fn platoon_sent_stopped(&self, v: VehicleId) -> bool {
+        matches!(
+            self.agent(v).and_then(|a| a.platoon.as_ref()),
+            Some(PlatoonRole::Leader(l)) if l.sent_stopped
+        )
+    }
+
+    /// Platoon formation at the transmission line: if the vehicle
+    /// immediately ahead in this lane belongs to a platoon still
+    /// negotiating the same movement with shard `im`, the new arrival
+    /// joins it as a follower. Returns the leader to follow, or `None`
+    /// to run the per-vehicle protocol (always `None` with platooning
+    /// disabled — that path costs one branch and touches nothing).
+    fn platoon_try_join(
+        &self,
+        im: usize,
+        movement: crossroads_intersection::Movement,
+        now: TimePoint,
+    ) -> Option<VehicleId> {
+        let p = &self.cfg.platoon;
+        if !p.enabled {
+            return None;
+        }
+        let lane = movement.approach.index();
+        let shard = &self.shards[self.li(im)];
+        let &pred = shard.lane_arrivals[lane].last()?;
+        let pred_agent = self.agent(pred)?;
+        // The headway gate is against the column's tail — the vehicle
+        // physically ahead — not the leader.
+        if pred_agent.im != im || now - pred_agent.line_at > p.headway {
+            return None;
+        }
+        let leader = match pred_agent.platoon {
+            Some(PlatoonRole::Follower { leader }) => leader,
+            _ => pred,
+        };
+        let lead_agent = self.agent(leader)?;
+        // Joinable only while the leader still negotiates: once its grant
+        // is issued (or it reached the box) the booked span cannot cover
+        // another member.
+        if lead_agent.im != im
+            || lead_agent.movement != movement
+            || lead_agent.done
+            || lead_agent.accepted
+            || lead_agent.entered_at.is_some()
+        {
+            return None;
+        }
+        let size = match &lead_agent.platoon {
+            Some(PlatoonRole::Leader(l)) => 1 + l.followers.len(),
+            // A dissolving chain (its members detaching): don't re-join.
+            Some(PlatoonRole::Follower { .. }) => return None,
+            None => 1,
+        };
+        (size < p.max_size as usize).then_some(leader)
+    }
+
+    /// Enrols `v` (already seated, role `None`) as a follower of `leader`
+    /// and arms its fallback deadline: if the inherited grant has not
+    /// arrived by then — e.g. the IM crashed mid-platoon — the follower
+    /// detaches and negotiates alone.
+    fn platoon_attach(
+        &mut self,
+        sim: &mut Simulation<Event>,
+        v: VehicleId,
+        leader: VehicleId,
+        im: usize,
+    ) {
+        self.agent_mut(v).expect("agent exists").platoon = Some(PlatoonRole::Follower { leader });
+        let mut formed = false;
+        let lead_agent = self.agent_mut(leader).expect("leader exists");
+        match &mut lead_agent.platoon {
+            Some(PlatoonRole::Leader(l)) => l.followers.push(v),
+            Some(PlatoonRole::Follower { .. }) => {
+                unreachable!("join resolves to the platoon leader")
+            }
+            slot @ None => {
+                *slot = Some(PlatoonRole::Leader(PlatoonLead {
+                    followers: vec![v],
+                    sent: 0,
+                    sent_stopped: false,
+                }));
+                formed = true;
+            }
+        }
+        if formed {
+            self.counters.platoons_formed += 1;
+        }
+        self.counters.platoon_followers += 1;
+        // Refresh an in-flight ask so the booked span covers the new
+        // member: the leader's current attempt is superseded exactly as a
+        // retransmission timeout would supersede it — the old response,
+        // if one still arrives, is dropped by the downlink's attempt
+        // guard, and the IM replaces the old reservation when it
+        // re-simulates the newer request. A leader still syncing or
+        // holding for the queue has not uplinked yet; its eventual
+        // request already counts this follower.
+        let now = sim.now();
+        let lead_agent = self.agent_mut(leader).expect("leader exists");
+        if let ProtocolState::Request { attempts } = lead_agent.protocol.state() {
+            lead_agent
+                .protocol
+                .apply(ProtocolEvent::TimedOut, now)
+                .expect("retransmission applies in Request state");
+            sim.schedule_in(
+                Seconds::ZERO,
+                Event::SendRequest(leader, attempts + 1, im as u32),
+            );
+        }
+        sim.schedule_in(
+            self.cfg.platoon.fallback_timeout,
+            Event::PlatoonTimeout(v, im as u32),
+        );
+    }
+
+    /// Extends the leader's fresh grant to its platoon: follower `i`
+    /// inherits the slot at `T_0 + (i+1)·Δ`, where `T_0` is the leader's
+    /// box-entry instant from its accepted profile and `Δ` the spacing
+    /// offset matching the span the policy booked. Followers the grant
+    /// does not cover (joined after the last uplink) and followers whose
+    /// inherited slot is unreachable detach to the per-vehicle protocol.
+    /// The platoon dissolves either way.
+    fn grant_followers(
+        &mut self,
+        sim: &mut Simulation<Event>,
+        leader: VehicleId,
+        now: TimePoint,
+        spacing: FollowerSpacing,
+    ) {
+        if self.agent(leader).is_none_or(|a| a.platoon.is_none()) {
+            return;
+        }
+        let Some(PlatoonRole::Leader(lead)) =
+            self.agent_mut(leader).expect("agent exists").platoon.take()
+        else {
+            return;
+        };
+        let spec = self.cfg.spec;
+        let shape = crate::policy::PlatoonShape {
+            followers: lead.sent,
+            gap: self.platoon_gap(),
+        };
+        let offset = match spacing {
+            FollowerSpacing::Launch => shape.launch_offset(&spec),
+            FollowerSpacing::Cruise(v) => shape.cruise_offset(v),
+        };
+        let t0 = self
+            .agent(leader)
+            .expect("agent exists")
+            .profile
+            .time_at_position(self.s_entry + Meters::new(1e-3))
+            .unwrap_or(now);
+        let mut t_i = t0;
+        let mut members = vec![leader];
+        for (i, &f) in lead.followers.iter().enumerate() {
+            if i >= lead.sent as usize {
+                // Joined after the leader's last uplink: the booked span
+                // does not cover this follower.
+                self.platoon_detach(sim, f, now);
+                continue;
+            }
+            t_i += offset;
+            if self.grant_follower(sim, f, t_i, spacing, now) {
+                members.push(f);
+            }
+        }
+        if members.len() > 1 {
+            // The column shares the leader's reservation; the IM frees it
+            // on the *last* member's exit notice, not the leader's.
+            let im = self.agent(leader).expect("agent exists").im;
+            let s = self.li(im);
+            self.shards[s].columns.push(PlatoonColumn {
+                leader,
+                members: members.clone(),
+                remaining: members,
+            });
+        }
+    }
+
+    /// IM-side receipt of a vehicle's exit notification. A vehicle that
+    /// crossed solo releases its own reservation; a platoon member only
+    /// drains the column ledger, and the shared reservation is released
+    /// when the last member reports out. Duplicate notices from a column
+    /// member are swallowed — the slot belongs to the column, not the
+    /// vehicle. A *lost* notice leaves the column undrained and the
+    /// reservation expires via prune, the same conservative degradation
+    /// as a lost solo notice.
+    fn on_exit_notice(&mut self, s: usize, v: VehicleId, now: TimePoint) {
+        let shard = &mut self.shards[s];
+        if let Some(ix) = shard.columns.iter().position(|c| c.members.contains(&v)) {
+            let col = &mut shard.columns[ix];
+            if let Some(r) = col.remaining.iter().position(|&u| u == v) {
+                col.remaining.swap_remove(r);
+                if col.remaining.is_empty() {
+                    let leader = col.leader;
+                    shard.columns.swap_remove(ix);
+                    shard
+                        .policy
+                        .as_mut()
+                        .expect("policy resident")
+                        .on_exit(leader, now);
+                }
+            }
+            return;
+        }
+        shard
+            .policy
+            .as_mut()
+            .expect("policy resident")
+            .on_exit(v, now);
+    }
+
+    /// Installs one follower's inherited slot: entry at `t_i`, either a
+    /// timed standstill launch (column discharging from rest) or a shaped
+    /// approach reaching the entry line at the cruise speed. Detaches the
+    /// follower instead when its physical state does not match the
+    /// spacing mode the span was booked under — a stopped follower on a
+    /// cruise-spaced grant (or a rolling one on a launch-spaced grant)
+    /// would enter closer behind its predecessor than the booked offset
+    /// guarantees — or when the slot is unreachable from its current
+    /// state.
+    fn grant_follower(
+        &mut self,
+        sim: &mut Simulation<Event>,
+        v: VehicleId,
+        t_i: TimePoint,
+        spacing: FollowerSpacing,
+        now: TimePoint,
+    ) -> bool {
+        let spec = self.cfg.spec;
+        let s_entry = self.s_entry;
+        let Some(agent) = self.agent(v) else {
+            return false;
+        };
+        if agent.done || agent.accepted {
+            return false;
+        }
+        let s_f = agent.profile.position_at(now);
+        let v_f = agent.profile.speed_at(now);
+        let at_rest = v_f.value() <= 1e-9;
+        let detach = |world: &mut Self, sim: &mut Simulation<Event>| {
+            world.platoon_detach(sim, v, now);
+            false
+        };
+        let profile = match spacing {
+            FollowerSpacing::Launch if at_rest => {
+                // At rest: a timed launch like the leader's stop-and-go —
+                // hold, then run up so the front crosses the line at
+                // `t_i`, exactly one launch offset behind its predecessor.
+                let cover = self.cover_time(s_entry - s_f);
+                let launch = t_i - cover;
+                if launch < now {
+                    return detach(self, sim);
+                }
+                let mut p = SpeedProfile::starting_at(now, s_f, MetersPerSecond::ZERO);
+                p.push_hold(launch - now);
+                p.push_speed_change(spec.v_max, spec.a_max);
+                p
+            }
+            FollowerSpacing::Cruise(entry_speed) if !at_rest => {
+                match SpeedProfile::crossroads_response(
+                    now,
+                    s_f,
+                    v_f,
+                    now,
+                    t_i,
+                    s_entry,
+                    entry_speed,
+                    &spec,
+                ) {
+                    Ok(p) => p,
+                    Err(_) => return detach(self, sim),
+                }
+            }
+            // Kinematic mode diverged from the booked spacing (the
+            // follower stopped under a cruise grant, or is still rolling
+            // under a launch grant): the inherited offset no longer
+            // bounds its separation — per-vehicle fallback.
+            _ => return detach(self, sim),
+        };
+        let agent = self.agent_mut(v).expect("agent exists");
+        if agent.protocol.inherit_grant(now).is_err() {
+            return detach(self, sim);
+        }
+        agent.profile = profile;
+        agent.accepted = true;
+        agent.stopped = false;
+        agent.platoon = None;
+        self.counters.platoon_grants += 1;
+        self.schedule_crossing_events(sim, v);
+        true
+    }
+
+    /// Severs `v` from its platoon and falls back to the per-vehicle
+    /// protocol — fresh sync exchange, own request: exactly the path it
+    /// would have taken had it never joined (the degradation mode the
+    /// fault experiments measure).
+    fn platoon_detach(&mut self, sim: &mut Simulation<Event>, v: VehicleId, now: TimePoint) {
+        let Some(agent) = self.agent(v) else {
+            return;
+        };
+        if agent.done || agent.accepted {
+            return;
+        }
+        let im = agent.im;
+        let (protocol, clock_err) = self.start_protocol(sim, v, im, now);
+        let agent = self.agent_mut(v).expect("agent exists");
+        agent.platoon = None;
+        agent.protocol = protocol;
+        agent.clock_err = clock_err;
+        self.counters.platoon_fallbacks += 1;
+    }
+
+    /// The follower's fallback deadline fired. If it is still waiting on
+    /// its leader's grant — the negotiation stalled, typically because
+    /// the IM crashed mid-platoon — it leaves the platoon and negotiates
+    /// alone. It comes off the leader's roster first, so a late grant
+    /// cannot race the fresh protocol's sync window (where the machine
+    /// briefly sits in `Sync` again and would accept an inherit).
+    fn on_platoon_timeout(&mut self, sim: &mut Simulation<Event>, v: VehicleId, im: usize) {
+        let now = sim.now();
+        let Some(agent) = self.agent(v) else {
+            return;
+        };
+        if agent.im != im || agent.done || agent.accepted {
+            return;
+        }
+        let leader = match &agent.platoon {
+            Some(PlatoonRole::Follower { leader }) => *leader,
+            _ => return,
+        };
+        // A healthy negotiation that is merely queue-blocked is not a
+        // stall: a live IM always answers the leader eventually (the
+        // liveness the closed-loop tests pin), and detaching would
+        // forfeit the amortization exactly where it pays most — deep
+        // queues. Only a dead IM process counts as stalled; while it is
+        // down the grant can never come, so the follower leaves now.
+        let leader_negotiating = self
+            .agent(leader)
+            .is_some_and(|a| !a.done && !a.accepted && a.im == im);
+        if leader_negotiating && !self.shards[self.li(im)].im_down {
+            sim.schedule_in(
+                self.cfg.platoon.fallback_timeout,
+                Event::PlatoonTimeout(v, im as u32),
+            );
+            return;
+        }
+        if let Some(PlatoonRole::Leader(l)) =
+            self.agent_mut(leader).and_then(|a| a.platoon.as_mut())
+        {
+            l.followers.retain(|&u| u != v);
+        }
+        self.platoon_detach(sim, v, now);
     }
 
     // --- Plan bookkeeping ----------------------------------------------------
@@ -1758,7 +2265,7 @@ impl<'a> World<'a> {
         let now = sim.now();
         let line_offset = self.s_entry;
         let link_time = self.link_time;
-        let (im, occupancy, continuation) = {
+        let (im, occupancy) = {
             let Some(agent) = self.agent_mut(v) else {
                 return;
             };
@@ -1779,9 +2286,8 @@ impl<'a> World<'a> {
                 profile: agent.profile.clone(),
                 line_offset,
             };
-            (agent.im, occupancy, ())
+            (agent.im, occupancy)
         };
-        let _ = continuation;
         self.occupancies[im - self.shard_base].push(occupancy);
         let next = self.agent(v).and_then(|a| self.next_leg(a));
         match next {
@@ -1917,6 +2423,7 @@ mod tests {
             last_proposal: None,
             stop_target: None,
             im_seen_attempt: None,
+            platoon: None,
         }
     }
 
@@ -1931,6 +2438,8 @@ mod tests {
             stopped: false,
             attempt,
             proposed_arrival: None,
+            platoon_followers: 0,
+            platoon_gap: Meters::ZERO,
         }
     }
 

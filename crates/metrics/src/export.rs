@@ -75,7 +75,7 @@ pub fn records_to_json(records: &[VehicleRecord]) -> String {
 #[must_use]
 pub fn counters_to_json(c: &Counters) -> String {
     format!(
-        "{{\"im_ops\":{},\"im_requests\":{},\"messages\":{},\"messages_lost\":{},\"im_busy\":{},\"des_events\":{},\"deadline_misses\":{},\"late_discards\":{},\"burst_losses\":{},\"im_outage_drops\":{},\"fallback_stops\":{}}}",
+        "{{\"im_ops\":{},\"im_requests\":{},\"messages\":{},\"messages_lost\":{},\"im_busy\":{},\"des_events\":{},\"deadline_misses\":{},\"late_discards\":{},\"burst_losses\":{},\"im_outage_drops\":{},\"fallback_stops\":{},\"platoons_formed\":{},\"platoon_followers\":{},\"platoon_grants\":{},\"platoon_fallbacks\":{}}}",
         c.im_ops,
         c.im_requests,
         c.messages,
@@ -87,6 +87,10 @@ pub fn counters_to_json(c: &Counters) -> String {
         c.burst_losses,
         c.im_outage_drops,
         c.fallback_stops,
+        c.platoons_formed,
+        c.platoon_followers,
+        c.platoon_grants,
+        c.platoon_fallbacks,
     )
 }
 
@@ -321,6 +325,10 @@ mod tests {
             burst_losses: 8,
             im_outage_drops: 9,
             fallback_stops: 10,
+            platoons_formed: 11,
+            platoon_followers: 12,
+            platoon_grants: 13,
+            platoon_fallbacks: 14,
         });
         let a = run_to_json(&m);
         let b = run_to_json(&m);
@@ -331,6 +339,10 @@ mod tests {
         assert!(a.contains(
             "\"deadline_misses\":6,\"late_discards\":7,\"burst_losses\":8,\
              \"im_outage_drops\":9,\"fallback_stops\":10"
+        ));
+        assert!(a.contains(
+            "\"platoons_formed\":11,\"platoon_followers\":12,\
+             \"platoon_grants\":13,\"platoon_fallbacks\":14"
         ));
     }
 

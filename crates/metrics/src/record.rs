@@ -91,6 +91,19 @@ pub struct Counters {
     /// Safe stop-at-line fallback profiles vehicles installed (stop
     /// guards firing without a grant, and post-discard fallbacks).
     pub fallback_stops: u64,
+    /// Platoons formed (a vehicle promoted to leader by its first
+    /// follower). Zero unless platooned admission is enabled.
+    pub platoons_formed: u64,
+    /// Vehicles that joined a platoon as followers; platoon member counts
+    /// sum to `platoons_formed + platoon_followers`.
+    pub platoon_followers: u64,
+    /// Followers granted by inheriting their leader's slot — each saved
+    /// its own sync exchange, uplink(s) and downlink.
+    pub platoon_grants: u64,
+    /// Followers that detached to the per-vehicle protocol (the leader's
+    /// grant did not cover them, the inherited slot was infeasible, or
+    /// the fallback deadline expired — e.g. an IM crash mid-platoon).
+    pub platoon_fallbacks: u64,
 }
 
 impl Counters {
@@ -107,6 +120,10 @@ impl Counters {
         self.burst_losses += other.burst_losses;
         self.im_outage_drops += other.im_outage_drops;
         self.fallback_stops += other.fallback_stops;
+        self.platoons_formed += other.platoons_formed;
+        self.platoon_followers += other.platoon_followers;
+        self.platoon_grants += other.platoon_grants;
+        self.platoon_fallbacks += other.platoon_fallbacks;
     }
 }
 
@@ -336,6 +353,10 @@ mod tests {
             burst_losses: 3,
             im_outage_drops: 4,
             fallback_stops: 5,
+            platoons_formed: 6,
+            platoon_followers: 7,
+            platoon_grants: 8,
+            platoon_fallbacks: 9,
         };
         let b = Counters {
             im_ops: 10,
@@ -349,6 +370,10 @@ mod tests {
             burst_losses: 1,
             im_outage_drops: 1,
             fallback_stops: 1,
+            platoons_formed: 1,
+            platoon_followers: 1,
+            platoon_grants: 1,
+            platoon_fallbacks: 1,
         };
         a.absorb(&b);
         assert_eq!(a.im_ops, 11);
@@ -361,6 +386,10 @@ mod tests {
         assert_eq!(a.burst_losses, 4);
         assert_eq!(a.im_outage_drops, 5);
         assert_eq!(a.fallback_stops, 6);
+        assert_eq!(a.platoons_formed, 7);
+        assert_eq!(a.platoon_followers, 8);
+        assert_eq!(a.platoon_grants, 9);
+        assert_eq!(a.platoon_fallbacks, 10);
     }
 
     #[test]

@@ -571,9 +571,7 @@ mod tests {
         for round in 0..4u64 {
             jobs.extend(0..8u64);
             let cap = jobs.capacity();
-            host.run_reusing(&mut jobs, &mut results, move |i, x| {
-                x * 10 + round + i as u64 * 0
-            });
+            host.run_reusing(&mut jobs, &mut results, move |_i, x| x * 10 + round);
             assert!(jobs.is_empty() && jobs.capacity() == cap);
             assert_eq!(
                 results,

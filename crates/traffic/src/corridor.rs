@@ -53,6 +53,11 @@ impl CorridorDemand {
             "cross rate must be positive"
         );
         assert!(self.total_vehicles > 0, "need at least one vehicle");
+        assert!(
+            self.min_headway.value().is_finite() && self.min_headway.value() >= 0.0,
+            "min_headway must be finite and non-negative, got {:?}",
+            self.min_headway
+        );
     }
 }
 
@@ -104,8 +109,12 @@ pub fn generate_corridor<R: Rng + ?Sized>(
     let mut entry_ims = Vec::with_capacity(demand.total_vehicles as usize);
     let mut id = 0u32;
     while arrivals.len() < demand.total_vehicles as usize {
+        // Ties break toward the earlier stream, as documented above. The
+        // index comparison is load-bearing: `Iterator::min_by` returns the
+        // *last* of equal minima, so exactly tied streams would otherwise
+        // emit from the highest index.
         let s = (0..streams.len())
-            .min_by(|&a, &b| next_time[a].total_cmp(&next_time[b]))
+            .min_by(|&a, &b| next_time[a].total_cmp(&next_time[b]).then(a.cmp(&b)))
             .expect("at least four streams");
         let (im, approach, rate) = streams[s];
         let at = next_time[s];
@@ -178,6 +187,84 @@ mod tests {
         for im in 0..k as u32 {
             assert!(entry_ims.contains(&im), "no arrivals at intersection {im}");
         }
+    }
+
+    /// Constant-draw [`Rng`]: every stream's exponential samples are
+    /// bit-identical, so every merge step is an all-streams tie.
+    struct ConstantRng(u64);
+
+    impl Rng for ConstantRng {
+        fn next_u64(&mut self) -> u64 {
+            self.0
+        }
+    }
+
+    #[test]
+    fn exact_ties_break_toward_earlier_stream() {
+        // With constant draws, the westbound (stream 0) and eastbound
+        // (stream 1) arteries share one rate and therefore tie to the bit
+        // at every step; the cross streams (a different rate) tie among
+        // themselves the same way. The documented merge order is "earliest
+        // pending arrival, ties toward the earlier stream" — so within
+        // each tied group the emission order must be ascending stream
+        // index, which for the arteries means West strictly before East.
+        let mut d = demand(3);
+        d.total_vehicles = 20;
+        let (arrivals, entry_ims) = generate_corridor(&d, &mut ConstantRng(1 << 40));
+        // Both arteries share a rate, so their draws stay in exact
+        // lockstep: the j-th West emission and the j-th East emission are
+        // one bit-identical tie, and West (the earlier stream) must win
+        // each one.
+        let west: Vec<usize> = arrivals
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| a.movement.approach == Approach::West)
+            .map(|(i, _)| i)
+            .collect();
+        let east: Vec<usize> = arrivals
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| a.movement.approach == Approach::East)
+            .map(|(i, _)| i)
+            .collect();
+        assert!(!west.is_empty() && !east.is_empty(), "both arteries emit");
+        for (j, (&w, &e)) in west.iter().zip(&east).enumerate() {
+            assert!(w < e, "tied artery wave {j}: West must emit before East");
+        }
+        // Cross streams are pushed in (im, North, South) order; within one
+        // tied wave they must appear in exactly that order.
+        let cross: Vec<(u32, Approach)> = arrivals
+            .iter()
+            .zip(&entry_ims)
+            .filter(|(a, _)| matches!(a.movement.approach, Approach::North | Approach::South))
+            .map(|(a, &im)| (im, a.movement.approach))
+            .collect();
+        let mut expected = Vec::new();
+        for im in 0..3u32 {
+            expected.push((im, Approach::North));
+            expected.push((im, Approach::South));
+        }
+        let first_wave: Vec<(u32, Approach)> = cross.iter().copied().take(6).collect();
+        assert_eq!(
+            first_wave, expected,
+            "tied cross streams must emit in declaration order"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "min_headway must be finite")]
+    fn nan_headway_panics() {
+        let mut d = demand(2);
+        d.min_headway = Seconds::new(f64::NAN);
+        let _ = generate_corridor(&d, &mut StdRng::seed_from_u64(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "min_headway must be finite")]
+    fn negative_headway_panics() {
+        let mut d = demand(2);
+        d.min_headway = Seconds::new(-0.5);
+        let _ = generate_corridor(&d, &mut StdRng::seed_from_u64(0));
     }
 
     #[test]

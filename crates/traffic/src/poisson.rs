@@ -45,6 +45,11 @@ impl PoissonConfig {
             "rate must be positive"
         );
         assert!(self.total_vehicles > 0, "need at least one vehicle");
+        assert!(
+            self.min_headway.value().is_finite() && self.min_headway.value() >= 0.0,
+            "min_headway must be finite and non-negative, got {:?}",
+            self.min_headway
+        );
         let mass: f64 = self.turn_mix.iter().sum();
         assert!(
             (mass - 1.0).abs() < 1e-9 && self.turn_mix.iter().all(|&p| p >= 0.0),
@@ -89,9 +94,12 @@ pub fn generate_poisson<R: Rng + ?Sized>(config: &PoissonConfig, rng: &mut R) ->
     let mut arrivals = Vec::with_capacity(config.total_vehicles as usize);
     let mut id = 0u32;
     while arrivals.len() < config.total_vehicles as usize {
-        // Lane with the earliest pending arrival emits next.
+        // Lane with the earliest pending arrival emits next; ties break
+        // toward the lower lane index. The index comparison is load-bearing:
+        // `Iterator::min_by` returns the *last* of equal minima, so without
+        // it two lanes tied to the bit would emit from the higher index.
         let lane = (0..4)
-            .min_by(|&a, &b| next_time[a].total_cmp(&next_time[b]))
+            .min_by(|&a, &b| next_time[a].total_cmp(&next_time[b]).then(a.cmp(&b)))
             .expect("four lanes");
         let at = next_time[lane];
         arrivals.push(Arrival {
@@ -198,6 +206,56 @@ mod tests {
         };
         assert_eq!(run(6), run(6));
         assert_ne!(run(6), run(7));
+    }
+
+    /// An [`Rng`] whose every draw is the same 64-bit word: all four
+    /// lanes start with bit-identical exponential samples and every
+    /// clamped headway lands the streams on exactly tied next-arrival
+    /// times — the adversarial input for the documented tie-break.
+    struct ConstantRng(u64);
+
+    impl Rng for ConstantRng {
+        fn next_u64(&mut self) -> u64 {
+            self.0
+        }
+    }
+
+    #[test]
+    fn exact_ties_break_toward_lower_lane_index() {
+        // Constant draws: every lane's next arrival time is bit-identical
+        // at every step, so *every* emission is a 4-way tie. The docs
+        // promise ties break toward the earlier stream, so the emission
+        // order must cycle West, East, North, South (Approach::ALL order)
+        // — `min_by` alone would return the *last* minimum and start at
+        // the highest lane index instead.
+        let mut rng = ConstantRng(u64::MAX / 3);
+        let mut c = cfg(0.5);
+        c.total_vehicles = 8;
+        let w = generate_poisson(&c, &mut rng);
+        let lanes: Vec<Approach> = w.iter().map(|a| a.movement.approach).collect();
+        let expected: Vec<Approach> = Approach::ALL.iter().copied().cycle().take(8).collect();
+        assert_eq!(
+            lanes, expected,
+            "tied arrivals must emit in ascending lane order"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "min_headway must be finite")]
+    fn nan_headway_panics() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut c = cfg(0.5);
+        c.min_headway = Seconds::new(f64::NAN);
+        let _ = generate_poisson(&c, &mut rng);
+    }
+
+    #[test]
+    #[should_panic(expected = "min_headway must be finite")]
+    fn negative_headway_panics() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut c = cfg(0.5);
+        c.min_headway = Seconds::new(-1.0);
+        let _ = generate_poisson(&c, &mut rng);
     }
 
     #[test]

@@ -165,6 +165,30 @@ impl VehicleProtocol {
         self.total_rejections
     }
 
+    /// Inherits the leader's crossing grant while platooned: jumps the
+    /// machine from `Sync` straight to `Follow` without ever entering
+    /// `Request`. A follower never transmits its own crossing request —
+    /// that is the point of platoon-granularity admission — so
+    /// `total_requests` stays untouched (the V2I message-count metric
+    /// must reflect the saved uplinks).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidTransition`] unless the machine is in `Sync`
+    /// (a grant can only be inherited between registration and the
+    /// first own request).
+    pub fn inherit_grant(&mut self, now: TimePoint) -> Result<ProtocolState, InvalidTransition> {
+        if self.state != ProtocolState::Sync {
+            return Err(InvalidTransition {
+                state: self.state,
+                event: ProtocolEvent::ResponseAccepted,
+            });
+        }
+        self.plan_received_at = Some(now);
+        self.state = ProtocolState::Follow;
+        Ok(self.state)
+    }
+
     /// Applies `event` at time `now`, transitioning the machine.
     ///
     /// # Errors
@@ -313,6 +337,28 @@ mod tests {
                 "{ev:?} must not apply to Done"
             );
         }
+    }
+
+    #[test]
+    fn inherited_grant_skips_request_and_counts_no_messages() {
+        let mut p = machine();
+        p.apply(ProtocolEvent::ReachedTransmissionLine, t(0.0))
+            .unwrap();
+        assert_eq!(p.inherit_grant(t(0.05)).unwrap(), ProtocolState::Follow);
+        assert_eq!(p.total_requests(), 0, "a follower sends no uplink");
+        assert_eq!(p.plan_received_at(), Some(t(0.05)));
+        p.apply(ProtocolEvent::CrossedIntersection, t(3.0)).unwrap();
+        assert_eq!(p.state(), ProtocolState::Done);
+    }
+
+    #[test]
+    fn inherit_grant_requires_sync() {
+        let mut p = machine();
+        assert!(p.inherit_grant(t(0.0)).is_err(), "not before the line");
+        p.apply(ProtocolEvent::ReachedTransmissionLine, t(0.0))
+            .unwrap();
+        p.apply(ProtocolEvent::SyncCompleted, t(0.01)).unwrap();
+        assert!(p.inherit_grant(t(0.02)).is_err(), "not once requesting");
     }
 
     #[test]
