@@ -16,8 +16,10 @@ if grep -rn '^[a-z0-9_-]* *= *"' crates/*/Cargo.toml | grep -v '^\([^:]*\):[0-9]
     exit 1
 fi
 
-echo "==> offline release build"
-cargo build --release --offline --workspace
+echo "==> offline release build (library, binary and example targets)"
+# --examples is load-bearing: a bare `cargo build` skips example targets,
+# which let the five examples/ programs rot silently across refactors.
+cargo build --release --offline --workspace --examples
 
 echo "==> offline test suite"
 cargo test -q --offline --workspace
@@ -187,11 +189,46 @@ if ! cmp -s "$seq_out" "$par_out"; then
     exit 1
 fi
 
+echo "==> mixed-traffic smoke (filtered sweep at 1/4/7 threads + disabled identity)"
+# The mixed sweep (compliance mixes x execution error, all policies,
+# runtime safety filter armed) hard-asserts completion, clean safety
+# audits and a nonzero intervention count internally; its stdout must
+# stay byte-identical at any worker-pool width. Mixed traffic must also
+# be unobservable by default: an existing experiment run with
+# CROSSROADS_MIXED=0 pinned must match the flag-unset run byte for byte.
+CROSSROADS_SWEEP_FAST=1 CROSSROADS_BENCH_OUT=/dev/null CROSSROADS_THREADS=1 \
+    ./target/release/exp_mixed_sweep >"$seq_out" 2>/dev/null
+for t in 4 7; do
+    CROSSROADS_SWEEP_FAST=1 CROSSROADS_BENCH_OUT=/dev/null CROSSROADS_THREADS=$t \
+        ./target/release/exp_mixed_sweep >"$par_out" 2>/dev/null
+    if ! cmp -s "$seq_out" "$par_out"; then
+        echo "FAIL: mixed sweep output diverges on a $t-thread pool" >&2
+        diff "$seq_out" "$par_out" >&2 || true
+        exit 1
+    fi
+done
+CROSSROADS_SWEEP_FAST=1 CROSSROADS_BENCH_OUT=/dev/null \
+    ./target/release/exp_flow_sweep >"$seq_out" 2>/dev/null
+CROSSROADS_SWEEP_FAST=1 CROSSROADS_BENCH_OUT=/dev/null CROSSROADS_MIXED=0 \
+    ./target/release/exp_flow_sweep >"$par_out" 2>/dev/null
+if ! cmp -s "$seq_out" "$par_out"; then
+    echo "FAIL: flow sweep output depends on the unset mixed-traffic flag" >&2
+    diff "$seq_out" "$par_out" >&2 || true
+    exit 1
+fi
+
 if cargo fmt --version >/dev/null 2>&1; then
     echo "==> rustfmt check"
     cargo fmt --check
 else
     echo "==> rustfmt not installed; skipping format check"
+fi
+
+if cargo clippy --version >/dev/null 2>&1; then
+    echo "==> clippy lint check"
+    cargo clippy --offline --workspace --all-targets -- -D warnings
+else
+    echo "==> clippy not installed; skipping lint check"
 fi
 
 echo "CI OK"

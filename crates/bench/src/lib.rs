@@ -25,7 +25,7 @@ use crossroads_net::{FaultConfig, GilbertElliott};
 use crossroads_prng::{SeedableRng, StdRng};
 use crossroads_trace::{Recorder, Trace};
 use crossroads_traffic::{
-    generate_corridor, generate_poisson, Arrival, CorridorDemand, PoissonConfig,
+    generate_corridor, generate_poisson, Arrival, CorridorDemand, MixedConfig, PoissonConfig,
 };
 use crossroads_units::{MetersPerSecond, Seconds};
 
@@ -348,6 +348,55 @@ pub fn run_fault_point(
         outcome.safety.is_safe(),
         "{policy} burst={burst} outage={outage_secs}s seed={seed}: SAFETY VIOLATION"
     );
+    outcome
+}
+
+/// Builds one mixed-traffic grid point: compliance shares for the
+/// traffic generator plus the faulty execution-error envelope
+/// `(speed_error, timing_error)`. The polling/gap parameters stay at
+/// [`MixedConfig::standard`].
+#[must_use]
+pub fn mixed_point(
+    human: f64,
+    faulty: f64,
+    emergency: f64,
+    speed_error: f64,
+    timing_error_secs: f64,
+) -> MixedConfig {
+    let mut mixed = MixedConfig::standard().with_shares(human, faulty, emergency);
+    mixed.speed_error = speed_error;
+    mixed.timing_error = Seconds::new(timing_error_secs);
+    mixed
+}
+
+/// Runs one full-scale mixed-traffic point with the runtime safety
+/// filter armed, asserting the headline invariant of E16: whatever the
+/// compliance mix and fault intensity, every vehicle completes and the
+/// exhaustive post-run audit of *executed* trajectories finds zero
+/// violations — non-compliance costs throughput, never safety.
+///
+/// # Panics
+///
+/// Panics if any vehicle is stranded or the safety audit finds a
+/// violation at any point of the compliance/fault grid.
+#[must_use]
+pub fn run_mixed_point(policy: PolicyKind, rate: f64, mixed: MixedConfig, seed: u64) -> SimOutcome {
+    let config = SimConfig::full_scale(policy)
+        .with_seed(seed)
+        .with_mixed(mixed)
+        .with_safety_filter(true);
+    let workload = sweep_workload(&config, rate, seed.wrapping_add(1000));
+    let label = format!(
+        "{policy}@{rate}-h{}-f{}-e{}-s{seed}",
+        mixed.human_share, mixed.faulty_share, mixed.emergency_share
+    );
+    let outcome = run_point_guarded(&config, &workload, &label);
+    assert!(
+        outcome.all_completed(),
+        "{label}: {} vehicles stranded",
+        outcome.stranded()
+    );
+    assert!(outcome.safety.is_safe(), "{label}: SAFETY VIOLATION");
     outcome
 }
 

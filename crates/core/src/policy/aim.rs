@@ -456,7 +456,7 @@ impl IntersectionPolicy for AimPolicy {
             };
             let span = platoon.span(offset);
             for iv in &mut self.intervals {
-                iv.until = iv.until + span;
+                iv.until += span;
             }
         }
         if self.tiles.try_reserve(request.vehicle, &self.intervals) {

@@ -59,6 +59,10 @@ pub(crate) enum Event {
     /// this fires (the leader's negotiation stalled — typically an IM
     /// crash mid-platoon), it detaches and runs the per-vehicle protocol.
     PlatoonTimeout(VehicleId, u32),
+    /// Mixed traffic: a non-V2I vehicle (human or emergency) waiting at
+    /// the tagged intersection's line re-checks whether it can commit its
+    /// gap-acceptance crossing (humans) or preempt the box (emergency).
+    ComplianceCheck(VehicleId, u32),
     /// Fault injection: the tagged IM process crashes. Uplinks arriving
     /// until the matching restart are dropped, queued requests and
     /// in-flight computations are lost.

@@ -8,6 +8,7 @@
 //! audit.
 
 mod event;
+mod filter;
 pub mod safety;
 mod windowed;
 mod world;
@@ -20,7 +21,7 @@ use crossroads_metrics::RunMetrics;
 use crossroads_net::{ChannelConfig, ComputationDelayModel, FaultConfig};
 use crossroads_pool::BatchHost;
 use crossroads_trace::Recorder;
-use crossroads_traffic::Arrival;
+use crossroads_traffic::{Arrival, MixedConfig};
 use crossroads_units::{MetersPerSecond, Seconds, TimePoint};
 use crossroads_vehicle::VehicleSpec;
 
@@ -54,6 +55,26 @@ pub const SHARD_WORKERS_ENV: &str = "CROSSROADS_SHARD_WORKERS";
 /// frames, so every pre-platoon experiment stdout stays byte-identical.
 /// Any other value turns platooning on with the default shape.
 pub const PLATOON_ENV: &str = "CROSSROADS_PLATOON";
+
+/// Environment flag for the runtime safety filter (the policy-agnostic
+/// monitor of `sim/filter.rs`). Unset → the filter follows the mixed-
+/// traffic flag (`CROSSROADS_MIXED`): on when non-compliant vehicles can
+/// appear, off otherwise. `"0"` forces it off even under mixed traffic
+/// (the unprotected configuration the adversarial tests use to show the
+/// filter is load-bearing); any other value forces it on. With pure
+/// managed traffic the filter observes but never fires, so forcing it on
+/// leaves every pre-existing experiment stdout byte-identical.
+pub const SAFETY_FILTER_ENV: &str = "CROSSROADS_SAFETY_FILTER";
+
+/// Resolves the [`SAFETY_FILTER_ENV`] default for a given mixed-traffic
+/// switch state.
+#[must_use]
+pub fn safety_filter_from_env(mixed_enabled: bool) -> bool {
+    match std::env::var_os(SAFETY_FILTER_ENV) {
+        Some(v) => v != *"0",
+        None => mixed_enabled,
+    }
+}
 
 /// Platoon formation and admission parameters (PAIM, arXiv 1809.06956):
 /// same-movement vehicles arriving within [`headway`](Self::headway) of
@@ -186,12 +207,21 @@ pub struct SimConfig {
     /// [`PLATOON_ENV`]); a disabled config is zero-cost — the run is
     /// byte-identical to one without the platoon subsystem.
     pub platoon: PlatoonConfig,
+    /// Mixed (non-compliant) traffic: the compliance mix and error
+    /// bounds. Disabled by default (see [`crossroads_traffic::MIXED_ENV`]);
+    /// disabled draws no randomness, so the run is byte-identical to one
+    /// without the compliance model.
+    pub mixed: MixedConfig,
+    /// Whether the runtime safety filter monitors actuations (see
+    /// [`SAFETY_FILTER_ENV`]). Defaults to following `mixed.enabled`.
+    pub safety_filter: bool,
 }
 
 impl SimConfig {
     /// The 1/10-scale testbed configuration of Ch. 2.
     #[must_use]
     pub fn scale_model(policy: PolicyKind) -> Self {
+        let mixed = MixedConfig::from_env();
         SimConfig {
             policy,
             geometry: IntersectionGeometry::scale_model(),
@@ -202,13 +232,15 @@ impl SimConfig {
             seed: 0,
             aim_grid_side: 8,
             aim_sim_step: Seconds::from_millis(20.0),
-            aim_analytic: std::env::var_os(AIM_ANALYTIC_ENV).map_or(true, |v| v != *"0"),
+            aim_analytic: std::env::var_os(AIM_ANALYTIC_ENV).is_none_or(|v| v != *"0"),
             aim_retry_interval: Seconds::from_millis(300.0),
             aim_slowdown_factor: 0.7,
             crawl_fraction: 0.30,
             horizon_slack: Seconds::new(1200.0),
             fault: FaultConfig::disabled(),
             platoon: PlatoonConfig::from_env(),
+            mixed,
+            safety_filter: safety_filter_from_env(mixed.enabled),
         }
     }
 
@@ -268,6 +300,26 @@ impl SimConfig {
     #[must_use]
     pub fn with_platoons(mut self, platoon: PlatoonConfig) -> Self {
         self.platoon = platoon;
+        self
+    }
+
+    /// Installs a mixed-traffic configuration (overriding the
+    /// [`crossroads_traffic::MIXED_ENV`] default; validated when the run
+    /// starts). Re-resolves the safety-filter default against the new
+    /// mixed switch — follow with [`with_safety_filter`](Self::with_safety_filter)
+    /// to pin the filter explicitly.
+    #[must_use]
+    pub fn with_mixed(mut self, mixed: MixedConfig) -> Self {
+        self.mixed = mixed;
+        self.safety_filter = safety_filter_from_env(mixed.enabled);
+        self
+    }
+
+    /// Pins the runtime safety filter on or off (overriding the
+    /// [`SAFETY_FILTER_ENV`] default).
+    #[must_use]
+    pub fn with_safety_filter(mut self, on: bool) -> Self {
+        self.safety_filter = on;
         self
     }
 

@@ -181,8 +181,10 @@ impl SafetyReport {
     }
 }
 
-/// One replayable path per movement, shared by both audit variants.
-fn movement_paths(
+/// One replayable path per movement, shared by both audit variants (and
+/// cached by the runtime safety filter, which runs the same pair test
+/// online, before actuation, instead of post-hoc).
+pub(crate) fn movement_paths(
     geometry: &IntersectionGeometry,
 ) -> std::collections::HashMap<Movement, MovementPath> {
     Movement::all()
@@ -202,7 +204,7 @@ fn movement_paths(
 /// solves the crossing in closed form. Every other pair (curved paths,
 /// distinct movements) keeps the sampled rectangle march, which the
 /// property suite pins against the closed form on the shared domain.
-fn check_pair(
+pub(crate) fn check_pair(
     a: &BoxOccupancy,
     b: &BoxOccupancy,
     paths: &std::collections::HashMap<Movement, MovementPath>,

@@ -21,14 +21,15 @@ use crossroads_pool::BatchHost;
 use crossroads_prng::Rng;
 use crossroads_prng::{SeedableRng, StdRng};
 use crossroads_trace::{Recorder, TraceEvent, TraceRecord, Verdict, LOST_LATENCY, NO_VEHICLE};
-use crossroads_traffic::Arrival;
+use crossroads_traffic::{Arrival, Compliance, MixedConfig};
 use crossroads_units::kinematics;
-use crossroads_units::{Meters, MetersPerSecond, Seconds, TimePoint};
+use crossroads_units::{Meters, MetersPerSecond, MetersPerSecondSquared, Seconds, TimePoint};
 use crossroads_vehicle::{ProtocolEvent, ProtocolState, SpeedProfile, VehicleId, VehicleProtocol};
 
 use crate::policy::IntersectionPolicy;
 use crate::request::{CrossingCommand, CrossingRequest};
 use crate::sim::event::Event;
+use crate::sim::filter::SafetyFilter;
 use crate::sim::safety::BoxOccupancy;
 use crate::sim::SimConfig;
 
@@ -123,6 +124,15 @@ pub(crate) struct Agent {
     /// shared grant; `None` is the per-vehicle protocol (always `None`
     /// with platooning disabled — the field is never read on that path).
     platoon: Option<PlatoonRole>,
+    /// How this vehicle relates to the V2I protocol. Always `Managed`
+    /// with mixed traffic disabled — the assignment then draws no
+    /// randomness (the byte-identity contract).
+    compliance: Compliance,
+    /// A faulty vehicle's private execution-noise stream, a pure function
+    /// of `(seed, vehicle)` — it travels with the agent across corridor
+    /// handoffs, so the noise sequence is independent of worker count.
+    /// `None` for every other compliance mode.
+    fault_rng: Option<StdRng>,
 }
 
 /// A vehicle's role in an undissolved platoon (PAIM-style admission:
@@ -348,6 +358,11 @@ pub(crate) struct World<'a> {
     /// untraced run is byte-identical to one built before tracing existed
     /// (the same guarantee the fault layer makes).
     pub(crate) recorder: Option<&'a mut Recorder>,
+    /// The runtime safety monitor (see `sim/filter.rs`). Present when
+    /// mixed traffic can appear (the registry is what humans judge gaps
+    /// against) or the filter is forced on; `None` is zero-cost — the
+    /// pre-mixed event flow is untouched.
+    filter: Option<SafetyFilter>,
 }
 
 impl<'a> World<'a> {
@@ -380,6 +395,7 @@ impl<'a> World<'a> {
     /// the shard at global index `im` of a `k_total`-intersection
     /// corridor. `root` must be the untouched seed-fresh root RNG (shard
     /// streams split off it) and `conflicts` the corridor-shared table.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn new_lane(
         cfg: &'a SimConfig,
         workload: &'a [Arrival],
@@ -436,6 +452,7 @@ impl<'a> World<'a> {
             request_pool: Vec::new(),
             decision_pool: Vec::new(),
             recorder: None,
+            filter: (cfg.safety_filter || cfg.mixed.enabled).then(|| SafetyFilter::new(cfg, count)),
         }
     }
 
@@ -702,6 +719,7 @@ impl<'a> World<'a> {
             Event::BoxExit(v, version) => self.on_box_exit(sim, v, version),
             Event::LinkArrival(v, im) => self.on_link_arrival(sim, v, im as usize),
             Event::PlatoonTimeout(v, im) => self.on_platoon_timeout(sim, v, im as usize),
+            Event::ComplianceCheck(v, im) => self.on_compliance_check(sim, v, im as usize),
             Event::ImExitNotice(v, im) => {
                 let s = self.li(im as usize);
                 if self.shards[s].im_down {
@@ -765,15 +783,30 @@ impl<'a> World<'a> {
         let arr = self.workload[index];
         let now = sim.now();
         let im = self.entry_ims.get(index).map_or(0, |&x| x as usize);
-        let joined = self.platoon_try_join(im, arr.movement, now);
+        let compliance = self.cfg.mixed.assign(self.cfg.seed, arr.vehicle);
+        let joined = if compliance.uses_v2i() {
+            self.platoon_try_join(im, arr.movement, now)
+        } else {
+            None
+        };
         let (protocol, clock_err) = match joined {
             // A follower rides its leader's negotiation: no sync
             // exchange, no radio frames, no RNG draws of its own.
             Some(_) => (follower_protocol(arr.vehicle, now), Seconds::ZERO),
-            None => self.start_protocol(sim, arr.vehicle, im, now),
+            None if compliance.uses_v2i() => self.start_protocol(sim, arr.vehicle, im, now),
+            // No radio at all: the machine parks in `Sync` so the
+            // eventual gap-acceptance commit can `inherit_grant`, exactly
+            // like a platoon follower waiting on its leader.
+            None => (follower_protocol(arr.vehicle, now), Seconds::ZERO),
         };
 
-        let profile = SpeedProfile::starting_at(now, Meters::ZERO, arr.speed);
+        let profile = if compliance.uses_v2i() {
+            SpeedProfile::starting_at(now, Meters::ZERO, arr.speed)
+        } else {
+            // Humans and emergency vehicles brake to the line and cross
+            // by gap acceptance instead of negotiating.
+            SpeedProfile::stop_at(now, Meters::ZERO, arr.speed, self.s_entry, &self.cfg.spec)
+        };
         let free_flow = self.free_flow_time(arr.movement, arr.speed);
         self.shards[im - self.shard_base].lane_arrivals[arr.movement.approach.index()]
             .push(arr.vehicle);
@@ -800,12 +833,19 @@ impl<'a> World<'a> {
                 stop_target: None,
                 im_seen_attempt: None,
                 platoon: None,
+                compliance,
+                fault_rng: (compliance == Compliance::Faulty)
+                    .then(|| MixedConfig::exec_rng(self.cfg.seed, arr.vehicle)),
             },
         );
         if let Some(leader) = joined {
             self.platoon_attach(sim, arr.vehicle, leader, im);
         }
-        self.schedule_guard(sim, arr.vehicle);
+        if compliance.uses_v2i() {
+            self.schedule_guard(sim, arr.vehicle);
+        } else {
+            self.begin_gap_acceptance(sim, arr.vehicle, im);
+        }
     }
 
     fn free_flow_time(
@@ -831,23 +871,33 @@ impl<'a> World<'a> {
         // same speed the standard workload builders use at entry, so each
         // leg starts from the state the policies were tuned for.
         let speed = self.cfg.typical_line_speed();
-        let movement = {
+        let (movement, compliance) = {
             let Some(agent) = self.agent(v) else {
                 return;
             };
-            agent.movement
+            (agent.movement, agent.compliance)
         };
-        let joined = self.platoon_try_join(im, movement, now);
+        let joined = if compliance.uses_v2i() {
+            self.platoon_try_join(im, movement, now)
+        } else {
+            None
+        };
         let (protocol, clock_err) = match joined {
             Some(_) => (follower_protocol(v, now), Seconds::ZERO),
-            None => self.start_protocol(sim, v, im, now),
+            None if compliance.uses_v2i() => self.start_protocol(sim, v, im, now),
+            None => (follower_protocol(v, now), Seconds::ZERO),
         };
         let free_flow = self.free_flow_time(movement, speed);
+        let profile = if compliance.uses_v2i() {
+            SpeedProfile::starting_at(now, Meters::ZERO, speed)
+        } else {
+            SpeedProfile::stop_at(now, Meters::ZERO, speed, self.s_entry, &self.cfg.spec)
+        };
         self.shards[im - self.shard_base].lane_arrivals[movement.approach.index()].push(v);
         let agent = self.agent_mut(v).expect("agent exists");
         agent.im = im;
         agent.line_at = now;
-        agent.profile = SpeedProfile::starting_at(now, Meters::ZERO, speed);
+        agent.profile = profile;
         agent.protocol = protocol;
         agent.clock_err = clock_err;
         agent.plan_version += 1;
@@ -864,7 +914,23 @@ impl<'a> World<'a> {
         if let Some(leader) = joined {
             self.platoon_attach(sim, v, leader, im);
         }
-        self.schedule_guard(sim, v);
+        if compliance.uses_v2i() {
+            self.schedule_guard(sim, v);
+        } else {
+            self.begin_gap_acceptance(sim, v, im);
+        }
+    }
+
+    /// Parks a non-V2I vehicle (human or emergency) in the approach
+    /// queue: claims the stop slot, arms the stopped marker for its brake
+    /// profile, and starts the gap-acceptance polling loop.
+    fn begin_gap_acceptance(&mut self, sim: &mut Simulation<Event>, v: VehicleId, im: usize) {
+        self.assign_stop_target(v);
+        self.bump_unaccepted_plan(sim, v);
+        sim.schedule_in(
+            self.cfg.mixed.gap_poll,
+            Event::ComplianceCheck(v, im as u32),
+        );
     }
 
     fn on_sync_complete(&mut self, sim: &mut Simulation<Event>, v: VehicleId, im: usize) {
@@ -897,6 +963,19 @@ impl<'a> World<'a> {
     ///   request immediately and the whole queue discharge is scheduled
     ///   in advance — the protocol's signature advantage.
     fn queue_blocked(&self, v: VehicleId, preds: &mut Vec<VehicleId>) -> bool {
+        if self.cfg.mixed.enabled {
+            // A human or emergency vehicle ahead in the lane is invisible
+            // to the IM — no policy can sequence a launch around it — so
+            // any unentered non-V2I predecessor holds the request under
+            // every policy, including Crossroads' scheduled discharge.
+            self.unentered_predecessors(v, preds);
+            if preds
+                .iter()
+                .any(|&u| self.agent(u).is_some_and(|a| !a.compliance.uses_v2i()))
+            {
+                return true;
+            }
+        }
         match self.cfg.policy {
             crate::policy::PolicyKind::Crossroads => false,
             crate::policy::PolicyKind::VtIm => {
@@ -1501,14 +1580,20 @@ impl<'a> World<'a> {
         } else {
             FollowerSpacing::Cruise(target)
         };
+        let (s_now, v_now) = {
+            let agent = self.agent(v).expect("agent exists");
+            (agent.profile.position_at(now), agent.profile.speed_at(now))
+        };
+        let profile = SpeedProfile::vt_response(now, s_now, v_now, target, &spec);
+        let Some(profile) = self.filter_admit(sim, v, profile, now) else {
+            return;
+        };
         let agent = self.agent_mut(v).expect("agent exists");
-        let s_now = agent.profile.position_at(now);
-        let v_now = agent.profile.speed_at(now);
         agent
             .protocol
             .apply(ProtocolEvent::ResponseAccepted, now)
             .expect("accept applies in Request state");
-        agent.profile = SpeedProfile::vt_response(now, s_now, v_now, target, &spec);
+        agent.profile = profile;
         agent.accepted = true;
         agent.stopped = false;
         self.schedule_crossing_events(sim, v);
@@ -1593,6 +1678,9 @@ impl<'a> World<'a> {
             }
         };
 
+        let Some(profile) = self.filter_admit(sim, v, profile, now) else {
+            return;
+        };
         let agent = self.agent_mut(v).expect("agent exists");
         agent
             .protocol
@@ -1668,6 +1756,9 @@ impl<'a> World<'a> {
             }
             // Hold the proposed speed through the box.
             SpeedProfile::starting_at(now, s_now, v_now)
+        };
+        let Some(profile) = self.filter_admit(sim, v, profile, now) else {
+            return;
         };
         let agent = self.agent_mut(v).expect("agent exists");
         agent
@@ -1768,6 +1859,314 @@ impl<'a> World<'a> {
         self.reject_and_stop(sim, v, now, Seconds::from_millis(50.0));
     }
 
+    // --- Mixed traffic and the runtime safety filter -------------------------
+
+    /// Vehicle-side actuation hook, run on every granted downlink before
+    /// the vehicle commits: first applies a faulty vehicle's bounded
+    /// execution error, producing the profile it will *actually* trace;
+    /// then (with the filter armed) checks the resulting crossing
+    /// envelope against the registry and vetoes the grant into the safe
+    /// stop-at-line + re-request fallback when it conflicts. Returns the
+    /// (possibly perturbed) profile to execute, or `None` on a veto.
+    ///
+    /// A managed candidate is only tested against non-compliant
+    /// envelopes — managed-managed separation is the policy's own
+    /// invariant, and second-guessing it would perturb fully-compliant
+    /// runs (see `sim/filter.rs`).
+    fn filter_admit(
+        &mut self,
+        sim: &mut Simulation<Event>,
+        v: VehicleId,
+        profile: SpeedProfile,
+        now: TimePoint,
+    ) -> Option<SpeedProfile> {
+        let profile = self.faulty_execution(v, profile);
+        let vetoed = match self.filter.as_ref() {
+            Some(f) if f.vetoes() => {
+                let cand = self.crossing_envelope(v, &profile, now);
+                let agent = self.agent(v).expect("agent exists");
+                f.first_conflict(
+                    agent.im - self.shard_base,
+                    &cand,
+                    agent.compliance.noncompliant(),
+                )
+                .is_some()
+            }
+            _ => false,
+        };
+        if vetoed {
+            self.counters.filter_interventions += 1;
+            self.counters.noncompliant_conflicts += 1;
+            self.reject_and_stop(sim, v, now, Seconds::from_millis(50.0));
+            return None;
+        }
+        Some(profile)
+    }
+
+    /// Degrades a granted profile into what a faulty vehicle actually
+    /// executes: one launch-timing slip plus a mis-tracked speed target,
+    /// both drawn from the vehicle's private noise stream (so the error
+    /// sequence is a pure function of `(seed, vehicle)`). Identity for
+    /// every other compliance mode and whenever mixed traffic is off —
+    /// on that path no randomness is drawn.
+    fn faulty_execution(&mut self, v: VehicleId, profile: SpeedProfile) -> SpeedProfile {
+        if !self.cfg.mixed.enabled {
+            return profile;
+        }
+        let mixed = self.cfg.mixed;
+        let v_max = self.cfg.spec.v_max;
+        let Some(agent) = self.agent_mut(v) else {
+            return profile;
+        };
+        if agent.compliance != Compliance::Faulty {
+            return profile;
+        }
+        let rng = agent
+            .fault_rng
+            .as_mut()
+            .expect("faulty vehicle owns a noise stream");
+        let delay = if mixed.timing_error > Seconds::ZERO {
+            Seconds::new(rng.gen_range(0.0..mixed.timing_error.value()))
+        } else {
+            Seconds::ZERO
+        };
+        let factor = if mixed.speed_error > 0.0 {
+            rng.gen_range(1.0 - mixed.speed_error..1.0 + mixed.speed_error)
+        } else {
+            1.0
+        };
+        // Replay the granted phases with the execution error: the launch
+        // slips by `delay` once, and every commanded speed change lands
+        // on the mis-tracked target (clamped to the platform envelope)
+        // at the commanded rate.
+        let start = profile.start_time();
+        let mut q =
+            SpeedProfile::starting_at(start, profile.position_at(start), profile.speed_at(start));
+        q.push_hold(delay);
+        for ph in profile.phases() {
+            if ph.accel == MetersPerSecondSquared::ZERO {
+                q.push_hold(ph.duration);
+            } else {
+                let target = (ph.exit_speed() * factor).min(v_max);
+                q.push_speed_change(target, ph.accel.abs());
+            }
+        }
+        q
+    }
+
+    /// The physical box occupancy `v` would trace if it executed
+    /// `profile`: the same entry/exit probes `schedule_crossing_events`
+    /// uses, so the filter judges exactly the window the audit will
+    /// later replay.
+    fn crossing_envelope(
+        &self,
+        v: VehicleId,
+        profile: &SpeedProfile,
+        now: TimePoint,
+    ) -> BoxOccupancy {
+        let agent = self.agent(v).expect("agent exists");
+        let s_exit = self.s_exit(agent.movement);
+        let entered = profile
+            .time_at_position(self.s_entry + Meters::new(1e-3))
+            .unwrap_or(now);
+        let exited = profile.time_at_position(s_exit).unwrap_or(now);
+        BoxOccupancy {
+            vehicle: v,
+            movement: agent.movement,
+            entered: entered.max(now),
+            exited: exited.max(now),
+            profile: profile.clone(),
+            line_offset: self.s_entry,
+        }
+    }
+
+    /// A waiting non-V2I vehicle re-checks the intersection. Humans cross
+    /// by gap acceptance: front of the queue, at rest, and a padded
+    /// crossing envelope that conflicts with nothing committed.
+    /// Emergency vehicles preempt: conflicting grants whose vehicles can
+    /// still stop are flushed back to the line, then the siren crosses.
+    fn on_compliance_check(&mut self, sim: &mut Simulation<Event>, v: VehicleId, im: usize) {
+        let now = sim.now();
+        let poll = self.cfg.mixed.gap_poll;
+        let Some(agent) = self.agent(v) else {
+            return;
+        };
+        if agent.im != im || agent.done || agent.accepted {
+            return;
+        }
+        let compliance = agent.compliance;
+        let lane = agent.movement.approach.index();
+        if !agent.stopped {
+            // Still braking toward the line: check back once parked.
+            sim.schedule_in(poll, Event::ComplianceCheck(v, im as u32));
+            return;
+        }
+        // Queue discipline: even a human waits out the cars ahead of it.
+        self.advance_lane_cursor(im, lane);
+        let mut preds = std::mem::take(&mut self.pred_scratch);
+        self.unentered_predecessors(v, &mut preds);
+        let blocked = !preds.is_empty();
+        self.pred_scratch = preds;
+        if blocked {
+            sim.schedule_in(poll, Event::ComplianceCheck(v, im as u32));
+            return;
+        }
+        // The crossing it would commit to: a standstill launch from the
+        // line, padded by the gap-acceptance caution margin on both
+        // sides before asking "is the box observably clear for me".
+        let spec = self.cfg.spec;
+        let s_now = self
+            .agent(v)
+            .expect("agent exists")
+            .profile
+            .position_at(now);
+        let mut p = SpeedProfile::starting_at(now, s_now, MetersPerSecond::ZERO);
+        p.push_speed_change(spec.v_max, spec.a_max);
+        let margin = self.cfg.mixed.gap_margin;
+        let mut cand = self.crossing_envelope(v, &p, now);
+        cand.entered -= margin;
+        cand.exited += margin;
+        match compliance {
+            Compliance::Human => {
+                let clear = self
+                    .filter
+                    .as_ref()
+                    .is_none_or(|f| f.first_conflict(self.li(im), &cand, true).is_none());
+                if clear {
+                    self.commit_gap_crossing(sim, v, p);
+                } else {
+                    sim.schedule_in(poll, Event::ComplianceCheck(v, im as u32));
+                }
+            }
+            Compliance::Emergency => self.emergency_preempt(sim, v, im, p, &cand),
+            // A managed/faulty vehicle never schedules this event.
+            Compliance::Managed | Compliance::Faulty => {}
+        }
+    }
+
+    /// Installs a committed gap-acceptance crossing: the parked `Sync`
+    /// machine inherits a grant (the same transition a platoon follower
+    /// uses), the launch profile replaces the wait, and the crossing
+    /// envelope registers like any other commitment.
+    fn commit_gap_crossing(
+        &mut self,
+        sim: &mut Simulation<Event>,
+        v: VehicleId,
+        profile: SpeedProfile,
+    ) {
+        let now = sim.now();
+        let agent = self.agent_mut(v).expect("agent exists");
+        agent
+            .protocol
+            .inherit_grant(now)
+            .expect("gap-acceptance machine waits in Sync");
+        agent.profile = profile;
+        agent.accepted = true;
+        agent.stopped = false;
+        self.schedule_crossing_events(sim, v);
+    }
+
+    /// Emergency preemption: partition the conflicting commitments into
+    /// overridable (granted, not yet entered, still able to stop, and
+    /// reachable over V2I) and hard (already inside the box, another
+    /// non-V2I vehicle, or past its braking point). All overridable →
+    /// flush each back to the safe stop + re-request fallback and cross;
+    /// any hard conflict → re-check on a tight siren cadence.
+    fn emergency_preempt(
+        &mut self,
+        sim: &mut Simulation<Event>,
+        v: VehicleId,
+        im: usize,
+        profile: SpeedProfile,
+        cand: &BoxOccupancy,
+    ) {
+        let now = sim.now();
+        let s = self.li(im);
+        let mut conflicts = Vec::new();
+        self.filter
+            .as_ref()
+            .expect("mixed traffic maintains the registry")
+            .conflicts_into(s, cand, &mut conflicts);
+        let spec = self.cfg.spec;
+        let mut overridable = Vec::new();
+        let mut hard = false;
+        for &u in &conflicts {
+            let stoppable = self.agent(u).is_some_and(|a| {
+                a.accepted
+                    && a.entered_at.is_none()
+                    && !a.done
+                    && a.compliance.uses_v2i()
+                    && a.platoon.is_none()
+                    && !self.shards[s]
+                        .columns
+                        .iter()
+                        .any(|c| c.members.contains(&u))
+                    && self.s_entry - a.profile.position_at(now)
+                        > kinematics::stopping_distance(a.profile.speed_at(now), spec.d_max)
+                            + GUARD_MARGIN
+            });
+            if stoppable {
+                overridable.push(u);
+            } else {
+                hard = true;
+            }
+        }
+        if hard {
+            sim.schedule_in(
+                Seconds::from_millis(100.0),
+                Event::ComplianceCheck(v, im as u32),
+            );
+            return;
+        }
+        for u in overridable {
+            self.override_grant(sim, u, im, now);
+        }
+        self.counters.emergency_preemptions += 1;
+        self.commit_gap_crossing(sim, v, profile);
+    }
+
+    /// Flushes one granted-but-unentered vehicle back to the safe
+    /// stop-at-line + re-request fallback (emergency preemption).
+    /// Mirrors `platoon_detach`'s fresh-protocol pattern: bank the old
+    /// machine's tallies, restart negotiation from sync, and bump the
+    /// plan version so every event of the overridden trajectory dies on
+    /// its guard. The IM's orphaned reservation is replaced when the
+    /// fresh request lands (or expires via prune).
+    fn override_grant(
+        &mut self,
+        sim: &mut Simulation<Event>,
+        u: VehicleId,
+        im: usize,
+        now: TimePoint,
+    ) {
+        let (protocol, clock_err) = self.start_protocol(sim, u, im, now);
+        let spec = self.cfg.spec;
+        let target = self.assign_stop_target(u);
+        let agent = self.agent_mut(u).expect("agent exists");
+        agent.trip_requests += agent.protocol.total_requests();
+        agent.trip_rejections += agent.protocol.total_rejections();
+        agent.protocol = protocol;
+        agent.clock_err = clock_err;
+        agent.accepted = false;
+        agent.last_proposal = None;
+        agent.im_seen_attempt = None;
+        let s_now = agent.profile.position_at(now);
+        let v_now = agent.profile.speed_at(now);
+        if v_now.value() > 0.0 {
+            agent.profile = SpeedProfile::stop_at(now, s_now, v_now, target, &spec);
+            agent.stopped = false;
+        } else {
+            agent.profile = SpeedProfile::starting_at(now, s_now, MetersPerSecond::ZERO);
+            agent.stopped = true;
+        }
+        self.counters.filter_interventions += 1;
+        self.counters.fallback_stops += 1;
+        self.bump_unaccepted_plan(sim, u);
+        if let Some(f) = self.filter.as_mut() {
+            f.remove(im - self.shard_base, u);
+        }
+    }
+
     // --- Platooning ----------------------------------------------------------
 
     /// Front-to-front spacing between successive platoon members, in
@@ -1807,8 +2206,13 @@ impl<'a> World<'a> {
         let &pred = shard.lane_arrivals[lane].last()?;
         let pred_agent = self.agent(pred)?;
         // The headway gate is against the column's tail — the vehicle
-        // physically ahead — not the leader.
-        if pred_agent.im != im || now - pred_agent.line_at > p.headway {
+        // physically ahead — not the leader. A non-V2I tail (human or
+        // emergency vehicle) never platoons: it has no radio to
+        // negotiate through.
+        if pred_agent.im != im
+            || now - pred_agent.line_at > p.headway
+            || !pred_agent.compliance.uses_v2i()
+        {
             return None;
         }
         let leader = match pred_agent.platoon {
@@ -2059,6 +2463,24 @@ impl<'a> World<'a> {
             // bounds its separation — per-vehicle fallback.
             _ => return detach(self, sim),
         };
+        // Inherited grants pass the same actuation monitor as direct
+        // ones; a vetoed follower detaches to the per-vehicle protocol
+        // (its own request then re-derives a safe window).
+        let profile = self.faulty_execution(v, profile);
+        let vetoed = match self.filter.as_ref() {
+            Some(f) if f.vetoes() => {
+                let cand = self.crossing_envelope(v, &profile, now);
+                let agent = self.agent(v).expect("agent exists");
+                f.first_conflict(self.li(agent.im), &cand, agent.compliance.noncompliant())
+                    .is_some()
+            }
+            _ => false,
+        };
+        if vetoed {
+            self.counters.filter_interventions += 1;
+            self.counters.noncompliant_conflicts += 1;
+            return detach(self, sim);
+        }
         let agent = self.agent_mut(v).expect("agent exists");
         if agent.protocol.inherit_grant(now).is_err() {
             return detach(self, sim);
@@ -2244,6 +2666,25 @@ impl<'a> World<'a> {
         };
         sim.schedule(entry_t.max(now), Event::BoxEntry(v, version));
         sim.schedule(exit_t.max(now), Event::BoxExit(v, version));
+        // Every committed crossing — granted, inherited, or gap-accepted —
+        // funnels through here, so this is the single registration point
+        // of the runtime monitor's envelope registry.
+        if self.filter.is_some() {
+            let agent = self.agent(v).expect("agent exists");
+            let occ = BoxOccupancy {
+                vehicle: v,
+                movement: agent.movement,
+                entered: entry_t.max(now),
+                exited: exit_t.max(now),
+                profile: agent.profile.clone(),
+                line_offset: s_entry,
+            };
+            let noncompliant = agent.compliance.noncompliant();
+            let s = self.li(agent.im);
+            if let Some(f) = self.filter.as_mut() {
+                f.register(s, occ, noncompliant, now);
+            }
+        }
     }
 
     fn on_box_entry(&mut self, now: TimePoint, v: VehicleId, version: u32) {
@@ -2424,6 +2865,8 @@ mod tests {
             stop_target: None,
             im_seen_attempt: None,
             platoon: None,
+            compliance: Compliance::Managed,
+            fault_rng: None,
         }
     }
 

@@ -158,7 +158,7 @@ fn merged_by_tile(intervals: &[TileInterval]) -> HashMap<usize, Vec<(f64, f64)>>
             .push((iv.from.value(), iv.until.value()));
     }
     for runs in by_tile.values_mut() {
-        runs.sort_by(|a, b| a.partial_cmp(b).expect("finite interval endpoints"));
+        runs.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.total_cmp(&b.1)));
         let mut merged: Vec<(f64, f64)> = Vec::with_capacity(runs.len());
         for &(from, until) in runs.iter() {
             match merged.last_mut() {
@@ -268,6 +268,7 @@ fn policy_pair(
 }
 
 /// Runs one proposal through both kernels and applies the full contract.
+#[allow(clippy::too_many_arguments)]
 fn differential_case(
     geometry: IntersectionGeometry,
     buffers: BufferModel,

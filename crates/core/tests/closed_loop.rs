@@ -155,7 +155,7 @@ fn burst_workload() -> Vec<crossroads_traffic::Arrival> {
             id += 1;
         }
     }
-    out.sort_by(|a, b| a.at_line.partial_cmp(&b.at_line).expect("finite"));
+    out.sort_by(|a, b| a.at_line.total_cmp(b.at_line));
     out
 }
 

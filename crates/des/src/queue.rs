@@ -249,14 +249,14 @@ impl<E> EventQueue<E> {
 
     /// Whether slot `a` orders strictly before slot `b`: earlier time,
     /// then earlier sequence number (FIFO on ties). Sequence numbers are
-    /// unique, so this is a strict total order.
+    /// unique, so this is a strict total order. `total_cmp` keeps the heap
+    /// comparator total on every bit pattern — `schedule` already rejects
+    /// non-finite timestamps, so the only behavioral wrinkle left is the
+    /// IEEE `-0.0 < +0.0` ordering, which is exactly the consistent-order
+    /// guarantee the heap needs.
     fn before(&self, a: u32, b: u32) -> bool {
         let (sa, sb) = (&self.slots[a as usize], &self.slots[b as usize]);
-        match sa
-            .at
-            .partial_cmp(&sb.at)
-            .expect("event timestamps are finite")
-        {
+        match sa.at.total_cmp(sb.at) {
             Ordering::Less => true,
             Ordering::Greater => false,
             Ordering::Equal => sa.seq < sb.seq,

@@ -38,7 +38,7 @@ impl NaiveQueue {
             .entries
             .iter()
             .enumerate()
-            .min_by(|(_, a), (_, b)| a.partial_cmp(b).expect("finite times"))
+            .min_by(|(_, a), (_, b)| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)))
             .map(|(i, _)| i)?;
         let (at, _, payload) = self.entries.remove(best);
         Some((at, payload))
@@ -176,4 +176,23 @@ forall! {
         };
         ck_assert_eq!(trace(&times), trace(&times));
     }
+}
+
+/// Pinned regression for the `total_cmp` heap comparator: `-0.0` and `+0.0`
+/// are distinct bit patterns that `partial_cmp` calls equal but `total_cmp`
+/// orders `-0.0 < +0.0`. The queue must honor that total order (so the heap
+/// comparator is consistent on every representable timestamp) while still
+/// breaking exact-bit-pattern ties by insertion order.
+#[test]
+fn signed_zero_timestamps_pop_in_total_order() {
+    let mut q: EventQueue<&'static str> = EventQueue::new();
+    q.schedule(TimePoint::new(0.0), "pos-first");
+    q.schedule(TimePoint::new(-0.0), "neg-first");
+    q.schedule(TimePoint::new(0.0), "pos-second");
+    q.schedule(TimePoint::new(-0.0), "neg-second");
+    let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+    assert_eq!(
+        order,
+        ["neg-first", "neg-second", "pos-first", "pos-second"]
+    );
 }

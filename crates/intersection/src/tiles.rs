@@ -344,7 +344,7 @@ impl TileSchedule {
         let mut total = Seconds::ZERO;
         for v in &self.slots {
             for &(from, until, _) in v {
-                total = total + (until - from);
+                total += until - from;
             }
         }
         total

@@ -68,7 +68,7 @@ forall! {
                 .unwrap();
             windows.push((slot.value(), slot.value() + dur));
         }
-        windows.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        windows.sort_by(|a, b| a.0.total_cmp(&b.0));
         for w in windows.windows(2) {
             ck_assert!(w[0].1 <= w[1].0 + 1e-12, "windows {w:?} overlap");
         }

@@ -75,7 +75,7 @@ pub fn records_to_json(records: &[VehicleRecord]) -> String {
 #[must_use]
 pub fn counters_to_json(c: &Counters) -> String {
     format!(
-        "{{\"im_ops\":{},\"im_requests\":{},\"messages\":{},\"messages_lost\":{},\"im_busy\":{},\"des_events\":{},\"deadline_misses\":{},\"late_discards\":{},\"burst_losses\":{},\"im_outage_drops\":{},\"fallback_stops\":{},\"platoons_formed\":{},\"platoon_followers\":{},\"platoon_grants\":{},\"platoon_fallbacks\":{}}}",
+        "{{\"im_ops\":{},\"im_requests\":{},\"messages\":{},\"messages_lost\":{},\"im_busy\":{},\"des_events\":{},\"deadline_misses\":{},\"late_discards\":{},\"burst_losses\":{},\"im_outage_drops\":{},\"fallback_stops\":{},\"platoons_formed\":{},\"platoon_followers\":{},\"platoon_grants\":{},\"platoon_fallbacks\":{},\"filter_interventions\":{},\"noncompliant_conflicts\":{},\"emergency_preemptions\":{}}}",
         c.im_ops,
         c.im_requests,
         c.messages,
@@ -91,6 +91,9 @@ pub fn counters_to_json(c: &Counters) -> String {
         c.platoon_followers,
         c.platoon_grants,
         c.platoon_fallbacks,
+        c.filter_interventions,
+        c.noncompliant_conflicts,
+        c.emergency_preemptions,
     )
 }
 
@@ -329,6 +332,9 @@ mod tests {
             platoon_followers: 12,
             platoon_grants: 13,
             platoon_fallbacks: 14,
+            filter_interventions: 15,
+            noncompliant_conflicts: 16,
+            emergency_preemptions: 17,
         });
         let a = run_to_json(&m);
         let b = run_to_json(&m);
@@ -343,6 +349,10 @@ mod tests {
         assert!(a.contains(
             "\"platoons_formed\":11,\"platoon_followers\":12,\
              \"platoon_grants\":13,\"platoon_fallbacks\":14"
+        ));
+        assert!(a.contains(
+            "\"filter_interventions\":15,\"noncompliant_conflicts\":16,\
+             \"emergency_preemptions\":17"
         ));
     }
 

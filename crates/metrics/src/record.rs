@@ -104,6 +104,18 @@ pub struct Counters {
     /// grant did not cover them, the inherited slot was infeasible, or
     /// the fallback deadline expired — e.g. an IM crash mid-platoon).
     pub platoon_fallbacks: u64,
+    /// Actuations the runtime safety filter vetoed or overrode (downlinks
+    /// redirected into the safe stop-at-line fallback, and committed
+    /// crossings revoked by an emergency preemption). Zero unless mixed
+    /// traffic and the safety filter are enabled.
+    pub filter_interventions: u64,
+    /// Conflicts the filter detected between a granted occupancy envelope
+    /// and the worst-case reachable set of a non-compliant (human, faulty
+    /// or emergency) vehicle.
+    pub noncompliant_conflicts: u64,
+    /// Emergency vehicles granted a priority crossing by the filter's
+    /// preemption path (flushing conflicting reservations where needed).
+    pub emergency_preemptions: u64,
 }
 
 impl Counters {
@@ -124,6 +136,9 @@ impl Counters {
         self.platoon_followers += other.platoon_followers;
         self.platoon_grants += other.platoon_grants;
         self.platoon_fallbacks += other.platoon_fallbacks;
+        self.filter_interventions += other.filter_interventions;
+        self.noncompliant_conflicts += other.noncompliant_conflicts;
+        self.emergency_preemptions += other.emergency_preemptions;
     }
 }
 
@@ -357,6 +372,9 @@ mod tests {
             platoon_followers: 7,
             platoon_grants: 8,
             platoon_fallbacks: 9,
+            filter_interventions: 10,
+            noncompliant_conflicts: 11,
+            emergency_preemptions: 12,
         };
         let b = Counters {
             im_ops: 10,
@@ -374,6 +392,9 @@ mod tests {
             platoon_followers: 1,
             platoon_grants: 1,
             platoon_fallbacks: 1,
+            filter_interventions: 1,
+            noncompliant_conflicts: 1,
+            emergency_preemptions: 1,
         };
         a.absorb(&b);
         assert_eq!(a.im_ops, 11);
@@ -390,6 +411,9 @@ mod tests {
         assert_eq!(a.platoon_followers, 8);
         assert_eq!(a.platoon_grants, 9);
         assert_eq!(a.platoon_fallbacks, 10);
+        assert_eq!(a.filter_interventions, 11);
+        assert_eq!(a.noncompliant_conflicts, 12);
+        assert_eq!(a.emergency_preemptions, 13);
     }
 
     #[test]

@@ -236,7 +236,7 @@ impl FaultConfig {
             if self.outage_period.value() <= 0.0 {
                 break;
             }
-            start = start + self.outage_period;
+            start += self.outage_period;
         }
         windows
     }
@@ -428,7 +428,7 @@ impl FaultModel {
             // Hold the frame back far enough that frames sent after it
             // can overtake: a reordering event, and — when `extra`
             // exceeds the schedule's slack — a deadline miss.
-            first = first + extra * self.aux.gen_range(0.5..1.0);
+            first += extra * self.aux.gen_range(0.5..1.0);
             self.stats.reordered += 1;
         }
         if self.config.duplicate_probability > 0.0

@@ -14,7 +14,7 @@ fn event_from(kind: u8, aux: u32) -> TraceEvent {
         3 => Verdict::AimAccept,
         _ => Verdict::AimReject,
     };
-    let latency = if aux % 3 == 0 {
+    let latency = if aux.is_multiple_of(3) {
         LOST_LATENCY
     } else {
         Seconds::new(f64::from(aux) * 1e-4)

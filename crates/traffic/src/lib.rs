@@ -19,6 +19,7 @@
 #![warn(missing_docs)]
 
 pub mod corridor;
+pub mod mixed;
 pub mod poisson;
 pub mod rush_hour;
 pub mod scenario;
@@ -28,6 +29,7 @@ use crossroads_units::{MetersPerSecond, TimePoint};
 use crossroads_vehicle::VehicleId;
 
 pub use corridor::{generate_corridor, CorridorDemand};
+pub use mixed::{Compliance, MixedConfig, MIXED_ENV};
 pub use poisson::{generate_poisson, PoissonConfig};
 pub use rush_hour::{generate_rush_hour, RateProfile};
 pub use scenario::{scale_model_scenario, ScenarioId};

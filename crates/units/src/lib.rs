@@ -144,6 +144,12 @@ impl std::ops::AddAssign<Seconds> for TimePoint {
     }
 }
 
+impl std::ops::SubAssign<Seconds> for TimePoint {
+    fn sub_assign(&mut self, rhs: Seconds) {
+        self.0 -= rhs.value();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -190,7 +196,7 @@ mod tests {
 
     #[test]
     fn time_point_total_cmp_handles_nan() {
-        let mut v = vec![
+        let mut v = [
             TimePoint::new(f64::NAN),
             TimePoint::new(2.0),
             TimePoint::new(-1.0),

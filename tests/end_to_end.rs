@@ -161,7 +161,7 @@ fn golden_crossroads_matches_or_beats_vt_at_nonzero_wc_rtd() {
 
     // Both policies replay the same workload independently — run them
     // through the shared parallel driver, as the experiment harness does.
-    let configs = [xr_config.clone(), vt_config.clone()];
+    let configs = [xr_config, vt_config];
     let mut outcomes = crossroads_bench::par_run(&configs, |config| run_simulation(config, &w));
     let vt = outcomes.pop().expect("two runs");
     let xr = outcomes.pop().expect("two runs");

@@ -42,13 +42,16 @@ fn build_workload(raw: &[RawArrival]) -> Vec<Arrival> {
     arrivals
 }
 
+/// The per-arrival range tuple [`raw_workload`] draws from.
+type RawArrivalRanges = (
+    std::ops::Range<usize>,
+    std::ops::Range<usize>,
+    std::ops::Range<f64>,
+    std::ops::Range<f64>,
+);
+
 /// The raw-workload strategy feeding [`build_workload`].
-fn raw_workload() -> crossroads_check::VecStrategy<(
-    std::ops::Range<usize>,
-    std::ops::Range<usize>,
-    std::ops::Range<f64>,
-    std::ops::Range<f64>,
-)> {
+fn raw_workload() -> crossroads_check::VecStrategy<RawArrivalRanges> {
     vec(
         (
             0usize..4,    // approach
